@@ -1,0 +1,156 @@
+//! Micro-benchmarks of the from-scratch substrates: the regex engine,
+//! Aho–Corasick, the tokenizer/classifier, the LRU cache, and the
+//! firehose generator — the per-tweet costs every query pays.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use tweeql_geo::LruCache;
+use tweeql_text::ac::AhoCorasick;
+use tweeql_text::sentiment::{LexiconClassifier, SentimentClassifier};
+use tweeql_text::Regex;
+
+const TWEETS: &[&str] = &[
+    "watching manchester tonight should be a great game #mcfc",
+    "TEVEZ!!! what a goal 3-0 to city http://bbc.in/x :)",
+    "earthquake reported magnitude 6.3 near sendai stay safe",
+    "just had lunch, traffic is awful today",
+    "obama press conference at the white house today",
+    "goooooal! brilliant strike cant believe it",
+    "terrible defending, we lose again :(",
+    "見てる試合すごい #soccer",
+];
+
+fn bench_regex(c: &mut Criterion) {
+    let mut g = c.benchmark_group("regex");
+    g.throughput(Throughput::Elements(TWEETS.len() as u64));
+
+    let score = Regex::new(r"(\d+)-(\d+)").unwrap();
+    g.bench_function("score_pattern_is_match", |b| {
+        b.iter(|| {
+            for t in TWEETS {
+                black_box(score.is_match(black_box(t)));
+            }
+        })
+    });
+    g.bench_function("score_pattern_captures", |b| {
+        b.iter(|| {
+            for t in TWEETS {
+                black_box(score.captures(black_box(t)));
+            }
+        })
+    });
+
+    let complex = Regex::new(r"(?i)magnitude\s+(\d+\.?\d*)").unwrap();
+    g.bench_function("magnitude_extract", |b| {
+        b.iter(|| {
+            for t in TWEETS {
+                black_box(complex.extract(black_box(t), 1));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_aho_corasick(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aho_corasick");
+    let keywords: Vec<String> = [
+        "soccer", "football", "manchester", "liverpool", "obama", "earthquake", "tsunami",
+        "goal", "tevez", "sendai",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let ac = AhoCorasick::new(&keywords);
+    g.throughput(Throughput::Elements(TWEETS.len() as u64));
+    g.bench_function("ten_keywords_is_match", |b| {
+        b.iter(|| {
+            for t in TWEETS {
+                black_box(ac.is_match(black_box(t)));
+            }
+        })
+    });
+    // Naive baseline for comparison.
+    g.bench_function("naive_contains_scan", |b| {
+        b.iter(|| {
+            for t in TWEETS {
+                let lower = t.to_lowercase();
+                black_box(keywords.iter().any(|k| lower.contains(k.as_str())));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_text_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("text");
+    g.throughput(Throughput::Elements(TWEETS.len() as u64));
+    g.bench_function("tokenize", |b| {
+        b.iter(|| {
+            for t in TWEETS {
+                black_box(tweeql_text::tokenize(black_box(t)));
+            }
+        })
+    });
+    let clf = LexiconClassifier::new();
+    g.bench_function("lexicon_classify", |b| {
+        b.iter(|| {
+            for t in TWEETS {
+                black_box(clf.classify(black_box(t)));
+            }
+        })
+    });
+    g.bench_function("entity_extract", |b| {
+        b.iter(|| {
+            for t in TWEETS {
+                black_box(tweeql_text::entity::extract_entities(black_box(t)));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_lru(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lru_cache");
+    g.bench_function("hit_heavy_workload_10k_ops", |b| {
+        b.iter(|| {
+            let mut cache: LruCache<u32, u32> = LruCache::new(256);
+            for i in 0..10_000u32 {
+                let key = i % 300; // mostly hits once warm
+                if cache.get(&key).is_none() {
+                    cache.put(key, i);
+                }
+            }
+            black_box(cache.stats())
+        })
+    });
+    g.finish();
+}
+
+fn bench_generator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("firehose");
+    g.sample_size(10);
+    g.bench_function("generate_10min_stream", |b| {
+        use tweeql_firehose::scenario::{Scenario, Topic};
+        let s = Scenario {
+            name: "bench".into(),
+            duration: tweeql_model::Duration::from_mins(10),
+            background_rate_per_min: 200.0,
+            topics: vec![Topic::new("t", vec!["kw"], 50.0)],
+            bursts: vec![],
+            geotag_rate: 0.05,
+            population_size: 1000,
+        };
+        b.iter(|| black_box(tweeql_firehose::generate(black_box(&s), 1)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_regex,
+    bench_aho_corasick,
+    bench_text_pipeline,
+    bench_lru,
+    bench_generator,
+);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! E6 — engine throughput: wall-clock tweets/second of the TweeQL
+//! processor on the paper's three example queries plus a raw scan
+//! baseline, with per-stage tuple counts.
+
+use std::time::Instant;
+use tweeql::engine::{Engine, EngineConfig, QueryResult};
+use tweeql::udf::ServiceConfig;
+use tweeql_firehose::scenario::{Scenario, Topic};
+use tweeql_firehose::{generate, StreamingApi};
+use tweeql_geo::latency::LatencyModel;
+use tweeql_model::{Duration, Tweet, VirtualClock};
+
+/// One query's throughput measurement.
+#[derive(Debug, Clone)]
+pub struct E6Row {
+    /// Query label.
+    pub query: &'static str,
+    /// Firehose tweets scanned.
+    pub scanned: u64,
+    /// Output rows.
+    pub rows: usize,
+    /// Wall-clock seconds.
+    pub wall_secs: f64,
+    /// Firehose tweets processed per wall-clock second.
+    pub tweets_per_sec: f64,
+}
+
+/// The benchmark's standard firehose (generated once, reused).
+pub fn firehose(seed: u64) -> Vec<Tweet> {
+    let mut topic = Topic::new("obama", vec!["obama"], 60.0);
+    topic.hotspot_cities = vec!["New York".into()];
+    topic.hotspot_boost = 2.0;
+    let s = Scenario {
+        name: "e6".into(),
+        duration: Duration::from_mins(30),
+        background_rate_per_min: 200.0,
+        topics: vec![topic],
+        bursts: vec![],
+        geotag_rate: 0.1,
+        population_size: 3000,
+    };
+    generate(&s, seed)
+}
+
+/// The four benchmark queries.
+pub const QUERIES: &[(&str, &str)] = &[
+    (
+        "scan+project",
+        "SELECT text FROM twitter",
+    ),
+    (
+        "paper Q1 (sentiment+geocode)",
+        "SELECT sentiment(text), latitude(loc), longitude(loc) \
+         FROM twitter WHERE text contains 'obama'",
+    ),
+    (
+        "paper Q2 (conjunctive filters)",
+        "SELECT text FROM twitter \
+         WHERE text contains 'obama' AND location in [bounding box for NYC]",
+    ),
+    (
+        "paper Q3 (windowed geo agg)",
+        "SELECT AVG(sentiment(text)), floor(latitude(loc)) AS lat, \
+         floor(longitude(loc)) AS long \
+         FROM twitter WHERE text contains 'obama' \
+         GROUP BY lat, long WINDOW 10 minutes",
+    ),
+];
+
+/// Execute one query on a fresh engine over `tweets`.
+pub fn run_query(tweets: Vec<Tweet>, sql: &str) -> QueryResult {
+    let clock = VirtualClock::new();
+    let api = StreamingApi::new(tweets, clock.clone());
+    let config = EngineConfig {
+        service: ServiceConfig {
+            latency: LatencyModel::Constant(Duration::from_millis(100)),
+            cache_capacity: 65536,
+            ..ServiceConfig::default()
+        },
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::new(config, api, clock);
+    engine.execute(sql).expect("query runs")
+}
+
+/// Run the full suite.
+pub fn run(seed: u64) -> Vec<E6Row> {
+    let tweets = firehose(seed);
+    QUERIES
+        .iter()
+        .map(|(label, sql)| {
+            let t0 = Instant::now();
+            let result = run_query(tweets.clone(), sql);
+            let wall = t0.elapsed().as_secs_f64();
+            E6Row {
+                query: label,
+                scanned: result.stats.source.scanned,
+                rows: result.rows.len(),
+                wall_secs: wall,
+                tweets_per_sec: result.stats.source.scanned as f64 / wall.max(1e-9),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_queries_run_and_scan_the_stream() {
+        let rows = run(3);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.scanned > 5000, "{r:?}");
+            assert!(r.rows > 0, "{r:?}");
+            assert!(r.tweets_per_sec > 100.0, "{r:?}");
+        }
+        // Scan is the fastest; Q1 (regex-free but UDF-heavy) is slower.
+        assert!(rows[0].tweets_per_sec > rows[1].tweets_per_sec);
+    }
+}

@@ -1,0 +1,140 @@
+//! E8 — Eddies-style adaptive reordering (§2's "exploring" extension):
+//! when predicate selectivities drift mid-stream, a static conjunct
+//! order goes stale; the eddy re-learns. Cost metric: predicate
+//! evaluations per tuple (the work the paper's reordering saves).
+
+use tweeql::exec::eddy::{EddyFilter, StaticFilterChain};
+use tweeql::exec::Operator;
+use tweeql::expr::{compile_into, EvalCtx};
+use tweeql::parser::parse_expr;
+use tweeql::udf::Registry;
+use tweeql_model::{DataType, Record, Schema, SchemaRef, Timestamp, Value};
+
+/// One strategy's cost.
+#[derive(Debug, Clone)]
+pub struct E8Row {
+    /// Strategy label.
+    pub strategy: String,
+    /// Tuples processed.
+    pub tuples: u64,
+    /// Total predicate evaluations.
+    pub evaluations: u64,
+    /// Evaluations per tuple (lower is better; oracle ≈ 1 under drift).
+    pub evals_per_tuple: f64,
+    /// Tuples passed (identical across strategies).
+    pub passed: u64,
+}
+
+fn schema() -> SchemaRef {
+    Schema::shared(&[("a", DataType::Int), ("b", DataType::Int)])
+}
+
+/// A two-phase drifting stream: in phase 1 predicate `b < 0` is the
+/// selective one; halfway through, the roles flip.
+pub fn drifting_stream(n_per_phase: usize) -> Vec<Record> {
+    let s = schema();
+    let mut out = Vec::with_capacity(2 * n_per_phase);
+    for i in 0..n_per_phase {
+        // Phase 1: a ≥ 0 (pred "a<0" fails rarely... fails always),
+        // b < 0 always → "b<0" passes always, "a<0" fails always.
+        out.push(
+            Record::new(
+                s.clone(),
+                vec![Value::Int(i as i64 % 100), Value::Int(-1)],
+                Timestamp::from_millis(i as i64),
+            )
+            .unwrap(),
+        );
+    }
+    for i in 0..n_per_phase {
+        // Phase 2: flipped.
+        out.push(
+            Record::new(
+                s.clone(),
+                vec![Value::Int(-1), Value::Int(i as i64 % 100)],
+                Timestamp::from_millis((n_per_phase + i) as i64),
+            )
+            .unwrap(),
+        );
+    }
+    out
+}
+
+fn compile_preds(srcs: &[&str]) -> (Vec<tweeql::expr::CExpr>, EvalCtx) {
+    let reg = Registry::empty();
+    let mut ctx = EvalCtx::default();
+    let preds = srcs
+        .iter()
+        .map(|s| compile_into(&parse_expr(s).unwrap(), &schema(), &reg, &mut ctx).unwrap())
+        .collect();
+    (preds, ctx)
+}
+
+/// Run both strategies over the drifting stream. The static chain is
+/// ordered optimally *for phase 1* (what a plan-time optimizer would
+/// pick from its initial sample).
+pub fn run(n_per_phase: usize) -> Vec<E8Row> {
+    let stream = drifting_stream(n_per_phase);
+    let mut rows = Vec::new();
+
+    // Static: phase-1-optimal order ["a < 0" is false in phase 1 → it
+    // is the selective predicate there] — wait: in phase 1 a≥0 so
+    // "a<0" fails every tuple: evaluating it first short-circuits.
+    let (preds, ctx) = compile_preds(&["a < 0", "b < 0"]);
+    let mut static_chain = StaticFilterChain::new(preds, ctx, schema());
+    let mut passed = 0u64;
+    let mut sink = Vec::new();
+    for r in &stream {
+        static_chain.on_record(r.clone(), &mut sink).unwrap();
+    }
+    passed += sink.len() as u64;
+    rows.push(E8Row {
+        strategy: "static (phase-1-optimal order)".into(),
+        tuples: stream.len() as u64,
+        evaluations: static_chain.total_evaluations(),
+        evals_per_tuple: static_chain.total_evaluations() as f64 / stream.len() as f64,
+        passed,
+    });
+
+    // Eddy: same predicates, adaptive routing.
+    let (preds, ctx) = compile_preds(&["a < 0", "b < 0"]);
+    let mut eddy = EddyFilter::new(preds, ctx, schema()).with_tuning(0.05, 29);
+    let mut sink = Vec::new();
+    for r in &stream {
+        eddy.on_record(r.clone(), &mut sink).unwrap();
+    }
+    rows.push(E8Row {
+        strategy: "eddy (adaptive)".into(),
+        tuples: stream.len() as u64,
+        evaluations: eddy.total_evaluations(),
+        evals_per_tuple: eddy.total_evaluations() as f64 / stream.len() as f64,
+        passed: sink.len() as u64,
+    });
+
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eddy_beats_stale_static_order_under_drift() {
+        let rows = run(5000);
+        let stat = &rows[0];
+        let eddy = &rows[1];
+        // Identical results.
+        assert_eq!(stat.passed, eddy.passed);
+        // Static pays ~1 eval/tuple in phase 1 ("a<0" fails fast) but
+        // ~2 in phase 2 ("a<0" now always passes) → ~1.5 overall.
+        assert!(stat.evals_per_tuple > 1.4, "{stat:?}");
+        // The eddy converges to ~1 in both phases.
+        assert!(eddy.evals_per_tuple < 1.2, "{eddy:?}");
+        assert!(
+            eddy.evaluations * 10 < stat.evaluations * 9,
+            "eddy {} vs static {}",
+            eddy.evaluations,
+            stat.evaluations
+        );
+    }
+}

@@ -1,0 +1,393 @@
+//! The TweeQL abstract syntax tree.
+
+use tweeql_geo::BoundingBox;
+use tweeql_model::{Duration, Value};
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Logical AND.
+    And,
+    /// Logical OR.
+    Or,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference (optionally qualified: `stream.column`).
+    Column {
+        /// Qualifier (`twitter` in `twitter.text`), if any.
+        qualifier: Option<String>,
+        /// Column name, lowercased.
+        name: String,
+    },
+    /// Constant.
+    Literal(Value),
+    /// Function or UDF call.
+    Call {
+        /// Function name, lowercased.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Logical NOT.
+    Not(Box<Expr>),
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// `expr CONTAINS 'pattern'` — case-insensitive substring.
+    Contains {
+        /// Haystack expression.
+        expr: Box<Expr>,
+        /// Needle (literal in the paper's examples).
+        pattern: Box<Expr>,
+    },
+    /// `expr MATCHES 'regex'`.
+    Matches {
+        /// Subject expression.
+        expr: Box<Expr>,
+        /// Regex pattern (must be a string literal; compiled at plan time).
+        pattern: String,
+    },
+    /// `location IN [bounding box for NYC]` — the tweet's coordinates
+    /// fall inside the named box.
+    InBoundingBox {
+        /// Resolved box.
+        bbox: BoundingBox,
+        /// Original name, for display.
+        name: String,
+    },
+    /// `expr IN (v1, v2, ...)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Candidate values.
+        list: Vec<Value>,
+    },
+    /// `expr IS NULL` / `expr IS NOT NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Negated form.
+        negated: bool,
+    },
+}
+
+impl Expr {
+    /// Convenience: unqualified column.
+    pub fn col(name: &str) -> Expr {
+        Expr::Column {
+            qualifier: None,
+            name: name.to_lowercase(),
+        }
+    }
+
+    /// Convenience: literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// Flatten a conjunction into its conjuncts (a single non-AND
+    /// expression yields itself).
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        match self {
+            Expr::Binary {
+                op: BinOp::And,
+                left,
+                right,
+            } => {
+                let mut v = left.conjuncts();
+                v.extend(right.conjuncts());
+                v
+            }
+            other => vec![other],
+        }
+    }
+
+    /// Rebuild a conjunction from conjuncts. Empty input yields TRUE.
+    pub fn and_all(mut exprs: Vec<Expr>) -> Expr {
+        match exprs.len() {
+            0 => Expr::Literal(Value::Bool(true)),
+            1 => exprs.pop().unwrap(),
+            _ => {
+                let mut it = exprs.into_iter();
+                let first = it.next().unwrap();
+                it.fold(first, |acc, e| Expr::Binary {
+                    op: BinOp::And,
+                    left: Box::new(acc),
+                    right: Box::new(e),
+                })
+            }
+        }
+    }
+
+    /// Does this expression (transitively) call any function?
+    pub fn calls_function(&self, name: &str) -> bool {
+        match self {
+            Expr::Call { name: n, args } => {
+                n == name || args.iter().any(|a| a.calls_function(name))
+            }
+            Expr::Binary { left, right, .. } => {
+                left.calls_function(name) || right.calls_function(name)
+            }
+            Expr::Not(e) | Expr::Neg(e) => e.calls_function(name),
+            Expr::Contains { expr, pattern } => {
+                expr.calls_function(name) || pattern.calls_function(name)
+            }
+            Expr::Matches { expr, .. } => expr.calls_function(name),
+            Expr::InList { expr, .. } | Expr::IsNull { expr, .. } => expr.calls_function(name),
+            _ => false,
+        }
+    }
+
+    /// Column names referenced (unqualified), in first-seen order.
+    pub fn referenced_columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Column { name, .. } => {
+                if !out.contains(name) {
+                    out.push(name.clone());
+                }
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.collect_columns(out);
+                }
+            }
+            Expr::Binary { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            Expr::Not(e) | Expr::Neg(e) => e.collect_columns(out),
+            Expr::Contains { expr, pattern } => {
+                expr.collect_columns(out);
+                pattern.collect_columns(out);
+            }
+            Expr::Matches { expr, .. } => expr.collect_columns(out),
+            Expr::InList { expr, .. } | Expr::IsNull { expr, .. } => expr.collect_columns(out),
+            Expr::Literal(_) | Expr::InBoundingBox { .. } => {}
+        }
+    }
+}
+
+/// Aggregate function names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)` or `COUNT(expr)`.
+    Count,
+    /// `SUM(expr)`.
+    Sum,
+    /// `AVG(expr)`.
+    Avg,
+    /// `MIN(expr)`.
+    Min,
+    /// `MAX(expr)`.
+    Max,
+    /// Sample standard deviation.
+    StdDev,
+    /// `COUNT(DISTINCT expr)` — approximate not needed; exact set.
+    CountDistinct,
+    /// `TOPK(expr, k)` — SpaceSaving heavy hitters (bounded memory).
+    TopK(u32),
+}
+
+impl AggFunc {
+    /// Parse an aggregate function name.
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        Some(match name {
+            "count" => AggFunc::Count,
+            "sum" => AggFunc::Sum,
+            "avg" => AggFunc::Avg,
+            "min" => AggFunc::Min,
+            "max" => AggFunc::Max,
+            "stddev" => AggFunc::StdDev,
+            "count_distinct" => AggFunc::CountDistinct,
+            _ => return None,
+        })
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::StdDev => "stddev",
+            AggFunc::CountDistinct => "count_distinct",
+            AggFunc::TopK(_) => "topk",
+        }
+    }
+}
+
+/// One item in the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// An expression with optional alias.
+    Expr {
+        /// The expression (may contain aggregate calls).
+        expr: Expr,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// The WINDOW clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WindowSpec {
+    /// `WINDOW 3 hours` — tumbling time window.
+    Time(Duration),
+    /// `WINDOW 100 TUPLES` — per-group count window.
+    Count(u64),
+    /// `WINDOW CONFIDENCE 0.1 [MAX 3 hours]` — CONTROL-style: emit a
+    /// group when the 95% CI half-width of its first AVG aggregate is ≤
+    /// epsilon, or when the group has waited `max_age`.
+    Confidence {
+        /// CI half-width target (absolute, in aggregate units).
+        epsilon: f64,
+        /// Deadline after which the group is emitted regardless.
+        max_age: Option<Duration>,
+    },
+    /// `WINDOW 10 minutes SLIDE 1 minute` — overlapping (hopping)
+    /// windows of `size`, advancing by `slide`.
+    Sliding {
+        /// Window length.
+        size: Duration,
+        /// Hop between window starts (must divide into sensible hops;
+        /// `slide == size` degenerates to tumbling).
+        slide: Duration,
+    },
+}
+
+/// A join clause: `FROM left JOIN right ON left_col = right_col`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    /// Right stream name.
+    pub stream: String,
+    /// Equality key on the left stream.
+    pub left_col: String,
+    /// Equality key on the right stream.
+    pub right_col: String,
+}
+
+/// A full TweeQL SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Projection list.
+    pub select: Vec<SelectItem>,
+    /// Source stream name.
+    pub from: String,
+    /// Optional join.
+    pub join: Option<JoinClause>,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+    /// GROUP BY column/alias names.
+    pub group_by: Vec<String>,
+    /// HAVING predicate over aggregate outputs.
+    pub having: Option<Expr>,
+    /// WINDOW clause.
+    pub window: Option<WindowSpec>,
+    /// LIMIT n.
+    pub limit: Option<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjunct_flattening_round_trip() {
+        let e = Expr::and_all(vec![Expr::col("a"), Expr::col("b"), Expr::col("c")]);
+        let cs = e.conjuncts();
+        assert_eq!(cs.len(), 3);
+        assert_eq!(cs[0], &Expr::col("a"));
+        assert_eq!(cs[2], &Expr::col("c"));
+        // Singleton and empty cases.
+        assert_eq!(Expr::and_all(vec![Expr::col("x")]), Expr::col("x"));
+        assert_eq!(
+            Expr::and_all(vec![]),
+            Expr::Literal(Value::Bool(true))
+        );
+    }
+
+    #[test]
+    fn calls_function_walks_tree() {
+        let e = Expr::Binary {
+            op: BinOp::Add,
+            left: Box::new(Expr::Call {
+                name: "floor".into(),
+                args: vec![Expr::Call {
+                    name: "latitude".into(),
+                    args: vec![Expr::col("loc")],
+                }],
+            }),
+            right: Box::new(Expr::lit(1i64)),
+        };
+        assert!(e.calls_function("latitude"));
+        assert!(e.calls_function("floor"));
+        assert!(!e.calls_function("sentiment"));
+    }
+
+    #[test]
+    fn referenced_columns_deduplicated_in_order() {
+        let e = Expr::Binary {
+            op: BinOp::And,
+            left: Box::new(Expr::Contains {
+                expr: Box::new(Expr::col("text")),
+                pattern: Box::new(Expr::lit("obama")),
+            }),
+            right: Box::new(Expr::Binary {
+                op: BinOp::Gt,
+                left: Box::new(Expr::col("followers")),
+                right: Box::new(Expr::col("text")),
+            }),
+        };
+        assert_eq!(e.referenced_columns(), vec!["text", "followers"]);
+    }
+
+    #[test]
+    fn agg_func_names() {
+        assert_eq!(AggFunc::from_name("avg"), Some(AggFunc::Avg));
+        assert_eq!(AggFunc::from_name("nope"), None);
+        assert_eq!(AggFunc::CountDistinct.name(), "count_distinct");
+    }
+}

@@ -1,0 +1,71 @@
+//! The stream catalog: names → schemas.
+
+use crate::error::QueryError;
+use std::collections::HashMap;
+use tweeql_model::{record::twitter_schema, SchemaRef};
+
+/// Registered streams.
+#[derive(Clone)]
+pub struct Catalog {
+    streams: HashMap<String, SchemaRef>,
+}
+
+impl Catalog {
+    /// A catalog with the `twitter` stream pre-registered.
+    pub fn with_twitter() -> Catalog {
+        let mut c = Catalog {
+            streams: HashMap::new(),
+        };
+        c.register("twitter", twitter_schema());
+        c
+    }
+
+    /// Register (or replace) a stream.
+    pub fn register(&mut self, name: &str, schema: SchemaRef) {
+        self.streams.insert(name.to_lowercase(), schema);
+    }
+
+    /// Look up a stream's schema.
+    pub fn resolve(&self, name: &str) -> Result<SchemaRef, QueryError> {
+        self.streams
+            .get(&name.to_lowercase())
+            .cloned()
+            .ok_or_else(|| QueryError::UnknownStream(name.to_string()))
+    }
+
+    /// Registered stream names (sorted).
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.streams.keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Catalog::with_twitter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tweeql_model::{DataType, Schema};
+
+    #[test]
+    fn twitter_preregistered() {
+        let c = Catalog::with_twitter();
+        let s = c.resolve("twitter").unwrap();
+        assert!(s.index_of("text").is_some());
+        assert!(c.resolve("TWITTER").is_ok(), "case-insensitive");
+        assert!(c.resolve("missing").is_err());
+    }
+
+    #[test]
+    fn register_custom_stream() {
+        let mut c = Catalog::with_twitter();
+        c.register("news", Schema::shared(&[("headline", DataType::Str)]));
+        assert!(c.resolve("news").is_ok());
+        assert_eq!(c.names(), vec!["news", "twitter"]);
+    }
+}

@@ -1,0 +1,546 @@
+//! The TweeQL engine: parse → plan → choose pushdown → stream → collect.
+
+use crate::catalog::Catalog;
+use crate::error::QueryError;
+use crate::exec::join::Side;
+use crate::exec::OpStats;
+use crate::parser::parse;
+use crate::plan::{plan, PlanConfig, PlannedQuery};
+use crate::selectivity::{choose_filter, PushdownDecision};
+use crate::udf::{Registry, ServiceConfig, SharedGeoService};
+use std::sync::Arc;
+use tweeql_firehose::api::ConnectionStats;
+use tweeql_firehose::{FilterSpec, StreamingApi};
+use tweeql_geo::cache::CacheStats;
+use tweeql_model::{Duration, Record, SchemaRef, Timestamp, Value, VirtualClock};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Simulated web-service knobs (latency, cache, batching).
+    pub service: ServiceConfig,
+    /// How often punctuation is injected (stream time).
+    pub watermark_interval: Duration,
+    /// Firehose tweets scanned per candidate during selectivity probing.
+    pub selectivity_sample: usize,
+    /// Use the adaptive eddy for multi-predicate filters.
+    pub use_eddy: bool,
+    /// Async-UDF batch release bounds.
+    pub async_max_batch: usize,
+    /// Max stream-time a tuple waits in a partial async batch.
+    pub async_max_delay: Duration,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            service: ServiceConfig::default(),
+            watermark_interval: Duration::from_secs(1),
+            selectivity_sample: 2000,
+            use_eddy: false,
+            async_max_batch: 25,
+            async_max_delay: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Post-run statistics.
+#[derive(Debug, Clone)]
+pub struct QueryStats {
+    /// Pushdown decision rendered for humans.
+    pub pushdown: String,
+    /// Source connection delivery stats.
+    pub source: ConnectionStats,
+    /// Per-stage tuple counters.
+    pub stages: Vec<(String, OpStats)>,
+    /// Geocoding web-service stats (requests, modeled time, cache).
+    pub geo_requests: u64,
+    /// Total modeled web-service latency.
+    pub geo_service_time: Duration,
+    /// Geocode cache statistics.
+    pub geo_cache: CacheStats,
+    /// Stream time consumed by the run.
+    pub stream_time: Duration,
+}
+
+/// The result of a collected query run.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Output schema.
+    pub schema: SchemaRef,
+    /// Output records.
+    pub rows: Vec<Record>,
+    /// Run statistics.
+    pub stats: QueryStats,
+}
+
+impl QueryResult {
+    /// Values of the named column across all rows.
+    pub fn column(&self, name: &str) -> Result<Vec<Value>, QueryError> {
+        let idx = self
+            .schema
+            .index_of(name)
+            .ok_or_else(|| QueryError::UnknownColumn(name.to_string()))?;
+        Ok(self.rows.iter().map(|r| r.value(idx).clone()).collect())
+    }
+
+    /// Render as CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        crate::sink::to_csv(&self.schema, &self.rows)
+    }
+
+    /// Render as JSON lines (one object per row).
+    pub fn to_json_lines(&self) -> String {
+        crate::sink::to_json_lines(&self.schema, &self.rows)
+    }
+
+    /// Render as an ASCII table (REPL output).
+    pub fn render_table(&self, max_rows: usize) -> String {
+        let names = self.schema.names();
+        let mut widths: Vec<usize> = names.iter().map(|n| n.len()).collect();
+        let shown: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .take(max_rows)
+            .map(|r| r.values().iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &shown {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count().min(48));
+            }
+        }
+        let mut out = String::new();
+        let sep = |out: &mut String| {
+            out.push('+');
+            for w in &widths {
+                out.push_str(&"-".repeat(w + 2));
+                out.push('+');
+            }
+            out.push('\n');
+        };
+        sep(&mut out);
+        out.push('|');
+        for (n, w) in names.iter().zip(&widths) {
+            out.push_str(&format!(" {n:<w$} |"));
+        }
+        out.push('\n');
+        sep(&mut out);
+        for row in &shown {
+            out.push('|');
+            for (cell, w) in row.iter().zip(&widths) {
+                let trunc: String = cell.chars().take(48).collect();
+                out.push_str(&format!(" {trunc:<w$} |"));
+            }
+            out.push('\n');
+        }
+        sep(&mut out);
+        if self.rows.len() > max_rows {
+            out.push_str(&format!("… {} more rows\n", self.rows.len() - max_rows));
+        }
+        out
+    }
+}
+
+/// The TweeQL query engine.
+pub struct Engine {
+    config: EngineConfig,
+    api: StreamingApi,
+    clock: Arc<VirtualClock>,
+    catalog: Catalog,
+    registry: Registry,
+    geo: SharedGeoService,
+}
+
+impl Engine {
+    /// Build an engine over a streaming API, with the standard registry.
+    pub fn new(config: EngineConfig, api: StreamingApi, clock: Arc<VirtualClock>) -> Engine {
+        let geo = SharedGeoService::new(&config.service, Arc::clone(&clock));
+        let registry =
+            Registry::standard_with_geo(&config.service, Arc::clone(&clock), geo.clone());
+        Engine {
+            config,
+            api,
+            clock,
+            catalog: Catalog::with_twitter(),
+            registry,
+            geo,
+        }
+    }
+
+    /// Register additional UDFs (e.g. TwitInfo's peak detector).
+    pub fn registry_mut(&mut self) -> &mut Registry {
+        &mut self.registry
+    }
+
+    /// Register additional streams.
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// The engine's clock.
+    pub fn clock(&self) -> Arc<VirtualClock> {
+        Arc::clone(&self.clock)
+    }
+
+    /// EXPLAIN: the plan text plus pushdown candidates, without running.
+    pub fn explain(&self, sql: &str) -> Result<String, QueryError> {
+        let stmt = parse(sql)?;
+        let planned = self.plan_stmt(&stmt)?;
+        Ok(planned.explain)
+    }
+
+    fn plan_config(&self) -> PlanConfig {
+        PlanConfig {
+            use_eddy: self.config.use_eddy,
+            async_max_batch: self.config.async_max_batch,
+            async_max_delay: self.config.async_max_delay,
+            default_join_window: Duration::from_mins(5),
+        }
+    }
+
+    fn plan_stmt(&self, stmt: &crate::ast::SelectStmt) -> Result<PlannedQuery, QueryError> {
+        plan(stmt, &self.catalog, &self.registry, &self.plan_config())
+    }
+
+    /// Parse, plan, run to end of stream, and collect all output rows.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult, QueryError> {
+        let mut rows = Vec::new();
+        let (schema, stats) = self.execute_with_sink(sql, &mut |r: &Record| rows.push(r.clone()))?;
+        Ok(QueryResult {
+            schema,
+            rows,
+            stats,
+        })
+    }
+
+    /// Parse, plan, run, pushing each output record into `sink`.
+    pub fn execute_with_sink(
+        &mut self,
+        sql: &str,
+        sink: &mut dyn FnMut(&Record),
+    ) -> Result<(SchemaRef, QueryStats), QueryError> {
+        let stmt = parse(sql)?;
+        let mut planned = self.plan_stmt(&stmt)?;
+        let started_at = {
+            use tweeql_model::Clock;
+            self.clock.now()
+        };
+
+        // ---- uncertain selectivities: choose the pushdown filter ----
+        let decision: PushdownDecision = choose_filter(
+            &self.api,
+            &planned.api_candidates,
+            self.config.selectivity_sample,
+        );
+        let pushdown = decision.describe(&planned.api_candidates);
+        let filter = decision.filter(&planned.api_candidates);
+
+        let source_stats = match planned.join.take() {
+            None => self.run_single(&mut planned, filter, sink)?,
+            Some(join) => self.run_join(&mut planned, join, sink)?,
+        };
+
+        let ended_at = {
+            use tweeql_model::Clock;
+            self.clock.now()
+        };
+        let stats = QueryStats {
+            pushdown,
+            source: source_stats,
+            stages: planned.pipeline.stage_stats(),
+            geo_requests: self.geo.requests_issued(),
+            geo_service_time: self.geo.modeled_service_time(),
+            geo_cache: self.geo.cache_stats(),
+            stream_time: ended_at.since(started_at),
+        };
+        Ok((planned.output_schema.clone(), stats))
+    }
+
+    fn run_single(
+        &mut self,
+        planned: &mut PlannedQuery,
+        filter: FilterSpec,
+        sink: &mut dyn FnMut(&Record),
+    ) -> Result<ConnectionStats, QueryError> {
+        let mut conn = self.api.connect(filter);
+        let wm_interval = self.config.watermark_interval;
+        let mut next_wm: Option<Timestamp> = None;
+        let mut out = Vec::new();
+        for tweet in conn.by_ref() {
+            let rec = Record::from_tweet(&tweet);
+            let ts = rec.timestamp();
+            // Inject punctuation when stream time crosses boundaries.
+            if let Some(wm) = next_wm {
+                if ts >= wm {
+                    let boundary = ts.truncate(wm_interval);
+                    planned.pipeline.watermark(boundary, &mut out)?;
+                }
+            }
+            next_wm = Some(ts.truncate(wm_interval) + wm_interval);
+            planned.pipeline.push(rec, &mut out)?;
+            for r in out.drain(..) {
+                sink(&r);
+            }
+            if planned.pipeline.done() {
+                break;
+            }
+        }
+        planned.pipeline.finish(&mut out)?;
+        for r in out.drain(..) {
+            sink(&r);
+        }
+        Ok(conn.stats())
+    }
+
+    fn run_join(
+        &mut self,
+        planned: &mut PlannedQuery,
+        mut pj: crate::plan::PlannedJoin,
+        sink: &mut dyn FnMut(&Record),
+    ) -> Result<ConnectionStats, QueryError> {
+        // Both sides read the full stream (no pushdown across a join).
+        let mut left = self.api.connect(FilterSpec::Sample(1.0));
+        let mut right = self.api.connect(FilterSpec::Sample(1.0));
+        let _ = &pj.right_stream;
+        let step = self.config.watermark_interval;
+        let mut t = Timestamp::ZERO + step;
+        let mut out = Vec::new();
+        let horizon = Timestamp::from_millis(i64::MAX / 2);
+        loop {
+            let mut joined: Vec<Record> = Vec::new();
+            let mut l_records = Vec::new();
+            let nl = left.poll_until(t.min(horizon), |tw| l_records.push(Record::from_tweet(&tw)));
+            for rec in l_records {
+                joined.extend(pj.join.push(Side::Left, rec)?);
+            }
+            let mut r_records = Vec::new();
+            let nr = right.poll_until(t.min(horizon), |tw| r_records.push(Record::from_tweet(&tw)));
+            for rec in r_records {
+                joined.extend(pj.join.push(Side::Right, rec)?);
+            }
+            for rec in joined {
+                planned.pipeline.push(rec, &mut out)?;
+            }
+            planned.pipeline.watermark(t, &mut out)?;
+            for r in out.drain(..) {
+                sink(&r);
+            }
+            if planned.pipeline.done() {
+                break;
+            }
+            if nl == 0 && nr == 0 && left.stats().scanned as usize >= self.api.firehose_len() {
+                break;
+            }
+            t += step;
+        }
+        planned.pipeline.finish(&mut out)?;
+        for r in out.drain(..) {
+            sink(&r);
+        }
+        Ok(left.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tweeql_firehose::scenario::{Burst, Scenario, Topic};
+    use tweeql_firehose::{generate, scenarios};
+    use tweeql_geo::latency::LatencyModel;
+    use tweeql_model::Clock;
+
+    fn small_api(clock: Arc<VirtualClock>) -> StreamingApi {
+        let s = Scenario {
+            name: "engine-test".into(),
+            duration: Duration::from_mins(10),
+            background_rate_per_min: 60.0,
+            topics: vec![{
+                let mut t = Topic::new("obama", vec!["obama"], 30.0);
+                t.sentiment_bias = 0.4;
+                t
+            }],
+            bursts: vec![Burst {
+                topic: 0,
+                label: "speech".into(),
+                start: Timestamp::from_mins(5),
+                ramp_up: Duration::from_mins(1),
+                ramp_down: Duration::from_mins(2),
+                peak_multiplier: 6.0,
+                phrases: vec!["speech".into()],
+                sentiment_bias: 0.5,
+                url: None,
+            }],
+            geotag_rate: 0.3,
+            population_size: 500,
+        };
+        StreamingApi::new(generate(&s, 99), clock)
+    }
+
+    fn engine() -> Engine {
+        let clock = VirtualClock::new();
+        let api = small_api(Arc::clone(&clock));
+        let cfg = EngineConfig {
+            service: ServiceConfig {
+                latency: LatencyModel::Constant(Duration::from_millis(100)),
+                ..ServiceConfig::default()
+            },
+            ..EngineConfig::default()
+        };
+        Engine::new(cfg, api, clock)
+    }
+
+    #[test]
+    fn select_with_filter_and_limit() {
+        let mut e = engine();
+        let r = e
+            .execute("SELECT text FROM twitter WHERE text contains 'obama' LIMIT 10")
+            .unwrap();
+        assert_eq!(r.rows.len(), 10);
+        for row in &r.rows {
+            assert!(row.value(0).to_string().to_lowercase().contains("obama"));
+        }
+        assert!(r.stats.pushdown.contains("track"));
+    }
+
+    #[test]
+    fn paper_query_one_runs_end_to_end() {
+        let mut e = engine();
+        let r = e
+            .execute(
+                "SELECT sentiment(text), latitude(loc), longitude(loc) \
+                 FROM twitter WHERE text contains 'obama' LIMIT 50",
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 50);
+        assert_eq!(r.schema.names(), vec!["sentiment", "latitude", "longitude"]);
+        // Some locations geocode, some are garbage → NULL.
+        let lats = r.column("latitude").unwrap();
+        assert!(lats.iter().any(|v| matches!(v, Value::Float(_))));
+        // The web service was exercised with caching.
+        assert!(r.stats.geo_requests > 0);
+        assert!(r.stats.geo_cache.hits > 0);
+    }
+
+    #[test]
+    fn paper_query_two_selects_location_pushdown() {
+        let mut e = engine();
+        let r = e
+            .execute(
+                "SELECT text FROM twitter \
+                 WHERE text contains 'obama' AND location in [bounding box for NYC]",
+            )
+            .unwrap();
+        // The NYC geotag filter is far rarer than the keyword.
+        assert!(
+            r.stats.pushdown.contains("locations(nyc)"),
+            "{}",
+            r.stats.pushdown
+        );
+        assert!(!r.rows.is_empty());
+    }
+
+    #[test]
+    fn windowed_group_by_emits_multiple_windows() {
+        let mut e = engine();
+        let r = e
+            .execute(
+                "SELECT count(*) AS c, lang FROM twitter \
+                 WHERE text contains 'obama' GROUP BY lang WINDOW 2 minutes",
+            )
+            .unwrap();
+        assert!(r.rows.len() > 3, "rows = {}", r.rows.len());
+        let total: i64 = r
+            .column("c")
+            .unwrap()
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .sum();
+        assert!(total > 100);
+    }
+
+    #[test]
+    fn aggregate_without_group_by() {
+        let mut e = engine();
+        let r = e
+            .execute("SELECT count(*), avg(followers) FROM twitter")
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        let n = r.rows[0].value(0).as_int().unwrap();
+        assert!(n > 500);
+        assert!(r.rows[0].value(1).as_float().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn stats_track_stages_and_stream_time() {
+        let mut e = engine();
+        let r = e
+            .execute("SELECT text FROM twitter WHERE text contains 'obama'")
+            .unwrap();
+        assert!(!r.stats.stages.is_empty());
+        let (name, s) = &r.stats.stages[0];
+        assert_eq!(name, "where");
+        assert!(s.records_in > 0);
+        assert!(r.stats.stream_time >= Duration::from_mins(9));
+        assert!(r.stats.source.scanned > 0);
+    }
+
+    #[test]
+    fn explain_does_not_run() {
+        let e = engine();
+        let text = e
+            .explain("SELECT sentiment(text) FROM twitter WHERE text contains 'x'")
+            .unwrap();
+        assert!(text.contains("project"));
+        assert_eq!(e.clock().now(), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let mut e = engine();
+        assert!(e.execute("SELEC nope").is_err());
+        assert!(e.execute("SELECT missing_col FROM twitter").is_err());
+        assert!(e.execute("SELECT x FROM missing_stream").is_err());
+    }
+
+    #[test]
+    fn render_table_formats() {
+        let mut e = engine();
+        let r = e
+            .execute("SELECT screen_name, followers FROM twitter LIMIT 3")
+            .unwrap();
+        let table = r.render_table(10);
+        assert!(table.contains("screen_name"));
+        assert!(table.lines().count() >= 7);
+    }
+
+    #[test]
+    fn self_join_runs() {
+        let mut e = engine();
+        let r = e
+            .execute(
+                "SELECT screen_name FROM twitter JOIN twitter \
+                 ON screen_name = screen_name WINDOW 1 minutes LIMIT 5",
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 5);
+    }
+
+    #[test]
+    fn full_scenario_soccer_smoke() {
+        let clock = VirtualClock::new();
+        let mut sc = scenarios::soccer_match();
+        sc.duration = Duration::from_mins(20);
+        sc.bursts.retain(|b| b.end() <= Timestamp::ZERO + sc.duration);
+        sc.population_size = 400;
+        let api = StreamingApi::new(generate(&sc, 5), Arc::clone(&clock));
+        let mut e = Engine::new(EngineConfig::default(), api, clock);
+        let r = e
+            .execute(
+                "SELECT count(*) AS c FROM twitter \
+                 WHERE text contains 'manchester' OR text contains 'liverpool' \
+                 WINDOW 1 minutes",
+            )
+            .unwrap();
+        assert!(r.rows.len() >= 15, "rows = {}", r.rows.len());
+    }
+}

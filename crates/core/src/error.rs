@@ -1,0 +1,94 @@
+//! Error types spanning parse, plan, and execution.
+
+use std::fmt;
+use tweeql_model::ModelError;
+
+/// Any error a TweeQL query can raise.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// Lex/parse failure with byte position in the query text.
+    Parse {
+        /// What went wrong.
+        message: String,
+        /// Byte offset in the query string.
+        position: usize,
+    },
+    /// Semantic analysis / planning failure.
+    Plan(String),
+    /// Unknown stream in FROM.
+    UnknownStream(String),
+    /// Unknown function or UDF.
+    UnknownFunction(String),
+    /// Unknown column reference.
+    UnknownColumn(String),
+    /// Wrong number/type of arguments to a function.
+    BadArguments {
+        /// Function name.
+        function: String,
+        /// Explanation.
+        message: String,
+    },
+    /// Runtime evaluation error.
+    Exec(String),
+}
+
+impl QueryError {
+    /// Shorthand for parse errors.
+    pub fn parse(message: impl Into<String>, position: usize) -> QueryError {
+        QueryError::Parse {
+            message: message.into(),
+            position,
+        }
+    }
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse { message, position } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            QueryError::Plan(m) => write!(f, "planning error: {m}"),
+            QueryError::UnknownStream(s) => write!(f, "unknown stream: {s}"),
+            QueryError::UnknownFunction(s) => write!(f, "unknown function: {s}"),
+            QueryError::UnknownColumn(s) => write!(f, "unknown column: {s}"),
+            QueryError::BadArguments { function, message } => {
+                write!(f, "bad arguments to {function}(): {message}")
+            }
+            QueryError::Exec(m) => write!(f, "execution error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<ModelError> for QueryError {
+    fn from(e: ModelError) -> Self {
+        QueryError::Exec(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(QueryError::parse("oops", 7).to_string().contains("byte 7"));
+        assert!(QueryError::UnknownStream("x".into())
+            .to_string()
+            .contains("unknown stream"));
+        assert!(QueryError::BadArguments {
+            function: "floor".into(),
+            message: "wants 1 arg".into()
+        }
+        .to_string()
+        .contains("floor()"));
+    }
+
+    #[test]
+    fn model_error_converts() {
+        let e: QueryError = ModelError::UnknownColumn("lat".into()).into();
+        assert!(matches!(e, QueryError::Exec(_)));
+    }
+}

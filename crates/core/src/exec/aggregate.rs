@@ -1,0 +1,700 @@
+//! The windowed GROUP BY / aggregation operator.
+//!
+//! Three window policies (§2 "Uneven Aggregate Groups"):
+//!
+//! * **time** — aligned tumbling windows (`WINDOW 3 hours`), flushed by
+//!   watermark/record progress;
+//! * **count** — per-group count windows (`WINDOW 100 TUPLES`);
+//! * **confidence** — CONTROL-style (`WINDOW CONFIDENCE 0.1 MAX 3
+//!   hours`): each group emits as soon as its first AVG aggregate
+//!   reaches the CI target, so dense groups (Tokyo) emit quickly and
+//!   sparse groups (Cape Town) are not averaged over stale data.
+//!
+//! Output layout is canonical: group-key columns first (in GROUP BY
+//! order), then one column per aggregate. The planner adds a downstream
+//! projection to restore SELECT order.
+
+use super::confidence::ConfidenceTracker;
+use super::topk::SpaceSaving;
+use super::Operator;
+use crate::ast::AggFunc;
+use crate::error::QueryError;
+use crate::expr::{CExpr, EvalCtx};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+use tweeql_model::{Duration, Record, SchemaRef, Timestamp, Value};
+
+/// Window policy (compiled form of [`crate::ast::WindowSpec`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WindowPolicy {
+    /// Aggregate the whole stream, flush at end.
+    Unbounded,
+    /// Aligned tumbling time windows.
+    Time(Duration),
+    /// Per-group count windows.
+    Count(u64),
+    /// CONTROL-style confidence windows on the first AVG aggregate.
+    Confidence {
+        /// CI half-width target.
+        epsilon: f64,
+        /// Emission deadline.
+        max_age: Option<Duration>,
+    },
+    /// Overlapping (hopping) windows: length `size`, advancing `slide`.
+    Sliding {
+        /// Window length.
+        size: Duration,
+        /// Hop between window starts.
+        slide: Duration,
+    },
+}
+
+/// One aggregate to compute.
+pub struct AggExpr {
+    /// Which function.
+    pub func: AggFunc,
+    /// Argument (None only for COUNT(*)).
+    pub arg: Option<CExpr>,
+}
+
+/// Running state for one aggregate in one group.
+enum AggState {
+    Count(u64),
+    Sum { sum: f64, seen: bool },
+    Avg { sum: f64, n: u64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+    StdDev(ConfidenceTracker),
+    CountDistinct(HashSet<Value>),
+    TopK { sketch: SpaceSaving, k: usize },
+}
+
+impl AggState {
+    fn new(func: AggFunc) -> AggState {
+        match func {
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum => AggState::Sum {
+                sum: 0.0,
+                seen: false,
+            },
+            AggFunc::Avg => AggState::Avg { sum: 0.0, n: 0 },
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+            AggFunc::StdDev => AggState::StdDev(ConfidenceTracker::new()),
+            AggFunc::CountDistinct => AggState::CountDistinct(HashSet::new()),
+            AggFunc::TopK(k) => AggState::TopK {
+                // 8× headroom keeps heavy hitters accurate under churn.
+                sketch: SpaceSaving::new((k as usize) * 8 + 8),
+                k: k as usize,
+            },
+        }
+    }
+
+    /// Ingest one value (None = COUNT(*) with no argument).
+    fn update(&mut self, v: Option<&Value>, ts: Timestamp) {
+        match self {
+            AggState::Count(n) => {
+                // COUNT(expr) skips NULLs; COUNT(*) counts rows.
+                if v.is_none_or(|x| !x.is_null()) {
+                    *n += 1;
+                }
+            }
+            AggState::Sum { sum, seen } => {
+                if let Some(x) = v {
+                    if let Ok(f) = x.as_float() {
+                        *sum += f;
+                        *seen = true;
+                    }
+                }
+            }
+            AggState::Avg { sum, n } => {
+                if let Some(x) = v {
+                    if let Ok(f) = x.as_float() {
+                        *sum += f;
+                        *n += 1;
+                    }
+                }
+            }
+            AggState::Min(cur) => {
+                if let Some(x) = v {
+                    if !x.is_null()
+                        && cur
+                            .as_ref()
+                            .is_none_or(|c| x.compare(c) == Some(std::cmp::Ordering::Less))
+                    {
+                        *cur = Some(x.clone());
+                    }
+                }
+            }
+            AggState::Max(cur) => {
+                if let Some(x) = v {
+                    if !x.is_null()
+                        && cur
+                            .as_ref()
+                            .is_none_or(|c| x.compare(c) == Some(std::cmp::Ordering::Greater))
+                    {
+                        *cur = Some(x.clone());
+                    }
+                }
+            }
+            AggState::StdDev(t) => {
+                if let Some(x) = v {
+                    if let Ok(f) = x.as_float() {
+                        t.observe(f, ts);
+                    }
+                }
+            }
+            AggState::CountDistinct(set) => {
+                if let Some(x) = v {
+                    if !x.is_null() {
+                        set.insert(x.clone());
+                    }
+                }
+            }
+            AggState::TopK { sketch, .. } => {
+                if let Some(x) = v {
+                    match x {
+                        Value::Null => {}
+                        // Lists (e.g. urls(text)) contribute each element.
+                        Value::List(items) => {
+                            for it in items {
+                                if !it.is_null() {
+                                    sketch.observe(it);
+                                }
+                            }
+                        }
+                        other => sketch.observe(other),
+                    }
+                }
+            }
+        }
+    }
+
+    fn finalize(&self) -> Value {
+        match self {
+            AggState::Count(n) => Value::Int(*n as i64),
+            AggState::Sum { sum, seen } => {
+                if *seen {
+                    Value::Float(*sum)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::Avg { sum, n } => {
+                if *n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(*sum / *n as f64)
+                }
+            }
+            AggState::Min(v) | AggState::Max(v) => v.clone().unwrap_or(Value::Null),
+            AggState::StdDev(t) => t.variance().map(|v| Value::Float(v.sqrt())).unwrap_or(Value::Null),
+            AggState::CountDistinct(set) => Value::Int(set.len() as i64),
+            AggState::TopK { sketch, k } => Value::List(
+                sketch
+                    .top(*k)
+                    .into_iter()
+                    .map(|(item, _, _)| item)
+                    .collect(),
+            ),
+        }
+    }
+}
+
+struct Group {
+    states: Vec<AggState>,
+    /// Tuples in the group (count windows).
+    n: u64,
+    /// Confidence tracking of the target aggregate.
+    confidence: ConfidenceTracker,
+    /// Latest contributing tuple time (emitted record timestamp).
+    last_ts: Timestamp,
+}
+
+/// The aggregation operator.
+pub struct AggregateOp {
+    key_exprs: Vec<CExpr>,
+    aggs: Vec<AggExpr>,
+    ctx: EvalCtx,
+    policy: WindowPolicy,
+    schema: SchemaRef,
+    groups: HashMap<Vec<Value>, Group>,
+    /// Exclusive end of the current time window.
+    window_end: Option<Timestamp>,
+    /// Sliding-window state: window start (ms) → groups.
+    sliding: std::collections::BTreeMap<i64, HashMap<Vec<Value>, Group>>,
+    /// Index of the aggregate driving confidence emission.
+    confidence_target: usize,
+}
+
+impl AggregateOp {
+    /// Build. `schema` must be `[keys..., aggs...]`. For
+    /// `WindowPolicy::Confidence`, `confidence_target` is the index (into
+    /// `aggs`) of the AVG whose CI is tracked.
+    pub fn new(
+        key_exprs: Vec<CExpr>,
+        aggs: Vec<AggExpr>,
+        ctx: EvalCtx,
+        policy: WindowPolicy,
+        schema: SchemaRef,
+        confidence_target: usize,
+    ) -> AggregateOp {
+        debug_assert_eq!(schema.len(), key_exprs.len() + aggs.len());
+        AggregateOp {
+            key_exprs,
+            aggs,
+            ctx,
+            policy,
+            schema,
+            groups: HashMap::new(),
+            window_end: None,
+            sliding: std::collections::BTreeMap::new(),
+            confidence_target,
+        }
+    }
+
+    fn emit_group(&self, key: &[Value], g: &Group, out: &mut Vec<Record>) {
+        let mut values = Vec::with_capacity(self.schema.len());
+        values.extend(key.iter().cloned());
+        for s in &g.states {
+            values.push(s.finalize());
+        }
+        out.push(Record::new_unchecked(self.schema.clone(), values, g.last_ts));
+    }
+
+    fn flush_all(&mut self, out: &mut Vec<Record>) {
+        // Deterministic output order: sort keys by display rendering.
+        let mut entries: Vec<(Vec<Value>, Group)> = self.groups.drain().collect();
+        entries.sort_by_key(|(k, _)| {
+            k.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("\u{1}")
+        });
+        for (key, group) in entries {
+            self.emit_group(&key, &group, out);
+        }
+    }
+
+    fn advance_time_windows(
+        &mut self,
+        now: Timestamp,
+        out: &mut Vec<Record>,
+    ) {
+        match self.policy {
+            WindowPolicy::Time(_) => {
+                if let Some(end) = self.window_end {
+                    if now >= end {
+                        self.flush_all(out);
+                        self.window_end = None;
+                    }
+                }
+            }
+            WindowPolicy::Sliding { size, .. } => {
+                // Flush every window whose end has passed, oldest first.
+                let due: Vec<i64> = self
+                    .sliding
+                    .range(..=(now.millis() - size.millis()))
+                    .map(|(&s, _)| s)
+                    .collect();
+                for start in due {
+                    if let Some(groups) = self.sliding.remove(&start) {
+                        let mut entries: Vec<(Vec<Value>, Group)> =
+                            groups.into_iter().collect();
+                        entries.sort_by_key(|(k, _)| {
+                            k.iter()
+                                .map(|v| v.to_string())
+                                .collect::<Vec<_>>()
+                                .join("\u{1}")
+                        });
+                        for (key, group) in entries {
+                            self.emit_group(&key, &group, out);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Feed one record into every sliding window covering its timestamp.
+    fn sliding_update(
+        &mut self,
+        key: &[Value],
+        arg_values: &[Option<Value>],
+        ts: Timestamp,
+        size: Duration,
+        slide: Duration,
+    ) {
+        let slide_ms = slide.millis().max(1);
+        // Window starts are multiples of `slide`; the record belongs to
+        // starts in (ts - size, ts].
+        let last = ts.truncate(slide).millis();
+        let hops = (size.millis() - 1).div_euclid(slide_ms);
+        for h in 0..=hops {
+            let start = last - h * slide_ms;
+            // Window covers [start, start + size).
+            if ts.millis() - start >= size.millis() {
+                continue;
+            }
+            let groups = self.sliding.entry(start).or_default();
+            let group = match groups.entry(key.to_vec()) {
+                Entry::Occupied(o) => o.into_mut(),
+                Entry::Vacant(v) => v.insert(Group {
+                    states: self.aggs.iter().map(|a| AggState::new(a.func)).collect(),
+                    n: 0,
+                    confidence: ConfidenceTracker::new(),
+                    last_ts: ts,
+                }),
+            };
+            group.n += 1;
+            group.last_ts = ts;
+            for (state, v) in group.states.iter_mut().zip(arg_values) {
+                state.update(v.as_ref(), ts);
+            }
+        }
+    }
+}
+
+impl Operator for AggregateOp {
+    fn name(&self) -> &str {
+        "aggregate"
+    }
+
+    fn schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    fn on_record(&mut self, rec: Record, out: &mut Vec<Record>) -> Result<(), QueryError> {
+        let ts = rec.timestamp();
+
+        // A record past the current window closes it first.
+        self.advance_time_windows(ts, out);
+        if let (WindowPolicy::Time(d), None) = (&self.policy, self.window_end) {
+            let start = ts.truncate(*d);
+            self.window_end = Some(start + *d);
+        }
+
+        // Evaluate key and aggregate arguments.
+        let mut key = Vec::with_capacity(self.key_exprs.len());
+        for e in &self.key_exprs {
+            key.push(e.eval(&rec, &mut self.ctx)?);
+        }
+        let mut arg_values: Vec<Option<Value>> = Vec::with_capacity(self.aggs.len());
+        for a in &self.aggs {
+            arg_values.push(match &a.arg {
+                Some(e) => Some(e.eval(&rec, &mut self.ctx)?),
+                None => None,
+            });
+        }
+
+        if let WindowPolicy::Sliding { size, slide } = self.policy {
+            self.sliding_update(&key, &arg_values, ts, size, slide);
+            return Ok(());
+        }
+
+        let group = match self.groups.entry(key.clone()) {
+            Entry::Occupied(o) => o.into_mut(),
+            Entry::Vacant(v) => v.insert(Group {
+                states: self.aggs.iter().map(|a| AggState::new(a.func)).collect(),
+                n: 0,
+                confidence: ConfidenceTracker::new(),
+                last_ts: ts,
+            }),
+        };
+        group.n += 1;
+        group.last_ts = ts;
+        for (state, v) in group.states.iter_mut().zip(&arg_values) {
+            state.update(v.as_ref(), ts);
+        }
+
+        match &self.policy {
+            WindowPolicy::Count(n)
+                if group.n >= *n => {
+                    if let Some(g) = self.groups.remove(&key) {
+                        self.emit_group(&key, &g, out);
+                    }
+                }
+            WindowPolicy::Confidence { epsilon, max_age } => {
+                // Track the target aggregate's sample.
+                if let Some(Some(v)) = arg_values.get(self.confidence_target) {
+                    if let Ok(f) = v.as_float() {
+                        group.confidence.observe(f, ts);
+                    }
+                }
+                if group.confidence.should_emit(*epsilon, *max_age, ts) {
+                    if let Some(g) = self.groups.remove(&key) {
+                        self.emit_group(&key, &g, out);
+                    }
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn on_watermark(&mut self, wm: Timestamp, out: &mut Vec<Record>) -> Result<(), QueryError> {
+        self.advance_time_windows(wm, out);
+        if let WindowPolicy::Confidence {
+            epsilon,
+            max_age: Some(max_age),
+        } = self.policy
+        {
+            // Deadline-driven emission for sparse groups.
+            let due: Vec<Vec<Value>> = self
+                .groups
+                .iter()
+                .filter(|(_, g)| g.confidence.should_emit(epsilon, Some(max_age), wm))
+                .map(|(k, _)| k.clone())
+                .collect();
+            let mut emitted: Vec<(Vec<Value>, Group)> = Vec::new();
+            for k in due {
+                if let Some(g) = self.groups.remove(&k) {
+                    emitted.push((k, g));
+                }
+            }
+            emitted.sort_by_key(|(k, _)| {
+                k.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("\u{1}")
+            });
+            for (k, g) in emitted {
+                self.emit_group(&k, &g, out);
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self, out: &mut Vec<Record>) -> Result<(), QueryError> {
+        // Flush remaining sliding windows, oldest first.
+        let starts: Vec<i64> = self.sliding.keys().copied().collect();
+        for start in starts {
+            if let Some(groups) = self.sliding.remove(&start) {
+                let mut entries: Vec<(Vec<Value>, Group)> = groups.into_iter().collect();
+                entries.sort_by_key(|(k, _)| {
+                    k.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("\u{1}")
+                });
+                for (key, group) in entries {
+                    self.emit_group(&key, &group, out);
+                }
+            }
+        }
+        self.flush_all(out);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::compile_into;
+    use crate::parser::parse_expr;
+    use crate::udf::Registry;
+    use tweeql_model::{DataType, Schema};
+
+    fn in_schema() -> SchemaRef {
+        Schema::shared(&[("k", DataType::Str), ("x", DataType::Float)])
+    }
+
+    fn out_schema() -> SchemaRef {
+        Schema::shared(&[("k", DataType::Str), ("a", DataType::Float)])
+    }
+
+    fn rec(k: &str, x: f64, ts_s: i64) -> Record {
+        Record::new(
+            in_schema(),
+            vec![Value::from(k), Value::Float(x)],
+            Timestamp::from_secs(ts_s),
+        )
+        .unwrap()
+    }
+
+    fn make_op(policy: WindowPolicy, func: AggFunc) -> AggregateOp {
+        let mut reg = Registry::empty();
+        crate::expr::functions::register_builtins(&mut reg);
+        let mut ctx = EvalCtx::default();
+        let key =
+            compile_into(&parse_expr("k").unwrap(), &in_schema(), &reg, &mut ctx).unwrap();
+        let arg =
+            compile_into(&parse_expr("x").unwrap(), &in_schema(), &reg, &mut ctx).unwrap();
+        AggregateOp::new(
+            vec![key],
+            vec![AggExpr {
+                func,
+                arg: Some(arg),
+            }],
+            ctx,
+            policy,
+            out_schema(),
+            0,
+        )
+    }
+
+    fn vals(out: &[Record]) -> Vec<(String, f64)> {
+        out.iter()
+            .map(|r| {
+                (
+                    r.value(0).to_string(),
+                    r.value(1).as_float().unwrap_or(f64::NAN),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn unbounded_avg_flushes_at_finish() {
+        let mut op = make_op(WindowPolicy::Unbounded, AggFunc::Avg);
+        let mut out = Vec::new();
+        op.on_record(rec("a", 1.0, 0), &mut out).unwrap();
+        op.on_record(rec("a", 3.0, 1), &mut out).unwrap();
+        op.on_record(rec("b", 10.0, 2), &mut out).unwrap();
+        assert!(out.is_empty());
+        op.finish(&mut out).unwrap();
+        assert_eq!(vals(&out), vec![("a".into(), 2.0), ("b".into(), 10.0)]);
+    }
+
+    #[test]
+    fn time_window_flushes_on_boundary() {
+        let mut op = make_op(
+            WindowPolicy::Time(Duration::from_secs(60)),
+            AggFunc::Count,
+        );
+        let mut out = Vec::new();
+        op.on_record(rec("a", 1.0, 10), &mut out).unwrap();
+        op.on_record(rec("a", 1.0, 30), &mut out).unwrap();
+        assert!(out.is_empty());
+        // A record in the next window forces the flush first.
+        op.on_record(rec("a", 1.0, 70), &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value(1), &Value::Int(2));
+        // Watermark closes the second window.
+        out.clear();
+        op.on_watermark(Timestamp::from_secs(120), &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value(1), &Value::Int(1));
+    }
+
+    #[test]
+    fn count_window_emits_per_group() {
+        let mut op = make_op(WindowPolicy::Count(2), AggFunc::Sum);
+        let mut out = Vec::new();
+        op.on_record(rec("a", 1.0, 0), &mut out).unwrap();
+        op.on_record(rec("b", 5.0, 1), &mut out).unwrap();
+        assert!(out.is_empty());
+        op.on_record(rec("a", 2.0, 2), &mut out).unwrap();
+        assert_eq!(vals(&out), vec![("a".into(), 3.0)]);
+        // Group b still pending; a restarted.
+        out.clear();
+        op.on_record(rec("b", 7.0, 3), &mut out).unwrap();
+        assert_eq!(vals(&out), vec![("b".into(), 12.0)]);
+    }
+
+    #[test]
+    fn confidence_window_dense_group_emits_before_sparse() {
+        let mut op = make_op(
+            WindowPolicy::Confidence {
+                epsilon: 0.5,
+                max_age: None,
+            },
+            AggFunc::Avg,
+        );
+        let mut out = Vec::new();
+        // Dense group "tokyo": identical values → zero variance → emits
+        // at the 2nd sample. Sparse group "capetown": one sample, holds.
+        op.on_record(rec("capetown", 1.0, 0), &mut out).unwrap();
+        op.on_record(rec("tokyo", 0.5, 1), &mut out).unwrap();
+        op.on_record(rec("tokyo", 0.5, 2), &mut out).unwrap();
+        assert_eq!(vals(&out), vec![("tokyo".into(), 0.5)]);
+        out.clear();
+        op.finish(&mut out).unwrap();
+        assert_eq!(vals(&out), vec![("capetown".into(), 1.0)]);
+    }
+
+    #[test]
+    fn confidence_deadline_emits_sparse_group_on_watermark() {
+        let mut op = make_op(
+            WindowPolicy::Confidence {
+                epsilon: 0.0001,
+                max_age: Some(Duration::from_secs(100)),
+            },
+            AggFunc::Avg,
+        );
+        let mut out = Vec::new();
+        op.on_record(rec("capetown", 1.0, 0), &mut out).unwrap();
+        op.on_watermark(Timestamp::from_secs(50), &mut out).unwrap();
+        assert!(out.is_empty());
+        op.on_watermark(Timestamp::from_secs(100), &mut out).unwrap();
+        assert_eq!(vals(&out), vec![("capetown".into(), 1.0)]);
+    }
+
+    #[test]
+    fn min_max_stddev_count_distinct() {
+        let mut reg = Registry::empty();
+        crate::expr::functions::register_builtins(&mut reg);
+        let mut ctx = EvalCtx::default();
+        let arg = |s: &str, ctx: &mut EvalCtx| {
+            compile_into(&parse_expr(s).unwrap(), &in_schema(), &reg, ctx).unwrap()
+        };
+        let schema = Schema::shared(&[
+            ("mn", DataType::Float),
+            ("mx", DataType::Float),
+            ("sd", DataType::Float),
+            ("cd", DataType::Int),
+        ]);
+        let mut op = AggregateOp::new(
+            vec![],
+            vec![
+                AggExpr {
+                    func: AggFunc::Min,
+                    arg: Some(arg("x", &mut ctx)),
+                },
+                AggExpr {
+                    func: AggFunc::Max,
+                    arg: Some(arg("x", &mut ctx)),
+                },
+                AggExpr {
+                    func: AggFunc::StdDev,
+                    arg: Some(arg("x", &mut ctx)),
+                },
+                AggExpr {
+                    func: AggFunc::CountDistinct,
+                    arg: Some(arg("k", &mut ctx)),
+                },
+            ],
+            ctx,
+            WindowPolicy::Unbounded,
+            schema,
+            0,
+        );
+        let mut out = Vec::new();
+        op.on_record(rec("a", 2.0, 0), &mut out).unwrap();
+        op.on_record(rec("b", 4.0, 1), &mut out).unwrap();
+        op.on_record(rec("a", 6.0, 2), &mut out).unwrap();
+        op.finish(&mut out).unwrap();
+        let r = &out[0];
+        assert_eq!(r.value(0), &Value::Float(2.0));
+        assert_eq!(r.value(1), &Value::Float(6.0));
+        assert_eq!(r.value(2), &Value::Float(2.0)); // stddev of 2,4,6
+        assert_eq!(r.value(3), &Value::Int(2));
+    }
+
+    #[test]
+    fn nulls_skipped_by_aggregates() {
+        let mut op = make_op(WindowPolicy::Unbounded, AggFunc::Avg);
+        let mut out = Vec::new();
+        let null_rec = Record::new(
+            in_schema(),
+            vec![Value::from("a"), Value::Null],
+            Timestamp::ZERO,
+        )
+        .unwrap();
+        op.on_record(null_rec, &mut out).unwrap();
+        op.on_record(rec("a", 4.0, 1), &mut out).unwrap();
+        op.finish(&mut out).unwrap();
+        assert_eq!(vals(&out), vec![("a".into(), 4.0)]);
+    }
+
+    #[test]
+    fn empty_stream_emits_nothing() {
+        let mut op = make_op(WindowPolicy::Time(Duration::from_secs(60)), AggFunc::Count);
+        let mut out = Vec::new();
+        op.on_watermark(Timestamp::from_secs(300), &mut out).unwrap();
+        op.finish(&mut out).unwrap();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,228 @@
+//! The high-latency (web-service) UDF operator (§2 "High-latency
+//! Operators").
+//!
+//! The planner hoists each async UDF call out of expressions into one
+//! of these operators, which appends the call's result as a new column.
+//! The operator *batches* pending tuples ("batching when an API allows
+//! multiple simultaneous requests") up to a size or stream-time delay
+//! bound, then invokes the UDF's batch endpoint; the UDF layer below
+//! adds caching and charges modeled latency to the virtual clock.
+
+use super::Operator;
+use crate::error::QueryError;
+use crate::expr::{CExpr, EvalCtx};
+use crate::udf::AsyncUdf;
+use tweeql_geo::batch::Batcher;
+use tweeql_model::{Duration, Record, SchemaRef, Timestamp, Value};
+
+/// Appends `udf(args…)` as the last column of each record.
+pub struct AsyncUdfOp {
+    udf: Box<dyn AsyncUdf>,
+    arg_exprs: Vec<CExpr>,
+    ctx: EvalCtx,
+    schema: SchemaRef,
+    batcher: Batcher<(Record, Vec<Value>)>,
+    label: String,
+}
+
+impl AsyncUdfOp {
+    /// Build. `schema` is the input schema plus the result column.
+    /// `max_batch` of 1 disables batching (every tuple is an immediate
+    /// request); `max_delay` bounds how long a tuple waits for batch
+    /// peers in stream time.
+    pub fn new(
+        udf: Box<dyn AsyncUdf>,
+        arg_exprs: Vec<CExpr>,
+        ctx: EvalCtx,
+        schema: SchemaRef,
+        max_batch: usize,
+        max_delay: Duration,
+    ) -> AsyncUdfOp {
+        let label = format!("async:{}", udf.name());
+        AsyncUdfOp {
+            udf,
+            arg_exprs,
+            ctx,
+            schema,
+            batcher: Batcher::new(max_batch, max_delay),
+            label,
+        }
+    }
+
+    /// Remote requests issued by the wrapped UDF.
+    pub fn requests_issued(&self) -> u64 {
+        self.udf.requests_issued()
+    }
+
+    /// Modeled service time accumulated by the wrapped UDF.
+    pub fn modeled_service_time(&self) -> Duration {
+        self.udf.modeled_service_time()
+    }
+
+    fn run_batch(&mut self, items: Vec<(Record, Vec<Value>)>, out: &mut Vec<Record>) {
+        if items.is_empty() {
+            return;
+        }
+        let args: Vec<Vec<Value>> = items.iter().map(|(_, a)| a.clone()).collect();
+        let results = self.udf.call_batch(&args);
+        for ((rec, _), result) in items.into_iter().zip(results) {
+            let mut values = rec.values().to_vec();
+            values.push(result);
+            out.push(rec.with_shape(self.schema.clone(), values));
+        }
+    }
+}
+
+impl Operator for AsyncUdfOp {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    fn on_record(&mut self, rec: Record, out: &mut Vec<Record>) -> Result<(), QueryError> {
+        let mut args = Vec::with_capacity(self.arg_exprs.len());
+        for e in &self.arg_exprs {
+            args.push(e.eval(&rec, &mut self.ctx)?);
+        }
+        let ts = rec.timestamp();
+        if let Some(batch) = self.batcher.push((rec, args), ts) {
+            self.run_batch(batch, out);
+        }
+        Ok(())
+    }
+
+    fn on_watermark(&mut self, wm: Timestamp, out: &mut Vec<Record>) -> Result<(), QueryError> {
+        if let Some(batch) = self.batcher.poll(wm) {
+            self.run_batch(batch, out);
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self, out: &mut Vec<Record>) -> Result<(), QueryError> {
+        let batch = self.batcher.flush();
+        self.run_batch(batch, out);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::compile;
+    use crate::parser::parse_expr;
+    use crate::udf::{Registry, ServiceConfig};
+    use std::sync::Arc;
+    use tweeql_geo::latency::LatencyModel;
+    use tweeql_model::{Clock, DataType, Schema, VirtualClock};
+
+    fn setup(max_batch: usize, cache: usize, clock: Arc<VirtualClock>) -> (AsyncUdfOp, SchemaRef) {
+        let cfg = ServiceConfig {
+            latency: LatencyModel::Constant(Duration::from_millis(200)),
+            cache_capacity: cache,
+            max_batch,
+            batch_per_item: Duration::from_millis(5),
+            ..ServiceConfig::default()
+        };
+        let reg = Registry::standard(&cfg, clock);
+        let in_schema = Schema::shared(&[("loc", DataType::Str)]);
+        let out_schema = Schema::shared(&[("loc", DataType::Str), ("lat", DataType::Float)]);
+        let ast = parse_expr("loc").unwrap();
+        let (c, ctx) = compile(&ast, &in_schema, &reg).unwrap();
+        let udf = (reg.async_udf("latitude").unwrap())();
+        (
+            AsyncUdfOp::new(
+                udf,
+                vec![c],
+                ctx,
+                out_schema.clone(),
+                max_batch,
+                Duration::from_secs(10),
+            ),
+            in_schema,
+        )
+    }
+
+    fn rec(schema: &SchemaRef, loc: &str, ts_ms: i64) -> Record {
+        Record::new(
+            schema.clone(),
+            vec![Value::from(loc)],
+            Timestamp::from_millis(ts_ms),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn unbatched_emits_immediately_with_per_call_latency() {
+        let clock = VirtualClock::new();
+        let (mut op, schema) = setup(1, 0, Arc::clone(&clock));
+        let mut out = Vec::new();
+        op.on_record(rec(&schema, "tokyo", 0), &mut out).unwrap();
+        op.on_record(rec(&schema, "nyc", 1), &mut out).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(op.requests_issued(), 2);
+        assert_eq!(clock.now().millis(), 400);
+        assert!(matches!(out[0].value(1), Value::Float(v) if (v - 35.68).abs() < 0.1));
+    }
+
+    #[test]
+    fn batching_amortizes_round_trips() {
+        let clock = VirtualClock::new();
+        let (mut op, schema) = setup(4, 0, Arc::clone(&clock));
+        let mut out = Vec::new();
+        for (i, loc) in ["tokyo", "nyc", "london", "boston"].iter().enumerate() {
+            op.on_record(rec(&schema, loc, i as i64), &mut out).unwrap();
+        }
+        assert_eq!(out.len(), 4, "batch released on size");
+        assert_eq!(op.requests_issued(), 1);
+        // One 200ms round trip + 3×5ms marginal items = 215ms, vs 800ms.
+        assert_eq!(clock.now().millis(), 215);
+    }
+
+    #[test]
+    fn watermark_flushes_aged_partial_batch() {
+        let clock = VirtualClock::new();
+        let (mut op, schema) = setup(100, 0, clock);
+        // max_delay is 10s in setup().
+        let mut out = Vec::new();
+        op.on_record(rec(&schema, "tokyo", 0), &mut out).unwrap();
+        op.on_watermark(Timestamp::from_secs(5), &mut out).unwrap();
+        assert!(out.is_empty(), "not old enough");
+        op.on_watermark(Timestamp::from_secs(10), &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn finish_drains_pending() {
+        let clock = VirtualClock::new();
+        let (mut op, schema) = setup(100, 0, clock);
+        let mut out = Vec::new();
+        op.on_record(rec(&schema, "tokyo", 0), &mut out).unwrap();
+        op.finish(&mut out).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn caching_eliminates_repeat_requests() {
+        let clock = VirtualClock::new();
+        let (mut op, schema) = setup(1, 1024, Arc::clone(&clock));
+        let mut out = Vec::new();
+        for i in 0..50 {
+            op.on_record(rec(&schema, "nyc", i), &mut out).unwrap();
+        }
+        assert_eq!(out.len(), 50);
+        assert_eq!(op.requests_issued(), 1, "49 cache hits");
+        assert_eq!(clock.now().millis(), 200);
+    }
+
+    #[test]
+    fn unresolvable_locations_append_null() {
+        let clock = VirtualClock::new();
+        let (mut op, schema) = setup(1, 0, clock);
+        let mut out = Vec::new();
+        op.on_record(rec(&schema, "the moon", 0), &mut out).unwrap();
+        assert_eq!(out[0].value(1), &Value::Null);
+    }
+}

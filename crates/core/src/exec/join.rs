@@ -1,0 +1,235 @@
+//! Windowed symmetric hash join over two streams.
+//!
+//! TweeQL offers "windowed select-project-join-aggregate queries"; the
+//! join is equality-keyed and time-windowed: a pair joins when the two
+//! tuples' event times are within the window of each other. Both sides
+//! are hashed; each arrival probes the opposite table and inserts into
+//! its own (the classic symmetric hash join, which never blocks —
+//! essential on unbounded streams).
+
+use crate::error::QueryError;
+use crate::expr::{CExpr, EvalCtx};
+use std::collections::HashMap;
+use tweeql_model::{Duration, Record, SchemaRef, Timestamp, Value};
+
+/// Which input a record arrived on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The FROM stream.
+    Left,
+    /// The JOIN stream.
+    Right,
+}
+
+/// A windowed symmetric hash join.
+pub struct SymmetricHashJoin {
+    left_key: CExpr,
+    right_key: CExpr,
+    ctx: EvalCtx,
+    window: Duration,
+    schema: SchemaRef,
+    left_table: HashMap<Value, Vec<Record>>,
+    right_table: HashMap<Value, Vec<Record>>,
+    /// Matches produced.
+    pub matches: u64,
+}
+
+impl SymmetricHashJoin {
+    /// Build. `schema` must be the concatenation of the left and right
+    /// schemas (see [`tweeql_model::Schema::concat`]).
+    pub fn new(
+        left_key: CExpr,
+        right_key: CExpr,
+        ctx: EvalCtx,
+        window: Duration,
+        schema: SchemaRef,
+    ) -> SymmetricHashJoin {
+        SymmetricHashJoin {
+            left_key,
+            right_key,
+            ctx,
+            window,
+            schema,
+            left_table: HashMap::new(),
+            right_table: HashMap::new(),
+            matches: 0,
+        }
+    }
+
+    /// Output schema.
+    pub fn schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    /// Push one record from `side`; returns joined outputs.
+    pub fn push(&mut self, side: Side, rec: Record) -> Result<Vec<Record>, QueryError> {
+        let ts = rec.timestamp();
+        self.expire(ts);
+
+        let key = match side {
+            Side::Left => self.left_key.eval(&rec, &mut self.ctx)?,
+            Side::Right => self.right_key.eval(&rec, &mut self.ctx)?,
+        };
+        let mut out = Vec::new();
+        if key.is_null() {
+            // NULL keys never join, and are not retained.
+            return Ok(out);
+        }
+
+        {
+            // Probe the opposite table.
+            let opposite = match side {
+                Side::Left => &self.right_table,
+                Side::Right => &self.left_table,
+            };
+            if let Some(candidates) = opposite.get(&key) {
+                for other in candidates {
+                    if ts.since(other.timestamp()) <= self.window
+                        && other.timestamp().since(ts) <= self.window
+                    {
+                        self.matches += 1;
+                        let (l, r) = match side {
+                            Side::Left => (&rec, other),
+                            Side::Right => (other, &rec),
+                        };
+                        let mut values = l.values().to_vec();
+                        values.extend(r.values().iter().cloned());
+                        out.push(Record::new_unchecked(
+                            self.schema.clone(),
+                            values,
+                            ts.max(other.timestamp()),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Insert into own table.
+        let own = match side {
+            Side::Left => &mut self.left_table,
+            Side::Right => &mut self.right_table,
+        };
+        own.entry(key).or_default().push(rec);
+        Ok(out)
+    }
+
+    /// Drop buffered tuples older than the window relative to `now`.
+    fn expire(&mut self, now: Timestamp) {
+        let horizon = self.window;
+        for table in [&mut self.left_table, &mut self.right_table] {
+            table.retain(|_, v| {
+                v.retain(|r| now.since(r.timestamp()) <= horizon);
+                !v.is_empty()
+            });
+        }
+    }
+
+    /// Buffered tuple count (memory diagnostics).
+    pub fn buffered(&self) -> usize {
+        self.left_table.values().map(Vec::len).sum::<usize>()
+            + self.right_table.values().map(Vec::len).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::compile_into;
+    use crate::parser::parse_expr;
+    use crate::udf::Registry;
+    use tweeql_model::{DataType, Schema};
+
+    fn setup(window_s: i64) -> (SymmetricHashJoin, SchemaRef, SchemaRef) {
+        let left = Schema::shared(&[("k", DataType::Str), ("lv", DataType::Int)]);
+        let right = Schema::shared(&[("k", DataType::Str), ("rv", DataType::Int)]);
+        let out = std::sync::Arc::new(left.concat(&right));
+        let reg = Registry::empty();
+        let mut ctx = EvalCtx::default();
+        let lk = compile_into(&parse_expr("k").unwrap(), &left, &reg, &mut ctx).unwrap();
+        let rk = compile_into(&parse_expr("k").unwrap(), &right, &reg, &mut ctx).unwrap();
+        (
+            SymmetricHashJoin::new(lk, rk, ctx, Duration::from_secs(window_s), out),
+            left,
+            right,
+        )
+    }
+
+    fn rec(schema: &SchemaRef, k: &str, v: i64, ts_s: i64) -> Record {
+        Record::new(
+            schema.clone(),
+            vec![Value::from(k), Value::Int(v)],
+            Timestamp::from_secs(ts_s),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn equal_keys_within_window_join() {
+        let (mut j, l, r) = setup(60);
+        assert!(j.push(Side::Left, rec(&l, "a", 1, 0)).unwrap().is_empty());
+        let out = j.push(Side::Right, rec(&r, "a", 2, 30)).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get("lv").unwrap(), &Value::Int(1));
+        assert_eq!(out[0].get("rv").unwrap(), &Value::Int(2));
+        // Duplicate right-side column got suffixed.
+        assert_eq!(out[0].get("k_r").unwrap(), &Value::from("a"));
+        assert_eq!(j.matches, 1);
+    }
+
+    #[test]
+    fn keys_outside_window_do_not_join() {
+        let (mut j, l, r) = setup(60);
+        j.push(Side::Left, rec(&l, "a", 1, 0)).unwrap();
+        let out = j.push(Side::Right, rec(&r, "a", 2, 61)).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn different_keys_do_not_join() {
+        let (mut j, l, r) = setup(60);
+        j.push(Side::Left, rec(&l, "a", 1, 0)).unwrap();
+        assert!(j.push(Side::Right, rec(&r, "b", 2, 1)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn many_to_many_produces_cross_matches() {
+        let (mut j, l, r) = setup(60);
+        j.push(Side::Left, rec(&l, "a", 1, 0)).unwrap();
+        j.push(Side::Left, rec(&l, "a", 2, 1)).unwrap();
+        let out = j.push(Side::Right, rec(&r, "a", 9, 2)).unwrap();
+        assert_eq!(out.len(), 2);
+        let out2 = j.push(Side::Right, rec(&r, "a", 10, 3)).unwrap();
+        assert_eq!(out2.len(), 2);
+        assert_eq!(j.matches, 4);
+    }
+
+    #[test]
+    fn expiry_bounds_memory() {
+        let (mut j, l, _r) = setup(10);
+        for i in 0..100 {
+            j.push(Side::Left, rec(&l, "a", i, i)).unwrap();
+        }
+        // Only tuples within the last 10s survive.
+        assert!(j.buffered() <= 12, "buffered = {}", j.buffered());
+    }
+
+    #[test]
+    fn null_keys_never_join() {
+        let (mut j, l, r) = setup(60);
+        let null_rec = Record::new(
+            l.clone(),
+            vec![Value::Null, Value::Int(1)],
+            Timestamp::ZERO,
+        )
+        .unwrap();
+        j.push(Side::Left, null_rec).unwrap();
+        let out = j
+            .push(
+                Side::Right,
+                Record::new(r, vec![Value::Null, Value::Int(2)], Timestamp::ZERO).unwrap(),
+            )
+            .unwrap();
+        assert!(out.is_empty());
+        assert_eq!(j.buffered(), 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! LIMIT: stop after N records and signal the engine to stop pulling.
+
+use super::Operator;
+use crate::error::QueryError;
+use tweeql_model::{Record, SchemaRef};
+
+/// Emits the first `n` records, then reports `done`.
+pub struct LimitOp {
+    remaining: u64,
+    schema: SchemaRef,
+}
+
+impl LimitOp {
+    /// Limit to `n` records.
+    pub fn new(n: u64, schema: SchemaRef) -> LimitOp {
+        LimitOp {
+            remaining: n,
+            schema,
+        }
+    }
+}
+
+impl Operator for LimitOp {
+    fn name(&self) -> &str {
+        "limit"
+    }
+
+    fn schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    fn on_record(&mut self, rec: Record, out: &mut Vec<Record>) -> Result<(), QueryError> {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            out.push(rec);
+        }
+        Ok(())
+    }
+
+    fn done(&self) -> bool {
+        self.remaining == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tweeql_model::{DataType, Schema, Timestamp, Value};
+
+    #[test]
+    fn caps_output_and_reports_done() {
+        let schema = Schema::shared(&[("x", DataType::Int)]);
+        let mut l = LimitOp::new(2, schema.clone());
+        let mut out = Vec::new();
+        for i in 0..5 {
+            l.on_record(
+                Record::new(schema.clone(), vec![Value::Int(i)], Timestamp::ZERO).unwrap(),
+                &mut out,
+            )
+            .unwrap();
+        }
+        assert_eq!(out.len(), 2);
+        assert!(l.done());
+    }
+
+    #[test]
+    fn limit_zero_is_immediately_done() {
+        let schema = Schema::shared(&[("x", DataType::Int)]);
+        let l = LimitOp::new(0, schema);
+        assert!(l.done());
+    }
+}

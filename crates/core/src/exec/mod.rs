@@ -1,0 +1,255 @@
+//! Push-based streaming operators.
+//!
+//! Every operator consumes records and punctuation (watermarks) and
+//! pushes results downstream. Watermarks are what make replay
+//! deterministic: time windows flush on watermark, not on wall clock.
+
+pub mod aggregate;
+pub mod asyncop;
+pub mod confidence;
+pub mod eddy;
+pub mod filter;
+pub mod join;
+pub mod limit;
+pub mod project;
+pub mod topk;
+
+use crate::error::QueryError;
+use tweeql_model::{Record, SchemaRef, Timestamp};
+
+/// A streaming operator.
+pub trait Operator: Send {
+    /// Operator name for stats/EXPLAIN.
+    fn name(&self) -> &str;
+
+    /// Output schema.
+    fn schema(&self) -> SchemaRef;
+
+    /// Consume one record, pushing any outputs.
+    fn on_record(&mut self, rec: Record, out: &mut Vec<Record>) -> Result<(), QueryError>;
+
+    /// Stream time has advanced to `wm`; flush anything due.
+    fn on_watermark(&mut self, _wm: Timestamp, _out: &mut Vec<Record>) -> Result<(), QueryError> {
+        Ok(())
+    }
+
+    /// End of stream; flush everything.
+    fn finish(&mut self, _out: &mut Vec<Record>) -> Result<(), QueryError> {
+        Ok(())
+    }
+
+    /// True once the operator will never emit again (e.g. LIMIT
+    /// reached); lets the engine stop pulling the source early.
+    fn done(&self) -> bool {
+        false
+    }
+}
+
+/// Per-operator tuple counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Records consumed.
+    pub records_in: u64,
+    /// Records emitted.
+    pub records_out: u64,
+}
+
+/// A linear chain of operators with per-stage stats.
+pub struct Pipeline {
+    ops: Vec<Box<dyn Operator>>,
+    stats: Vec<OpStats>,
+}
+
+impl Pipeline {
+    /// Build from a stage list (source side first).
+    pub fn new(ops: Vec<Box<dyn Operator>>) -> Pipeline {
+        let stats = vec![OpStats::default(); ops.len()];
+        Pipeline { ops, stats }
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when there are no stages (records pass through).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Schema of the final stage (None when empty).
+    pub fn output_schema(&self) -> Option<SchemaRef> {
+        self.ops.last().map(|o| o.schema())
+    }
+
+    /// `(name, stats)` per stage.
+    pub fn stage_stats(&self) -> Vec<(String, OpStats)> {
+        self.ops
+            .iter()
+            .zip(&self.stats)
+            .map(|(o, s)| (o.name().to_string(), *s))
+            .collect()
+    }
+
+    /// True once the pipeline will never produce more output.
+    pub fn done(&self) -> bool {
+        self.ops.iter().any(|o| o.done())
+    }
+
+    /// Push one source record through every stage, collecting final
+    /// outputs into `out`.
+    pub fn push(&mut self, rec: Record, out: &mut Vec<Record>) -> Result<(), QueryError> {
+        self.run_from(0, vec![rec], None, false, out)
+    }
+
+    /// Propagate a watermark through every stage.
+    pub fn watermark(&mut self, wm: Timestamp, out: &mut Vec<Record>) -> Result<(), QueryError> {
+        self.run_from(0, Vec::new(), Some(wm), false, out)
+    }
+
+    /// End of stream: flush every stage in order.
+    pub fn finish(&mut self, out: &mut Vec<Record>) -> Result<(), QueryError> {
+        self.run_from(0, Vec::new(), None, true, out)
+    }
+
+    fn run_from(
+        &mut self,
+        start: usize,
+        records: Vec<Record>,
+        wm: Option<Timestamp>,
+        finishing: bool,
+        out: &mut Vec<Record>,
+    ) -> Result<(), QueryError> {
+        let mut current = records;
+        for i in start..self.ops.len() {
+            let op = &mut self.ops[i];
+            let mut next = Vec::new();
+            self.stats[i].records_in += current.len() as u64;
+            for rec in current {
+                op.on_record(rec, &mut next)?;
+            }
+            if let Some(w) = wm {
+                op.on_watermark(w, &mut next)?;
+            }
+            if finishing {
+                op.finish(&mut next)?;
+            }
+            self.stats[i].records_out += next.len() as u64;
+            current = next;
+        }
+        out.extend(current);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tweeql_model::{DataType, Schema, Value};
+
+    /// Doubles every record's single int column; drops odd inputs.
+    struct EvenDoubler {
+        schema: SchemaRef,
+    }
+
+    impl Operator for EvenDoubler {
+        fn name(&self) -> &str {
+            "even_doubler"
+        }
+        fn schema(&self) -> SchemaRef {
+            self.schema.clone()
+        }
+        fn on_record(&mut self, rec: Record, out: &mut Vec<Record>) -> Result<(), QueryError> {
+            let v = rec.value(0).as_int().unwrap_or(0);
+            if v % 2 == 0 {
+                out.push(rec.with_shape(self.schema.clone(), vec![Value::Int(v * 2)]));
+            }
+            Ok(())
+        }
+    }
+
+    /// Buffers everything until finish.
+    struct Buffered {
+        schema: SchemaRef,
+        held: Vec<Record>,
+    }
+
+    impl Operator for Buffered {
+        fn name(&self) -> &str {
+            "buffered"
+        }
+        fn schema(&self) -> SchemaRef {
+            self.schema.clone()
+        }
+        fn on_record(&mut self, rec: Record, _out: &mut Vec<Record>) -> Result<(), QueryError> {
+            self.held.push(rec);
+            Ok(())
+        }
+        fn finish(&mut self, out: &mut Vec<Record>) -> Result<(), QueryError> {
+            out.append(&mut self.held);
+            Ok(())
+        }
+    }
+
+    fn int_schema() -> SchemaRef {
+        Schema::shared(&[("x", DataType::Int)])
+    }
+
+    fn rec(v: i64) -> Record {
+        Record::new(int_schema(), vec![Value::Int(v)], Timestamp::ZERO).unwrap()
+    }
+
+    #[test]
+    fn pipeline_chains_and_counts() {
+        let mut p = Pipeline::new(vec![
+            Box::new(EvenDoubler {
+                schema: int_schema(),
+            }),
+            Box::new(EvenDoubler {
+                schema: int_schema(),
+            }),
+        ]);
+        let mut out = Vec::new();
+        for v in [1, 2, 3, 4] {
+            p.push(rec(v), &mut out).unwrap();
+        }
+        // 2→4→8, 4→8→16 (all doubles stay even).
+        let vals: Vec<i64> = out.iter().map(|r| r.value(0).as_int().unwrap()).collect();
+        assert_eq!(vals, vec![8, 16]);
+        let stats = p.stage_stats();
+        assert_eq!(stats[0].1.records_in, 4);
+        assert_eq!(stats[0].1.records_out, 2);
+        assert_eq!(stats[1].1.records_in, 2);
+        assert_eq!(stats[1].1.records_out, 2);
+    }
+
+    #[test]
+    fn finish_flushes_buffered_stages_in_order() {
+        let mut p = Pipeline::new(vec![
+            Box::new(Buffered {
+                schema: int_schema(),
+                held: vec![],
+            }),
+            Box::new(EvenDoubler {
+                schema: int_schema(),
+            }),
+        ]);
+        let mut out = Vec::new();
+        p.push(rec(2), &mut out).unwrap();
+        p.push(rec(4), &mut out).unwrap();
+        assert!(out.is_empty(), "buffered stage holds records");
+        p.finish(&mut out).unwrap();
+        let vals: Vec<i64> = out.iter().map(|r| r.value(0).as_int().unwrap()).collect();
+        assert_eq!(vals, vec![4, 8]);
+    }
+
+    #[test]
+    fn empty_pipeline_passes_through() {
+        let mut p = Pipeline::new(vec![]);
+        assert!(p.is_empty());
+        let mut out = Vec::new();
+        p.push(rec(7), &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(p.output_schema().is_none());
+    }
+}

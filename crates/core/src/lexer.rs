@@ -1,0 +1,375 @@
+//! The TweeQL lexer.
+//!
+//! Tokenizes the SQL-ish surface syntax of the paper's examples,
+//! including the non-standard bits: `contains`, `WINDOW 3 hours`, and
+//! `[bounding box for NYC]`.
+
+use crate::error::QueryError;
+use std::fmt;
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Keyword or identifier (stored lowercased; keyword-ness is decided
+    /// by the parser so identifiers may shadow non-reserved words).
+    Ident(String),
+    /// `'single quoted'` string (with `''` escaping).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `.` (qualified names)
+    Dot,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Str(s) => write!(f, "'{s}'"),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Float(x) => write!(f, "{x}"),
+            Tok::Comma => write!(f, ","),
+            Tok::Semi => write!(f, ";"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::Star => write!(f, "*"),
+            Tok::Eq => write!(f, "="),
+            Tok::Ne => write!(f, "!="),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Slash => write!(f, "/"),
+            Tok::Percent => write!(f, "%"),
+            Tok::Dot => write!(f, "."),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// Byte offset where it starts.
+    pub pos: usize,
+}
+
+/// Lex a query string.
+pub fn lex(input: &str) -> Result<Vec<SpannedTok>, QueryError> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < input.len() {
+        let c = input[i..].chars().next().unwrap();
+        let start = i;
+        match c {
+            c if c.is_whitespace() => {
+                i += c.len_utf8();
+                continue;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // -- line comment
+                while i < input.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match input[i..].chars().next() {
+                        None => return Err(QueryError::parse("unterminated string", start)),
+                        Some('\'') => {
+                            // '' escape
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(ch) => {
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Str(s),
+                    pos: start,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let mut end = i;
+                let mut is_float = false;
+                while end < input.len() {
+                    let ch = input[end..].chars().next().unwrap();
+                    if ch.is_ascii_digit() {
+                        end += 1;
+                    } else if ch == '.'
+                        && !is_float
+                        && input[end + 1..]
+                            .chars()
+                            .next()
+                            .is_some_and(|d| d.is_ascii_digit())
+                    {
+                        is_float = true;
+                        end += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[i..end];
+                let tok = if is_float {
+                    Tok::Float(
+                        text.parse()
+                            .map_err(|_| QueryError::parse("bad float literal", start))?,
+                    )
+                } else {
+                    Tok::Int(
+                        text.parse()
+                            .map_err(|_| QueryError::parse("integer literal too large", start))?,
+                    )
+                };
+                out.push(SpannedTok { tok, pos: start });
+                i = end;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut end = i;
+                while end < input.len() {
+                    let ch = input[end..].chars().next().unwrap();
+                    if ch.is_alphanumeric() || ch == '_' {
+                        end += ch.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Ident(input[i..end].to_lowercase()),
+                    pos: start,
+                });
+                i = end;
+            }
+            ',' => {
+                out.push(SpannedTok { tok: Tok::Comma, pos: start });
+                i += 1;
+            }
+            ';' => {
+                out.push(SpannedTok { tok: Tok::Semi, pos: start });
+                i += 1;
+            }
+            '(' => {
+                out.push(SpannedTok { tok: Tok::LParen, pos: start });
+                i += 1;
+            }
+            ')' => {
+                out.push(SpannedTok { tok: Tok::RParen, pos: start });
+                i += 1;
+            }
+            '[' => {
+                out.push(SpannedTok { tok: Tok::LBracket, pos: start });
+                i += 1;
+            }
+            ']' => {
+                out.push(SpannedTok { tok: Tok::RBracket, pos: start });
+                i += 1;
+            }
+            '*' => {
+                out.push(SpannedTok { tok: Tok::Star, pos: start });
+                i += 1;
+            }
+            '=' => {
+                out.push(SpannedTok { tok: Tok::Eq, pos: start });
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(SpannedTok { tok: Tok::Ne, pos: start });
+                i += 2;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(SpannedTok { tok: Tok::Le, pos: start });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(SpannedTok { tok: Tok::Ne, pos: start });
+                    i += 2;
+                } else {
+                    out.push(SpannedTok { tok: Tok::Lt, pos: start });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(SpannedTok { tok: Tok::Ge, pos: start });
+                    i += 2;
+                } else {
+                    out.push(SpannedTok { tok: Tok::Gt, pos: start });
+                    i += 1;
+                }
+            }
+            '+' => {
+                out.push(SpannedTok { tok: Tok::Plus, pos: start });
+                i += 1;
+            }
+            '-' => {
+                out.push(SpannedTok { tok: Tok::Minus, pos: start });
+                i += 1;
+            }
+            '/' => {
+                out.push(SpannedTok { tok: Tok::Slash, pos: start });
+                i += 1;
+            }
+            '%' => {
+                out.push(SpannedTok { tok: Tok::Percent, pos: start });
+                i += 1;
+            }
+            '.' => {
+                out.push(SpannedTok { tok: Tok::Dot, pos: start });
+                i += 1;
+            }
+            other => {
+                return Err(QueryError::parse(
+                    format!("unexpected character {other:?}"),
+                    start,
+                ))
+            }
+        }
+    }
+    out.push(SpannedTok {
+        tok: Tok::Eof,
+        pos: input.len(),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Tok> {
+        lex(s).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn paper_query_one_lexes() {
+        let ts = toks("SELECT sentiment(text), latitude(loc) FROM twitter WHERE text contains 'obama';");
+        assert_eq!(ts[0], Tok::Ident("select".into()));
+        assert!(ts.contains(&Tok::Str("obama".into())));
+        assert!(ts.contains(&Tok::Semi));
+        assert_eq!(*ts.last().unwrap(), Tok::Eof);
+    }
+
+    #[test]
+    fn bounding_box_brackets() {
+        let ts = toks("location in [bounding box for NYC]");
+        assert!(ts.contains(&Tok::LBracket));
+        assert!(ts.contains(&Tok::RBracket));
+        assert!(ts.contains(&Tok::Ident("nyc".into())));
+    }
+
+    #[test]
+    fn numbers_and_operators() {
+        assert_eq!(
+            toks("1 2.5 <= >= != <> a.b"),
+            vec![
+                Tok::Int(1),
+                Tok::Float(2.5),
+                Tok::Le,
+                Tok::Ge,
+                Tok::Ne,
+                Tok::Ne,
+                Tok::Ident("a".into()),
+                Tok::Dot,
+                Tok::Ident("b".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(
+            toks("'it''s'"),
+            vec![Tok::Str("it's".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("select -- comment here\n x"),
+            vec![Tok::Ident("select".into()), Tok::Ident("x".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn identifiers_lowercased_positions_tracked() {
+        let spanned = lex("SELECT Text").unwrap();
+        assert_eq!(spanned[1].tok, Tok::Ident("text".into()));
+        assert_eq!(spanned[1].pos, 7);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("a ~ b").is_err());
+        assert!(lex("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(toks("'地震'"), vec![Tok::Str("地震".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn minus_vs_comment() {
+        assert_eq!(toks("1 - 2"), vec![Tok::Int(1), Tok::Minus, Tok::Int(2), Tok::Eof]);
+        assert_eq!(toks("1 -- 2"), vec![Tok::Int(1), Tok::Eof]);
+    }
+}

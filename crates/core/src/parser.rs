@@ -1,0 +1,889 @@
+//! Recursive-descent parser: token stream → [`SelectStmt`].
+
+use crate::ast::*;
+use crate::error::QueryError;
+use crate::lexer::{lex, SpannedTok, Tok};
+use tweeql_geo::BoundingBox;
+use tweeql_model::{Duration, Value};
+
+/// Words that cannot be used as bare column references.
+const RESERVED: &[&str] = &[
+    "select", "from", "where", "group", "by", "window", "limit", "as", "and", "or", "not", "in",
+    "is", "null", "join", "on",
+];
+
+/// Parse one TweeQL statement.
+pub fn parse(input: &str) -> Result<SelectStmt, QueryError> {
+    let toks = lex(input)?;
+    let mut p = Parser { toks, pos: 0 };
+    let stmt = p.select_stmt()?;
+    p.eat_tok(&Tok::Semi); // optional trailing ;
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parse just an expression (used by tests and the REPL's EXPLAIN).
+pub fn parse_expr(input: &str) -> Result<Expr, QueryError> {
+    let toks = lex(input)?;
+    let mut p = Parser { toks, pos: 0 };
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek_pos(&self) -> usize {
+        self.toks[self.pos].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_tok(&mut self, t: &Tok) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume an identifier equal to `kw` (keywords are contextual).
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Tok::Ident(s) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), QueryError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(QueryError::parse(
+                format!("expected {}, found {}", kw.to_uppercase(), self.peek()),
+                self.peek_pos(),
+            ))
+        }
+    }
+
+    fn expect_tok(&mut self, t: Tok) -> Result<(), QueryError> {
+        if self.eat_tok(&t) {
+            Ok(())
+        } else {
+            Err(QueryError::parse(
+                format!("expected {t}, found {}", self.peek()),
+                self.peek_pos(),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, QueryError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(QueryError::parse(
+                format!("expected identifier, found {other}"),
+                self.peek_pos(),
+            )),
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), QueryError> {
+        if matches!(self.peek(), Tok::Eof) {
+            Ok(())
+        } else {
+            Err(QueryError::parse(
+                format!("unexpected trailing input: {}", self.peek()),
+                self.peek_pos(),
+            ))
+        }
+    }
+
+    fn select_stmt(&mut self) -> Result<SelectStmt, QueryError> {
+        self.expect_kw("select")?;
+        let select = self.select_list()?;
+        self.expect_kw("from")?;
+        let from = self.expect_ident()?;
+
+        let join = if self.eat_kw("join") {
+            let stream = self.expect_ident()?;
+            self.expect_kw("on")?;
+            let (lq, lcol) = self.qualified_name()?;
+            self.expect_tok(Tok::Eq)?;
+            let (rq, rcol) = self.qualified_name()?;
+            // Qualifiers, when given, decide sides; else positional.
+            let (left_col, right_col) = match (lq.as_deref(), rq.as_deref()) {
+                (Some(q), _) if q == stream => (rcol, lcol),
+                _ => (lcol, rcol),
+            };
+            Some(JoinClause {
+                stream,
+                left_col,
+                right_col,
+            })
+        } else {
+            None
+        };
+
+        let where_clause = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.expect_ident()?);
+                if !self.eat_tok(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let having = if self.eat_kw("having") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+
+        let window = if self.eat_kw("window") {
+            Some(self.window_spec()?)
+        } else {
+            None
+        };
+
+        let limit = if self.eat_kw("limit") {
+            match self.bump() {
+                Tok::Int(n) if n >= 0 => Some(n as u64),
+                other => {
+                    return Err(QueryError::parse(
+                        format!("LIMIT wants a nonnegative integer, found {other}"),
+                        self.peek_pos(),
+                    ))
+                }
+            }
+        } else {
+            None
+        };
+
+        Ok(SelectStmt {
+            select,
+            from,
+            join,
+            where_clause,
+            group_by,
+            having,
+            window,
+            limit,
+        })
+    }
+
+    fn qualified_name(&mut self) -> Result<(Option<String>, String), QueryError> {
+        let first = self.expect_ident()?;
+        if self.eat_tok(&Tok::Dot) {
+            let second = self.expect_ident()?;
+            Ok((Some(first), second))
+        } else {
+            Ok((None, first))
+        }
+    }
+
+    fn select_list(&mut self) -> Result<Vec<SelectItem>, QueryError> {
+        let mut items = Vec::new();
+        loop {
+            if self.eat_tok(&Tok::Star) {
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw("as") {
+                    Some(self.expect_ident()?)
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_tok(&Tok::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn window_spec(&mut self) -> Result<WindowSpec, QueryError> {
+        if self.eat_kw("confidence") {
+            let epsilon = match self.bump() {
+                Tok::Float(f) => f,
+                Tok::Int(i) => i as f64,
+                other => {
+                    return Err(QueryError::parse(
+                        format!("WINDOW CONFIDENCE wants a number, found {other}"),
+                        self.peek_pos(),
+                    ))
+                }
+            };
+            let max_age = if self.eat_kw("max") {
+                Some(self.duration()?)
+            } else {
+                None
+            };
+            return Ok(WindowSpec::Confidence { epsilon, max_age });
+        }
+        let n = match self.bump() {
+            Tok::Int(n) if n > 0 => n,
+            other => {
+                return Err(QueryError::parse(
+                    format!("WINDOW wants a positive count, found {other}"),
+                    self.peek_pos(),
+                ))
+            }
+        };
+        let unit = self.expect_ident()?;
+        if unit == "tuples" || unit == "tuple" || unit == "rows" {
+            return Ok(WindowSpec::Count(n as u64));
+        }
+        let d = Duration::parse(&format!("{n} {unit}"))
+            .map_err(|e| QueryError::parse(e.to_string(), self.peek_pos()))?;
+        if self.eat_kw("slide") {
+            let slide = self.duration()?;
+            if slide.millis() <= 0 || slide > d {
+                return Err(QueryError::parse(
+                    "SLIDE must be positive and no longer than the window",
+                    self.peek_pos(),
+                ));
+            }
+            return Ok(WindowSpec::Sliding { size: d, slide });
+        }
+        Ok(WindowSpec::Time(d))
+    }
+
+    fn duration(&mut self) -> Result<Duration, QueryError> {
+        let n = match self.bump() {
+            Tok::Int(n) if n > 0 => n,
+            other => {
+                return Err(QueryError::parse(
+                    format!("expected duration count, found {other}"),
+                    self.peek_pos(),
+                ))
+            }
+        };
+        let unit = self.expect_ident()?;
+        Duration::parse(&format!("{n} {unit}"))
+            .map_err(|e| QueryError::parse(e.to_string(), self.peek_pos()))
+    }
+
+    // ---- expressions ----
+
+    fn expr(&mut self) -> Result<Expr, QueryError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, QueryError> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("or") {
+            let right = self.and_expr()?;
+            left = Expr::Binary {
+                op: BinOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, QueryError> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("and") {
+            let right = self.not_expr()?;
+            left = Expr::Binary {
+                op: BinOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, QueryError> {
+        if self.eat_kw("not") {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr, QueryError> {
+        let left = self.additive()?;
+        let op = match self.peek() {
+            Tok::Eq => Some(BinOp::Eq),
+            Tok::Ne => Some(BinOp::Ne),
+            Tok::Lt => Some(BinOp::Lt),
+            Tok::Le => Some(BinOp::Le),
+            Tok::Gt => Some(BinOp::Gt),
+            Tok::Ge => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let right = self.additive()?;
+            return Ok(Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            });
+        }
+        if self.eat_kw("contains") {
+            let pattern = self.additive()?;
+            return Ok(Expr::Contains {
+                expr: Box::new(left),
+                pattern: Box::new(pattern),
+            });
+        }
+        if self.eat_kw("matches") {
+            let pos = self.peek_pos();
+            match self.bump() {
+                Tok::Str(pat) => {
+                    return Ok(Expr::Matches {
+                        expr: Box::new(left),
+                        pattern: pat,
+                    })
+                }
+                other => {
+                    return Err(QueryError::parse(
+                        format!("MATCHES wants a string pattern, found {other}"),
+                        pos,
+                    ))
+                }
+            }
+        }
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        let negated_in = {
+            // `NOT IN` is handled by not_expr for prefix NOT; support the
+            // infix form too.
+            if matches!(self.peek(), Tok::Ident(s) if s == "not")
+                && matches!(self.toks.get(self.pos + 1).map(|t| &t.tok), Some(Tok::Ident(s)) if s == "in")
+            {
+                self.bump();
+                true
+            } else {
+                false
+            }
+        };
+        if self.eat_kw("in") {
+            let e = self.in_rhs(left)?;
+            return Ok(if negated_in { Expr::Not(Box::new(e)) } else { e });
+        } else if negated_in {
+            return Err(QueryError::parse("expected IN after NOT", self.peek_pos()));
+        }
+        Ok(left)
+    }
+
+    fn in_rhs(&mut self, left: Expr) -> Result<Expr, QueryError> {
+        if self.eat_tok(&Tok::LBracket) {
+            // [bounding box for <name...>]
+            self.expect_kw("bounding")?;
+            self.expect_kw("box")?;
+            self.expect_kw("for")?;
+            let mut words = Vec::new();
+            while let Tok::Ident(s) = self.peek() {
+                words.push(s.clone());
+                self.bump();
+            }
+            let pos = self.peek_pos();
+            self.expect_tok(Tok::RBracket)?;
+            let name = words.join(" ");
+            let bbox = BoundingBox::named(&name).ok_or_else(|| {
+                QueryError::parse(format!("unknown bounding box {name:?}"), pos)
+            })?;
+            // The paper writes `location in [...]`; any left expression
+            // is accepted but only the tweet's coordinates are tested.
+            let _ = left;
+            Ok(Expr::InBoundingBox { bbox, name })
+        } else {
+            self.expect_tok(Tok::LParen)?;
+            let mut list = Vec::new();
+            loop {
+                let pos = self.peek_pos();
+                let v = match self.bump() {
+                    Tok::Int(i) => Value::Int(i),
+                    Tok::Float(f) => Value::Float(f),
+                    Tok::Str(s) => Value::Str(s),
+                    Tok::Ident(s) if s == "null" => Value::Null,
+                    Tok::Ident(s) if s == "true" => Value::Bool(true),
+                    Tok::Ident(s) if s == "false" => Value::Bool(false),
+                    Tok::Minus => match self.bump() {
+                        Tok::Int(i) => Value::Int(-i),
+                        Tok::Float(f) => Value::Float(-f),
+                        other => {
+                            return Err(QueryError::parse(
+                                format!("bad literal in IN list: -{other}"),
+                                pos,
+                            ))
+                        }
+                    },
+                    other => {
+                        return Err(QueryError::parse(
+                            format!("IN list wants literals, found {other}"),
+                            pos,
+                        ))
+                    }
+                };
+                list.push(v);
+                if !self.eat_tok(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect_tok(Tok::RParen)?;
+            Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+            })
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr, QueryError> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let right = self.multiplicative()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, QueryError> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let right = self.unary()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr, QueryError> {
+        if self.eat_tok(&Tok::Minus) {
+            Ok(Expr::Neg(Box::new(self.unary()?)))
+        } else {
+            self.primary()
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, QueryError> {
+        let pos = self.peek_pos();
+        match self.peek().clone() {
+            Tok::Int(i) => {
+                self.bump();
+                Ok(Expr::lit(i))
+            }
+            Tok::Float(f) => {
+                self.bump();
+                Ok(Expr::lit(f))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Str(s)))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_tok(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                if name == "null" {
+                    self.bump();
+                    return Ok(Expr::Literal(Value::Null));
+                }
+                if name == "true" {
+                    self.bump();
+                    return Ok(Expr::lit(true));
+                }
+                if name == "false" {
+                    self.bump();
+                    return Ok(Expr::lit(false));
+                }
+                if RESERVED.contains(&name.as_str()) {
+                    return Err(QueryError::parse(
+                        format!("expected expression, found keyword {}", name.to_uppercase()),
+                        pos,
+                    ));
+                }
+                self.bump();
+                // Function call?
+                if self.eat_tok(&Tok::LParen) {
+                    // COUNT(*) / COUNT(DISTINCT expr) special cases.
+                    if name == "count" && self.eat_tok(&Tok::Star) {
+                        self.expect_tok(Tok::RParen)?;
+                        return Ok(Expr::Call {
+                            name: "count".into(),
+                            args: vec![],
+                        });
+                    }
+                    if name == "count" && self.eat_kw("distinct") {
+                        let arg = self.expr()?;
+                        self.expect_tok(Tok::RParen)?;
+                        return Ok(Expr::Call {
+                            name: "count_distinct".into(),
+                            args: vec![arg],
+                        });
+                    }
+                    let mut args = Vec::new();
+                    if !self.eat_tok(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat_tok(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect_tok(Tok::RParen)?;
+                    }
+                    return Ok(Expr::Call { name, args });
+                }
+                // Qualified column?
+                if self.eat_tok(&Tok::Dot) {
+                    let col = self.expect_ident()?;
+                    return Ok(Expr::Column {
+                        qualifier: Some(name),
+                        name: col,
+                    });
+                }
+                Ok(Expr::col(&name))
+            }
+            other => Err(QueryError::parse(
+                format!("expected expression, found {other}"),
+                pos,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_one() {
+        // SELECT sentiment(text), latitude(loc), longitude(loc)
+        // FROM twitter WHERE text contains 'obama';
+        let s = parse(
+            "SELECT sentiment(text), latitude(loc), longitude(loc) \
+             FROM twitter WHERE text contains 'obama';",
+        )
+        .unwrap();
+        assert_eq!(s.from, "twitter");
+        assert_eq!(s.select.len(), 3);
+        match &s.select[0] {
+            SelectItem::Expr { expr, alias } => {
+                assert!(alias.is_none());
+                assert_eq!(
+                    expr,
+                    &Expr::Call {
+                        name: "sentiment".into(),
+                        args: vec![Expr::col("text")],
+                    }
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        match s.where_clause.unwrap() {
+            Expr::Contains { expr, pattern } => {
+                assert_eq!(*expr, Expr::col("text"));
+                assert_eq!(*pattern, Expr::lit("obama"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_example_two_bounding_box() {
+        let s = parse(
+            "SELECT text FROM twitter \
+             WHERE text contains 'obama' AND location in [bounding box for NYC];",
+        )
+        .unwrap();
+        let w = s.where_clause.unwrap();
+        let conjuncts = w.conjuncts();
+        assert_eq!(conjuncts.len(), 2);
+        match conjuncts[1] {
+            Expr::InBoundingBox { name, .. } => assert_eq!(name, "nyc"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_example_three_group_window() {
+        let s = parse(
+            "SELECT AVG(sentiment(text)), floor(latitude(loc)) AS lat, \
+             floor(longitude(loc)) AS long \
+             FROM twitter WHERE text contains 'obama' \
+             GROUP BY lat, long WINDOW 3 hours;",
+        )
+        .unwrap();
+        assert_eq!(s.group_by, vec!["lat", "long"]);
+        assert_eq!(s.window, Some(WindowSpec::Time(Duration::from_hours(3))));
+        match &s.select[1] {
+            SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("lat")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_word_bounding_box() {
+        let s = parse("SELECT text FROM twitter WHERE location in [bounding box for new york]")
+            .unwrap();
+        match s.where_clause.unwrap() {
+            Expr::InBoundingBox { name, .. } => assert_eq!(name, "new york"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_bounding_box_is_an_error() {
+        let e = parse("SELECT text FROM twitter WHERE location in [bounding box for atlantis]")
+            .unwrap_err();
+        assert!(e.to_string().contains("atlantis"));
+    }
+
+    #[test]
+    fn window_variants() {
+        assert_eq!(
+            parse("SELECT count(*) FROM twitter WINDOW 100 tuples")
+                .unwrap()
+                .window,
+            Some(WindowSpec::Count(100))
+        );
+        assert_eq!(
+            parse("SELECT count(*) FROM twitter WINDOW 90 seconds")
+                .unwrap()
+                .window,
+            Some(WindowSpec::Time(Duration::from_secs(90)))
+        );
+        assert_eq!(
+            parse("SELECT avg(x) FROM twitter GROUP BY y WINDOW CONFIDENCE 0.1 MAX 3 hours")
+                .unwrap()
+                .window,
+            Some(WindowSpec::Confidence {
+                epsilon: 0.1,
+                max_age: Some(Duration::from_hours(3)),
+            })
+        );
+        assert_eq!(
+            parse("SELECT avg(x) FROM twitter WINDOW CONFIDENCE 0.05")
+                .unwrap()
+                .window,
+            Some(WindowSpec::Confidence {
+                epsilon: 0.05,
+                max_age: None,
+            })
+        );
+    }
+
+    #[test]
+    fn count_star_and_limit() {
+        let s = parse("SELECT count(*) FROM twitter LIMIT 10").unwrap();
+        assert_eq!(s.limit, Some(10));
+        match &s.select[0] {
+            SelectItem::Expr { expr, .. } => assert_eq!(
+                expr,
+                &Expr::Call {
+                    name: "count".into(),
+                    args: vec![]
+                }
+            ),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let e = parse_expr("1 + 2 * 3 = 7 AND NOT x > 4 OR y").unwrap();
+        // ((1+(2*3))=7 AND NOT(x>4)) OR y
+        match e {
+            Expr::Binary { op: BinOp::Or, .. } => {}
+            other => panic!("top must be OR: {other:?}"),
+        }
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        assert_eq!(
+            e,
+            Expr::Binary {
+                op: BinOp::Add,
+                left: Box::new(Expr::lit(1i64)),
+                right: Box::new(Expr::Binary {
+                    op: BinOp::Mul,
+                    left: Box::new(Expr::lit(2i64)),
+                    right: Box::new(Expr::lit(3i64)),
+                }),
+            }
+        );
+    }
+
+    #[test]
+    fn matches_and_in_list() {
+        let e = parse_expr("text matches '\\d+-\\d+'").unwrap();
+        assert!(matches!(e, Expr::Matches { .. }));
+        let e = parse_expr("lang in ('en', 'ja')").unwrap();
+        match e {
+            Expr::InList { list, .. } => assert_eq!(list.len(), 2),
+            other => panic!("{other:?}"),
+        }
+        let e = parse_expr("user_id not in (1, 2, -3)").unwrap();
+        assert!(matches!(e, Expr::Not(_)));
+    }
+
+    #[test]
+    fn is_null() {
+        assert!(matches!(
+            parse_expr("lat is null").unwrap(),
+            Expr::IsNull { negated: false, .. }
+        ));
+        assert!(matches!(
+            parse_expr("lat is not null").unwrap(),
+            Expr::IsNull { negated: true, .. }
+        ));
+    }
+
+    #[test]
+    fn join_clause() {
+        let s = parse(
+            "SELECT text FROM twitter JOIN news ON twitter.screen_name = news.author \
+             WINDOW 5 minutes",
+        )
+        .unwrap();
+        let j = s.join.unwrap();
+        assert_eq!(j.stream, "news");
+        assert_eq!(j.left_col, "screen_name");
+        assert_eq!(j.right_col, "author");
+    }
+
+    #[test]
+    fn join_qualifier_order_normalized() {
+        let s = parse("SELECT text FROM a JOIN b ON b.x = a.y").unwrap();
+        let j = s.join.unwrap();
+        assert_eq!(j.left_col, "y");
+        assert_eq!(j.right_col, "x");
+    }
+
+    #[test]
+    fn wildcard_select() {
+        let s = parse("SELECT * FROM twitter").unwrap();
+        assert_eq!(s.select, vec![SelectItem::Wildcard]);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("SELECT FROM twitter").is_err());
+        assert!(parse("SELECT text twitter").is_err());
+        assert!(parse("SELECT text FROM twitter WHERE").is_err());
+        assert!(parse("SELECT text FROM twitter LIMIT x").is_err());
+        assert!(parse("SELECT text FROM twitter WINDOW banana").is_err());
+        assert!(parse("SELECT text FROM twitter GROUP lat").is_err());
+        assert!(parse("SELECT text FROM twitter; extra").is_err());
+        assert!(parse("SELECT text FROM twitter WHERE text matches 5").is_err());
+    }
+
+    #[test]
+    fn reserved_words_rejected_as_columns() {
+        let e = parse("SELECT select FROM twitter").unwrap_err();
+        assert!(e.to_string().contains("keyword"));
+    }
+
+    #[test]
+    fn case_insensitivity() {
+        let a = parse("select text from twitter where text contains 'x'").unwrap();
+        let b = parse("SELECT TEXT FROM TWITTER WHERE TEXT CONTAINS 'x'").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn having_clause_parses() {
+        let s = parse("SELECT lang, count(*) FROM twitter GROUP BY lang HAVING count(*) > 10")
+            .unwrap();
+        assert!(s.having.is_some());
+        match s.having.unwrap() {
+            Expr::Binary { op: BinOp::Gt, .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sliding_window_parses_and_validates() {
+        let s = parse("SELECT count(*) FROM twitter WINDOW 10 minutes SLIDE 2 minutes").unwrap();
+        assert_eq!(
+            s.window,
+            Some(WindowSpec::Sliding {
+                size: Duration::from_mins(10),
+                slide: Duration::from_mins(2),
+            })
+        );
+        assert!(parse("SELECT count(*) FROM twitter WINDOW 1 minutes SLIDE 5 minutes").is_err());
+    }
+
+    #[test]
+    fn count_distinct_parses() {
+        let s = parse("SELECT count(distinct screen_name) FROM twitter").unwrap();
+        match &s.select[0] {
+            SelectItem::Expr { expr, .. } => assert_eq!(
+                expr,
+                &Expr::Call {
+                    name: "count_distinct".into(),
+                    args: vec![Expr::col("screen_name")],
+                }
+            ),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn contains_with_non_literal_pattern() {
+        // contains accepts any expression as needle.
+        let e = parse_expr("text contains screen_name").unwrap();
+        assert!(matches!(e, Expr::Contains { .. }));
+    }
+}

@@ -1,0 +1,942 @@
+//! The planner: AST → physical pipeline.
+//!
+//! Responsibilities:
+//! * resolve streams and columns against the [`crate::catalog::Catalog`];
+//! * fold constants and order local predicates by cost
+//!   ([`optimizer`]), or hand them to the adaptive
+//!   [`crate::exec::eddy::EddyFilter`];
+//! * extract *API filter candidates* from the WHERE clause (`text
+//!   contains 'kw'` → `track`, `location in [bbox]` → `locations`,
+//!   `user_id = n` → `follow`) — the engine samples these and pushes
+//!   down the lowest-selectivity one (§2 "Uncertain Selectivities");
+//! * **hoist async UDF calls** out of expressions into
+//!   [`crate::exec::asyncop::AsyncUdfOp`] stages — calls needed by
+//!   WHERE run before the filter, all others after it, so tuples the
+//!   filter drops never cost a web-service call (§2 "High-latency
+//!   Operators");
+//! * build windowed aggregation with a canonical `[keys…, aggs…]`
+//!   layout plus a post-projection restoring SELECT order.
+
+pub mod optimizer;
+
+use crate::ast::{AggFunc, BinOp, Expr, SelectItem, SelectStmt, WindowSpec};
+use crate::catalog::Catalog;
+use crate::error::QueryError;
+use crate::exec::aggregate::{AggExpr, AggregateOp, WindowPolicy};
+use crate::exec::asyncop::AsyncUdfOp;
+use crate::exec::eddy::EddyFilter;
+use crate::exec::filter::FilterOp;
+use crate::exec::join::SymmetricHashJoin;
+use crate::exec::limit::LimitOp;
+use crate::exec::project::ProjectOp;
+use crate::exec::{Operator, Pipeline};
+use crate::expr::{compile_into, EvalCtx};
+use crate::udf::Registry;
+use std::sync::Arc;
+use tweeql_firehose::FilterSpec;
+use tweeql_model::{DataType, Duration, Field, Schema, SchemaRef, Value};
+
+/// Planner knobs (a projection of the engine config).
+#[derive(Debug, Clone)]
+pub struct PlanConfig {
+    /// Use the adaptive eddy for multi-conjunct local filters.
+    pub use_eddy: bool,
+    /// Async operator batch size (1 = unbatched).
+    pub async_max_batch: usize,
+    /// Max stream-time an async tuple waits for batch peers.
+    pub async_max_delay: Duration,
+    /// Join window when the query gives none.
+    pub default_join_window: Duration,
+}
+
+impl Default for PlanConfig {
+    fn default() -> Self {
+        PlanConfig {
+            use_eddy: false,
+            async_max_batch: 25,
+            async_max_delay: Duration::from_secs(2),
+            default_join_window: Duration::from_mins(5),
+        }
+    }
+}
+
+/// A WHERE conjunct the streaming API could evaluate server-side.
+#[derive(Debug, Clone)]
+pub struct ApiCandidate {
+    /// The API filter.
+    pub spec: FilterSpec,
+    /// Human-readable description for stats/EXPLAIN.
+    pub description: String,
+}
+
+/// A planned join (driven by the engine, which owns both connections).
+pub struct PlannedJoin {
+    /// Right-side stream name.
+    pub right_stream: String,
+    /// The join operator.
+    pub join: SymmetricHashJoin,
+}
+
+/// The output of planning.
+pub struct PlannedQuery {
+    /// Post-scan operator chain.
+    pub pipeline: Pipeline,
+    /// Final output schema.
+    pub output_schema: SchemaRef,
+    /// Pushdown candidates extracted from WHERE (empty ⇒ full stream).
+    pub api_candidates: Vec<ApiCandidate>,
+    /// Join, when present.
+    pub join: Option<PlannedJoin>,
+    /// Textual plan description.
+    pub explain: String,
+}
+
+impl std::fmt::Debug for PlannedQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PlannedQuery {{ {} }}", self.explain.replace('\n', "; "))
+    }
+}
+
+/// One hoisted async call.
+struct Hoist {
+    name: String,
+    args: Vec<Expr>,
+    col: String,
+}
+
+/// Plan `stmt`.
+pub fn plan(
+    stmt: &SelectStmt,
+    catalog: &Catalog,
+    registry: &Registry,
+    config: &PlanConfig,
+) -> Result<PlannedQuery, QueryError> {
+    let left_schema = catalog.resolve(&stmt.from)?;
+    let mut explain = Vec::new();
+
+    // ---- join ----
+    let (mut working_schema, join) = match &stmt.join {
+        None => (left_schema, None),
+        Some(jc) => {
+            let right_schema = catalog.resolve(&jc.stream)?;
+            let joined = Arc::new(left_schema.concat(&right_schema));
+            let window = match stmt.window {
+                Some(WindowSpec::Time(d)) => d,
+                _ => config.default_join_window,
+            };
+            let mut ctx = EvalCtx::default();
+            let lk = compile_into(&Expr::col(&jc.left_col), &left_schema, registry, &mut ctx)?;
+            let rk = compile_into(&Expr::col(&jc.right_col), &right_schema, registry, &mut ctx)?;
+            explain.push(format!(
+                "join {} ⋈ {} on {} = {} within {}",
+                stmt.from, jc.stream, jc.left_col, jc.right_col, window
+            ));
+            (
+                joined.clone(),
+                Some(PlannedJoin {
+                    right_stream: jc.stream.clone(),
+                    join: SymmetricHashJoin::new(lk, rk, ctx, window, joined),
+                }),
+            )
+        }
+    };
+
+    // ---- WHERE: fold, split, extract API candidates ----
+    let mut conjuncts: Vec<Expr> = match &stmt.where_clause {
+        Some(w) => optimizer::fold_constants(w)
+            .conjuncts()
+            .into_iter().filter(|&c| *c != Expr::Literal(Value::Bool(true))).cloned()
+            .collect(),
+        None => Vec::new(),
+    };
+
+    let api_candidates = if join.is_none() && stmt.from.eq_ignore_ascii_case("twitter") {
+        extract_api_candidates(&conjuncts)
+    } else {
+        Vec::new()
+    };
+    for c in &api_candidates {
+        explain.push(format!("api candidate: {}", c.description));
+    }
+
+    // ---- hoist async UDFs ----
+    let mut hoists: Vec<Hoist> = Vec::new();
+    for c in conjuncts.iter_mut() {
+        *c = rewrite_async(c, registry, &mut hoists)?;
+    }
+    let where_hoists = hoists.len();
+
+    // Rewrite SELECT items; keep the pre-hoist expression for output
+    // naming (the user wrote `latitude(loc)`, not `__a0`).
+    let mut select_exprs: Vec<(Expr, Expr, Option<String>)> = Vec::new();
+    for item in &stmt.select {
+        match item {
+            SelectItem::Wildcard => {
+                for f in working_schema.fields() {
+                    if !f.name.starts_with("__") {
+                        let e = Expr::col(&f.name);
+                        select_exprs.push((e.clone(), e, None));
+                    }
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let folded = optimizer::fold_constants(expr);
+                let rewritten = rewrite_async(&folded, registry, &mut hoists)?;
+                select_exprs.push((rewritten, folded, alias.clone()));
+            }
+        }
+    }
+
+    // ---- build the pipeline ----
+    let mut ops: Vec<Box<dyn Operator>> = Vec::new();
+
+    let add_async = |range: std::ops::Range<usize>,
+                         schema: &mut SchemaRef,
+                         ops: &mut Vec<Box<dyn Operator>>,
+                         explain: &mut Vec<String>|
+     -> Result<(), QueryError> {
+        for h in &hoists[range] {
+            let factory = registry
+                .async_udf(&h.name)
+                .ok_or_else(|| QueryError::UnknownFunction(h.name.clone()))?;
+            let mut ctx = EvalCtx::default();
+            let mut cargs = Vec::with_capacity(h.args.len());
+            for a in &h.args {
+                cargs.push(compile_into(a, schema, registry, &mut ctx)?);
+            }
+            let mut fields: Vec<Field> = schema.fields().to_vec();
+            fields.push(Field::new(h.col.clone(), DataType::Any));
+            let out_schema = Arc::new(Schema::new(fields));
+            ops.push(Box::new(AsyncUdfOp::new(
+                factory(),
+                cargs,
+                ctx,
+                out_schema.clone(),
+                config.async_max_batch,
+                config.async_max_delay,
+            )));
+            explain.push(format!(
+                "async {}(…) → {} (batch ≤ {})",
+                h.name, h.col, config.async_max_batch
+            ));
+            *schema = out_schema;
+        }
+        Ok(())
+    };
+
+    // Async calls WHERE needs, then the filter, then the rest.
+    add_async(0..where_hoists, &mut working_schema, &mut ops, &mut explain)?;
+
+    if !conjuncts.is_empty() {
+        let ordered = optimizer::order_conjuncts(conjuncts);
+        if config.use_eddy && ordered.len() > 1 {
+            let mut ctx = EvalCtx::default();
+            let mut compiled = Vec::with_capacity(ordered.len());
+            for c in &ordered {
+                compiled.push(compile_into(c, &working_schema, registry, &mut ctx)?);
+            }
+            explain.push(format!("eddy filter over {} predicates", compiled.len()));
+            ops.push(Box::new(EddyFilter::new(
+                compiled,
+                ctx,
+                working_schema.clone(),
+            )));
+        } else {
+            let expr = Expr::and_all(ordered);
+            let mut ctx = EvalCtx::default();
+            let compiled = compile_into(&expr, &working_schema, registry, &mut ctx)?;
+            explain.push("filter (cost-ordered conjuncts)".to_string());
+            ops.push(Box::new(
+                FilterOp::new(compiled, ctx, working_schema.clone()).with_label("where"),
+            ));
+        }
+    }
+
+    add_async(
+        where_hoists..hoists.len(),
+        &mut working_schema,
+        &mut ops,
+        &mut explain,
+    )?;
+
+    // HAVING: folded and async-rewritten like SELECT items (its hoists
+    // land in the post-filter set, i.e. before aggregation).
+    let having_expr = match &stmt.having {
+        Some(h) => Some(rewrite_async(
+            &optimizer::fold_constants(h),
+            registry,
+            &mut hoists,
+        )?),
+        None => None,
+    };
+
+    // ---- aggregation or projection ----
+    let mut aggs: Vec<(AggFunc, Option<Expr>)> = Vec::new();
+    for (e, _, _) in &select_exprs {
+        collect_aggs(e, &mut aggs)?;
+    }
+    if let Some(h) = &having_expr {
+        collect_aggs(h, &mut aggs)?;
+    }
+
+    if having_expr.is_some() && aggs.is_empty() && stmt.group_by.is_empty() {
+        return Err(QueryError::Plan(
+            "HAVING requires GROUP BY or an aggregate".into(),
+        ));
+    }
+
+    let output_schema;
+    if !aggs.is_empty() || !stmt.group_by.is_empty() {
+        // Group keys: aliases resolve to their select expressions.
+        let alias_of = |name: &str| -> Option<Expr> {
+            select_exprs
+                .iter()
+                .find(|(_, _, a)| a.as_deref() == Some(name))
+                .map(|(e, _, _)| e.clone())
+        };
+        let mut key_names = Vec::new();
+        let mut key_exprs = Vec::new();
+        for g in &stmt.group_by {
+            let e = alias_of(g).unwrap_or_else(|| Expr::col(g));
+            if collect_aggs(&e, &mut Vec::new()).is_err() || expr_has_agg(&e) {
+                return Err(QueryError::Plan(format!(
+                    "GROUP BY {g} must not contain aggregates"
+                )));
+            }
+            key_names.push(g.clone());
+            key_exprs.push(e);
+        }
+
+        // Canonical agg schema: [keys…, agg0…].
+        let mut fields: Vec<Field> = key_names
+            .iter()
+            .map(|n| Field::new(n.clone(), DataType::Any))
+            .collect();
+        for (i, _) in aggs.iter().enumerate() {
+            fields.push(Field::new(format!("agg{i}"), DataType::Any));
+        }
+        let agg_schema = Arc::new(Schema::new(fields));
+
+        let policy = window_policy(&stmt.window, join.is_some());
+        let confidence_target = if let WindowPolicy::Confidence { .. } = policy {
+            match aggs.iter().position(|(f, _)| *f == AggFunc::Avg) {
+                Some(i) => i,
+                None => {
+                    return Err(QueryError::Plan(
+                        "WINDOW CONFIDENCE requires an AVG aggregate to track".into(),
+                    ))
+                }
+            }
+        } else {
+            0
+        };
+
+        let mut ctx = EvalCtx::default();
+        let mut ckeys = Vec::with_capacity(key_exprs.len());
+        for k in &key_exprs {
+            ckeys.push(compile_into(k, &working_schema, registry, &mut ctx)?);
+        }
+        let mut cags = Vec::with_capacity(aggs.len());
+        for (f, arg) in &aggs {
+            cags.push(AggExpr {
+                func: *f,
+                arg: match arg {
+                    Some(a) => Some(compile_into(a, &working_schema, registry, &mut ctx)?),
+                    None => None,
+                },
+            });
+        }
+        explain.push(format!(
+            "aggregate [{}] by [{}] window {:?}",
+            aggs.iter().map(|(f, _)| f.name()).collect::<Vec<_>>().join(", "),
+            key_names.join(", "),
+            policy,
+        ));
+        ops.push(Box::new(AggregateOp::new(
+            ckeys,
+            cags,
+            ctx,
+            policy,
+            agg_schema.clone(),
+            confidence_target,
+        )));
+
+        // HAVING filters aggregate output before the final projection.
+        if let Some(h) = &having_expr {
+            let mut mapped = replace_aggs(h, &aggs);
+            for (k_expr, k_name) in key_exprs.iter().zip(&key_names) {
+                mapped = replace_subtree(&mapped, k_expr, &Expr::col(k_name));
+            }
+            let mut ctx = EvalCtx::default();
+            let compiled =
+                compile_into(&mapped, &agg_schema, registry, &mut ctx).map_err(|err| {
+                    match err {
+                        QueryError::UnknownColumn(c) => QueryError::Plan(format!(
+                            "HAVING column {c} must appear in GROUP BY or an aggregate"
+                        )),
+                        other => other,
+                    }
+                })?;
+            explain.push("having filter".to_string());
+            ops.push(Box::new(
+                FilterOp::new(compiled, ctx, agg_schema.clone()).with_label("having"),
+            ));
+        }
+
+        // Post-projection back to SELECT order.
+        let mut out_fields = Vec::new();
+        let mut pexprs = Vec::new();
+        let mut ctx = EvalCtx::default();
+        for (i, (e, original, alias)) in select_exprs.iter().enumerate() {
+            let mut mapped = replace_aggs(e, &aggs);
+            for (k_expr, k_name) in key_exprs.iter().zip(&key_names) {
+                mapped = replace_subtree(&mapped, k_expr, &Expr::col(k_name));
+            }
+            let compiled =
+                compile_into(&mapped, &agg_schema, registry, &mut ctx).map_err(|err| {
+                    match err {
+                        QueryError::UnknownColumn(c) => QueryError::Plan(format!(
+                            "column {c} must appear in GROUP BY or inside an aggregate"
+                        )),
+                        other => other,
+                    }
+                })?;
+            pexprs.push(compiled);
+            out_fields.push(Field::new(
+                output_name(original, alias.as_deref(), i),
+                DataType::Any,
+            ));
+        }
+        let schema = Arc::new(Schema::new(dedupe_names(out_fields)));
+        ops.push(Box::new(ProjectOp::new(pexprs, ctx, schema.clone())));
+        output_schema = schema;
+    } else {
+        let mut out_fields = Vec::new();
+        let mut pexprs = Vec::new();
+        let mut ctx = EvalCtx::default();
+        for (i, (e, original, alias)) in select_exprs.iter().enumerate() {
+            pexprs.push(compile_into(e, &working_schema, registry, &mut ctx)?);
+            out_fields.push(Field::new(
+                output_name(original, alias.as_deref(), i),
+                DataType::Any,
+            ));
+        }
+        let schema = Arc::new(Schema::new(dedupe_names(out_fields)));
+        explain.push(format!("project {} columns", schema.len()));
+        ops.push(Box::new(ProjectOp::new(pexprs, ctx, schema.clone())));
+        output_schema = schema;
+    }
+
+    if let Some(n) = stmt.limit {
+        explain.push(format!("limit {n}"));
+        ops.push(Box::new(LimitOp::new(n, output_schema.clone())));
+    }
+
+    Ok(PlannedQuery {
+        pipeline: Pipeline::new(ops),
+        output_schema,
+        api_candidates,
+        join,
+        explain: explain.join("\n"),
+    })
+}
+
+fn window_policy(spec: &Option<WindowSpec>, is_join: bool) -> WindowPolicy {
+    match spec {
+        None => WindowPolicy::Unbounded,
+        // For a join query, the time window configured the join itself.
+        Some(WindowSpec::Time(_)) if is_join => WindowPolicy::Unbounded,
+        Some(WindowSpec::Time(d)) => WindowPolicy::Time(*d),
+        Some(WindowSpec::Count(n)) => WindowPolicy::Count(*n),
+        Some(WindowSpec::Confidence { epsilon, max_age }) => WindowPolicy::Confidence {
+            epsilon: *epsilon,
+            max_age: *max_age,
+        },
+        Some(WindowSpec::Sliding { size, slide }) => WindowPolicy::Sliding {
+            size: *size,
+            slide: *slide,
+        },
+    }
+}
+
+/// Pull `track` / `locations` / `follow` candidates out of conjuncts.
+fn extract_api_candidates(conjuncts: &[Expr]) -> Vec<ApiCandidate> {
+    let mut out = Vec::new();
+    for c in conjuncts {
+        if let Some(kws) = as_track_keywords(c) {
+            out.push(ApiCandidate {
+                description: format!("track({})", kws.join(", ")),
+                spec: FilterSpec::Track(kws),
+            });
+            continue;
+        }
+        if let Expr::InBoundingBox { bbox, name } = c {
+            out.push(ApiCandidate {
+                description: format!("locations({name})"),
+                spec: FilterSpec::Locations(*bbox),
+            });
+            continue;
+        }
+        if let Some(ids) = as_follow_ids(c) {
+            out.push(ApiCandidate {
+                description: format!("follow({} users)", ids.len()),
+                spec: FilterSpec::Follow(ids),
+            });
+        }
+    }
+    out
+}
+
+/// `text contains 'kw'`, or an OR-tree of them, as track keywords.
+fn as_track_keywords(e: &Expr) -> Option<Vec<String>> {
+    match e {
+        Expr::Contains { expr, pattern } => match (expr.as_ref(), pattern.as_ref()) {
+            (Expr::Column { name, .. }, Expr::Literal(Value::Str(s)))
+                if name == "text" && !s.is_empty() =>
+            {
+                Some(vec![s.clone()])
+            }
+            _ => None,
+        },
+        Expr::Binary {
+            op: BinOp::Or,
+            left,
+            right,
+        } => {
+            let mut l = as_track_keywords(left)?;
+            let r = as_track_keywords(right)?;
+            l.extend(r);
+            Some(l)
+        }
+        _ => None,
+    }
+}
+
+/// `user_id = n` or `user_id in (…)` as follow ids.
+fn as_follow_ids(e: &Expr) -> Option<Vec<u64>> {
+    match e {
+        Expr::Binary {
+            op: BinOp::Eq,
+            left,
+            right,
+        } => match (left.as_ref(), right.as_ref()) {
+            (Expr::Column { name, .. }, Expr::Literal(Value::Int(id)))
+            | (Expr::Literal(Value::Int(id)), Expr::Column { name, .. })
+                if name == "user_id" && *id >= 0 =>
+            {
+                Some(vec![*id as u64])
+            }
+            _ => None,
+        },
+        Expr::InList { expr, list } => match expr.as_ref() {
+            Expr::Column { name, .. } if name == "user_id" => {
+                let ids: Option<Vec<u64>> = list
+                    .iter()
+                    .map(|v| v.as_int().ok().filter(|i| *i >= 0).map(|i| i as u64))
+                    .collect();
+                ids
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Post-order rewrite replacing async UDF calls with hoisted columns.
+fn rewrite_async(
+    expr: &Expr,
+    registry: &Registry,
+    hoists: &mut Vec<Hoist>,
+) -> Result<Expr, QueryError> {
+    Ok(match expr {
+        Expr::Call { name, args } => {
+            let new_args: Result<Vec<Expr>, QueryError> = args
+                .iter()
+                .map(|a| rewrite_async(a, registry, hoists))
+                .collect();
+            let new_args = new_args?;
+            if registry.async_udf(name).is_some() {
+                // Reuse an identical hoist.
+                if let Some(h) = hoists
+                    .iter()
+                    .find(|h| h.name == *name && h.args == new_args)
+                {
+                    return Ok(Expr::col(&h.col));
+                }
+                let col = format!("__a{}", hoists.len());
+                hoists.push(Hoist {
+                    name: name.clone(),
+                    args: new_args,
+                    col: col.clone(),
+                });
+                Expr::col(&col)
+            } else {
+                Expr::Call {
+                    name: name.clone(),
+                    args: new_args,
+                }
+            }
+        }
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(rewrite_async(left, registry, hoists)?),
+            right: Box::new(rewrite_async(right, registry, hoists)?),
+        },
+        Expr::Not(e) => Expr::Not(Box::new(rewrite_async(e, registry, hoists)?)),
+        Expr::Neg(e) => Expr::Neg(Box::new(rewrite_async(e, registry, hoists)?)),
+        Expr::Contains { expr, pattern } => Expr::Contains {
+            expr: Box::new(rewrite_async(expr, registry, hoists)?),
+            pattern: Box::new(rewrite_async(pattern, registry, hoists)?),
+        },
+        Expr::Matches { expr, pattern } => Expr::Matches {
+            expr: Box::new(rewrite_async(expr, registry, hoists)?),
+            pattern: pattern.clone(),
+        },
+        Expr::InList { expr, list } => Expr::InList {
+            expr: Box::new(rewrite_async(expr, registry, hoists)?),
+            list: list.clone(),
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(rewrite_async(expr, registry, hoists)?),
+            negated: *negated,
+        },
+        other => other.clone(),
+    })
+}
+
+fn expr_has_agg(e: &Expr) -> bool {
+    let mut v = Vec::new();
+    collect_aggs(e, &mut v).is_err() || !v.is_empty()
+}
+
+/// Interpret a call as an aggregate, handling `topk(expr, k)`'s extra
+/// literal argument.
+fn agg_from_call(name: &str, args: &[Expr]) -> Option<(AggFunc, Option<Expr>)> {
+    if name == "topk" {
+        let k = match args.get(1) {
+            Some(Expr::Literal(v)) => v.as_int().ok().filter(|k| *k > 0)? as u32,
+            _ => return None,
+        };
+        return Some((AggFunc::TopK(k), args.first().cloned()));
+    }
+    AggFunc::from_name(name).map(|f| (f, args.first().cloned()))
+}
+
+/// Collect aggregate calls (deduplicated); error on nesting.
+fn collect_aggs(
+    e: &Expr,
+    out: &mut Vec<(AggFunc, Option<Expr>)>,
+) -> Result<(), QueryError> {
+    match e {
+        Expr::Call { name, args } => {
+            if let Some((func, arg)) = agg_from_call(name, args) {
+                if let Some(a) = &arg {
+                    let mut nested = Vec::new();
+                    collect_aggs(a, &mut nested)?;
+                    if !nested.is_empty() {
+                        return Err(QueryError::Plan(format!(
+                            "nested aggregate inside {name}()"
+                        )));
+                    }
+                }
+                if !out.iter().any(|(f, a)| *f == func && *a == arg) {
+                    out.push((func, arg));
+                }
+            } else {
+                for a in args {
+                    collect_aggs(a, out)?;
+                }
+            }
+        }
+        Expr::Binary { left, right, .. } => {
+            collect_aggs(left, out)?;
+            collect_aggs(right, out)?;
+        }
+        Expr::Not(inner) | Expr::Neg(inner) => collect_aggs(inner, out)?,
+        Expr::Contains { expr, pattern } => {
+            collect_aggs(expr, out)?;
+            collect_aggs(pattern, out)?;
+        }
+        Expr::Matches { expr, .. }
+        | Expr::InList { expr, .. }
+        | Expr::IsNull { expr, .. } => collect_aggs(expr, out)?,
+        _ => {}
+    }
+    Ok(())
+}
+
+/// Replace aggregate calls with their canonical output columns.
+fn replace_aggs(e: &Expr, aggs: &[(AggFunc, Option<Expr>)]) -> Expr {
+    if let Expr::Call { name, args } = e {
+        if let Some((func, arg)) = agg_from_call(name, args) {
+            if let Some(i) = aggs.iter().position(|(f, a)| *f == func && *a == arg) {
+                return Expr::col(&format!("agg{i}"));
+            }
+        }
+    }
+    match e {
+        Expr::Call { name, args } => Expr::Call {
+            name: name.clone(),
+            args: args.iter().map(|a| replace_aggs(a, aggs)).collect(),
+        },
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(replace_aggs(left, aggs)),
+            right: Box::new(replace_aggs(right, aggs)),
+        },
+        Expr::Not(inner) => Expr::Not(Box::new(replace_aggs(inner, aggs))),
+        Expr::Neg(inner) => Expr::Neg(Box::new(replace_aggs(inner, aggs))),
+        other => other.clone(),
+    }
+}
+
+/// Replace every subtree equal to `target` with `replacement`.
+fn replace_subtree(e: &Expr, target: &Expr, replacement: &Expr) -> Expr {
+    if e == target {
+        return replacement.clone();
+    }
+    match e {
+        Expr::Call { name, args } => Expr::Call {
+            name: name.clone(),
+            args: args
+                .iter()
+                .map(|a| replace_subtree(a, target, replacement))
+                .collect(),
+        },
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(replace_subtree(left, target, replacement)),
+            right: Box::new(replace_subtree(right, target, replacement)),
+        },
+        Expr::Not(inner) => Expr::Not(Box::new(replace_subtree(inner, target, replacement))),
+        Expr::Neg(inner) => Expr::Neg(Box::new(replace_subtree(inner, target, replacement))),
+        other => other.clone(),
+    }
+}
+
+/// Derive an output column name.
+fn output_name(e: &Expr, alias: Option<&str>, idx: usize) -> String {
+    if let Some(a) = alias {
+        return a.to_string();
+    }
+    match e {
+        Expr::Column { name, .. } => {
+            if name.starts_with("__") {
+                format!("col{idx}")
+            } else {
+                name.clone()
+            }
+        }
+        Expr::Call { name, .. } => name.clone(),
+        Expr::Contains { .. } => "contains".to_string(),
+        Expr::Matches { .. } => "matches".to_string(),
+        _ => format!("col{idx}"),
+    }
+}
+
+/// Suffix duplicate output names (`text`, `text_2`, …).
+fn dedupe_names(fields: Vec<Field>) -> Vec<Field> {
+    let mut seen: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    fields
+        .into_iter()
+        .map(|f| {
+            let n = seen.entry(f.name.clone()).or_insert(0);
+            *n += 1;
+            if *n == 1 {
+                f
+            } else {
+                Field::new(format!("{}_{}", f.name, n), f.data_type)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::udf::{Registry, ServiceConfig};
+    use tweeql_model::VirtualClock;
+
+    fn setup() -> (Catalog, Registry, PlanConfig) {
+        (
+            Catalog::with_twitter(),
+            Registry::standard(&ServiceConfig::default(), VirtualClock::new()),
+            PlanConfig::default(),
+        )
+    }
+
+    fn plan_sql(sql: &str) -> PlannedQuery {
+        let (c, r, cfg) = setup();
+        plan(&parse(sql).unwrap(), &c, &r, &cfg).unwrap()
+    }
+
+    #[test]
+    fn simple_projection_plan() {
+        let p = plan_sql("SELECT text, followers FROM twitter WHERE text contains 'obama'");
+        assert_eq!(p.output_schema.names(), vec!["text", "followers"]);
+        assert!(p.join.is_none());
+        assert_eq!(p.api_candidates.len(), 1);
+        assert!(p.api_candidates[0].description.contains("track"));
+        // filter + project
+        assert_eq!(p.pipeline.len(), 2);
+    }
+
+    #[test]
+    fn paper_query_one_hoists_two_async_calls_after_filter() {
+        let p = plan_sql(
+            "SELECT sentiment(text), latitude(loc), longitude(loc) \
+             FROM twitter WHERE text contains 'obama'",
+        );
+        // filter, async lat, async lon, project.
+        assert_eq!(p.pipeline.len(), 4, "{}", p.explain);
+        assert!(p.explain.contains("async latitude"));
+        assert!(p.explain.contains("async longitude"));
+        // The filter stage must run before the async stages.
+        let stages: Vec<String> = p.pipeline.stage_stats().iter().map(|(n, _)| n.clone()).collect();
+        assert_eq!(stages[0], "where");
+        assert!(stages[1].starts_with("async:"));
+        assert_eq!(
+            p.output_schema.names(),
+            vec!["sentiment", "latitude", "longitude"]
+        );
+    }
+
+    #[test]
+    fn async_in_where_runs_before_filter() {
+        let p = plan_sql("SELECT text FROM twitter WHERE latitude(loc) > 40");
+        let stages: Vec<String> =
+            p.pipeline.stage_stats().iter().map(|(n, _)| n.clone()).collect();
+        assert!(stages[0].starts_with("async:latitude"), "{stages:?}");
+        assert_eq!(stages[1], "where");
+    }
+
+    #[test]
+    fn duplicate_async_calls_are_shared() {
+        let p = plan_sql("SELECT latitude(loc), latitude(loc) + 1 FROM twitter");
+        // One async op, one project.
+        assert_eq!(p.pipeline.len(), 2, "{}", p.explain);
+    }
+
+    #[test]
+    fn paper_query_three_aggregate_plan() {
+        let p = plan_sql(
+            "SELECT AVG(sentiment(text)), floor(latitude(loc)) AS lat, \
+             floor(longitude(loc)) AS long \
+             FROM twitter WHERE text contains 'obama' \
+             GROUP BY lat, long WINDOW 3 hours",
+        );
+        assert_eq!(p.output_schema.names(), vec!["avg", "lat", "long"]);
+        assert!(p.explain.contains("aggregate"));
+        assert!(p.explain.contains("Time"));
+        // where, async lat, async lon, aggregate, project.
+        assert_eq!(p.pipeline.len(), 5, "{}", p.explain);
+    }
+
+    #[test]
+    fn group_by_non_grouped_column_rejected() {
+        let (c, r, cfg) = setup();
+        let stmt =
+            parse("SELECT text, count(*) FROM twitter GROUP BY lang").unwrap();
+        let err = plan(&stmt, &c, &r, &cfg).unwrap_err();
+        assert!(err.to_string().contains("GROUP BY"), "{err}");
+    }
+
+    #[test]
+    fn confidence_window_requires_avg() {
+        let (c, r, cfg) = setup();
+        let stmt = parse(
+            "SELECT count(*) FROM twitter GROUP BY lang WINDOW CONFIDENCE 0.1",
+        )
+        .unwrap();
+        let err = plan(&stmt, &c, &r, &cfg).unwrap_err();
+        assert!(err.to_string().contains("AVG"), "{err}");
+    }
+
+    #[test]
+    fn or_of_contains_becomes_multi_keyword_track() {
+        let p = plan_sql(
+            "SELECT text FROM twitter WHERE \
+             (text contains 'soccer' OR text contains 'football') \
+             AND location in [bounding box for london]",
+        );
+        assert_eq!(p.api_candidates.len(), 2, "{:#?}", p.api_candidates);
+        assert!(p.api_candidates[0].description.contains("soccer, football"));
+        assert!(p.api_candidates[1].description.contains("london"));
+    }
+
+    #[test]
+    fn follow_candidate_extracted() {
+        let p = plan_sql("SELECT text FROM twitter WHERE user_id = 42");
+        assert_eq!(p.api_candidates.len(), 1);
+        assert!(matches!(
+            p.api_candidates[0].spec,
+            FilterSpec::Follow(ref ids) if ids == &vec![42]
+        ));
+        let p = plan_sql("SELECT text FROM twitter WHERE user_id in (1, 2, 3)");
+        assert!(matches!(
+            p.api_candidates[0].spec,
+            FilterSpec::Follow(ref ids) if ids.len() == 3
+        ));
+    }
+
+    #[test]
+    fn wildcard_expands_without_internal_columns() {
+        let p = plan_sql("SELECT * FROM twitter");
+        assert!(p.output_schema.names().contains(&"text"));
+        assert!(p.output_schema.names().iter().all(|n| !n.starts_with("__")));
+    }
+
+    #[test]
+    fn join_plan_built() {
+        let p = plan_sql(
+            "SELECT text FROM twitter JOIN twitter ON screen_name = screen_name \
+             WINDOW 5 minutes",
+        );
+        assert!(p.join.is_some());
+        assert!(p.api_candidates.is_empty(), "no pushdown for joins");
+    }
+
+    #[test]
+    fn eddy_used_when_configured() {
+        let (c, r, mut cfg) = setup();
+        cfg.use_eddy = true;
+        let stmt = parse(
+            "SELECT text FROM twitter WHERE text contains 'a' AND followers > 10",
+        )
+        .unwrap();
+        let p = plan(&stmt, &c, &r, &cfg).unwrap();
+        assert!(p.explain.contains("eddy"), "{}", p.explain);
+    }
+
+    #[test]
+    fn nested_aggregate_rejected() {
+        let (c, r, cfg) = setup();
+        let stmt = parse("SELECT avg(sum(followers)) FROM twitter").unwrap();
+        assert!(plan(&stmt, &c, &r, &cfg).is_err());
+    }
+
+    #[test]
+    fn duplicate_output_names_suffixed() {
+        let p = plan_sql("SELECT text, text FROM twitter");
+        assert_eq!(p.output_schema.names(), vec!["text", "text_2"]);
+    }
+
+    #[test]
+    fn unknown_stream_errors() {
+        let (c, r, cfg) = setup();
+        let stmt = parse("SELECT x FROM nostream").unwrap();
+        assert!(matches!(
+            plan(&stmt, &c, &r, &cfg),
+            Err(QueryError::UnknownStream(_))
+        ));
+    }
+
+    #[test]
+    fn limit_stage_appended() {
+        let p = plan_sql("SELECT text FROM twitter LIMIT 3");
+        let stages: Vec<String> =
+            p.pipeline.stage_stats().iter().map(|(n, _)| n.clone()).collect();
+        assert_eq!(stages.last().unwrap(), "limit");
+    }
+}

@@ -1,0 +1,224 @@
+//! Expression-level rewrites: constant folding, trivial-conjunct
+//! elimination, and a cost heuristic for ordering local predicates.
+
+use crate::ast::{BinOp, Expr};
+use tweeql_model::Value;
+
+/// Fold constant subexpressions (`1 + 2` → `3`, `NOT false` → `true`,
+/// `x AND true` → `x`).
+pub fn fold_constants(expr: &Expr) -> Expr {
+    match expr {
+        Expr::Binary { op, left, right } => {
+            let l = fold_constants(left);
+            let r = fold_constants(right);
+            // Logical identity simplifications.
+            match op {
+                BinOp::And => {
+                    if let Expr::Literal(v) = &l {
+                        if !v.is_null() {
+                            return if v.is_truthy() { r } else { Expr::lit(false) };
+                        }
+                    }
+                    if let Expr::Literal(v) = &r {
+                        if !v.is_null() {
+                            return if v.is_truthy() { l } else { Expr::lit(false) };
+                        }
+                    }
+                }
+                BinOp::Or => {
+                    if let Expr::Literal(v) = &l {
+                        if !v.is_null() {
+                            return if v.is_truthy() { Expr::lit(true) } else { r };
+                        }
+                    }
+                    if let Expr::Literal(v) = &r {
+                        if !v.is_null() {
+                            return if v.is_truthy() { Expr::lit(true) } else { l };
+                        }
+                    }
+                }
+                _ => {}
+            }
+            // Pure arithmetic/comparison on literals.
+            if let (Expr::Literal(a), Expr::Literal(b)) = (&l, &r) {
+                let folded = match op {
+                    BinOp::Add => a.add(b).ok(),
+                    BinOp::Sub => a.sub(b).ok(),
+                    BinOp::Mul => a.mul(b).ok(),
+                    BinOp::Div => a.div(b).ok(),
+                    BinOp::Mod => a.rem(b).ok(),
+                    BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                        match a.compare(b) {
+                            None => Some(Value::Null),
+                            Some(ord) => Some(Value::Bool(match op {
+                                BinOp::Eq => ord.is_eq(),
+                                BinOp::Ne => ord.is_ne(),
+                                BinOp::Lt => ord.is_lt(),
+                                BinOp::Le => ord.is_le(),
+                                BinOp::Gt => ord.is_gt(),
+                                BinOp::Ge => ord.is_ge(),
+                                _ => unreachable!(),
+                            })),
+                        }
+                    }
+                    BinOp::And | BinOp::Or => None,
+                };
+                if let Some(v) = folded {
+                    return Expr::Literal(v);
+                }
+            }
+            Expr::Binary {
+                op: *op,
+                left: Box::new(l),
+                right: Box::new(r),
+            }
+        }
+        Expr::Not(e) => {
+            let inner = fold_constants(e);
+            if let Expr::Literal(v) = &inner {
+                if v.is_null() {
+                    return Expr::Literal(Value::Null);
+                }
+                return Expr::lit(!v.is_truthy());
+            }
+            Expr::Not(Box::new(inner))
+        }
+        Expr::Neg(e) => {
+            let inner = fold_constants(e);
+            if let Expr::Literal(v) = &inner {
+                if let Ok(n) = v.neg() {
+                    return Expr::Literal(n);
+                }
+            }
+            Expr::Neg(Box::new(inner))
+        }
+        Expr::Call { name, args } => Expr::Call {
+            name: name.clone(),
+            args: args.iter().map(fold_constants).collect(),
+        },
+        Expr::Contains { expr, pattern } => Expr::Contains {
+            expr: Box::new(fold_constants(expr)),
+            pattern: Box::new(fold_constants(pattern)),
+        },
+        Expr::Matches { expr, pattern } => Expr::Matches {
+            expr: Box::new(fold_constants(expr)),
+            pattern: pattern.clone(),
+        },
+        Expr::InList { expr, list } => Expr::InList {
+            expr: Box::new(fold_constants(expr)),
+            list: list.clone(),
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(fold_constants(expr)),
+            negated: *negated,
+        },
+        other => other.clone(),
+    }
+}
+
+/// Heuristic evaluation cost of a predicate (used to order the local
+/// filter chain when the eddy is off): lower runs first.
+pub fn predicate_cost(expr: &Expr) -> u32 {
+    match expr {
+        Expr::Literal(_) => 0,
+        Expr::Column { .. } => 1,
+        Expr::IsNull { .. } | Expr::InBoundingBox { .. } => 2,
+        Expr::Binary { op, left, right } => match op {
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                3 + predicate_cost(left) + predicate_cost(right)
+            }
+            _ => 2 + predicate_cost(left) + predicate_cost(right),
+        },
+        Expr::InList { .. } => 4,
+        Expr::Not(e) | Expr::Neg(e) => 1 + predicate_cost(e),
+        Expr::Contains { pattern, .. } => {
+            if matches!(pattern.as_ref(), Expr::Literal(_)) {
+                6
+            } else {
+                10
+            }
+        }
+        Expr::Matches { .. } => 20,
+        Expr::Call { args, .. } => 30 + args.iter().map(predicate_cost).sum::<u32>(),
+    }
+}
+
+/// Order conjuncts cheapest-first (stable for equal costs).
+pub fn order_conjuncts(conjuncts: Vec<Expr>) -> Vec<Expr> {
+    let mut indexed: Vec<(u32, usize, Expr)> = conjuncts
+        .into_iter()
+        .enumerate()
+        .map(|(i, e)| (predicate_cost(&e), i, e))
+        .collect();
+    indexed.sort_by_key(|(c, i, _)| (*c, *i));
+    indexed.into_iter().map(|(_, _, e)| e).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+
+    fn fold(src: &str) -> Expr {
+        fold_constants(&parse_expr(src).unwrap())
+    }
+
+    #[test]
+    fn arithmetic_folds() {
+        assert_eq!(fold("1 + 2 * 3"), Expr::lit(7i64));
+        assert_eq!(fold("10 / 4"), Expr::lit(2.5));
+        assert_eq!(fold("2 < 3"), Expr::lit(true));
+        assert_eq!(fold("-(3)"), Expr::lit(-3i64));
+    }
+
+    #[test]
+    fn logical_identities() {
+        assert_eq!(fold("x and true"), Expr::col("x"));
+        assert_eq!(fold("x and false"), Expr::lit(false));
+        assert_eq!(fold("x or true"), Expr::lit(true));
+        assert_eq!(fold("x or false"), Expr::col("x"));
+        assert_eq!(fold("not false"), Expr::lit(true));
+    }
+
+    #[test]
+    fn folding_is_recursive_through_calls() {
+        let e = fold("floor(1 + 1)");
+        assert_eq!(
+            e,
+            Expr::Call {
+                name: "floor".into(),
+                args: vec![Expr::lit(2i64)],
+            }
+        );
+    }
+
+    #[test]
+    fn non_constant_left_alone() {
+        let e = fold("x + 1");
+        assert!(matches!(e, Expr::Binary { .. }));
+    }
+
+    #[test]
+    fn costs_rank_sensibly() {
+        let cheap = predicate_cost(&parse_expr("followers > 10").unwrap());
+        let mid = predicate_cost(&parse_expr("text contains 'x'").unwrap());
+        let regex = predicate_cost(&parse_expr("text matches 'x+'").unwrap());
+        let udf = predicate_cost(&parse_expr("sentiment(text) > 0").unwrap());
+        assert!(cheap < mid);
+        assert!(mid < regex);
+        assert!(regex < udf);
+    }
+
+    #[test]
+    fn ordering_is_stable_cheapest_first() {
+        let conjuncts = vec![
+            parse_expr("text matches 'a+'").unwrap(),
+            parse_expr("followers > 5").unwrap(),
+            parse_expr("text contains 'b'").unwrap(),
+        ];
+        let ordered = order_conjuncts(conjuncts);
+        assert!(matches!(ordered[0], Expr::Binary { .. }));
+        assert!(matches!(ordered[1], Expr::Contains { .. }));
+        assert!(matches!(ordered[2], Expr::Matches { .. }));
+    }
+}

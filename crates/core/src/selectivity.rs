@@ -1,0 +1,195 @@
+//! Uncertain-selectivity filter choice (§2).
+//!
+//! "TweeQL users might issue multiple filters that are applicable to
+//! the streaming API, but only one filter type can be submitted ...
+//! TweeQL samples both streams in this case, and selects the filter
+//! with the lowest selectivity in order to require the least work in
+//! applying the second filter."
+//!
+//! [`choose_filter`] probes each candidate against a short prefix of the
+//! stream (via probe connections that don't advance stream time) and
+//! returns the lowest-selectivity candidate.
+
+use crate::plan::ApiCandidate;
+use tweeql_firehose::{FilterSpec, StreamingApi};
+
+/// Selectivity measured for one candidate.
+#[derive(Debug, Clone)]
+pub struct SelectivityEstimate {
+    /// Candidate description (from the planner).
+    pub description: String,
+    /// Matched / scanned over the probe.
+    pub selectivity: f64,
+    /// Tweets scanned during the probe.
+    pub sample_size: u64,
+}
+
+/// The outcome of pushdown selection.
+#[derive(Debug, Clone)]
+pub struct PushdownDecision {
+    /// Index of the chosen candidate (None ⇒ no candidates; stream all).
+    pub chosen: Option<usize>,
+    /// All estimates, candidate order.
+    pub estimates: Vec<SelectivityEstimate>,
+}
+
+impl PushdownDecision {
+    /// The filter to open the real connection with.
+    pub fn filter(&self, candidates: &[ApiCandidate]) -> FilterSpec {
+        match self.chosen {
+            Some(i) => candidates[i].spec.clone(),
+            // No pushable conjunct: take the whole stream.
+            None => FilterSpec::Sample(1.0),
+        }
+    }
+
+    /// Render for stats output.
+    pub fn describe(&self, candidates: &[ApiCandidate]) -> String {
+        match self.chosen {
+            None => "no pushdown (full stream)".to_string(),
+            Some(i) => {
+                let ests = self
+                    .estimates
+                    .iter()
+                    .filter(|e| !e.selectivity.is_nan())
+                    .map(|e| format!("{}≈{:.4}", e.description, e.selectivity))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                if ests.is_empty() {
+                    format!("pushed down {} (sole candidate)", candidates[i].description)
+                } else {
+                    format!("pushed down {} [{}]", candidates[i].description, ests)
+                }
+            }
+        }
+    }
+}
+
+/// Probe each candidate over `sample_size` firehose tweets and choose
+/// the lowest-selectivity one. With zero or one candidate no probing
+/// happens (nothing to choose between).
+pub fn choose_filter(
+    api: &StreamingApi,
+    candidates: &[ApiCandidate],
+    sample_size: usize,
+) -> PushdownDecision {
+    match candidates.len() {
+        0 => {
+            return PushdownDecision {
+                chosen: None,
+                estimates: Vec::new(),
+            }
+        }
+        1 => {
+            return PushdownDecision {
+                chosen: Some(0),
+                estimates: vec![SelectivityEstimate {
+                    description: candidates[0].description.clone(),
+                    selectivity: f64::NAN,
+                    sample_size: 0,
+                }],
+            }
+        }
+        _ => {}
+    }
+
+    let mut estimates = Vec::with_capacity(candidates.len());
+    for c in candidates {
+        let mut conn = api.connect_probe(c.spec.clone());
+        let stats = conn.probe_scan(sample_size);
+        estimates.push(SelectivityEstimate {
+            description: c.description.clone(),
+            selectivity: stats.selectivity(),
+            sample_size: stats.scanned,
+        });
+    }
+
+    let chosen = estimates
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            a.selectivity
+                .partial_cmp(&b.selectivity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|(i, _)| i);
+
+    PushdownDecision { chosen, estimates }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tweeql_firehose::scenario::{Scenario, Topic};
+    use tweeql_geo::BoundingBox;
+    use tweeql_model::{Clock, Duration, VirtualClock};
+
+    fn api() -> StreamingApi {
+        // obama tweets are ~1/3 of traffic; geotags 30%, so the NYC box
+        // is far more selective than the keyword.
+        let s = Scenario {
+            name: "sel".into(),
+            duration: Duration::from_mins(30),
+            background_rate_per_min: 60.0,
+            topics: vec![Topic::new("obama", vec!["obama"], 30.0)],
+            bursts: vec![],
+            geotag_rate: 0.3,
+            population_size: 800,
+        };
+        StreamingApi::new(
+            tweeql_firehose::generate(&s, 17),
+            VirtualClock::new(),
+        )
+    }
+
+    fn candidates() -> Vec<ApiCandidate> {
+        vec![
+            ApiCandidate {
+                spec: FilterSpec::Track(vec!["obama".into()]),
+                description: "track(obama)".into(),
+            },
+            ApiCandidate {
+                spec: FilterSpec::Locations(BoundingBox::named("nyc").unwrap()),
+                description: "locations(nyc)".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn chooses_lowest_selectivity_candidate() {
+        let api = api();
+        let d = choose_filter(&api, &candidates(), 2000);
+        // The NYC location filter matches far fewer tweets than the
+        // obama keyword — the paper's exact example.
+        assert_eq!(d.chosen, Some(1), "{:#?}", d.estimates);
+        assert!(d.estimates[0].selectivity > d.estimates[1].selectivity);
+        assert!(d.describe(&candidates()).contains("locations(nyc)"));
+    }
+
+    #[test]
+    fn probing_does_not_advance_stream_time() {
+        let api = api();
+        let clock = api.clock();
+        let before = clock.now();
+        choose_filter(&api, &candidates(), 2000);
+        assert_eq!(clock.now(), before);
+    }
+
+    #[test]
+    fn single_candidate_skips_probing() {
+        let api = api();
+        let one = vec![candidates().remove(0)];
+        let d = choose_filter(&api, &one, 2000);
+        assert_eq!(d.chosen, Some(0));
+        assert!(d.estimates[0].selectivity.is_nan());
+    }
+
+    #[test]
+    fn no_candidates_streams_everything() {
+        let api = api();
+        let d = choose_filter(&api, &[], 100);
+        assert_eq!(d.chosen, None);
+        assert!(matches!(d.filter(&[]), FilterSpec::Sample(r) if r == 1.0));
+        assert_eq!(d.describe(&[]), "no pushdown (full stream)");
+    }
+}

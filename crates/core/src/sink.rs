@@ -1,0 +1,167 @@
+//! Result export: the "structured data for downstream applications" the
+//! paper's abstract promises. CSV and JSON-lines renderings of query
+//! output (hand-rolled — the sanctioned crate set has no serde_json).
+
+use tweeql_model::{Record, SchemaRef, Value};
+
+/// Escape one CSV field per RFC 4180.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Render records as CSV with a header row.
+pub fn to_csv(schema: &SchemaRef, rows: &[Record]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        &schema
+            .names()
+            .iter()
+            .map(|n| csv_field(n))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for r in rows {
+        let line = r
+            .values()
+            .iter()
+            .map(|v| match v {
+                Value::Null => String::new(),
+                other => csv_field(&other.to_string()),
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Escape a JSON string body.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_value(v: &Value) -> String {
+    match v {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => {
+            if f.is_finite() {
+                // Keep floats round-trippable.
+                format!("{f:?}")
+            } else {
+                "null".to_string()
+            }
+        }
+        Value::Str(s) => format!("\"{}\"", json_escape(s)),
+        Value::Time(t) => t.millis().to_string(),
+        Value::List(l) => format!(
+            "[{}]",
+            l.iter().map(json_value).collect::<Vec<_>>().join(",")
+        ),
+    }
+}
+
+/// Render records as JSON lines (one object per row).
+pub fn to_json_lines(schema: &SchemaRef, rows: &[Record]) -> String {
+    let names = schema.names();
+    let mut out = String::new();
+    for r in rows {
+        let fields = names
+            .iter()
+            .zip(r.values())
+            .map(|(n, v)| format!("\"{}\":{}", json_escape(n), json_value(v)))
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push_str(&format!("{{{fields}}}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tweeql_model::{DataType, Schema, Timestamp};
+
+    fn sample() -> (SchemaRef, Vec<Record>) {
+        let schema = Schema::shared(&[
+            ("name", DataType::Str),
+            ("n", DataType::Int),
+            ("score", DataType::Float),
+            ("tags", DataType::List),
+        ]);
+        let rows = vec![
+            Record::new(
+                schema.clone(),
+                vec![
+                    Value::from("says \"hi\", ok"),
+                    Value::Int(3),
+                    Value::Float(0.5),
+                    Value::List(vec![Value::from("a"), Value::Int(1)]),
+                ],
+                Timestamp::ZERO,
+            )
+            .unwrap(),
+            Record::new(
+                schema.clone(),
+                vec![Value::Null, Value::Int(-1), Value::Float(2.0), Value::List(vec![])],
+                Timestamp::ZERO,
+            )
+            .unwrap(),
+        ];
+        (schema, rows)
+    }
+
+    #[test]
+    fn csv_escapes_and_leaves_nulls_empty() {
+        let (schema, rows) = sample();
+        let csv = to_csv(&schema, &rows);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,n,score,tags");
+        assert!(lines[1].starts_with("\"says \"\"hi\"\", ok\",3,0.5,"));
+        assert!(lines[2].starts_with(",-1,2.0,"));
+    }
+
+    #[test]
+    fn json_lines_are_valid_objects() {
+        let (schema, rows) = sample();
+        let jl = to_json_lines(&schema, &rows);
+        let lines: Vec<&str> = jl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with('{') && lines[0].ends_with('}'));
+        assert!(lines[0].contains("\"name\":\"says \\\"hi\\\", ok\""));
+        assert!(lines[0].contains("\"tags\":[\"a\",1]"));
+        assert!(lines[1].contains("\"name\":null"));
+        assert!(lines[1].contains("\"score\":2.0"));
+    }
+
+    #[test]
+    fn json_escapes_control_chars() {
+        assert_eq!(json_escape("a\nb\tc\u{1}"), "a\\nb\\tc\\u0001");
+    }
+
+    #[test]
+    fn empty_rows_render_header_only() {
+        let (schema, _) = sample();
+        assert_eq!(to_csv(&schema, &[]).lines().count(), 1);
+        assert_eq!(to_json_lines(&schema, &[]), "");
+    }
+}

@@ -1,0 +1,546 @@
+//! The UDF framework: scalar, stateful, and high-latency (async) UDFs,
+//! plus the registry and the built-in web-service UDFs from the paper
+//! (`sentiment`, `latitude`, `longitude`, `named_entities`).
+
+use crate::error::QueryError;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use tweeql_geo::cache::CacheStats;
+use tweeql_geo::geocoder::{
+    CachingGeocoder, GazetteerGeocoder, Geocoder, SimulatedRemoteGeocoder,
+};
+use tweeql_geo::latency::LatencyModel;
+use tweeql_model::{Duration, Timestamp, Value, VirtualClock};
+use tweeql_text::sentiment::{LexiconClassifier, SentimentClassifier};
+
+/// A pure scalar function: cheap, stateless, synchronous.
+pub trait ScalarUdf: Send + Sync {
+    /// Function name (lowercased).
+    fn name(&self) -> &str;
+    /// Evaluate.
+    fn call(&self, args: &[Value]) -> Result<Value, QueryError>;
+}
+
+/// A stateful streaming function: sees tuples in order, keeps state
+/// (TwitInfo's peak detector is "a stateful TweeQL UDF").
+pub trait StatefulUdf: Send {
+    /// Evaluate against the next tuple.
+    fn call(&mut self, args: &[Value], ts: Timestamp) -> Result<Value, QueryError>;
+}
+
+/// A high-latency web-service function. Invoked in batches by the async
+/// operator; implementations charge *modeled* latency to the virtual
+/// clock rather than sleeping.
+pub trait AsyncUdf: Send {
+    /// Function name.
+    fn name(&self) -> &str;
+    /// Evaluate a batch of argument tuples. Failures map to `Null`
+    /// (stream processing does not abort a long-running query on one
+    /// bad web-service call).
+    fn call_batch(&mut self, batch: &[Vec<Value>]) -> Vec<Value>;
+    /// Remote requests issued so far.
+    fn requests_issued(&self) -> u64;
+    /// Total modeled service latency so far.
+    fn modeled_service_time(&self) -> Duration;
+    /// Cache statistics, when the UDF caches.
+    fn cache_stats(&self) -> Option<CacheStats> {
+        None
+    }
+}
+
+/// Factory for per-query stateful UDF instances.
+pub type StatefulFactory = Arc<dyn Fn() -> Box<dyn StatefulUdf> + Send + Sync>;
+/// Factory for per-query async UDF instances.
+pub type AsyncFactory = Arc<dyn Fn() -> Box<dyn AsyncUdf> + Send + Sync>;
+
+/// Knobs for the simulated web services behind async UDFs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Latency model for remote calls.
+    pub latency: LatencyModel,
+    /// LRU cache capacity (0 disables caching).
+    pub cache_capacity: usize,
+    /// Max items per batched request (1 disables batching).
+    pub max_batch: usize,
+    /// Marginal per-item latency within a batch.
+    pub batch_per_item: Duration,
+    /// Transient failure probability.
+    pub failure_rate: f64,
+    /// RNG seed for latency/failures.
+    pub seed: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            latency: LatencyModel::web_service_default(),
+            cache_capacity: 4096,
+            max_batch: 25,
+            batch_per_item: Duration::from_millis(5),
+            failure_rate: 0.0,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// The function registry consulted at plan time.
+pub struct Registry {
+    scalars: HashMap<String, Arc<dyn ScalarUdf>>,
+    stateful: HashMap<String, StatefulFactory>,
+    asyncs: HashMap<String, AsyncFactory>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn empty() -> Registry {
+        Registry {
+            scalars: HashMap::new(),
+            stateful: HashMap::new(),
+            asyncs: HashMap::new(),
+        }
+    }
+
+    /// The standard registry: all built-in scalars
+    /// ([`crate::expr::functions`]), `sentiment`, and the web-service
+    /// UDFs (`latitude`, `longitude`, `named_entities`) wired to one
+    /// *shared* simulated geocoding service on `clock`.
+    pub fn standard(config: &ServiceConfig, clock: Arc<VirtualClock>) -> Registry {
+        let geo = SharedGeoService::new(config, Arc::clone(&clock));
+        Registry::standard_with_geo(config, clock, geo)
+    }
+
+    /// Like [`Registry::standard`] but reusing an existing geocoding
+    /// service (the engine keeps a handle so it can report cache stats).
+    pub fn standard_with_geo(
+        config: &ServiceConfig,
+        clock: Arc<VirtualClock>,
+        geo: SharedGeoService,
+    ) -> Registry {
+        let mut r = Registry::empty();
+        crate::expr::functions::register_builtins(&mut r);
+        r.register_scalar(Arc::new(SentimentUdf::lexicon()));
+
+        let geo_lat = geo.clone();
+        r.register_async(
+            "latitude",
+            Arc::new(move || Box::new(GeocodeUdf::new("latitude", geo_lat.clone(), true))),
+        );
+        let geo_lon = geo;
+        r.register_async(
+            "longitude",
+            Arc::new(move || Box::new(GeocodeUdf::new("longitude", geo_lon.clone(), false))),
+        );
+
+        let cfg = config.clone();
+        r.register_async(
+            "named_entities",
+            Arc::new(move || Box::new(EntityUdf::new(&cfg, clock.clone()))),
+        );
+        r
+    }
+
+    /// Register a scalar UDF (replacing any previous one of that name).
+    pub fn register_scalar(&mut self, udf: Arc<dyn ScalarUdf>) {
+        self.scalars.insert(udf.name().to_lowercase(), udf);
+    }
+
+    /// Register a stateful UDF factory.
+    pub fn register_stateful(&mut self, name: &str, factory: StatefulFactory) {
+        self.stateful.insert(name.to_lowercase(), factory);
+    }
+
+    /// Register an async UDF factory.
+    pub fn register_async(&mut self, name: &str, factory: AsyncFactory) {
+        self.asyncs.insert(name.to_lowercase(), factory);
+    }
+
+    /// Scalar lookup.
+    pub fn scalar(&self, name: &str) -> Option<Arc<dyn ScalarUdf>> {
+        self.scalars.get(name).cloned()
+    }
+
+    /// Stateful lookup.
+    pub fn stateful(&self, name: &str) -> Option<&StatefulFactory> {
+        self.stateful.get(name)
+    }
+
+    /// Async lookup.
+    pub fn async_udf(&self, name: &str) -> Option<&AsyncFactory> {
+        self.asyncs.get(name)
+    }
+
+    /// Is `name` known in any namespace?
+    pub fn knows(&self, name: &str) -> bool {
+        self.scalars.contains_key(name)
+            || self.stateful.contains_key(name)
+            || self.asyncs.contains_key(name)
+    }
+}
+
+// ---------------------------------------------------------------------
+// sentiment(text)
+
+/// The `sentiment(text)` UDF: returns `1.0` / `-1.0` / `0.0`.
+pub struct SentimentUdf {
+    classifier: Arc<dyn SentimentClassifier>,
+}
+
+impl SentimentUdf {
+    /// Lexicon-backed (the no-training default).
+    pub fn lexicon() -> SentimentUdf {
+        SentimentUdf {
+            classifier: Arc::new(LexiconClassifier::new()),
+        }
+    }
+
+    /// Wrap any classifier.
+    pub fn with_classifier(classifier: Arc<dyn SentimentClassifier>) -> SentimentUdf {
+        SentimentUdf { classifier }
+    }
+}
+
+impl ScalarUdf for SentimentUdf {
+    fn name(&self) -> &str {
+        "sentiment"
+    }
+
+    fn call(&self, args: &[Value]) -> Result<Value, QueryError> {
+        let [text] = args else {
+            return Err(QueryError::BadArguments {
+                function: "sentiment".into(),
+                message: format!("expected 1 argument, got {}", args.len()),
+            });
+        };
+        match text {
+            Value::Null => Ok(Value::Null),
+            Value::Str(s) => Ok(Value::Float(self.classifier.classify(s).score())),
+            other => Err(QueryError::BadArguments {
+                function: "sentiment".into(),
+                message: format!("expected text, got {}", other.data_type_name()),
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// latitude(loc) / longitude(loc) over one shared geocoding service
+
+/// One shared, caching, batching, latency-modeled geocoding service per
+/// engine — so `latitude(loc)` and `longitude(loc)` in the same query
+/// hit a common cache, exactly the §2 caching story.
+#[derive(Clone)]
+pub struct SharedGeoService {
+    inner: Arc<Mutex<CachingGeocoder<SimulatedRemoteGeocoder<GazetteerGeocoder>>>>,
+    cache_disabled: bool,
+}
+
+impl SharedGeoService {
+    /// Build from config.
+    pub fn new(config: &ServiceConfig, clock: Arc<VirtualClock>) -> SharedGeoService {
+        let remote = SimulatedRemoteGeocoder::with_model(
+            GazetteerGeocoder::new(),
+            clock,
+            config.latency.clone(),
+            config.seed,
+        )
+        .with_failure_rate(config.failure_rate)
+        .with_batching(config.max_batch.max(1), config.batch_per_item);
+        let cache_disabled = config.cache_capacity == 0;
+        SharedGeoService {
+            inner: Arc::new(Mutex::new(CachingGeocoder::new(
+                remote,
+                config.cache_capacity.max(1),
+            ))),
+            cache_disabled,
+        }
+    }
+
+    /// Geocode a batch of location strings.
+    pub fn geocode_batch(&self, locs: &[&str]) -> Vec<Option<tweeql_geo::GeoPoint>> {
+        let mut g = self.inner.lock();
+        if self.cache_disabled {
+            // Bypass the cache layer but keep the remote's batch
+            // endpoint: ask the remote directly.
+            return g
+                .inner_mut()
+                .geocode_batch(locs)
+                .into_iter()
+                .map(|r| r.map(|g| g.point))
+                .collect();
+        }
+        g.geocode_batch(locs)
+            .into_iter()
+            .map(|r| r.map(|g| g.point))
+            .collect()
+    }
+
+    /// Remote requests issued.
+    pub fn requests_issued(&self) -> u64 {
+        self.inner.lock().requests_issued()
+    }
+
+    /// Modeled service latency.
+    pub fn modeled_service_time(&self) -> Duration {
+        self.inner.lock().modeled_service_time()
+    }
+
+    /// Cache stats.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.lock().cache_stats()
+    }
+}
+
+/// `latitude(loc)` / `longitude(loc)` as async UDFs over a shared
+/// service.
+pub struct GeocodeUdf {
+    name: &'static str,
+    service: SharedGeoService,
+    want_lat: bool,
+}
+
+impl GeocodeUdf {
+    /// Construct.
+    pub fn new(name: &'static str, service: SharedGeoService, want_lat: bool) -> GeocodeUdf {
+        GeocodeUdf {
+            name,
+            service,
+            want_lat,
+        }
+    }
+}
+
+impl AsyncUdf for GeocodeUdf {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn call_batch(&mut self, batch: &[Vec<Value>]) -> Vec<Value> {
+        let locs: Vec<&str> = batch
+            .iter()
+            .map(|args| match args.first() {
+                Some(Value::Str(s)) => s.as_str(),
+                _ => "",
+            })
+            .collect();
+        self.service
+            .geocode_batch(&locs)
+            .into_iter()
+            .map(|p| match p {
+                Some(point) => Value::Float(if self.want_lat { point.lat } else { point.lon }),
+                None => Value::Null,
+            })
+            .collect()
+    }
+
+    fn requests_issued(&self) -> u64 {
+        self.service.requests_issued()
+    }
+
+    fn modeled_service_time(&self) -> Duration {
+        self.service.modeled_service_time()
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        Some(self.service.cache_stats())
+    }
+}
+
+// ---------------------------------------------------------------------
+// named_entities(text) — the OpenCalais stand-in
+
+/// `named_entities(text)`: dictionary NER behind the same simulated
+/// web-service latency as geocoding (the paper's OpenCalais UDF).
+pub struct EntityUdf {
+    sampler: tweeql_geo::latency::LatencySampler,
+    clock: Arc<VirtualClock>,
+    per_item: Duration,
+    max_batch: usize,
+    requests: u64,
+    service_ms: i64,
+}
+
+impl EntityUdf {
+    /// Construct from service config.
+    pub fn new(config: &ServiceConfig, clock: Arc<VirtualClock>) -> EntityUdf {
+        EntityUdf {
+            sampler: tweeql_geo::latency::LatencySampler::new(
+                config.latency.clone(),
+                config.seed.wrapping_add(17),
+            ),
+            clock,
+            per_item: config.batch_per_item,
+            max_batch: config.max_batch.max(1),
+            requests: 0,
+            service_ms: 0,
+        }
+    }
+}
+
+impl AsyncUdf for EntityUdf {
+    fn name(&self) -> &str {
+        "named_entities"
+    }
+
+    fn call_batch(&mut self, batch: &[Vec<Value>]) -> Vec<Value> {
+        let mut out = Vec::with_capacity(batch.len());
+        for chunk in batch.chunks(self.max_batch) {
+            self.requests += 1;
+            let latency =
+                self.sampler.sample() + self.per_item * (chunk.len() as i64 - 1).max(0);
+            self.clock.advance(latency);
+            self.service_ms += latency.millis();
+            for args in chunk {
+                let v = match args.first() {
+                    Some(Value::Str(s)) => Value::List(
+                        tweeql_text::entity::extract_entities(s)
+                            .into_iter()
+                            .map(|e| Value::Str(e.name))
+                            .collect(),
+                    ),
+                    _ => Value::Null,
+                };
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    fn requests_issued(&self) -> u64 {
+        self.requests
+    }
+
+    fn modeled_service_time(&self) -> Duration {
+        Duration::from_millis(self.service_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tweeql_model::Clock;
+
+    #[test]
+    fn registry_standard_knows_the_paper_udfs() {
+        let clock = VirtualClock::new();
+        let r = Registry::standard(&ServiceConfig::default(), clock);
+        assert!(r.scalar("sentiment").is_some());
+        assert!(r.async_udf("latitude").is_some());
+        assert!(r.async_udf("longitude").is_some());
+        assert!(r.async_udf("named_entities").is_some());
+        assert!(r.scalar("floor").is_some());
+        assert!(!r.knows("no_such_fn"));
+    }
+
+    #[test]
+    fn sentiment_udf_scores() {
+        let udf = SentimentUdf::lexicon();
+        assert_eq!(
+            udf.call(&[Value::Str("great amazing win".into())]).unwrap(),
+            Value::Float(1.0)
+        );
+        assert_eq!(
+            udf.call(&[Value::Str("terrible sad loss".into())]).unwrap(),
+            Value::Float(-1.0)
+        );
+        assert_eq!(udf.call(&[Value::Null]).unwrap(), Value::Null);
+        assert!(udf.call(&[]).is_err());
+        assert!(udf.call(&[Value::Int(3)]).is_err());
+    }
+
+    #[test]
+    fn latitude_longitude_share_one_cache() {
+        let clock = VirtualClock::new();
+        let cfg = ServiceConfig {
+            latency: LatencyModel::Constant(Duration::from_millis(100)),
+            ..ServiceConfig::default()
+        };
+        let r = Registry::standard(&cfg, Arc::clone(&clock));
+        let mut lat = (r.async_udf("latitude").unwrap())();
+        let mut lon = (r.async_udf("longitude").unwrap())();
+
+        let args = vec![vec![Value::Str("tokyo".into())]];
+        let lat_v = lat.call_batch(&args);
+        let lon_v = lon.call_batch(&args);
+        assert!(matches!(lat_v[0], Value::Float(v) if (v - 35.67).abs() < 0.1));
+        assert!(matches!(lon_v[0], Value::Float(v) if (v - 139.65).abs() < 0.1));
+        // The longitude call hit the latitude call's cache entry: only
+        // one remote request total, 100ms of modeled time.
+        assert_eq!(lat.requests_issued(), 1);
+        assert_eq!(lon.requests_issued(), 1);
+        assert_eq!(clock.now().millis(), 100);
+    }
+
+    #[test]
+    fn geocode_udf_unresolvable_is_null() {
+        let clock = VirtualClock::new();
+        let cfg = ServiceConfig {
+            latency: LatencyModel::Constant(Duration::from_millis(1)),
+            ..ServiceConfig::default()
+        };
+        let svc = SharedGeoService::new(&cfg, clock);
+        let mut udf = GeocodeUdf::new("latitude", svc, true);
+        let out = udf.call_batch(&[
+            vec![Value::Str("the moon".into())],
+            vec![Value::Null],
+            vec![Value::Str("nyc".into())],
+        ]);
+        assert_eq!(out[0], Value::Null);
+        assert_eq!(out[1], Value::Null);
+        assert!(matches!(out[2], Value::Float(_)));
+    }
+
+    #[test]
+    fn cache_disabled_issues_per_call_requests() {
+        let clock = VirtualClock::new();
+        let cfg = ServiceConfig {
+            latency: LatencyModel::Constant(Duration::from_millis(50)),
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        };
+        let svc = SharedGeoService::new(&cfg, Arc::clone(&clock));
+        let mut udf = GeocodeUdf::new("latitude", svc, true);
+        for _ in 0..5 {
+            udf.call_batch(&[vec![Value::Str("nyc".into())]]);
+        }
+        assert_eq!(udf.requests_issued(), 5);
+        assert_eq!(clock.now().millis(), 250);
+    }
+
+    #[test]
+    fn entity_udf_extracts_and_charges_latency() {
+        let clock = VirtualClock::new();
+        let cfg = ServiceConfig {
+            latency: LatencyModel::Constant(Duration::from_millis(150)),
+            ..ServiceConfig::default()
+        };
+        let mut udf = EntityUdf::new(&cfg, Arc::clone(&clock));
+        let out = udf.call_batch(&[vec![Value::Str("obama meets tevez in tokyo".into())]]);
+        match &out[0] {
+            Value::List(names) => {
+                let names: Vec<String> = names.iter().map(|v| v.to_string()).collect();
+                assert!(names.contains(&"obama".to_string()), "{names:?}");
+                assert!(names.contains(&"tokyo".to_string()), "{names:?}");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(udf.requests_issued(), 1);
+        assert!(clock.now().millis() >= 150);
+    }
+
+    #[test]
+    fn custom_registration_overrides() {
+        struct Two;
+        impl ScalarUdf for Two {
+            fn name(&self) -> &str {
+                "two"
+            }
+            fn call(&self, _: &[Value]) -> Result<Value, QueryError> {
+                Ok(Value::Int(2))
+            }
+        }
+        let mut r = Registry::empty();
+        r.register_scalar(Arc::new(Two));
+        assert_eq!(r.scalar("two").unwrap().call(&[]).unwrap(), Value::Int(2));
+    }
+}

@@ -1,0 +1,400 @@
+//! The streaming-API facade.
+//!
+//! Reproduces the 2011 Twitter streaming API semantics TweeQL planned
+//! around (§2, "Uncertain Selectivities"):
+//!
+//! * a long-running connection carries **exactly one filter type** —
+//!   keyword `track`, a location bounding box, or `follow` userids;
+//!   conjunctive queries must pick *one* to push down and evaluate the
+//!   rest client-side;
+//! * the stream delivers "**most** tweets" matching the filter: above a
+//!   delivery cap the API silently drops;
+//! * a `sample` endpoint returns a deterministic 1%-style sample.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use tweeql_geo::bbox::BoundingBox;
+use tweeql_model::{Timestamp, Tweet, UserId, VirtualClock};
+use tweeql_text::ac::AhoCorasick;
+
+/// The one filter a connection may carry.
+#[derive(Debug, Clone)]
+pub enum FilterSpec {
+    /// OR-match over keywords in the tweet text (case-insensitive
+    /// substring, as `track` behaved).
+    Track(Vec<String>),
+    /// Geotagged tweets within the box.
+    Locations(BoundingBox),
+    /// Tweets authored by any of these users.
+    Follow(Vec<UserId>),
+    /// The statuses/sample endpoint: a deterministic `rate` sample of
+    /// the whole firehose (0 < rate ≤ 1).
+    Sample(f64),
+}
+
+impl FilterSpec {
+    /// Human-readable filter-type name (the API parameter it maps to).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FilterSpec::Track(_) => "track",
+            FilterSpec::Locations(_) => "locations",
+            FilterSpec::Follow(_) => "follow",
+            FilterSpec::Sample(_) => "sample",
+        }
+    }
+}
+
+/// Compiled filter with fast matchers.
+enum CompiledFilter {
+    Track(AhoCorasick),
+    Locations(BoundingBox),
+    Follow(Vec<UserId>),
+    Sample(u64), // threshold in 0..=10_000
+}
+
+impl CompiledFilter {
+    fn compile(spec: &FilterSpec) -> CompiledFilter {
+        match spec {
+            FilterSpec::Track(kws) => CompiledFilter::Track(AhoCorasick::new(kws)),
+            FilterSpec::Locations(b) => CompiledFilter::Locations(*b),
+            FilterSpec::Follow(ids) => {
+                let mut ids = ids.clone();
+                ids.sort_unstable();
+                CompiledFilter::Follow(ids)
+            }
+            FilterSpec::Sample(rate) => {
+                CompiledFilter::Sample((rate.clamp(0.0, 1.0) * 10_000.0) as u64)
+            }
+        }
+    }
+
+    fn matches(&self, tweet: &Tweet) -> bool {
+        match self {
+            CompiledFilter::Track(ac) => ac.is_match(&tweet.text),
+            CompiledFilter::Locations(b) => tweet
+                .coordinates
+                .map(|(lat, lon)| b.contains(&tweeql_geo::GeoPoint::new(lat, lon)))
+                .unwrap_or(false),
+            CompiledFilter::Follow(ids) => ids.binary_search(&tweet.user.id).is_ok(),
+            CompiledFilter::Sample(threshold) => {
+                // Deterministic hash of the id.
+                let mut z = tweet.id.wrapping_mul(0x9E3779B97F4A7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z ^= z >> 31;
+                (z % 10_000) < *threshold
+            }
+        }
+    }
+}
+
+/// Connection delivery statistics — the observable a client has for
+/// estimating filter selectivity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnectionStats {
+    /// Firehose tweets scanned.
+    pub scanned: u64,
+    /// Tweets that matched the filter.
+    pub matched: u64,
+    /// Matched tweets actually delivered.
+    pub delivered: u64,
+    /// Matched tweets dropped by the delivery cap.
+    pub dropped: u64,
+}
+
+impl ConnectionStats {
+    /// Observed selectivity: matched / scanned.
+    pub fn selectivity(&self) -> f64 {
+        if self.scanned == 0 {
+            0.0
+        } else {
+            self.matched as f64 / self.scanned as f64
+        }
+    }
+}
+
+/// The simulated streaming API over a pre-generated firehose log.
+#[derive(Clone)]
+pub struct StreamingApi {
+    tweets: Arc<Vec<Tweet>>,
+    clock: Arc<VirtualClock>,
+    /// Max matched tweets delivered per minute before silent drops
+    /// ("receive most tweets").
+    delivery_cap_per_min: u64,
+}
+
+impl StreamingApi {
+    /// Wrap a firehose log. The default delivery cap is high enough
+    /// that only genuinely hot filters hit it.
+    pub fn new(tweets: Vec<Tweet>, clock: Arc<VirtualClock>) -> StreamingApi {
+        StreamingApi {
+            tweets: Arc::new(tweets),
+            clock,
+            delivery_cap_per_min: 6_000,
+        }
+    }
+
+    /// Change the delivery cap (tweets/minute of matched output).
+    pub fn with_delivery_cap(mut self, per_min: u64) -> StreamingApi {
+        self.delivery_cap_per_min = per_min.max(1);
+        self
+    }
+
+    /// The underlying log size.
+    pub fn firehose_len(&self) -> usize {
+        self.tweets.len()
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> Arc<VirtualClock> {
+        Arc::clone(&self.clock)
+    }
+
+    /// Full log access for ground-truth evaluation (not part of the
+    /// public "API surface" a TweeQL client would see).
+    pub fn ground_truth(&self) -> &[Tweet] {
+        &self.tweets
+    }
+
+    /// Open a streaming connection with exactly one filter.
+    pub fn connect(&self, filter: FilterSpec) -> Connection {
+        Connection {
+            tweets: Arc::clone(&self.tweets),
+            clock: Arc::clone(&self.clock),
+            filter: CompiledFilter::compile(&filter),
+            pos: 0,
+            stats: ConnectionStats::default(),
+            cap_per_min: self.delivery_cap_per_min,
+            window_start: Timestamp::ZERO,
+            window_delivered: 0,
+            rng: StdRng::seed_from_u64(0xF1173),
+            advance_clock: true,
+        }
+    }
+
+    /// Open a short *probe* connection for selectivity sampling: same
+    /// delivery semantics, but it does not advance the shared stream
+    /// clock (a TweeQL client samples candidate filters before running
+    /// the real query).
+    pub fn connect_probe(&self, filter: FilterSpec) -> Connection {
+        let mut c = self.connect(filter);
+        c.advance_clock = false;
+        c
+    }
+}
+
+/// A long-running streaming connection: an iterator over delivered
+/// tweets that advances the shared virtual clock to each tweet's
+/// timestamp (the engine "receives" them in stream time).
+pub struct Connection {
+    tweets: Arc<Vec<Tweet>>,
+    clock: Arc<VirtualClock>,
+    filter: CompiledFilter,
+    pos: usize,
+    stats: ConnectionStats,
+    cap_per_min: u64,
+    window_start: Timestamp,
+    window_delivered: u64,
+    rng: StdRng,
+    advance_clock: bool,
+}
+
+impl Connection {
+    /// Delivery statistics so far.
+    pub fn stats(&self) -> ConnectionStats {
+        self.stats
+    }
+
+    /// Deliver tweets until stream time `until`, via callback; returns
+    /// the number delivered. Use when interleaving multiple connections.
+    pub fn poll_until(&mut self, until: Timestamp, mut f: impl FnMut(Tweet)) -> usize {
+        let mut n = 0;
+        while self.pos < self.tweets.len() && self.tweets[self.pos].created_at <= until {
+            if let Some(t) = self.step() {
+                f(t);
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Scan exactly `n` firehose tweets (or to end of stream),
+    /// discarding deliveries, and return the stats — the primitive
+    /// selectivity probing uses.
+    pub fn probe_scan(&mut self, n: usize) -> ConnectionStats {
+        let end = (self.pos + n).min(self.tweets.len());
+        while self.pos < end {
+            let _ = self.step();
+        }
+        self.stats
+    }
+
+    /// Advance one firehose tweet; Some when it was delivered.
+    fn step(&mut self) -> Option<Tweet> {
+        let tweet = &self.tweets[self.pos];
+        self.pos += 1;
+        self.stats.scanned += 1;
+        if self.advance_clock {
+            self.clock.advance_to(tweet.created_at);
+        }
+        if !self.filter.matches(tweet) {
+            return None;
+        }
+        self.stats.matched += 1;
+        // Rolling 1-minute delivery cap.
+        let minute = tweet.created_at.truncate(tweeql_model::Duration::from_mins(1));
+        if minute != self.window_start {
+            self.window_start = minute;
+            self.window_delivered = 0;
+        }
+        if self.window_delivered >= self.cap_per_min {
+            // Past the cap: drop most (90%) of the overage.
+            if self.rng.random_range(0..10) < 9 {
+                self.stats.dropped += 1;
+                return None;
+            }
+        }
+        self.window_delivered += 1;
+        self.stats.delivered += 1;
+        Some(tweet.clone())
+    }
+}
+
+impl Iterator for Connection {
+    type Item = Tweet;
+
+    fn next(&mut self) -> Option<Tweet> {
+        while self.pos < self.tweets.len() {
+            if let Some(t) = self.step() {
+                return Some(t);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Scenario, Topic};
+    use tweeql_model::{Clock, Duration};
+
+    fn api() -> StreamingApi {
+        let s = Scenario {
+            name: "api-test".into(),
+            duration: Duration::from_mins(20),
+            background_rate_per_min: 60.0,
+            topics: vec![Topic::new("obama", vec!["obama"], 30.0)],
+            bursts: vec![],
+            geotag_rate: 0.5,
+            population_size: 500,
+        };
+        let tweets = crate::generator::generate(&s, 42);
+        StreamingApi::new(tweets, VirtualClock::new())
+    }
+
+    #[test]
+    fn track_filter_delivers_only_matches() {
+        let api = api();
+        let conn = api.connect(FilterSpec::Track(vec!["obama".into()]));
+        let tweets: Vec<Tweet> = conn.collect();
+        assert!(!tweets.is_empty());
+        assert!(tweets.iter().all(|t| t.contains("obama")));
+    }
+
+    #[test]
+    fn selectivity_is_observable() {
+        let api = api();
+        let mut conn = api.connect(FilterSpec::Track(vec!["obama".into()]));
+        for _ in conn.by_ref() {}
+        let s = conn.stats();
+        assert_eq!(s.scanned as usize, api.firehose_len());
+        // Topic is 30/90 of traffic → selectivity ≈ 1/3.
+        assert!((0.2..=0.5).contains(&s.selectivity()), "{}", s.selectivity());
+    }
+
+    #[test]
+    fn location_filter_requires_geotag_in_box() {
+        let api = api();
+        let tokyo = BoundingBox::named("tokyo").unwrap();
+        let tweets: Vec<Tweet> = api.connect(FilterSpec::Locations(tokyo)).collect();
+        assert!(!tweets.is_empty(), "Tokyo users are plentiful");
+        for t in &tweets {
+            let (lat, lon) = t.coordinates.unwrap();
+            assert!(tokyo.contains(&tweeql_geo::GeoPoint::new(lat, lon)));
+        }
+    }
+
+    #[test]
+    fn follow_filter_matches_user_ids() {
+        let api = api();
+        let target = api.ground_truth()[0].user.id;
+        let tweets: Vec<Tweet> = api.connect(FilterSpec::Follow(vec![target])).collect();
+        assert!(!tweets.is_empty());
+        assert!(tweets.iter().all(|t| t.user.id == target));
+    }
+
+    #[test]
+    fn sample_rate_is_roughly_honored_and_deterministic() {
+        let api = api();
+        let a: Vec<u64> = api
+            .connect(FilterSpec::Sample(0.1))
+            .map(|t| t.id)
+            .collect();
+        let b: Vec<u64> = api
+            .connect(FilterSpec::Sample(0.1))
+            .map(|t| t.id)
+            .collect();
+        assert_eq!(a, b, "sampling must be deterministic");
+        let frac = a.len() as f64 / api.firehose_len() as f64;
+        assert!((0.06..=0.14).contains(&frac), "frac = {frac}");
+    }
+
+    #[test]
+    fn delivery_cap_drops_most_overage() {
+        let api = api().with_delivery_cap(10);
+        let mut conn = api.connect(FilterSpec::Track(vec!["obama".into()]));
+        for _ in conn.by_ref() {}
+        let s = conn.stats();
+        assert!(s.dropped > 0, "cap must bite: {s:?}");
+        assert!(s.delivered < s.matched);
+        assert_eq!(s.delivered + s.dropped, s.matched);
+    }
+
+    #[test]
+    fn clock_advances_with_stream() {
+        let api = api();
+        let clock = api.clock();
+        let mut conn = api.connect(FilterSpec::Sample(1.0));
+        let first = conn.next().unwrap();
+        assert_eq!(clock.now(), first.created_at);
+        for _ in conn.by_ref() {}
+        assert!(clock.now() >= Timestamp::from_mins(19));
+    }
+
+    #[test]
+    fn poll_until_respects_time_bound() {
+        let api = api();
+        let mut conn = api.connect(FilterSpec::Sample(1.0));
+        let mut seen = Vec::new();
+        conn.poll_until(Timestamp::from_mins(5), |t| seen.push(t));
+        assert!(!seen.is_empty());
+        assert!(seen.iter().all(|t| t.created_at <= Timestamp::from_mins(5)));
+        let before = seen.len();
+        conn.poll_until(Timestamp::from_mins(5), |t| seen.push(t));
+        assert_eq!(seen.len(), before, "no double delivery");
+        conn.poll_until(Timestamp::from_mins(20), |t| seen.push(t));
+        assert_eq!(seen.len(), api.firehose_len());
+    }
+
+    #[test]
+    fn filter_kind_names() {
+        assert_eq!(FilterSpec::Track(vec![]).kind(), "track");
+        assert_eq!(
+            FilterSpec::Locations(BoundingBox::new(0.0, 0.0, 1.0, 1.0)).kind(),
+            "locations"
+        );
+        assert_eq!(FilterSpec::Follow(vec![]).kind(), "follow");
+        assert_eq!(FilterSpec::Sample(0.01).kind(), "sample");
+    }
+}

@@ -1,0 +1,243 @@
+//! Compact binary encode/decode of tweet logs.
+//!
+//! Expensive scenarios (hours of stream, thousands of users) can be
+//! generated once, encoded with [`encode_log`], and replayed across
+//! bench runs with [`decode_log`]. The format is a simple length-
+//! prefixed record layout over [`bytes`] — no schema evolution needed
+//! for an experiment artifact.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use tweeql_model::{Timestamp, TruthPolarity, Tweet, TweetBuilder, User};
+
+/// File magic: "TWEEQL log, version 1".
+const MAGIC: u32 = 0x7EE1_0001;
+
+/// Errors from decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// Wrong magic / version.
+    BadHeader,
+    /// Buffer ended mid-record.
+    Truncated,
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::BadHeader => write!(f, "bad replay log header"),
+            ReplayError::Truncated => write!(f, "truncated replay log"),
+            ReplayError::BadUtf8 => write!(f, "invalid utf-8 in replay log"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, ReplayError> {
+    if buf.remaining() < 4 {
+        return Err(ReplayError::Truncated);
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(ReplayError::Truncated);
+    }
+    let raw = buf.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| ReplayError::BadUtf8)
+}
+
+/// Encode a tweet log.
+pub fn encode_log(tweets: &[Tweet]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(tweets.len() * 160 + 16);
+    buf.put_u32_le(MAGIC);
+    buf.put_u64_le(tweets.len() as u64);
+    for t in tweets {
+        buf.put_u64_le(t.id);
+        buf.put_i64_le(t.created_at.millis());
+        put_str(&mut buf, &t.text);
+        buf.put_u64_le(t.user.id);
+        put_str(&mut buf, &t.user.screen_name);
+        put_str(&mut buf, &t.user.location);
+        buf.put_u32_le(t.user.followers);
+        put_str(&mut buf, &t.user.lang);
+        put_str(&mut buf, &t.lang);
+        match t.coordinates {
+            Some((lat, lon)) => {
+                buf.put_u8(1);
+                buf.put_f64_le(lat);
+                buf.put_f64_le(lon);
+            }
+            None => buf.put_u8(0),
+        }
+        match t.retweet_of {
+            Some(id) => {
+                buf.put_u8(1);
+                buf.put_u64_le(id);
+            }
+            None => buf.put_u8(0),
+        }
+        buf.put_u8(match t.truth_polarity {
+            None => 0,
+            Some(TruthPolarity::Positive) => 1,
+            Some(TruthPolarity::Negative) => 2,
+            Some(TruthPolarity::Neutral) => 3,
+        });
+        match t.truth_burst {
+            Some(b) => {
+                buf.put_u8(1);
+                buf.put_u32_le(b as u32);
+            }
+            None => buf.put_u8(0),
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a tweet log (entities are re-parsed from text).
+pub fn decode_log(mut buf: Bytes) -> Result<Vec<Tweet>, ReplayError> {
+    if buf.remaining() < 12 {
+        return Err(ReplayError::BadHeader);
+    }
+    if buf.get_u32_le() != MAGIC {
+        return Err(ReplayError::BadHeader);
+    }
+    let n = buf.get_u64_le() as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        if buf.remaining() < 16 {
+            return Err(ReplayError::Truncated);
+        }
+        let id = buf.get_u64_le();
+        let ts = Timestamp::from_millis(buf.get_i64_le());
+        let text = get_str(&mut buf)?;
+        if buf.remaining() < 8 {
+            return Err(ReplayError::Truncated);
+        }
+        let user_id = buf.get_u64_le();
+        let screen_name = get_str(&mut buf)?;
+        let location = get_str(&mut buf)?;
+        if buf.remaining() < 4 {
+            return Err(ReplayError::Truncated);
+        }
+        let followers = buf.get_u32_le();
+        let user_lang = get_str(&mut buf)?;
+        let lang = get_str(&mut buf)?;
+
+        let mut builder = TweetBuilder::new(id, text)
+            .user(User {
+                id: user_id,
+                screen_name,
+                location,
+                followers,
+                lang: user_lang,
+            })
+            .at(ts)
+            .lang(lang);
+
+        if buf.remaining() < 1 {
+            return Err(ReplayError::Truncated);
+        }
+        if buf.get_u8() == 1 {
+            if buf.remaining() < 16 {
+                return Err(ReplayError::Truncated);
+            }
+            let lat = buf.get_f64_le();
+            let lon = buf.get_f64_le();
+            builder = builder.coordinates(lat, lon);
+        }
+        if buf.remaining() < 1 {
+            return Err(ReplayError::Truncated);
+        }
+        if buf.get_u8() == 1 {
+            if buf.remaining() < 8 {
+                return Err(ReplayError::Truncated);
+            }
+            builder = builder.retweet_of(buf.get_u64_le());
+        }
+        if buf.remaining() < 1 {
+            return Err(ReplayError::Truncated);
+        }
+        builder = match buf.get_u8() {
+            1 => builder.truth_polarity(TruthPolarity::Positive),
+            2 => builder.truth_polarity(TruthPolarity::Negative),
+            3 => builder.truth_polarity(TruthPolarity::Neutral),
+            _ => builder,
+        };
+        if buf.remaining() < 1 {
+            return Err(ReplayError::Truncated);
+        }
+        if buf.get_u8() == 1 {
+            if buf.remaining() < 4 {
+                return Err(ReplayError::Truncated);
+            }
+            builder = builder.truth_burst(buf.get_u32_le() as usize);
+        }
+        out.push(builder.build());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Scenario, Topic};
+    use tweeql_model::Duration;
+
+    fn sample_log() -> Vec<Tweet> {
+        let s = Scenario {
+            name: "replay".into(),
+            duration: Duration::from_mins(5),
+            background_rate_per_min: 30.0,
+            topics: vec![Topic::new("t", vec!["kw"], 20.0)],
+            bursts: vec![],
+            geotag_rate: 0.2,
+            population_size: 100,
+        };
+        crate::generator::generate(&s, 5)
+    }
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let log = sample_log();
+        let encoded = encode_log(&log);
+        let decoded = decode_log(encoded).unwrap();
+        assert_eq!(log.len(), decoded.len());
+        for (a, b) in log.iter().zip(&decoded) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut raw = encode_log(&sample_log()).to_vec();
+        raw[0] ^= 0xFF;
+        assert_eq!(decode_log(Bytes::from(raw)), Err(ReplayError::BadHeader));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let raw = encode_log(&sample_log());
+        let cut = raw.slice(0..raw.len() - 7);
+        assert_eq!(decode_log(cut), Err(ReplayError::Truncated));
+    }
+
+    #[test]
+    fn empty_log_round_trips() {
+        let decoded = decode_log(encode_log(&[])).unwrap();
+        assert!(decoded.is_empty());
+    }
+
+    #[test]
+    fn short_buffer_is_bad_header() {
+        assert_eq!(
+            decode_log(Bytes::from_static(b"xy")),
+            Err(ReplayError::BadHeader)
+        );
+    }
+}

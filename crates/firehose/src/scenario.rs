@@ -1,0 +1,297 @@
+//! Scenario scripts: the declarative description of a synthetic stream.
+//!
+//! A [`Scenario`] is background chatter plus a set of [`Topic`]s, each
+//! with a base tweet rate, plus [`Burst`]s — short windows where a
+//! topic's rate multiplies (a goal, an aftershock, a news cycle). Bursts
+//! carry their own vocabulary ("3-0", "tevez") and a sentiment bias, and
+//! are the ground truth that peak-detection experiments score against.
+
+use tweeql_model::{Duration, Timestamp};
+
+/// A topic people tweet about.
+#[derive(Debug, Clone)]
+pub struct Topic {
+    /// Topic name (diagnostics only).
+    pub name: String,
+    /// Words that make a tweet findable by keyword filters; the text
+    /// generator samples them into most tweets of this topic.
+    pub keywords: Vec<String>,
+    /// Hashtags attached with some probability.
+    pub hashtags: Vec<String>,
+    /// Neutral phrase fragments characteristic of the topic.
+    pub phrases: Vec<String>,
+    /// Steady-state rate in tweets/minute attributable to this topic.
+    pub base_rate_per_min: f64,
+    /// Baseline sentiment bias in [-1, 1]: probability mass shifted
+    /// toward positive (+) or negative (−) tweets.
+    pub sentiment_bias: f64,
+    /// Cities (gazetteer names) whose users are disproportionately
+    /// likely to author this topic's tweets; empty = global.
+    pub hotspot_cities: Vec<String>,
+    /// Weight of hotspot cities relative to the global pool (e.g. 5.0
+    /// means a hotspot author is 5× likelier than their global share).
+    pub hotspot_boost: f64,
+}
+
+impl Topic {
+    /// A minimal topic with sensible defaults.
+    pub fn new(name: impl Into<String>, keywords: Vec<&str>, rate_per_min: f64) -> Topic {
+        Topic {
+            name: name.into(),
+            keywords: keywords.iter().map(|s| s.to_string()).collect(),
+            hashtags: Vec::new(),
+            phrases: Vec::new(),
+            base_rate_per_min: rate_per_min,
+            sentiment_bias: 0.0,
+            hotspot_cities: Vec::new(),
+            hotspot_boost: 1.0,
+        }
+    }
+}
+
+/// A burst of activity on one topic — the scripted ground truth behind a
+/// timeline peak.
+#[derive(Debug, Clone)]
+pub struct Burst {
+    /// Index into [`Scenario::topics`].
+    pub topic: usize,
+    /// Human label ("GOAL 3-0 Tevez") used in experiment reports.
+    pub label: String,
+    /// Burst onset.
+    pub start: Timestamp,
+    /// Rise time to the peak rate.
+    pub ramp_up: Duration,
+    /// Time spent decaying back to baseline after the peak.
+    pub ramp_down: Duration,
+    /// Rate multiplier at the peak (relative to the topic's base rate).
+    pub peak_multiplier: f64,
+    /// Extra vocabulary characteristic of this burst ("3-0", "tevez").
+    pub phrases: Vec<String>,
+    /// Sentiment bias during the burst, overriding the topic's.
+    pub sentiment_bias: f64,
+    /// A URL widely shared during the burst (Popular Links panel truth).
+    pub url: Option<String>,
+}
+
+impl Burst {
+    /// End of the burst's influence.
+    pub fn end(&self) -> Timestamp {
+        self.start + self.ramp_up + self.ramp_down
+    }
+
+    /// The moment of peak intensity.
+    pub fn peak_time(&self) -> Timestamp {
+        self.start + self.ramp_up
+    }
+
+    /// Rate multiplier contribution at time `t` (0 outside the burst):
+    /// linear rise to `peak_multiplier − 1`, then exponential-ish linear
+    /// decay. Added to the topic's base factor of 1.
+    pub fn intensity_at(&self, t: Timestamp) -> f64 {
+        if t < self.start || t > self.end() {
+            return 0.0;
+        }
+        let peak = self.peak_time();
+        let extra = self.peak_multiplier - 1.0;
+        if t <= peak {
+            let frac = if self.ramp_up.millis() == 0 {
+                1.0
+            } else {
+                t.since(self.start).millis() as f64 / self.ramp_up.millis() as f64
+            };
+            extra * frac
+        } else {
+            let frac = if self.ramp_down.millis() == 0 {
+                0.0
+            } else {
+                1.0 - t.since(peak).millis() as f64 / self.ramp_down.millis() as f64
+            };
+            extra * frac.max(0.0)
+        }
+    }
+}
+
+/// A complete stream script.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name.
+    pub name: String,
+    /// Total simulated span.
+    pub duration: Duration,
+    /// Ambient chatter unrelated to any topic, tweets/minute.
+    pub background_rate_per_min: f64,
+    /// Topics.
+    pub topics: Vec<Topic>,
+    /// Scripted bursts (ground-truth peaks).
+    pub bursts: Vec<Burst>,
+    /// Fraction of tweets carrying exact GPS coordinates (2011-era
+    /// geotagging was rare; ~1–3%).
+    pub geotag_rate: f64,
+    /// Number of synthetic users.
+    pub population_size: usize,
+}
+
+impl Scenario {
+    /// Instantaneous total rate (tweets/minute) at time `t`.
+    pub fn rate_at(&self, t: Timestamp) -> f64 {
+        let mut rate = self.background_rate_per_min;
+        for (i, topic) in self.topics.iter().enumerate() {
+            let mut factor = 1.0;
+            for b in self.bursts.iter().filter(|b| b.topic == i) {
+                factor += b.intensity_at(t);
+            }
+            rate += topic.base_rate_per_min * factor;
+        }
+        rate
+    }
+
+    /// Upper bound on [`Scenario::rate_at`] over the whole scenario —
+    /// the majorizing rate for Poisson thinning.
+    pub fn max_rate(&self) -> f64 {
+        let mut max = self.background_rate_per_min
+            + self.topics.iter().map(|t| t.base_rate_per_min).sum::<f64>();
+        for b in &self.bursts {
+            let topic_rate = self.topics[b.topic].base_rate_per_min;
+            let mut at_peak = self.background_rate_per_min;
+            for (i, topic) in self.topics.iter().enumerate() {
+                let mut factor = 1.0;
+                for ob in self.bursts.iter().filter(|ob| ob.topic == i) {
+                    factor += ob.intensity_at(b.peak_time());
+                }
+                at_peak += topic.base_rate_per_min * factor;
+            }
+            max = max.max(at_peak.max(topic_rate * b.peak_multiplier));
+        }
+        max
+    }
+
+    /// Validate script invariants; returns problems found.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.duration.millis() <= 0 {
+            problems.push("duration must be positive".into());
+        }
+        if self.background_rate_per_min < 0.0 {
+            problems.push("negative background rate".into());
+        }
+        if self.population_size == 0 {
+            problems.push("population_size must be > 0".into());
+        }
+        if !(0.0..=1.0).contains(&self.geotag_rate) {
+            problems.push("geotag_rate out of [0,1]".into());
+        }
+        for (i, b) in self.bursts.iter().enumerate() {
+            if b.topic >= self.topics.len() {
+                problems.push(format!("burst {i} references missing topic {}", b.topic));
+            }
+            if b.peak_multiplier < 1.0 {
+                problems.push(format!("burst {i} peak_multiplier < 1"));
+            }
+            if b.end() > Timestamp::ZERO + self.duration {
+                problems.push(format!("burst {i} ({}) extends past scenario end", b.label));
+            }
+        }
+        for (i, t) in self.topics.iter().enumerate() {
+            if t.keywords.is_empty() {
+                problems.push(format!("topic {i} ({}) has no keywords", t.name));
+            }
+            if t.base_rate_per_min < 0.0 {
+                problems.push(format!("topic {i} has negative rate"));
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario_with_one_burst() -> Scenario {
+        Scenario {
+            name: "test".into(),
+            duration: Duration::from_mins(60),
+            background_rate_per_min: 10.0,
+            topics: vec![Topic::new("t", vec!["kw"], 5.0)],
+            bursts: vec![Burst {
+                topic: 0,
+                label: "spike".into(),
+                start: Timestamp::from_mins(10),
+                ramp_up: Duration::from_mins(2),
+                ramp_down: Duration::from_mins(8),
+                peak_multiplier: 11.0,
+                phrases: vec![],
+                sentiment_bias: 0.0,
+                url: None,
+            }],
+            geotag_rate: 0.02,
+            population_size: 100,
+        }
+    }
+
+    #[test]
+    fn burst_intensity_shape() {
+        let s = scenario_with_one_burst();
+        let b = &s.bursts[0];
+        assert_eq!(b.intensity_at(Timestamp::from_mins(9)), 0.0);
+        assert_eq!(b.intensity_at(Timestamp::from_mins(12)), 10.0); // peak
+        let mid_rise = b.intensity_at(Timestamp::from_mins(11));
+        assert!((mid_rise - 5.0).abs() < 1e-9);
+        let mid_fall = b.intensity_at(Timestamp::from_mins(16));
+        assert!((mid_fall - 5.0).abs() < 1e-9);
+        assert_eq!(b.intensity_at(Timestamp::from_mins(21)), 0.0);
+    }
+
+    #[test]
+    fn rate_at_composes_background_topic_burst() {
+        let s = scenario_with_one_burst();
+        // Before burst: 10 + 5.
+        assert!((s.rate_at(Timestamp::from_mins(5)) - 15.0).abs() < 1e-9);
+        // At peak: 10 + 5×11.
+        assert!((s.rate_at(Timestamp::from_mins(12)) - 65.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_rate_majorizes() {
+        let s = scenario_with_one_burst();
+        let max = s.max_rate();
+        for m in 0..60 {
+            assert!(s.rate_at(Timestamp::from_mins(m)) <= max + 1e-9);
+        }
+    }
+
+    #[test]
+    fn validation_catches_problems() {
+        let mut s = scenario_with_one_burst();
+        assert!(s.validate().is_empty());
+        s.bursts[0].topic = 9;
+        s.geotag_rate = 2.0;
+        s.topics[0].keywords.clear();
+        let problems = s.validate();
+        assert_eq!(problems.len(), 3, "{problems:?}");
+    }
+
+    #[test]
+    fn burst_overrunning_duration_flagged() {
+        let mut s = scenario_with_one_burst();
+        s.bursts[0].start = Timestamp::from_mins(59);
+        assert!(!s.validate().is_empty());
+    }
+
+    #[test]
+    fn zero_ramp_edges() {
+        let b = Burst {
+            topic: 0,
+            label: "instant".into(),
+            start: Timestamp::from_mins(1),
+            ramp_up: Duration::ZERO,
+            ramp_down: Duration::ZERO,
+            peak_multiplier: 5.0,
+            phrases: vec![],
+            sentiment_bias: 0.0,
+            url: None,
+        };
+        assert_eq!(b.intensity_at(Timestamp::from_mins(1)), 4.0);
+        assert_eq!(b.intensity_at(Timestamp::from_millis(60_001)), 0.0);
+    }
+}

@@ -1,0 +1,385 @@
+//! The paper's three canned TwitInfo demos as scenario scripts:
+//! "a soccer match, a timeline of earthquakes, and a summary of a month
+//! in Barack Obama's life" (§4).
+//!
+//! Every burst is ground truth: peak-detection experiments (E2) score
+//! detected peaks against these scripted events.
+
+use crate::scenario::{Burst, Scenario, Topic};
+use tweeql_model::{Duration, Timestamp};
+
+/// "Soccer: Manchester City vs. Liverpool" — the §3.1 example, with the
+/// §3.2 "3-0"/"Tevez" goal reproduced as burst F-ish. 120 minutes of
+/// stream covering pre-game, the match, and cooldown.
+pub fn soccer_match() -> Scenario {
+    let mut topic = Topic::new(
+        "soccer",
+        vec![
+            "soccer",
+            "football",
+            "premierleague",
+            "manchester",
+            "liverpool",
+        ],
+        40.0,
+    );
+    topic.hashtags = vec!["mcfc".into(), "lfc".into(), "premierleague".into()];
+    topic.phrases = vec![
+        "kick off".into(),
+        "big match".into(),
+        "city vs liverpool".into(),
+        "etihad".into(),
+        "starting lineup".into(),
+        "halftime".into(),
+    ];
+    topic.sentiment_bias = 0.1;
+    topic.hotspot_cities = vec!["Manchester".into(), "Liverpool".into(), "London".into()];
+    topic.hotspot_boost = 4.0;
+
+    let goal = |label: &str,
+                minute: i64,
+                mult: f64,
+                phrases: Vec<&str>,
+                bias: f64,
+                url: Option<&str>| Burst {
+        topic: 0,
+        label: label.to_string(),
+        start: Timestamp::from_mins(minute),
+        ramp_up: Duration::from_mins(1),
+        ramp_down: Duration::from_mins(6),
+        peak_multiplier: mult,
+        phrases: phrases.into_iter().map(String::from).collect(),
+        sentiment_bias: bias,
+        url: url.map(String::from),
+    };
+
+    Scenario {
+        name: "Soccer: Manchester City vs. Liverpool".into(),
+        duration: Duration::from_mins(120),
+        background_rate_per_min: 260.0,
+        topics: vec![topic],
+        bursts: vec![
+            goal(
+                "kickoff",
+                15,
+                3.0,
+                vec!["kickoff", "we're underway", "game on"],
+                0.1,
+                None,
+            ),
+            goal(
+                "GOAL 1-0 Aguero",
+                33,
+                8.0,
+                vec!["goal", "1-0", "aguero", "what a finish"],
+                0.5,
+                Some("http://bbc.in/mcfc-goal1"),
+            ),
+            goal(
+                "GOAL 2-0 Balotelli",
+                58,
+                9.0,
+                vec!["goal", "2-0", "balotelli", "why always me"],
+                0.5,
+                Some("http://bbc.in/mcfc-goal2"),
+            ),
+            goal(
+                "GOAL 3-0 Tevez",
+                84,
+                12.0,
+                vec!["goal", "3-0", "tevez", "hat trick chance", "game over"],
+                0.6,
+                Some("http://bbc.in/mcfc-goal3"),
+            ),
+            goal(
+                "full time 3-0",
+                105,
+                5.0,
+                vec!["full time", "3-0", "ft", "dominant win"],
+                0.3,
+                None,
+            ),
+        ],
+        geotag_rate: 0.03,
+        population_size: 4000,
+    }
+}
+
+/// A timeline of earthquakes: a major offshore quake near Sendai with
+/// two aftershocks, strongly geo-concentrated in Japan and skewing
+/// negative. 6 hours of stream.
+pub fn earthquakes() -> Scenario {
+    let mut topic = Topic::new(
+        "earthquake",
+        vec!["earthquake", "quake", "tsunami", "sendai", "japan"],
+        8.0,
+    );
+    topic.hashtags = vec!["earthquake".into(), "japan".into(), "prayforjapan".into()];
+    topic.phrases = vec![
+        "felt shaking".into(),
+        "buildings swaying".into(),
+        "aftershock".into(),
+        "magnitude".into(),
+        "epicenter offshore".into(),
+        "stay safe".into(),
+    ];
+    topic.sentiment_bias = -0.5;
+    topic.hotspot_cities = vec!["Tokyo".into(), "Sendai".into(), "Osaka".into(), "Nagoya".into()];
+    topic.hotspot_boost = 8.0;
+
+    let quake = |label: &str, minute: i64, mult: f64, phrases: Vec<&str>, url: Option<&str>| Burst {
+        topic: 0,
+        label: label.to_string(),
+        start: Timestamp::from_mins(minute),
+        ramp_up: Duration::from_mins(3),
+        ramp_down: Duration::from_mins(25),
+        peak_multiplier: mult,
+        phrases: phrases.into_iter().map(String::from).collect(),
+        sentiment_bias: -0.6,
+        url: url.map(String::from),
+    };
+
+    Scenario {
+        name: "Earthquake timeline".into(),
+        duration: Duration::from_hours(6),
+        background_rate_per_min: 220.0,
+        topics: vec![topic],
+        bursts: vec![
+            quake(
+                "mainshock M7.2",
+                40,
+                40.0,
+                vec!["magnitude 7.2", "huge", "epicenter", "sendai coast", "tsunami warning"],
+                Some("http://usgs.gov/eq/m72"),
+            ),
+            quake(
+                "aftershock M6.1",
+                130,
+                14.0,
+                vec!["aftershock", "magnitude 6.1", "again", "still shaking"],
+                Some("http://usgs.gov/eq/m61"),
+            ),
+            quake(
+                "aftershock M5.4",
+                250,
+                7.0,
+                vec!["aftershock", "magnitude 5.4", "smaller one"],
+                None,
+            ),
+        ],
+        geotag_rate: 0.04,
+        population_size: 6000,
+    }
+}
+
+/// A (compressed) month in Barack Obama's life: several scripted news
+/// cycles on the "obama" keyword. One 30-day month is replayed at
+/// 1 minute = 1 hour, i.e. 720 minutes of stream.
+pub fn obama_month() -> Scenario {
+    let mut topic = Topic::new(
+        "obama",
+        vec!["obama", "president", "whitehouse"],
+        12.0,
+    );
+    topic.hashtags = vec!["obama".into(), "politics".into()];
+    topic.phrases = vec![
+        "press briefing".into(),
+        "white house".into(),
+        "the president".into(),
+        "administration".into(),
+        "congress".into(),
+    ];
+    topic.sentiment_bias = 0.0;
+    topic.hotspot_cities = vec!["Washington".into(), "New York".into(), "Chicago".into()];
+    topic.hotspot_boost = 3.0;
+
+    let news = |label: &str,
+                minute: i64,
+                mult: f64,
+                phrases: Vec<&str>,
+                bias: f64,
+                url: Option<&str>| Burst {
+        topic: 0,
+        label: label.to_string(),
+        start: Timestamp::from_mins(minute),
+        ramp_up: Duration::from_mins(5),
+        ramp_down: Duration::from_mins(45),
+        peak_multiplier: mult,
+        phrases: phrases.into_iter().map(String::from).collect(),
+        sentiment_bias: bias,
+        url: url.map(String::from),
+    };
+
+    Scenario {
+        name: "A month in Barack Obama's life".into(),
+        duration: Duration::from_mins(720),
+        background_rate_per_min: 240.0,
+        topics: vec![topic],
+        bursts: vec![
+            news(
+                "state of the union",
+                60,
+                10.0,
+                vec!["state of the union", "sotu", "speech", "address"],
+                0.2,
+                Some("http://wh.gov/sotu"),
+            ),
+            news(
+                "budget showdown",
+                210,
+                6.0,
+                vec!["budget", "shutdown", "negotiations", "deal"],
+                -0.4,
+                None,
+            ),
+            news(
+                "overseas trip",
+                360,
+                5.0,
+                vec!["visit", "summit", "diplomacy", "air force one"],
+                0.1,
+                Some("http://wh.gov/trip"),
+            ),
+            news(
+                "press conference",
+                500,
+                7.0,
+                vec!["press conference", "announcement", "questions"],
+                0.0,
+                None,
+            ),
+            news(
+                "approval ratings",
+                620,
+                4.0,
+                vec!["approval", "poll", "numbers"],
+                -0.2,
+                None,
+            ),
+        ],
+        geotag_rate: 0.025,
+        population_size: 5000,
+    }
+}
+
+/// A Red Sox–Yankees baseball game (§3.3: "A user should be able to
+/// quickly zoom in on clusters of activity around New York and Boston
+/// during a Red Sox-Yankees baseball game, with sentiment toward a
+/// given peak (e.g., a home run) varying by region"). Strongly
+/// geo-concentrated in the two cities, with home-run bursts.
+pub fn baseball() -> Scenario {
+    let mut topic = Topic::new(
+        "baseball",
+        vec!["redsox", "yankees", "baseball", "fenway"],
+        35.0,
+    );
+    topic.hashtags = vec!["redsox".into(), "yankees".into(), "mlb".into()];
+    topic.phrases = vec![
+        "first pitch".into(),
+        "bottom of the ninth".into(),
+        "bases loaded".into(),
+        "full count".into(),
+    ];
+    topic.hotspot_cities = vec!["Boston".into(), "New York".into(), "Cambridge".into()];
+    topic.hotspot_boost = 12.0;
+
+    let homer = |label: &str, minute: i64, bias: f64| Burst {
+        topic: 0,
+        label: label.to_string(),
+        start: Timestamp::from_mins(minute),
+        ramp_up: Duration::from_mins(1),
+        ramp_down: Duration::from_mins(5),
+        peak_multiplier: 7.0,
+        phrases: vec!["home run".into(), "homerun".into(), "gone".into()],
+        sentiment_bias: bias,
+        url: None,
+    };
+
+    Scenario {
+        name: "Baseball: Red Sox vs. Yankees".into(),
+        duration: Duration::from_mins(150),
+        background_rate_per_min: 220.0,
+        topics: vec![topic],
+        bursts: vec![
+            homer("HR Red Sox", 40, 0.4),
+            homer("HR Yankees", 95, -0.2),
+        ],
+        geotag_rate: 0.08,
+        population_size: 4000,
+    }
+}
+
+/// All canned scenarios, as (slug, scenario) pairs. The first three are
+/// the paper's §4 demos; `baseball` is the §3.3 map-view example.
+pub fn all() -> Vec<(&'static str, Scenario)> {
+    vec![
+        ("soccer", soccer_match()),
+        ("earthquakes", earthquakes()),
+        ("obama", obama_month()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scenarios_validate() {
+        for (slug, s) in all() {
+            let problems = s.validate();
+            assert!(problems.is_empty(), "{slug}: {problems:?}");
+        }
+    }
+
+    #[test]
+    fn soccer_has_the_tevez_goal() {
+        let s = soccer_match();
+        let tevez = s
+            .bursts
+            .iter()
+            .find(|b| b.label.contains("Tevez"))
+            .expect("tevez burst");
+        assert!(tevez.phrases.iter().any(|p| p == "3-0"));
+        assert!(tevez.phrases.iter().any(|p| p == "tevez"));
+        // It is the biggest in-match spike, as in Figure 1's peak F.
+        assert!(s
+            .bursts
+            .iter()
+            .all(|b| b.peak_multiplier <= tevez.peak_multiplier));
+    }
+
+    #[test]
+    fn earthquake_mainshock_dominates_aftershocks() {
+        let s = earthquakes();
+        assert!(s.bursts[0].peak_multiplier > s.bursts[1].peak_multiplier);
+        assert!(s.bursts[1].peak_multiplier > s.bursts[2].peak_multiplier);
+        assert!(s.topics[0].sentiment_bias < 0.0);
+    }
+
+    #[test]
+    fn obama_month_has_five_news_cycles() {
+        let s = obama_month();
+        assert_eq!(s.bursts.len(), 5);
+        assert!(s.duration == Duration::from_mins(720));
+    }
+
+    #[test]
+    fn baseball_is_geo_concentrated() {
+        let s = baseball();
+        assert!(s.validate().is_empty());
+        assert!(s.topics[0].hotspot_boost > 5.0);
+        assert_eq!(s.bursts.len(), 2);
+    }
+
+    #[test]
+    fn scenarios_generate_nonempty_streams() {
+        // Smoke-generate with a small population override for speed.
+        for (slug, mut s) in all() {
+            s.duration = Duration::from_mins(10);
+            s.bursts.retain(|b| b.end() <= Timestamp::ZERO + s.duration);
+            s.population_size = 200;
+            let tweets = crate::generator::generate(&s, 1);
+            assert!(!tweets.is_empty(), "{slug} generated nothing");
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Bounding boxes — the streaming API's location filter and the
+//! `location in [bounding box for NYC]` predicate from the paper's
+//! uncertain-selectivity example.
+
+use crate::point::GeoPoint;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An axis-aligned lat/lon bounding box. Boxes that cross the
+/// antimeridian are not supported (neither did the 2011 streaming API).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    /// Southern edge.
+    pub south: f64,
+    /// Western edge.
+    pub west: f64,
+    /// Northern edge.
+    pub north: f64,
+    /// Eastern edge.
+    pub east: f64,
+}
+
+impl BoundingBox {
+    /// Build from corners, normalizing order.
+    pub fn new(south: f64, west: f64, north: f64, east: f64) -> BoundingBox {
+        BoundingBox {
+            south: south.min(north),
+            west: west.min(east),
+            north: south.max(north),
+            east: west.max(east),
+        }
+    }
+
+    /// Is `p` inside (inclusive)?
+    pub fn contains(&self, p: &GeoPoint) -> bool {
+        p.lat >= self.south && p.lat <= self.north && p.lon >= self.west && p.lon <= self.east
+    }
+
+    /// Do two boxes overlap?
+    pub fn intersects(&self, other: &BoundingBox) -> bool {
+        self.south <= other.north
+            && self.north >= other.south
+            && self.west <= other.east
+            && self.east >= other.west
+    }
+
+    /// Box center.
+    pub fn center(&self) -> GeoPoint {
+        GeoPoint::new(
+            (self.south + self.north) / 2.0,
+            (self.west + self.east) / 2.0,
+        )
+    }
+
+    /// Area in square degrees (selectivity proxy).
+    pub fn area_deg2(&self) -> f64 {
+        (self.north - self.south) * (self.east - self.west)
+    }
+
+    /// Well-known city boxes, by (case-insensitive) name. The paper's
+    /// example is `[bounding box for NYC]`.
+    pub fn named(name: &str) -> Option<BoundingBox> {
+        let b = match name.to_lowercase().as_str() {
+            "nyc" | "new york" | "new york city" => BoundingBox::new(40.477, -74.259, 40.917, -73.700),
+            "boston" => BoundingBox::new(42.227, -71.191, 42.400, -70.986),
+            "london" => BoundingBox::new(51.286, -0.510, 51.692, 0.334),
+            "tokyo" => BoundingBox::new(35.500, 139.500, 35.900, 140.000),
+            "cape town" => BoundingBox::new(-34.360, 18.300, -33.470, 19.000),
+            "manchester" => BoundingBox::new(53.340, -2.420, 53.600, -2.050),
+            "liverpool" => BoundingBox::new(53.310, -3.090, 53.510, -2.810),
+            "san francisco" | "sf" => BoundingBox::new(37.639, -123.173, 37.929, -122.281),
+            "chicago" => BoundingBox::new(41.644, -87.940, 42.023, -87.524),
+            "los angeles" | "la" => BoundingBox::new(33.704, -118.668, 34.337, -118.155),
+            "usa" | "united states" => BoundingBox::new(24.396, -125.0, 49.384, -66.934),
+            "japan" => BoundingBox::new(24.0, 122.9, 45.6, 153.9),
+            "uk" | "united kingdom" => BoundingBox::new(49.9, -8.6, 60.9, 1.8),
+            _ => return None,
+        };
+        Some(b)
+    }
+}
+
+impl fmt::Display for BoundingBox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:.3},{:.3},{:.3},{:.3}]",
+            self.south, self.west, self.north, self.east
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_inclusive_edges() {
+        let b = BoundingBox::new(0.0, 0.0, 10.0, 10.0);
+        assert!(b.contains(&GeoPoint::new(5.0, 5.0)));
+        assert!(b.contains(&GeoPoint::new(0.0, 0.0)));
+        assert!(b.contains(&GeoPoint::new(10.0, 10.0)));
+        assert!(!b.contains(&GeoPoint::new(10.1, 5.0)));
+        assert!(!b.contains(&GeoPoint::new(5.0, -0.1)));
+    }
+
+    #[test]
+    fn corner_order_normalized() {
+        let b = BoundingBox::new(10.0, 10.0, 0.0, 0.0);
+        assert_eq!(b.south, 0.0);
+        assert_eq!(b.north, 10.0);
+        assert!(b.contains(&GeoPoint::new(5.0, 5.0)));
+    }
+
+    #[test]
+    fn nyc_box_contains_manhattan_not_boston() {
+        let nyc = BoundingBox::named("NYC").unwrap();
+        assert!(nyc.contains(&GeoPoint::new(40.7831, -73.9712))); // Manhattan
+        assert!(!nyc.contains(&GeoPoint::new(42.3601, -71.0589))); // Boston
+    }
+
+    #[test]
+    fn named_lookup_is_case_insensitive() {
+        assert!(BoundingBox::named("tokyo").is_some());
+        assert!(BoundingBox::named("TOKYO").is_some());
+        assert!(BoundingBox::named("atlantis").is_none());
+    }
+
+    #[test]
+    fn intersection() {
+        let a = BoundingBox::new(0.0, 0.0, 10.0, 10.0);
+        let b = BoundingBox::new(5.0, 5.0, 15.0, 15.0);
+        let c = BoundingBox::new(20.0, 20.0, 30.0, 30.0);
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn center_and_area() {
+        let b = BoundingBox::new(0.0, 0.0, 10.0, 20.0);
+        let c = b.center();
+        assert!((c.lat - 5.0).abs() < 1e-9);
+        assert!((c.lon - 10.0).abs() < 1e-9);
+        assert!((b.area_deg2() - 200.0).abs() < 1e-9);
+    }
+}

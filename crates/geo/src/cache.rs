@@ -1,0 +1,300 @@
+//! A generic LRU cache with hit/miss statistics.
+//!
+//! "We employ caching to avoid requests" (§2, High-latency Operators):
+//! profile locations repeat heavily across tweets (everyone in "NYC"),
+//! so a small LRU in front of the geocoding service eliminates most
+//! remote calls. Implemented over a `HashMap` + intrusive index list —
+//! O(1) get/put without unsafe code.
+
+use std::borrow::Borrow;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted by capacity.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0,1]`; 0 when no lookups.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+/// A least-recently-used cache with fixed capacity.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    entries: Vec<Entry<K, V>>,
+    free: Vec<usize>,
+    head: usize, // most recent
+    tail: usize, // least recent
+    capacity: usize,
+    stats: CacheStats,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
+    /// New cache holding at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> LruCache<K, V> {
+        let capacity = capacity.max(1);
+        LruCache {
+            map: HashMap::with_capacity(capacity),
+            entries: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Look up `key`, marking it most-recently-used on hit.
+    pub fn get<Q>(&mut self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.stats.hits += 1;
+                self.detach(idx);
+                self.attach_front(idx);
+                Some(self.entries[idx].value.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peek without touching recency or stats.
+    pub fn peek<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        self.map.get(key).map(|&i| &self.entries[i].value)
+    }
+
+    /// Insert or update; evicts the least-recently-used entry when full.
+    pub fn put(&mut self, key: K, value: V) {
+        if let Some(&idx) = self.map.get(&key) {
+            self.entries[idx].value = value;
+            self.detach(idx);
+            self.attach_front(idx);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            self.detach(victim);
+            let old_key = self.entries[victim].key.clone();
+            self.map.remove(&old_key);
+            self.free.push(victim);
+            self.stats.evictions += 1;
+        }
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.entries[i] = Entry {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                };
+                i
+            }
+            None => {
+                self.entries.push(Entry {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.entries.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.attach_front(idx);
+    }
+
+    /// Drop everything (stats are kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.entries.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.entries[idx].prev, self.entries[idx].next);
+        if prev != NIL {
+            self.entries[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.entries[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.entries[idx].prev = NIL;
+        self.entries[idx].next = NIL;
+    }
+
+    fn attach_front(&mut self, idx: usize) {
+        self.entries[idx].prev = NIL;
+        self.entries[idx].next = self.head;
+        if self.head != NIL {
+            self.entries[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_put_basics() {
+        let mut c: LruCache<String, i32> = LruCache::new(2);
+        assert!(c.get("a").is_none());
+        c.put("a".into(), 1);
+        assert_eq!(c.get("a"), Some(1));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c: LruCache<&str, i32> = LruCache::new(2);
+        c.put("a", 1);
+        c.put("b", 2);
+        c.get(&"a"); // a is now MRU
+        c.put("c", 3); // evicts b
+        assert_eq!(c.peek(&"a"), Some(&1));
+        assert!(c.peek(&"b").is_none());
+        assert_eq!(c.peek(&"c"), Some(&3));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn update_refreshes_recency() {
+        let mut c: LruCache<&str, i32> = LruCache::new(2);
+        c.put("a", 1);
+        c.put("b", 2);
+        c.put("a", 10); // update -> MRU
+        c.put("c", 3); // evicts b
+        assert_eq!(c.peek(&"a"), Some(&10));
+        assert!(c.peek(&"b").is_none());
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let mut c: LruCache<&str, i32> = LruCache::new(4);
+        c.put("x", 1);
+        c.get(&"x");
+        c.get(&"x");
+        c.get(&"y");
+        let s = c.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 1);
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_one_works() {
+        let mut c: LruCache<i32, i32> = LruCache::new(1);
+        c.put(1, 1);
+        c.put(2, 2);
+        assert!(c.peek(&1).is_none());
+        assert_eq!(c.peek(&2), Some(&2));
+    }
+
+    #[test]
+    fn zero_capacity_clamped_to_one() {
+        let c: LruCache<i32, i32> = LruCache::new(0);
+        assert_eq!(c.capacity(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_stats() {
+        let mut c: LruCache<i32, i32> = LruCache::new(2);
+        c.put(1, 1);
+        c.get(&1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats().hits, 1);
+        // Usable after clear.
+        c.put(2, 2);
+        assert_eq!(c.get(&2), Some(2));
+    }
+
+    #[test]
+    fn heavy_churn_consistency() {
+        let mut c: LruCache<u32, u32> = LruCache::new(16);
+        for i in 0..1000u32 {
+            c.put(i % 40, i);
+            if i % 3 == 0 {
+                c.get(&(i % 16));
+            }
+            assert!(c.len() <= 16);
+        }
+        // The 16 most recently touched keys are present.
+        assert_eq!(c.len(), 16);
+    }
+
+    #[test]
+    fn borrowed_key_lookup() {
+        let mut c: LruCache<String, i32> = LruCache::new(2);
+        c.put("nyc".to_string(), 1);
+        // &str lookup against String keys.
+        assert_eq!(c.get("nyc"), Some(1));
+    }
+}

@@ -1,0 +1,444 @@
+//! Geocoders: free-text location → coordinates.
+//!
+//! Three layers mirror the paper's architecture:
+//!
+//! * [`GazetteerGeocoder`] — the "ground truth" service backend;
+//! * [`SimulatedRemoteGeocoder`] — wraps any geocoder in a remote web
+//!   service's behaviour: per-request latency charged to a virtual
+//!   clock, optional batch endpoint, transient failures;
+//! * [`CachingGeocoder`] — LRU in front of any geocoder ("we employ
+//!   caching to avoid requests").
+
+use crate::cache::{CacheStats, LruCache};
+use crate::gazetteer::{self, Gazetteer};
+use crate::latency::{LatencyModel, LatencySampler};
+use crate::point::GeoPoint;
+use std::sync::Arc;
+use tweeql_model::{Duration, VirtualClock};
+
+/// Successful geocode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeocodeResult {
+    /// Resolved coordinate.
+    pub point: GeoPoint,
+    /// Canonical place name.
+    pub canonical: String,
+}
+
+/// A geocoding service.
+pub trait Geocoder: Send {
+    /// Resolve one free-text location. `None` when unresolvable or the
+    /// request transiently failed.
+    fn geocode(&mut self, location: &str) -> Option<GeocodeResult>;
+
+    /// Resolve a batch in one logical request. The default loops.
+    fn geocode_batch(&mut self, locations: &[&str]) -> Vec<Option<GeocodeResult>> {
+        locations.iter().map(|l| self.geocode(l)).collect()
+    }
+
+    /// Remote requests issued so far (a batch counts once).
+    fn requests_issued(&self) -> u64;
+
+    /// Total *modeled* service latency accumulated so far.
+    fn modeled_service_time(&self) -> Duration;
+}
+
+/// Instant, in-process gazetteer lookup — the simulated service backend.
+#[derive(Debug, Default)]
+pub struct GazetteerGeocoder {
+    lookups: u64,
+}
+
+impl GazetteerGeocoder {
+    /// Construct.
+    pub fn new() -> GazetteerGeocoder {
+        GazetteerGeocoder::default()
+    }
+
+    fn resolve(g: &Gazetteer, location: &str) -> Option<GeocodeResult> {
+        g.resolve(location).map(|c| GeocodeResult {
+            point: c.center,
+            canonical: c.name.to_string(),
+        })
+    }
+}
+
+impl Geocoder for GazetteerGeocoder {
+    fn geocode(&mut self, location: &str) -> Option<GeocodeResult> {
+        self.lookups += 1;
+        Self::resolve(gazetteer::global(), location)
+    }
+
+    fn requests_issued(&self) -> u64 {
+        self.lookups
+    }
+
+    fn modeled_service_time(&self) -> Duration {
+        Duration::ZERO
+    }
+}
+
+/// A remote web-service wrapper: each request samples a latency and
+/// advances the shared virtual clock (the caller "waits" in model time),
+/// may transiently fail, and supports a batch endpoint with one
+/// round-trip per batch plus a small per-item marginal cost.
+pub struct SimulatedRemoteGeocoder<G: Geocoder> {
+    inner: G,
+    sampler: LatencySampler,
+    clock: Arc<VirtualClock>,
+    /// Probability a request transiently fails (result None).
+    failure_rate: f64,
+    /// Marginal per-item latency inside a batch request.
+    per_item: Duration,
+    /// Max items per batch request.
+    max_batch: usize,
+    requests: u64,
+    service_time_ms: i64,
+    failures: u64,
+    fail_seq: u64,
+}
+
+impl<G: Geocoder> SimulatedRemoteGeocoder<G> {
+    /// Wrap `inner` with the paper's default web-service latency.
+    pub fn new(inner: G, clock: Arc<VirtualClock>, seed: u64) -> Self {
+        Self::with_model(inner, clock, LatencyModel::web_service_default(), seed)
+    }
+
+    /// Wrap with an explicit latency model.
+    pub fn with_model(
+        inner: G,
+        clock: Arc<VirtualClock>,
+        model: LatencyModel,
+        seed: u64,
+    ) -> Self {
+        SimulatedRemoteGeocoder {
+            inner,
+            sampler: LatencySampler::new(model, seed),
+            clock,
+            failure_rate: 0.0,
+            per_item: Duration::from_millis(5),
+            max_batch: 25,
+            requests: 0,
+            service_time_ms: 0,
+            failures: 0,
+            fail_seq: seed.wrapping_mul(0x9E3779B97F4A7C15),
+        }
+    }
+
+    /// Set transient failure probability.
+    pub fn with_failure_rate(mut self, rate: f64) -> Self {
+        self.failure_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Set batch parameters.
+    pub fn with_batching(mut self, max_batch: usize, per_item: Duration) -> Self {
+        self.max_batch = max_batch.max(1);
+        self.per_item = per_item;
+        self
+    }
+
+    /// Transient failures so far.
+    pub fn failures(&self) -> u64 {
+        self.failures
+    }
+
+    /// Batch size limit of the simulated API.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    fn charge(&mut self, d: Duration) {
+        self.clock.advance(d);
+        self.service_time_ms += d.millis();
+    }
+
+    fn roll_failure(&mut self) -> bool {
+        if self.failure_rate <= 0.0 {
+            return false;
+        }
+        // Deterministic splitmix over a sequence counter.
+        self.fail_seq = self.fail_seq.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.fail_seq;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        (z as f64 / u64::MAX as f64) < self.failure_rate
+    }
+}
+
+impl<G: Geocoder> Geocoder for SimulatedRemoteGeocoder<G> {
+    fn geocode(&mut self, location: &str) -> Option<GeocodeResult> {
+        self.requests += 1;
+        let latency = self.sampler.sample();
+        self.charge(latency);
+        if self.roll_failure() {
+            self.failures += 1;
+            return None;
+        }
+        self.inner.geocode(location)
+    }
+
+    fn geocode_batch(&mut self, locations: &[&str]) -> Vec<Option<GeocodeResult>> {
+        let mut out = Vec::with_capacity(locations.len());
+        for chunk in locations.chunks(self.max_batch) {
+            self.requests += 1;
+            let latency = self.sampler.sample() + self.per_item * (chunk.len() as i64 - 1).max(0);
+            self.charge(latency);
+            if self.roll_failure() {
+                self.failures += 1;
+                out.extend(chunk.iter().map(|_| None));
+                continue;
+            }
+            for l in chunk {
+                out.push(self.inner.geocode(l));
+            }
+        }
+        out
+    }
+
+    fn requests_issued(&self) -> u64 {
+        self.requests
+    }
+
+    fn modeled_service_time(&self) -> Duration {
+        Duration::from_millis(self.service_time_ms)
+    }
+}
+
+/// LRU caching layer over any geocoder. Negative results (unresolvable
+/// locations) are cached too — they repeat just as often.
+pub struct CachingGeocoder<G: Geocoder> {
+    inner: G,
+    cache: LruCache<String, Option<GeocodeResult>>,
+}
+
+impl<G: Geocoder> CachingGeocoder<G> {
+    /// Wrap `inner` with a cache of `capacity` locations.
+    pub fn new(inner: G, capacity: usize) -> Self {
+        CachingGeocoder {
+            inner,
+            cache: LruCache::new(capacity),
+        }
+    }
+
+    /// Cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The wrapped geocoder.
+    pub fn inner(&self) -> &G {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped geocoder (cache-bypass paths).
+    pub fn inner_mut(&mut self) -> &mut G {
+        &mut self.inner
+    }
+}
+
+impl<G: Geocoder> Geocoder for CachingGeocoder<G> {
+    fn geocode(&mut self, location: &str) -> Option<GeocodeResult> {
+        let key = location.trim().to_lowercase();
+        if let Some(cached) = self.cache.get(key.as_str()) {
+            return cached;
+        }
+        let result = self.inner.geocode(location);
+        self.cache.put(key, result.clone());
+        result
+    }
+
+    fn geocode_batch(&mut self, locations: &[&str]) -> Vec<Option<GeocodeResult>> {
+        // Serve hits from cache; forward only the distinct misses.
+        let keys: Vec<String> = locations
+            .iter()
+            .map(|l| l.trim().to_lowercase())
+            .collect();
+        let mut out: Vec<Option<Option<GeocodeResult>>> = Vec::with_capacity(keys.len());
+        let mut misses: Vec<usize> = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            match self.cache.get(key.as_str()) {
+                Some(hit) => out.push(Some(hit)),
+                None => {
+                    out.push(None);
+                    misses.push(i);
+                }
+            }
+        }
+        if !misses.is_empty() {
+            // Deduplicate miss keys, preserving order.
+            let mut distinct: Vec<usize> = Vec::new();
+            for &i in &misses {
+                if !distinct.iter().any(|&j| keys[j] == keys[i]) {
+                    distinct.push(i);
+                }
+            }
+            let queries: Vec<&str> = distinct.iter().map(|&i| locations[i]).collect();
+            let results = self.inner.geocode_batch(&queries);
+            for (&i, res) in distinct.iter().zip(results) {
+                self.cache.put(keys[i].clone(), res);
+            }
+            for &i in &misses {
+                out[i] = Some(self.cache.get(keys[i].as_str()).unwrap_or(None));
+            }
+        }
+        out.into_iter().map(|o| o.unwrap_or(None)).collect()
+    }
+
+    fn requests_issued(&self) -> u64 {
+        self.inner.requests_issued()
+    }
+
+    fn modeled_service_time(&self) -> Duration {
+        self.inner.modeled_service_time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tweeql_model::Clock;
+
+    #[test]
+    fn gazetteer_geocoder_resolves() {
+        let mut g = GazetteerGeocoder::new();
+        let r = g.geocode("NYC").unwrap();
+        assert_eq!(r.canonical, "New York");
+        assert!(g.geocode("nowhereland").is_none());
+        assert_eq!(g.requests_issued(), 2);
+    }
+
+    #[test]
+    fn remote_charges_virtual_time_not_wall_time() {
+        let clock = VirtualClock::new();
+        let mut g = SimulatedRemoteGeocoder::with_model(
+            GazetteerGeocoder::new(),
+            Arc::clone(&clock),
+            LatencyModel::Constant(Duration::from_millis(200)),
+            1,
+        );
+        let wall = std::time::Instant::now();
+        for _ in 0..10 {
+            g.geocode("tokyo");
+        }
+        assert!(wall.elapsed().as_millis() < 500, "must not sleep");
+        assert_eq!(clock.now().millis(), 2000);
+        assert_eq!(g.modeled_service_time(), Duration::from_secs(2));
+        assert_eq!(g.requests_issued(), 10);
+    }
+
+    #[test]
+    fn batch_charges_one_round_trip() {
+        let clock = VirtualClock::new();
+        let mut g = SimulatedRemoteGeocoder::with_model(
+            GazetteerGeocoder::new(),
+            Arc::clone(&clock),
+            LatencyModel::Constant(Duration::from_millis(200)),
+            1,
+        )
+        .with_batching(25, Duration::from_millis(5));
+        let locs = vec!["tokyo", "nyc", "london", "boston"];
+        let res = g.geocode_batch(&locs);
+        assert_eq!(res.len(), 4);
+        assert!(res.iter().all(|r| r.is_some()));
+        assert_eq!(g.requests_issued(), 1);
+        // 200 + 3×5 = 215ms, vs 800ms unbatched.
+        assert_eq!(clock.now().millis(), 215);
+    }
+
+    #[test]
+    fn batch_splits_at_max_batch() {
+        let clock = VirtualClock::new();
+        let mut g = SimulatedRemoteGeocoder::with_model(
+            GazetteerGeocoder::new(),
+            clock,
+            LatencyModel::Constant(Duration::from_millis(100)),
+            1,
+        )
+        .with_batching(2, Duration::ZERO);
+        let locs = vec!["tokyo", "nyc", "london"];
+        g.geocode_batch(&locs);
+        assert_eq!(g.requests_issued(), 2);
+    }
+
+    #[test]
+    fn failures_are_transient_and_counted() {
+        let clock = VirtualClock::new();
+        let mut g = SimulatedRemoteGeocoder::with_model(
+            GazetteerGeocoder::new(),
+            clock,
+            LatencyModel::Constant(Duration::from_millis(1)),
+            7,
+        )
+        .with_failure_rate(0.5);
+        let mut fails = 0;
+        for _ in 0..200 {
+            if g.geocode("tokyo").is_none() {
+                fails += 1;
+            }
+        }
+        assert_eq!(g.failures(), fails);
+        assert!((60..=140).contains(&fails), "fails = {fails}");
+    }
+
+    #[test]
+    fn cache_eliminates_repeat_requests() {
+        let clock = VirtualClock::new();
+        let remote = SimulatedRemoteGeocoder::with_model(
+            GazetteerGeocoder::new(),
+            Arc::clone(&clock),
+            LatencyModel::Constant(Duration::from_millis(200)),
+            1,
+        );
+        let mut g = CachingGeocoder::new(remote, 128);
+        for _ in 0..100 {
+            assert!(g.geocode("NYC").is_some());
+        }
+        assert_eq!(g.requests_issued(), 1);
+        assert_eq!(clock.now().millis(), 200);
+        let stats = g.cache_stats();
+        assert_eq!(stats.hits, 99);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn cache_normalizes_keys_and_caches_negatives() {
+        let clock = VirtualClock::new();
+        let remote = SimulatedRemoteGeocoder::with_model(
+            GazetteerGeocoder::new(),
+            clock,
+            LatencyModel::Constant(Duration::from_millis(10)),
+            1,
+        );
+        let mut g = CachingGeocoder::new(remote, 16);
+        g.geocode("  Tokyo ");
+        g.geocode("tokyo");
+        g.geocode("TOKYO");
+        assert_eq!(g.requests_issued(), 1);
+        g.geocode("unresolvable place");
+        g.geocode("unresolvable place");
+        assert_eq!(g.requests_issued(), 2);
+    }
+
+    #[test]
+    fn cached_batch_forwards_only_distinct_misses() {
+        let clock = VirtualClock::new();
+        let remote = SimulatedRemoteGeocoder::with_model(
+            GazetteerGeocoder::new(),
+            Arc::clone(&clock),
+            LatencyModel::Constant(Duration::from_millis(100)),
+            1,
+        )
+        .with_batching(25, Duration::ZERO);
+        let mut g = CachingGeocoder::new(remote, 64);
+        g.geocode("nyc");
+        let locs = vec!["nyc", "tokyo", "tokyo", "london", "nyc"];
+        let res = g.geocode_batch(&locs);
+        assert_eq!(res.len(), 5);
+        assert!(res.iter().all(|r| r.is_some()));
+        // One prior request + one batch for {tokyo, london}.
+        assert_eq!(g.requests_issued(), 2);
+        assert_eq!(res[1], res[2]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Latency models for simulated remote web services.
+//!
+//! The paper: web-service requests "optimistically take hundreds of
+//! milliseconds apiece, but incur little processing cost on behalf of
+//! the query processor". We model per-request latency as a lognormal
+//! (heavy right tail, like real WAN round trips) sampled from a seeded
+//! deterministic RNG, and *advance a virtual clock* instead of sleeping.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tweeql_model::Duration;
+
+/// Distribution of simulated request latencies.
+#[derive(Debug, Clone)]
+pub enum LatencyModel {
+    /// Every request takes exactly this long.
+    Constant(Duration),
+    /// Lognormal with the given median (ms) and sigma (log-space spread).
+    LogNormal {
+        /// Median latency in milliseconds.
+        median_ms: f64,
+        /// Log-space standard deviation (0.5 ≈ realistic WAN jitter).
+        sigma: f64,
+    },
+    /// Uniform between min and max.
+    Uniform(Duration, Duration),
+}
+
+impl LatencyModel {
+    /// The paper's "hundreds of milliseconds" default: lognormal with a
+    /// 200 ms median and moderate jitter.
+    pub fn web_service_default() -> LatencyModel {
+        LatencyModel::LogNormal {
+            median_ms: 200.0,
+            sigma: 0.45,
+        }
+    }
+
+    /// Expected (mean) latency of the model.
+    pub fn mean(&self) -> Duration {
+        match self {
+            LatencyModel::Constant(d) => *d,
+            LatencyModel::LogNormal { median_ms, sigma } => {
+                Duration::from_millis((median_ms * (sigma * sigma / 2.0).exp()).round() as i64)
+            }
+            LatencyModel::Uniform(a, b) => Duration::from_millis((a.millis() + b.millis()) / 2),
+        }
+    }
+}
+
+/// A seeded latency sampler.
+#[derive(Debug)]
+pub struct LatencySampler {
+    model: LatencyModel,
+    rng: StdRng,
+}
+
+impl LatencySampler {
+    /// New sampler with deterministic seed.
+    pub fn new(model: LatencyModel, seed: u64) -> LatencySampler {
+        LatencySampler {
+            model,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Sample one request latency.
+    pub fn sample(&mut self) -> Duration {
+        match &self.model {
+            LatencyModel::Constant(d) => *d,
+            LatencyModel::LogNormal { median_ms, sigma } => {
+                // Box-Muller standard normal.
+                let u1: f64 = self.rng.random_range(f64::MIN_POSITIVE..1.0);
+                let u2: f64 = self.rng.random_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                let ms = median_ms * (sigma * z).exp();
+                Duration::from_millis(ms.round().max(1.0) as i64)
+            }
+            LatencyModel::Uniform(a, b) => {
+                let lo = a.millis().min(b.millis());
+                let hi = a.millis().max(b.millis());
+                Duration::from_millis(self.rng.random_range(lo..=hi))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let mut s = LatencySampler::new(LatencyModel::Constant(Duration::from_millis(150)), 1);
+        for _ in 0..10 {
+            assert_eq!(s.sample(), Duration::from_millis(150));
+        }
+    }
+
+    #[test]
+    fn lognormal_centers_on_median() {
+        let mut s = LatencySampler::new(
+            LatencyModel::LogNormal {
+                median_ms: 200.0,
+                sigma: 0.45,
+            },
+            42,
+        );
+        let samples: Vec<i64> = (0..4000).map(|_| s.sample().millis()).collect();
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        assert!((150..=260).contains(&median), "median = {median}");
+        // Everything positive, tail exists but bounded sanity.
+        assert!(samples.iter().all(|&x| x >= 1));
+        assert!(*sorted.last().unwrap() > median);
+    }
+
+    #[test]
+    fn web_service_default_is_hundreds_of_ms() {
+        let mean = LatencyModel::web_service_default().mean().millis();
+        assert!((150..=400).contains(&mean), "mean = {mean}");
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut s = LatencySampler::new(
+            LatencyModel::Uniform(Duration::from_millis(10), Duration::from_millis(20)),
+            7,
+        );
+        for _ in 0..100 {
+            let v = s.sample().millis();
+            assert!((10..=20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let model = LatencyModel::web_service_default();
+        let a: Vec<i64> = {
+            let mut s = LatencySampler::new(model.clone(), 99);
+            (0..20).map(|_| s.sample().millis()).collect()
+        };
+        let b: Vec<i64> = {
+            let mut s = LatencySampler::new(model, 99);
+            (0..20).map(|_| s.sample().millis()).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

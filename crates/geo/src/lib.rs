@@ -1,0 +1,37 @@
+//! # tweeql-geo
+//!
+//! The geocoding substrate behind TweeQL's `latitude(loc)` /
+//! `longitude(loc)` UDFs (§2 of the paper, "High-latency Operators").
+//!
+//! The paper's UDFs call a *remote* geocoding web service that
+//! "optimistically takes hundreds of milliseconds apiece" while costing
+//! the query processor almost nothing computationally; TweeQL responds
+//! with caching and batching. This crate provides:
+//!
+//! * [`gazetteer`] — an embedded table of world cities with aliases and
+//!   fuzzy free-text lookup (`"NYC"`, `"new york, ny"`, `"Tokyo!"`);
+//! * [`geocoder`] — the [`geocoder::Geocoder`] trait, an in-process
+//!   [`geocoder::GazetteerGeocoder`], and a
+//!   [`geocoder::SimulatedRemoteGeocoder`] wrapping any geocoder in a
+//!   configurable latency model on a virtual clock (the paper's
+//!   web-service substitution — see DESIGN.md);
+//! * [`cache`] — a generic LRU cache with hit/miss statistics;
+//! * [`batch`] — a request batcher for APIs that accept multiple
+//!   simultaneous requests;
+//! * [`point`] / [`bbox`] — coordinates, haversine distance, and the
+//!   bounding boxes used by `location in [bounding box for NYC]`.
+
+pub mod batch;
+pub mod bbox;
+pub mod cache;
+pub mod gazetteer;
+pub mod geocoder;
+pub mod latency;
+pub mod point;
+
+pub use bbox::BoundingBox;
+pub use cache::LruCache;
+pub use gazetteer::{City, Gazetteer};
+pub use geocoder::{GazetteerGeocoder, GeocodeResult, Geocoder, SimulatedRemoteGeocoder};
+pub use latency::LatencyModel;
+pub use point::GeoPoint;

@@ -1,0 +1,100 @@
+//! Geographic points and great-circle distance.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Mean Earth radius in kilometers.
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// A WGS84-ish latitude/longitude pair in degrees.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Latitude in degrees, −90 … 90.
+    pub lat: f64,
+    /// Longitude in degrees, −180 … 180.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Construct, clamping latitude and wrapping longitude into range.
+    pub fn new(lat: f64, lon: f64) -> GeoPoint {
+        let lat = lat.clamp(-90.0, 90.0);
+        let mut lon = (lon + 180.0) % 360.0;
+        if lon < 0.0 {
+            lon += 360.0;
+        }
+        GeoPoint {
+            lat,
+            lon: lon - 180.0,
+        }
+    }
+
+    /// Haversine great-circle distance to `other`, in kilometers.
+    pub fn haversine_km(&self, other: &GeoPoint) -> f64 {
+        let (la1, lo1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (la2, lo2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = la2 - la1;
+        let dlon = lo2 - lo1;
+        let a = (dlat / 2.0).sin().powi(2) + la1.cos() * la2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
+    }
+
+    /// The 1°×1° grid cell this point falls in — the paper's
+    /// `floor(latitude(loc)), floor(longitude(loc))` GROUP BY key.
+    pub fn grid_cell(&self) -> (i32, i32) {
+        (self.lat.floor() as i32, self.lon.floor() as i32)
+    }
+}
+
+impl fmt::Display for GeoPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.4}, {:.4})", self.lat, self.lon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_clamps_and_wraps() {
+        let p = GeoPoint::new(95.0, 0.0);
+        assert_eq!(p.lat, 90.0);
+        let p = GeoPoint::new(0.0, 190.0);
+        assert!((p.lon - -170.0).abs() < 1e-9);
+        let p = GeoPoint::new(0.0, -190.0);
+        assert!((p.lon - 170.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn haversine_known_distances() {
+        let nyc = GeoPoint::new(40.7128, -74.0060);
+        let boston = GeoPoint::new(42.3601, -71.0589);
+        let d = nyc.haversine_km(&boston);
+        // Great-circle NYC→Boston ≈ 306 km.
+        assert!((d - 306.0).abs() < 10.0, "d = {d}");
+        let tokyo = GeoPoint::new(35.6762, 139.6503);
+        let d2 = nyc.haversine_km(&tokyo);
+        assert!((d2 - 10_850.0).abs() < 150.0, "d2 = {d2}");
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_to_self() {
+        let a = GeoPoint::new(10.0, 20.0);
+        let b = GeoPoint::new(-30.0, 40.0);
+        assert!((a.haversine_km(&b) - b.haversine_km(&a)).abs() < 1e-9);
+        assert!(a.haversine_km(&a) < 1e-9);
+    }
+
+    #[test]
+    fn grid_cell_floors() {
+        assert_eq!(GeoPoint::new(40.7, -74.0).grid_cell(), (40, -74));
+        assert_eq!(GeoPoint::new(-33.9, 18.4).grid_cell(), (-34, 18));
+        assert_eq!(GeoPoint::new(0.0, 0.0).grid_cell(), (0, 0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(GeoPoint::new(1.0, 2.0).to_string(), "(1.0000, 2.0000)");
+    }
+}

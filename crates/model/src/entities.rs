@@ -1,0 +1,236 @@
+//! Tweet entities (hashtags, mentions, URLs) and their extraction from
+//! raw tweet text.
+//!
+//! The real streaming API ships pre-parsed entity offsets; our synthetic
+//! stream derives them from the text with [`Entities::parse`], which is
+//! also what TwitInfo's Popular Links panel uses.
+
+use serde::{Deserialize, Serialize};
+
+/// A `#hashtag` occurrence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hashtag {
+    /// Tag text without the `#`, lowercased.
+    pub tag: String,
+    /// Byte offset of the `#` in the tweet text.
+    pub start: usize,
+}
+
+/// An `@mention` occurrence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mention {
+    /// Screen name without the `@`.
+    pub screen_name: String,
+    /// Byte offset of the `@` in the tweet text.
+    pub start: usize,
+}
+
+/// A URL occurrence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UrlEntity {
+    /// The URL as it appears in the text.
+    pub url: String,
+    /// Byte offset where the URL starts.
+    pub start: usize,
+}
+
+/// All entities found in one tweet.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Entities {
+    /// Hashtags in order of appearance.
+    pub hashtags: Vec<Hashtag>,
+    /// Mentions in order of appearance.
+    pub mentions: Vec<Mention>,
+    /// URLs in order of appearance.
+    pub urls: Vec<UrlEntity>,
+}
+
+/// Characters allowed inside a hashtag or screen name.
+fn is_tagword(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Characters that terminate a URL token.
+fn is_url_char(c: char) -> bool {
+    !c.is_whitespace() && c != '"' && c != '<' && c != '>'
+}
+
+impl Entities {
+    /// Scan `text` once and extract hashtags, mentions, and
+    /// `http(s)://` URLs.
+    ///
+    /// Trailing sentence punctuation (`.,;:!?)`) is trimmed from URLs, as
+    /// the real entity extractor does.
+    pub fn parse(text: &str) -> Entities {
+        let mut out = Entities::default();
+        let bytes = text.as_bytes();
+        let mut chars = text.char_indices().peekable();
+        let mut prev: Option<char> = None;
+
+        while let Some((i, c)) = chars.next() {
+            // Hashtags and mentions must start a token: preceded by
+            // whitespace, punctuation-other-than-word, or start of text.
+            let token_start = prev.is_none_or(|p| !is_tagword(p) && p != '#' && p != '@');
+            match c {
+                '#' | '@' if token_start => {
+                    let body_start = i + 1;
+                    let mut end = body_start;
+                    while let Some(&(j, cc)) = chars.peek() {
+                        if is_tagword(cc) {
+                            end = j + cc.len_utf8();
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    if end > body_start {
+                        let body = &text[body_start..end];
+                        // Hashtags must contain at least one non-digit.
+                        if c == '#' {
+                            if body.chars().any(|cc| !cc.is_ascii_digit()) {
+                                out.hashtags.push(Hashtag {
+                                    tag: body.to_lowercase(),
+                                    start: i,
+                                });
+                            }
+                        } else {
+                            out.mentions.push(Mention {
+                                screen_name: body.to_string(),
+                                start: i,
+                            });
+                        }
+                    }
+                    prev = Some(c);
+                    continue;
+                }
+                'h' if token_start
+                    && (bytes[i..].starts_with(b"http://") || bytes[i..].starts_with(b"https://")) =>
+                {
+                    let mut end = i;
+                    // Consume this char and following URL chars.
+                    end += c.len_utf8();
+                    while let Some(&(j, cc)) = chars.peek() {
+                        if is_url_char(cc) {
+                            end = j + cc.len_utf8();
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    let mut url = &text[i..end];
+                    while let Some(last) = url.chars().last() {
+                        if matches!(last, '.' | ',' | ';' | ':' | '!' | '?' | ')') {
+                            url = &url[..url.len() - last.len_utf8()];
+                        } else {
+                            break;
+                        }
+                    }
+                    if url.len() > "http://".len() {
+                        out.urls.push(UrlEntity {
+                            url: url.to_string(),
+                            start: i,
+                        });
+                    }
+                    prev = Some(c);
+                    continue;
+                }
+                _ => {}
+            }
+            prev = Some(c);
+        }
+        out
+    }
+
+    /// True when no entities were found.
+    pub fn is_empty(&self) -> bool {
+        self.hashtags.is_empty() && self.mentions.is_empty() && self.urls.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tags(text: &str) -> Vec<String> {
+        Entities::parse(text).hashtags.into_iter().map(|h| h.tag).collect()
+    }
+
+    fn urls(text: &str) -> Vec<String> {
+        Entities::parse(text).urls.into_iter().map(|u| u.url).collect()
+    }
+
+    fn mentions(text: &str) -> Vec<String> {
+        Entities::parse(text)
+            .mentions
+            .into_iter()
+            .map(|m| m.screen_name)
+            .collect()
+    }
+
+    #[test]
+    fn extracts_hashtags() {
+        assert_eq!(tags("GOAL! #MCFC #premierleague"), vec!["mcfc", "premierleague"]);
+    }
+
+    #[test]
+    fn hashtag_requires_token_start() {
+        assert_eq!(tags("score#notatag"), Vec::<String>::new());
+        assert_eq!(tags("(#yes)"), vec!["yes"]);
+    }
+
+    #[test]
+    fn pure_numeric_hashtag_rejected() {
+        assert_eq!(tags("#123"), Vec::<String>::new());
+        assert_eq!(tags("#1a"), vec!["1a"]);
+    }
+
+    #[test]
+    fn extracts_mentions() {
+        assert_eq!(mentions("hey @marcua and @m_s_b!"), vec!["marcua", "m_s_b"]);
+    }
+
+    #[test]
+    fn double_at_not_a_mention_of_empty() {
+        // Like the real entity extractor, `@@name` does not link a mention
+        // (the second `@` is not at a token start), and infix `@` is email-ish.
+        assert_eq!(mentions("@@weird"), Vec::<String>::new());
+        assert_eq!(mentions("a@b"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn extracts_urls_and_trims_trailing_punct() {
+        assert_eq!(
+            urls("read this http://t.co/abc123, amazing"),
+            vec!["http://t.co/abc123"]
+        );
+        assert_eq!(urls("see (https://bit.ly/x)."), vec!["https://bit.ly/x"]);
+    }
+
+    #[test]
+    fn bare_scheme_is_not_a_url() {
+        assert_eq!(urls("http:// is not a url"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn mixed_text_offsets_are_correct() {
+        let t = "wow #a @b http://c.d";
+        let e = Entities::parse(t);
+        assert_eq!(e.hashtags[0].start, 4);
+        assert_eq!(e.mentions[0].start, 7);
+        assert_eq!(e.urls[0].start, 10);
+    }
+
+    #[test]
+    fn unicode_text_does_not_panic_and_finds_tags() {
+        let e = Entities::parse("日本語 #地震 @user https://ex.jp/x");
+        assert_eq!(e.hashtags[0].tag, "地震");
+        assert_eq!(e.mentions[0].screen_name, "user");
+        assert_eq!(e.urls[0].url, "https://ex.jp/x");
+    }
+
+    #[test]
+    fn empty_and_plain_text() {
+        assert!(Entities::parse("").is_empty());
+        assert!(Entities::parse("just words here").is_empty());
+    }
+}

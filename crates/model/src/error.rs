@@ -1,0 +1,88 @@
+//! Error type shared by the model crate.
+
+use std::fmt;
+
+/// Errors raised by model-layer operations (type coercion, schema lookup,
+/// duration parsing, record construction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A [`crate::Value`] could not be coerced to the requested type.
+    TypeMismatch {
+        /// What the caller expected, e.g. `"Int"`.
+        expected: &'static str,
+        /// A rendering of what was actually found.
+        found: String,
+    },
+    /// A column name was not present in a schema.
+    UnknownColumn(String),
+    /// A record's arity did not match its schema.
+    ArityMismatch {
+        /// Number of fields the schema declares.
+        schema: usize,
+        /// Number of values supplied.
+        values: usize,
+    },
+    /// A human-readable duration such as `"3 hours"` failed to parse.
+    BadDuration(String),
+    /// Arithmetic between incompatible values, division by zero, etc.
+    Arithmetic(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            ModelError::UnknownColumn(name) => write!(f, "unknown column: {name}"),
+            ModelError::ArityMismatch { schema, values } => write!(
+                f,
+                "arity mismatch: schema has {schema} fields but {values} values supplied"
+            ),
+            ModelError::BadDuration(s) => write!(f, "cannot parse duration: {s:?}"),
+            ModelError::Arithmetic(msg) => write!(f, "arithmetic error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_renders_each_variant() {
+        let cases: Vec<(ModelError, &str)> = vec![
+            (
+                ModelError::TypeMismatch {
+                    expected: "Int",
+                    found: "Str(\"x\")".into(),
+                },
+                "type mismatch: expected Int, found Str(\"x\")",
+            ),
+            (
+                ModelError::UnknownColumn("lat".into()),
+                "unknown column: lat",
+            ),
+            (
+                ModelError::ArityMismatch {
+                    schema: 3,
+                    values: 2,
+                },
+                "arity mismatch: schema has 3 fields but 2 values supplied",
+            ),
+            (
+                ModelError::BadDuration("3 fortnights".into()),
+                "cannot parse duration: \"3 fortnights\"",
+            ),
+            (
+                ModelError::Arithmetic("division by zero".into()),
+                "arithmetic error: division by zero",
+            ),
+        ];
+        for (err, want) in cases {
+            assert_eq!(err.to_string(), want);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # tweeql-model
+//!
+//! Shared data model for the TweeQL / TwitInfo reproduction:
+//!
+//! * [`Tweet`], [`User`], and tweet [`entities`] — the microblog record
+//!   types every other crate consumes;
+//! * [`Value`], [`Schema`], and [`Record`] — the dynamically-typed tuple
+//!   representation flowing through the TweeQL stream processor;
+//! * [`Timestamp`] / [`Duration`] and the [`Clock`] abstraction — all
+//!   stream time in this workspace is *virtual* by default so hours of
+//!   firehose replay in milliseconds of wall time.
+//!
+//! The types here deliberately have no dependency on the query engine so
+//! that substrates (text, geo, firehose) and applications (TwitInfo) can
+//! share them without cycles.
+
+pub mod clock;
+pub mod entities;
+pub mod error;
+pub mod record;
+pub mod schema;
+pub mod time;
+pub mod tweet;
+pub mod user;
+pub mod value;
+
+pub use clock::{Clock, SharedClock, SystemClock, VirtualClock};
+pub use entities::{Entities, Hashtag, Mention, UrlEntity};
+pub use error::ModelError;
+pub use record::Record;
+pub use schema::{DataType, Field, Schema, SchemaRef};
+pub use time::{Duration, Timestamp};
+pub use tweet::{TruthPolarity, Tweet, TweetBuilder, TweetId};
+pub use user::{User, UserId};
+pub use value::Value;

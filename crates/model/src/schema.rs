@@ -1,0 +1,200 @@
+//! Stream schemas: named, typed fields for the records the engine moves.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Declared type of a schema field (advisory — tweets are messy, so the
+/// engine coerces at evaluation time rather than rejecting tuples).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// Boolean.
+    Bool,
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Stream timestamp.
+    Time,
+    /// List of values.
+    List,
+    /// Unknown / dynamically typed.
+    Any,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Bool => "BOOL",
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Str => "STRING",
+            DataType::Time => "TIME",
+            DataType::List => "LIST",
+            DataType::Any => "ANY",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One named field.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// Column name (lowercased at construction so lookups are
+    /// case-insensitive, matching SQL identifier semantics).
+    pub name: String,
+    /// Advisory type.
+    pub data_type: DataType,
+}
+
+impl Field {
+    /// New field; the name is lowercased.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Field {
+        Field {
+            name: name.into().to_lowercase(),
+            data_type,
+        }
+    }
+}
+
+/// An ordered set of fields.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+/// Shared schema handle; every [`crate::Record`] carries one.
+pub type SchemaRef = Arc<Schema>;
+
+impl Schema {
+    /// Build from a field list.
+    pub fn new(fields: Vec<Field>) -> Schema {
+        Schema { fields }
+    }
+
+    /// Convenience: build from `(name, type)` pairs and wrap in an `Arc`.
+    pub fn shared(fields: &[(&str, DataType)]) -> SchemaRef {
+        Arc::new(Schema::new(
+            fields
+                .iter()
+                .map(|(n, t)| Field::new(*n, *t))
+                .collect(),
+        ))
+    }
+
+    /// The fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when there are no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Case-insensitive positional lookup.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        let lname = name.to_lowercase();
+        self.fields.iter().position(|f| f.name == lname)
+    }
+
+    /// Field at `idx`.
+    pub fn field(&self, idx: usize) -> Option<&Field> {
+        self.fields.get(idx)
+    }
+
+    /// All field names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// A new schema with `other`'s fields appended (join output).
+    /// Duplicate names from the right side get a `_r` suffix.
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        for f in &other.fields {
+            let name = if self.index_of(&f.name).is_some() {
+                format!("{}_r", f.name)
+            } else {
+                f.name.clone()
+            };
+            fields.push(Field::new(name, f.data_type));
+        }
+        Schema { fields }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", field.name, field.data_type)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Schema {
+        Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("B", DataType::Str),
+            Field::new("c", DataType::Float),
+        ])
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = abc();
+        assert_eq!(s.index_of("a"), Some(0));
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("B"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+    }
+
+    #[test]
+    fn names_are_lowercased() {
+        let s = abc();
+        assert_eq!(s.names(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn concat_renames_duplicates() {
+        let left = abc();
+        let right = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("d", DataType::Str),
+        ]);
+        let joined = left.concat(&right);
+        assert_eq!(joined.names(), vec!["a", "b", "c", "a_r", "d"]);
+    }
+
+    #[test]
+    fn shared_builder() {
+        let s = Schema::shared(&[("x", DataType::Int), ("y", DataType::Str)]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.field(0).unwrap().data_type, DataType::Int);
+        assert!(s.field(2).is_none());
+    }
+
+    #[test]
+    fn display() {
+        let s = Schema::shared(&[("x", DataType::Int)]);
+        assert_eq!(s.to_string(), "(x INT)");
+        assert!(Schema::default().is_empty());
+        assert_eq!(Schema::default().to_string(), "()");
+    }
+}

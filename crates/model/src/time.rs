@@ -1,0 +1,284 @@
+//! Stream time: millisecond [`Timestamp`]s and human-friendly [`Duration`]s.
+//!
+//! TweeQL queries say things like `WINDOW 3 hours`; all window arithmetic
+//! in the engine is done in integer milliseconds to keep replay
+//! deterministic.
+
+use crate::error::ModelError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in stream time, in milliseconds since an arbitrary epoch.
+///
+/// The synthetic firehose starts scenarios at `Timestamp::ZERO`, so
+/// timestamps double as "milliseconds into the scenario".
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub i64);
+
+impl Timestamp {
+    /// The scenario epoch.
+    pub const ZERO: Timestamp = Timestamp(0);
+    /// Largest representable timestamp; used as an "infinite" watermark.
+    pub const MAX: Timestamp = Timestamp(i64::MAX);
+
+    /// Build from whole milliseconds.
+    pub const fn from_millis(ms: i64) -> Self {
+        Timestamp(ms)
+    }
+
+    /// Build from whole seconds.
+    pub const fn from_secs(s: i64) -> Self {
+        Timestamp(s * 1000)
+    }
+
+    /// Build from whole minutes.
+    pub const fn from_mins(m: i64) -> Self {
+        Timestamp(m * 60_000)
+    }
+
+    /// Milliseconds since the epoch.
+    pub const fn millis(self) -> i64 {
+        self.0
+    }
+
+    /// Truncate this timestamp down to a multiple of `bucket` — used for
+    /// tumbling-window and timeline-bin assignment.
+    ///
+    /// `bucket` must be positive; negative timestamps floor toward
+    /// negative infinity so bins are consistent across the epoch.
+    pub fn truncate(self, bucket: Duration) -> Timestamp {
+        let b = bucket.millis().max(1);
+        Timestamp(self.0.div_euclid(b) * b)
+    }
+
+    /// Elapsed time from `earlier` to `self` (saturating at zero).
+    pub fn since(self, earlier: Timestamp) -> Duration {
+        Duration::from_millis((self.0 - earlier.0).max(0))
+    }
+
+    /// Render as `HH:MM:SS` into the scenario (negative times prefixed `-`).
+    pub fn hms(self) -> String {
+        let neg = self.0 < 0;
+        let total_s = self.0.unsigned_abs() / 1000;
+        let (h, m, s) = (total_s / 3600, (total_s / 60) % 60, total_s % 60);
+        format!("{}{:02}:{:02}:{:02}", if neg { "-" } else { "" }, h, m, s)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.hms())
+    }
+}
+
+impl Add<Duration> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Timestamp {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Duration> for Timestamp {
+    type Output = Timestamp;
+    fn sub(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0 - rhs.0)
+    }
+}
+
+/// A span of stream time in milliseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Duration(pub i64);
+
+impl Duration {
+    /// Zero-length span.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Build from milliseconds.
+    pub const fn from_millis(ms: i64) -> Self {
+        Duration(ms)
+    }
+
+    /// Build from seconds.
+    pub const fn from_secs(s: i64) -> Self {
+        Duration(s * 1000)
+    }
+
+    /// Build from minutes.
+    pub const fn from_mins(m: i64) -> Self {
+        Duration(m * 60_000)
+    }
+
+    /// Build from hours.
+    pub const fn from_hours(h: i64) -> Self {
+        Duration(h * 3_600_000)
+    }
+
+    /// Span length in milliseconds.
+    pub const fn millis(self) -> i64 {
+        self.0
+    }
+
+    /// Span length in (floating-point) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Parse the `WINDOW` clause vocabulary: `"<n> <unit>"` where unit is
+    /// one of `ms|millisecond(s)|s|sec(s)|second(s)|min(s)|minute(s)|h|hour(s)|day(s)`.
+    ///
+    /// ```
+    /// use tweeql_model::Duration;
+    /// assert_eq!(Duration::parse("3 hours").unwrap(), Duration::from_hours(3));
+    /// assert_eq!(Duration::parse("90 s").unwrap(), Duration::from_secs(90));
+    /// ```
+    pub fn parse(s: &str) -> Result<Duration, ModelError> {
+        let s = s.trim();
+        // Split number prefix from unit suffix, tolerating "5min" and "5 min".
+        let digits_end = s
+            .char_indices()
+            .find(|(_, c)| !c.is_ascii_digit())
+            .map(|(i, _)| i)
+            .unwrap_or(s.len());
+        if digits_end == 0 {
+            return Err(ModelError::BadDuration(s.to_string()));
+        }
+        let n: i64 = s[..digits_end]
+            .parse()
+            .map_err(|_| ModelError::BadDuration(s.to_string()))?;
+        let unit = s[digits_end..].trim().to_ascii_lowercase();
+        let ms = match unit.as_str() {
+            "ms" | "millisecond" | "milliseconds" => n,
+            "s" | "sec" | "secs" | "second" | "seconds" => n * 1000,
+            "min" | "mins" | "minute" | "minutes" | "m" => n * 60_000,
+            "h" | "hr" | "hrs" | "hour" | "hours" => n * 3_600_000,
+            "d" | "day" | "days" => n * 86_400_000,
+            _ => return Err(ModelError::BadDuration(s.to_string())),
+        };
+        Ok(Duration(ms))
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ms = self.0;
+        if ms % 3_600_000 == 0 && ms != 0 {
+            write!(f, "{}h", ms / 3_600_000)
+        } else if ms % 60_000 == 0 && ms != 0 {
+            write!(f, "{}min", ms / 60_000)
+        } else if ms % 1000 == 0 && ms != 0 {
+            write!(f, "{}s", ms / 1000)
+        } else {
+            write!(f, "{ms}ms")
+        }
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl std::ops::Mul<i64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: i64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+
+impl std::ops::Div<i64> for Duration {
+    type Output = Duration;
+    fn div(self, rhs: i64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_common_units() {
+        assert_eq!(Duration::parse("3 hours").unwrap(), Duration::from_hours(3));
+        assert_eq!(Duration::parse("1 hour").unwrap(), Duration::from_hours(1));
+        assert_eq!(Duration::parse("90 seconds").unwrap(), Duration::from_secs(90));
+        assert_eq!(Duration::parse("5min").unwrap(), Duration::from_mins(5));
+        assert_eq!(Duration::parse("250 ms").unwrap(), Duration::from_millis(250));
+        assert_eq!(Duration::parse("2 days").unwrap(), Duration::from_hours(48));
+        assert_eq!(Duration::parse("  10 s  ").unwrap(), Duration::from_secs(10));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Duration::parse("").is_err());
+        assert!(Duration::parse("hours").is_err());
+        assert!(Duration::parse("3 fortnights").is_err());
+        assert!(Duration::parse("x3 hours").is_err());
+    }
+
+    #[test]
+    fn truncate_buckets_timestamps() {
+        let m = Duration::from_mins(1);
+        assert_eq!(Timestamp::from_secs(0).truncate(m), Timestamp::from_secs(0));
+        assert_eq!(Timestamp::from_secs(59).truncate(m), Timestamp::from_secs(0));
+        assert_eq!(Timestamp::from_secs(60).truncate(m), Timestamp::from_secs(60));
+        assert_eq!(Timestamp::from_secs(61).truncate(m), Timestamp::from_secs(60));
+        // Negative timestamps floor toward -inf, not toward zero.
+        assert_eq!(
+            Timestamp::from_secs(-1).truncate(m),
+            Timestamp::from_secs(-60)
+        );
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = Timestamp::from_secs(10);
+        let b = Timestamp::from_secs(4);
+        assert_eq!(a.since(b), Duration::from_secs(6));
+        assert_eq!(b.since(a), Duration::ZERO);
+    }
+
+    #[test]
+    fn hms_formats() {
+        assert_eq!(Timestamp::from_secs(0).hms(), "00:00:00");
+        assert_eq!(Timestamp::from_secs(3661).hms(), "01:01:01");
+        assert_eq!(Timestamp::from_millis(-1500).hms(), "-00:00:01");
+    }
+
+    #[test]
+    fn duration_display_picks_unit() {
+        assert_eq!(Duration::from_hours(3).to_string(), "3h");
+        assert_eq!(Duration::from_mins(5).to_string(), "5min");
+        assert_eq!(Duration::from_secs(90).to_string(), "90s");
+        assert_eq!(Duration::from_millis(250).to_string(), "250ms");
+        assert_eq!(Duration::ZERO.to_string(), "0ms");
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let t = Timestamp::from_secs(10) + Duration::from_secs(5);
+        assert_eq!(t, Timestamp::from_secs(15));
+        assert_eq!(t - Duration::from_secs(15), Timestamp::ZERO);
+        assert_eq!(Duration::from_secs(2) * 3, Duration::from_secs(6));
+        assert_eq!(Duration::from_secs(6) / 2, Duration::from_secs(3));
+    }
+}

@@ -1,0 +1,211 @@
+//! The [`Tweet`] record — the unit flowing through every stream in this
+//! workspace — and its builder.
+
+use crate::entities::Entities;
+use crate::time::Timestamp;
+use crate::user::User;
+use serde::{Deserialize, Serialize};
+
+/// Numeric tweet identifier (monotone within a generated stream).
+pub type TweetId = u64;
+
+/// Ground-truth polarity attached by the synthetic generator.
+///
+/// Real tweets carry no label; the generator records the polarity it
+/// *intended* so classifier experiments (E7) and TwitInfo's
+/// recall-normalization can be evaluated against truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum TruthPolarity {
+    /// Intended positive tweet.
+    Positive,
+    /// Intended negative tweet.
+    Negative,
+    /// Neutral / objective tweet.
+    #[default]
+    Neutral,
+}
+
+/// A single tweet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tweet {
+    /// Monotone id.
+    pub id: TweetId,
+    /// Raw tweet text (≤ 140 chars in 2011-era streams).
+    pub text: String,
+    /// The author.
+    pub user: User,
+    /// Stream time of creation.
+    pub created_at: Timestamp,
+    /// Exact GPS coordinate, present only for the minority of tweets sent
+    /// with geotagging enabled (the paper's Tweet Map uses only these).
+    pub coordinates: Option<(f64, f64)>,
+    /// Pre-parsed entities.
+    pub entities: Entities,
+    /// BCP-47-ish language code.
+    pub lang: String,
+    /// `Some(original_id)` when this is a retweet.
+    pub retweet_of: Option<TweetId>,
+    /// Generator-only ground truth (None for externally loaded tweets).
+    pub truth_polarity: Option<TruthPolarity>,
+    /// Generator-only ground truth: index of the scenario burst this
+    /// tweet belongs to, if any. Lets peak-detection experiments compute
+    /// precision/recall.
+    pub truth_burst: Option<usize>,
+}
+
+impl Tweet {
+    /// Start building a tweet.
+    pub fn builder(id: TweetId, text: impl Into<String>) -> TweetBuilder {
+        TweetBuilder::new(id, text)
+    }
+
+    /// Case-insensitive substring containment — the semantics of the
+    /// TweeQL `text contains 'obama'` predicate.
+    pub fn contains(&self, needle: &str) -> bool {
+        if needle.is_empty() {
+            return true;
+        }
+        self.text.to_lowercase().contains(&needle.to_lowercase())
+    }
+
+    /// `(latitude, longitude)` if the tweet was geotagged.
+    pub fn latlon(&self) -> Option<(f64, f64)> {
+        self.coordinates
+    }
+}
+
+/// Fluent builder used pervasively by the generator and tests.
+#[derive(Debug, Clone)]
+pub struct TweetBuilder {
+    tweet: Tweet,
+    parse_entities: bool,
+}
+
+impl TweetBuilder {
+    /// New builder with required fields; everything else defaulted.
+    pub fn new(id: TweetId, text: impl Into<String>) -> TweetBuilder {
+        TweetBuilder {
+            tweet: Tweet {
+                id,
+                text: text.into(),
+                user: User::new(0, "anon"),
+                created_at: Timestamp::ZERO,
+                coordinates: None,
+                entities: Entities::default(),
+                lang: "en".to_string(),
+                retweet_of: None,
+                truth_polarity: None,
+                truth_burst: None,
+            },
+            parse_entities: true,
+        }
+    }
+
+    /// Set the author.
+    pub fn user(mut self, user: User) -> Self {
+        self.tweet.user = user;
+        self
+    }
+
+    /// Set creation time.
+    pub fn at(mut self, t: Timestamp) -> Self {
+        self.tweet.created_at = t;
+        self
+    }
+
+    /// Attach a GPS coordinate.
+    pub fn coordinates(mut self, lat: f64, lon: f64) -> Self {
+        self.tweet.coordinates = Some((lat, lon));
+        self
+    }
+
+    /// Set language.
+    pub fn lang(mut self, lang: impl Into<String>) -> Self {
+        self.tweet.lang = lang.into();
+        self
+    }
+
+    /// Mark as a retweet of `original`.
+    pub fn retweet_of(mut self, original: TweetId) -> Self {
+        self.tweet.retweet_of = Some(original);
+        self
+    }
+
+    /// Record generator ground-truth polarity.
+    pub fn truth_polarity(mut self, p: TruthPolarity) -> Self {
+        self.tweet.truth_polarity = Some(p);
+        self
+    }
+
+    /// Record generator ground-truth burst membership.
+    pub fn truth_burst(mut self, burst: usize) -> Self {
+        self.tweet.truth_burst = Some(burst);
+        self
+    }
+
+    /// Supply pre-computed entities instead of parsing from text.
+    pub fn entities(mut self, e: Entities) -> Self {
+        self.tweet.entities = e;
+        self.parse_entities = false;
+        self
+    }
+
+    /// Finish, parsing entities from the text unless provided.
+    pub fn build(mut self) -> Tweet {
+        if self.parse_entities {
+            self.tweet.entities = Entities::parse(&self.tweet.text);
+        }
+        self.tweet
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_and_entity_parse() {
+        let t = Tweet::builder(1, "GOAL #mcfc http://t.co/x").build();
+        assert_eq!(t.id, 1);
+        assert_eq!(t.entities.hashtags[0].tag, "mcfc");
+        assert_eq!(t.entities.urls[0].url, "http://t.co/x");
+        assert_eq!(t.lang, "en");
+        assert!(t.coordinates.is_none());
+        assert!(t.retweet_of.is_none());
+    }
+
+    #[test]
+    fn explicit_entities_skip_parse() {
+        let t = Tweet::builder(2, "#skipme").entities(Entities::default()).build();
+        assert!(t.entities.is_empty());
+    }
+
+    #[test]
+    fn contains_is_case_insensitive() {
+        let t = Tweet::builder(3, "Barack Obama speaks").build();
+        assert!(t.contains("obama"));
+        assert!(t.contains("OBAMA"));
+        assert!(t.contains("")); // empty needle matches everything
+        assert!(!t.contains("soccer"));
+    }
+
+    #[test]
+    fn builder_sets_all_fields() {
+        let u = User::new(9, "karger");
+        let t = Tweet::builder(4, "hello")
+            .user(u.clone())
+            .at(Timestamp::from_secs(30))
+            .coordinates(42.36, -71.09)
+            .lang("en")
+            .retweet_of(1)
+            .truth_polarity(TruthPolarity::Positive)
+            .truth_burst(2)
+            .build();
+        assert_eq!(t.user, u);
+        assert_eq!(t.created_at, Timestamp::from_secs(30));
+        assert_eq!(t.latlon(), Some((42.36, -71.09)));
+        assert_eq!(t.retweet_of, Some(1));
+        assert_eq!(t.truth_polarity, Some(TruthPolarity::Positive));
+        assert_eq!(t.truth_burst, Some(2));
+    }
+}

@@ -1,0 +1,481 @@
+//! [`Value`] — the dynamically-typed scalar flowing through TweeQL
+//! expressions, with the coercion and comparison rules the engine uses.
+
+use crate::error::ModelError;
+use crate::time::Timestamp;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A runtime scalar value.
+///
+/// TweeQL is dynamically typed at the tuple level (tweets are messy);
+/// `Value` carries the small closed set of types the language exposes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL — absent / unknown.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Stream timestamp.
+    Time(Timestamp),
+    /// Homogeneous-ish list (used by e.g. named-entity UDFs).
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// SQL three-valued truthiness: `Null` is "unknown" (treated false by
+    /// filters), non-zero numbers are true, strings are true when
+    /// non-empty.
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            Value::Float(f) => *f != 0.0,
+            Value::Str(s) => !s.is_empty(),
+            Value::Time(_) => true,
+            Value::List(l) => !l.is_empty(),
+        }
+    }
+
+    /// True when `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Coerce to `i64` (floats truncate, bools are 0/1, numeric strings
+    /// parse).
+    pub fn as_int(&self) -> Result<i64, ModelError> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            Value::Float(f) => Ok(*f as i64),
+            Value::Bool(b) => Ok(*b as i64),
+            Value::Str(s) => s.trim().parse().map_err(|_| ModelError::TypeMismatch {
+                expected: "Int",
+                found: format!("{self:?}"),
+            }),
+            _ => Err(ModelError::TypeMismatch {
+                expected: "Int",
+                found: format!("{self:?}"),
+            }),
+        }
+    }
+
+    /// Coerce to `f64`.
+    pub fn as_float(&self) -> Result<f64, ModelError> {
+        match self {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            Value::Bool(b) => Ok(*b as i64 as f64),
+            Value::Str(s) => s.trim().parse().map_err(|_| ModelError::TypeMismatch {
+                expected: "Float",
+                found: format!("{self:?}"),
+            }),
+            _ => Err(ModelError::TypeMismatch {
+                expected: "Float",
+                found: format!("{self:?}"),
+            }),
+        }
+    }
+
+    /// Coerce to string (identity for `Str`, display rendering otherwise).
+    pub fn as_str(&self) -> Result<&str, ModelError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            _ => Err(ModelError::TypeMismatch {
+                expected: "Str",
+                found: format!("{self:?}"),
+            }),
+        }
+    }
+
+    /// Coerce to a timestamp.
+    pub fn as_time(&self) -> Result<Timestamp, ModelError> {
+        match self {
+            Value::Time(t) => Ok(*t),
+            Value::Int(i) => Ok(Timestamp::from_millis(*i)),
+            _ => Err(ModelError::TypeMismatch {
+                expected: "Time",
+                found: format!("{self:?}"),
+            }),
+        }
+    }
+
+    /// Numeric addition (Int+Int stays Int; anything involving Float is
+    /// Float; Null propagates). String `+` concatenates.
+    pub fn add(&self, other: &Value) -> Result<Value, ModelError> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_add(*b))),
+            (Value::Str(a), Value::Str(b)) => Ok(Value::Str(format!("{a}{b}"))),
+            (a, b) => Ok(Value::Float(a.as_float()? + b.as_float()?)),
+        }
+    }
+
+    /// Numeric subtraction with the same promotion rules as [`Value::add`].
+    pub fn sub(&self, other: &Value) -> Result<Value, ModelError> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_sub(*b))),
+            (a, b) => Ok(Value::Float(a.as_float()? - b.as_float()?)),
+        }
+    }
+
+    /// Numeric multiplication with the same promotion rules as [`Value::add`].
+    pub fn mul(&self, other: &Value) -> Result<Value, ModelError> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_mul(*b))),
+            (a, b) => Ok(Value::Float(a.as_float()? * b.as_float()?)),
+        }
+    }
+
+    /// Division: always floating point (SQL-style `/` on ints in TweeQL
+    /// keeps fractional sentiment averages meaningful). Division by zero
+    /// yields `Null` rather than an error, matching stream-processing
+    /// practice of not killing a long-running query on one bad tuple.
+    pub fn div(&self, other: &Value) -> Result<Value, ModelError> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+            (a, b) => {
+                let d = b.as_float()?;
+                if d == 0.0 {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Float(a.as_float()? / d))
+                }
+            }
+        }
+    }
+
+    /// Modulo on integers; `Null` on zero divisor.
+    pub fn rem(&self, other: &Value) -> Result<Value, ModelError> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+            (a, b) => {
+                let d = b.as_int()?;
+                if d == 0 {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Int(a.as_int()?.rem_euclid(d)))
+                }
+            }
+        }
+    }
+
+    /// Unary numeric negation.
+    pub fn neg(&self) -> Result<Value, ModelError> {
+        match self {
+            Value::Null => Ok(Value::Null),
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            _ => Err(ModelError::Arithmetic(format!("cannot negate {self:?}"))),
+        }
+    }
+
+    /// SQL comparison: `None` when either side is `Null` (unknown),
+    /// numeric promotion between Int/Float, lexicographic for strings.
+    /// Cross-type non-numeric comparisons are unknown.
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Time(a), Value::Time(b)) => Some(a.cmp(b)),
+            (a, b) => {
+                let (fa, fb) = (a.as_float().ok()?, b.as_float().ok()?);
+                fa.partial_cmp(&fb)
+            }
+        }
+    }
+
+    /// SQL equality via [`Value::compare`]; `None` means unknown.
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        self.compare(other).map(|o| o == Ordering::Equal)
+    }
+
+    /// Data-type tag for planning/diagnostics.
+    pub fn data_type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Time(_) => "time",
+            Value::List(_) => "list",
+        }
+    }
+}
+
+/// Structural equality used by GROUP BY keys and tests: Null == Null,
+/// Int/Float compare numerically, NaN equals NaN (so grouping is total).
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a == b || (a.is_nan() && b.is_nan()),
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                *a as f64 == *b
+            }
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Time(a), Value::Time(b)) => a == b,
+            (Value::List(a), Value::List(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+/// Hash consistent with the grouping equality above (floats that equal
+/// an integer hash like that integer; NaN hashes to a fixed bucket).
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Bool(b) => {
+                state.write_u8(1);
+                b.hash(state);
+            }
+            Value::Int(i) => {
+                state.write_u8(2);
+                // Hash ints through the float path when exactly
+                // representable so Int(1) and Float(1.0) group together.
+                canonical_float_hash(*i as f64, state);
+            }
+            Value::Float(f) => {
+                state.write_u8(2);
+                canonical_float_hash(*f, state);
+            }
+            Value::Str(s) => {
+                state.write_u8(3);
+                s.hash(state);
+            }
+            Value::Time(t) => {
+                state.write_u8(4);
+                t.hash(state);
+            }
+            Value::List(l) => {
+                state.write_u8(5);
+                for v in l {
+                    v.hash(state);
+                }
+            }
+        }
+    }
+}
+
+fn canonical_float_hash<H: std::hash::Hasher>(f: f64, state: &mut H) {
+    if f.is_nan() {
+        state.write_u64(u64::MAX);
+    } else if f == 0.0 {
+        // +0.0 and -0.0 are equal; hash identically.
+        state.write_u64(0);
+    } else {
+        state.write_u64(f.to_bits());
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Time(t) => write!(f, "{t}"),
+            Value::List(l) => {
+                write!(f, "[")?;
+                for (i, v) in l.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl From<Timestamp> for Value {
+    fn from(t: Timestamp) -> Self {
+        Value::Time(t)
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(o: Option<T>) -> Self {
+        o.map(Into::into).unwrap_or(Value::Null)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Null.is_truthy());
+        assert!(Value::Bool(true).is_truthy());
+        assert!(!Value::Bool(false).is_truthy());
+        assert!(Value::Int(3).is_truthy());
+        assert!(!Value::Int(0).is_truthy());
+        assert!(!Value::Str(String::new()).is_truthy());
+        assert!(Value::Str("x".into()).is_truthy());
+        assert!(!Value::List(vec![]).is_truthy());
+    }
+
+    #[test]
+    fn numeric_promotion_in_add() {
+        assert_eq!(Value::Int(2).add(&Value::Int(3)).unwrap(), Value::Int(5));
+        assert_eq!(
+            Value::Int(2).add(&Value::Float(0.5)).unwrap(),
+            Value::Float(2.5)
+        );
+        assert_eq!(Value::Null.add(&Value::Int(1)).unwrap(), Value::Null);
+        assert_eq!(
+            Value::Str("a".into()).add(&Value::Str("b".into())).unwrap(),
+            Value::Str("ab".into())
+        );
+    }
+
+    #[test]
+    fn division_by_zero_is_null_not_error() {
+        assert_eq!(Value::Int(1).div(&Value::Int(0)).unwrap(), Value::Null);
+        assert_eq!(
+            Value::Int(7).div(&Value::Int(2)).unwrap(),
+            Value::Float(3.5)
+        );
+        assert_eq!(Value::Int(1).rem(&Value::Int(0)).unwrap(), Value::Null);
+        assert_eq!(Value::Int(7).rem(&Value::Int(3)).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn comparison_with_null_is_unknown() {
+        assert_eq!(Value::Null.compare(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).compare(&Value::Int(2)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Float(1.5).compare(&Value::Int(1)),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(
+            Value::Str("a".into()).compare(&Value::Str("b".into())),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn string_number_cross_compare_is_numeric_when_parsable() {
+        assert_eq!(
+            Value::Str("2".into()).compare(&Value::Int(10)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::Str("abc".into()).compare(&Value::Int(10)), None);
+    }
+
+    #[test]
+    fn int_float_group_equivalence() {
+        assert_eq!(Value::Int(1), Value::Float(1.0));
+        let mut m: HashMap<Value, i32> = HashMap::new();
+        m.insert(Value::Int(1), 10);
+        *m.entry(Value::Float(1.0)).or_insert(0) += 5;
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[&Value::Int(1)], 15);
+    }
+
+    #[test]
+    fn nan_and_zero_hash_consistency() {
+        let mut m: HashMap<Value, i32> = HashMap::new();
+        m.insert(Value::Float(f64::NAN), 1);
+        m.insert(Value::Float(f64::NAN), 2);
+        assert_eq!(m.len(), 1);
+        m.insert(Value::Float(0.0), 3);
+        m.insert(Value::Float(-0.0), 4);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn coercions() {
+        assert_eq!(Value::Str(" 42 ".into()).as_int().unwrap(), 42);
+        assert_eq!(Value::Float(3.9).as_int().unwrap(), 3);
+        assert_eq!(Value::Bool(true).as_float().unwrap(), 1.0);
+        assert!(Value::Str("nope".into()).as_int().is_err());
+        assert!(Value::List(vec![]).as_float().is_err());
+        assert_eq!(
+            Value::Int(1500).as_time().unwrap(),
+            Timestamp::from_millis(1500)
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::Float(2.5).to_string(), "2.5");
+        assert_eq!(
+            Value::List(vec![Value::Int(1), Value::Str("x".into())]).to_string(),
+            "[1, x]"
+        );
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(1i64), Value::Int(1));
+        assert_eq!(Value::from("s"), Value::Str("s".into()));
+        assert_eq!(Value::from(None::<i64>), Value::Null);
+        assert_eq!(Value::from(Some(2i64)), Value::Int(2));
+    }
+
+    #[test]
+    fn neg() {
+        assert_eq!(Value::Int(3).neg().unwrap(), Value::Int(-3));
+        assert_eq!(Value::Float(1.5).neg().unwrap(), Value::Float(-1.5));
+        assert_eq!(Value::Null.neg().unwrap(), Value::Null);
+        assert!(Value::Str("x".into()).neg().is_err());
+    }
+}

@@ -1,0 +1,269 @@
+//! Aho–Corasick multi-pattern string matching.
+//!
+//! The TweeQL scan operator applies a `contains` predicate for *every
+//! tracked keyword of every running query* to *every* tweet; scanning
+//! once with an automaton instead of once per keyword is what makes the
+//! streaming filter cheap. Matching is case-insensitive (tweets are),
+//! and can optionally require word boundaries.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// A match of one pattern in the haystack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AcMatch {
+    /// Index of the pattern (in construction order).
+    pub pattern: usize,
+    /// Byte offset where the pattern starts.
+    pub start: usize,
+    /// Byte offset one past the end.
+    pub end: usize,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Node {
+    children: HashMap<char, usize>,
+    fail: usize,
+    /// Patterns ending at this node.
+    out: Vec<usize>,
+}
+
+/// Case-insensitive Aho–Corasick automaton.
+#[derive(Debug, Clone)]
+pub struct AhoCorasick {
+    nodes: Vec<Node>,
+    patterns: Vec<String>,
+}
+
+impl AhoCorasick {
+    /// Build from patterns (lowercased internally). Empty patterns are
+    /// skipped.
+    pub fn new<I, S>(patterns: I) -> AhoCorasick
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut ac = AhoCorasick {
+            nodes: vec![Node::default()],
+            patterns: Vec::new(),
+        };
+        for p in patterns {
+            let pat = p.as_ref().to_lowercase();
+            if pat.is_empty() {
+                continue;
+            }
+            ac.insert(&pat);
+        }
+        ac.build_failure_links();
+        ac
+    }
+
+    /// The patterns (lowercased), in index order.
+    pub fn patterns(&self) -> &[String] {
+        &self.patterns
+    }
+
+    fn insert(&mut self, pat: &str) {
+        let idx = self.patterns.len();
+        self.patterns.push(pat.to_string());
+        let mut cur = 0usize;
+        for c in pat.chars() {
+            cur = match self.nodes[cur].children.get(&c) {
+                Some(&n) => n,
+                None => {
+                    let n = self.nodes.len();
+                    self.nodes.push(Node::default());
+                    self.nodes[cur].children.insert(c, n);
+                    n
+                }
+            };
+        }
+        self.nodes[cur].out.push(idx);
+    }
+
+    fn build_failure_links(&mut self) {
+        let mut queue = VecDeque::new();
+        let root_children: Vec<usize> = self.nodes[0].children.values().copied().collect();
+        for n in root_children {
+            self.nodes[n].fail = 0;
+            queue.push_back(n);
+        }
+        while let Some(u) = queue.pop_front() {
+            let children: Vec<(char, usize)> =
+                self.nodes[u].children.iter().map(|(&c, &n)| (c, n)).collect();
+            for (c, v) in children {
+                // Walk failure links of u to find the longest proper
+                // suffix that is also a prefix.
+                let mut f = self.nodes[u].fail;
+                loop {
+                    if let Some(&t) = self.nodes[f].children.get(&c) {
+                        if t != v {
+                            self.nodes[v].fail = t;
+                            break;
+                        }
+                    }
+                    if f == 0 {
+                        self.nodes[v].fail = 0;
+                        break;
+                    }
+                    f = self.nodes[f].fail;
+                }
+                let fail = self.nodes[v].fail;
+                let inherited = self.nodes[fail].out.clone();
+                self.nodes[v].out.extend(inherited);
+                queue.push_back(v);
+            }
+        }
+    }
+
+    /// All matches (case-insensitive) in `haystack`.
+    pub fn find_all(&self, haystack: &str) -> Vec<AcMatch> {
+        let mut out = Vec::new();
+        let mut state = 0usize;
+        // Track byte offsets of the last `max_depth` char starts so we
+        // can recover match starts; simpler: recompute from end offset
+        // and pattern char count via a rolling window of char starts.
+        let mut char_starts: Vec<usize> = Vec::with_capacity(haystack.len().min(256));
+        for (byte_idx, raw) in haystack.char_indices() {
+            char_starts.push(byte_idx);
+            let c = raw.to_lowercase().next().unwrap_or(raw);
+            loop {
+                if let Some(&n) = self.nodes[state].children.get(&c) {
+                    state = n;
+                    break;
+                }
+                if state == 0 {
+                    break;
+                }
+                state = self.nodes[state].fail;
+            }
+            if !self.nodes[state].out.is_empty() {
+                let end = byte_idx + raw.len_utf8();
+                let chars_consumed = char_starts.len();
+                for &pat in &self.nodes[state].out {
+                    let plen = self.patterns[pat].chars().count();
+                    let start_char = chars_consumed - plen;
+                    out.push(AcMatch {
+                        pattern: pat,
+                        start: char_starts[start_char],
+                        end,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Indices of patterns that occur at least once (deduplicated,
+    /// sorted).
+    pub fn matching_patterns(&self, haystack: &str) -> Vec<usize> {
+        let mut hits: Vec<usize> = self.find_all(haystack).iter().map(|m| m.pattern).collect();
+        hits.sort_unstable();
+        hits.dedup();
+        hits
+    }
+
+    /// Does any pattern occur?
+    pub fn is_match(&self, haystack: &str) -> bool {
+        if self.patterns.is_empty() {
+            return false;
+        }
+        let mut state = 0usize;
+        for raw in haystack.chars() {
+            let c = raw.to_lowercase().next().unwrap_or(raw);
+            loop {
+                if let Some(&n) = self.nodes[state].children.get(&c) {
+                    state = n;
+                    break;
+                }
+                if state == 0 {
+                    break;
+                }
+                state = self.nodes[state].fail;
+            }
+            if !self.nodes[state].out.is_empty() {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_pattern() {
+        let ac = AhoCorasick::new(["obama"]);
+        assert!(ac.is_match("Barack Obama speaks"));
+        assert!(!ac.is_match("romney rally"));
+    }
+
+    #[test]
+    fn overlapping_patterns_all_found() {
+        let ac = AhoCorasick::new(["he", "she", "his", "hers"]);
+        let hits = ac.matching_patterns("ushers");
+        // "ushers" contains she, he, hers.
+        assert_eq!(hits, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn match_offsets() {
+        let ac = AhoCorasick::new(["goal"]);
+        let ms = ac.find_all("GOAL goal");
+        assert_eq!(ms.len(), 2);
+        assert_eq!((ms[0].start, ms[0].end), (0, 4));
+        assert_eq!((ms[1].start, ms[1].end), (5, 9));
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let ac = AhoCorasick::new(["Liverpool"]);
+        assert!(ac.is_match("LIVERPOOL wins"));
+        assert!(ac.is_match("liverpool"));
+    }
+
+    #[test]
+    fn suffix_patterns_via_failure_links() {
+        let ac = AhoCorasick::new(["abcd", "bcd", "cd", "d"]);
+        let hits = ac.matching_patterns("abcd");
+        assert_eq!(hits, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_patterns_and_haystack() {
+        let ac = AhoCorasick::new(Vec::<&str>::new());
+        assert!(!ac.is_match("anything"));
+        let ac = AhoCorasick::new(["", "x"]);
+        assert_eq!(ac.patterns().len(), 1);
+        assert!(!ac.is_match(""));
+    }
+
+    #[test]
+    fn unicode_patterns() {
+        let ac = AhoCorasick::new(["地震", "津波"]);
+        let ms = ac.find_all("今日地震があった、津波注意");
+        assert_eq!(ms.len(), 2);
+        assert_eq!(ms[0].pattern, 0);
+        assert_eq!(ms[1].pattern, 1);
+        // Byte offsets line up with the source text.
+        assert_eq!(&"今日地震があった、津波注意"[ms[0].start..ms[0].end], "地震");
+    }
+
+    #[test]
+    fn many_keywords_one_pass() {
+        let kws: Vec<String> = (0..100).map(|i| format!("kw{i}")).collect();
+        let ac = AhoCorasick::new(&kws);
+        assert!(ac.is_match("text with kw42 inside"));
+        // kw9 is a genuine substring of "kw99", so it matches too.
+        assert_eq!(ac.matching_patterns("kw1 kw99"), vec![1, 9, 99]);
+    }
+
+    #[test]
+    fn repeated_pattern_instances() {
+        let ac = AhoCorasick::new(["aa"]);
+        // Overlapping occurrences are all reported.
+        assert_eq!(ac.find_all("aaaa").len(), 3);
+    }
+}

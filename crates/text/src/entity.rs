@@ -1,0 +1,211 @@
+//! Dictionary-gazetteer named-entity extraction.
+//!
+//! Stands in for the OpenCalais web service the paper wraps in a UDF
+//! ("another UDF takes tweet text, passes it to OpenCalais, and returns
+//! named entities mentioned in the text"). A curated dictionary of
+//! people, places, organizations and teams is matched with Aho–Corasick
+//! at word boundaries; the TweeQL `named_entities(text)` UDF wraps this
+//! behind the same simulated-remote-latency path as geocoding.
+
+use crate::ac::AhoCorasick;
+use std::sync::OnceLock;
+
+/// Entity category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EntityKind {
+    /// A person.
+    Person,
+    /// A geographic place.
+    Place,
+    /// An organization/company.
+    Organization,
+    /// A sports team.
+    Team,
+}
+
+impl EntityKind {
+    /// Lowercase label used in query output.
+    pub fn label(self) -> &'static str {
+        match self {
+            EntityKind::Person => "person",
+            EntityKind::Place => "place",
+            EntityKind::Organization => "organization",
+            EntityKind::Team => "team",
+        }
+    }
+}
+
+/// One recognized entity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NamedEntity {
+    /// Canonical entity name.
+    pub name: String,
+    /// Category.
+    pub kind: EntityKind,
+    /// Byte offset in the source text.
+    pub start: usize,
+}
+
+const PEOPLE: &[&str] = &[
+    "barack obama", "obama", "michelle obama", "joe biden", "biden", "hillary clinton",
+    "carlos tevez", "tevez", "wayne rooney", "rooney", "steven gerrard", "gerrard",
+    "lionel messi", "messi", "cristiano ronaldo", "ronaldo", "david beckham", "beckham",
+    "mario balotelli", "balotelli", "sergio aguero", "aguero", "luis suarez", "suarez",
+    "kenny dalglish", "dalglish", "roberto mancini", "mancini", "david cameron",
+    "angela merkel", "vladimir putin", "oprah", "kanye west", "lady gaga", "justin bieber",
+];
+
+const PLACES: &[&str] = &[
+    "new york", "nyc", "manhattan", "brooklyn", "boston", "cambridge", "chicago",
+    "los angeles", "san francisco", "washington", "seattle", "tokyo", "osaka", "sendai",
+    "fukushima", "london", "manchester", "liverpool city", "paris", "berlin", "madrid",
+    "barcelona city", "cairo", "cape town", "johannesburg", "sydney", "mumbai", "delhi",
+    "sao paulo", "rio de janeiro", "mexico city", "haiti", "port-au-prince", "christchurch",
+    "jakarta", "istanbul", "moscow", "beijing", "shanghai", "seoul", "white house",
+    "wembley", "old trafford", "anfield", "etihad",
+];
+
+const ORGS: &[&str] = &[
+    "united nations", "red cross", "fema", "usgs", "nasa", "fifa", "uefa", "nfl", "nba",
+    "congress", "senate", "white house", "google", "twitter", "facebook", "apple",
+    "microsoft", "bbc", "cnn", "reuters", "premier league", "mit", "harvard",
+];
+
+const TEAMS: &[&str] = &[
+    "manchester city", "man city", "mcfc", "manchester united", "man united", "man utd",
+    "liverpool", "lfc", "chelsea", "arsenal", "tottenham", "everton", "barcelona",
+    "real madrid", "bayern munich", "juventus", "ac milan", "inter milan", "red sox",
+    "yankees", "lakers", "celtics", "patriots",
+];
+
+struct Dictionary {
+    ac: AhoCorasick,
+    entries: Vec<(String, EntityKind)>,
+}
+
+fn dictionary() -> &'static Dictionary {
+    static DICT: OnceLock<Dictionary> = OnceLock::new();
+    DICT.get_or_init(|| {
+        let mut entries: Vec<(String, EntityKind)> = Vec::new();
+        for p in PEOPLE {
+            entries.push((p.to_string(), EntityKind::Person));
+        }
+        for p in PLACES {
+            entries.push((p.to_string(), EntityKind::Place));
+        }
+        for o in ORGS {
+            entries.push((o.to_string(), EntityKind::Organization));
+        }
+        for t in TEAMS {
+            entries.push((t.to_string(), EntityKind::Team));
+        }
+        let ac = AhoCorasick::new(entries.iter().map(|(n, _)| n.clone()));
+        Dictionary { ac, entries }
+    })
+}
+
+fn is_word_boundary(text: &str, idx: usize, before: bool) -> bool {
+    if before {
+        idx == 0
+            || text[..idx]
+                .chars()
+                .next_back()
+                .is_none_or(|c| !c.is_alphanumeric())
+    } else {
+        idx >= text.len()
+            || text[idx..]
+                .chars()
+                .next()
+                .is_none_or(|c| !c.is_alphanumeric())
+    }
+}
+
+/// Extract named entities from `text`. Overlapping dictionary hits keep
+/// only the longest match at each position ("barack obama" beats
+/// "obama"), and every hit must sit on word boundaries.
+pub fn extract_entities(text: &str) -> Vec<NamedEntity> {
+    let dict = dictionary();
+    let mut hits: Vec<(usize, usize, usize)> = dict // (start, end, pattern)
+        .ac
+        .find_all(text)
+        .into_iter()
+        .filter(|m| is_word_boundary(text, m.start, true) && is_word_boundary(text, m.end, false))
+        .map(|m| (m.start, m.end, m.pattern))
+        .collect();
+    // Longest-match-wins sweep.
+    hits.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+    let mut out = Vec::new();
+    let mut covered_until = 0usize;
+    for (start, end, pat) in hits {
+        if start >= covered_until {
+            let (name, kind) = &dict.entries[pat];
+            out.push(NamedEntity {
+                name: name.clone(),
+                kind: *kind,
+                start,
+            });
+            covered_until = end;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(text: &str) -> Vec<String> {
+        extract_entities(text).into_iter().map(|e| e.name).collect()
+    }
+
+    #[test]
+    fn finds_people_case_insensitively() {
+        assert_eq!(names("OBAMA gives a speech"), vec!["obama"]);
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let es = extract_entities("barack obama visits");
+        assert_eq!(es.len(), 1);
+        assert_eq!(es[0].name, "barack obama");
+        assert_eq!(es[0].kind, EntityKind::Person);
+    }
+
+    #[test]
+    fn word_boundaries_enforced() {
+        // "mit" inside "permit" must not match.
+        assert!(names("building permit issued").is_empty());
+        assert_eq!(names("mit releases study"), vec!["mit"]);
+    }
+
+    #[test]
+    fn multiple_kinds_in_one_tweet() {
+        let es = extract_entities("Tevez fires Man City past Liverpool at Wembley");
+        let kinds: Vec<EntityKind> = es.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EntityKind::Person));
+        assert!(kinds.contains(&EntityKind::Team));
+        assert!(kinds.contains(&EntityKind::Place));
+    }
+
+    #[test]
+    fn offsets_point_into_text() {
+        let text = "in tokyo tonight";
+        let es = extract_entities(text);
+        assert_eq!(es[0].start, 3);
+        assert_eq!(&text[es[0].start..es[0].start + 5], "tokyo");
+    }
+
+    #[test]
+    fn no_entities_in_plain_text() {
+        assert!(names("nothing interesting here").is_empty());
+        assert!(names("").is_empty());
+    }
+
+    #[test]
+    fn kind_labels() {
+        assert_eq!(EntityKind::Person.label(), "person");
+        assert_eq!(EntityKind::Team.label(), "team");
+        assert_eq!(EntityKind::Place.label(), "place");
+        assert_eq!(EntityKind::Organization.label(), "organization");
+    }
+}

@@ -1,0 +1,113 @@
+//! Text normalization for noisy human-generated tweets: case folding,
+//! elongation squashing ("goooooal" → "gooal"), and light stemming used
+//! before feature extraction.
+
+/// Lowercase and squash character runs longer than 2 down to 2
+/// (so "gooooal"/"goooal" collapse to the same "gooal" feature while
+/// "good" survives untouched, preserving the elongation signal vs. "goal").
+pub fn squash_elongations(word: &str) -> String {
+    let mut out = String::with_capacity(word.len());
+    let mut prev: Option<char> = None;
+    let mut run = 0usize;
+    for c in word.to_lowercase().chars() {
+        if Some(c) == prev {
+            run += 1;
+        } else {
+            run = 1;
+            prev = Some(c);
+        }
+        if run <= 2 {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// True when the word was elongated (had a run ≥ 3) — itself a useful
+/// sentiment-intensity feature.
+pub fn is_elongated(word: &str) -> bool {
+    let mut prev: Option<char> = None;
+    let mut run = 0usize;
+    for c in word.chars() {
+        if Some(c) == prev {
+            run += 1;
+            if run >= 3 {
+                return true;
+            }
+        } else {
+            run = 1;
+            prev = Some(c);
+        }
+    }
+    false
+}
+
+/// Minimal suffix stripper (a deliberately tiny Porter-lite): enough to
+/// conflate "scored"/"scoring"/"scores" without a full stemmer.
+pub fn light_stem(word: &str) -> String {
+    let w = word.to_lowercase();
+    let n = w.len();
+    for (suffix, min_stem) in [("ings", 4), ("ing", 4), ("edly", 4), ("es", 4), ("ed", 4), ("s", 4)]
+    {
+        if let Some(stem) = w.strip_suffix(suffix) {
+            if stem.len() >= min_stem - 1 && stem.chars().last().is_some_and(|c| c.is_alphabetic())
+            {
+                // Don't strip "ss" -> "s" ("pass" stays "pass").
+                if suffix == "s" && stem.ends_with('s') {
+                    continue;
+                }
+                return stem.to_string();
+            }
+        }
+        let _ = n;
+    }
+    w
+}
+
+/// Full normalization pipeline for one token.
+pub fn normalize_word(word: &str) -> String {
+    light_stem(&squash_elongations(word))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squash_keeps_doubles() {
+        assert_eq!(squash_elongations("good"), "good");
+        assert_eq!(squash_elongations("goooooal"), "gooal");
+        assert_eq!(squash_elongations("GOAL"), "goal");
+        assert_eq!(squash_elongations(""), "");
+    }
+
+    #[test]
+    fn elongation_detection() {
+        assert!(is_elongated("goooal"));
+        assert!(!is_elongated("good"));
+        assert!(!is_elongated(""));
+        assert!(is_elongated("aaa"));
+    }
+
+    #[test]
+    fn stemming_conflates_verb_forms() {
+        assert_eq!(light_stem("scored"), "scor");
+        assert_eq!(light_stem("scoring"), "scor");
+        // "es" strips before "s", conflating with scored/scoring.
+        assert_eq!(light_stem("scores"), "scor");
+        // Short words are untouched.
+        assert_eq!(light_stem("red"), "red");
+        assert_eq!(light_stem("is"), "is");
+    }
+
+    #[test]
+    fn stem_does_not_strip_double_s() {
+        assert_eq!(light_stem("pass"), "pass");
+    }
+
+    #[test]
+    fn normalize_pipeline() {
+        assert_eq!(normalize_word("GOOOOALS"), "gooal");
+        assert_eq!(normalize_word("Winning"), "winn");
+    }
+}

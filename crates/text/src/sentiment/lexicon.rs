@@ -1,0 +1,223 @@
+//! Lexicon-based sentiment baseline: embedded word lists + emoticons,
+//! with negation flipping and elongation intensity.
+
+use super::{Polarity, SentimentClassifier};
+use crate::normalize::{is_elongated, squash_elongations};
+use crate::tokenize::{tokenize, TokenKind};
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+const POSITIVE_WORDS: &[&str] = &[
+    "good", "great", "awesome", "amazing", "excellent", "love", "loved", "loves", "win", "wins",
+    "won", "winning", "winner", "happy", "glad", "best", "beautiful", "brilliant", "fantastic",
+    "wonderful", "perfect", "nice", "cool", "sweet", "superb", "thrilled", "excited", "exciting",
+    "proud", "congrats", "congratulations", "yay", "woo", "woohoo", "goal", "score", "scored",
+    "victory", "champions", "champion", "stunning", "incredible", "magic", "magnificent",
+    "delighted", "relief", "safe", "rescued", "hope", "hopeful", "thank", "thanks", "blessed",
+    "epic", "legend", "legendary", "masterclass", "clutch", "hero", "heroic", "smile", "joy",
+    "celebrate", "celebration", "well", "strong", "support", "supported", "wow",
+];
+
+const NEGATIVE_WORDS: &[&str] = &[
+    "bad", "terrible", "awful", "horrible", "hate", "hated", "hates", "lose", "loses", "lost",
+    "losing", "loser", "sad", "angry", "furious", "worst", "ugly", "poor", "pathetic", "useless",
+    "disaster", "disastrous", "tragedy", "tragic", "fear", "afraid", "scared", "scary", "panic",
+    "damage", "damaged", "destroyed", "destruction", "collapse", "collapsed", "dead", "death",
+    "deaths", "died", "dies", "injured", "injuries", "victims", "crisis", "fail", "failed",
+    "failure", "fails", "shame", "shameful", "disgrace", "disgraceful", "embarrassing", "cry",
+    "crying", "tears", "pain", "painful", "hurt", "hurts", "sick", "wrong", "broken", "worry",
+    "worried", "worrying", "missing", "trapped", "devastating", "devastated", "grim", "bleak",
+    "awful", "nightmare", "robbed", "cheated", "offside", "sucks", "suck",
+];
+
+const POSITIVE_EMOTICONS: &[&str] = &[
+    ":)", ":-)", ":-))", ":D", ":-D", ";)", ";-)", "=)", "=D", "<3", "^_^", ":P", ":-P", "xD",
+    "XD", ":3", ":'-)",
+];
+const NEGATIVE_EMOTICONS: &[&str] = &[
+    ":(", ":-(", ";(", "=(", "D:", "T_T", ":'-(", ":,(", ":/", ":-/", ":|", ":-|",
+];
+
+const NEGATORS: &[&str] = &[
+    "not", "no", "never", "don't", "dont", "doesn't", "doesnt", "didn't", "didnt", "can't",
+    "cant", "won't", "wont", "isn't", "isnt", "aren't", "arent", "wasn't", "wasnt", "without",
+    "nothing", "hardly", "barely",
+];
+
+fn pos_set() -> &'static HashSet<&'static str> {
+    static S: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    S.get_or_init(|| POSITIVE_WORDS.iter().copied().collect())
+}
+fn neg_set() -> &'static HashSet<&'static str> {
+    static S: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    S.get_or_init(|| NEGATIVE_WORDS.iter().copied().collect())
+}
+fn negator_set() -> &'static HashSet<&'static str> {
+    static S: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    S.get_or_init(|| NEGATORS.iter().copied().collect())
+}
+
+/// Words the lexicon knows to be positive (used by the generator to emit
+/// ground-truth-labeled text).
+pub fn positive_vocabulary() -> &'static [&'static str] {
+    POSITIVE_WORDS
+}
+
+/// Words the lexicon knows to be negative.
+pub fn negative_vocabulary() -> &'static [&'static str] {
+    NEGATIVE_WORDS
+}
+
+/// The emoticon lists, exposed for distant-supervision training.
+pub fn emoticon_labels() -> (&'static [&'static str], &'static [&'static str]) {
+    (POSITIVE_EMOTICONS, NEGATIVE_EMOTICONS)
+}
+
+/// Lexicon + emoticon classifier with negation handling.
+#[derive(Debug, Clone, Default)]
+pub struct LexiconClassifier;
+
+impl LexiconClassifier {
+    /// Construct (stateless).
+    pub fn new() -> LexiconClassifier {
+        LexiconClassifier
+    }
+
+    /// Signed score: sum of word/emoticon valences; negators flip the
+    /// valence of the next 2 sentiment words; elongated sentiment words
+    /// count double ("goooood").
+    pub fn score(&self, text: &str) -> f64 {
+        let mut score = 0.0;
+        let mut negate_scope = 0u8;
+        for tok in tokenize(text) {
+            match tok.kind {
+                TokenKind::Emoticon => {
+                    if POSITIVE_EMOTICONS.contains(&tok.text.as_str()) {
+                        score += 1.5;
+                    } else if NEGATIVE_EMOTICONS.contains(&tok.text.as_str()) {
+                        score -= 1.5;
+                    }
+                }
+                TokenKind::Word | TokenKind::Hashtag => {
+                    let raw = tok.text.to_lowercase();
+                    if negator_set().contains(raw.as_str()) {
+                        negate_scope = 2;
+                        continue;
+                    }
+                    let norm = squash_elongations(&raw);
+                    let weight = if is_elongated(&raw) { 2.0 } else { 1.0 };
+                    let valence = if pos_set().contains(norm.as_str()) {
+                        1.0
+                    } else if neg_set().contains(norm.as_str()) {
+                        -1.0
+                    } else {
+                        negate_scope = negate_scope.saturating_sub(1);
+                        continue;
+                    };
+                    let signed = if negate_scope > 0 {
+                        negate_scope = 0;
+                        -valence
+                    } else {
+                        valence
+                    };
+                    score += signed * weight;
+                }
+                TokenKind::Punct
+                    // Sentence-ish punctuation ends a negation scope.
+                    if tok.text.starts_with(['.', ',', ';', '!', '?']) => {
+                        negate_scope = 0;
+                    }
+                _ => {}
+            }
+        }
+        score
+    }
+}
+
+impl SentimentClassifier for LexiconClassifier {
+    fn classify(&self, text: &str) -> Polarity {
+        let s = self.score(text);
+        if s > 0.0 {
+            Polarity::Positive
+        } else if s < 0.0 {
+            Polarity::Negative
+        } else {
+            Polarity::Neutral
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "lexicon"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classify(text: &str) -> Polarity {
+        LexiconClassifier::new().classify(text)
+    }
+
+    #[test]
+    fn obvious_polarity() {
+        assert_eq!(classify("what a great goal, amazing!"), Polarity::Positive);
+        assert_eq!(classify("terrible disaster, so sad"), Polarity::Negative);
+        assert_eq!(classify("the game starts at nine"), Polarity::Neutral);
+    }
+
+    #[test]
+    fn emoticons_carry_weight() {
+        assert_eq!(classify("match today :)"), Polarity::Positive);
+        assert_eq!(classify("match today :("), Polarity::Negative);
+    }
+
+    #[test]
+    fn negation_flips() {
+        assert_eq!(classify("not a good game"), Polarity::Negative);
+        assert_eq!(classify("never lose hope"), Polarity::Positive);
+    }
+
+    #[test]
+    fn negation_scope_limited_to_two_words() {
+        // "not" is 3 words away from "good": no flip.
+        assert_eq!(classify("not that the very good"), Polarity::Positive);
+    }
+
+    #[test]
+    fn punctuation_ends_negation() {
+        assert_eq!(classify("no! good goal"), Polarity::Positive);
+    }
+
+    #[test]
+    fn elongation_doubles_weight() {
+        let clf = LexiconClassifier::new();
+        let base = clf.score("good");
+        let elongated = clf.score("goooood");
+        assert!(elongated > base);
+    }
+
+    #[test]
+    fn mixed_text_sums() {
+        // one positive + one negative = neutral
+        assert_eq!(classify("great start but sad ending"), Polarity::Neutral);
+        // two positives + one negative = positive
+        assert_eq!(
+            classify("great amazing start but sad ending"),
+            Polarity::Positive
+        );
+    }
+
+    #[test]
+    fn vocab_lists_disjoint() {
+        let pos: HashSet<_> = POSITIVE_WORDS.iter().collect();
+        for w in NEGATIVE_WORDS {
+            assert!(!pos.contains(w), "{w} in both lexicons");
+        }
+    }
+
+    #[test]
+    fn empty_text_is_neutral() {
+        assert_eq!(classify(""), Polarity::Neutral);
+    }
+}

@@ -1,0 +1,204 @@
+//! The sentiment-classification framework (the paper's `sentiment(text)`
+//! UDF).
+//!
+//! Two classifiers share one interface:
+//!
+//! * [`LexiconClassifier`] — counts embedded positive/negative words and
+//!   emoticons, with negation-scope flipping; the no-training baseline;
+//! * [`NaiveBayesClassifier`] — multinomial Naive Bayes over tweet
+//!   features, trained (as TwitInfo was) by *emoticon distant
+//!   supervision*: tweets containing `:)` are positive examples, `:(`
+//!   negative, with the emoticons themselves withheld from features.
+//!
+//! TwitInfo's Overall Sentiment pie normalizes aggregate counts by each
+//! classifier's per-class recall so that a classifier biased toward one
+//! class does not skew the pie; [`RecallStats`] measures that recall on
+//! held-out labeled data and [`normalized_proportions`] applies it.
+
+pub mod features;
+pub mod lexicon;
+pub mod naive_bayes;
+
+pub use features::{extract_features, FeatureOptions};
+pub use lexicon::LexiconClassifier;
+pub use naive_bayes::NaiveBayesClassifier;
+
+/// Classifier output polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Polarity {
+    /// Positive sentiment.
+    Positive,
+    /// Negative sentiment.
+    Negative,
+    /// Neutral / no signal.
+    Neutral,
+}
+
+impl Polarity {
+    /// The numeric encoding TweeQL's `sentiment()` UDF returns:
+    /// `1.0` positive, `-1.0` negative, `0.0` neutral.
+    pub fn score(self) -> f64 {
+        match self {
+            Polarity::Positive => 1.0,
+            Polarity::Negative => -1.0,
+            Polarity::Neutral => 0.0,
+        }
+    }
+
+    /// Inverse of [`Polarity::score`] with a dead zone around 0.
+    pub fn from_score(score: f64) -> Polarity {
+        if score > 0.25 {
+            Polarity::Positive
+        } else if score < -0.25 {
+            Polarity::Negative
+        } else {
+            Polarity::Neutral
+        }
+    }
+}
+
+/// A sentiment classifier.
+pub trait SentimentClassifier: Send + Sync {
+    /// Classify one tweet's text.
+    fn classify(&self, text: &str) -> Polarity;
+
+    /// Classifier name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Per-class recall measured on labeled data, used by TwitInfo to
+/// normalize the aggregate sentiment pie.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecallStats {
+    /// P(classified positive | truly positive).
+    pub positive_recall: f64,
+    /// P(classified negative | truly negative).
+    pub negative_recall: f64,
+}
+
+impl RecallStats {
+    /// Measure recall of `clf` on `(text, truth)` pairs. Classes with no
+    /// examples get recall 1.0 (no correction).
+    pub fn measure<'a, I>(clf: &dyn SentimentClassifier, labeled: I) -> RecallStats
+    where
+        I: IntoIterator<Item = (&'a str, Polarity)>,
+    {
+        let (mut pos_total, mut pos_hit, mut neg_total, mut neg_hit) = (0u64, 0u64, 0u64, 0u64);
+        for (text, truth) in labeled {
+            let got = clf.classify(text);
+            match truth {
+                Polarity::Positive => {
+                    pos_total += 1;
+                    if got == Polarity::Positive {
+                        pos_hit += 1;
+                    }
+                }
+                Polarity::Negative => {
+                    neg_total += 1;
+                    if got == Polarity::Negative {
+                        neg_hit += 1;
+                    }
+                }
+                Polarity::Neutral => {}
+            }
+        }
+        let r = |hit: u64, total: u64| {
+            if total == 0 {
+                1.0
+            } else {
+                hit as f64 / total as f64
+            }
+        };
+        RecallStats {
+            positive_recall: r(pos_hit, pos_total).max(1e-6),
+            negative_recall: r(neg_hit, neg_total).max(1e-6),
+        }
+    }
+}
+
+/// Recall-normalized positive/negative proportions for the sentiment pie
+/// (TwitInfo, CHI 2011 §"sentiment analysis"): raw counts are inflated by
+/// `1/recall` before computing shares, undoing class-recall bias.
+///
+/// Returns `(positive_share, negative_share)` summing to 1.0 (or `(0.5,
+/// 0.5)` when there is no signal).
+pub fn normalized_proportions(
+    positive_count: u64,
+    negative_count: u64,
+    recall: RecallStats,
+) -> (f64, f64) {
+    let pos = positive_count as f64 / recall.positive_recall;
+    let neg = negative_count as f64 / recall.negative_recall;
+    let total = pos + neg;
+    if total <= 0.0 {
+        (0.5, 0.5)
+    } else {
+        (pos / total, neg / total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct AlwaysPositive;
+    impl SentimentClassifier for AlwaysPositive {
+        fn classify(&self, _: &str) -> Polarity {
+            Polarity::Positive
+        }
+        fn name(&self) -> &'static str {
+            "always-positive"
+        }
+    }
+
+    #[test]
+    fn polarity_score_round_trip() {
+        assert_eq!(Polarity::Positive.score(), 1.0);
+        assert_eq!(Polarity::from_score(1.0), Polarity::Positive);
+        assert_eq!(Polarity::from_score(-1.0), Polarity::Negative);
+        assert_eq!(Polarity::from_score(0.1), Polarity::Neutral);
+    }
+
+    #[test]
+    fn recall_measurement() {
+        let data = [("a", Polarity::Positive),
+            ("b", Polarity::Positive),
+            ("c", Polarity::Negative),
+            ("d", Polarity::Neutral)];
+        let stats = RecallStats::measure(&AlwaysPositive, data.iter().map(|(t, p)| (*t, *p)));
+        assert_eq!(stats.positive_recall, 1.0);
+        // Negative recall floors at epsilon, not zero.
+        assert!(stats.negative_recall <= 1e-6 + f64::EPSILON);
+    }
+
+    #[test]
+    fn recall_with_no_examples_defaults_to_one() {
+        let stats = RecallStats::measure(&AlwaysPositive, Vec::<(&str, Polarity)>::new());
+        assert_eq!(stats.positive_recall, 1.0);
+        assert_eq!(stats.negative_recall, 1.0);
+    }
+
+    #[test]
+    fn normalization_corrects_bias() {
+        // Classifier catches all positives but only half of negatives:
+        // raw 60/20 split should normalize to 60/40.
+        let recall = RecallStats {
+            positive_recall: 1.0,
+            negative_recall: 0.5,
+        };
+        let (pos, neg) = normalized_proportions(60, 20, recall);
+        assert!((pos - 0.6).abs() < 1e-9);
+        assert!((neg - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalization_handles_zero_counts() {
+        let recall = RecallStats {
+            positive_recall: 1.0,
+            negative_recall: 1.0,
+        };
+        assert_eq!(normalized_proportions(0, 0, recall), (0.5, 0.5));
+        let (pos, neg) = normalized_proportions(10, 0, recall);
+        assert_eq!((pos, neg), (1.0, 0.0));
+    }
+}

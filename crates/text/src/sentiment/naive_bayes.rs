@@ -1,0 +1,241 @@
+//! Multinomial Naive Bayes sentiment classifier with Laplace smoothing,
+//! trainable by emoticon distant supervision (the approach TwitInfo used).
+
+use super::features::{extract_features, FeatureOptions};
+use super::lexicon::emoticon_labels;
+use super::{Polarity, SentimentClassifier};
+use std::collections::HashMap;
+
+/// Trainable multinomial NB over [`extract_features`] bags.
+#[derive(Debug, Clone)]
+pub struct NaiveBayesClassifier {
+    opts: FeatureOptions,
+    /// token -> (positive count, negative count)
+    counts: HashMap<String, (u64, u64)>,
+    pos_tokens: u64,
+    neg_tokens: u64,
+    pos_docs: u64,
+    neg_docs: u64,
+    /// Minimum |log-odds| before committing to a class (below: Neutral).
+    decision_margin: f64,
+}
+
+impl Default for NaiveBayesClassifier {
+    fn default() -> Self {
+        Self::new(FeatureOptions::default())
+    }
+}
+
+impl NaiveBayesClassifier {
+    /// Untrained classifier with the given feature options.
+    pub fn new(opts: FeatureOptions) -> NaiveBayesClassifier {
+        NaiveBayesClassifier {
+            opts,
+            counts: HashMap::new(),
+            pos_tokens: 0,
+            neg_tokens: 0,
+            pos_docs: 0,
+            neg_docs: 0,
+            decision_margin: 0.35,
+        }
+    }
+
+    /// Adjust the neutral dead-zone (in log-odds units).
+    pub fn with_decision_margin(mut self, margin: f64) -> Self {
+        self.decision_margin = margin;
+        self
+    }
+
+    /// Number of training documents seen.
+    pub fn training_docs(&self) -> u64 {
+        self.pos_docs + self.neg_docs
+    }
+
+    /// Vocabulary size.
+    pub fn vocabulary_size(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Train on one labeled tweet. Neutral examples are ignored (NB here
+    /// is a two-class model with a margin-based neutral zone).
+    pub fn train(&mut self, text: &str, label: Polarity) {
+        let feats = extract_features(text, self.opts);
+        match label {
+            Polarity::Positive => {
+                self.pos_docs += 1;
+                for f in feats {
+                    self.counts.entry(f).or_insert((0, 0)).0 += 1;
+                    self.pos_tokens += 1;
+                }
+            }
+            Polarity::Negative => {
+                self.neg_docs += 1;
+                for f in feats {
+                    self.counts.entry(f).or_insert((0, 0)).1 += 1;
+                    self.neg_tokens += 1;
+                }
+            }
+            Polarity::Neutral => {}
+        }
+    }
+
+    /// Distant supervision: scan unlabeled tweets; any containing a
+    /// positive emoticon trains positive, negative emoticon negative,
+    /// both/neither is skipped. Returns how many were used.
+    pub fn train_distant<'a, I: IntoIterator<Item = &'a str>>(&mut self, tweets: I) -> usize {
+        let (pos_emo, neg_emo) = emoticon_labels();
+        let mut used = 0;
+        for text in tweets {
+            let has_pos = pos_emo.iter().any(|e| text.contains(e));
+            let has_neg = neg_emo.iter().any(|e| text.contains(e));
+            match (has_pos, has_neg) {
+                (true, false) => {
+                    self.train(text, Polarity::Positive);
+                    used += 1;
+                }
+                (false, true) => {
+                    self.train(text, Polarity::Negative);
+                    used += 1;
+                }
+                _ => {}
+            }
+        }
+        used
+    }
+
+    /// Log-odds of positive vs negative for `text` (0.0 when untrained
+    /// or featureless).
+    pub fn log_odds(&self, text: &str) -> f64 {
+        if self.pos_docs == 0 || self.neg_docs == 0 {
+            return 0.0;
+        }
+        let feats = extract_features(text, self.opts);
+        if feats.is_empty() {
+            return 0.0;
+        }
+        let vocab = self.counts.len() as f64 + 1.0;
+        let prior = (self.pos_docs as f64 / self.neg_docs as f64).ln();
+        let mut odds = prior;
+        for f in &feats {
+            let (p, n) = self.counts.get(f).copied().unwrap_or((0, 0));
+            let lp = ((p as f64 + 1.0) / (self.pos_tokens as f64 + vocab)).ln();
+            let ln = ((n as f64 + 1.0) / (self.neg_tokens as f64 + vocab)).ln();
+            odds += lp - ln;
+        }
+        odds
+    }
+}
+
+impl SentimentClassifier for NaiveBayesClassifier {
+    fn classify(&self, text: &str) -> Polarity {
+        let odds = self.log_odds(text);
+        if odds > self.decision_margin {
+            Polarity::Positive
+        } else if odds < -self.decision_margin {
+            Polarity::Negative
+        } else {
+            Polarity::Neutral
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "naive-bayes"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained() -> NaiveBayesClassifier {
+        let mut nb = NaiveBayesClassifier::default();
+        let pos = [
+            "what a great goal amazing strike",
+            "love this team brilliant win",
+            "fantastic performance so happy today",
+            "wonderful game great great result",
+            "amazing save brilliant keeper love it",
+        ];
+        let neg = [
+            "terrible defending awful mistake",
+            "hate losing this is so sad",
+            "what a disaster horrible result",
+            "awful game we lost again sad",
+            "worst performance pathetic defending hate it",
+        ];
+        for t in pos {
+            nb.train(t, Polarity::Positive);
+        }
+        for t in neg {
+            nb.train(t, Polarity::Negative);
+        }
+        nb
+    }
+
+    #[test]
+    fn untrained_is_neutral() {
+        let nb = NaiveBayesClassifier::default();
+        assert_eq!(nb.classify("great goal"), Polarity::Neutral);
+        assert_eq!(nb.log_odds("anything"), 0.0);
+    }
+
+    #[test]
+    fn learns_polarity() {
+        let nb = trained();
+        assert_eq!(nb.classify("great goal brilliant"), Polarity::Positive);
+        assert_eq!(nb.classify("awful terrible disaster"), Polarity::Negative);
+    }
+
+    #[test]
+    fn unknown_words_lean_on_prior() {
+        let nb = trained();
+        // Balanced training set + unknown-only features → near-zero odds.
+        let odds = nb.log_odds("zxqv wvut");
+        assert!(odds.abs() < 0.2, "odds = {odds}");
+    }
+
+    #[test]
+    fn distant_supervision_uses_emoticons_but_not_as_features() {
+        let mut nb = NaiveBayesClassifier::default();
+        let tweets = [
+            "goal goal goal :)",
+            "what a strike :)",
+            "brilliant :)",
+            "own goal :(",
+            "defending nightmare :(",
+            "shambles :(",
+            "no emoticon here",
+            "both :) and :( confusing",
+        ];
+        let used = nb.train_distant(tweets.iter().copied());
+        assert_eq!(used, 6);
+        assert_eq!(nb.classify("goal strike"), Polarity::Positive);
+        assert_eq!(nb.classify("own shambles nightmare"), Polarity::Negative);
+        // The emoticon itself must contribute nothing.
+        assert_eq!(nb.log_odds(":)"), nb.log_odds(""));
+    }
+
+    #[test]
+    fn margin_controls_neutral_zone() {
+        let nb = trained().with_decision_margin(1e9);
+        assert_eq!(nb.classify("great great great"), Polarity::Neutral);
+    }
+
+    #[test]
+    fn training_metadata() {
+        let nb = trained();
+        assert_eq!(nb.training_docs(), 10);
+        assert!(nb.vocabulary_size() > 20);
+    }
+
+    #[test]
+    fn negation_features_separate_classes() {
+        let mut nb = NaiveBayesClassifier::default();
+        for _ in 0..5 {
+            nb.train("good game", Polarity::Positive);
+            nb.train("not good game", Polarity::Negative);
+        }
+        assert_eq!(nb.classify("good"), Polarity::Positive);
+        assert_eq!(nb.classify("not good"), Polarity::Negative);
+    }
+}

@@ -1,0 +1,156 @@
+//! Cosine similarity between token bags — TwitInfo's Relevant Tweets
+//! panel sorts tweets "by similarity to the event or peak keywords" (§3.2).
+
+use crate::stopwords::is_stopword;
+use crate::tokenize::word_tokens;
+use std::collections::HashMap;
+
+/// A sparse term-frequency vector.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TermVector {
+    weights: HashMap<String, f64>,
+    norm: f64,
+}
+
+impl TermVector {
+    /// Build from free text (tokenized, lowercased, stopwords dropped).
+    pub fn from_text(text: &str) -> TermVector {
+        let mut weights: HashMap<String, f64> = HashMap::new();
+        for tok in word_tokens(text) {
+            if !is_stopword(&tok) {
+                *weights.entry(tok).or_insert(0.0) += 1.0;
+            }
+        }
+        Self::from_weights(weights)
+    }
+
+    /// Build from explicit keyword list (each weight 1, duplicates add).
+    pub fn from_keywords<I, S>(keywords: I) -> TermVector
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut weights: HashMap<String, f64> = HashMap::new();
+        for kw in keywords {
+            for tok in word_tokens(kw.as_ref()) {
+                *weights.entry(tok).or_insert(0.0) += 1.0;
+            }
+        }
+        Self::from_weights(weights)
+    }
+
+    fn from_weights(weights: HashMap<String, f64>) -> TermVector {
+        let norm = weights.values().map(|w| w * w).sum::<f64>().sqrt();
+        TermVector { weights, norm }
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Cosine similarity in [0, 1]; 0 when either side is empty.
+    pub fn cosine(&self, other: &TermVector) -> f64 {
+        if self.norm == 0.0 || other.norm == 0.0 {
+            return 0.0;
+        }
+        // Iterate the smaller map.
+        let (small, large) = if self.weights.len() <= other.weights.len() {
+            (&self.weights, &other.weights)
+        } else {
+            (&other.weights, &self.weights)
+        };
+        let dot: f64 = small
+            .iter()
+            .filter_map(|(t, w)| large.get(t).map(|v| w * v))
+            .sum();
+        (dot / (self.norm * other.norm)).clamp(0.0, 1.0)
+    }
+}
+
+/// Rank `candidates` by similarity to `query`, descending, dropping
+/// zero-similarity entries. Returns `(index, similarity)` pairs.
+pub fn rank_by_similarity(query: &TermVector, candidates: &[&str]) -> Vec<(usize, f64)> {
+    let mut scored: Vec<(usize, f64)> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, text)| (i, query.cosine(&TermVector::from_text(text))))
+        .filter(|(_, s)| *s > 0.0)
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_texts_have_similarity_one() {
+        let a = TermVector::from_text("tevez scores goal");
+        assert!((a.cosine(&a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_texts_have_zero() {
+        let a = TermVector::from_text("earthquake tsunami");
+        let b = TermVector::from_text("soccer goal");
+        assert_eq!(a.cosine(&b), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_between_zero_and_one() {
+        let a = TermVector::from_text("tevez goal city");
+        let b = TermVector::from_text("tevez header liverpool");
+        let s = a.cosine(&b);
+        assert!(s > 0.0 && s < 1.0, "s = {s}");
+    }
+
+    #[test]
+    fn stopwords_do_not_inflate_similarity() {
+        let a = TermVector::from_text("the a of and goal");
+        let b = TermVector::from_text("the a of and quake");
+        assert_eq!(a.cosine(&b), 0.0);
+    }
+
+    #[test]
+    fn keyword_vector_matches_text() {
+        let q = TermVector::from_keywords(["manchester", "liverpool", "soccer"]);
+        let t = TermVector::from_text("watching manchester play liverpool");
+        assert!(q.cosine(&t) > 0.3);
+    }
+
+    #[test]
+    fn ranking_is_descending_and_drops_zeros() {
+        let q = TermVector::from_keywords(["goal", "tevez"]);
+        let tweets = [
+            "tevez goal tevez goal",   // very relevant
+            "nice goal",               // somewhat
+            "totally unrelated tweet", // zero — dropped
+        ];
+        let ranked = rank_by_similarity(&q, &tweets);
+        assert_eq!(ranked.len(), 2);
+        assert_eq!(ranked[0].0, 0);
+        assert_eq!(ranked[1].0, 1);
+        assert!(ranked[0].1 > ranked[1].1);
+    }
+
+    #[test]
+    fn empty_query_or_candidates() {
+        let q = TermVector::from_keywords(Vec::<&str>::new());
+        assert!(q.is_empty());
+        assert!(rank_by_similarity(&q, &["anything"]).is_empty());
+        let q2 = TermVector::from_text("goal");
+        assert!(rank_by_similarity(&q2, &[]).is_empty());
+        assert_eq!(q2.len(), 1);
+    }
+}

@@ -1,0 +1,187 @@
+//! TF-IDF key-term extraction.
+//!
+//! TwitInfo labels each detected peak with "automatically-generated key
+//! terms that appear frequently in tweets during the peak" (§3.2) —
+//! i.e. terms frequent *in the peak* but rare *in the background event
+//! corpus*. [`DocumentFrequency`] accumulates the background; `top_terms`
+//! scores a peak's tweets against it.
+
+use crate::stopwords::is_stopword;
+use crate::tokenize::word_tokens;
+use std::collections::HashMap;
+
+/// Streaming document-frequency table over a background corpus.
+#[derive(Debug, Clone, Default)]
+pub struct DocumentFrequency {
+    df: HashMap<String, u64>,
+    n_docs: u64,
+}
+
+impl DocumentFrequency {
+    /// Empty table.
+    pub fn new() -> DocumentFrequency {
+        DocumentFrequency::default()
+    }
+
+    /// Add one document (a tweet).
+    pub fn add_document(&mut self, text: &str) {
+        self.n_docs += 1;
+        let mut seen: Vec<String> = word_tokens(text);
+        seen.sort_unstable();
+        seen.dedup();
+        for term in seen {
+            *self.df.entry(term).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of documents ingested.
+    pub fn documents(&self) -> u64 {
+        self.n_docs
+    }
+
+    /// Smoothed inverse document frequency of `term`.
+    pub fn idf(&self, term: &str) -> f64 {
+        let df = self.df.get(term).copied().unwrap_or(0) as f64;
+        ((self.n_docs as f64 + 1.0) / (df + 1.0)).ln() + 1.0
+    }
+
+    /// Raw document frequency.
+    pub fn df(&self, term: &str) -> u64 {
+        self.df.get(term).copied().unwrap_or(0)
+    }
+}
+
+/// A scored key term.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyTerm {
+    /// The term (lowercased token).
+    pub term: String,
+    /// TF-IDF score within the query document set.
+    pub score: f64,
+    /// Occurrences within the query set.
+    pub count: u64,
+}
+
+/// Score the terms of `docs` (e.g. a peak's tweets) against the
+/// background `df`, returning the top `k` non-stopword terms.
+///
+/// `exclude` drops terms the user already knows (TwitInfo excludes the
+/// event's own tracking keywords from peak labels).
+pub fn top_terms<'a, I>(
+    docs: I,
+    df: &DocumentFrequency,
+    k: usize,
+    exclude: &[String],
+) -> Vec<KeyTerm>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let mut tf: HashMap<String, u64> = HashMap::new();
+    for doc in docs {
+        for term in word_tokens(doc) {
+            *tf.entry(term).or_insert(0) += 1;
+        }
+    }
+    let mut scored: Vec<KeyTerm> = tf
+        .into_iter()
+        .filter(|(t, _)| {
+            !is_stopword(t)
+                && t.chars().count() > 1
+                && !exclude.iter().any(|e| e.eq_ignore_ascii_case(t))
+        })
+        .map(|(term, count)| {
+            let score = count as f64 * df.idf(&term);
+            KeyTerm { term, score, count }
+        })
+        .collect();
+    scored.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.term.cmp(&b.term))
+    });
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn background() -> DocumentFrequency {
+        let mut df = DocumentFrequency::new();
+        // "match" appears everywhere in the background; "tevez" only once.
+        for _ in 0..50 {
+            df.add_document("watching the match tonight");
+        }
+        df.add_document("tevez warming up");
+        df
+    }
+
+    #[test]
+    fn idf_prefers_rare_terms() {
+        let df = background();
+        assert!(df.idf("tevez") > df.idf("match"));
+        assert!(df.idf("neverseen") >= df.idf("tevez"));
+    }
+
+    #[test]
+    fn df_counts_documents_not_occurrences() {
+        let mut df = DocumentFrequency::new();
+        df.add_document("goal goal goal");
+        assert_eq!(df.df("goal"), 1);
+        assert_eq!(df.documents(), 1);
+    }
+
+    #[test]
+    fn peak_terms_surface_burst_vocabulary() {
+        let df = background();
+        let peak_tweets = ["TEVEZ!!! what a goal 3-0",
+            "tevez scores again 3-0",
+            "3-0 tevez you beauty",
+            "the match turns on that tevez goal"];
+        let terms = top_terms(peak_tweets.iter().map(|s| &**s), &df, 3, &[]);
+        let names: Vec<&str> = terms.iter().map(|t| t.term.as_str()).collect();
+        assert!(names.contains(&"tevez"), "{names:?}");
+        assert!(names.contains(&"3-0"), "{names:?}");
+        // Background word "match" must rank below the burst terms.
+        assert!(!names.contains(&"match"), "{names:?}");
+    }
+
+    #[test]
+    fn stopwords_and_single_chars_excluded() {
+        let df = DocumentFrequency::new();
+        let terms = top_terms(["the the the a a b xx"], &df, 10, &[]);
+        let names: Vec<&str> = terms.iter().map(|t| t.term.as_str()).collect();
+        assert_eq!(names, vec!["xx"]);
+    }
+
+    #[test]
+    fn exclusion_list_removes_event_keywords() {
+        let df = DocumentFrequency::new();
+        let terms = top_terms(
+            ["soccer soccer goal"],
+            &df,
+            10,
+            &["soccer".to_string()],
+        );
+        let names: Vec<&str> = terms.iter().map(|t| t.term.as_str()).collect();
+        assert_eq!(names, vec!["goal"]);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let df = DocumentFrequency::new();
+        let a = top_terms(["zebra apple"], &df, 2, &[]);
+        let b = top_terms(["apple zebra"], &df, 2, &[]);
+        assert_eq!(a, b);
+        assert_eq!(a[0].term, "apple"); // alphabetical on equal score
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let df = DocumentFrequency::new();
+        assert!(top_terms(Vec::<&str>::new(), &df, 5, &[]).is_empty());
+        assert_eq!(df.idf("x"), (1.0f64).ln() + 1.0);
+    }
+}

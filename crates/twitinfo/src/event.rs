@@ -1,0 +1,103 @@
+//! Event definitions (§3.1 "Creating an Event").
+//!
+//! "TwitInfo users define an event by specifying a Twitter keyword
+//! query ... Users give the event a human-readable name ... as well as
+//! an optional time window."
+
+use tweeql_model::{Timestamp, Tweet};
+use tweeql_text::ac::AhoCorasick;
+
+/// A user-defined event to track.
+#[derive(Debug, Clone)]
+pub struct EventSpec {
+    /// Human-readable name, e.g. "Soccer: Manchester City vs. Liverpool".
+    pub name: String,
+    /// Tracking keywords, e.g. soccer, football, manchester, liverpool.
+    pub keywords: Vec<String>,
+    /// Optional time window restricting the event.
+    pub window: Option<(Timestamp, Timestamp)>,
+}
+
+impl EventSpec {
+    /// New event with keywords and no time restriction.
+    pub fn new(name: impl Into<String>, keywords: &[&str]) -> EventSpec {
+        EventSpec {
+            name: name.into(),
+            keywords: keywords.iter().map(|k| k.to_lowercase()).collect(),
+            window: None,
+        }
+    }
+
+    /// Restrict to a time window.
+    pub fn with_window(mut self, start: Timestamp, end: Timestamp) -> EventSpec {
+        self.window = Some((start, end));
+        self
+    }
+
+    /// Compile the keyword matcher (one automaton pass per tweet).
+    pub fn matcher(&self) -> AhoCorasick {
+        AhoCorasick::new(&self.keywords)
+    }
+
+    /// Does this tweet belong to the event (keyword + window)?
+    pub fn matches(&self, tweet: &Tweet, matcher: &AhoCorasick) -> bool {
+        if let Some((s, e)) = self.window {
+            if tweet.created_at < s || tweet.created_at > e {
+                return false;
+            }
+        }
+        matcher.is_match(&tweet.text)
+    }
+
+    /// The equivalent TweeQL WHERE clause — TwitInfo "begins logging
+    /// tweets matching the query" through the stream processor.
+    pub fn tweeql_predicate(&self) -> String {
+        self.keywords
+            .iter()
+            .map(|k| format!("text contains '{}'", k.replace('\'', "''")))
+            .collect::<Vec<_>>()
+            .join(" OR ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tweeql_model::TweetBuilder;
+
+    #[test]
+    fn keyword_matching() {
+        let spec = EventSpec::new("soccer", &["soccer", "MANCHESTER"]);
+        let m = spec.matcher();
+        let yes = TweetBuilder::new(1, "watching Manchester tonight").build();
+        let no = TweetBuilder::new(2, "eating lunch").build();
+        assert!(spec.matches(&yes, &m));
+        assert!(!spec.matches(&no, &m));
+    }
+
+    #[test]
+    fn window_restricts() {
+        let spec = EventSpec::new("e", &["goal"])
+            .with_window(Timestamp::from_mins(10), Timestamp::from_mins(20));
+        let m = spec.matcher();
+        let inside = TweetBuilder::new(1, "goal").at(Timestamp::from_mins(15)).build();
+        let before = TweetBuilder::new(2, "goal").at(Timestamp::from_mins(5)).build();
+        assert!(spec.matches(&inside, &m));
+        assert!(!spec.matches(&before, &m));
+    }
+
+    #[test]
+    fn tweeql_predicate_renders_or_chain() {
+        let spec = EventSpec::new("e", &["soccer", "it's"]);
+        assert_eq!(
+            spec.tweeql_predicate(),
+            "text contains 'soccer' OR text contains 'it''s'"
+        );
+    }
+
+    #[test]
+    fn keywords_lowercased() {
+        let spec = EventSpec::new("e", &["ObAmA"]);
+        assert_eq!(spec.keywords, vec!["obama"]);
+    }
+}

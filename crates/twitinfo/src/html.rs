@@ -1,0 +1,189 @@
+//! Static-HTML export of the dashboard — the web-page form of Figure 1
+//! ("TwitInfo users … navigate to a web page that TwitInfo creates
+//! for the event"). Self-contained: inline CSS + an SVG timeline, no
+//! external assets.
+
+use crate::store::EventAnalysis;
+use tweeql_text::sentiment::Polarity;
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+fn timeline_svg(analysis: &EventAnalysis, width: u32, height: u32) -> String {
+    let bins = &analysis.timeline.bins;
+    if bins.is_empty() {
+        return format!(r#"<svg width="{width}" height="{height}"></svg>"#);
+    }
+    let max = analysis.timeline.max_count().max(1) as f64;
+    let bar_w = width as f64 / bins.len() as f64;
+    let mut svg = format!(
+        r#"<svg width="{width}" height="{height}" viewBox="0 0 {width} {height}" role="img">"#
+    );
+    for (i, &c) in bins.iter().enumerate() {
+        let h = (c as f64 / max * (height as f64 - 14.0)).max(0.0);
+        let x = i as f64 * bar_w;
+        let y = height as f64 - h;
+        svg.push_str(&format!(
+            r##"<rect x="{x:.1}" y="{y:.1}" width="{w:.2}" height="{h:.1}" fill="#4a90d9"/>"##,
+            w = bar_w.max(0.5)
+        ));
+    }
+    // Peak flags.
+    for p in &analysis.peaks {
+        let x = (p.peak.apex as f64 + 0.5) * bar_w;
+        svg.push_str(&format!(
+            r##"<text x="{x:.1}" y="12" text-anchor="middle" font-size="11" fill="#c0392b" font-weight="bold">{}</text>"##,
+            p.peak.label
+        ));
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+fn sentiment_class(p: Polarity) -> &'static str {
+    match p {
+        Polarity::Positive => "pos",
+        Polarity::Negative => "neg",
+        Polarity::Neutral => "neu",
+    }
+}
+
+/// Render the analysis as a complete HTML page.
+pub fn render_html(analysis: &EventAnalysis) -> String {
+    let mut html = String::with_capacity(16 * 1024);
+    html.push_str("<!DOCTYPE html><html><head><meta charset=\"utf-8\">");
+    html.push_str(&format!("<title>{} — TwitInfo</title>", escape(&analysis.name)));
+    html.push_str(
+        "<style>
+body{font-family:Helvetica,Arial,sans-serif;margin:1.5em;max-width:70em}
+h1{font-size:1.3em}h2{font-size:1.05em;border-bottom:1px solid #ccc;padding-bottom:.2em}
+.pos{color:#1a56a0}.neg{color:#c0392b}.neu{color:#444}
+table{border-collapse:collapse}td,th{padding:.2em .6em;text-align:left}
+.pie{display:inline-block;height:1em;background:#c0392b}
+.pie>span{display:block;height:100%;background:#1a56a0}
+.terms{color:#666;font-style:italic}
+</style></head><body>",
+    );
+    html.push_str(&format!("<h1>{}</h1>", escape(&analysis.name)));
+    html.push_str(&format!(
+        "<p>Keywords: <b>{}</b> — {} tweets logged</p>",
+        escape(&analysis.keywords.join(", ")),
+        analysis.matched.len()
+    ));
+
+    html.push_str("<h2>Event timeline</h2>");
+    html.push_str(&timeline_svg(analysis, 900, 160));
+    html.push_str("<ul>");
+    for p in &analysis.peaks {
+        let terms = p
+            .terms
+            .iter()
+            .map(|t| t.term.clone())
+            .collect::<Vec<_>>()
+            .join(", ");
+        html.push_str(&format!(
+            "<li><b>peak {}</b> ({} – {}), max {}/bin <span class=\"terms\">{}</span></li>",
+            p.peak.label,
+            p.window.0,
+            p.window.1,
+            p.peak.max_count,
+            escape(&terms)
+        ));
+    }
+    html.push_str("</ul>");
+
+    html.push_str("<h2>Relevant tweets</h2><table>");
+    for t in &analysis.relevant {
+        html.push_str(&format!(
+            "<tr class=\"{}\"><td>@{}</td><td>{:.2}</td><td>{}</td></tr>",
+            sentiment_class(t.sentiment),
+            escape(&t.screen_name),
+            t.similarity,
+            escape(&t.text)
+        ));
+    }
+    html.push_str("</table>");
+
+    html.push_str("<h2>Popular links</h2><ol>");
+    for l in &analysis.links {
+        html.push_str(&format!(
+            "<li><a href=\"{0}\">{0}</a> ({1}×)</li>",
+            escape(&l.url),
+            l.count
+        ));
+    }
+    html.push_str("</ol>");
+
+    html.push_str("<h2>Overall sentiment</h2>");
+    html.push_str(&format!(
+        "<div class=\"pie\" style=\"width:24em\"><span style=\"width:{:.1}%\"></span></div> \
+         {:.0}% positive / {:.0}% negative ({} pos, {} neg, {} neutral)",
+        analysis.sentiment.positive_share * 100.0,
+        analysis.sentiment.positive_share * 100.0,
+        analysis.sentiment.negative_share * 100.0,
+        analysis.sentiment.positive,
+        analysis.sentiment.negative,
+        analysis.sentiment.neutral,
+    ));
+
+    html.push_str("<h2>Tweet map (top clusters)</h2><table><tr><th>cell</th><th>tweets</th><th>net sentiment</th></tr>");
+    for c in analysis.clusters.iter().take(10) {
+        html.push_str(&format!(
+            "<tr><td>({}, {})</td><td>{}</td><td>{:+.2}</td></tr>",
+            c.cell.0, c.cell.1, c.count, c.net_sentiment
+        ));
+    }
+    html.push_str("</table></body></html>");
+    html
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventSpec;
+    use crate::store::{analyze, AnalysisConfig};
+    use tweeql_model::{Duration, Timestamp, TweetBuilder};
+
+    #[test]
+    fn html_is_well_formed_and_escaped() {
+        let tweets = vec![
+            TweetBuilder::new(1, "goal <script>alert('x')</script> & more")
+                .at(Timestamp::from_mins(1))
+                .build(),
+            TweetBuilder::new(2, "goal again http://a.com")
+                .at(Timestamp::from_mins(2))
+                .build(),
+        ];
+        let a = analyze(
+            &EventSpec::new("Test <Event>", &["goal"]),
+            &tweets,
+            &AnalysisConfig {
+                bin: Duration::from_mins(1),
+                ..AnalysisConfig::default()
+            },
+        );
+        let html = render_html(&a);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.ends_with("</html>"));
+        assert!(html.contains("Test &lt;Event&gt;"));
+        assert!(!html.contains("<script>alert"), "must escape tweet text");
+        assert!(html.contains("&lt;script&gt;"));
+        assert!(html.contains("<svg"));
+        assert!(html.contains("http://a.com"));
+    }
+
+    #[test]
+    fn empty_analysis_renders() {
+        let a = analyze(
+            &EventSpec::new("empty", &["nomatch"]),
+            &[],
+            &AnalysisConfig::default(),
+        );
+        let html = render_html(&a);
+        assert!(html.contains("0 tweets logged"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Automatic peak labels (§3.2): "peaks … appear to the right of the
+//! timeline along with automatically-generated key terms that appear
+//! frequently in tweets during the peak", e.g. "3-0" and "Tevez" for a
+//! goal. Terms are TF-IDF-scored against the whole event's tweets so
+//! peak-specific vocabulary outranks the event's everyday words, and
+//! the event's own tracking keywords are excluded.
+
+use crate::event::EventSpec;
+use crate::peaks::Peak;
+use crate::timeline::Timeline;
+use tweeql_model::Tweet;
+use tweeql_text::tfidf::{top_terms, DocumentFrequency, KeyTerm};
+
+/// Build the background document-frequency table from all event tweets.
+pub fn background_df(tweets: &[Tweet]) -> DocumentFrequency {
+    let mut df = DocumentFrequency::new();
+    for t in tweets {
+        df.add_document(&t.text);
+    }
+    df
+}
+
+/// Key terms for one peak: the top `k` TF-IDF terms of tweets falling
+/// inside the peak's time window.
+pub fn peak_terms(
+    peak: &Peak,
+    timeline: &Timeline,
+    tweets: &[Tweet],
+    df: &DocumentFrequency,
+    spec: &EventSpec,
+    k: usize,
+) -> Vec<KeyTerm> {
+    let (start, end) = peak.window(timeline);
+    let docs = tweets
+        .iter()
+        .filter(|t| t.created_at >= start && t.created_at < end)
+        .map(|t| t.text.as_str());
+    top_terms(docs, df, k, &spec.keywords)
+}
+
+/// Render terms as the UI's comma-separated annotation.
+pub fn render_terms(terms: &[KeyTerm]) -> String {
+    terms
+        .iter()
+        .map(|t| t.term.as_str())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peaks::{PeakDetector, PeakDetectorConfig};
+    use tweeql_model::{Duration, Timestamp, TweetBuilder};
+
+    /// A miniature soccer event: steady chatter, then a goal burst full
+    /// of "3-0" and "tevez".
+    fn scenario() -> (Vec<Tweet>, Timeline) {
+        let mut tweets = Vec::new();
+        let mut id = 0;
+        // 20 minutes of background chatter, 5 tweets/min.
+        for m in 0..20 {
+            for k in 0..5 {
+                id += 1;
+                tweets.push(
+                    TweetBuilder::new(id, "watching the soccer match tonight")
+                        .at(Timestamp::from_mins(m) + Duration::from_secs(k * 10))
+                        .build(),
+                );
+            }
+        }
+        // Goal burst in minutes 10-11: 40 extra tweets.
+        for k in 0..40 {
+            id += 1;
+            tweets.push(
+                TweetBuilder::new(id, "TEVEZ!!! goal 3-0 what a strike")
+                    .at(Timestamp::from_mins(10) + Duration::from_secs(k * 3))
+                    .build(),
+            );
+        }
+        tweets.sort_by_key(|t| t.created_at);
+        let timeline = Timeline::from_tweets(&tweets, Duration::from_mins(1));
+        (tweets, timeline)
+    }
+
+    #[test]
+    fn goal_peak_is_labeled_with_score_and_scorer() {
+        let (tweets, timeline) = scenario();
+        let peaks = PeakDetector::detect(&timeline, PeakDetectorConfig::default());
+        assert_eq!(peaks.len(), 1, "{peaks:?}");
+        let spec = EventSpec::new("soccer", &["soccer", "match"]);
+        let df = background_df(&tweets);
+        let terms = peak_terms(&peaks[0], &timeline, &tweets, &df, &spec, 4);
+        let names: Vec<&str> = terms.iter().map(|t| t.term.as_str()).collect();
+        assert!(names.contains(&"tevez"), "{names:?}");
+        assert!(names.contains(&"3-0"), "{names:?}");
+        // Event keywords are excluded from labels.
+        assert!(!names.contains(&"soccer"));
+    }
+
+    #[test]
+    fn render_joins_terms() {
+        let terms = vec![
+            KeyTerm {
+                term: "3-0".into(),
+                score: 2.0,
+                count: 4,
+            },
+            KeyTerm {
+                term: "tevez".into(),
+                score: 1.5,
+                count: 3,
+            },
+        ];
+        assert_eq!(render_terms(&terms), "3-0, tevez");
+        assert_eq!(render_terms(&[]), "");
+    }
+
+    #[test]
+    fn empty_peak_window_yields_no_terms() {
+        let (tweets, timeline) = scenario();
+        let df = background_df(&tweets);
+        let spec = EventSpec::new("e", &["x"]);
+        let fake = Peak {
+            start: 0,
+            apex: 0,
+            end: 0,
+            max_count: 0,
+            label: 'A',
+        };
+        assert!(peak_terms(&fake, &timeline, &tweets, &df, &spec, 5).is_empty());
+    }
+}

@@ -1,0 +1,560 @@
+//! TwitInfo's peak detection (§3.2): "a stateful TweeQL UDF that
+//! performs streaming mean deviation detection over the aggregate tweet
+//! count."
+//!
+//! The algorithm (Marcus et al., CHI 2011) adapts TCP's
+//! retransmission-timeout estimator: it keeps an exponentially weighted
+//! moving mean and *mean deviation* of the per-bin tweet count; a bin
+//! that jumps more than `tau` mean-deviations above the mean opens a
+//! peak, which climbs while counts rise and closes when volume returns
+//! toward the pre-peak level. Detection is single-pass and O(1) per bin
+//! — it runs live on the stream.
+
+use crate::timeline::Timeline;
+use tweeql_model::Timestamp;
+
+/// Detector parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PeakDetectorConfig {
+    /// EWMA weight (TCP's 0.125).
+    pub alpha: f64,
+    /// Trigger threshold in mean deviations (TwitInfo uses 2).
+    pub tau: f64,
+    /// Floor on the mean deviation so near-constant streams don't fire
+    /// on noise.
+    pub min_meandev: f64,
+    /// Additional relative-rise requirement: a bin must exceed
+    /// `mean × (1 + min_rise_frac)` to open a peak, suppressing Poisson
+    /// noise on high-volume streams where the deviation test alone is
+    /// too twitchy.
+    pub min_rise_frac: f64,
+    /// Significance gate at close: a peak is only *emitted* if its apex
+    /// reached `baseline × (1 + min_apex_frac)`; smaller excursions are
+    /// discarded as noise.
+    pub min_apex_frac: f64,
+    /// Second significance gate: the apex must also exceed
+    /// `baseline + min_apex_sigmas × √baseline` — a Poisson-noise bound
+    /// that keeps low-volume streams (a few tweets/bin) from flagging
+    /// ordinary count fluctuations as events.
+    pub min_apex_sigmas: f64,
+    /// Bins needed to warm the estimator before detection can fire.
+    pub warmup_bins: usize,
+}
+
+impl Default for PeakDetectorConfig {
+    fn default() -> Self {
+        PeakDetectorConfig {
+            alpha: 0.125,
+            tau: 2.0,
+            min_meandev: 1.5,
+            min_rise_frac: 0.4,
+            min_apex_frac: 1.0,
+            min_apex_sigmas: 6.0,
+            warmup_bins: 3,
+        }
+    }
+}
+
+/// A detected peak, in bin indexes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Peak {
+    /// Onset bin (the last calm bin before the rise).
+    pub start: usize,
+    /// Bin with the maximum count.
+    pub apex: usize,
+    /// First bin after the activity subsided (exclusive end).
+    pub end: usize,
+    /// Count at the apex.
+    pub max_count: u64,
+    /// Display label: A, B, C, … in detection order.
+    pub label: char,
+}
+
+impl Peak {
+    /// Bin-index range covered by the peak.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.end
+    }
+
+    /// Time window covered, given the timeline geometry.
+    pub fn window(&self, timeline: &Timeline) -> (Timestamp, Timestamp) {
+        (timeline.bin_start(self.start), timeline.bin_start(self.end))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Warmup,
+    Idle,
+    InPeak {
+        start: usize,
+        baseline: f64,
+        apex: usize,
+        apex_count: u64,
+        prev_count: u64,
+    },
+    /// A peak just closed; wait for volume to return to the mean before
+    /// re-arming, so one burst's tail can't fragment into several peaks.
+    /// `level` is a falling envelope (the count at close, ratcheted down
+    /// with the decaying tail): a fresh excursion *above* the envelope
+    /// re-opens immediately, so a discarded noise blip can't blind the
+    /// detector to a real event arriving right behind it.
+    Cooldown {
+        level: f64,
+    },
+}
+
+/// Streaming peak detector.
+#[derive(Debug, Clone)]
+pub struct PeakDetector {
+    config: PeakDetectorConfig,
+    mean: f64,
+    meandev: f64,
+    bin_index: usize,
+    state: State,
+    peaks_found: usize,
+}
+
+impl PeakDetector {
+    /// New detector.
+    pub fn new(config: PeakDetectorConfig) -> PeakDetector {
+        PeakDetector {
+            config,
+            mean: 0.0,
+            meandev: 0.0,
+            bin_index: 0,
+            state: State::Warmup,
+            peaks_found: 0,
+        }
+    }
+
+    /// Current EWMA mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Current EWMA mean deviation.
+    pub fn meandev(&self) -> f64 {
+        self.meandev
+    }
+
+    /// Is a peak open right now?
+    pub fn in_peak(&self) -> bool {
+        matches!(self.state, State::InPeak { .. })
+    }
+
+    /// Significance gates: apex must clear the pre-peak baseline both
+    /// relatively (min_apex_frac) and statistically (min_apex_sigmas ×
+    /// √baseline above it), or the excursion was noise, not an event.
+    fn significant(&self, apex_count: u64, baseline: f64) -> bool {
+        let b = baseline.max(1.0);
+        let apex = apex_count as f64;
+        apex >= b * (1.0 + self.config.min_apex_frac)
+            && apex >= b + self.config.min_apex_sigmas * b.sqrt()
+    }
+
+    fn open_peak(&mut self, i: usize, count: u64, baseline: f64) {
+        self.state = State::InPeak {
+            start: i.saturating_sub(1),
+            baseline,
+            apex: i,
+            apex_count: count,
+            prev_count: count,
+        };
+    }
+
+    fn update_ewma(&mut self, count: f64) {
+        let a = self.config.alpha;
+        self.meandev = a * (count - self.mean).abs() + (1.0 - a) * self.meandev;
+        self.mean = a * count + (1.0 - a) * self.mean;
+    }
+
+    /// Feed the next bin's count; returns a finalized [`Peak`] when one
+    /// just closed.
+    pub fn push(&mut self, count: u64) -> Option<Peak> {
+        let i = self.bin_index;
+        self.bin_index += 1;
+        let c = count as f64;
+
+        match self.state {
+            State::Warmup => {
+                if i == 0 {
+                    self.mean = c;
+                    self.meandev = 0.0;
+                } else {
+                    self.update_ewma(c);
+                }
+                if self.bin_index >= self.config.warmup_bins {
+                    self.state = State::Idle;
+                }
+                None
+            }
+            State::Idle => {
+                let dev = self.meandev.max(self.config.min_meandev);
+                let risen = c > self.mean * (1.0 + self.config.min_rise_frac);
+                if risen && (c - self.mean) / dev > self.config.tau {
+                    let baseline = self.mean;
+                    self.open_peak(i, count, baseline);
+                }
+                // Keep the estimator tracking through the peak so a
+                // long plateau eventually reads as the new normal.
+                self.update_ewma(c);
+                None
+            }
+            State::InPeak {
+                start,
+                baseline,
+                apex,
+                apex_count,
+                prev_count,
+            } => {
+                self.update_ewma(c);
+                let (apex, apex_count) = if count > apex_count {
+                    (i, count)
+                } else {
+                    (apex, apex_count)
+                };
+                // Close when volume subsides toward the pre-peak level:
+                // below the baseline-anchored midpoint, or below the
+                // running mean while already declining.
+                let midpoint = baseline + (apex_count as f64 - baseline) * 0.3;
+                let closing = c <= midpoint || (c < self.mean && count < prev_count);
+                if closing {
+                    self.state = State::Cooldown { level: c };
+                    if !self.significant(apex_count, baseline) {
+                        return None;
+                    }
+                    let label_idx = self.peaks_found;
+                    self.peaks_found += 1;
+                    let label = (b'A' + (label_idx % 26) as u8) as char;
+                    Some(Peak {
+                        start,
+                        apex,
+                        end: i + 1,
+                        max_count: apex_count,
+                        label,
+                    })
+                } else {
+                    self.state = State::InPeak {
+                        start,
+                        baseline,
+                        apex,
+                        apex_count,
+                        prev_count: count,
+                    };
+                    None
+                }
+            }
+            State::Cooldown { level } => {
+                let level = level.min(c);
+                let dev = self.meandev.max(self.config.min_meandev);
+                if c > level * (1.0 + self.config.min_rise_frac)
+                    && (c - level) / dev > self.config.tau
+                {
+                    // Fresh excursion above the falling envelope.
+                    self.open_peak(i, count, level);
+                } else if c <= self.mean {
+                    self.state = State::Idle;
+                } else {
+                    self.state = State::Cooldown { level };
+                }
+                self.update_ewma(c);
+                None
+            }
+        }
+    }
+
+    /// Close any open peak at end of stream.
+    pub fn finish(&mut self) -> Option<Peak> {
+        if let State::InPeak {
+            start,
+            baseline,
+            apex,
+            apex_count,
+            ..
+        } = self.state
+        {
+            self.state = State::Cooldown {
+                level: apex_count as f64,
+            };
+            if !self.significant(apex_count, baseline) {
+                return None;
+            }
+            let label = (b'A' + (self.peaks_found % 26) as u8) as char;
+            self.peaks_found += 1;
+            Some(Peak {
+                start,
+                apex,
+                end: self.bin_index,
+                max_count: apex_count,
+                label,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Run over a whole timeline.
+    pub fn detect(timeline: &Timeline, config: PeakDetectorConfig) -> Vec<Peak> {
+        let mut d = PeakDetector::new(config);
+        let mut out = Vec::new();
+        for &c in &timeline.bins {
+            if let Some(p) = d.push(c) {
+                out.push(p);
+            }
+        }
+        if let Some(p) = d.finish() {
+            out.push(p);
+        }
+        out
+    }
+}
+
+/// Score detected peaks against scripted ground-truth bursts (E2).
+///
+/// A detected peak is a true positive when its range overlaps a truth
+/// window; each truth window counts at most once.
+pub fn score_against_truth(
+    peaks: &[Peak],
+    truth_windows: &[(usize, usize)],
+) -> PeakScore {
+    let mut matched_truth = vec![false; truth_windows.len()];
+    let mut true_positives = 0;
+    let mut detection_delay_bins = Vec::new();
+    for p in peaks {
+        let mut hit = None;
+        for (ti, &(ts, te)) in truth_windows.iter().enumerate() {
+            if matched_truth[ti] {
+                continue;
+            }
+            if p.start < te && ts < p.end {
+                hit = Some((ti, ts));
+                break;
+            }
+        }
+        if let Some((ti, ts)) = hit {
+            matched_truth[ti] = true;
+            true_positives += 1;
+            detection_delay_bins.push(p.apex.saturating_sub(ts) as f64);
+        }
+    }
+    let false_positives = peaks.len() - true_positives;
+    let false_negatives = matched_truth.iter().filter(|m| !**m).count();
+    PeakScore {
+        true_positives,
+        false_positives,
+        false_negatives,
+        mean_apex_delay_bins: if detection_delay_bins.is_empty() {
+            0.0
+        } else {
+            detection_delay_bins.iter().sum::<f64>() / detection_delay_bins.len() as f64
+        },
+    }
+}
+
+/// Precision/recall of peak detection vs scripted bursts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeakScore {
+    /// Detected peaks overlapping a truth burst.
+    pub true_positives: usize,
+    /// Detected peaks with no truth burst.
+    pub false_positives: usize,
+    /// Truth bursts never detected.
+    pub false_negatives: usize,
+    /// Mean bins between burst onset and detected apex.
+    pub mean_apex_delay_bins: f64,
+}
+
+impl PeakScore {
+    /// TP / (TP + FP), 1.0 when nothing detected.
+    pub fn precision(&self) -> f64 {
+        let d = self.true_positives + self.false_positives;
+        if d == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / d as f64
+        }
+    }
+
+    /// TP / (TP + FN), 1.0 when nothing to detect.
+    pub fn recall(&self) -> f64 {
+        let d = self.true_positives + self.false_negatives;
+        if d == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / d as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detect(bins: &[u64]) -> Vec<Peak> {
+        let t = Timeline {
+            start: Timestamp::ZERO,
+            bin: tweeql_model::Duration::from_mins(1),
+            bins: bins.to_vec(),
+        };
+        PeakDetector::detect(&t, PeakDetectorConfig::default())
+    }
+
+    #[test]
+    fn flat_stream_has_no_peaks() {
+        assert!(detect(&[10; 50]).is_empty());
+        assert!(detect(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_spike_detected_with_correct_apex() {
+        let mut bins = vec![10u64; 30];
+        // Spike at 15-18.
+        bins[15] = 60;
+        bins[16] = 90;
+        bins[17] = 50;
+        bins[18] = 15;
+        let peaks = detect(&bins);
+        assert_eq!(peaks.len(), 1, "{peaks:?}");
+        let p = &peaks[0];
+        assert_eq!(p.apex, 16);
+        assert_eq!(p.max_count, 90);
+        assert!(p.start <= 15 && p.start >= 13);
+        assert!(p.end >= 18);
+        assert_eq!(p.label, 'A');
+    }
+
+    #[test]
+    fn multiple_spikes_get_sequential_labels() {
+        let mut bins = vec![10u64; 60];
+        for (i, v) in [(10, 80), (30, 120), (50, 70)] {
+            bins[i] = v;
+            bins[i + 1] = v / 2;
+        }
+        let peaks = detect(&bins);
+        assert_eq!(peaks.len(), 3, "{peaks:?}");
+        assert_eq!(
+            peaks.iter().map(|p| p.label).collect::<Vec<_>>(),
+            vec!['A', 'B', 'C']
+        );
+        assert!(peaks[0].apex < peaks[1].apex && peaks[1].apex < peaks[2].apex);
+    }
+
+    #[test]
+    fn gradual_rise_within_tolerance_is_not_a_peak() {
+        // Slow drift upward stays inside tau mean deviations.
+        let bins: Vec<u64> = (0..100).map(|i| 100 + i / 10).collect();
+        assert!(detect(&bins).is_empty());
+    }
+
+    #[test]
+    fn noise_does_not_trigger() {
+        // Alternating 9/11 around mean 10.
+        let bins: Vec<u64> = (0..60).map(|i| if i % 2 == 0 { 9 } else { 11 }).collect();
+        assert!(detect(&bins).is_empty());
+    }
+
+    #[test]
+    fn open_peak_closed_at_finish() {
+        let mut d = PeakDetector::new(PeakDetectorConfig::default());
+        for &c in &[10u64, 10, 10, 10, 10, 100, 120] {
+            assert!(d.push(c).is_none());
+        }
+        assert!(d.in_peak());
+        let p = d.finish().unwrap();
+        assert_eq!(p.max_count, 120);
+        assert!(!d.in_peak());
+    }
+
+    #[test]
+    fn warmup_suppresses_initial_transient() {
+        // First bins are wild; detection only starts after warmup.
+        let peaks = detect(&[0, 90, 0, 10, 10, 10, 10, 10, 10, 10]);
+        assert!(peaks.is_empty(), "{peaks:?}");
+    }
+
+    #[test]
+    fn peak_window_maps_to_time() {
+        let t = Timeline {
+            start: Timestamp::ZERO,
+            bin: tweeql_model::Duration::from_mins(1),
+            bins: vec![10, 10, 10, 10, 100, 10, 10, 10],
+        };
+        let peaks = PeakDetector::detect(&t, PeakDetectorConfig::default());
+        assert_eq!(peaks.len(), 1);
+        let (s, e) = peaks[0].window(&t);
+        assert!(s <= Timestamp::from_mins(4));
+        assert!(e >= Timestamp::from_mins(5));
+    }
+
+    #[test]
+    fn scoring_precision_recall() {
+        let peaks = vec![
+            Peak {
+                start: 10,
+                apex: 12,
+                end: 15,
+                max_count: 100,
+                label: 'A',
+            },
+            Peak {
+                start: 40,
+                apex: 41,
+                end: 44,
+                max_count: 50,
+                label: 'B',
+            },
+        ];
+        // Truth: one burst overlapping the first peak, one missed burst.
+        let truth = vec![(11, 14), (70, 75)];
+        let s = score_against_truth(&peaks, &truth);
+        assert_eq!(s.true_positives, 1);
+        assert_eq!(s.false_positives, 1);
+        assert_eq!(s.false_negatives, 1);
+        assert_eq!(s.precision(), 0.5);
+        assert_eq!(s.recall(), 0.5);
+        assert!((s.f1() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn each_truth_matches_at_most_once() {
+        let peaks = vec![
+            Peak {
+                start: 10,
+                apex: 11,
+                end: 13,
+                max_count: 10,
+                label: 'A',
+            },
+            Peak {
+                start: 12,
+                apex: 13,
+                end: 15,
+                max_count: 10,
+                label: 'B',
+            },
+        ];
+        let truth = vec![(10, 15)];
+        let s = score_against_truth(&peaks, &truth);
+        assert_eq!(s.true_positives, 1);
+        assert_eq!(s.false_positives, 1);
+        assert_eq!(s.recall(), 1.0);
+    }
+
+    #[test]
+    fn empty_scoring_is_perfect() {
+        let s = score_against_truth(&[], &[]);
+        assert_eq!(s.precision(), 1.0);
+        assert_eq!(s.recall(), 1.0);
+    }
+}

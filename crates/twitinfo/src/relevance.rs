@@ -1,0 +1,96 @@
+//! The Relevant Tweets panel (§3.2): "tweets … sorted by similarity to
+//! the event or peak keywords, so that tweets near the top are most
+//! representative of the selected event", colored by sentiment.
+
+use tweeql_model::Tweet;
+use tweeql_text::sentiment::{Polarity, SentimentClassifier};
+use tweeql_text::similarity::TermVector;
+
+/// A ranked tweet with its panel metadata.
+#[derive(Debug, Clone)]
+pub struct RankedTweet {
+    /// Index into the input slice.
+    pub index: usize,
+    /// Cosine similarity to the query vector.
+    pub similarity: f64,
+    /// Classified sentiment (panel color: blue/red/white).
+    pub sentiment: Polarity,
+}
+
+/// Rank `tweets` by similarity to the given keywords (event keywords,
+/// or event keywords + a peak's key terms when a peak is selected),
+/// keeping the top `k`.
+pub fn rank_tweets(
+    tweets: &[Tweet],
+    keywords: &[String],
+    classifier: &dyn SentimentClassifier,
+    k: usize,
+) -> Vec<RankedTweet> {
+    let query = TermVector::from_keywords(keywords);
+    let mut scored: Vec<RankedTweet> = tweets
+        .iter()
+        .enumerate()
+        .filter_map(|(index, t)| {
+            let sim = query.cosine(&TermVector::from_text(&t.text));
+            (sim > 0.0).then(|| RankedTweet {
+                index,
+                similarity: sim,
+                sentiment: classifier.classify(&t.text),
+            })
+        })
+        .collect();
+    scored.sort_by(|a, b| {
+        b.similarity
+            .partial_cmp(&a.similarity)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.index.cmp(&b.index))
+    });
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tweeql_model::TweetBuilder;
+    use tweeql_text::sentiment::LexiconClassifier;
+
+    fn tweets() -> Vec<Tweet> {
+        vec![
+            TweetBuilder::new(1, "tevez goal manchester brilliant").build(),
+            TweetBuilder::new(2, "manchester match tonight").build(),
+            TweetBuilder::new(3, "eating dinner now").build(),
+            TweetBuilder::new(4, "awful defending manchester sad").build(),
+        ]
+    }
+
+    #[test]
+    fn ranking_prefers_keyword_dense_tweets() {
+        let clf = LexiconClassifier::new();
+        let kws = vec!["manchester".to_string(), "goal".to_string(), "tevez".to_string()];
+        let ranked = rank_tweets(&tweets(), &kws, &clf, 10);
+        // Unrelated tweet is dropped entirely.
+        assert_eq!(ranked.len(), 3);
+        assert_eq!(ranked[0].index, 0, "{ranked:?}");
+        assert!(ranked[0].similarity > ranked[1].similarity);
+    }
+
+    #[test]
+    fn sentiment_colors_attached() {
+        let clf = LexiconClassifier::new();
+        let kws = vec!["manchester".to_string()];
+        let ranked = rank_tweets(&tweets(), &kws, &clf, 10);
+        let by_index = |i: usize| ranked.iter().find(|r| r.index == i).unwrap();
+        assert_eq!(by_index(0).sentiment, Polarity::Positive);
+        assert_eq!(by_index(1).sentiment, Polarity::Neutral);
+        assert_eq!(by_index(3).sentiment, Polarity::Negative);
+    }
+
+    #[test]
+    fn k_truncates() {
+        let clf = LexiconClassifier::new();
+        let kws = vec!["manchester".to_string()];
+        assert_eq!(rank_tweets(&tweets(), &kws, &clf, 1).len(), 1);
+        assert!(rank_tweets(&tweets(), &[], &clf, 5).is_empty());
+    }
+}

@@ -1,0 +1,177 @@
+//! The event timeline (§3.2): "reports tweet activity by volume. The
+//! more tweets that match the query during a period of time, the higher
+//! the y-axis value on the timeline for that period."
+
+use tweeql_model::{Duration, Timestamp, Tweet};
+
+/// Binned tweet-volume series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timeline {
+    /// Time of the first bin's left edge.
+    pub start: Timestamp,
+    /// Bin width.
+    pub bin: Duration,
+    /// Tweet counts per bin.
+    pub bins: Vec<u64>,
+}
+
+impl Timeline {
+    /// Bin `tweets` (any order) at `bin` resolution across
+    /// `[start, end)`. Tweets outside the range are ignored.
+    pub fn build(
+        tweets: impl IntoIterator<Item = Timestamp>,
+        start: Timestamp,
+        end: Timestamp,
+        bin: Duration,
+    ) -> Timeline {
+        let width = bin.millis().max(1);
+        let n = ((end.millis() - start.millis()).max(0) as u64).div_ceil(width as u64) as usize;
+        let mut bins = vec![0u64; n];
+        for ts in tweets {
+            if ts < start || ts >= end {
+                continue;
+            }
+            let idx = ((ts.millis() - start.millis()) / width) as usize;
+            if idx < bins.len() {
+                bins[idx] += 1;
+            }
+        }
+        Timeline { start, bin, bins }
+    }
+
+    /// Bin from tweet records directly.
+    pub fn from_tweets(tweets: &[Tweet], bin: Duration) -> Timeline {
+        let start = Timestamp::ZERO;
+        let end = tweets
+            .iter()
+            .map(|t| t.created_at)
+            .max()
+            .map(|t| t + bin)
+            .unwrap_or(start);
+        Timeline::build(tweets.iter().map(|t| t.created_at), start, end, bin)
+    }
+
+    /// Left edge time of bin `i`.
+    pub fn bin_start(&self, i: usize) -> Timestamp {
+        self.start + self.bin * i as i64
+    }
+
+    /// Index of the bin containing `ts`, if in range.
+    pub fn bin_of(&self, ts: Timestamp) -> Option<usize> {
+        if ts < self.start {
+            return None;
+        }
+        let idx = ((ts.millis() - self.start.millis()) / self.bin.millis().max(1)) as usize;
+        (idx < self.bins.len()).then_some(idx)
+    }
+
+    /// Largest bin count (0 for empty).
+    pub fn max_count(&self) -> u64 {
+        self.bins.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total tweets on the timeline.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// An ASCII sparkline of the whole series, `width` chars wide.
+    pub fn sparkline(&self, width: usize) -> String {
+        const LEVELS: &[char] = &[' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        if self.bins.is_empty() || width == 0 {
+            return String::new();
+        }
+        let max = self.max_count().max(1) as f64;
+        // Downsample (max-pool) bins into `width` columns.
+        let mut out = String::with_capacity(width * 3);
+        for col in 0..width.min(self.bins.len().max(1)) {
+            let lo = col * self.bins.len() / width.min(self.bins.len());
+            let hi = ((col + 1) * self.bins.len() / width.min(self.bins.len()))
+                .max(lo + 1)
+                .min(self.bins.len());
+            let v = self.bins[lo..hi].iter().copied().max().unwrap_or(0) as f64;
+            let level = ((v / max) * (LEVELS.len() - 1) as f64).round() as usize;
+            out.push(LEVELS[level.min(LEVELS.len() - 1)]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tweeql_model::TweetBuilder;
+
+    fn ts(mins: i64) -> Timestamp {
+        Timestamp::from_mins(mins)
+    }
+
+    #[test]
+    fn binning_counts_correctly() {
+        let stamps = vec![ts(0), ts(0), Timestamp::from_secs(59), ts(1), ts(5)];
+        let t = Timeline::build(stamps, ts(0), ts(10), Duration::from_mins(1));
+        assert_eq!(t.bins.len(), 10);
+        assert_eq!(t.bins[0], 3);
+        assert_eq!(t.bins[1], 1);
+        assert_eq!(t.bins[5], 1);
+        assert_eq!(t.total(), 5);
+        assert_eq!(t.max_count(), 3);
+    }
+
+    #[test]
+    fn out_of_range_ignored() {
+        let t = Timeline::build(vec![ts(-1), ts(11)], ts(0), ts(10), Duration::from_mins(1));
+        assert_eq!(t.total(), 0);
+    }
+
+    #[test]
+    fn bin_of_and_bin_start_roundtrip() {
+        let t = Timeline::build(vec![], ts(0), ts(10), Duration::from_mins(1));
+        assert_eq!(t.bin_of(Timestamp::from_secs(90)), Some(1));
+        assert_eq!(t.bin_start(1), ts(1));
+        assert_eq!(t.bin_of(ts(-1)), None);
+        assert_eq!(t.bin_of(ts(10)), None);
+    }
+
+    #[test]
+    fn from_tweets_spans_the_data() {
+        let tweets = vec![
+            TweetBuilder::new(1, "a").at(ts(0)).build(),
+            TweetBuilder::new(2, "b").at(ts(7)).build(),
+        ];
+        let t = Timeline::from_tweets(&tweets, Duration::from_mins(1));
+        assert!(t.bins.len() >= 8);
+        assert_eq!(t.total(), 2);
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let t = Timeline {
+            start: ts(0),
+            bin: Duration::from_mins(1),
+            bins: vec![0, 1, 2, 10, 2, 1, 0, 0],
+        };
+        let s = t.sparkline(8);
+        assert_eq!(s.chars().count(), 8);
+        // The tall bin renders as the tallest glyph.
+        assert!(s.contains('█'));
+        // Empty timeline renders empty.
+        let empty = Timeline {
+            start: ts(0),
+            bin: Duration::from_mins(1),
+            bins: vec![],
+        };
+        assert_eq!(empty.sparkline(10), "");
+    }
+
+    #[test]
+    fn ceil_bin_count_covers_partial_tail() {
+        let t = Timeline::build(
+            vec![],
+            ts(0),
+            Timestamp::from_secs(90),
+            Duration::from_mins(1),
+        );
+        assert_eq!(t.bins.len(), 2);
+    }
+}

@@ -1,0 +1,201 @@
+//! TwitInfo's TweeQL integration: the peak detector "is a stateful
+//! TweeQL UDF that performs streaming mean deviation detection over the
+//! aggregate tweet count" (§3.2).
+//!
+//! [`register`] installs:
+//! * `detect_peak(count)` — stateful; feeds each windowed count into a
+//!   [`PeakDetector`] and returns the peak label ("A", "B", …) when a
+//!   peak closes on this bin, else NULL;
+//! * `in_peak(count)` — stateful; returns TRUE while volume is inside an
+//!   open peak (for live flagging in the dashboard).
+//!
+//! Typical use, exactly the TwitInfo logging pipeline:
+//!
+//! ```sql
+//! SELECT count(*) AS c, detect_peak(count(*))
+//! FROM twitter
+//! WHERE text contains 'soccer' OR text contains 'manchester'
+//! WINDOW 1 minutes;
+//! ```
+
+use crate::peaks::{PeakDetector, PeakDetectorConfig};
+use std::sync::Arc;
+use tweeql::error::QueryError;
+use tweeql::udf::{Registry, StatefulUdf};
+use tweeql_model::{Timestamp, Value};
+
+struct DetectPeakUdf {
+    detector: PeakDetector,
+}
+
+impl StatefulUdf for DetectPeakUdf {
+    fn call(&mut self, args: &[Value], _ts: Timestamp) -> Result<Value, QueryError> {
+        let count = args
+            .first()
+            .ok_or_else(|| QueryError::BadArguments {
+                function: "detect_peak".into(),
+                message: "expected (count)".into(),
+            })?
+            .as_int()
+            .unwrap_or(0)
+            .max(0) as u64;
+        Ok(match self.detector.push(count) {
+            Some(peak) => Value::Str(peak.label.to_string()),
+            None => Value::Null,
+        })
+    }
+}
+
+struct InPeakUdf {
+    detector: PeakDetector,
+}
+
+impl StatefulUdf for InPeakUdf {
+    fn call(&mut self, args: &[Value], _ts: Timestamp) -> Result<Value, QueryError> {
+        let count = args
+            .first()
+            .ok_or_else(|| QueryError::BadArguments {
+                function: "in_peak".into(),
+                message: "expected (count)".into(),
+            })?
+            .as_int()
+            .unwrap_or(0)
+            .max(0) as u64;
+        let _ = self.detector.push(count);
+        Ok(Value::Bool(self.detector.in_peak()))
+    }
+}
+
+/// Register TwitInfo's stateful UDFs into a TweeQL registry.
+pub fn register(registry: &mut Registry, config: PeakDetectorConfig) {
+    registry.register_stateful(
+        "detect_peak",
+        Arc::new(move || {
+            Box::new(DetectPeakUdf {
+                detector: PeakDetector::new(config),
+            })
+        }),
+    );
+    registry.register_stateful(
+        "in_peak",
+        Arc::new(move || {
+            Box::new(InPeakUdf {
+                detector: PeakDetector::new(config),
+            })
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc as StdArc;
+    use tweeql::engine::{Engine, EngineConfig};
+    use tweeql_firehose::scenario::{Burst, Scenario, Topic};
+    use tweeql_firehose::{generate, StreamingApi};
+    use tweeql_model::{Duration, VirtualClock};
+
+    fn bursty_engine() -> Engine {
+        let s = Scenario {
+            name: "peaky".into(),
+            duration: Duration::from_mins(40),
+            background_rate_per_min: 30.0,
+            topics: vec![Topic::new("goal", vec!["goal"], 20.0)],
+            bursts: vec![Burst {
+                topic: 0,
+                label: "spike".into(),
+                start: Timestamp::from_mins(20),
+                ramp_up: Duration::from_mins(1),
+                ramp_down: Duration::from_mins(4),
+                peak_multiplier: 10.0,
+                phrases: vec!["huge".into()],
+                sentiment_bias: 0.0,
+                url: None,
+            }],
+            geotag_rate: 0.0,
+            population_size: 300,
+        };
+        let clock = VirtualClock::new();
+        let api = StreamingApi::new(generate(&s, 33), StdArc::clone(&clock));
+        let mut engine = Engine::new(EngineConfig::default(), api, clock);
+        register(engine.registry_mut(), PeakDetectorConfig::default());
+        engine
+    }
+
+    #[test]
+    fn detect_peak_fires_inside_a_tweeql_query() {
+        let mut e = bursty_engine();
+        let r = e
+            .execute(
+                "SELECT count(*) AS c, detect_peak(count(*)) AS peak \
+                 FROM twitter WHERE text contains 'goal' WINDOW 1 minutes",
+            )
+            .unwrap();
+        // ~40 one-minute windows stream through; exactly one closes a
+        // peak and is labeled 'A'.
+        assert!(r.rows.len() >= 30, "rows = {}", r.rows.len());
+        let labels: Vec<String> = r
+            .column("peak")
+            .unwrap()
+            .into_iter()
+            .filter(|v| !v.is_null())
+            .map(|v| v.to_string())
+            .collect();
+        assert_eq!(labels, vec!["A"], "peak labels: {labels:?}");
+        // The peak closes after the scripted burst at minute 20.
+        let peak_row = r
+            .rows
+            .iter()
+            .position(|row| !row.value(1).is_null())
+            .unwrap();
+        assert!(peak_row >= 20, "peak closed at window {peak_row}");
+    }
+
+    #[test]
+    fn in_peak_flags_a_contiguous_run() {
+        let mut e = bursty_engine();
+        let r = e
+            .execute(
+                "SELECT in_peak(count(*)) AS flag \
+                 FROM twitter WHERE text contains 'goal' WINDOW 1 minutes",
+            )
+            .unwrap();
+        let flags: Vec<bool> = r
+            .column("flag")
+            .unwrap()
+            .into_iter()
+            .map(|v| v.is_truthy())
+            .collect();
+        // `in_peak` reflects tentative (pre-significance-gate) peaks, so
+        // short noise blips may flag a lone bin; the scripted burst at
+        // minute 20 must produce the longest run, several bins wide,
+        // overlapping minutes 20–26.
+        let mut best = (0usize, 0usize); // (len, start)
+        let mut run = 0usize;
+        for (i, &f) in flags.iter().enumerate() {
+            if f {
+                run += 1;
+                if run > best.0 {
+                    best = (run, i + 1 - run);
+                }
+            } else {
+                run = 0;
+            }
+        }
+        assert!(best.0 >= 3, "{flags:?}");
+        assert!((18..=26).contains(&best.1), "{flags:?}");
+    }
+
+    #[test]
+    fn bad_arguments_error_cleanly() {
+        let mut det = DetectPeakUdf {
+            detector: PeakDetector::new(PeakDetectorConfig::default()),
+        };
+        assert!(det.call(&[], Timestamp::ZERO).is_err());
+        // Non-numeric counts degrade to 0 rather than killing the query.
+        assert_eq!(
+            det.call(&[Value::Str("x".into())], Timestamp::ZERO).unwrap(),
+            Value::Null
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Real-time monitoring (§3.2): "they can monitor the event in
+//! realtime by navigating to a web page that TwitInfo creates for the
+//! event." This example drives the incremental [`twitinfo::live`]
+//! monitor over the earthquake scenario, printing a ticker line every
+//! simulated 15 minutes and a flash line the moment each peak is
+//! flagged and labeled.
+//!
+//! Run with `cargo run --release --example live_ticker`.
+
+use twitinfo::event::EventSpec;
+use twitinfo::live::LiveEvent;
+use twitinfo::peaks::PeakDetectorConfig;
+use tweeql_firehose::{generate, scenarios};
+use tweeql_model::Timestamp;
+use tweeql_text::sentiment::LexiconClassifier;
+
+fn main() {
+    let scenario = scenarios::earthquakes();
+    println!("generating {} …\n", scenario.name);
+    let tweets = generate(&scenario, 311);
+
+    let spec = EventSpec::new(
+        "Earthquake timeline (live)",
+        &["earthquake", "quake", "tsunami", "sendai"],
+    );
+    let mut live = LiveEvent::new(
+        spec,
+        Box::new(LexiconClassifier::new()),
+        PeakDetectorConfig::default(),
+    );
+
+    let tick = tweeql_model::Duration::from_mins(15);
+    let mut next_tick = Timestamp::ZERO + tick;
+    for tweet in &tweets {
+        if tweet.created_at >= next_tick {
+            println!("{}", live.status_line());
+            next_tick += tick;
+        }
+        if let Some(peak) = live.push(tweet) {
+            let terms = peak
+                .terms
+                .iter()
+                .map(|t| t.term.as_str())
+                .collect::<Vec<_>>()
+                .join(", ");
+            println!(
+                "  ⚑ PEAK {} flagged at {}  (apex {}/min)  [{}]",
+                peak.peak.label, peak.flagged_at, peak.peak.max_count, terms
+            );
+        }
+    }
+    live.finish();
+
+    println!("\nfinal timeline: {}", live.timeline().sparkline(96));
+    let (pos, neg, neu) = live.sentiment_counts();
+    println!("sentiment: +{pos} −{neg} ·{neu}");
+    println!("top links:");
+    for (url, n) in live.top_links(3) {
+        println!("  {n:>4}× {url}");
+    }
+    println!(
+        "\nscripted ground truth: {} bursts at {}",
+        scenario.bursts.len(),
+        scenario
+            .bursts
+            .iter()
+            .map(|b| b.start.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}

@@ -1,0 +1,56 @@
+//! Quickstart: run the paper's first example query on a synthetic
+//! stream.
+//!
+//! ```text
+//! SELECT sentiment(text), latitude(loc), longitude(loc)
+//! FROM twitter WHERE text contains 'obama';
+//! ```
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use tweeql::engine::{Engine, EngineConfig};
+use tweeql_firehose::{generate, scenarios, StreamingApi};
+use tweeql_model::{Duration, Timestamp, VirtualClock};
+
+fn main() {
+    // A 30-minute slice of the Obama-month scenario.
+    let mut scenario = scenarios::obama_month();
+    scenario.duration = Duration::from_mins(30);
+    scenario
+        .bursts
+        .retain(|b| b.end() <= Timestamp::ZERO + scenario.duration);
+    scenario.population_size = 1500;
+
+    let clock = VirtualClock::new();
+    let tweets = generate(&scenario, 2011);
+    println!(
+        "firehose: {} tweets over {} of stream time\n",
+        tweets.len(),
+        scenario.duration
+    );
+
+    let api = StreamingApi::new(tweets, clock.clone());
+    let mut engine = Engine::new(EngineConfig::default(), api, clock);
+
+    let sql = "SELECT sentiment(text), latitude(loc), longitude(loc) \
+               FROM twitter WHERE text contains 'obama' LIMIT 15";
+    println!("tweeql> {sql}\n");
+    println!("plan:\n{}\n", engine.explain(sql).expect("plan"));
+
+    let result = engine.execute(sql).expect("query runs");
+    println!("{}", result.render_table(15));
+    println!("pushdown: {}", result.stats.pushdown);
+    println!(
+        "source: scanned {} / delivered {} tweets",
+        result.stats.source.scanned, result.stats.source.delivered
+    );
+    println!(
+        "geocoding: {} remote requests, {} modeled service time, cache hit rate {:.0}%",
+        result.stats.geo_requests,
+        result.stats.geo_service_time,
+        result.stats.geo_cache.hit_rate() * 100.0
+    );
+    for (stage, s) in &result.stats.stages {
+        println!("  stage {stage:<18} in {:>6}  out {:>6}", s.records_in, s.records_out);
+    }
+}

@@ -1,0 +1,136 @@
+//! The TweeQL command-line interface from the demonstration (§4): "a
+//! command line query interface that is familiar to most database
+//! users", with "a selection of pre-built queries, which they can copy
+//! and paste into the command line".
+//!
+//! Run with `cargo run --release --example tweeql_repl`, then type a
+//! query (`;` optional), `\examples` for the pre-built queries,
+//! `\explain <sql>`, `\scenario soccer|earthquakes|obama`, or `\q`.
+
+use std::io::{BufRead, Write};
+use twitinfo::peaks::PeakDetectorConfig;
+use twitinfo::udfs;
+use tweeql::engine::{Engine, EngineConfig};
+use tweeql_firehose::{generate, scenarios, StreamingApi};
+use tweeql_model::VirtualClock;
+
+const EXAMPLES: &[(&str, &str)] = &[
+    (
+        "sentiment + geocode (paper query 1)",
+        "SELECT sentiment(text), latitude(loc), longitude(loc) FROM twitter WHERE text contains 'obama' LIMIT 10;",
+    ),
+    (
+        "conjunctive filters (paper query 2)",
+        "SELECT text FROM twitter WHERE text contains 'obama' AND location in [bounding box for NYC] LIMIT 10;",
+    ),
+    (
+        "geo sentiment buckets (paper query 3)",
+        "SELECT AVG(sentiment(text)), floor(latitude(loc)) AS lat, floor(longitude(loc)) AS long FROM twitter WHERE text contains 'obama' GROUP BY lat, long WINDOW 3 hours;",
+    ),
+    (
+        "per-minute volume with peak flags (TwitInfo)",
+        "SELECT count(*) AS c, detect_peak(count(*)) AS peak FROM twitter WHERE text contains 'obama' WINDOW 1 minutes;",
+    ),
+    (
+        "regex extraction",
+        "SELECT regex_extract(text, '(\\d+)-(\\d+)', 0) AS score, text FROM twitter WHERE text matches '\\d+-\\d+' LIMIT 10;",
+    ),
+    (
+        "hashtag lists",
+        "SELECT first(hashtags(text)) AS tag, count(*) FROM twitter WHERE length(hashtags(text)) > 0 GROUP BY tag WINDOW 100 tuples LIMIT 20;",
+    ),
+    (
+        "popular links via bounded-memory topk",
+        "SELECT topk(urls(text), 3) AS links, count(*) FROM twitter WHERE text contains 'obama';",
+    ),
+    (
+        "sliding windows + HAVING",
+        "SELECT lang, count(*) AS c FROM twitter GROUP BY lang HAVING count(*) > 100 WINDOW 10 minutes SLIDE 5 minutes;",
+    ),
+    (
+        "distinct authors per language",
+        "SELECT lang, count(distinct screen_name) FROM twitter GROUP BY lang;",
+    ),
+];
+
+fn build_engine(which: &str) -> Engine {
+    let scenario = match which {
+        "soccer" => scenarios::soccer_match(),
+        "earthquakes" => scenarios::earthquakes(),
+        _ => scenarios::obama_month(),
+    };
+    eprintln!("(generating scenario {:?} …)", scenario.name);
+    let clock = VirtualClock::new();
+    let api = StreamingApi::new(generate(&scenario, 7), clock.clone());
+    let mut engine = Engine::new(EngineConfig::default(), api, clock);
+    udfs::register(engine.registry_mut(), PeakDetectorConfig::default());
+    engine
+}
+
+fn main() {
+    println!("TweeQL demo shell — \\examples for canned queries, \\q to quit");
+    let mut current = "obama".to_string();
+    let mut engine = build_engine(&current);
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            print!("tweeql> ");
+        } else {
+            print!("   ...> ");
+        }
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() {
+            match trimmed {
+                "\\q" | "\\quit" | "exit" => break,
+                "" => continue,
+                "\\examples" => {
+                    for (name, sql) in EXAMPLES {
+                        println!("-- {name}\n{sql}\n");
+                    }
+                    continue;
+                }
+                t if t.starts_with("\\scenario") => {
+                    current = t.split_whitespace().nth(1).unwrap_or("obama").to_string();
+                    engine = build_engine(&current);
+                    println!("switched to scenario {current}; stream rewound");
+                    continue;
+                }
+                t if t.starts_with("\\explain ") => {
+                    match engine.explain(t.trim_start_matches("\\explain ")) {
+                        Ok(plan) => println!("{plan}"),
+                        Err(e) => println!("error: {e}"),
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        buffer.push_str(&line);
+        // Execute on `;` (or single-line statement without one).
+        if !(buffer.trim_end().ends_with(';') || !buffer.contains('\n') && !trimmed.is_empty()) {
+            continue;
+        }
+        let sql = std::mem::take(&mut buffer);
+        match engine.execute(sql.trim()) {
+            Ok(result) => {
+                println!("{}", result.render_table(25));
+                println!(
+                    "-- {} rows, {} pushed: {}",
+                    result.rows.len(),
+                    result.stats.source.delivered,
+                    result.stats.pushdown
+                );
+                // A fresh engine rewinds the stream for the next query.
+                engine = build_engine(&current);
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    println!("bye");
+}

@@ -1,0 +1,15 @@
+//! # tweeql-suite
+//!
+//! Umbrella crate for the TweeQL / TwitInfo reproduction. Re-exports the
+//! workspace crates under one roof so examples and integration tests can
+//! `use tweeql_suite::...`.
+//!
+//! See `README.md` for the tour and `DESIGN.md` for the system inventory.
+
+pub use tweeql_firehose as firehose;
+pub use tweeql_geo as geo;
+pub use tweeql_model as model;
+pub use tweeql_text as text;
+pub use twitinfo;
+
+pub use tweeql;

@@ -1,0 +1,78 @@
+//! Integration test for §3.3's map-view claim: "A user should be able
+//! to quickly zoom in on clusters of activity around New York and
+//! Boston during a Red Sox-Yankees baseball game, with sentiment toward
+//! a given peak (e.g., a home run) varying by region."
+
+use twitinfo::event::EventSpec;
+use twitinfo::mapview::{clusters, markers};
+use twitinfo::store::{analyze, AnalysisConfig};
+use tweeql_firehose::{generate, scenarios};
+use tweeql_text::sentiment::LexiconClassifier;
+
+#[test]
+fn baseball_clusters_around_boston_and_new_york() {
+    let scenario = scenarios::baseball();
+    let tweets = generate(&scenario, 1918);
+    let spec = EventSpec::new(
+        "Baseball: Red Sox vs. Yankees",
+        &["redsox", "yankees", "baseball", "fenway"],
+    );
+    let analysis = analyze(&spec, &tweets, &AnalysisConfig::default());
+
+    assert!(analysis.matched.len() > 2000);
+    assert!(analysis.clusters.len() >= 2, "{:?}", analysis.clusters);
+
+    // The densest clusters are the NYC-ish cells (40, -75/-74 — the
+    // city straddles the −74° meridian, so its jittered users split
+    // across two 1° cells) and the Boston-ish cell (42, -72±).
+    let top3: Vec<(i32, i32)> = analysis.clusters.iter().take(3).map(|c| c.cell).collect();
+    let is_boston = |c: &(i32, i32)| (41..=42).contains(&c.0) && (-72..=-70).contains(&c.1);
+    let is_nyc = |c: &(i32, i32)| (40..=41).contains(&c.0) && (-75..=-73).contains(&c.1);
+    assert!(
+        top3.iter().any(is_boston),
+        "no Boston cluster in top3: {top3:?}"
+    );
+    assert!(top3.iter().any(is_nyc), "no NYC cluster in top3: {top3:?}");
+
+    // Both home-run bursts are detected as peaks.
+    assert!(
+        analysis.peaks.len() >= 2,
+        "peaks: {:?}",
+        analysis
+            .peaks
+            .iter()
+            .map(|p| (p.peak.label, p.peak.apex))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn sentiment_varies_by_region_during_a_home_run() {
+    // The Red Sox homer is scripted positive-biased overall; this test
+    // checks the *mechanism* the paper describes — per-peak, per-region
+    // sentiment is computable and the map colors markers by it.
+    let scenario = scenarios::baseball();
+    let tweets = generate(&scenario, 1918);
+    let spec = EventSpec::new("baseball", &["redsox", "yankees", "baseball", "fenway"]);
+    let analysis = analyze(&spec, &tweets, &AnalysisConfig::default());
+
+    let hr_peak = analysis
+        .peaks
+        .iter()
+        .find(|p| p.window.0 <= tweeql_model::Timestamp::from_mins(41))
+        .expect("first home-run peak");
+    let clf = LexiconClassifier::new();
+    let peak_markers = markers(&analysis.matched, hr_peak.window.0, hr_peak.window.1, &clf);
+    assert!(!peak_markers.is_empty());
+    let peak_clusters = clusters(&peak_markers);
+    // Per-region net sentiment is defined for the peak window.
+    assert!(peak_clusters
+        .iter()
+        .all(|c| (-1.0..=1.0).contains(&c.net_sentiment)));
+    // The scripted positive bias shows up in the peak's own pie.
+    assert!(
+        hr_peak.sentiment.positive_share > 0.5,
+        "{:?}",
+        hr_peak.sentiment
+    );
+}

@@ -1,0 +1,238 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants across the workspace.
+
+use proptest::prelude::*;
+use tweeql_geo::{BoundingBox, GeoPoint, LruCache};
+use tweeql_model::{Duration, Entities, Timestamp, Value};
+use tweeql_text::ac::AhoCorasick;
+use tweeql_text::Regex;
+
+proptest! {
+    // ---- model ----
+
+    /// Timestamp truncation is idempotent and never exceeds the input.
+    #[test]
+    fn truncate_idempotent(ms in -10_000_000i64..10_000_000, bucket in 1i64..100_000) {
+        let t = Timestamp::from_millis(ms);
+        let b = Duration::from_millis(bucket);
+        let once = t.truncate(b);
+        prop_assert!(once <= t);
+        prop_assert_eq!(once.truncate(b), once);
+        prop_assert!(t.millis() - once.millis() < bucket);
+    }
+
+    /// Duration parse/display round-trips for whole units.
+    #[test]
+    fn duration_display_parses_back(n in 1i64..10_000, unit in 0usize..4) {
+        let d = match unit {
+            0 => Duration::from_millis(n),
+            1 => Duration::from_secs(n),
+            2 => Duration::from_mins(n),
+            _ => Duration::from_hours(n),
+        };
+        let rendered = d.to_string();
+        prop_assert_eq!(Duration::parse(&rendered).unwrap(), d);
+    }
+
+    /// Value numeric addition commutes and Null propagates.
+    #[test]
+    fn value_add_commutes(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+        let (va, vb) = (Value::Int(a), Value::Int(b));
+        prop_assert_eq!(va.add(&vb).unwrap(), vb.add(&va).unwrap());
+        prop_assert_eq!(Value::Null.add(&va).unwrap(), Value::Null);
+    }
+
+    /// Value grouping equality is consistent with hashing.
+    #[test]
+    fn value_eq_implies_same_hash(x in -1_000i64..1_000) {
+        use std::hash::{Hash, Hasher};
+        fn h(v: &Value) -> u64 {
+            let mut s = std::collections::hash_map::DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        }
+        let int = Value::Int(x);
+        let float = Value::Float(x as f64);
+        prop_assert_eq!(&int, &float);
+        prop_assert_eq!(h(&int), h(&float));
+    }
+
+    /// Entity extraction never panics and offsets index real text.
+    #[test]
+    fn entities_offsets_valid(text in ".{0,200}") {
+        let e = Entities::parse(&text);
+        for h in &e.hashtags {
+            prop_assert!(h.start < text.len());
+            prop_assert!(text[h.start..].starts_with('#'));
+        }
+        for u in &e.urls {
+            prop_assert!(text[u.start..].starts_with("http"));
+        }
+    }
+
+    // ---- text ----
+
+    /// The Aho–Corasick matcher agrees with naive lowercase contains.
+    #[test]
+    fn ac_agrees_with_contains(
+        haystack in "[a-c ]{0,40}",
+        needles in proptest::collection::vec("[a-c]{1,4}", 1..5),
+    ) {
+        let ac = AhoCorasick::new(&needles);
+        let naive = needles.iter().any(|n| haystack.contains(n.as_str()));
+        prop_assert_eq!(ac.is_match(&haystack), naive);
+    }
+
+    /// Literal-only regexes behave exactly like substring search.
+    #[test]
+    fn regex_literal_is_substring_search(
+        haystack in "[a-d]{0,30}",
+        needle in "[a-d]{1,5}",
+    ) {
+        let re = Regex::new(&needle).unwrap();
+        prop_assert_eq!(re.is_match(&haystack), haystack.contains(&needle));
+        if let Some((s, e)) = re.find(&haystack) {
+            prop_assert_eq!(&haystack[s..e], needle.as_str());
+            prop_assert_eq!(s, haystack.find(&needle).unwrap());
+        }
+    }
+
+    /// `a*` style repetitions never panic and match greedily.
+    #[test]
+    fn regex_star_matches_runs(prefix in "[b]{0,5}", run in 0usize..10) {
+        let hay = format!("{}{}", prefix, "a".repeat(run));
+        let re = Regex::new("a*").unwrap();
+        let (s, e) = re.find(&hay).unwrap();
+        // Leftmost match: at 0; greedy within the leading b-run it is empty.
+        prop_assert_eq!(s, 0);
+        if prefix.is_empty() {
+            prop_assert_eq!(e, run);
+        } else {
+            prop_assert_eq!(e, 0);
+        }
+    }
+
+    /// Tokenizer covers every non-whitespace character span.
+    #[test]
+    fn tokenizer_never_panics(text in ".{0,120}") {
+        let toks = tweeql_text::tokenize(&text);
+        for t in &toks {
+            prop_assert!(t.start <= text.len());
+        }
+    }
+
+    // ---- geo ----
+
+    /// Haversine distance is a semi-metric: symmetric, non-negative,
+    /// zero iff identical points.
+    #[test]
+    fn haversine_semi_metric(
+        lat1 in -89.0f64..89.0, lon1 in -179.0f64..179.0,
+        lat2 in -89.0f64..89.0, lon2 in -179.0f64..179.0,
+    ) {
+        let a = GeoPoint::new(lat1, lon1);
+        let b = GeoPoint::new(lat2, lon2);
+        let d_ab = a.haversine_km(&b);
+        let d_ba = b.haversine_km(&a);
+        prop_assert!((d_ab - d_ba).abs() < 1e-6);
+        prop_assert!(d_ab >= 0.0);
+        prop_assert!(d_ab <= 20_037.6); // half Earth circumference + slack
+        prop_assert!(a.haversine_km(&a) < 1e-9);
+    }
+
+    /// Bounding boxes contain their own centers.
+    #[test]
+    fn bbox_contains_center(
+        s in -80.0f64..80.0, w in -170.0f64..170.0,
+        dh in 0.1f64..10.0, dw in 0.1f64..10.0,
+    ) {
+        let b = BoundingBox::new(s, w, s + dh, w + dw);
+        prop_assert!(b.contains(&b.center()));
+    }
+
+    /// LRU cache never exceeds capacity and always returns what was
+    /// just inserted.
+    #[test]
+    fn lru_capacity_and_freshness(
+        ops in proptest::collection::vec((0u8..40, 0u32..1000), 1..200),
+        cap in 1usize..16,
+    ) {
+        let mut cache: LruCache<u8, u32> = LruCache::new(cap);
+        for (k, v) in ops {
+            cache.put(k, v);
+            prop_assert!(cache.len() <= cap);
+            prop_assert_eq!(cache.peek(&k), Some(&v));
+        }
+    }
+
+    // ---- firehose determinism ----
+
+    /// Same seed ⇒ identical stream; different seed ⇒ different stream.
+    #[test]
+    fn generator_determinism(seed in 0u64..500) {
+        use tweeql_firehose::scenario::{Scenario, Topic};
+        let s = Scenario {
+            name: "prop".into(),
+            duration: Duration::from_mins(2),
+            background_rate_per_min: 20.0,
+            topics: vec![Topic::new("t", vec!["kw"], 10.0)],
+            bursts: vec![],
+            geotag_rate: 0.1,
+            population_size: 50,
+        };
+        let a = tweeql_firehose::generate(&s, seed);
+        let b = tweeql_firehose::generate(&s, seed);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(&x.text, &y.text);
+            prop_assert_eq!(x.created_at, y.created_at);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// TweeQL parse → plan never panics on arbitrary garbage input
+    /// (errors are fine; panics are not).
+    #[test]
+    fn parser_total_on_garbage(input in ".{0,80}") {
+        let _ = tweeql::parser::parse(&input);
+    }
+
+    /// Windowed COUNT(*) conservation: the sum over emitted windows
+    /// equals the number of matching tweets, for any window size.
+    #[test]
+    fn windowed_count_conserves_tweets(window_mins in 1i64..7) {
+        use tweeql::engine::{Engine, EngineConfig};
+        use tweeql_firehose::scenario::{Scenario, Topic};
+        use tweeql_firehose::StreamingApi;
+        use tweeql_model::VirtualClock;
+
+        let s = Scenario {
+            name: "prop".into(),
+            duration: Duration::from_mins(10),
+            background_rate_per_min: 15.0,
+            topics: vec![Topic::new("kw", vec!["kw"], 15.0)],
+            bursts: vec![],
+            geotag_rate: 0.0,
+            population_size: 50,
+        };
+        let tweets = tweeql_firehose::generate(&s, 9);
+        let expected = tweets.iter().filter(|t| t.contains("kw")).count() as i64;
+        let clock = VirtualClock::new();
+        let api = StreamingApi::new(tweets, clock.clone());
+        let mut engine = Engine::new(EngineConfig::default(), api, clock);
+        let r = engine
+            .execute(&format!(
+                "SELECT count(*) FROM twitter WHERE text contains 'kw' WINDOW {window_mins} minutes"
+            ))
+            .unwrap();
+        let total: i64 = r
+            .rows
+            .iter()
+            .map(|row| row.value(0).as_int().unwrap())
+            .sum();
+        prop_assert_eq!(total, expected);
+    }
+}
