@@ -84,7 +84,7 @@ fn bench_e6_engine(c: &mut Criterion) {
     g.sample_size(10);
     let tweets = e6_engine::firehose(3);
     for (label, sql) in e6_engine::QUERIES {
-        g.bench_function(*label, |b| {
+        g.bench_function(label, |b| {
             b.iter_batched(
                 || tweets.clone(),
                 |tw| black_box(e6_engine::run_query(tw, sql)),

@@ -54,8 +54,16 @@ fn bench_regex(c: &mut Criterion) {
 fn bench_aho_corasick(c: &mut Criterion) {
     let mut g = c.benchmark_group("aho_corasick");
     let keywords: Vec<String> = [
-        "soccer", "football", "manchester", "liverpool", "obama", "earthquake", "tsunami",
-        "goal", "tevez", "sendai",
+        "soccer",
+        "football",
+        "manchester",
+        "liverpool",
+        "obama",
+        "earthquake",
+        "tsunami",
+        "goal",
+        "tevez",
+        "sendai",
     ]
     .iter()
     .map(|s| s.to_string())

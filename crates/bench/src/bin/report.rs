@@ -63,7 +63,15 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["scenario", "τ", "peaks", "precision", "recall", "F1", "apex delay (bins)"],
+            &[
+                "scenario",
+                "τ",
+                "peaks",
+                "precision",
+                "recall",
+                "F1",
+                "apex delay (bins)"
+            ],
             &rows,
         )
     );
@@ -75,7 +83,11 @@ fn main() {
         .map(|r| {
             vec![
                 r.scenario.to_string(),
-                if r.tau < 0.0 { "gates off".into() } else { "gates on".into() },
+                if r.tau < 0.0 {
+                    "gates off".into()
+                } else {
+                    "gates on".into()
+                },
                 r.detected.to_string(),
                 format!("{:.2}", r.score.precision()),
                 format!("{:.2}", r.score.recall()),
@@ -84,7 +96,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        markdown_table(&["scenario", "noise gates", "peaks", "precision", "recall"], &rows)
+        markdown_table(
+            &["scenario", "noise gates", "peaks", "precision", "recall"],
+            &rows
+        )
     );
 
     // ---- E3 ----
@@ -145,7 +160,12 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["strategy", "total emissions", "Tokyo bucket (dense)", "Cape Town bucket (sparse)"],
+            &[
+                "strategy",
+                "total emissions",
+                "Tokyo bucket (dense)",
+                "Cape Town bucket (sparse)"
+            ],
             &rows,
         )
     );
@@ -199,7 +219,13 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["query", "tweets scanned", "rows out", "wall time", "tweets/sec"],
+            &[
+                "query",
+                "tweets scanned",
+                "rows out",
+                "wall time",
+                "tweets/sec"
+            ],
             &rows,
         )
     );
@@ -224,7 +250,14 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["classifier", "evaluated", "accuracy", "pos recall", "neg recall", "pos precision"],
+            &[
+                "classifier",
+                "evaluated",
+                "accuracy",
+                "pos recall",
+                "neg recall",
+                "pos precision"
+            ],
             &rows,
         )
     );

@@ -6,9 +6,9 @@
 //! the Popular Links panel is dominated by the scripted goal URLs, and
 //! the sentiment pie leans positive (a 3-0 home win).
 
+use tweeql_firehose::{generate, scenarios};
 use twitinfo::event::EventSpec;
 use twitinfo::store::{analyze, AnalysisConfig, EventAnalysis};
-use tweeql_firehose::{generate, scenarios};
 
 /// The measurable outcomes of the Figure-1 reproduction.
 #[derive(Debug, Clone)]
@@ -37,7 +37,13 @@ pub fn run(seed: u64) -> E1Result {
     let tweets = generate(&scenario, seed);
     let spec = EventSpec::new(
         "Soccer: Manchester City vs. Liverpool",
-        &["soccer", "football", "premierleague", "manchester", "liverpool"],
+        &[
+            "soccer",
+            "football",
+            "premierleague",
+            "manchester",
+            "liverpool",
+        ],
     );
     let config = AnalysisConfig::default();
     let analysis = analyze(&spec, &tweets, &config);

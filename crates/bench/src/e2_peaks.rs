@@ -3,11 +3,11 @@
 //! of all three canned scenarios, with a τ (threshold) sweep as the
 //! ablation for the design choice.
 
+use tweeql_firehose::{generate, scenarios, Scenario};
+use tweeql_model::Duration;
 use twitinfo::event::EventSpec;
 use twitinfo::peaks::{score_against_truth, PeakDetector, PeakDetectorConfig, PeakScore};
 use twitinfo::timeline::Timeline;
-use tweeql_firehose::{generate, scenarios, Scenario};
-use tweeql_model::Duration;
 
 /// One (scenario, τ) measurement.
 #[derive(Debug, Clone)]
@@ -26,7 +26,13 @@ fn spec_for(slug: &str) -> EventSpec {
     match slug {
         "soccer" => EventSpec::new(
             "soccer",
-            &["soccer", "football", "premierleague", "manchester", "liverpool"],
+            &[
+                "soccer",
+                "football",
+                "premierleague",
+                "manchester",
+                "liverpool",
+            ],
         ),
         "earthquakes" => EventSpec::new("quake", &["earthquake", "quake", "tsunami", "sendai"]),
         _ => EventSpec::new("obama", &["obama"]),
@@ -34,7 +40,11 @@ fn spec_for(slug: &str) -> EventSpec {
 }
 
 /// Timeline of event-matched tweets for a scenario.
-pub fn event_timeline(scenario: &Scenario, slug: &str, seed: u64) -> (Timeline, Vec<(usize, usize)>) {
+pub fn event_timeline(
+    scenario: &Scenario,
+    slug: &str,
+    seed: u64,
+) -> (Timeline, Vec<(usize, usize)>) {
     let tweets = generate(scenario, seed);
     let spec = spec_for(slug);
     let matcher = spec.matcher();
@@ -89,10 +99,7 @@ pub fn run_noise_gate_ablation(seed: u64) -> Vec<E2Row> {
     for (slug, scenario) in scenarios::all() {
         let (timeline, truth) = event_timeline(&scenario, slug, seed);
         for (label_tau, config) in [
-            (
-                2.0,
-                PeakDetectorConfig::default(),
-            ),
+            (2.0, PeakDetectorConfig::default()),
             (
                 // "paper-literal": trigger + EWMA only, gates disabled.
                 -2.0,
@@ -146,9 +153,11 @@ mod tests {
         let rows = run_noise_gate_ablation(42);
         for pair in rows.chunks(2) {
             let (gated, ungated) = (&pair[0], &pair[1]);
-            assert!(gated.score.recall() >= ungated.score.recall() - 1e-9
-                || gated.score.recall() >= 0.8,
-                "{gated:?} vs {ungated:?}");
+            assert!(
+                gated.score.recall() >= ungated.score.recall() - 1e-9
+                    || gated.score.recall() >= 0.8,
+                "{gated:?} vs {ungated:?}"
+            );
             assert!(
                 gated.score.precision() >= ungated.score.precision(),
                 "{gated:?} vs {ungated:?}"

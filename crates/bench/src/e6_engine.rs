@@ -44,10 +44,7 @@ pub fn firehose(seed: u64) -> Vec<Tweet> {
 
 /// The four benchmark queries.
 pub const QUERIES: &[(&str, &str)] = &[
-    (
-        "scan+project",
-        "SELECT text FROM twitter",
-    ),
+    ("scan+project", "SELECT text FROM twitter"),
     (
         "paper Q1 (sentiment+geocode)",
         "SELECT sentiment(text), latitude(loc), longitude(loc) \

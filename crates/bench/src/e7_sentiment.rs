@@ -3,8 +3,8 @@
 //! evaluated on held-out tweets with generator ground truth. Per-class
 //! recall feeds TwitInfo's pie normalization (E1).
 
-use tweeql_firehose::scenario::{Scenario, Topic};
 use tweeql_firehose::generate;
+use tweeql_firehose::scenario::{Scenario, Topic};
 use tweeql_model::{Duration, TruthPolarity, Tweet};
 use tweeql_text::sentiment::{
     LexiconClassifier, NaiveBayesClassifier, Polarity, SentimentClassifier,

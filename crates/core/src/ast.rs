@@ -1,7 +1,54 @@
 //! The TweeQL abstract syntax tree.
+//!
+//! Every expression carries a [`Span`] — the byte range it occupies in
+//! the original query text — so the semantic analyzer
+//! ([`crate::check`]) and error rendering can point at the exact
+//! offending fragment with a caret snippet. Spans are *metadata*:
+//! [`Expr`] equality and hashing deliberately ignore them, so planner
+//! rewrites that compare subtrees structurally (and tests that build
+//! expressions by hand with dummy spans) keep working.
 
 use tweeql_geo::BoundingBox;
 use tweeql_model::{Duration, Value};
+
+/// A half-open byte range `[start, end)` into the query source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// First byte of the spanned fragment.
+    pub start: usize,
+    /// One past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// The zero span used by programmatically-built expressions (tests,
+    /// planner rewrites) that have no source text.
+    pub const DUMMY: Span = Span { start: 0, end: 0 };
+
+    /// Build a span from byte offsets.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        if self.is_dummy() {
+            return other;
+        }
+        if other.is_dummy() {
+            return self;
+        }
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// True for the zero placeholder span.
+    pub fn is_dummy(&self) -> bool {
+        self.start == 0 && self.end == 0
+    }
+}
 
 /// Binary operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,9 +81,62 @@ pub enum BinOp {
     Mod,
 }
 
-/// An expression.
+impl BinOp {
+    /// Display form of the operator.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+            BinOp::Eq => "=",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+        }
+    }
+
+    /// True for comparison operators (`=`, `!=`, `<`, `<=`, `>`, `>=`).
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// True for arithmetic operators.
+    pub fn is_arithmetic(&self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod
+        )
+    }
+}
+
+/// An expression: a [`kind`](ExprKind) plus the source [`Span`] it came
+/// from. Equality compares kinds only (spans are diagnostics metadata).
+#[derive(Debug, Clone)]
+pub struct Expr {
+    /// What the expression is.
+    pub kind: ExprKind,
+    /// Where it sits in the query text (dummy when built in code).
+    pub span: Span,
+}
+
+impl PartialEq for Expr {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind
+    }
+}
+
+/// Expression shapes.
 #[derive(Debug, Clone, PartialEq)]
-pub enum Expr {
+pub enum ExprKind {
     /// Column reference (optionally qualified: `stream.column`).
     Column {
         /// Qualifier (`twitter` in `twitter.text`), if any.
@@ -105,24 +205,136 @@ pub enum Expr {
 }
 
 impl Expr {
+    /// Wrap a kind with an explicit span.
+    pub fn new(kind: ExprKind, span: Span) -> Expr {
+        Expr { kind, span }
+    }
+
+    /// Wrap a kind with the dummy span (programmatic construction).
+    pub fn dummy(kind: ExprKind) -> Expr {
+        Expr {
+            kind,
+            span: Span::DUMMY,
+        }
+    }
+
+    /// Replace the span, keeping the kind.
+    pub fn with_span(mut self, span: Span) -> Expr {
+        self.span = span;
+        self
+    }
+
     /// Convenience: unqualified column.
     pub fn col(name: &str) -> Expr {
-        Expr::Column {
+        Expr::dummy(ExprKind::Column {
             qualifier: None,
             name: name.to_lowercase(),
-        }
+        })
+    }
+
+    /// Convenience: qualified column.
+    pub fn qcol(qualifier: &str, name: &str) -> Expr {
+        Expr::dummy(ExprKind::Column {
+            qualifier: Some(qualifier.to_lowercase()),
+            name: name.to_lowercase(),
+        })
     }
 
     /// Convenience: literal.
     pub fn lit(v: impl Into<Value>) -> Expr {
-        Expr::Literal(v.into())
+        Expr::dummy(ExprKind::Literal(v.into()))
+    }
+
+    /// Convenience: function call.
+    pub fn call(name: &str, args: Vec<Expr>) -> Expr {
+        Expr::dummy(ExprKind::Call {
+            name: name.to_lowercase(),
+            args,
+        })
+    }
+
+    /// Convenience: binary operation spanning both operands.
+    pub fn binary(op: BinOp, left: Expr, right: Expr) -> Expr {
+        let span = left.span.to(right.span);
+        Expr::new(
+            ExprKind::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            },
+            span,
+        )
+    }
+
+    /// Convenience: logical NOT (inherits the operand's span).
+    // Associated constructor, not an operator on self — the name is
+    // deliberate and call sites read `Expr::not(x)`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(e: Expr) -> Expr {
+        let span = e.span;
+        Expr::new(ExprKind::Not(Box::new(e)), span)
+    }
+
+    /// Convenience: numeric negation (inherits the operand's span).
+    #[allow(clippy::should_implement_trait)]
+    pub fn neg(e: Expr) -> Expr {
+        let span = e.span;
+        Expr::new(ExprKind::Neg(Box::new(e)), span)
+    }
+
+    /// Convenience: `contains`.
+    pub fn contains(expr: Expr, pattern: Expr) -> Expr {
+        let span = expr.span.to(pattern.span);
+        Expr::new(
+            ExprKind::Contains {
+                expr: Box::new(expr),
+                pattern: Box::new(pattern),
+            },
+            span,
+        )
+    }
+
+    /// Convenience: `matches`.
+    pub fn matches(expr: Expr, pattern: impl Into<String>) -> Expr {
+        let span = expr.span;
+        Expr::new(
+            ExprKind::Matches {
+                expr: Box::new(expr),
+                pattern: pattern.into(),
+            },
+            span,
+        )
+    }
+
+    /// Convenience: `IN (list)`.
+    pub fn in_list(expr: Expr, list: Vec<Value>) -> Expr {
+        let span = expr.span;
+        Expr::new(
+            ExprKind::InList {
+                expr: Box::new(expr),
+                list,
+            },
+            span,
+        )
+    }
+
+    /// Convenience: `IS [NOT] NULL`.
+    pub fn is_null(expr: Expr, negated: bool) -> Expr {
+        let span = expr.span;
+        Expr::new(
+            ExprKind::IsNull {
+                expr: Box::new(expr),
+                negated,
+            },
+            span,
+        )
     }
 
     /// Flatten a conjunction into its conjuncts (a single non-AND
     /// expression yields itself).
     pub fn conjuncts(&self) -> Vec<&Expr> {
-        match self {
-            Expr::Binary {
+        match &self.kind {
+            ExprKind::Binary {
                 op: BinOp::And,
                 left,
                 right,
@@ -131,42 +343,40 @@ impl Expr {
                 v.extend(right.conjuncts());
                 v
             }
-            other => vec![other],
+            _ => vec![self],
         }
     }
 
     /// Rebuild a conjunction from conjuncts. Empty input yields TRUE.
     pub fn and_all(mut exprs: Vec<Expr>) -> Expr {
         match exprs.len() {
-            0 => Expr::Literal(Value::Bool(true)),
+            0 => Expr::lit(true),
             1 => exprs.pop().unwrap(),
             _ => {
                 let mut it = exprs.into_iter();
                 let first = it.next().unwrap();
-                it.fold(first, |acc, e| Expr::Binary {
-                    op: BinOp::And,
-                    left: Box::new(acc),
-                    right: Box::new(e),
-                })
+                it.fold(first, |acc, e| Expr::binary(BinOp::And, acc, e))
             }
         }
     }
 
     /// Does this expression (transitively) call any function?
     pub fn calls_function(&self, name: &str) -> bool {
-        match self {
-            Expr::Call { name: n, args } => {
+        match &self.kind {
+            ExprKind::Call { name: n, args } => {
                 n == name || args.iter().any(|a| a.calls_function(name))
             }
-            Expr::Binary { left, right, .. } => {
+            ExprKind::Binary { left, right, .. } => {
                 left.calls_function(name) || right.calls_function(name)
             }
-            Expr::Not(e) | Expr::Neg(e) => e.calls_function(name),
-            Expr::Contains { expr, pattern } => {
+            ExprKind::Not(e) | ExprKind::Neg(e) => e.calls_function(name),
+            ExprKind::Contains { expr, pattern } => {
                 expr.calls_function(name) || pattern.calls_function(name)
             }
-            Expr::Matches { expr, .. } => expr.calls_function(name),
-            Expr::InList { expr, .. } | Expr::IsNull { expr, .. } => expr.calls_function(name),
+            ExprKind::Matches { expr, .. } => expr.calls_function(name),
+            ExprKind::InList { expr, .. } | ExprKind::IsNull { expr, .. } => {
+                expr.calls_function(name)
+            }
             _ => false,
         }
     }
@@ -179,29 +389,56 @@ impl Expr {
     }
 
     fn collect_columns(&self, out: &mut Vec<String>) {
-        match self {
-            Expr::Column { name, .. } => {
+        match &self.kind {
+            ExprKind::Column { name, .. } => {
                 if !out.contains(name) {
                     out.push(name.clone());
                 }
             }
-            Expr::Call { args, .. } => {
+            ExprKind::Call { args, .. } => {
                 for a in args {
                     a.collect_columns(out);
                 }
             }
-            Expr::Binary { left, right, .. } => {
+            ExprKind::Binary { left, right, .. } => {
                 left.collect_columns(out);
                 right.collect_columns(out);
             }
-            Expr::Not(e) | Expr::Neg(e) => e.collect_columns(out),
-            Expr::Contains { expr, pattern } => {
+            ExprKind::Not(e) | ExprKind::Neg(e) => e.collect_columns(out),
+            ExprKind::Contains { expr, pattern } => {
                 expr.collect_columns(out);
                 pattern.collect_columns(out);
             }
-            Expr::Matches { expr, .. } => expr.collect_columns(out),
-            Expr::InList { expr, .. } | Expr::IsNull { expr, .. } => expr.collect_columns(out),
-            Expr::Literal(_) | Expr::InBoundingBox { .. } => {}
+            ExprKind::Matches { expr, .. } => expr.collect_columns(out),
+            ExprKind::InList { expr, .. } | ExprKind::IsNull { expr, .. } => {
+                expr.collect_columns(out)
+            }
+            ExprKind::Literal(_) | ExprKind::InBoundingBox { .. } => {}
+        }
+    }
+
+    /// Visit every node in the expression tree, parents before children.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match &self.kind {
+            ExprKind::Call { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            ExprKind::Binary { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+            ExprKind::Not(e) | ExprKind::Neg(e) => e.walk(f),
+            ExprKind::Contains { expr, pattern } => {
+                expr.walk(f);
+                pattern.walk(f);
+            }
+            ExprKind::Matches { expr, .. }
+            | ExprKind::InList { expr, .. }
+            | ExprKind::IsNull { expr, .. } => expr.walk(f),
+            ExprKind::Column { .. } | ExprKind::Literal(_) | ExprKind::InBoundingBox { .. } => {}
         }
     }
 }
@@ -316,16 +553,23 @@ pub struct SelectStmt {
     pub select: Vec<SelectItem>,
     /// Source stream name.
     pub from: String,
+    /// Span of the FROM stream name (dummy when built in code).
+    pub from_span: Span,
     /// Optional join.
     pub join: Option<JoinClause>,
     /// WHERE predicate.
     pub where_clause: Option<Expr>,
     /// GROUP BY column/alias names.
     pub group_by: Vec<String>,
+    /// Spans of the GROUP BY names (parallel to `group_by`; empty when
+    /// built in code).
+    pub group_by_spans: Vec<Span>,
     /// HAVING predicate over aggregate outputs.
     pub having: Option<Expr>,
     /// WINDOW clause.
     pub window: Option<WindowSpec>,
+    /// Span of the WINDOW clause (dummy when absent or built in code).
+    pub window_span: Span,
     /// LIMIT n.
     pub limit: Option<u64>,
 }
@@ -343,25 +587,19 @@ mod tests {
         assert_eq!(cs[2], &Expr::col("c"));
         // Singleton and empty cases.
         assert_eq!(Expr::and_all(vec![Expr::col("x")]), Expr::col("x"));
-        assert_eq!(
-            Expr::and_all(vec![]),
-            Expr::Literal(Value::Bool(true))
-        );
+        assert_eq!(Expr::and_all(vec![]), Expr::lit(true));
     }
 
     #[test]
     fn calls_function_walks_tree() {
-        let e = Expr::Binary {
-            op: BinOp::Add,
-            left: Box::new(Expr::Call {
-                name: "floor".into(),
-                args: vec![Expr::Call {
-                    name: "latitude".into(),
-                    args: vec![Expr::col("loc")],
-                }],
-            }),
-            right: Box::new(Expr::lit(1i64)),
-        };
+        let e = Expr::binary(
+            BinOp::Add,
+            Expr::call(
+                "floor",
+                vec![Expr::call("latitude", vec![Expr::col("loc")])],
+            ),
+            Expr::lit(1i64),
+        );
         assert!(e.calls_function("latitude"));
         assert!(e.calls_function("floor"));
         assert!(!e.calls_function("sentiment"));
@@ -369,18 +607,11 @@ mod tests {
 
     #[test]
     fn referenced_columns_deduplicated_in_order() {
-        let e = Expr::Binary {
-            op: BinOp::And,
-            left: Box::new(Expr::Contains {
-                expr: Box::new(Expr::col("text")),
-                pattern: Box::new(Expr::lit("obama")),
-            }),
-            right: Box::new(Expr::Binary {
-                op: BinOp::Gt,
-                left: Box::new(Expr::col("followers")),
-                right: Box::new(Expr::col("text")),
-            }),
-        };
+        let e = Expr::binary(
+            BinOp::And,
+            Expr::contains(Expr::col("text"), Expr::lit("obama")),
+            Expr::binary(BinOp::Gt, Expr::col("followers"), Expr::col("text")),
+        );
         assert_eq!(e.referenced_columns(), vec!["text", "followers"]);
     }
 
@@ -389,5 +620,34 @@ mod tests {
         assert_eq!(AggFunc::from_name("avg"), Some(AggFunc::Avg));
         assert_eq!(AggFunc::from_name("nope"), None);
         assert_eq!(AggFunc::CountDistinct.name(), "count_distinct");
+    }
+
+    #[test]
+    fn spans_are_ignored_by_equality() {
+        let a = Expr::col("x");
+        let b = Expr::col("x").with_span(Span::new(3, 4));
+        assert_eq!(a, b);
+        assert_ne!(a.span, b.span);
+    }
+
+    #[test]
+    fn span_join_covers_both() {
+        let s = Span::new(2, 5).to(Span::new(9, 12));
+        assert_eq!(s, Span::new(2, 12));
+        // Dummy spans do not drag ranges to zero.
+        assert_eq!(Span::DUMMY.to(Span::new(4, 6)), Span::new(4, 6));
+        assert_eq!(Span::new(4, 6).to(Span::DUMMY), Span::new(4, 6));
+    }
+
+    #[test]
+    fn walk_visits_every_node() {
+        let e = Expr::binary(
+            BinOp::And,
+            Expr::contains(Expr::col("text"), Expr::lit("x")),
+            Expr::not(Expr::col("flag")),
+        );
+        let mut n = 0;
+        e.walk(&mut |_| n += 1);
+        assert_eq!(n, 6);
     }
 }

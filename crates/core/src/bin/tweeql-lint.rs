@@ -1,0 +1,193 @@
+//! `tweeql-lint` — check `.tweeql` files from the command line.
+//!
+//! Runs the static analyzer (`tweeql::check`) over every `;`-separated
+//! statement in each file, printing rustc-style diagnostics with
+//! file-accurate line/column positions. Exits nonzero when any file
+//! fails to parse or contains an error-level diagnostic, so it can
+//! gate CI.
+//!
+//! ```text
+//! tweeql-lint examples/earthquakes.tweeql examples/sentiment.tweeql
+//! ```
+
+use std::process::ExitCode;
+use tweeql::catalog::Catalog;
+use tweeql::check;
+use tweeql::error::QueryError;
+use tweeql::udf::{Registry, ServiceConfig};
+use tweeql_model::VirtualClock;
+
+fn main() -> ExitCode {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: tweeql-lint <file.tweeql>...");
+        return ExitCode::from(2);
+    }
+
+    let catalog = Catalog::with_twitter();
+    let registry = Registry::standard(&ServiceConfig::default(), VirtualClock::new());
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for path in &files {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                errors += 1;
+                continue;
+            }
+        };
+        for (offset, stmt) in statements(&src) {
+            match check::check_sql(stmt, &catalog, &registry) {
+                Ok(diags) => {
+                    for d in diags {
+                        if d.is_error() {
+                            errors += 1;
+                        } else {
+                            warnings += 1;
+                        }
+                        print_diag(path, &src, d.offset(offset));
+                    }
+                }
+                Err(QueryError::Parse { message, position }) => {
+                    errors += 1;
+                    let d = check::Diagnostic::error(
+                        "E000",
+                        tweeql::ast::Span::new(position, position + 1),
+                        format!("parse error: {message}"),
+                    );
+                    print_diag(path, &src, d.offset(offset));
+                }
+                Err(other) => {
+                    errors += 1;
+                    eprintln!("{path}: {other}");
+                }
+            }
+        }
+    }
+
+    let n = files.len();
+    eprintln!(
+        "{errors} error{}, {warnings} warning{} in {n} file{}",
+        plural(errors),
+        plural(warnings),
+        plural(n)
+    );
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+fn print_diag(path: &str, src: &str, d: check::Diagnostic) {
+    let (line, col) = check::line_col(src, d.span.start);
+    if d.span.is_dummy() {
+        eprintln!("{path}: {}", d.render(src));
+    } else {
+        eprintln!("{path}:{line}:{col}: {}", d.render(src));
+    }
+}
+
+/// Split `src` into `;`-separated statements, returning each with its
+/// byte offset into the file so diagnostic spans can be shifted back.
+/// The split is quote-aware (`'…''…'` escapes) and skips `--` comments,
+/// which the lexer also understands.
+fn statements(src: &str) -> Vec<(usize, &str)> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut i = 0usize;
+    let mut in_quote = false;
+    let mut in_comment = false;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if in_comment {
+            if b == b'\n' {
+                in_comment = false;
+            }
+        } else if in_quote {
+            if b == b'\'' {
+                // A doubled quote is an escaped quote, not a close.
+                if bytes.get(i + 1) == Some(&b'\'') {
+                    i += 1;
+                } else {
+                    in_quote = false;
+                }
+            }
+        } else if b == b'\'' {
+            in_quote = true;
+        } else if b == b'-' && bytes.get(i + 1) == Some(&b'-') {
+            in_comment = true;
+            i += 1;
+        } else if b == b';' {
+            push_stmt(src, start, i, &mut out);
+            start = i + 1;
+        }
+        i += 1;
+    }
+    push_stmt(src, start, bytes.len(), &mut out);
+    out
+}
+
+fn push_stmt<'a>(src: &'a str, start: usize, end: usize, out: &mut Vec<(usize, &'a str)>) {
+    // Advance past leading blank and comment-only lines so the
+    // statement (and its offset) begin at real query text.
+    let mut s = start;
+    loop {
+        if s >= end {
+            return;
+        }
+        let line_end = src[s..end].find('\n').map(|i| s + i + 1).unwrap_or(end);
+        let line = src[s..line_end].trim();
+        if line.is_empty() || line.starts_with("--") {
+            s = line_end;
+        } else {
+            break;
+        }
+    }
+    let raw = &src[s..end];
+    let lead = raw.len() - raw.trim_start().len();
+    out.push((s + lead, raw.trim_start().trim_end()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::statements;
+
+    #[test]
+    fn splits_on_semicolons_with_offsets() {
+        let src = "SELECT a FROM t;\nSELECT b FROM t;";
+        let s = statements(src);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0], (0, "SELECT a FROM t"));
+        assert_eq!(s[1].1, "SELECT b FROM t");
+        assert_eq!(&src[s[1].0..s[1].0 + 6], "SELECT");
+    }
+
+    #[test]
+    fn semicolons_in_strings_and_comments_do_not_split() {
+        let src = "SELECT 'a;b' FROM t -- trailing; comment\n;SELECT ''';' FROM t";
+        let s = statements(src);
+        assert_eq!(s.len(), 2, "{s:?}");
+        assert!(s[0].1.contains("'a;b'"));
+        assert!(s[1].1.contains("''';'"));
+    }
+
+    #[test]
+    fn comment_only_chunks_are_skipped() {
+        let src = "-- header comment\n\nSELECT a FROM t;\n-- footer\n";
+        let s = statements(src);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].1, "SELECT a FROM t");
+    }
+}

@@ -1,0 +1,209 @@
+//! Diagnostics: stable codes, severities, and rendering.
+//!
+//! Every finding the analyzer produces is a [`Diagnostic`] with a
+//! stable code (`E0xx` = error, `W1xx` = lint), a severity, a message,
+//! and the byte [`Span`] of the offending query fragment. Rendering
+//! converts the span to a line/column position and prints the source
+//! line with a caret underline, rustc-style.
+
+use crate::ast::Span;
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// The query is rejected before planning.
+    Error,
+    /// The query runs, but a streaming hazard or likely mistake exists.
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => f.write_str("error"),
+            Severity::Warning => f.write_str("warning"),
+        }
+    }
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable code (`E001`…`E011`, `W101`…`W107`).
+    pub code: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// What is wrong.
+    pub message: String,
+    /// Byte range of the offending fragment (dummy when the finding has
+    /// no single source location).
+    pub span: Span,
+    /// Optional suggestion.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// An error diagnostic.
+    pub fn error(code: &'static str, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            message: message.into(),
+            span,
+            help: None,
+        }
+    }
+
+    /// A warning (lint) diagnostic.
+    pub fn warning(code: &'static str, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Warning,
+            message: message.into(),
+            span,
+            help: None,
+        }
+    }
+
+    /// Attach a help suggestion.
+    pub fn with_help(mut self, help: impl Into<String>) -> Diagnostic {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// True for error-severity diagnostics.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+
+    /// Render against the query source: header, line/column, the source
+    /// line with a caret underline, and any help text.
+    pub fn render(&self, src: &str) -> String {
+        let mut out = format!("{}[{}]: {}\n", self.severity, self.code, self.message);
+        if !self.span.is_dummy() && self.span.start <= src.len() {
+            let (line, col) = line_col(src, self.span.start);
+            let line_start = src[..self.span.start]
+                .rfind('\n')
+                .map(|i| i + 1)
+                .unwrap_or(0);
+            let line_end = src[self.span.start..]
+                .find('\n')
+                .map(|i| self.span.start + i)
+                .unwrap_or(src.len());
+            let text = &src[line_start..line_end];
+            let gutter = line.to_string();
+            let pad = " ".repeat(gutter.len());
+            let underline_end = self.span.end.clamp(self.span.start, line_end);
+            let width = src[self.span.start..underline_end].chars().count().max(1);
+            out.push_str(&format!("{pad}--> line {line}, column {col}\n"));
+            out.push_str(&format!("{pad} |\n"));
+            out.push_str(&format!("{gutter} | {text}\n"));
+            out.push_str(&format!(
+                "{pad} | {}{}\n",
+                " ".repeat(col - 1),
+                "^".repeat(width)
+            ));
+        }
+        if let Some(h) = &self.help {
+            out.push_str(&format!("  = help: {h}\n"));
+        }
+        out
+    }
+
+    /// Shift the span by `offset` bytes (used when a statement was cut
+    /// out of a larger file and diagnostics should point into the file).
+    pub fn offset(mut self, offset: usize) -> Diagnostic {
+        if !self.span.is_dummy() {
+            self.span = Span::new(self.span.start + offset, self.span.end + offset);
+        }
+        self
+    }
+}
+
+/// 1-based `(line, column)` of a byte offset; columns count characters.
+pub fn line_col(src: &str, byte: usize) -> (usize, usize) {
+    let byte = byte.min(src.len());
+    let mut line = 1;
+    let mut line_start = 0;
+    for (i, ch) in src.char_indices() {
+        if i >= byte {
+            break;
+        }
+        if ch == '\n' {
+            line += 1;
+            line_start = i + ch.len_utf8();
+        }
+    }
+    let col = src[line_start..byte].chars().count() + 1;
+    (line, col)
+}
+
+/// Render every diagnostic against `src`, separated by blank lines.
+pub fn render_all(diags: &[Diagnostic], src: &str) -> String {
+    diags
+        .iter()
+        .map(|d| d.render(src))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_counts_lines_and_chars() {
+        let src = "SELECT text\nFROM twitter";
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, 7), (1, 8));
+        assert_eq!(line_col(src, 12), (2, 1));
+        assert_eq!(line_col(src, 17), (2, 6));
+        // Multi-byte characters count as one column.
+        let uni = "'地震' x";
+        assert_eq!(line_col(uni, uni.find('x').unwrap()), (1, 6));
+    }
+
+    #[test]
+    fn render_underlines_the_span() {
+        let src = "SELECT text FROM twitter WHERE text > 5";
+        let start = src.find("text > 5").unwrap();
+        let d = Diagnostic::error(
+            "E005",
+            Span::new(start, start + 8),
+            "cannot compare STRING with INT",
+        )
+        .with_help("wrap the column in toint()");
+        let r = d.render(src);
+        assert!(r.contains("error[E005]"), "{r}");
+        assert!(r.contains("line 1, column 32"), "{r}");
+        assert!(r.contains("^^^^^^^^"), "{r}");
+        assert!(r.contains("= help:"), "{r}");
+    }
+
+    #[test]
+    fn render_without_span_skips_snippet() {
+        let d = Diagnostic::warning("W107", Span::DUMMY, "no ordering");
+        let r = d.render("SELECT 1");
+        assert!(r.contains("warning[W107]"));
+        assert!(!r.contains("-->"));
+    }
+
+    #[test]
+    fn render_clamps_span_to_its_line() {
+        let src = "SELECT a\nFROM twitter";
+        // Span crossing the newline is underlined only on its own line.
+        let d = Diagnostic::error("E002", Span::new(7, 15), "x");
+        let r = d.render(src);
+        assert!(r.contains("1 | SELECT a\n"), "{r}");
+        assert!(r.contains(&format!(" | {}^\n", " ".repeat(7))), "{r}");
+    }
+
+    #[test]
+    fn offset_shifts_real_spans_only() {
+        let d = Diagnostic::error("E001", Span::new(2, 4), "x").offset(10);
+        assert_eq!(d.span, Span::new(12, 14));
+        let d = Diagnostic::warning("W107", Span::DUMMY, "x").offset(10);
+        assert!(d.span.is_dummy());
+    }
+}

@@ -1,0 +1,169 @@
+//! Typed signatures for the built-in functions and the paper's
+//! web-service UDFs.
+//!
+//! The runtime [`Registry`](crate::udf::Registry) stores callables but
+//! no type information, so the analyzer keeps its own table: declared
+//! parameter types, a return type, and a latency class (the geocoding
+//! and entity-extraction UDFs are remote web services — §2
+//! "High-latency Operators"). Functions registered at runtime but
+//! absent from this table type-check as `ANY` with unchecked arity.
+
+use tweeql_model::DataType;
+
+/// One function signature.
+#[derive(Debug, Clone, Copy)]
+pub struct Sig {
+    /// Function name, lowercased.
+    pub name: &'static str,
+    /// Minimum argument count.
+    pub min_args: usize,
+    /// Maximum argument count (`usize::MAX` = variadic).
+    pub max_args: usize,
+    /// Declared parameter types; the last entry repeats for variadics.
+    pub params: &'static [DataType],
+    /// Declared return type.
+    pub ret: DataType,
+    /// True for web-service UDFs whose calls pay a remote round trip.
+    pub high_latency: bool,
+}
+
+impl Sig {
+    /// Declared type of parameter `i` (the last declared type repeats).
+    pub fn param(&self, i: usize) -> DataType {
+        self.params
+            .get(i)
+            .or_else(|| self.params.last())
+            .copied()
+            .unwrap_or(DataType::Any)
+    }
+
+    /// Human-readable arity, e.g. `1 argument` or `2..3 arguments`.
+    pub fn arity_str(&self) -> String {
+        match (self.min_args, self.max_args) {
+            (n, m) if n == m && n == 1 => "1 argument".to_string(),
+            (n, m) if n == m => format!("{n} arguments"),
+            (n, usize::MAX) => format!("at least {n} arguments"),
+            (n, m) => format!("{n}..{m} arguments"),
+        }
+    }
+}
+
+const fn sig(
+    name: &'static str,
+    min_args: usize,
+    max_args: usize,
+    params: &'static [DataType],
+    ret: DataType,
+) -> Sig {
+    Sig {
+        name,
+        min_args,
+        max_args,
+        params,
+        ret,
+        high_latency: false,
+    }
+}
+
+/// A high-latency (web-service) signature.
+const fn web(
+    name: &'static str,
+    min_args: usize,
+    max_args: usize,
+    params: &'static [DataType],
+    ret: DataType,
+) -> Sig {
+    Sig {
+        name,
+        min_args,
+        max_args,
+        params,
+        ret,
+        high_latency: true,
+    }
+}
+
+use DataType::{Any, Float, Int, List, Str, Time};
+
+/// Every function the analyzer knows the types of.
+pub static SIGS: &[Sig] = &[
+    // numeric
+    sig("floor", 1, 1, &[Float], Float),
+    sig("ceil", 1, 1, &[Float], Float),
+    sig("round", 1, 2, &[Float, Int], Float),
+    sig("abs", 1, 1, &[Float], Float),
+    sig("sqrt", 1, 1, &[Float], Float),
+    // strings
+    sig("lower", 1, 1, &[Str], Str),
+    sig("upper", 1, 1, &[Str], Str),
+    sig("length", 1, 1, &[Any], Int),
+    sig("trim", 1, 1, &[Str], Str),
+    sig("substr", 2, 3, &[Str, Int, Int], Str),
+    sig("concat", 0, usize::MAX, &[Any], Str),
+    sig("replace", 3, 3, &[Str, Str, Str], Str),
+    // control / casts
+    sig("coalesce", 0, usize::MAX, &[Any], Any),
+    sig("if", 3, 3, &[Any, Any, Any], Any),
+    sig("toint", 1, 1, &[Any], Int),
+    sig("tofloat", 1, 1, &[Any], Float),
+    sig("tostring", 1, 1, &[Any], Str),
+    // tweet text helpers
+    sig("hashtags", 1, 1, &[Str], List),
+    sig("urls", 1, 1, &[Str], List),
+    sig("mentions", 1, 1, &[Str], List),
+    sig("first", 1, 1, &[List], Any),
+    sig("regex_extract", 3, 3, &[Str, Str, Int], Str),
+    // geo / time
+    sig("distance_km", 4, 4, &[Float, Float, Float, Float], Float),
+    sig("minute_of", 1, 1, &[Time], Int),
+    sig("second_of", 1, 1, &[Time], Int),
+    sig("hour_of", 1, 1, &[Time], Int),
+    // classifiers and web services (the paper's UDFs)
+    sig("sentiment", 1, 1, &[Str], Float),
+    web("latitude", 1, 1, &[Str], Float),
+    web("longitude", 1, 1, &[Str], Float),
+    web("named_entities", 1, 1, &[Str], List),
+];
+
+/// Look up a signature by (lowercased) name.
+pub fn lookup(name: &str) -> Option<&'static Sig> {
+    SIGS.iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_covers_the_standard_registry() {
+        use crate::udf::{Registry, ServiceConfig};
+        let r = Registry::standard(&ServiceConfig::default(), tweeql_model::VirtualClock::new());
+        for s in SIGS {
+            assert!(r.knows(s.name), "sig {} missing from registry", s.name);
+        }
+    }
+
+    #[test]
+    fn web_services_flagged_high_latency() {
+        assert!(lookup("latitude").unwrap().high_latency);
+        assert!(lookup("named_entities").unwrap().high_latency);
+        assert!(!lookup("sentiment").unwrap().high_latency);
+        assert!(lookup("no_such").is_none());
+    }
+
+    #[test]
+    fn variadic_params_repeat_last_type() {
+        let s = lookup("concat").unwrap();
+        assert_eq!(s.param(0), Any);
+        assert_eq!(s.param(17), Any);
+        let s = lookup("substr").unwrap();
+        assert_eq!(s.param(0), Str);
+        assert_eq!(s.param(2), Int);
+        assert_eq!(s.arity_str(), "2..3 arguments");
+        assert_eq!(lookup("floor").unwrap().arity_str(), "1 argument");
+        assert_eq!(
+            lookup("concat").unwrap().arity_str(),
+            "at least 0 arguments"
+        );
+    }
+}

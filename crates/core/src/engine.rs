@@ -184,9 +184,16 @@ impl Engine {
 
     /// EXPLAIN: the plan text plus pushdown candidates, without running.
     pub fn explain(&self, sql: &str) -> Result<String, QueryError> {
-        let stmt = parse(sql)?;
-        let planned = self.plan_stmt(&stmt)?;
+        let planned = self.checked_plan(sql)?;
         Ok(planned.explain)
+    }
+
+    /// Run static analysis on `sql` without planning or executing.
+    ///
+    /// Returns every diagnostic (errors and lints) in severity-then-
+    /// source order; `Err` only for parse failures.
+    pub fn check(&self, sql: &str) -> Result<Vec<crate::check::Diagnostic>, QueryError> {
+        crate::check::check_sql(sql, &self.catalog, &self.registry)
     }
 
     fn plan_config(&self) -> PlanConfig {
@@ -202,10 +209,25 @@ impl Engine {
         plan(stmt, &self.catalog, &self.registry, &self.plan_config())
     }
 
+    /// Parse, run static analysis (errors abort with the rendered
+    /// diagnostics), then plan. Lint warnings attach to the plan.
+    fn checked_plan(&self, sql: &str) -> Result<PlannedQuery, QueryError> {
+        let stmt = parse(sql)?;
+        let diags = crate::check::check(&stmt, &self.catalog, &self.registry);
+        if diags.iter().any(|d| d.is_error()) {
+            let errors: Vec<_> = diags.into_iter().filter(|d| d.is_error()).collect();
+            return Err(QueryError::Check(crate::check::render_all(&errors, sql)));
+        }
+        let mut planned = self.plan_stmt(&stmt)?;
+        planned.warnings = diags;
+        Ok(planned)
+    }
+
     /// Parse, plan, run to end of stream, and collect all output rows.
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult, QueryError> {
         let mut rows = Vec::new();
-        let (schema, stats) = self.execute_with_sink(sql, &mut |r: &Record| rows.push(r.clone()))?;
+        let (schema, stats) =
+            self.execute_with_sink(sql, &mut |r: &Record| rows.push(r.clone()))?;
         Ok(QueryResult {
             schema,
             rows,
@@ -219,8 +241,7 @@ impl Engine {
         sql: &str,
         sink: &mut dyn FnMut(&Record),
     ) -> Result<(SchemaRef, QueryStats), QueryError> {
-        let stmt = parse(sql)?;
-        let mut planned = self.plan_stmt(&stmt)?;
+        let mut planned = self.checked_plan(sql)?;
         let started_at = {
             use tweeql_model::Clock;
             self.clock.now()
@@ -503,6 +524,47 @@ mod tests {
     }
 
     #[test]
+    fn ill_typed_query_rejected_before_planning() {
+        let mut e = engine();
+        let err = e
+            .execute("SELECT text FROM twitter WHERE text > 5")
+            .unwrap_err();
+        let QueryError::Check(rendered) = &err else {
+            panic!("expected Check error, got {err:?}");
+        };
+        assert!(rendered.contains("E005"), "{rendered}");
+        assert!(rendered.contains("cannot compare"), "{rendered}");
+        // Errors reference the source with a caret snippet.
+        assert!(rendered.contains('^'), "{rendered}");
+        // The stream was never touched.
+        assert_eq!(e.clock().now(), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn lint_warnings_attach_to_planned_query() {
+        let e = engine();
+        let planned = e
+            .checked_plan("SELECT text FROM twitter WHERE followers > 1000 LIMIT 5")
+            .unwrap();
+        assert!(
+            planned.warnings.iter().any(|d| d.code == "W102"),
+            "{:?}",
+            planned.warnings
+        );
+        assert!(planned.warnings.iter().all(|d| !d.is_error()));
+    }
+
+    #[test]
+    fn check_reports_without_running() {
+        let e = engine();
+        let diags = e
+            .check("SELECT text FROM twitter WHERE latitude(loc) > 40.0")
+            .unwrap();
+        assert!(diags.iter().any(|d| d.code == "W103"), "{diags:?}");
+        assert_eq!(e.clock().now(), Timestamp::ZERO);
+    }
+
+    #[test]
     fn render_table_formats() {
         let mut e = engine();
         let r = e
@@ -530,7 +592,8 @@ mod tests {
         let clock = VirtualClock::new();
         let mut sc = scenarios::soccer_match();
         sc.duration = Duration::from_mins(20);
-        sc.bursts.retain(|b| b.end() <= Timestamp::ZERO + sc.duration);
+        sc.bursts
+            .retain(|b| b.end() <= Timestamp::ZERO + sc.duration);
         sc.population_size = 400;
         let api = StreamingApi::new(generate(&sc, 5), Arc::clone(&clock));
         let mut e = Engine::new(EngineConfig::default(), api, clock);

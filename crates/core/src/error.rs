@@ -28,6 +28,9 @@ pub enum QueryError {
         /// Explanation.
         message: String,
     },
+    /// Static analysis rejected the query. Carries the pre-rendered
+    /// diagnostics (codes, line/column positions, caret snippets).
+    Check(String),
     /// Runtime evaluation error.
     Exec(String),
 }
@@ -38,6 +41,23 @@ impl QueryError {
         QueryError::Parse {
             message: message.into(),
             position,
+        }
+    }
+
+    /// Render the error against the query source. Parse errors gain a
+    /// line/column position and a caret-underlined snippet; check
+    /// errors already carry rendered diagnostics; everything else
+    /// falls back to [`Display`](fmt::Display).
+    pub fn render(&self, src: &str) -> String {
+        match self {
+            QueryError::Parse { message, position } => crate::check::Diagnostic::error(
+                "E000",
+                crate::ast::Span::new(*position, position + 1),
+                format!("parse error: {message}"),
+            )
+            .render(src),
+            QueryError::Check(rendered) => rendered.clone(),
+            other => format!("{other}\n"),
         }
     }
 }
@@ -55,6 +75,7 @@ impl fmt::Display for QueryError {
             QueryError::BadArguments { function, message } => {
                 write!(f, "bad arguments to {function}(): {message}")
             }
+            QueryError::Check(m) => write!(f, "{m}"),
             QueryError::Exec(m) => write!(f, "execution error: {m}"),
         }
     }
@@ -84,6 +105,19 @@ mod tests {
         }
         .to_string()
         .contains("floor()"));
+    }
+
+    #[test]
+    fn parse_errors_render_with_line_and_caret() {
+        let src = "SELECT text\nFROM twitter WHRE x";
+        let pos = src.find("WHRE").unwrap();
+        let r = QueryError::parse("expected clause keyword", pos).render(src);
+        assert!(r.contains("line 2"), "{r}");
+        assert!(r.contains("FROM twitter WHRE x"), "{r}");
+        assert!(r.contains('^'), "{r}");
+        // Non-positional errors fall back to Display.
+        let r = QueryError::Plan("boom".into()).render(src);
+        assert!(r.contains("planning error: boom"));
     }
 
     #[test]

@@ -188,7 +188,10 @@ impl AggState {
                 }
             }
             AggState::Min(v) | AggState::Max(v) => v.clone().unwrap_or(Value::Null),
-            AggState::StdDev(t) => t.variance().map(|v| Value::Float(v.sqrt())).unwrap_or(Value::Null),
+            AggState::StdDev(t) => t
+                .variance()
+                .map(|v| Value::Float(v.sqrt()))
+                .unwrap_or(Value::Null),
             AggState::CountDistinct(set) => Value::Int(set.len() as i64),
             AggState::TopK { sketch, k } => Value::List(
                 sketch
@@ -259,25 +262,28 @@ impl AggregateOp {
         for s in &g.states {
             values.push(s.finalize());
         }
-        out.push(Record::new_unchecked(self.schema.clone(), values, g.last_ts));
+        out.push(Record::new_unchecked(
+            self.schema.clone(),
+            values,
+            g.last_ts,
+        ));
     }
 
     fn flush_all(&mut self, out: &mut Vec<Record>) {
         // Deterministic output order: sort keys by display rendering.
         let mut entries: Vec<(Vec<Value>, Group)> = self.groups.drain().collect();
         entries.sort_by_key(|(k, _)| {
-            k.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("\u{1}")
+            k.iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\u{1}")
         });
         for (key, group) in entries {
             self.emit_group(&key, &group, out);
         }
     }
 
-    fn advance_time_windows(
-        &mut self,
-        now: Timestamp,
-        out: &mut Vec<Record>,
-    ) {
+    fn advance_time_windows(&mut self, now: Timestamp, out: &mut Vec<Record>) {
         match self.policy {
             WindowPolicy::Time(_) => {
                 if let Some(end) = self.window_end {
@@ -296,8 +302,7 @@ impl AggregateOp {
                     .collect();
                 for start in due {
                     if let Some(groups) = self.sliding.remove(&start) {
-                        let mut entries: Vec<(Vec<Value>, Group)> =
-                            groups.into_iter().collect();
+                        let mut entries: Vec<(Vec<Value>, Group)> = groups.into_iter().collect();
                         entries.sort_by_key(|(k, _)| {
                             k.iter()
                                 .map(|v| v.to_string())
@@ -406,12 +411,11 @@ impl Operator for AggregateOp {
         }
 
         match &self.policy {
-            WindowPolicy::Count(n)
-                if group.n >= *n => {
-                    if let Some(g) = self.groups.remove(&key) {
-                        self.emit_group(&key, &g, out);
-                    }
+            WindowPolicy::Count(n) if group.n >= *n => {
+                if let Some(g) = self.groups.remove(&key) {
+                    self.emit_group(&key, &g, out);
                 }
+            }
             WindowPolicy::Confidence { epsilon, max_age } => {
                 // Track the target aggregate's sample.
                 if let Some(Some(v)) = arg_values.get(self.confidence_target) {
@@ -451,7 +455,10 @@ impl Operator for AggregateOp {
                 }
             }
             emitted.sort_by_key(|(k, _)| {
-                k.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("\u{1}")
+                k.iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\u{1}")
             });
             for (k, g) in emitted {
                 self.emit_group(&k, &g, out);
@@ -467,7 +474,10 @@ impl Operator for AggregateOp {
             if let Some(groups) = self.sliding.remove(&start) {
                 let mut entries: Vec<(Vec<Value>, Group)> = groups.into_iter().collect();
                 entries.sort_by_key(|(k, _)| {
-                    k.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("\u{1}")
+                    k.iter()
+                        .map(|v| v.to_string())
+                        .collect::<Vec<_>>()
+                        .join("\u{1}")
                 });
                 for (key, group) in entries {
                     self.emit_group(&key, &group, out);
@@ -508,10 +518,8 @@ mod tests {
         let mut reg = Registry::empty();
         crate::expr::functions::register_builtins(&mut reg);
         let mut ctx = EvalCtx::default();
-        let key =
-            compile_into(&parse_expr("k").unwrap(), &in_schema(), &reg, &mut ctx).unwrap();
-        let arg =
-            compile_into(&parse_expr("x").unwrap(), &in_schema(), &reg, &mut ctx).unwrap();
+        let key = compile_into(&parse_expr("k").unwrap(), &in_schema(), &reg, &mut ctx).unwrap();
+        let arg = compile_into(&parse_expr("x").unwrap(), &in_schema(), &reg, &mut ctx).unwrap();
         AggregateOp::new(
             vec![key],
             vec![AggExpr {
@@ -550,10 +558,7 @@ mod tests {
 
     #[test]
     fn time_window_flushes_on_boundary() {
-        let mut op = make_op(
-            WindowPolicy::Time(Duration::from_secs(60)),
-            AggFunc::Count,
-        );
+        let mut op = make_op(WindowPolicy::Time(Duration::from_secs(60)), AggFunc::Count);
         let mut out = Vec::new();
         op.on_record(rec("a", 1.0, 10), &mut out).unwrap();
         op.on_record(rec("a", 1.0, 30), &mut out).unwrap();
@@ -564,7 +569,8 @@ mod tests {
         assert_eq!(out[0].value(1), &Value::Int(2));
         // Watermark closes the second window.
         out.clear();
-        op.on_watermark(Timestamp::from_secs(120), &mut out).unwrap();
+        op.on_watermark(Timestamp::from_secs(120), &mut out)
+            .unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].value(1), &Value::Int(1));
     }
@@ -618,7 +624,8 @@ mod tests {
         op.on_record(rec("capetown", 1.0, 0), &mut out).unwrap();
         op.on_watermark(Timestamp::from_secs(50), &mut out).unwrap();
         assert!(out.is_empty());
-        op.on_watermark(Timestamp::from_secs(100), &mut out).unwrap();
+        op.on_watermark(Timestamp::from_secs(100), &mut out)
+            .unwrap();
         assert_eq!(vals(&out), vec![("capetown".into(), 1.0)]);
     }
 
@@ -693,7 +700,8 @@ mod tests {
     fn empty_stream_emits_nothing() {
         let mut op = make_op(WindowPolicy::Time(Duration::from_secs(60)), AggFunc::Count);
         let mut out = Vec::new();
-        op.on_watermark(Timestamp::from_secs(300), &mut out).unwrap();
+        op.on_watermark(Timestamp::from_secs(300), &mut out)
+            .unwrap();
         op.finish(&mut out).unwrap();
         assert!(out.is_empty());
     }

@@ -71,8 +71,7 @@ impl ConfidenceTracker {
 
     /// Half-width of the 95% CI on the mean (None below 2 observations).
     pub fn ci_half_width(&self) -> Option<f64> {
-        self.variance()
-            .map(|v| Z_95 * (v / self.n as f64).sqrt())
+        self.variance().map(|v| Z_95 * (v / self.n as f64).sqrt())
     }
 
     /// Age of the bucket at `now` (zero when empty).

@@ -249,10 +249,7 @@ mod tests {
         let stats = eddy.stats();
         // The selective predicate (index 1) ends up evaluated on every
         // tuple; the non-selective one is skipped once the order flips.
-        assert!(
-            stats[1].evaluations > stats[0].evaluations,
-            "{stats:?}"
-        );
+        assert!(stats[1].evaluations > stats[0].evaluations, "{stats:?}");
         // Cost must beat the worst case of 2 evals/tuple substantially.
         assert!(
             eddy.total_evaluations() < 2 * 2000 * 3 / 4,

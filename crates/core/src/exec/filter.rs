@@ -73,8 +73,10 @@ mod tests {
     fn passes_and_drops() {
         let (mut f, schema) = setup("x > 5");
         let mut out = Vec::new();
-        f.on_record(rec(&schema, Value::Int(10), "a"), &mut out).unwrap();
-        f.on_record(rec(&schema, Value::Int(3), "b"), &mut out).unwrap();
+        f.on_record(rec(&schema, Value::Int(10), "a"), &mut out)
+            .unwrap();
+        f.on_record(rec(&schema, Value::Int(3), "b"), &mut out)
+            .unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].get("s").unwrap(), &Value::from("a"));
     }
@@ -83,7 +85,8 @@ mod tests {
     fn null_predicate_drops() {
         let (mut f, schema) = setup("x > 5");
         let mut out = Vec::new();
-        f.on_record(rec(&schema, Value::Null, "a"), &mut out).unwrap();
+        f.on_record(rec(&schema, Value::Null, "a"), &mut out)
+            .unwrap();
         assert!(out.is_empty());
     }
 

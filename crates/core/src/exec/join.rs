@@ -216,12 +216,8 @@ mod tests {
     #[test]
     fn null_keys_never_join() {
         let (mut j, l, r) = setup(60);
-        let null_rec = Record::new(
-            l.clone(),
-            vec![Value::Null, Value::Int(1)],
-            Timestamp::ZERO,
-        )
-        .unwrap();
+        let null_rec =
+            Record::new(l.clone(), vec![Value::Null, Value::Int(1)], Timestamp::ZERO).unwrap();
         j.push(Side::Left, null_rec).unwrap();
         let out = j
             .push(

@@ -258,7 +258,10 @@ fn f_first(args: &[Value]) -> Result<Value, QueryError> {
     match &args[0] {
         Value::List(l) => Ok(l.first().cloned().unwrap_or(Value::Null)),
         Value::Null => Ok(Value::Null),
-        other => Err(err("first", format!("expected list, got {}", other.data_type_name()))),
+        other => Err(err(
+            "first",
+            format!("expected list, got {}", other.data_type_name()),
+        )),
     }
 }
 
@@ -344,8 +347,7 @@ impl ScalarUdf for RegexExtractUdf {
                 Some(r) => Arc::clone(r),
                 None => {
                     let r = Arc::new(
-                        Regex::new(&pattern)
-                            .map_err(|e| err("regex_extract", e.to_string()))?,
+                        Regex::new(&pattern).map_err(|e| err("regex_extract", e.to_string()))?,
                     );
                     cache.insert(pattern, Arc::clone(&r));
                     r
@@ -424,7 +426,10 @@ mod tests {
         assert_eq!(call("floor", &[Value::Float(40.7)]), Value::Float(40.0));
         assert_eq!(call("floor", &[Value::Float(-33.9)]), Value::Float(-34.0));
         assert_eq!(call("ceil", &[Value::Float(1.1)]), Value::Float(2.0));
-        assert_eq!(call("round", &[Value::Float(2.567), Value::Int(1)]), Value::Float(2.6));
+        assert_eq!(
+            call("round", &[Value::Float(2.567), Value::Int(1)]),
+            Value::Float(2.6)
+        );
         assert_eq!(call("abs", &[Value::Int(-5)]), Value::Int(5));
         assert_eq!(call("sqrt", &[Value::Int(9)]), Value::Float(3.0));
         assert_eq!(call("sqrt", &[Value::Int(-1)]), Value::Null);
@@ -437,7 +442,10 @@ mod tests {
         assert_eq!(call("length", &[Value::from("héllo")]), Value::Int(5));
         assert_eq!(call("trim", &[Value::from("  x ")]), Value::from("x"));
         assert_eq!(
-            call("substr", &[Value::from("tweeql"), Value::Int(2), Value::Int(3)]),
+            call(
+                "substr",
+                &[Value::from("tweeql"), Value::Int(2), Value::Int(3)]
+            ),
             Value::from("wee")
         );
         assert_eq!(
@@ -465,7 +473,10 @@ mod tests {
         );
         assert_eq!(call("coalesce", &[Value::Null]), Value::Null);
         assert_eq!(
-            call("if", &[Value::Bool(true), Value::from("y"), Value::from("n")]),
+            call(
+                "if",
+                &[Value::Bool(true), Value::from("y"), Value::from("n")]
+            ),
             Value::from("y")
         );
         assert_eq!(
@@ -520,7 +531,15 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert_eq!(
-            call("distance_km", &[Value::Null, Value::Float(0.0), Value::Float(0.0), Value::Float(0.0)]),
+            call(
+                "distance_km",
+                &[
+                    Value::Null,
+                    Value::Float(0.0),
+                    Value::Float(0.0),
+                    Value::Float(0.0)
+                ]
+            ),
             Value::Null
         );
     }
@@ -528,7 +547,10 @@ mod tests {
     #[test]
     fn time_builtins() {
         let t = Value::Time(Timestamp::from_secs(3671));
-        assert_eq!(call("second_of", std::slice::from_ref(&t)), Value::Int(3671));
+        assert_eq!(
+            call("second_of", std::slice::from_ref(&t)),
+            Value::Int(3671)
+        );
         assert_eq!(call("minute_of", std::slice::from_ref(&t)), Value::Int(61));
         assert_eq!(call("hour_of", &[t]), Value::Int(1));
     }

@@ -9,7 +9,7 @@
 
 pub mod functions;
 
-use crate::ast::{BinOp, Expr};
+use crate::ast::{BinOp, Expr, ExprKind};
 use crate::error::QueryError;
 use crate::udf::{Registry, ScalarUdf, StatefulUdf};
 use std::sync::Arc;
@@ -203,9 +203,7 @@ impl CExpr {
                 let v = expr.eval(rec, ctx)?;
                 match v {
                     Value::Null => Ok(Value::Null),
-                    Value::Str(s) => {
-                        Ok(Value::Bool(needle.is_empty() || ac.is_match(&s)))
-                    }
+                    Value::Str(s) => Ok(Value::Bool(needle.is_empty() || ac.is_match(&s))),
                     other => Ok(Value::Bool(
                         other.to_string().to_lowercase().contains(needle.as_str()),
                     )),
@@ -284,15 +282,15 @@ pub fn compile_into(
     registry: &Registry,
     ctx: &mut EvalCtx,
 ) -> Result<CExpr, QueryError> {
-    Ok(match expr {
-        Expr::Column { name, .. } => {
+    Ok(match &expr.kind {
+        ExprKind::Column { name, .. } => {
             let idx = schema
                 .index_of(name)
                 .ok_or_else(|| QueryError::UnknownColumn(name.clone()))?;
             CExpr::Column(idx)
         }
-        Expr::Literal(v) => CExpr::Literal(v.clone()),
-        Expr::Call { name, args } => {
+        ExprKind::Literal(v) => CExpr::Literal(v.clone()),
+        ExprKind::Call { name, args } => {
             let mut cargs = Vec::with_capacity(args.len());
             for a in args {
                 cargs.push(compile_into(a, schema, registry, ctx)?);
@@ -311,17 +309,17 @@ pub fn compile_into(
                 return Err(QueryError::UnknownFunction(name.clone()));
             }
         }
-        Expr::Binary { op, left, right } => CExpr::Binary {
+        ExprKind::Binary { op, left, right } => CExpr::Binary {
             op: *op,
             left: Box::new(compile_into(left, schema, registry, ctx)?),
             right: Box::new(compile_into(right, schema, registry, ctx)?),
         },
-        Expr::Not(e) => CExpr::Not(Box::new(compile_into(e, schema, registry, ctx)?)),
-        Expr::Neg(e) => CExpr::Neg(Box::new(compile_into(e, schema, registry, ctx)?)),
-        Expr::Contains { expr, pattern } => {
+        ExprKind::Not(e) => CExpr::Not(Box::new(compile_into(e, schema, registry, ctx)?)),
+        ExprKind::Neg(e) => CExpr::Neg(Box::new(compile_into(e, schema, registry, ctx)?)),
+        ExprKind::Contains { expr, pattern } => {
             let ce = Box::new(compile_into(expr, schema, registry, ctx)?);
-            match pattern.as_ref() {
-                Expr::Literal(Value::Str(s)) => {
+            match &pattern.kind {
+                ExprKind::Literal(Value::Str(s)) => {
                     let needle = s.to_lowercase();
                     CExpr::ContainsLiteral {
                         expr: ce,
@@ -329,18 +327,17 @@ pub fn compile_into(
                         needle,
                     }
                 }
-                other => CExpr::ContainsDynamic {
+                _ => CExpr::ContainsDynamic {
                     expr: ce,
-                    pattern: Box::new(compile_into(other, schema, registry, ctx)?),
+                    pattern: Box::new(compile_into(pattern, schema, registry, ctx)?),
                 },
             }
         }
-        Expr::Matches { expr, pattern } => CExpr::Matches {
+        ExprKind::Matches { expr, pattern } => CExpr::Matches {
             expr: Box::new(compile_into(expr, schema, registry, ctx)?),
-            regex: Regex::new(pattern)
-                .map_err(|e| QueryError::Plan(format!("bad regex: {e}")))?,
+            regex: Regex::new(pattern).map_err(|e| QueryError::Plan(format!("bad regex: {e}")))?,
         },
-        Expr::InBoundingBox { bbox, .. } => {
+        ExprKind::InBoundingBox { bbox, .. } => {
             let lat_idx = schema
                 .index_of("lat")
                 .ok_or_else(|| QueryError::UnknownColumn("lat".into()))?;
@@ -353,11 +350,11 @@ pub fn compile_into(
                 bbox: *bbox,
             }
         }
-        Expr::InList { expr, list } => CExpr::InList {
+        ExprKind::InList { expr, list } => CExpr::InList {
             expr: Box::new(compile_into(expr, schema, registry, ctx)?),
             list: list.clone(),
         },
-        Expr::IsNull { expr, negated } => CExpr::IsNull {
+        ExprKind::IsNull { expr, negated } => CExpr::IsNull {
             expr: Box::new(compile_into(expr, schema, registry, ctx)?),
             negated: *negated,
         },

@@ -2,8 +2,11 @@
 //!
 //! Tokenizes the SQL-ish surface syntax of the paper's examples,
 //! including the non-standard bits: `contains`, `WINDOW 3 hours`, and
-//! `[bounding box for NYC]`.
+//! `[bounding box for NYC]`. Every token records its byte range so the
+//! parser can attach precise [`crate::ast::Span`]s to expressions for
+//! diagnostics.
 
+use crate::ast::Span;
 use crate::error::QueryError;
 use std::fmt;
 
@@ -96,6 +99,15 @@ pub struct SpannedTok {
     pub tok: Tok,
     /// Byte offset where it starts.
     pub pos: usize,
+    /// Byte offset one past where it ends.
+    pub end: usize,
+}
+
+impl SpannedTok {
+    /// The token's byte range as a [`Span`].
+    pub fn span(&self) -> Span {
+        Span::new(self.pos, self.end)
+    }
 }
 
 /// Lex a query string.
@@ -103,6 +115,16 @@ pub fn lex(input: &str) -> Result<Vec<SpannedTok>, QueryError> {
     let mut out = Vec::new();
     let bytes = input.as_bytes();
     let mut i = 0;
+    // Push a token spanning [start, end).
+    macro_rules! push {
+        ($tok:expr, $start:expr, $end:expr) => {
+            out.push(SpannedTok {
+                tok: $tok,
+                pos: $start,
+                end: $end,
+            })
+        };
+    }
     while i < input.len() {
         let c = input[i..].chars().next().unwrap();
         let start = i;
@@ -140,10 +162,7 @@ pub fn lex(input: &str) -> Result<Vec<SpannedTok>, QueryError> {
                         }
                     }
                 }
-                out.push(SpannedTok {
-                    tok: Tok::Str(s),
-                    pos: start,
-                });
+                push!(Tok::Str(s), start, i);
             }
             c if c.is_ascii_digit() => {
                 let mut end = i;
@@ -177,7 +196,7 @@ pub fn lex(input: &str) -> Result<Vec<SpannedTok>, QueryError> {
                             .map_err(|_| QueryError::parse("integer literal too large", start))?,
                     )
                 };
-                out.push(SpannedTok { tok, pos: start });
+                push!(tok, start, end);
                 i = end;
             }
             c if c.is_alphabetic() || c == '_' => {
@@ -190,87 +209,84 @@ pub fn lex(input: &str) -> Result<Vec<SpannedTok>, QueryError> {
                         break;
                     }
                 }
-                out.push(SpannedTok {
-                    tok: Tok::Ident(input[i..end].to_lowercase()),
-                    pos: start,
-                });
+                push!(Tok::Ident(input[i..end].to_lowercase()), start, end);
                 i = end;
             }
             ',' => {
-                out.push(SpannedTok { tok: Tok::Comma, pos: start });
+                push!(Tok::Comma, start, start + 1);
                 i += 1;
             }
             ';' => {
-                out.push(SpannedTok { tok: Tok::Semi, pos: start });
+                push!(Tok::Semi, start, start + 1);
                 i += 1;
             }
             '(' => {
-                out.push(SpannedTok { tok: Tok::LParen, pos: start });
+                push!(Tok::LParen, start, start + 1);
                 i += 1;
             }
             ')' => {
-                out.push(SpannedTok { tok: Tok::RParen, pos: start });
+                push!(Tok::RParen, start, start + 1);
                 i += 1;
             }
             '[' => {
-                out.push(SpannedTok { tok: Tok::LBracket, pos: start });
+                push!(Tok::LBracket, start, start + 1);
                 i += 1;
             }
             ']' => {
-                out.push(SpannedTok { tok: Tok::RBracket, pos: start });
+                push!(Tok::RBracket, start, start + 1);
                 i += 1;
             }
             '*' => {
-                out.push(SpannedTok { tok: Tok::Star, pos: start });
+                push!(Tok::Star, start, start + 1);
                 i += 1;
             }
             '=' => {
-                out.push(SpannedTok { tok: Tok::Eq, pos: start });
+                push!(Tok::Eq, start, start + 1);
                 i += 1;
             }
             '!' if bytes.get(i + 1) == Some(&b'=') => {
-                out.push(SpannedTok { tok: Tok::Ne, pos: start });
+                push!(Tok::Ne, start, start + 2);
                 i += 2;
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(SpannedTok { tok: Tok::Le, pos: start });
+                    push!(Tok::Le, start, start + 2);
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'>') {
-                    out.push(SpannedTok { tok: Tok::Ne, pos: start });
+                    push!(Tok::Ne, start, start + 2);
                     i += 2;
                 } else {
-                    out.push(SpannedTok { tok: Tok::Lt, pos: start });
+                    push!(Tok::Lt, start, start + 1);
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(SpannedTok { tok: Tok::Ge, pos: start });
+                    push!(Tok::Ge, start, start + 2);
                     i += 2;
                 } else {
-                    out.push(SpannedTok { tok: Tok::Gt, pos: start });
+                    push!(Tok::Gt, start, start + 1);
                     i += 1;
                 }
             }
             '+' => {
-                out.push(SpannedTok { tok: Tok::Plus, pos: start });
+                push!(Tok::Plus, start, start + 1);
                 i += 1;
             }
             '-' => {
-                out.push(SpannedTok { tok: Tok::Minus, pos: start });
+                push!(Tok::Minus, start, start + 1);
                 i += 1;
             }
             '/' => {
-                out.push(SpannedTok { tok: Tok::Slash, pos: start });
+                push!(Tok::Slash, start, start + 1);
                 i += 1;
             }
             '%' => {
-                out.push(SpannedTok { tok: Tok::Percent, pos: start });
+                push!(Tok::Percent, start, start + 1);
                 i += 1;
             }
             '.' => {
-                out.push(SpannedTok { tok: Tok::Dot, pos: start });
+                push!(Tok::Dot, start, start + 1);
                 i += 1;
             }
             other => {
@@ -281,10 +297,7 @@ pub fn lex(input: &str) -> Result<Vec<SpannedTok>, QueryError> {
             }
         }
     }
-    out.push(SpannedTok {
-        tok: Tok::Eof,
-        pos: input.len(),
-    });
+    push!(Tok::Eof, input.len(), input.len());
     Ok(out)
 }
 
@@ -298,7 +311,8 @@ mod tests {
 
     #[test]
     fn paper_query_one_lexes() {
-        let ts = toks("SELECT sentiment(text), latitude(loc) FROM twitter WHERE text contains 'obama';");
+        let ts =
+            toks("SELECT sentiment(text), latitude(loc) FROM twitter WHERE text contains 'obama';");
         assert_eq!(ts[0], Tok::Ident("select".into()));
         assert!(ts.contains(&Tok::Str("obama".into())));
         assert!(ts.contains(&Tok::Semi));
@@ -334,17 +348,18 @@ mod tests {
 
     #[test]
     fn string_escaping() {
-        assert_eq!(
-            toks("'it''s'"),
-            vec![Tok::Str("it's".into()), Tok::Eof]
-        );
+        assert_eq!(toks("'it''s'"), vec![Tok::Str("it's".into()), Tok::Eof]);
     }
 
     #[test]
     fn comments_skipped() {
         assert_eq!(
             toks("select -- comment here\n x"),
-            vec![Tok::Ident("select".into()), Tok::Ident("x".into()), Tok::Eof]
+            vec![
+                Tok::Ident("select".into()),
+                Tok::Ident("x".into()),
+                Tok::Eof
+            ]
         );
     }
 
@@ -353,6 +368,20 @@ mod tests {
         let spanned = lex("SELECT Text").unwrap();
         assert_eq!(spanned[1].tok, Tok::Ident("text".into()));
         assert_eq!(spanned[1].pos, 7);
+        assert_eq!(spanned[1].end, 11);
+    }
+
+    #[test]
+    fn token_spans_cover_exact_byte_ranges() {
+        let src = "text contains 'obama'";
+        let spanned = lex(src).unwrap();
+        // The string literal includes its quotes.
+        let s = &spanned[2];
+        assert_eq!(s.tok, Tok::Str("obama".into()));
+        assert_eq!(&src[s.pos..s.end], "'obama'");
+        // Multi-byte operators span two bytes.
+        let ops = lex("a >= b").unwrap();
+        assert_eq!(ops[1].end - ops[1].pos, 2);
     }
 
     #[test]
@@ -369,7 +398,10 @@ mod tests {
 
     #[test]
     fn minus_vs_comment() {
-        assert_eq!(toks("1 - 2"), vec![Tok::Int(1), Tok::Minus, Tok::Int(2), Tok::Eof]);
+        assert_eq!(
+            toks("1 - 2"),
+            vec![Tok::Int(1), Tok::Minus, Tok::Int(2), Tok::Eof]
+        );
         assert_eq!(toks("1 -- 2"), vec![Tok::Int(1), Tok::Eof]);
     }
 }

@@ -25,6 +25,7 @@
 //! ```
 //!
 //! The pipeline is the classic one: [`lexer`] → [`parser`] → [`ast`] →
+//! [`check`] (type checking, semantic validation, lints) →
 //! [`plan`] (logical plan, filter-pushdown choice, rewrites) → [`exec`]
 //! (push-based streaming operators) driven by [`engine`] over the
 //! [`tweeql_firehose::StreamingApi`].
@@ -42,6 +43,7 @@
 
 pub mod ast;
 pub mod catalog;
+pub mod check;
 pub mod engine;
 pub mod error;
 pub mod exec;

@@ -1,4 +1,9 @@
 //! Recursive-descent parser: token stream → [`SelectStmt`].
+//!
+//! Every expression the parser builds carries the [`Span`] of the source
+//! bytes it was parsed from, so later passes (the [`crate::check`]
+//! analyzer in particular) can render caret-underlined diagnostics
+//! pointing at the exact fragment.
 
 use crate::ast::*;
 use crate::error::QueryError;
@@ -15,7 +20,11 @@ const RESERVED: &[&str] = &[
 /// Parse one TweeQL statement.
 pub fn parse(input: &str) -> Result<SelectStmt, QueryError> {
     let toks = lex(input)?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        last_end: 0,
+    };
     let stmt = p.select_stmt()?;
     p.eat_tok(&Tok::Semi); // optional trailing ;
     p.expect_eof()?;
@@ -25,7 +34,11 @@ pub fn parse(input: &str) -> Result<SelectStmt, QueryError> {
 /// Parse just an expression (used by tests and the REPL's EXPLAIN).
 pub fn parse_expr(input: &str) -> Result<Expr, QueryError> {
     let toks = lex(input)?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        last_end: 0,
+    };
     let e = p.expr()?;
     p.expect_eof()?;
     Ok(e)
@@ -34,6 +47,8 @@ pub fn parse_expr(input: &str) -> Result<Expr, QueryError> {
 struct Parser {
     toks: Vec<SpannedTok>,
     pos: usize,
+    /// End offset of the most recently consumed token.
+    last_end: usize,
 }
 
 impl Parser {
@@ -45,12 +60,22 @@ impl Parser {
         self.toks[self.pos].pos
     }
 
+    fn peek_span(&self) -> Span {
+        self.toks[self.pos].span()
+    }
+
     fn bump(&mut self) -> Tok {
         let t = self.toks[self.pos].tok.clone();
+        self.last_end = self.toks[self.pos].end;
         if self.pos + 1 < self.toks.len() {
             self.pos += 1;
         }
         t
+    }
+
+    /// Span from `start` through the last consumed token.
+    fn span_from(&self, start: usize) -> Span {
+        Span::new(start, self.last_end.max(start))
     }
 
     fn eat_tok(&mut self, t: &Tok) -> bool {
@@ -95,10 +120,15 @@ impl Parser {
     }
 
     fn expect_ident(&mut self) -> Result<String, QueryError> {
+        Ok(self.expect_ident_spanned()?.0)
+    }
+
+    fn expect_ident_spanned(&mut self) -> Result<(String, Span), QueryError> {
+        let span = self.peek_span();
         match self.peek().clone() {
             Tok::Ident(s) => {
                 self.bump();
-                Ok(s)
+                Ok((s, span))
             }
             other => Err(QueryError::parse(
                 format!("expected identifier, found {other}"),
@@ -122,7 +152,7 @@ impl Parser {
         self.expect_kw("select")?;
         let select = self.select_list()?;
         self.expect_kw("from")?;
-        let from = self.expect_ident()?;
+        let (from, from_span) = self.expect_ident_spanned()?;
 
         let join = if self.eat_kw("join") {
             let stream = self.expect_ident()?;
@@ -151,10 +181,13 @@ impl Parser {
         };
 
         let mut group_by = Vec::new();
+        let mut group_by_spans = Vec::new();
         if self.eat_kw("group") {
             self.expect_kw("by")?;
             loop {
-                group_by.push(self.expect_ident()?);
+                let (name, span) = self.expect_ident_spanned()?;
+                group_by.push(name);
+                group_by_spans.push(span);
                 if !self.eat_tok(&Tok::Comma) {
                     break;
                 }
@@ -167,10 +200,16 @@ impl Parser {
             None
         };
 
+        let window_start = self.peek_pos();
         let window = if self.eat_kw("window") {
             Some(self.window_spec()?)
         } else {
             None
+        };
+        let window_span = if window.is_some() {
+            self.span_from(window_start)
+        } else {
+            Span::DUMMY
         };
 
         let limit = if self.eat_kw("limit") {
@@ -190,11 +229,14 @@ impl Parser {
         Ok(SelectStmt {
             select,
             from,
+            from_span,
             join,
             where_clause,
             group_by,
+            group_by_spans,
             having,
             window,
+            window_span,
             limit,
         })
     }
@@ -302,11 +344,7 @@ impl Parser {
         let mut left = self.and_expr()?;
         while self.eat_kw("or") {
             let right = self.and_expr()?;
-            left = Expr::Binary {
-                op: BinOp::Or,
-                left: Box::new(left),
-                right: Box::new(right),
-            };
+            left = Expr::binary(BinOp::Or, left, right);
         }
         Ok(left)
     }
@@ -315,18 +353,17 @@ impl Parser {
         let mut left = self.not_expr()?;
         while self.eat_kw("and") {
             let right = self.not_expr()?;
-            left = Expr::Binary {
-                op: BinOp::And,
-                left: Box::new(left),
-                right: Box::new(right),
-            };
+            left = Expr::binary(BinOp::And, left, right);
         }
         Ok(left)
     }
 
     fn not_expr(&mut self) -> Result<Expr, QueryError> {
+        let start = self.peek_pos();
         if self.eat_kw("not") {
-            Ok(Expr::Not(Box::new(self.not_expr()?)))
+            let inner = self.not_expr()?;
+            let span = Span::new(start, inner.span.end.max(start));
+            Ok(Expr::not(inner).with_span(span))
         } else {
             self.comparison()
         }
@@ -346,27 +383,18 @@ impl Parser {
         if let Some(op) = op {
             self.bump();
             let right = self.additive()?;
-            return Ok(Expr::Binary {
-                op,
-                left: Box::new(left),
-                right: Box::new(right),
-            });
+            return Ok(Expr::binary(op, left, right));
         }
         if self.eat_kw("contains") {
             let pattern = self.additive()?;
-            return Ok(Expr::Contains {
-                expr: Box::new(left),
-                pattern: Box::new(pattern),
-            });
+            return Ok(Expr::contains(left, pattern));
         }
         if self.eat_kw("matches") {
             let pos = self.peek_pos();
             match self.bump() {
                 Tok::Str(pat) => {
-                    return Ok(Expr::Matches {
-                        expr: Box::new(left),
-                        pattern: pat,
-                    })
+                    let span = Span::new(left.span.start, self.last_end);
+                    return Ok(Expr::matches(left, pat).with_span(span));
                 }
                 other => {
                     return Err(QueryError::parse(
@@ -379,10 +407,8 @@ impl Parser {
         if self.eat_kw("is") {
             let negated = self.eat_kw("not");
             self.expect_kw("null")?;
-            return Ok(Expr::IsNull {
-                expr: Box::new(left),
-                negated,
-            });
+            let span = Span::new(left.span.start, self.last_end);
+            return Ok(Expr::is_null(left, negated).with_span(span));
         }
         let negated_in = {
             // `NOT IN` is handled by not_expr for prefix NOT; support the
@@ -398,7 +424,12 @@ impl Parser {
         };
         if self.eat_kw("in") {
             let e = self.in_rhs(left)?;
-            return Ok(if negated_in { Expr::Not(Box::new(e)) } else { e });
+            return Ok(if negated_in {
+                let span = e.span;
+                Expr::not(e).with_span(span)
+            } else {
+                e
+            });
         } else if negated_in {
             return Err(QueryError::parse("expected IN after NOT", self.peek_pos()));
         }
@@ -406,6 +437,7 @@ impl Parser {
     }
 
     fn in_rhs(&mut self, left: Expr) -> Result<Expr, QueryError> {
+        let bracket_start = self.peek_pos();
         if self.eat_tok(&Tok::LBracket) {
             // [bounding box for <name...>]
             self.expect_kw("bounding")?;
@@ -419,13 +451,13 @@ impl Parser {
             let pos = self.peek_pos();
             self.expect_tok(Tok::RBracket)?;
             let name = words.join(" ");
-            let bbox = BoundingBox::named(&name).ok_or_else(|| {
-                QueryError::parse(format!("unknown bounding box {name:?}"), pos)
-            })?;
+            let bbox = BoundingBox::named(&name)
+                .ok_or_else(|| QueryError::parse(format!("unknown bounding box {name:?}"), pos))?;
             // The paper writes `location in [...]`; any left expression
             // is accepted but only the tweet's coordinates are tested.
+            let span = Span::new(left.span.start.min(bracket_start), self.last_end);
             let _ = left;
-            Ok(Expr::InBoundingBox { bbox, name })
+            Ok(Expr::new(ExprKind::InBoundingBox { bbox, name }, span))
         } else {
             self.expect_tok(Tok::LParen)?;
             let mut list = Vec::new();
@@ -461,10 +493,8 @@ impl Parser {
                 }
             }
             self.expect_tok(Tok::RParen)?;
-            Ok(Expr::InList {
-                expr: Box::new(left),
-                list,
-            })
+            let span = Span::new(left.span.start, self.last_end);
+            Ok(Expr::in_list(left, list).with_span(span))
         }
     }
 
@@ -478,11 +508,7 @@ impl Parser {
             };
             self.bump();
             let right = self.multiplicative()?;
-            left = Expr::Binary {
-                op,
-                left: Box::new(left),
-                right: Box::new(right),
-            };
+            left = Expr::binary(op, left, right);
         }
         Ok(left)
     }
@@ -498,18 +524,17 @@ impl Parser {
             };
             self.bump();
             let right = self.unary()?;
-            left = Expr::Binary {
-                op,
-                left: Box::new(left),
-                right: Box::new(right),
-            };
+            left = Expr::binary(op, left, right);
         }
         Ok(left)
     }
 
     fn unary(&mut self) -> Result<Expr, QueryError> {
+        let start = self.peek_pos();
         if self.eat_tok(&Tok::Minus) {
-            Ok(Expr::Neg(Box::new(self.unary()?)))
+            let inner = self.unary()?;
+            let span = Span::new(start, inner.span.end.max(start));
+            Ok(Expr::neg(inner).with_span(span))
         } else {
             self.primary()
         }
@@ -517,18 +542,19 @@ impl Parser {
 
     fn primary(&mut self) -> Result<Expr, QueryError> {
         let pos = self.peek_pos();
+        let tok_span = self.peek_span();
         match self.peek().clone() {
             Tok::Int(i) => {
                 self.bump();
-                Ok(Expr::lit(i))
+                Ok(Expr::lit(i).with_span(tok_span))
             }
             Tok::Float(f) => {
                 self.bump();
-                Ok(Expr::lit(f))
+                Ok(Expr::lit(f).with_span(tok_span))
             }
             Tok::Str(s) => {
                 self.bump();
-                Ok(Expr::Literal(Value::Str(s)))
+                Ok(Expr::lit(s).with_span(tok_span))
             }
             Tok::LParen => {
                 self.bump();
@@ -539,15 +565,15 @@ impl Parser {
             Tok::Ident(name) => {
                 if name == "null" {
                     self.bump();
-                    return Ok(Expr::Literal(Value::Null));
+                    return Ok(Expr::dummy(ExprKind::Literal(Value::Null)).with_span(tok_span));
                 }
                 if name == "true" {
                     self.bump();
-                    return Ok(Expr::lit(true));
+                    return Ok(Expr::lit(true).with_span(tok_span));
                 }
                 if name == "false" {
                     self.bump();
-                    return Ok(Expr::lit(false));
+                    return Ok(Expr::lit(false).with_span(tok_span));
                 }
                 if RESERVED.contains(&name.as_str()) {
                     return Err(QueryError::parse(
@@ -561,18 +587,14 @@ impl Parser {
                     // COUNT(*) / COUNT(DISTINCT expr) special cases.
                     if name == "count" && self.eat_tok(&Tok::Star) {
                         self.expect_tok(Tok::RParen)?;
-                        return Ok(Expr::Call {
-                            name: "count".into(),
-                            args: vec![],
-                        });
+                        return Ok(Expr::call("count", vec![]).with_span(self.span_from(pos)));
                     }
                     if name == "count" && self.eat_kw("distinct") {
                         let arg = self.expr()?;
                         self.expect_tok(Tok::RParen)?;
-                        return Ok(Expr::Call {
-                            name: "count_distinct".into(),
-                            args: vec![arg],
-                        });
+                        return Ok(
+                            Expr::call("count_distinct", vec![arg]).with_span(self.span_from(pos))
+                        );
                     }
                     let mut args = Vec::new();
                     if !self.eat_tok(&Tok::RParen) {
@@ -584,17 +606,23 @@ impl Parser {
                         }
                         self.expect_tok(Tok::RParen)?;
                     }
-                    return Ok(Expr::Call { name, args });
+                    return Ok(Expr::new(
+                        ExprKind::Call { name, args },
+                        self.span_from(pos),
+                    ));
                 }
                 // Qualified column?
                 if self.eat_tok(&Tok::Dot) {
                     let col = self.expect_ident()?;
-                    return Ok(Expr::Column {
-                        qualifier: Some(name),
-                        name: col,
-                    });
+                    return Ok(Expr::new(
+                        ExprKind::Column {
+                            qualifier: Some(name),
+                            name: col,
+                        },
+                        self.span_from(pos),
+                    ));
                 }
-                Ok(Expr::col(&name))
+                Ok(Expr::col(&name).with_span(tok_span))
             }
             other => Err(QueryError::parse(
                 format!("expected expression, found {other}"),
@@ -622,18 +650,12 @@ mod tests {
         match &s.select[0] {
             SelectItem::Expr { expr, alias } => {
                 assert!(alias.is_none());
-                assert_eq!(
-                    expr,
-                    &Expr::Call {
-                        name: "sentiment".into(),
-                        args: vec![Expr::col("text")],
-                    }
-                );
+                assert_eq!(expr, &Expr::call("sentiment", vec![Expr::col("text")]));
             }
             other => panic!("{other:?}"),
         }
-        match s.where_clause.unwrap() {
-            Expr::Contains { expr, pattern } => {
+        match s.where_clause.unwrap().kind {
+            ExprKind::Contains { expr, pattern } => {
                 assert_eq!(*expr, Expr::col("text"));
                 assert_eq!(*pattern, Expr::lit("obama"));
             }
@@ -651,8 +673,8 @@ mod tests {
         let w = s.where_clause.unwrap();
         let conjuncts = w.conjuncts();
         assert_eq!(conjuncts.len(), 2);
-        match conjuncts[1] {
-            Expr::InBoundingBox { name, .. } => assert_eq!(name, "nyc"),
+        match &conjuncts[1].kind {
+            ExprKind::InBoundingBox { name, .. } => assert_eq!(name, "nyc"),
             other => panic!("{other:?}"),
         }
     }
@@ -678,8 +700,8 @@ mod tests {
     fn multi_word_bounding_box() {
         let s = parse("SELECT text FROM twitter WHERE location in [bounding box for new york]")
             .unwrap();
-        match s.where_clause.unwrap() {
-            Expr::InBoundingBox { name, .. } => assert_eq!(name, "new york"),
+        match s.where_clause.unwrap().kind {
+            ExprKind::InBoundingBox { name, .. } => assert_eq!(name, "new york"),
             other => panic!("{other:?}"),
         }
     }
@@ -730,13 +752,9 @@ mod tests {
         let s = parse("SELECT count(*) FROM twitter LIMIT 10").unwrap();
         assert_eq!(s.limit, Some(10));
         match &s.select[0] {
-            SelectItem::Expr { expr, .. } => assert_eq!(
-                expr,
-                &Expr::Call {
-                    name: "count".into(),
-                    args: vec![]
-                }
-            ),
+            SelectItem::Expr { expr, .. } => {
+                assert_eq!(expr, &Expr::call("count", vec![]))
+            }
             other => panic!("{other:?}"),
         }
     }
@@ -745,47 +763,43 @@ mod tests {
     fn operator_precedence() {
         let e = parse_expr("1 + 2 * 3 = 7 AND NOT x > 4 OR y").unwrap();
         // ((1+(2*3))=7 AND NOT(x>4)) OR y
-        match e {
-            Expr::Binary { op: BinOp::Or, .. } => {}
+        match e.kind {
+            ExprKind::Binary { op: BinOp::Or, .. } => {}
             other => panic!("top must be OR: {other:?}"),
         }
         let e = parse_expr("1 + 2 * 3").unwrap();
         assert_eq!(
             e,
-            Expr::Binary {
-                op: BinOp::Add,
-                left: Box::new(Expr::lit(1i64)),
-                right: Box::new(Expr::Binary {
-                    op: BinOp::Mul,
-                    left: Box::new(Expr::lit(2i64)),
-                    right: Box::new(Expr::lit(3i64)),
-                }),
-            }
+            Expr::binary(
+                BinOp::Add,
+                Expr::lit(1i64),
+                Expr::binary(BinOp::Mul, Expr::lit(2i64), Expr::lit(3i64)),
+            )
         );
     }
 
     #[test]
     fn matches_and_in_list() {
         let e = parse_expr("text matches '\\d+-\\d+'").unwrap();
-        assert!(matches!(e, Expr::Matches { .. }));
+        assert!(matches!(e.kind, ExprKind::Matches { .. }));
         let e = parse_expr("lang in ('en', 'ja')").unwrap();
-        match e {
-            Expr::InList { list, .. } => assert_eq!(list.len(), 2),
+        match e.kind {
+            ExprKind::InList { list, .. } => assert_eq!(list.len(), 2),
             other => panic!("{other:?}"),
         }
         let e = parse_expr("user_id not in (1, 2, -3)").unwrap();
-        assert!(matches!(e, Expr::Not(_)));
+        assert!(matches!(e.kind, ExprKind::Not(_)));
     }
 
     #[test]
     fn is_null() {
         assert!(matches!(
-            parse_expr("lat is null").unwrap(),
-            Expr::IsNull { negated: false, .. }
+            parse_expr("lat is null").unwrap().kind,
+            ExprKind::IsNull { negated: false, .. }
         ));
         assert!(matches!(
-            parse_expr("lat is not null").unwrap(),
-            Expr::IsNull { negated: true, .. }
+            parse_expr("lat is not null").unwrap().kind,
+            ExprKind::IsNull { negated: true, .. }
         ));
     }
 
@@ -843,11 +857,11 @@ mod tests {
 
     #[test]
     fn having_clause_parses() {
-        let s = parse("SELECT lang, count(*) FROM twitter GROUP BY lang HAVING count(*) > 10")
-            .unwrap();
+        let s =
+            parse("SELECT lang, count(*) FROM twitter GROUP BY lang HAVING count(*) > 10").unwrap();
         assert!(s.having.is_some());
-        match s.having.unwrap() {
-            Expr::Binary { op: BinOp::Gt, .. } => {}
+        match s.having.unwrap().kind {
+            ExprKind::Binary { op: BinOp::Gt, .. } => {}
             other => panic!("{other:?}"),
         }
     }
@@ -871,10 +885,7 @@ mod tests {
         match &s.select[0] {
             SelectItem::Expr { expr, .. } => assert_eq!(
                 expr,
-                &Expr::Call {
-                    name: "count_distinct".into(),
-                    args: vec![Expr::col("screen_name")],
-                }
+                &Expr::call("count_distinct", vec![Expr::col("screen_name")])
             ),
             other => panic!("{other:?}"),
         }
@@ -884,6 +895,53 @@ mod tests {
     fn contains_with_non_literal_pattern() {
         // contains accepts any expression as needle.
         let e = parse_expr("text contains screen_name").unwrap();
-        assert!(matches!(e, Expr::Contains { .. }));
+        assert!(matches!(e.kind, ExprKind::Contains { .. }));
+    }
+
+    #[test]
+    fn expression_spans_point_at_source() {
+        let src = "followers > 10 AND text contains 'obama'";
+        let e = parse_expr(src).unwrap();
+        // Top-level AND covers the whole expression.
+        assert_eq!(&src[e.span.start..e.span.end], src);
+        let cs = e.conjuncts();
+        assert_eq!(&src[cs[0].span.start..cs[0].span.end], "followers > 10");
+        assert_eq!(
+            &src[cs[1].span.start..cs[1].span.end],
+            "text contains 'obama'"
+        );
+        // Leaf columns carry exact identifier spans.
+        match &cs[0].kind {
+            ExprKind::Binary { left, .. } => {
+                assert_eq!(&src[left.span.start..left.span.end], "followers");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn statement_clause_spans_tracked() {
+        let src = "SELECT count(*) FROM twitter GROUP BY lang WINDOW 3 hours";
+        let s = parse(src).unwrap();
+        assert_eq!(&src[s.from_span.start..s.from_span.end], "twitter");
+        assert_eq!(s.group_by_spans.len(), 1);
+        let g = s.group_by_spans[0];
+        assert_eq!(&src[g.start..g.end], "lang");
+        assert_eq!(
+            &src[s.window_span.start..s.window_span.end],
+            "WINDOW 3 hours"
+        );
+    }
+
+    #[test]
+    fn call_spans_include_parens() {
+        let src = "sentiment(text) > 0";
+        let e = parse_expr(src).unwrap();
+        match &e.kind {
+            ExprKind::Binary { left, .. } => {
+                assert_eq!(&src[left.span.start..left.span.end], "sentiment(text)");
+            }
+            other => panic!("{other:?}"),
+        }
     }
 }

@@ -19,7 +19,7 @@
 
 pub mod optimizer;
 
-use crate::ast::{AggFunc, BinOp, Expr, SelectItem, SelectStmt, WindowSpec};
+use crate::ast::{AggFunc, BinOp, Expr, ExprKind, SelectItem, SelectStmt, WindowSpec};
 use crate::catalog::Catalog;
 use crate::error::QueryError;
 use crate::exec::aggregate::{AggExpr, AggregateOp, WindowPolicy};
@@ -89,6 +89,9 @@ pub struct PlannedQuery {
     pub join: Option<PlannedJoin>,
     /// Textual plan description.
     pub explain: String,
+    /// Analyzer warnings attached by the engine (empty when planning
+    /// is invoked directly).
+    pub warnings: Vec<crate::check::Diagnostic>,
 }
 
 impl std::fmt::Debug for PlannedQuery {
@@ -145,7 +148,9 @@ pub fn plan(
     let mut conjuncts: Vec<Expr> = match &stmt.where_clause {
         Some(w) => optimizer::fold_constants(w)
             .conjuncts()
-            .into_iter().filter(|&c| *c != Expr::Literal(Value::Bool(true))).cloned()
+            .into_iter()
+            .filter(|&c| *c != Expr::lit(true))
+            .cloned()
             .collect(),
         None => Vec::new(),
     };
@@ -191,9 +196,9 @@ pub fn plan(
     let mut ops: Vec<Box<dyn Operator>> = Vec::new();
 
     let add_async = |range: std::ops::Range<usize>,
-                         schema: &mut SchemaRef,
-                         ops: &mut Vec<Box<dyn Operator>>,
-                         explain: &mut Vec<String>|
+                     schema: &mut SchemaRef,
+                     ops: &mut Vec<Box<dyn Operator>>,
+                     explain: &mut Vec<String>|
      -> Result<(), QueryError> {
         for h in &hoists[range] {
             let factory = registry
@@ -348,7 +353,10 @@ pub fn plan(
         }
         explain.push(format!(
             "aggregate [{}] by [{}] window {:?}",
-            aggs.iter().map(|(f, _)| f.name()).collect::<Vec<_>>().join(", "),
+            aggs.iter()
+                .map(|(f, _)| f.name())
+                .collect::<Vec<_>>()
+                .join(", "),
             key_names.join(", "),
             policy,
         ));
@@ -368,15 +376,14 @@ pub fn plan(
                 mapped = replace_subtree(&mapped, k_expr, &Expr::col(k_name));
             }
             let mut ctx = EvalCtx::default();
-            let compiled =
-                compile_into(&mapped, &agg_schema, registry, &mut ctx).map_err(|err| {
-                    match err {
-                        QueryError::UnknownColumn(c) => QueryError::Plan(format!(
-                            "HAVING column {c} must appear in GROUP BY or an aggregate"
-                        )),
-                        other => other,
-                    }
-                })?;
+            let compiled = compile_into(&mapped, &agg_schema, registry, &mut ctx).map_err(
+                |err| match err {
+                    QueryError::UnknownColumn(c) => QueryError::Plan(format!(
+                        "HAVING column {c} must appear in GROUP BY or an aggregate"
+                    )),
+                    other => other,
+                },
+            )?;
             explain.push("having filter".to_string());
             ops.push(Box::new(
                 FilterOp::new(compiled, ctx, agg_schema.clone()).with_label("having"),
@@ -392,15 +399,14 @@ pub fn plan(
             for (k_expr, k_name) in key_exprs.iter().zip(&key_names) {
                 mapped = replace_subtree(&mapped, k_expr, &Expr::col(k_name));
             }
-            let compiled =
-                compile_into(&mapped, &agg_schema, registry, &mut ctx).map_err(|err| {
-                    match err {
-                        QueryError::UnknownColumn(c) => QueryError::Plan(format!(
-                            "column {c} must appear in GROUP BY or inside an aggregate"
-                        )),
-                        other => other,
-                    }
-                })?;
+            let compiled = compile_into(&mapped, &agg_schema, registry, &mut ctx).map_err(
+                |err| match err {
+                    QueryError::UnknownColumn(c) => QueryError::Plan(format!(
+                        "column {c} must appear in GROUP BY or inside an aggregate"
+                    )),
+                    other => other,
+                },
+            )?;
             pexprs.push(compiled);
             out_fields.push(Field::new(
                 output_name(original, alias.as_deref(), i),
@@ -438,6 +444,7 @@ pub fn plan(
         api_candidates,
         join,
         explain: explain.join("\n"),
+        warnings: Vec::new(),
     })
 }
 
@@ -460,7 +467,7 @@ fn window_policy(spec: &Option<WindowSpec>, is_join: bool) -> WindowPolicy {
 }
 
 /// Pull `track` / `locations` / `follow` candidates out of conjuncts.
-fn extract_api_candidates(conjuncts: &[Expr]) -> Vec<ApiCandidate> {
+pub(crate) fn extract_api_candidates(conjuncts: &[Expr]) -> Vec<ApiCandidate> {
     let mut out = Vec::new();
     for c in conjuncts {
         if let Some(kws) = as_track_keywords(c) {
@@ -470,7 +477,7 @@ fn extract_api_candidates(conjuncts: &[Expr]) -> Vec<ApiCandidate> {
             });
             continue;
         }
-        if let Expr::InBoundingBox { bbox, name } = c {
+        if let ExprKind::InBoundingBox { bbox, name } = &c.kind {
             out.push(ApiCandidate {
                 description: format!("locations({name})"),
                 spec: FilterSpec::Locations(*bbox),
@@ -489,16 +496,16 @@ fn extract_api_candidates(conjuncts: &[Expr]) -> Vec<ApiCandidate> {
 
 /// `text contains 'kw'`, or an OR-tree of them, as track keywords.
 fn as_track_keywords(e: &Expr) -> Option<Vec<String>> {
-    match e {
-        Expr::Contains { expr, pattern } => match (expr.as_ref(), pattern.as_ref()) {
-            (Expr::Column { name, .. }, Expr::Literal(Value::Str(s)))
+    match &e.kind {
+        ExprKind::Contains { expr, pattern } => match (&expr.kind, &pattern.kind) {
+            (ExprKind::Column { name, .. }, ExprKind::Literal(Value::Str(s)))
                 if name == "text" && !s.is_empty() =>
             {
                 Some(vec![s.clone()])
             }
             _ => None,
         },
-        Expr::Binary {
+        ExprKind::Binary {
             op: BinOp::Or,
             left,
             right,
@@ -514,22 +521,22 @@ fn as_track_keywords(e: &Expr) -> Option<Vec<String>> {
 
 /// `user_id = n` or `user_id in (…)` as follow ids.
 fn as_follow_ids(e: &Expr) -> Option<Vec<u64>> {
-    match e {
-        Expr::Binary {
+    match &e.kind {
+        ExprKind::Binary {
             op: BinOp::Eq,
             left,
             right,
-        } => match (left.as_ref(), right.as_ref()) {
-            (Expr::Column { name, .. }, Expr::Literal(Value::Int(id)))
-            | (Expr::Literal(Value::Int(id)), Expr::Column { name, .. })
+        } => match (&left.kind, &right.kind) {
+            (ExprKind::Column { name, .. }, ExprKind::Literal(Value::Int(id)))
+            | (ExprKind::Literal(Value::Int(id)), ExprKind::Column { name, .. })
                 if name == "user_id" && *id >= 0 =>
             {
                 Some(vec![*id as u64])
             }
             _ => None,
         },
-        Expr::InList { expr, list } => match expr.as_ref() {
-            Expr::Column { name, .. } if name == "user_id" => {
+        ExprKind::InList { expr, list } => match &expr.kind {
+            ExprKind::Column { name, .. } if name == "user_id" => {
                 let ids: Option<Vec<u64>> = list
                     .iter()
                     .map(|v| v.as_int().ok().filter(|i| *i >= 0).map(|i| i as u64))
@@ -548,8 +555,9 @@ fn rewrite_async(
     registry: &Registry,
     hoists: &mut Vec<Hoist>,
 ) -> Result<Expr, QueryError> {
-    Ok(match expr {
-        Expr::Call { name, args } => {
+    let span = expr.span;
+    Ok(match &expr.kind {
+        ExprKind::Call { name, args } => {
             let new_args: Result<Vec<Expr>, QueryError> = args
                 .iter()
                 .map(|a| rewrite_async(a, registry, hoists))
@@ -561,7 +569,7 @@ fn rewrite_async(
                     .iter()
                     .find(|h| h.name == *name && h.args == new_args)
                 {
-                    return Ok(Expr::col(&h.col));
+                    return Ok(Expr::col(&h.col).with_span(span));
                 }
                 let col = format!("__a{}", hoists.len());
                 hoists.push(Hoist {
@@ -569,38 +577,62 @@ fn rewrite_async(
                     args: new_args,
                     col: col.clone(),
                 });
-                Expr::col(&col)
+                Expr::col(&col).with_span(span)
             } else {
-                Expr::Call {
-                    name: name.clone(),
-                    args: new_args,
-                }
+                Expr::new(
+                    ExprKind::Call {
+                        name: name.clone(),
+                        args: new_args,
+                    },
+                    span,
+                )
             }
         }
-        Expr::Binary { op, left, right } => Expr::Binary {
-            op: *op,
-            left: Box::new(rewrite_async(left, registry, hoists)?),
-            right: Box::new(rewrite_async(right, registry, hoists)?),
-        },
-        Expr::Not(e) => Expr::Not(Box::new(rewrite_async(e, registry, hoists)?)),
-        Expr::Neg(e) => Expr::Neg(Box::new(rewrite_async(e, registry, hoists)?)),
-        Expr::Contains { expr, pattern } => Expr::Contains {
-            expr: Box::new(rewrite_async(expr, registry, hoists)?),
-            pattern: Box::new(rewrite_async(pattern, registry, hoists)?),
-        },
-        Expr::Matches { expr, pattern } => Expr::Matches {
-            expr: Box::new(rewrite_async(expr, registry, hoists)?),
-            pattern: pattern.clone(),
-        },
-        Expr::InList { expr, list } => Expr::InList {
-            expr: Box::new(rewrite_async(expr, registry, hoists)?),
-            list: list.clone(),
-        },
-        Expr::IsNull { expr, negated } => Expr::IsNull {
-            expr: Box::new(rewrite_async(expr, registry, hoists)?),
-            negated: *negated,
-        },
-        other => other.clone(),
+        ExprKind::Binary { op, left, right } => Expr::new(
+            ExprKind::Binary {
+                op: *op,
+                left: Box::new(rewrite_async(left, registry, hoists)?),
+                right: Box::new(rewrite_async(right, registry, hoists)?),
+            },
+            span,
+        ),
+        ExprKind::Not(e) => Expr::new(
+            ExprKind::Not(Box::new(rewrite_async(e, registry, hoists)?)),
+            span,
+        ),
+        ExprKind::Neg(e) => Expr::new(
+            ExprKind::Neg(Box::new(rewrite_async(e, registry, hoists)?)),
+            span,
+        ),
+        ExprKind::Contains { expr, pattern } => Expr::new(
+            ExprKind::Contains {
+                expr: Box::new(rewrite_async(expr, registry, hoists)?),
+                pattern: Box::new(rewrite_async(pattern, registry, hoists)?),
+            },
+            span,
+        ),
+        ExprKind::Matches { expr, pattern } => Expr::new(
+            ExprKind::Matches {
+                expr: Box::new(rewrite_async(expr, registry, hoists)?),
+                pattern: pattern.clone(),
+            },
+            span,
+        ),
+        ExprKind::InList { expr, list } => Expr::new(
+            ExprKind::InList {
+                expr: Box::new(rewrite_async(expr, registry, hoists)?),
+                list: list.clone(),
+            },
+            span,
+        ),
+        ExprKind::IsNull { expr, negated } => Expr::new(
+            ExprKind::IsNull {
+                expr: Box::new(rewrite_async(expr, registry, hoists)?),
+                negated: *negated,
+            },
+            span,
+        ),
+        _ => expr.clone(),
     })
 }
 
@@ -613,8 +645,8 @@ fn expr_has_agg(e: &Expr) -> bool {
 /// literal argument.
 fn agg_from_call(name: &str, args: &[Expr]) -> Option<(AggFunc, Option<Expr>)> {
     if name == "topk" {
-        let k = match args.get(1) {
-            Some(Expr::Literal(v)) => v.as_int().ok().filter(|k| *k > 0)? as u32,
+        let k = match args.get(1).map(|a| &a.kind) {
+            Some(ExprKind::Literal(v)) => v.as_int().ok().filter(|k| *k > 0)? as u32,
             _ => return None,
         };
         return Some((AggFunc::TopK(k), args.first().cloned()));
@@ -623,12 +655,9 @@ fn agg_from_call(name: &str, args: &[Expr]) -> Option<(AggFunc, Option<Expr>)> {
 }
 
 /// Collect aggregate calls (deduplicated); error on nesting.
-fn collect_aggs(
-    e: &Expr,
-    out: &mut Vec<(AggFunc, Option<Expr>)>,
-) -> Result<(), QueryError> {
-    match e {
-        Expr::Call { name, args } => {
+fn collect_aggs(e: &Expr, out: &mut Vec<(AggFunc, Option<Expr>)>) -> Result<(), QueryError> {
+    match &e.kind {
+        ExprKind::Call { name, args } => {
             if let Some((func, arg)) = agg_from_call(name, args) {
                 if let Some(a) = &arg {
                     let mut nested = Vec::new();
@@ -648,18 +677,18 @@ fn collect_aggs(
                 }
             }
         }
-        Expr::Binary { left, right, .. } => {
+        ExprKind::Binary { left, right, .. } => {
             collect_aggs(left, out)?;
             collect_aggs(right, out)?;
         }
-        Expr::Not(inner) | Expr::Neg(inner) => collect_aggs(inner, out)?,
-        Expr::Contains { expr, pattern } => {
+        ExprKind::Not(inner) | ExprKind::Neg(inner) => collect_aggs(inner, out)?,
+        ExprKind::Contains { expr, pattern } => {
             collect_aggs(expr, out)?;
             collect_aggs(pattern, out)?;
         }
-        Expr::Matches { expr, .. }
-        | Expr::InList { expr, .. }
-        | Expr::IsNull { expr, .. } => collect_aggs(expr, out)?,
+        ExprKind::Matches { expr, .. }
+        | ExprKind::InList { expr, .. }
+        | ExprKind::IsNull { expr, .. } => collect_aggs(expr, out)?,
         _ => {}
     }
     Ok(())
@@ -667,69 +696,90 @@ fn collect_aggs(
 
 /// Replace aggregate calls with their canonical output columns.
 fn replace_aggs(e: &Expr, aggs: &[(AggFunc, Option<Expr>)]) -> Expr {
-    if let Expr::Call { name, args } = e {
+    let span = e.span;
+    if let ExprKind::Call { name, args } = &e.kind {
         if let Some((func, arg)) = agg_from_call(name, args) {
             if let Some(i) = aggs.iter().position(|(f, a)| *f == func && *a == arg) {
-                return Expr::col(&format!("agg{i}"));
+                return Expr::col(&format!("agg{i}")).with_span(span);
             }
         }
     }
-    match e {
-        Expr::Call { name, args } => Expr::Call {
-            name: name.clone(),
-            args: args.iter().map(|a| replace_aggs(a, aggs)).collect(),
-        },
-        Expr::Binary { op, left, right } => Expr::Binary {
-            op: *op,
-            left: Box::new(replace_aggs(left, aggs)),
-            right: Box::new(replace_aggs(right, aggs)),
-        },
-        Expr::Not(inner) => Expr::Not(Box::new(replace_aggs(inner, aggs))),
-        Expr::Neg(inner) => Expr::Neg(Box::new(replace_aggs(inner, aggs))),
-        other => other.clone(),
+    match &e.kind {
+        ExprKind::Call { name, args } => Expr::new(
+            ExprKind::Call {
+                name: name.clone(),
+                args: args.iter().map(|a| replace_aggs(a, aggs)).collect(),
+            },
+            span,
+        ),
+        ExprKind::Binary { op, left, right } => Expr::new(
+            ExprKind::Binary {
+                op: *op,
+                left: Box::new(replace_aggs(left, aggs)),
+                right: Box::new(replace_aggs(right, aggs)),
+            },
+            span,
+        ),
+        ExprKind::Not(inner) => Expr::new(ExprKind::Not(Box::new(replace_aggs(inner, aggs))), span),
+        ExprKind::Neg(inner) => Expr::new(ExprKind::Neg(Box::new(replace_aggs(inner, aggs))), span),
+        _ => e.clone(),
     }
 }
 
-/// Replace every subtree equal to `target` with `replacement`.
+/// Replace every subtree equal to `target` with `replacement`
+/// (span-insensitive comparison; see [`Expr`]'s `PartialEq`).
 fn replace_subtree(e: &Expr, target: &Expr, replacement: &Expr) -> Expr {
     if e == target {
         return replacement.clone();
     }
-    match e {
-        Expr::Call { name, args } => Expr::Call {
-            name: name.clone(),
-            args: args
-                .iter()
-                .map(|a| replace_subtree(a, target, replacement))
-                .collect(),
-        },
-        Expr::Binary { op, left, right } => Expr::Binary {
-            op: *op,
-            left: Box::new(replace_subtree(left, target, replacement)),
-            right: Box::new(replace_subtree(right, target, replacement)),
-        },
-        Expr::Not(inner) => Expr::Not(Box::new(replace_subtree(inner, target, replacement))),
-        Expr::Neg(inner) => Expr::Neg(Box::new(replace_subtree(inner, target, replacement))),
-        other => other.clone(),
+    let span = e.span;
+    match &e.kind {
+        ExprKind::Call { name, args } => Expr::new(
+            ExprKind::Call {
+                name: name.clone(),
+                args: args
+                    .iter()
+                    .map(|a| replace_subtree(a, target, replacement))
+                    .collect(),
+            },
+            span,
+        ),
+        ExprKind::Binary { op, left, right } => Expr::new(
+            ExprKind::Binary {
+                op: *op,
+                left: Box::new(replace_subtree(left, target, replacement)),
+                right: Box::new(replace_subtree(right, target, replacement)),
+            },
+            span,
+        ),
+        ExprKind::Not(inner) => Expr::new(
+            ExprKind::Not(Box::new(replace_subtree(inner, target, replacement))),
+            span,
+        ),
+        ExprKind::Neg(inner) => Expr::new(
+            ExprKind::Neg(Box::new(replace_subtree(inner, target, replacement))),
+            span,
+        ),
+        _ => e.clone(),
     }
 }
 
 /// Derive an output column name.
-fn output_name(e: &Expr, alias: Option<&str>, idx: usize) -> String {
+pub(crate) fn output_name(e: &Expr, alias: Option<&str>, idx: usize) -> String {
     if let Some(a) = alias {
         return a.to_string();
     }
-    match e {
-        Expr::Column { name, .. } => {
+    match &e.kind {
+        ExprKind::Column { name, .. } => {
             if name.starts_with("__") {
                 format!("col{idx}")
             } else {
                 name.clone()
             }
         }
-        Expr::Call { name, .. } => name.clone(),
-        Expr::Contains { .. } => "contains".to_string(),
-        Expr::Matches { .. } => "matches".to_string(),
+        ExprKind::Call { name, .. } => name.clone(),
+        ExprKind::Contains { .. } => "contains".to_string(),
+        ExprKind::Matches { .. } => "matches".to_string(),
         _ => format!("col{idx}"),
     }
 }
@@ -793,7 +843,12 @@ mod tests {
         assert!(p.explain.contains("async latitude"));
         assert!(p.explain.contains("async longitude"));
         // The filter stage must run before the async stages.
-        let stages: Vec<String> = p.pipeline.stage_stats().iter().map(|(n, _)| n.clone()).collect();
+        let stages: Vec<String> = p
+            .pipeline
+            .stage_stats()
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect();
         assert_eq!(stages[0], "where");
         assert!(stages[1].starts_with("async:"));
         assert_eq!(
@@ -805,8 +860,12 @@ mod tests {
     #[test]
     fn async_in_where_runs_before_filter() {
         let p = plan_sql("SELECT text FROM twitter WHERE latitude(loc) > 40");
-        let stages: Vec<String> =
-            p.pipeline.stage_stats().iter().map(|(n, _)| n.clone()).collect();
+        let stages: Vec<String> = p
+            .pipeline
+            .stage_stats()
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect();
         assert!(stages[0].starts_with("async:latitude"), "{stages:?}");
         assert_eq!(stages[1], "where");
     }
@@ -836,8 +895,7 @@ mod tests {
     #[test]
     fn group_by_non_grouped_column_rejected() {
         let (c, r, cfg) = setup();
-        let stmt =
-            parse("SELECT text, count(*) FROM twitter GROUP BY lang").unwrap();
+        let stmt = parse("SELECT text, count(*) FROM twitter GROUP BY lang").unwrap();
         let err = plan(&stmt, &c, &r, &cfg).unwrap_err();
         assert!(err.to_string().contains("GROUP BY"), "{err}");
     }
@@ -845,10 +903,8 @@ mod tests {
     #[test]
     fn confidence_window_requires_avg() {
         let (c, r, cfg) = setup();
-        let stmt = parse(
-            "SELECT count(*) FROM twitter GROUP BY lang WINDOW CONFIDENCE 0.1",
-        )
-        .unwrap();
+        let stmt =
+            parse("SELECT count(*) FROM twitter GROUP BY lang WINDOW CONFIDENCE 0.1").unwrap();
         let err = plan(&stmt, &c, &r, &cfg).unwrap_err();
         assert!(err.to_string().contains("AVG"), "{err}");
     }
@@ -901,10 +957,8 @@ mod tests {
     fn eddy_used_when_configured() {
         let (c, r, mut cfg) = setup();
         cfg.use_eddy = true;
-        let stmt = parse(
-            "SELECT text FROM twitter WHERE text contains 'a' AND followers > 10",
-        )
-        .unwrap();
+        let stmt =
+            parse("SELECT text FROM twitter WHERE text contains 'a' AND followers > 10").unwrap();
         let p = plan(&stmt, &c, &r, &cfg).unwrap();
         assert!(p.explain.contains("eddy"), "{}", p.explain);
     }
@@ -935,8 +989,12 @@ mod tests {
     #[test]
     fn limit_stage_appended() {
         let p = plan_sql("SELECT text FROM twitter LIMIT 3");
-        let stages: Vec<String> =
-            p.pipeline.stage_stats().iter().map(|(n, _)| n.clone()).collect();
+        let stages: Vec<String> = p
+            .pipeline
+            .stage_stats()
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect();
         assert_eq!(stages.last().unwrap(), "limit");
     }
 }

@@ -1,46 +1,64 @@
 //! Expression-level rewrites: constant folding, trivial-conjunct
 //! elimination, and a cost heuristic for ordering local predicates.
 
-use crate::ast::{BinOp, Expr};
+use crate::ast::{BinOp, Expr, ExprKind};
 use tweeql_model::Value;
 
 /// Fold constant subexpressions (`1 + 2` → `3`, `NOT false` → `true`,
-/// `x AND true` → `x`).
+/// `x AND true` → `x`). Folded nodes keep the span of the expression
+/// they replaced so diagnostics still point at the source.
 pub fn fold_constants(expr: &Expr) -> Expr {
-    match expr {
-        Expr::Binary { op, left, right } => {
+    let span = expr.span;
+    match &expr.kind {
+        ExprKind::Binary { op, left, right } => {
             let l = fold_constants(left);
             let r = fold_constants(right);
             // Logical identity simplifications.
             match op {
                 BinOp::And => {
-                    if let Expr::Literal(v) = &l {
+                    if let ExprKind::Literal(v) = &l.kind {
                         if !v.is_null() {
-                            return if v.is_truthy() { r } else { Expr::lit(false) };
+                            return if v.is_truthy() {
+                                r
+                            } else {
+                                Expr::lit(false).with_span(span)
+                            };
                         }
                     }
-                    if let Expr::Literal(v) = &r {
+                    if let ExprKind::Literal(v) = &r.kind {
                         if !v.is_null() {
-                            return if v.is_truthy() { l } else { Expr::lit(false) };
+                            return if v.is_truthy() {
+                                l
+                            } else {
+                                Expr::lit(false).with_span(span)
+                            };
                         }
                     }
                 }
                 BinOp::Or => {
-                    if let Expr::Literal(v) = &l {
+                    if let ExprKind::Literal(v) = &l.kind {
                         if !v.is_null() {
-                            return if v.is_truthy() { Expr::lit(true) } else { r };
+                            return if v.is_truthy() {
+                                Expr::lit(true).with_span(span)
+                            } else {
+                                r
+                            };
                         }
                     }
-                    if let Expr::Literal(v) = &r {
+                    if let ExprKind::Literal(v) = &r.kind {
                         if !v.is_null() {
-                            return if v.is_truthy() { Expr::lit(true) } else { l };
+                            return if v.is_truthy() {
+                                Expr::lit(true).with_span(span)
+                            } else {
+                                l
+                            };
                         }
                     }
                 }
                 _ => {}
             }
             // Pure arithmetic/comparison on literals.
-            if let (Expr::Literal(a), Expr::Literal(b)) = (&l, &r) {
+            if let (ExprKind::Literal(a), ExprKind::Literal(b)) = (&l.kind, &r.kind) {
                 let folded = match op {
                     BinOp::Add => a.add(b).ok(),
                     BinOp::Sub => a.sub(b).ok(),
@@ -64,82 +82,100 @@ pub fn fold_constants(expr: &Expr) -> Expr {
                     BinOp::And | BinOp::Or => None,
                 };
                 if let Some(v) = folded {
-                    return Expr::Literal(v);
+                    return Expr::new(ExprKind::Literal(v), span);
                 }
             }
-            Expr::Binary {
-                op: *op,
-                left: Box::new(l),
-                right: Box::new(r),
-            }
+            Expr::new(
+                ExprKind::Binary {
+                    op: *op,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                },
+                span,
+            )
         }
-        Expr::Not(e) => {
+        ExprKind::Not(e) => {
             let inner = fold_constants(e);
-            if let Expr::Literal(v) = &inner {
+            if let ExprKind::Literal(v) = &inner.kind {
                 if v.is_null() {
-                    return Expr::Literal(Value::Null);
+                    return Expr::new(ExprKind::Literal(Value::Null), span);
                 }
-                return Expr::lit(!v.is_truthy());
+                return Expr::lit(!v.is_truthy()).with_span(span);
             }
-            Expr::Not(Box::new(inner))
+            Expr::new(ExprKind::Not(Box::new(inner)), span)
         }
-        Expr::Neg(e) => {
+        ExprKind::Neg(e) => {
             let inner = fold_constants(e);
-            if let Expr::Literal(v) = &inner {
+            if let ExprKind::Literal(v) = &inner.kind {
                 if let Ok(n) = v.neg() {
-                    return Expr::Literal(n);
+                    return Expr::new(ExprKind::Literal(n), span);
                 }
             }
-            Expr::Neg(Box::new(inner))
+            Expr::new(ExprKind::Neg(Box::new(inner)), span)
         }
-        Expr::Call { name, args } => Expr::Call {
-            name: name.clone(),
-            args: args.iter().map(fold_constants).collect(),
-        },
-        Expr::Contains { expr, pattern } => Expr::Contains {
-            expr: Box::new(fold_constants(expr)),
-            pattern: Box::new(fold_constants(pattern)),
-        },
-        Expr::Matches { expr, pattern } => Expr::Matches {
-            expr: Box::new(fold_constants(expr)),
-            pattern: pattern.clone(),
-        },
-        Expr::InList { expr, list } => Expr::InList {
-            expr: Box::new(fold_constants(expr)),
-            list: list.clone(),
-        },
-        Expr::IsNull { expr, negated } => Expr::IsNull {
-            expr: Box::new(fold_constants(expr)),
-            negated: *negated,
-        },
-        other => other.clone(),
+        ExprKind::Call { name, args } => Expr::new(
+            ExprKind::Call {
+                name: name.clone(),
+                args: args.iter().map(fold_constants).collect(),
+            },
+            span,
+        ),
+        ExprKind::Contains { expr, pattern } => Expr::new(
+            ExprKind::Contains {
+                expr: Box::new(fold_constants(expr)),
+                pattern: Box::new(fold_constants(pattern)),
+            },
+            span,
+        ),
+        ExprKind::Matches { expr, pattern } => Expr::new(
+            ExprKind::Matches {
+                expr: Box::new(fold_constants(expr)),
+                pattern: pattern.clone(),
+            },
+            span,
+        ),
+        ExprKind::InList { expr, list } => Expr::new(
+            ExprKind::InList {
+                expr: Box::new(fold_constants(expr)),
+                list: list.clone(),
+            },
+            span,
+        ),
+        ExprKind::IsNull { expr, negated } => Expr::new(
+            ExprKind::IsNull {
+                expr: Box::new(fold_constants(expr)),
+                negated: *negated,
+            },
+            span,
+        ),
+        _ => expr.clone(),
     }
 }
 
 /// Heuristic evaluation cost of a predicate (used to order the local
 /// filter chain when the eddy is off): lower runs first.
 pub fn predicate_cost(expr: &Expr) -> u32 {
-    match expr {
-        Expr::Literal(_) => 0,
-        Expr::Column { .. } => 1,
-        Expr::IsNull { .. } | Expr::InBoundingBox { .. } => 2,
-        Expr::Binary { op, left, right } => match op {
+    match &expr.kind {
+        ExprKind::Literal(_) => 0,
+        ExprKind::Column { .. } => 1,
+        ExprKind::IsNull { .. } | ExprKind::InBoundingBox { .. } => 2,
+        ExprKind::Binary { op, left, right } => match op {
             BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
                 3 + predicate_cost(left) + predicate_cost(right)
             }
             _ => 2 + predicate_cost(left) + predicate_cost(right),
         },
-        Expr::InList { .. } => 4,
-        Expr::Not(e) | Expr::Neg(e) => 1 + predicate_cost(e),
-        Expr::Contains { pattern, .. } => {
-            if matches!(pattern.as_ref(), Expr::Literal(_)) {
+        ExprKind::InList { .. } => 4,
+        ExprKind::Not(e) | ExprKind::Neg(e) => 1 + predicate_cost(e),
+        ExprKind::Contains { pattern, .. } => {
+            if matches!(pattern.kind, ExprKind::Literal(_)) {
                 6
             } else {
                 10
             }
         }
-        Expr::Matches { .. } => 20,
-        Expr::Call { args, .. } => 30 + args.iter().map(predicate_cost).sum::<u32>(),
+        ExprKind::Matches { .. } => 20,
+        ExprKind::Call { args, .. } => 30 + args.iter().map(predicate_cost).sum::<u32>(),
     }
 }
 
@@ -183,19 +219,21 @@ mod tests {
     #[test]
     fn folding_is_recursive_through_calls() {
         let e = fold("floor(1 + 1)");
-        assert_eq!(
-            e,
-            Expr::Call {
-                name: "floor".into(),
-                args: vec![Expr::lit(2i64)],
-            }
-        );
+        assert_eq!(e, Expr::call("floor", vec![Expr::lit(2i64)]));
     }
 
     #[test]
     fn non_constant_left_alone() {
         let e = fold("x + 1");
-        assert!(matches!(e, Expr::Binary { .. }));
+        assert!(matches!(e.kind, ExprKind::Binary { .. }));
+    }
+
+    #[test]
+    fn folding_preserves_spans() {
+        let src = "1 + 2 * 3";
+        let e = fold(src);
+        assert!(matches!(e.kind, ExprKind::Literal(_)));
+        assert_eq!(&src[e.span.start..e.span.end], src);
     }
 
     #[test]
@@ -217,8 +255,8 @@ mod tests {
             parse_expr("text contains 'b'").unwrap(),
         ];
         let ordered = order_conjuncts(conjuncts);
-        assert!(matches!(ordered[0], Expr::Binary { .. }));
-        assert!(matches!(ordered[1], Expr::Contains { .. }));
-        assert!(matches!(ordered[2], Expr::Matches { .. }));
+        assert!(matches!(ordered[0].kind, ExprKind::Binary { .. }));
+        assert!(matches!(ordered[1].kind, ExprKind::Contains { .. }));
+        assert!(matches!(ordered[2].kind, ExprKind::Matches { .. }));
     }
 }

@@ -136,10 +136,7 @@ mod tests {
             geotag_rate: 0.3,
             population_size: 800,
         };
-        StreamingApi::new(
-            tweeql_firehose::generate(&s, 17),
-            VirtualClock::new(),
-        )
+        StreamingApi::new(tweeql_firehose::generate(&s, 17), VirtualClock::new())
     }
 
     fn candidates() -> Vec<ApiCandidate> {

@@ -122,7 +122,12 @@ mod tests {
             .unwrap(),
             Record::new(
                 schema.clone(),
-                vec![Value::Null, Value::Int(-1), Value::Float(2.0), Value::List(vec![])],
+                vec![
+                    Value::Null,
+                    Value::Int(-1),
+                    Value::Float(2.0),
+                    Value::List(vec![]),
+                ],
                 Timestamp::ZERO,
             )
             .unwrap(),

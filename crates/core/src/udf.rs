@@ -7,9 +7,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use tweeql_geo::cache::CacheStats;
-use tweeql_geo::geocoder::{
-    CachingGeocoder, GazetteerGeocoder, Geocoder, SimulatedRemoteGeocoder,
-};
+use tweeql_geo::geocoder::{CachingGeocoder, GazetteerGeocoder, Geocoder, SimulatedRemoteGeocoder};
 use tweeql_geo::latency::LatencyModel;
 use tweeql_model::{Duration, Timestamp, Value, VirtualClock};
 use tweeql_text::sentiment::{LexiconClassifier, SentimentClassifier};
@@ -386,8 +384,7 @@ impl AsyncUdf for EntityUdf {
         let mut out = Vec::with_capacity(batch.len());
         for chunk in batch.chunks(self.max_batch) {
             self.requests += 1;
-            let latency =
-                self.sampler.sample() + self.per_item * (chunk.len() as i64 - 1).max(0);
+            let latency = self.sampler.sample() + self.per_item * (chunk.len() as i64 - 1).max(0);
             self.clock.advance(latency);
             self.service_ms += latency.millis();
             for args in chunk {

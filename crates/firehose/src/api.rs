@@ -242,7 +242,9 @@ impl Connection {
         }
         self.stats.matched += 1;
         // Rolling 1-minute delivery cap.
-        let minute = tweet.created_at.truncate(tweeql_model::Duration::from_mins(1));
+        let minute = tweet
+            .created_at
+            .truncate(tweeql_model::Duration::from_mins(1));
         if minute != self.window_start {
             self.window_start = minute;
             self.window_delivered = 0;
@@ -310,7 +312,11 @@ mod tests {
         let s = conn.stats();
         assert_eq!(s.scanned as usize, api.firehose_len());
         // Topic is 30/90 of traffic → selectivity ≈ 1/3.
-        assert!((0.2..=0.5).contains(&s.selectivity()), "{}", s.selectivity());
+        assert!(
+            (0.2..=0.5).contains(&s.selectivity()),
+            "{}",
+            s.selectivity()
+        );
     }
 
     #[test]
@@ -337,14 +343,8 @@ mod tests {
     #[test]
     fn sample_rate_is_roughly_honored_and_deterministic() {
         let api = api();
-        let a: Vec<u64> = api
-            .connect(FilterSpec::Sample(0.1))
-            .map(|t| t.id)
-            .collect();
-        let b: Vec<u64> = api
-            .connect(FilterSpec::Sample(0.1))
-            .map(|t| t.id)
-            .collect();
+        let a: Vec<u64> = api.connect(FilterSpec::Sample(0.1)).map(|t| t.id).collect();
+        let b: Vec<u64> = api.connect(FilterSpec::Sample(0.1)).map(|t| t.id).collect();
         assert_eq!(a, b, "sampling must be deterministic");
         let frac = a.len() as f64 / api.firehose_len() as f64;
         assert!((0.06..=0.14).contains(&frac), "frac = {frac}");

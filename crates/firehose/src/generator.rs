@@ -127,9 +127,31 @@ fn sample_polarity(rng: &mut StdRng, bias: f64) -> TruthPolarity {
 }
 
 const BACKGROUND_WORDS: &[&str] = &[
-    "coffee", "lunch", "dinner", "traffic", "weather", "monday", "weekend", "work", "school",
-    "music", "movie", "sleep", "gym", "rain", "sunny", "bus", "train", "meeting", "homework",
-    "tv", "netflix", "pizza", "breakfast", "commute", "deadline",
+    "coffee",
+    "lunch",
+    "dinner",
+    "traffic",
+    "weather",
+    "monday",
+    "weekend",
+    "work",
+    "school",
+    "music",
+    "movie",
+    "sleep",
+    "gym",
+    "rain",
+    "sunny",
+    "bus",
+    "train",
+    "meeting",
+    "homework",
+    "tv",
+    "netflix",
+    "pizza",
+    "breakfast",
+    "commute",
+    "deadline",
 ];
 
 fn build_background_tweet(
@@ -300,9 +322,7 @@ mod tests {
         let tweets = generate(&s, 3);
         let topic_tweets = tweets
             .iter()
-            .filter(|t| {
-                t.contains("soccer") || t.contains("manchester")
-            })
+            .filter(|t| t.contains("soccer") || t.contains("manchester"))
             .count();
         // All topic+burst tweets carry a keyword; background mostly not.
         assert!(topic_tweets > 200, "topic_tweets = {topic_tweets}");

@@ -93,8 +93,8 @@ impl Population {
             let lang = match city.country {
                 "Japan" => "ja",
                 "Brazil" | "Portugal" => "pt",
-                "Spain" | "Mexico" | "Argentina" | "Chile" | "Colombia" | "Venezuela"
-                | "Peru" | "Ecuador" => "es",
+                "Spain" | "Mexico" | "Argentina" | "Chile" | "Colombia" | "Venezuela" | "Peru"
+                | "Ecuador" => "es",
                 "France" => "fr",
                 "Germany" | "Austria" => "de",
                 "Indonesia" => "id",
@@ -144,8 +144,13 @@ impl Population {
             // 10%: decorated.
             7 => format!("{} ✈", city.name),
             // 15%: garbage a geocoder can't resolve.
-            8 => ["somewhere", "earth", "the moon", "in your dreams", "worldwide"]
-                [rng.random_range(0..5)]
+            8 => [
+                "somewhere",
+                "earth",
+                "the moon",
+                "in your dreams",
+                "worldwide",
+            ][rng.random_range(0..5usize)]
             .to_string(),
             // 10%: empty.
             _ => String::new(),
@@ -220,7 +225,11 @@ mod tests {
             assert_eq!(x.city_index, y.city_index);
         }
         let c = Population::generate(50, 8);
-        assert!(a.users().iter().zip(c.users()).any(|(x, y)| x.user != y.user));
+        assert!(a
+            .users()
+            .iter()
+            .zip(c.users())
+            .any(|(x, y)| x.user != y.user));
     }
 
     #[test]
@@ -252,7 +261,11 @@ mod tests {
     #[test]
     fn locations_are_messy_mixture() {
         let pop = Population::generate(2000, 3);
-        let empty = pop.users().iter().filter(|u| u.user.location.is_empty()).count();
+        let empty = pop
+            .users()
+            .iter()
+            .filter(|u| u.user.location.is_empty())
+            .count();
         let garbage = pop
             .users()
             .iter()
@@ -288,11 +301,7 @@ mod tests {
     fn hotspot_sampling_biases_city() {
         let pop = Population::generate(2000, 11);
         let g = tweeql_geo::gazetteer::global();
-        let boston = g
-            .cities()
-            .iter()
-            .position(|c| c.name == "Boston")
-            .unwrap();
+        let boston = g.cities().iter().position(|c| c.name == "Boston").unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         let mut hits = 0;
         for _ in 0..500 {

@@ -36,22 +36,20 @@ pub fn soccer_match() -> Scenario {
     topic.hotspot_cities = vec!["Manchester".into(), "Liverpool".into(), "London".into()];
     topic.hotspot_boost = 4.0;
 
-    let goal = |label: &str,
-                minute: i64,
-                mult: f64,
-                phrases: Vec<&str>,
-                bias: f64,
-                url: Option<&str>| Burst {
-        topic: 0,
-        label: label.to_string(),
-        start: Timestamp::from_mins(minute),
-        ramp_up: Duration::from_mins(1),
-        ramp_down: Duration::from_mins(6),
-        peak_multiplier: mult,
-        phrases: phrases.into_iter().map(String::from).collect(),
-        sentiment_bias: bias,
-        url: url.map(String::from),
-    };
+    let goal =
+        |label: &str, minute: i64, mult: f64, phrases: Vec<&str>, bias: f64, url: Option<&str>| {
+            Burst {
+                topic: 0,
+                label: label.to_string(),
+                start: Timestamp::from_mins(minute),
+                ramp_up: Duration::from_mins(1),
+                ramp_down: Duration::from_mins(6),
+                peak_multiplier: mult,
+                phrases: phrases.into_iter().map(String::from).collect(),
+                sentiment_bias: bias,
+                url: url.map(String::from),
+            }
+        };
 
     Scenario {
         name: "Soccer: Manchester City vs. Liverpool".into(),
@@ -124,20 +122,26 @@ pub fn earthquakes() -> Scenario {
         "stay safe".into(),
     ];
     topic.sentiment_bias = -0.5;
-    topic.hotspot_cities = vec!["Tokyo".into(), "Sendai".into(), "Osaka".into(), "Nagoya".into()];
+    topic.hotspot_cities = vec![
+        "Tokyo".into(),
+        "Sendai".into(),
+        "Osaka".into(),
+        "Nagoya".into(),
+    ];
     topic.hotspot_boost = 8.0;
 
-    let quake = |label: &str, minute: i64, mult: f64, phrases: Vec<&str>, url: Option<&str>| Burst {
-        topic: 0,
-        label: label.to_string(),
-        start: Timestamp::from_mins(minute),
-        ramp_up: Duration::from_mins(3),
-        ramp_down: Duration::from_mins(25),
-        peak_multiplier: mult,
-        phrases: phrases.into_iter().map(String::from).collect(),
-        sentiment_bias: -0.6,
-        url: url.map(String::from),
-    };
+    let quake =
+        |label: &str, minute: i64, mult: f64, phrases: Vec<&str>, url: Option<&str>| Burst {
+            topic: 0,
+            label: label.to_string(),
+            start: Timestamp::from_mins(minute),
+            ramp_up: Duration::from_mins(3),
+            ramp_down: Duration::from_mins(25),
+            peak_multiplier: mult,
+            phrases: phrases.into_iter().map(String::from).collect(),
+            sentiment_bias: -0.6,
+            url: url.map(String::from),
+        };
 
     Scenario {
         name: "Earthquake timeline".into(),
@@ -149,7 +153,13 @@ pub fn earthquakes() -> Scenario {
                 "mainshock M7.2",
                 40,
                 40.0,
-                vec!["magnitude 7.2", "huge", "epicenter", "sendai coast", "tsunami warning"],
+                vec![
+                    "magnitude 7.2",
+                    "huge",
+                    "epicenter",
+                    "sendai coast",
+                    "tsunami warning",
+                ],
                 Some("http://usgs.gov/eq/m72"),
             ),
             quake(
@@ -176,11 +186,7 @@ pub fn earthquakes() -> Scenario {
 /// cycles on the "obama" keyword. One 30-day month is replayed at
 /// 1 minute = 1 hour, i.e. 720 minutes of stream.
 pub fn obama_month() -> Scenario {
-    let mut topic = Topic::new(
-        "obama",
-        vec!["obama", "president", "whitehouse"],
-        12.0,
-    );
+    let mut topic = Topic::new("obama", vec!["obama", "president", "whitehouse"], 12.0);
     topic.hashtags = vec!["obama".into(), "politics".into()];
     topic.phrases = vec![
         "press briefing".into(),
@@ -193,22 +199,20 @@ pub fn obama_month() -> Scenario {
     topic.hotspot_cities = vec!["Washington".into(), "New York".into(), "Chicago".into()];
     topic.hotspot_boost = 3.0;
 
-    let news = |label: &str,
-                minute: i64,
-                mult: f64,
-                phrases: Vec<&str>,
-                bias: f64,
-                url: Option<&str>| Burst {
-        topic: 0,
-        label: label.to_string(),
-        start: Timestamp::from_mins(minute),
-        ramp_up: Duration::from_mins(5),
-        ramp_down: Duration::from_mins(45),
-        peak_multiplier: mult,
-        phrases: phrases.into_iter().map(String::from).collect(),
-        sentiment_bias: bias,
-        url: url.map(String::from),
-    };
+    let news =
+        |label: &str, minute: i64, mult: f64, phrases: Vec<&str>, bias: f64, url: Option<&str>| {
+            Burst {
+                topic: 0,
+                label: label.to_string(),
+                start: Timestamp::from_mins(minute),
+                ramp_up: Duration::from_mins(5),
+                ramp_down: Duration::from_mins(45),
+                peak_multiplier: mult,
+                phrases: phrases.into_iter().map(String::from).collect(),
+                sentiment_bias: bias,
+                url: url.map(String::from),
+            }
+        };
 
     Scenario {
         name: "A month in Barack Obama's life".into(),
@@ -300,10 +304,7 @@ pub fn baseball() -> Scenario {
         duration: Duration::from_mins(150),
         background_rate_per_min: 220.0,
         topics: vec![topic],
-        bursts: vec![
-            homer("HR Red Sox", 40, 0.4),
-            homer("HR Yankees", 95, -0.2),
-        ],
+        bursts: vec![homer("HR Red Sox", 40, 0.4), homer("HR Yankees", 95, -0.2)],
         geotag_rate: 0.08,
         population_size: 4000,
     }

@@ -61,7 +61,9 @@ impl BoundingBox {
     /// example is `[bounding box for NYC]`.
     pub fn named(name: &str) -> Option<BoundingBox> {
         let b = match name.to_lowercase().as_str() {
-            "nyc" | "new york" | "new york city" => BoundingBox::new(40.477, -74.259, 40.917, -73.700),
+            "nyc" | "new york" | "new york city" => {
+                BoundingBox::new(40.477, -74.259, 40.917, -73.700)
+            }
             "boston" => BoundingBox::new(42.227, -71.191, 42.400, -70.986),
             "london" => BoundingBox::new(51.286, -0.510, 51.692, 0.334),
             "tokyo" => BoundingBox::new(35.500, 139.500, 35.900, 140.000),

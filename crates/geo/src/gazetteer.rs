@@ -41,96 +41,823 @@ type Row = (
 );
 
 const CITIES: &[Row] = &[
-    ("Tokyo", "Japan", 35.6762, 139.6503, 37_400_000, 100.0, &["tokyo, japan", "tokio", "東京"]),
-    ("Jakarta", "Indonesia", -6.2088, 106.8456, 30_500_000, 60.0, &["jakarta, indonesia", "jkt"]),
-    ("New York", "USA", 40.7128, -74.0060, 19_400_000, 90.0, &["nyc", "new york city", "new york, ny", "manhattan", "brooklyn", "the big apple"]),
-    ("London", "UK", 51.5074, -0.1278, 13_700_000, 80.0, &["london, uk", "london, england", "ldn"]),
-    ("Sao Paulo", "Brazil", -23.5505, -46.6333, 20_800_000, 55.0, &["são paulo", "sao paulo, brazil", "sampa", "sp"]),
-    ("Los Angeles", "USA", 34.0522, -118.2437, 13_100_000, 50.0, &["la", "los angeles, ca", "l.a."]),
-    ("Chicago", "USA", 41.8781, -87.6298, 9_500_000, 35.0, &["chicago, il", "chi-town"]),
-    ("Boston", "USA", 42.3601, -71.0589, 4_600_000, 30.0, &["boston, ma", "beantown"]),
-    ("Cambridge", "USA", 42.3736, -71.1097, 105_000, 8.0, &["cambridge, ma"]),
-    ("San Francisco", "USA", 37.7749, -122.4194, 4_600_000, 45.0, &["sf", "san francisco, ca", "bay area", "san fran"]),
-    ("Washington", "USA", 38.9072, -77.0369, 5_600_000, 30.0, &["washington dc", "washington, dc", "dc", "d.c."]),
-    ("Seattle", "USA", 47.6062, -122.3321, 3_500_000, 22.0, &["seattle, wa"]),
-    ("Atlanta", "USA", 33.7490, -84.3880, 5_300_000, 20.0, &["atlanta, ga", "atl"]),
-    ("Houston", "USA", 29.7604, -95.3698, 5_900_000, 18.0, &["houston, tx"]),
-    ("Miami", "USA", 25.7617, -80.1918, 5_500_000, 18.0, &["miami, fl"]),
-    ("Dallas", "USA", 32.7767, -96.7970, 6_400_000, 16.0, &["dallas, tx"]),
-    ("Detroit", "USA", 42.3314, -83.0458, 4_300_000, 10.0, &["detroit, mi"]),
-    ("Philadelphia", "USA", 39.9526, -75.1652, 6_000_000, 15.0, &["philadelphia, pa", "philly"]),
-    ("Toronto", "Canada", 43.6532, -79.3832, 5_600_000, 25.0, &["toronto, canada", "toronto, on", "the 6"]),
-    ("Vancouver", "Canada", 49.2827, -123.1207, 2_300_000, 12.0, &["vancouver, bc"]),
-    ("Mexico City", "Mexico", 19.4326, -99.1332, 20_100_000, 30.0, &["ciudad de mexico", "cdmx", "df"]),
-    ("Rio de Janeiro", "Brazil", -22.9068, -43.1729, 12_000_000, 30.0, &["rio", "rio de janeiro, brazil"]),
-    ("Buenos Aires", "Argentina", -34.6037, -58.3816, 13_600_000, 22.0, &["buenos aires, argentina", "bsas"]),
-    ("Santiago", "Chile", -33.4489, -70.6693, 6_300_000, 12.0, &["santiago, chile", "santiago de chile"]),
-    ("Caracas", "Venezuela", 10.4806, -66.9036, 2_900_000, 14.0, &["caracas, venezuela"]),
-    ("Bogota", "Colombia", 4.7110, -74.0721, 9_100_000, 12.0, &["bogotá", "bogota, colombia"]),
-    ("Paris", "France", 48.8566, 2.3522, 10_900_000, 35.0, &["paris, france"]),
-    ("Berlin", "Germany", 52.5200, 13.4050, 3_500_000, 15.0, &["berlin, germany"]),
-    ("Madrid", "Spain", 40.4168, -3.7038, 6_200_000, 25.0, &["madrid, spain", "madrid, españa"]),
-    ("Barcelona", "Spain", 41.3851, 2.1734, 5_100_000, 20.0, &["barcelona, spain", "bcn"]),
-    ("Rome", "Italy", 41.9028, 12.4964, 3_800_000, 12.0, &["roma", "rome, italy"]),
-    ("Milan", "Italy", 45.4642, 9.1900, 3_100_000, 10.0, &["milano", "milan, italy"]),
-    ("Amsterdam", "Netherlands", 52.3676, 4.9041, 1_100_000, 14.0, &["amsterdam, nl"]),
-    ("Dublin", "Ireland", 53.3498, -6.2603, 1_200_000, 8.0, &["dublin, ireland"]),
-    ("Manchester", "UK", 53.4808, -2.2426, 2_700_000, 18.0, &["manchester, uk", "manchester, england", "mcr"]),
-    ("Liverpool", "UK", 53.4084, -2.9916, 900_000, 10.0, &["liverpool, uk", "liverpool, england"]),
-    ("Birmingham", "UK", 52.4862, -1.8904, 2_500_000, 9.0, &["birmingham, uk"]),
-    ("Glasgow", "UK", 55.8642, -4.2518, 1_200_000, 6.0, &["glasgow, scotland"]),
-    ("Edinburgh", "UK", 55.9533, -3.1883, 500_000, 5.0, &["edinburgh, scotland"]),
-    ("Moscow", "Russia", 55.7558, 37.6173, 16_200_000, 18.0, &["moscow, russia", "москва"]),
-    ("Istanbul", "Turkey", 41.0082, 28.9784, 13_000_000, 25.0, &["istanbul, turkey"]),
-    ("Cairo", "Egypt", 30.0444, 31.2357, 16_900_000, 15.0, &["cairo, egypt", "القاهرة"]),
-    ("Lagos", "Nigeria", 6.5244, 3.3792, 10_600_000, 8.0, &["lagos, nigeria"]),
-    ("Nairobi", "Kenya", -1.2921, 36.8219, 3_100_000, 4.0, &["nairobi, kenya"]),
-    ("Johannesburg", "South Africa", -26.2041, 28.0473, 7_900_000, 5.0, &["joburg", "johannesburg, sa", "jozi"]),
-    ("Cape Town", "South Africa", -33.9249, 18.4241, 3_400_000, 2.0, &["cape town, south africa", "kaapstad", "cpt"]),
-    ("Mumbai", "India", 19.0760, 72.8777, 19_700_000, 20.0, &["bombay", "mumbai, india"]),
-    ("Delhi", "India", 28.7041, 77.1025, 21_900_000, 18.0, &["new delhi", "delhi, india"]),
-    ("Bangalore", "India", 12.9716, 77.5946, 8_500_000, 12.0, &["bengaluru", "bangalore, india"]),
-    ("Karachi", "Pakistan", 24.8607, 67.0011, 13_200_000, 6.0, &["karachi, pakistan"]),
-    ("Dhaka", "Bangladesh", 23.8103, 90.4125, 14_700_000, 4.0, &["dhaka, bangladesh"]),
-    ("Bangkok", "Thailand", 13.7563, 100.5018, 14_600_000, 16.0, &["bangkok, thailand", "krung thep"]),
-    ("Singapore", "Singapore", 1.3521, 103.8198, 5_100_000, 18.0, &["sg", "singapore, sg"]),
-    ("Kuala Lumpur", "Malaysia", 3.1390, 101.6869, 6_300_000, 16.0, &["kl", "kuala lumpur, malaysia"]),
-    ("Manila", "Philippines", 14.5995, 120.9842, 22_700_000, 24.0, &["manila, philippines", "metro manila"]),
-    ("Seoul", "South Korea", 37.5665, 126.9780, 24_200_000, 30.0, &["seoul, korea", "서울"]),
-    ("Beijing", "China", 39.9042, 116.4074, 18_800_000, 8.0, &["beijing, china", "peking", "北京"]),
-    ("Shanghai", "China", 31.2304, 121.4737, 22_300_000, 9.0, &["shanghai, china", "上海"]),
-    ("Hong Kong", "China", 22.3193, 114.1694, 7_100_000, 12.0, &["hk", "hong kong, china", "香港"]),
-    ("Taipei", "Taiwan", 25.0330, 121.5654, 8_600_000, 10.0, &["taipei, taiwan", "台北"]),
-    ("Osaka", "Japan", 34.6937, 135.5023, 19_200_000, 35.0, &["osaka, japan", "大阪"]),
-    ("Nagoya", "Japan", 35.1815, 136.9066, 9_100_000, 15.0, &["nagoya, japan", "名古屋"]),
-    ("Sendai", "Japan", 38.2682, 140.8694, 2_300_000, 8.0, &["sendai, japan", "仙台"]),
-    ("Sydney", "Australia", -33.8688, 151.2093, 4_600_000, 18.0, &["sydney, australia", "syd"]),
-    ("Melbourne", "Australia", -37.8136, 144.9631, 4_100_000, 15.0, &["melbourne, australia", "melb"]),
-    ("Auckland", "New Zealand", -36.8485, 174.7633, 1_400_000, 6.0, &["auckland, nz"]),
-    ("Christchurch", "New Zealand", -43.5321, 172.6362, 380_000, 3.0, &["christchurch, nz", "chch"]),
-    ("Wellington", "New Zealand", -41.2865, 174.7762, 400_000, 3.0, &["wellington, nz"]),
-    ("Honolulu", "USA", 21.3069, -157.8583, 950_000, 4.0, &["honolulu, hi", "hawaii"]),
-    ("Anchorage", "USA", 61.2181, -149.9003, 300_000, 1.0, &["anchorage, ak", "alaska"]),
-    ("Reykjavik", "Iceland", 64.1466, -21.9426, 200_000, 1.5, &["reykjavík", "reykjavik, iceland"]),
-    ("Port-au-Prince", "Haiti", 18.5944, -72.3074, 2_600_000, 1.0, &["port au prince", "haiti"]),
-    ("Kingston", "Jamaica", 17.9712, -76.7936, 1_200_000, 2.0, &["kingston, jamaica"]),
-    ("Lima", "Peru", -12.0464, -77.0428, 9_700_000, 8.0, &["lima, peru"]),
-    ("Quito", "Ecuador", -0.1807, -78.4678, 1_800_000, 3.0, &["quito, ecuador"]),
-    ("Stockholm", "Sweden", 59.3293, 18.0686, 2_100_000, 10.0, &["stockholm, sweden", "sthlm"]),
-    ("Oslo", "Norway", 59.9139, 10.7522, 1_000_000, 6.0, &["oslo, norway"]),
-    ("Helsinki", "Finland", 60.1699, 24.9384, 1_100_000, 6.0, &["helsinki, finland"]),
-    ("Copenhagen", "Denmark", 55.6761, 12.5683, 1_300_000, 7.0, &["copenhagen, denmark", "københavn"]),
-    ("Vienna", "Austria", 48.2082, 16.3738, 1_900_000, 7.0, &["vienna, austria", "wien"]),
-    ("Zurich", "Switzerland", 47.3769, 8.5417, 1_400_000, 6.0, &["zürich", "zurich, switzerland"]),
-    ("Brussels", "Belgium", 50.8503, 4.3517, 1_200_000, 6.0, &["brussels, belgium", "bruxelles"]),
-    ("Lisbon", "Portugal", 38.7223, -9.1393, 2_800_000, 8.0, &["lisboa", "lisbon, portugal"]),
-    ("Athens", "Greece", 37.9838, 23.7275, 3_800_000, 7.0, &["athens, greece", "athina"]),
-    ("Warsaw", "Poland", 52.2297, 21.0122, 3_100_000, 7.0, &["warszawa", "warsaw, poland"]),
-    ("Prague", "Czech Republic", 50.0755, 14.4378, 2_200_000, 6.0, &["praha", "prague, cz"]),
-    ("Budapest", "Hungary", 47.4979, 19.0402, 2_500_000, 5.0, &["budapest, hungary"]),
-    ("Dubai", "UAE", 25.2048, 55.2708, 1_900_000, 10.0, &["dubai, uae"]),
-    ("Tel Aviv", "Israel", 32.0853, 34.7818, 3_600_000, 8.0, &["tel aviv, israel", "tlv"]),
-    ("Riyadh", "Saudi Arabia", 24.7136, 46.6753, 5_200_000, 9.0, &["riyadh, saudi arabia"]),
+    (
+        "Tokyo",
+        "Japan",
+        35.6762,
+        139.6503,
+        37_400_000,
+        100.0,
+        &["tokyo, japan", "tokio", "東京"],
+    ),
+    (
+        "Jakarta",
+        "Indonesia",
+        -6.2088,
+        106.8456,
+        30_500_000,
+        60.0,
+        &["jakarta, indonesia", "jkt"],
+    ),
+    (
+        "New York",
+        "USA",
+        40.7128,
+        -74.0060,
+        19_400_000,
+        90.0,
+        &[
+            "nyc",
+            "new york city",
+            "new york, ny",
+            "manhattan",
+            "brooklyn",
+            "the big apple",
+        ],
+    ),
+    (
+        "London",
+        "UK",
+        51.5074,
+        -0.1278,
+        13_700_000,
+        80.0,
+        &["london, uk", "london, england", "ldn"],
+    ),
+    (
+        "Sao Paulo",
+        "Brazil",
+        -23.5505,
+        -46.6333,
+        20_800_000,
+        55.0,
+        &["são paulo", "sao paulo, brazil", "sampa", "sp"],
+    ),
+    (
+        "Los Angeles",
+        "USA",
+        34.0522,
+        -118.2437,
+        13_100_000,
+        50.0,
+        &["la", "los angeles, ca", "l.a."],
+    ),
+    (
+        "Chicago",
+        "USA",
+        41.8781,
+        -87.6298,
+        9_500_000,
+        35.0,
+        &["chicago, il", "chi-town"],
+    ),
+    (
+        "Boston",
+        "USA",
+        42.3601,
+        -71.0589,
+        4_600_000,
+        30.0,
+        &["boston, ma", "beantown"],
+    ),
+    (
+        "Cambridge",
+        "USA",
+        42.3736,
+        -71.1097,
+        105_000,
+        8.0,
+        &["cambridge, ma"],
+    ),
+    (
+        "San Francisco",
+        "USA",
+        37.7749,
+        -122.4194,
+        4_600_000,
+        45.0,
+        &["sf", "san francisco, ca", "bay area", "san fran"],
+    ),
+    (
+        "Washington",
+        "USA",
+        38.9072,
+        -77.0369,
+        5_600_000,
+        30.0,
+        &["washington dc", "washington, dc", "dc", "d.c."],
+    ),
+    (
+        "Seattle",
+        "USA",
+        47.6062,
+        -122.3321,
+        3_500_000,
+        22.0,
+        &["seattle, wa"],
+    ),
+    (
+        "Atlanta",
+        "USA",
+        33.7490,
+        -84.3880,
+        5_300_000,
+        20.0,
+        &["atlanta, ga", "atl"],
+    ),
+    (
+        "Houston",
+        "USA",
+        29.7604,
+        -95.3698,
+        5_900_000,
+        18.0,
+        &["houston, tx"],
+    ),
+    (
+        "Miami",
+        "USA",
+        25.7617,
+        -80.1918,
+        5_500_000,
+        18.0,
+        &["miami, fl"],
+    ),
+    (
+        "Dallas",
+        "USA",
+        32.7767,
+        -96.7970,
+        6_400_000,
+        16.0,
+        &["dallas, tx"],
+    ),
+    (
+        "Detroit",
+        "USA",
+        42.3314,
+        -83.0458,
+        4_300_000,
+        10.0,
+        &["detroit, mi"],
+    ),
+    (
+        "Philadelphia",
+        "USA",
+        39.9526,
+        -75.1652,
+        6_000_000,
+        15.0,
+        &["philadelphia, pa", "philly"],
+    ),
+    (
+        "Toronto",
+        "Canada",
+        43.6532,
+        -79.3832,
+        5_600_000,
+        25.0,
+        &["toronto, canada", "toronto, on", "the 6"],
+    ),
+    (
+        "Vancouver",
+        "Canada",
+        49.2827,
+        -123.1207,
+        2_300_000,
+        12.0,
+        &["vancouver, bc"],
+    ),
+    (
+        "Mexico City",
+        "Mexico",
+        19.4326,
+        -99.1332,
+        20_100_000,
+        30.0,
+        &["ciudad de mexico", "cdmx", "df"],
+    ),
+    (
+        "Rio de Janeiro",
+        "Brazil",
+        -22.9068,
+        -43.1729,
+        12_000_000,
+        30.0,
+        &["rio", "rio de janeiro, brazil"],
+    ),
+    (
+        "Buenos Aires",
+        "Argentina",
+        -34.6037,
+        -58.3816,
+        13_600_000,
+        22.0,
+        &["buenos aires, argentina", "bsas"],
+    ),
+    (
+        "Santiago",
+        "Chile",
+        -33.4489,
+        -70.6693,
+        6_300_000,
+        12.0,
+        &["santiago, chile", "santiago de chile"],
+    ),
+    (
+        "Caracas",
+        "Venezuela",
+        10.4806,
+        -66.9036,
+        2_900_000,
+        14.0,
+        &["caracas, venezuela"],
+    ),
+    (
+        "Bogota",
+        "Colombia",
+        4.7110,
+        -74.0721,
+        9_100_000,
+        12.0,
+        &["bogotá", "bogota, colombia"],
+    ),
+    (
+        "Paris",
+        "France",
+        48.8566,
+        2.3522,
+        10_900_000,
+        35.0,
+        &["paris, france"],
+    ),
+    (
+        "Berlin",
+        "Germany",
+        52.5200,
+        13.4050,
+        3_500_000,
+        15.0,
+        &["berlin, germany"],
+    ),
+    (
+        "Madrid",
+        "Spain",
+        40.4168,
+        -3.7038,
+        6_200_000,
+        25.0,
+        &["madrid, spain", "madrid, españa"],
+    ),
+    (
+        "Barcelona",
+        "Spain",
+        41.3851,
+        2.1734,
+        5_100_000,
+        20.0,
+        &["barcelona, spain", "bcn"],
+    ),
+    (
+        "Rome",
+        "Italy",
+        41.9028,
+        12.4964,
+        3_800_000,
+        12.0,
+        &["roma", "rome, italy"],
+    ),
+    (
+        "Milan",
+        "Italy",
+        45.4642,
+        9.1900,
+        3_100_000,
+        10.0,
+        &["milano", "milan, italy"],
+    ),
+    (
+        "Amsterdam",
+        "Netherlands",
+        52.3676,
+        4.9041,
+        1_100_000,
+        14.0,
+        &["amsterdam, nl"],
+    ),
+    (
+        "Dublin",
+        "Ireland",
+        53.3498,
+        -6.2603,
+        1_200_000,
+        8.0,
+        &["dublin, ireland"],
+    ),
+    (
+        "Manchester",
+        "UK",
+        53.4808,
+        -2.2426,
+        2_700_000,
+        18.0,
+        &["manchester, uk", "manchester, england", "mcr"],
+    ),
+    (
+        "Liverpool",
+        "UK",
+        53.4084,
+        -2.9916,
+        900_000,
+        10.0,
+        &["liverpool, uk", "liverpool, england"],
+    ),
+    (
+        "Birmingham",
+        "UK",
+        52.4862,
+        -1.8904,
+        2_500_000,
+        9.0,
+        &["birmingham, uk"],
+    ),
+    (
+        "Glasgow",
+        "UK",
+        55.8642,
+        -4.2518,
+        1_200_000,
+        6.0,
+        &["glasgow, scotland"],
+    ),
+    (
+        "Edinburgh",
+        "UK",
+        55.9533,
+        -3.1883,
+        500_000,
+        5.0,
+        &["edinburgh, scotland"],
+    ),
+    (
+        "Moscow",
+        "Russia",
+        55.7558,
+        37.6173,
+        16_200_000,
+        18.0,
+        &["moscow, russia", "москва"],
+    ),
+    (
+        "Istanbul",
+        "Turkey",
+        41.0082,
+        28.9784,
+        13_000_000,
+        25.0,
+        &["istanbul, turkey"],
+    ),
+    (
+        "Cairo",
+        "Egypt",
+        30.0444,
+        31.2357,
+        16_900_000,
+        15.0,
+        &["cairo, egypt", "القاهرة"],
+    ),
+    (
+        "Lagos",
+        "Nigeria",
+        6.5244,
+        3.3792,
+        10_600_000,
+        8.0,
+        &["lagos, nigeria"],
+    ),
+    (
+        "Nairobi",
+        "Kenya",
+        -1.2921,
+        36.8219,
+        3_100_000,
+        4.0,
+        &["nairobi, kenya"],
+    ),
+    (
+        "Johannesburg",
+        "South Africa",
+        -26.2041,
+        28.0473,
+        7_900_000,
+        5.0,
+        &["joburg", "johannesburg, sa", "jozi"],
+    ),
+    (
+        "Cape Town",
+        "South Africa",
+        -33.9249,
+        18.4241,
+        3_400_000,
+        2.0,
+        &["cape town, south africa", "kaapstad", "cpt"],
+    ),
+    (
+        "Mumbai",
+        "India",
+        19.0760,
+        72.8777,
+        19_700_000,
+        20.0,
+        &["bombay", "mumbai, india"],
+    ),
+    (
+        "Delhi",
+        "India",
+        28.7041,
+        77.1025,
+        21_900_000,
+        18.0,
+        &["new delhi", "delhi, india"],
+    ),
+    (
+        "Bangalore",
+        "India",
+        12.9716,
+        77.5946,
+        8_500_000,
+        12.0,
+        &["bengaluru", "bangalore, india"],
+    ),
+    (
+        "Karachi",
+        "Pakistan",
+        24.8607,
+        67.0011,
+        13_200_000,
+        6.0,
+        &["karachi, pakistan"],
+    ),
+    (
+        "Dhaka",
+        "Bangladesh",
+        23.8103,
+        90.4125,
+        14_700_000,
+        4.0,
+        &["dhaka, bangladesh"],
+    ),
+    (
+        "Bangkok",
+        "Thailand",
+        13.7563,
+        100.5018,
+        14_600_000,
+        16.0,
+        &["bangkok, thailand", "krung thep"],
+    ),
+    (
+        "Singapore",
+        "Singapore",
+        1.3521,
+        103.8198,
+        5_100_000,
+        18.0,
+        &["sg", "singapore, sg"],
+    ),
+    (
+        "Kuala Lumpur",
+        "Malaysia",
+        3.1390,
+        101.6869,
+        6_300_000,
+        16.0,
+        &["kl", "kuala lumpur, malaysia"],
+    ),
+    (
+        "Manila",
+        "Philippines",
+        14.5995,
+        120.9842,
+        22_700_000,
+        24.0,
+        &["manila, philippines", "metro manila"],
+    ),
+    (
+        "Seoul",
+        "South Korea",
+        37.5665,
+        126.9780,
+        24_200_000,
+        30.0,
+        &["seoul, korea", "서울"],
+    ),
+    (
+        "Beijing",
+        "China",
+        39.9042,
+        116.4074,
+        18_800_000,
+        8.0,
+        &["beijing, china", "peking", "北京"],
+    ),
+    (
+        "Shanghai",
+        "China",
+        31.2304,
+        121.4737,
+        22_300_000,
+        9.0,
+        &["shanghai, china", "上海"],
+    ),
+    (
+        "Hong Kong",
+        "China",
+        22.3193,
+        114.1694,
+        7_100_000,
+        12.0,
+        &["hk", "hong kong, china", "香港"],
+    ),
+    (
+        "Taipei",
+        "Taiwan",
+        25.0330,
+        121.5654,
+        8_600_000,
+        10.0,
+        &["taipei, taiwan", "台北"],
+    ),
+    (
+        "Osaka",
+        "Japan",
+        34.6937,
+        135.5023,
+        19_200_000,
+        35.0,
+        &["osaka, japan", "大阪"],
+    ),
+    (
+        "Nagoya",
+        "Japan",
+        35.1815,
+        136.9066,
+        9_100_000,
+        15.0,
+        &["nagoya, japan", "名古屋"],
+    ),
+    (
+        "Sendai",
+        "Japan",
+        38.2682,
+        140.8694,
+        2_300_000,
+        8.0,
+        &["sendai, japan", "仙台"],
+    ),
+    (
+        "Sydney",
+        "Australia",
+        -33.8688,
+        151.2093,
+        4_600_000,
+        18.0,
+        &["sydney, australia", "syd"],
+    ),
+    (
+        "Melbourne",
+        "Australia",
+        -37.8136,
+        144.9631,
+        4_100_000,
+        15.0,
+        &["melbourne, australia", "melb"],
+    ),
+    (
+        "Auckland",
+        "New Zealand",
+        -36.8485,
+        174.7633,
+        1_400_000,
+        6.0,
+        &["auckland, nz"],
+    ),
+    (
+        "Christchurch",
+        "New Zealand",
+        -43.5321,
+        172.6362,
+        380_000,
+        3.0,
+        &["christchurch, nz", "chch"],
+    ),
+    (
+        "Wellington",
+        "New Zealand",
+        -41.2865,
+        174.7762,
+        400_000,
+        3.0,
+        &["wellington, nz"],
+    ),
+    (
+        "Honolulu",
+        "USA",
+        21.3069,
+        -157.8583,
+        950_000,
+        4.0,
+        &["honolulu, hi", "hawaii"],
+    ),
+    (
+        "Anchorage",
+        "USA",
+        61.2181,
+        -149.9003,
+        300_000,
+        1.0,
+        &["anchorage, ak", "alaska"],
+    ),
+    (
+        "Reykjavik",
+        "Iceland",
+        64.1466,
+        -21.9426,
+        200_000,
+        1.5,
+        &["reykjavík", "reykjavik, iceland"],
+    ),
+    (
+        "Port-au-Prince",
+        "Haiti",
+        18.5944,
+        -72.3074,
+        2_600_000,
+        1.0,
+        &["port au prince", "haiti"],
+    ),
+    (
+        "Kingston",
+        "Jamaica",
+        17.9712,
+        -76.7936,
+        1_200_000,
+        2.0,
+        &["kingston, jamaica"],
+    ),
+    (
+        "Lima",
+        "Peru",
+        -12.0464,
+        -77.0428,
+        9_700_000,
+        8.0,
+        &["lima, peru"],
+    ),
+    (
+        "Quito",
+        "Ecuador",
+        -0.1807,
+        -78.4678,
+        1_800_000,
+        3.0,
+        &["quito, ecuador"],
+    ),
+    (
+        "Stockholm",
+        "Sweden",
+        59.3293,
+        18.0686,
+        2_100_000,
+        10.0,
+        &["stockholm, sweden", "sthlm"],
+    ),
+    (
+        "Oslo",
+        "Norway",
+        59.9139,
+        10.7522,
+        1_000_000,
+        6.0,
+        &["oslo, norway"],
+    ),
+    (
+        "Helsinki",
+        "Finland",
+        60.1699,
+        24.9384,
+        1_100_000,
+        6.0,
+        &["helsinki, finland"],
+    ),
+    (
+        "Copenhagen",
+        "Denmark",
+        55.6761,
+        12.5683,
+        1_300_000,
+        7.0,
+        &["copenhagen, denmark", "københavn"],
+    ),
+    (
+        "Vienna",
+        "Austria",
+        48.2082,
+        16.3738,
+        1_900_000,
+        7.0,
+        &["vienna, austria", "wien"],
+    ),
+    (
+        "Zurich",
+        "Switzerland",
+        47.3769,
+        8.5417,
+        1_400_000,
+        6.0,
+        &["zürich", "zurich, switzerland"],
+    ),
+    (
+        "Brussels",
+        "Belgium",
+        50.8503,
+        4.3517,
+        1_200_000,
+        6.0,
+        &["brussels, belgium", "bruxelles"],
+    ),
+    (
+        "Lisbon",
+        "Portugal",
+        38.7223,
+        -9.1393,
+        2_800_000,
+        8.0,
+        &["lisboa", "lisbon, portugal"],
+    ),
+    (
+        "Athens",
+        "Greece",
+        37.9838,
+        23.7275,
+        3_800_000,
+        7.0,
+        &["athens, greece", "athina"],
+    ),
+    (
+        "Warsaw",
+        "Poland",
+        52.2297,
+        21.0122,
+        3_100_000,
+        7.0,
+        &["warszawa", "warsaw, poland"],
+    ),
+    (
+        "Prague",
+        "Czech Republic",
+        50.0755,
+        14.4378,
+        2_200_000,
+        6.0,
+        &["praha", "prague, cz"],
+    ),
+    (
+        "Budapest",
+        "Hungary",
+        47.4979,
+        19.0402,
+        2_500_000,
+        5.0,
+        &["budapest, hungary"],
+    ),
+    (
+        "Dubai",
+        "UAE",
+        25.2048,
+        55.2708,
+        1_900_000,
+        10.0,
+        &["dubai, uae"],
+    ),
+    (
+        "Tel Aviv",
+        "Israel",
+        32.0853,
+        34.7818,
+        3_600_000,
+        8.0,
+        &["tel aviv, israel", "tlv"],
+    ),
+    (
+        "Riyadh",
+        "Saudi Arabia",
+        24.7136,
+        46.6753,
+        5_200_000,
+        9.0,
+        &["riyadh, saudi arabia"],
+    ),
 ];
 
 /// Fuzzy free-text city lookup.
@@ -151,14 +878,16 @@ impl Gazetteer {
     pub fn new() -> Gazetteer {
         let cities: Vec<City> = CITIES
             .iter()
-            .map(|&(name, country, lat, lon, population, twitter_weight, aliases)| City {
-                name,
-                country,
-                center: GeoPoint::new(lat, lon),
-                population,
-                twitter_weight,
-                aliases,
-            })
+            .map(
+                |&(name, country, lat, lon, population, twitter_weight, aliases)| City {
+                    name,
+                    country,
+                    center: GeoPoint::new(lat, lon),
+                    population,
+                    twitter_weight,
+                    aliases,
+                },
+            )
             .collect();
         let mut index = HashMap::new();
         for (i, c) in cities.iter().enumerate() {
@@ -187,7 +916,9 @@ impl Gazetteer {
 
     /// City by exact canonical name.
     pub fn by_name(&self, name: &str) -> Option<&City> {
-        self.index.get(&name.to_lowercase()).map(|&i| &self.cities[i])
+        self.index
+            .get(&name.to_lowercase())
+            .map(|&i| &self.cities[i])
     }
 
     /// Resolve messy free-text profile locations: trims noise

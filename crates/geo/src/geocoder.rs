@@ -105,12 +105,7 @@ impl<G: Geocoder> SimulatedRemoteGeocoder<G> {
     }
 
     /// Wrap with an explicit latency model.
-    pub fn with_model(
-        inner: G,
-        clock: Arc<VirtualClock>,
-        model: LatencyModel,
-        seed: u64,
-    ) -> Self {
+    pub fn with_model(inner: G, clock: Arc<VirtualClock>, model: LatencyModel, seed: u64) -> Self {
         SimulatedRemoteGeocoder {
             inner,
             sampler: LatencySampler::new(model, seed),
@@ -251,10 +246,7 @@ impl<G: Geocoder> Geocoder for CachingGeocoder<G> {
 
     fn geocode_batch(&mut self, locations: &[&str]) -> Vec<Option<GeocodeResult>> {
         // Serve hits from cache; forward only the distinct misses.
-        let keys: Vec<String> = locations
-            .iter()
-            .map(|l| l.trim().to_lowercase())
-            .collect();
+        let keys: Vec<String> = locations.iter().map(|l| l.trim().to_lowercase()).collect();
         let mut out: Vec<Option<Option<GeocodeResult>>> = Vec::with_capacity(keys.len());
         let mut misses: Vec<usize> = Vec::new();
         for (i, key) in keys.iter().enumerate() {

@@ -115,7 +115,10 @@ mod tests {
     fn advance_by_zero_or_negative_is_noop() {
         let c = VirtualClock::starting_at(Timestamp::from_secs(7));
         assert_eq!(c.advance(Duration::ZERO), Timestamp::from_secs(7));
-        assert_eq!(c.advance(Duration::from_millis(-5)), Timestamp::from_secs(7));
+        assert_eq!(
+            c.advance(Duration::from_millis(-5)),
+            Timestamp::from_secs(7)
+        );
     }
 
     #[test]

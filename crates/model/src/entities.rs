@@ -104,7 +104,8 @@ impl Entities {
                     continue;
                 }
                 'h' if token_start
-                    && (bytes[i..].starts_with(b"http://") || bytes[i..].starts_with(b"https://")) =>
+                    && (bytes[i..].starts_with(b"http://")
+                        || bytes[i..].starts_with(b"https://")) =>
                 {
                     let mut end = i;
                     // Consume this char and following URL chars.
@@ -152,11 +153,19 @@ mod tests {
     use super::*;
 
     fn tags(text: &str) -> Vec<String> {
-        Entities::parse(text).hashtags.into_iter().map(|h| h.tag).collect()
+        Entities::parse(text)
+            .hashtags
+            .into_iter()
+            .map(|h| h.tag)
+            .collect()
     }
 
     fn urls(text: &str) -> Vec<String> {
-        Entities::parse(text).urls.into_iter().map(|u| u.url).collect()
+        Entities::parse(text)
+            .urls
+            .into_iter()
+            .map(|u| u.url)
+            .collect()
     }
 
     fn mentions(text: &str) -> Vec<String> {
@@ -169,7 +178,10 @@ mod tests {
 
     #[test]
     fn extracts_hashtags() {
-        assert_eq!(tags("GOAL! #MCFC #premierleague"), vec!["mcfc", "premierleague"]);
+        assert_eq!(
+            tags("GOAL! #MCFC #premierleague"),
+            vec!["mcfc", "premierleague"]
+        );
     }
 
     #[test]

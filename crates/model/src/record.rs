@@ -237,8 +237,7 @@ mod tests {
     #[test]
     fn render_row() {
         let s = Schema::shared(&[("a", DataType::Int), ("b", DataType::Str)]);
-        let r =
-            Record::new(s, vec![Value::Int(1), Value::from("hi")], Timestamp::ZERO).unwrap();
+        let r = Record::new(s, vec![Value::Int(1), Value::from("hi")], Timestamp::ZERO).unwrap();
         assert_eq!(r.render_row(), "1 | hi");
     }
 }

@@ -77,10 +77,7 @@ impl Schema {
     /// Convenience: build from `(name, type)` pairs and wrap in an `Arc`.
     pub fn shared(fields: &[(&str, DataType)]) -> SchemaRef {
         Arc::new(Schema::new(
-            fields
-                .iter()
-                .map(|(n, t)| Field::new(*n, *t))
-                .collect(),
+            fields.iter().map(|(n, t)| Field::new(*n, *t)).collect(),
         ))
     }
 

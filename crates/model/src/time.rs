@@ -220,11 +220,20 @@ mod tests {
     fn parse_common_units() {
         assert_eq!(Duration::parse("3 hours").unwrap(), Duration::from_hours(3));
         assert_eq!(Duration::parse("1 hour").unwrap(), Duration::from_hours(1));
-        assert_eq!(Duration::parse("90 seconds").unwrap(), Duration::from_secs(90));
+        assert_eq!(
+            Duration::parse("90 seconds").unwrap(),
+            Duration::from_secs(90)
+        );
         assert_eq!(Duration::parse("5min").unwrap(), Duration::from_mins(5));
-        assert_eq!(Duration::parse("250 ms").unwrap(), Duration::from_millis(250));
+        assert_eq!(
+            Duration::parse("250 ms").unwrap(),
+            Duration::from_millis(250)
+        );
         assert_eq!(Duration::parse("2 days").unwrap(), Duration::from_hours(48));
-        assert_eq!(Duration::parse("  10 s  ").unwrap(), Duration::from_secs(10));
+        assert_eq!(
+            Duration::parse("  10 s  ").unwrap(),
+            Duration::from_secs(10)
+        );
     }
 
     #[test]
@@ -239,9 +248,18 @@ mod tests {
     fn truncate_buckets_timestamps() {
         let m = Duration::from_mins(1);
         assert_eq!(Timestamp::from_secs(0).truncate(m), Timestamp::from_secs(0));
-        assert_eq!(Timestamp::from_secs(59).truncate(m), Timestamp::from_secs(0));
-        assert_eq!(Timestamp::from_secs(60).truncate(m), Timestamp::from_secs(60));
-        assert_eq!(Timestamp::from_secs(61).truncate(m), Timestamp::from_secs(60));
+        assert_eq!(
+            Timestamp::from_secs(59).truncate(m),
+            Timestamp::from_secs(0)
+        );
+        assert_eq!(
+            Timestamp::from_secs(60).truncate(m),
+            Timestamp::from_secs(60)
+        );
+        assert_eq!(
+            Timestamp::from_secs(61).truncate(m),
+            Timestamp::from_secs(60)
+        );
         // Negative timestamps floor toward -inf, not toward zero.
         assert_eq!(
             Timestamp::from_secs(-1).truncate(m),

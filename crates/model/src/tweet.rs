@@ -176,7 +176,9 @@ mod tests {
 
     #[test]
     fn explicit_entities_skip_parse() {
-        let t = Tweet::builder(2, "#skipme").entities(Entities::default()).build();
+        let t = Tweet::builder(2, "#skipme")
+            .entities(Entities::default())
+            .build();
         assert!(t.entities.is_empty());
     }
 

@@ -89,8 +89,11 @@ impl AhoCorasick {
             queue.push_back(n);
         }
         while let Some(u) = queue.pop_front() {
-            let children: Vec<(char, usize)> =
-                self.nodes[u].children.iter().map(|(&c, &n)| (c, n)).collect();
+            let children: Vec<(char, usize)> = self.nodes[u]
+                .children
+                .iter()
+                .map(|(&c, &n)| (c, n))
+                .collect();
             for (c, v) in children {
                 // Walk failure links of u to find the longest proper
                 // suffix that is also a prefix.
@@ -248,7 +251,10 @@ mod tests {
         assert_eq!(ms[0].pattern, 0);
         assert_eq!(ms[1].pattern, 1);
         // Byte offsets line up with the source text.
-        assert_eq!(&"今日地震があった、津波注意"[ms[0].start..ms[0].end], "地震");
+        assert_eq!(
+            &"今日地震があった、津波注意"[ms[0].start..ms[0].end],
+            "地震"
+        );
     }
 
     #[test]

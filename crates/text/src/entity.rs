@@ -47,35 +47,141 @@ pub struct NamedEntity {
 }
 
 const PEOPLE: &[&str] = &[
-    "barack obama", "obama", "michelle obama", "joe biden", "biden", "hillary clinton",
-    "carlos tevez", "tevez", "wayne rooney", "rooney", "steven gerrard", "gerrard",
-    "lionel messi", "messi", "cristiano ronaldo", "ronaldo", "david beckham", "beckham",
-    "mario balotelli", "balotelli", "sergio aguero", "aguero", "luis suarez", "suarez",
-    "kenny dalglish", "dalglish", "roberto mancini", "mancini", "david cameron",
-    "angela merkel", "vladimir putin", "oprah", "kanye west", "lady gaga", "justin bieber",
+    "barack obama",
+    "obama",
+    "michelle obama",
+    "joe biden",
+    "biden",
+    "hillary clinton",
+    "carlos tevez",
+    "tevez",
+    "wayne rooney",
+    "rooney",
+    "steven gerrard",
+    "gerrard",
+    "lionel messi",
+    "messi",
+    "cristiano ronaldo",
+    "ronaldo",
+    "david beckham",
+    "beckham",
+    "mario balotelli",
+    "balotelli",
+    "sergio aguero",
+    "aguero",
+    "luis suarez",
+    "suarez",
+    "kenny dalglish",
+    "dalglish",
+    "roberto mancini",
+    "mancini",
+    "david cameron",
+    "angela merkel",
+    "vladimir putin",
+    "oprah",
+    "kanye west",
+    "lady gaga",
+    "justin bieber",
 ];
 
 const PLACES: &[&str] = &[
-    "new york", "nyc", "manhattan", "brooklyn", "boston", "cambridge", "chicago",
-    "los angeles", "san francisco", "washington", "seattle", "tokyo", "osaka", "sendai",
-    "fukushima", "london", "manchester", "liverpool city", "paris", "berlin", "madrid",
-    "barcelona city", "cairo", "cape town", "johannesburg", "sydney", "mumbai", "delhi",
-    "sao paulo", "rio de janeiro", "mexico city", "haiti", "port-au-prince", "christchurch",
-    "jakarta", "istanbul", "moscow", "beijing", "shanghai", "seoul", "white house",
-    "wembley", "old trafford", "anfield", "etihad",
+    "new york",
+    "nyc",
+    "manhattan",
+    "brooklyn",
+    "boston",
+    "cambridge",
+    "chicago",
+    "los angeles",
+    "san francisco",
+    "washington",
+    "seattle",
+    "tokyo",
+    "osaka",
+    "sendai",
+    "fukushima",
+    "london",
+    "manchester",
+    "liverpool city",
+    "paris",
+    "berlin",
+    "madrid",
+    "barcelona city",
+    "cairo",
+    "cape town",
+    "johannesburg",
+    "sydney",
+    "mumbai",
+    "delhi",
+    "sao paulo",
+    "rio de janeiro",
+    "mexico city",
+    "haiti",
+    "port-au-prince",
+    "christchurch",
+    "jakarta",
+    "istanbul",
+    "moscow",
+    "beijing",
+    "shanghai",
+    "seoul",
+    "white house",
+    "wembley",
+    "old trafford",
+    "anfield",
+    "etihad",
 ];
 
 const ORGS: &[&str] = &[
-    "united nations", "red cross", "fema", "usgs", "nasa", "fifa", "uefa", "nfl", "nba",
-    "congress", "senate", "white house", "google", "twitter", "facebook", "apple",
-    "microsoft", "bbc", "cnn", "reuters", "premier league", "mit", "harvard",
+    "united nations",
+    "red cross",
+    "fema",
+    "usgs",
+    "nasa",
+    "fifa",
+    "uefa",
+    "nfl",
+    "nba",
+    "congress",
+    "senate",
+    "white house",
+    "google",
+    "twitter",
+    "facebook",
+    "apple",
+    "microsoft",
+    "bbc",
+    "cnn",
+    "reuters",
+    "premier league",
+    "mit",
+    "harvard",
 ];
 
 const TEAMS: &[&str] = &[
-    "manchester city", "man city", "mcfc", "manchester united", "man united", "man utd",
-    "liverpool", "lfc", "chelsea", "arsenal", "tottenham", "everton", "barcelona",
-    "real madrid", "bayern munich", "juventus", "ac milan", "inter milan", "red sox",
-    "yankees", "lakers", "celtics", "patriots",
+    "manchester city",
+    "man city",
+    "mcfc",
+    "manchester united",
+    "man united",
+    "man utd",
+    "liverpool",
+    "lfc",
+    "chelsea",
+    "arsenal",
+    "tottenham",
+    "everton",
+    "barcelona",
+    "real madrid",
+    "bayern munich",
+    "juventus",
+    "ac milan",
+    "inter milan",
+    "red sox",
+    "yankees",
+    "lakers",
+    "celtics",
+    "patriots",
 ];
 
 struct Dictionary {

@@ -47,8 +47,14 @@ pub fn is_elongated(word: &str) -> bool {
 pub fn light_stem(word: &str) -> String {
     let w = word.to_lowercase();
     let n = w.len();
-    for (suffix, min_stem) in [("ings", 4), ("ing", 4), ("edly", 4), ("es", 4), ("ed", 4), ("s", 4)]
-    {
+    for (suffix, min_stem) in [
+        ("ings", 4),
+        ("ing", 4),
+        ("edly", 4),
+        ("es", 4),
+        ("ed", 4),
+        ("s", 4),
+    ] {
         if let Some(stem) = w.strip_suffix(suffix) {
             if stem.len() >= min_stem - 1 && stem.chars().last().is_some_and(|c| c.is_alphabetic())
             {

@@ -95,7 +95,12 @@ impl Regex {
             };
             let (s, e) = caps[0].unwrap();
             out.push((at + s, at + e));
-            let next = at + if e > s { e } else { e + utf8_len_at(text, at + e) };
+            let next = at
+                + if e > s {
+                    e
+                } else {
+                    e + utf8_len_at(text, at + e)
+                };
             if next == at {
                 break;
             }

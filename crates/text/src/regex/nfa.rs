@@ -147,9 +147,9 @@ impl Compiler {
             }
             Ast::AnchorStart => self.insts.push(Inst::AssertStart),
             Ast::AnchorEnd => self.insts.push(Inst::AssertEnd),
-            Ast::WordBoundary { negated } => {
-                self.insts.push(Inst::AssertWordBoundary { negated: *negated })
-            }
+            Ast::WordBoundary { negated } => self
+                .insts
+                .push(Inst::AssertWordBoundary { negated: *negated }),
             Ast::Repeat {
                 node,
                 min,

@@ -23,7 +23,11 @@ pub struct RegexError {
 
 impl fmt::Display for RegexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "regex parse error at {}: {}", self.position, self.message)
+        write!(
+            f,
+            "regex parse error at {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -407,7 +411,11 @@ impl<'a> Parser<'a> {
             };
             // Range? `a-z` — but `-` at end of class is a literal.
             if self.peek() == Some('-')
-                && self.chars.get(self.pos + 1).copied().is_some_and(|n| n != ']')
+                && self
+                    .chars
+                    .get(self.pos + 1)
+                    .copied()
+                    .is_some_and(|n| n != ']')
             {
                 self.bump(); // '-'
                 let Some(hi_raw) = self.bump() else {
@@ -465,7 +473,9 @@ mod tests {
     fn counted_repetition() {
         let (ast, _, _) = parse("a{2,5}").unwrap();
         match ast {
-            Ast::Repeat { min, max, greedy, .. } => {
+            Ast::Repeat {
+                min, max, greedy, ..
+            } => {
                 assert_eq!(min, 2);
                 assert_eq!(max, Some(5));
                 assert!(greedy);

@@ -28,8 +28,8 @@ impl Default for FeatureOptions {
 }
 
 const NEGATORS: &[&str] = &[
-    "not", "no", "never", "don't", "dont", "doesn't", "doesnt", "didn't", "didnt", "can't",
-    "cant", "won't", "wont", "isn't", "isnt",
+    "not", "no", "never", "don't", "dont", "doesn't", "doesnt", "didn't", "didnt", "can't", "cant",
+    "won't", "wont", "isn't", "isnt",
 ];
 
 /// Extract the feature bag for one tweet.
@@ -60,10 +60,9 @@ pub fn extract_features(text: &str, opts: FeatureOptions) -> Vec<String> {
                 words.push(feat);
             }
             TokenKind::Number => words.push(tok.text.clone()),
-            TokenKind::Punct
-                if tok.text.starts_with(['.', ',', ';', '!', '?']) => {
-                    negated = false;
-                }
+            TokenKind::Punct if tok.text.starts_with(['.', ',', ';', '!', '?']) => {
+                negated = false;
+            }
             // URLs/mentions are noise for sentiment; emoticons are labels.
             _ => {}
         }
@@ -87,11 +86,14 @@ mod tests {
 
     #[test]
     fn unigrams_are_normalized() {
-        let f = extract_features("GOOOOD Game", FeatureOptions {
-            bigrams: false,
-            mark_negation: false,
-            elongation_feature: false,
-        });
+        let f = extract_features(
+            "GOOOOD Game",
+            FeatureOptions {
+                bigrams: false,
+                mark_negation: false,
+                elongation_feature: false,
+            },
+        );
         assert_eq!(f, vec!["good", "game"]);
     }
 

@@ -8,26 +8,157 @@ use std::collections::HashSet;
 use std::sync::OnceLock;
 
 const POSITIVE_WORDS: &[&str] = &[
-    "good", "great", "awesome", "amazing", "excellent", "love", "loved", "loves", "win", "wins",
-    "won", "winning", "winner", "happy", "glad", "best", "beautiful", "brilliant", "fantastic",
-    "wonderful", "perfect", "nice", "cool", "sweet", "superb", "thrilled", "excited", "exciting",
-    "proud", "congrats", "congratulations", "yay", "woo", "woohoo", "goal", "score", "scored",
-    "victory", "champions", "champion", "stunning", "incredible", "magic", "magnificent",
-    "delighted", "relief", "safe", "rescued", "hope", "hopeful", "thank", "thanks", "blessed",
-    "epic", "legend", "legendary", "masterclass", "clutch", "hero", "heroic", "smile", "joy",
-    "celebrate", "celebration", "well", "strong", "support", "supported", "wow",
+    "good",
+    "great",
+    "awesome",
+    "amazing",
+    "excellent",
+    "love",
+    "loved",
+    "loves",
+    "win",
+    "wins",
+    "won",
+    "winning",
+    "winner",
+    "happy",
+    "glad",
+    "best",
+    "beautiful",
+    "brilliant",
+    "fantastic",
+    "wonderful",
+    "perfect",
+    "nice",
+    "cool",
+    "sweet",
+    "superb",
+    "thrilled",
+    "excited",
+    "exciting",
+    "proud",
+    "congrats",
+    "congratulations",
+    "yay",
+    "woo",
+    "woohoo",
+    "goal",
+    "score",
+    "scored",
+    "victory",
+    "champions",
+    "champion",
+    "stunning",
+    "incredible",
+    "magic",
+    "magnificent",
+    "delighted",
+    "relief",
+    "safe",
+    "rescued",
+    "hope",
+    "hopeful",
+    "thank",
+    "thanks",
+    "blessed",
+    "epic",
+    "legend",
+    "legendary",
+    "masterclass",
+    "clutch",
+    "hero",
+    "heroic",
+    "smile",
+    "joy",
+    "celebrate",
+    "celebration",
+    "well",
+    "strong",
+    "support",
+    "supported",
+    "wow",
 ];
 
 const NEGATIVE_WORDS: &[&str] = &[
-    "bad", "terrible", "awful", "horrible", "hate", "hated", "hates", "lose", "loses", "lost",
-    "losing", "loser", "sad", "angry", "furious", "worst", "ugly", "poor", "pathetic", "useless",
-    "disaster", "disastrous", "tragedy", "tragic", "fear", "afraid", "scared", "scary", "panic",
-    "damage", "damaged", "destroyed", "destruction", "collapse", "collapsed", "dead", "death",
-    "deaths", "died", "dies", "injured", "injuries", "victims", "crisis", "fail", "failed",
-    "failure", "fails", "shame", "shameful", "disgrace", "disgraceful", "embarrassing", "cry",
-    "crying", "tears", "pain", "painful", "hurt", "hurts", "sick", "wrong", "broken", "worry",
-    "worried", "worrying", "missing", "trapped", "devastating", "devastated", "grim", "bleak",
-    "awful", "nightmare", "robbed", "cheated", "offside", "sucks", "suck",
+    "bad",
+    "terrible",
+    "awful",
+    "horrible",
+    "hate",
+    "hated",
+    "hates",
+    "lose",
+    "loses",
+    "lost",
+    "losing",
+    "loser",
+    "sad",
+    "angry",
+    "furious",
+    "worst",
+    "ugly",
+    "poor",
+    "pathetic",
+    "useless",
+    "disaster",
+    "disastrous",
+    "tragedy",
+    "tragic",
+    "fear",
+    "afraid",
+    "scared",
+    "scary",
+    "panic",
+    "damage",
+    "damaged",
+    "destroyed",
+    "destruction",
+    "collapse",
+    "collapsed",
+    "dead",
+    "death",
+    "deaths",
+    "died",
+    "dies",
+    "injured",
+    "injuries",
+    "victims",
+    "crisis",
+    "fail",
+    "failed",
+    "failure",
+    "fails",
+    "shame",
+    "shameful",
+    "disgrace",
+    "disgraceful",
+    "embarrassing",
+    "cry",
+    "crying",
+    "tears",
+    "pain",
+    "painful",
+    "hurt",
+    "hurts",
+    "sick",
+    "wrong",
+    "broken",
+    "worry",
+    "worried",
+    "worrying",
+    "missing",
+    "trapped",
+    "devastating",
+    "devastated",
+    "grim",
+    "bleak",
+    "awful",
+    "nightmare",
+    "robbed",
+    "cheated",
+    "offside",
+    "sucks",
+    "suck",
 ];
 
 const POSITIVE_EMOTICONS: &[&str] = &[
@@ -39,9 +170,9 @@ const NEGATIVE_EMOTICONS: &[&str] = &[
 ];
 
 const NEGATORS: &[&str] = &[
-    "not", "no", "never", "don't", "dont", "doesn't", "doesnt", "didn't", "didnt", "can't",
-    "cant", "won't", "wont", "isn't", "isnt", "aren't", "arent", "wasn't", "wasnt", "without",
-    "nothing", "hardly", "barely",
+    "not", "no", "never", "don't", "dont", "doesn't", "doesnt", "didn't", "didnt", "can't", "cant",
+    "won't", "wont", "isn't", "isnt", "aren't", "arent", "wasn't", "wasnt", "without", "nothing",
+    "hardly", "barely",
 ];
 
 fn pos_set() -> &'static HashSet<&'static str> {

@@ -161,10 +161,12 @@ mod tests {
 
     #[test]
     fn recall_measurement() {
-        let data = [("a", Polarity::Positive),
+        let data = [
+            ("a", Polarity::Positive),
             ("b", Polarity::Positive),
             ("c", Polarity::Negative),
-            ("d", Polarity::Neutral)];
+            ("d", Polarity::Neutral),
+        ];
         let stats = RecallStats::measure(&AlwaysPositive, data.iter().map(|(t, p)| (*t, *p)));
         assert_eq!(stats.positive_recall, 1.0);
         // Negative recall floors at epsilon, not zero.

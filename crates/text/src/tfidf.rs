@@ -136,10 +136,12 @@ mod tests {
     #[test]
     fn peak_terms_surface_burst_vocabulary() {
         let df = background();
-        let peak_tweets = ["TEVEZ!!! what a goal 3-0",
+        let peak_tweets = [
+            "TEVEZ!!! what a goal 3-0",
             "tevez scores again 3-0",
             "3-0 tevez you beauty",
-            "the match turns on that tevez goal"];
+            "the match turns on that tevez goal",
+        ];
         let terms = top_terms(peak_tweets.iter().map(|s| &**s), &df, 3, &[]);
         let names: Vec<&str> = terms.iter().map(|t| t.term.as_str()).collect();
         assert!(names.contains(&"tevez"), "{names:?}");
@@ -159,12 +161,7 @@ mod tests {
     #[test]
     fn exclusion_list_removes_event_keywords() {
         let df = DocumentFrequency::new();
-        let terms = top_terms(
-            ["soccer soccer goal"],
-            &df,
-            10,
-            &["soccer".to_string()],
-        );
+        let terms = top_terms(["soccer soccer goal"], &df, 10, &["soccer".to_string()]);
         let names: Vec<&str> = terms.iter().map(|t| t.term.as_str()).collect();
         assert_eq!(names, vec!["goal"]);
     }

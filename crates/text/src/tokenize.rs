@@ -46,9 +46,8 @@ impl fmt::Display for Token {
 
 const EMOTICONS: &[&str] = &[
     // Longest first so greedy matching prefers ":-))" over ":-)".
-    ":-))", ":'-(", ":'-)", ":-)", ":-(", ":-D", ":-P", ":-/", ":-|", ";-)", ":)", ":(", ":D",
-    ":P", ":/", ":|", ";)", ";(", "=)", "=(", "=D", "<3", "D:", "xD", "XD", ":3", "T_T", "^_^",
-    ":,(",
+    ":-))", ":'-(", ":'-)", ":-)", ":-(", ":-D", ":-P", ":-/", ":-|", ";-)", ":)", ":(", ":D", ":P",
+    ":/", ":|", ";)", ";(", "=)", "=(", "=D", "<3", "D:", "xD", "XD", ":3", "T_T", "^_^", ":,(",
 ];
 
 /// True if `s` starts with an emoticon; returns its byte length.
@@ -138,7 +137,10 @@ pub fn tokenize(text: &str) -> Vec<Token> {
 
         // Hashtags / mentions.
         if (c == '#' || c == '@') && rest.len() > 1 {
-            let body: String = rest[1..].chars().take_while(|&cc| is_word_char(cc)).collect();
+            let body: String = rest[1..]
+                .chars()
+                .take_while(|&cc| is_word_char(cc))
+                .collect();
             if !body.is_empty() && (c == '@' || body.chars().any(|cc| !cc.is_ascii_digit())) {
                 out.push(Token {
                     kind: if c == '#' {

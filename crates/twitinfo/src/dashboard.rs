@@ -101,17 +101,16 @@ pub fn render(analysis: &EventAnalysis, opts: &DashboardOptions) -> String {
             .join(", ");
         out.push_str(&format!(
             "  peak {}  {} – {}  max {:>5}/bin  [{}]\n",
-            p.peak.label,
-            p.window.0,
-            p.window.1,
-            p.peak.max_count,
-            terms
+            p.peak.label, p.window.0, p.window.1, p.peak.max_count, terms
         ));
     }
 
     // (3) Tweet map.
     if opts.map_height > 0 {
-        out.push_str(&rule(w, "Tweet map (+/⊕ positive, -/⊖ negative, ·/# neutral)"));
+        out.push_str(&rule(
+            w,
+            "Tweet map (+/⊕ positive, -/⊖ negative, ·/# neutral)",
+        ));
         out.push_str(&crate::mapview::render_ascii_map(
             &analysis.markers,
             w.saturating_sub(2),
@@ -132,7 +131,10 @@ pub fn render(analysis: &EventAnalysis, opts: &DashboardOptions) -> String {
             "  @{:<14} {:.2}  {}",
             t.screen_name,
             t.similarity,
-            t.text.chars().take(w.saturating_sub(26)).collect::<String>()
+            t.text
+                .chars()
+                .take(w.saturating_sub(26))
+                .collect::<String>()
         );
         out.push_str(&paint(&line, t.sentiment, opts.color));
         out.push('\n');

@@ -80,8 +80,12 @@ mod tests {
         let spec = EventSpec::new("e", &["goal"])
             .with_window(Timestamp::from_mins(10), Timestamp::from_mins(20));
         let m = spec.matcher();
-        let inside = TweetBuilder::new(1, "goal").at(Timestamp::from_mins(15)).build();
-        let before = TweetBuilder::new(2, "goal").at(Timestamp::from_mins(5)).build();
+        let inside = TweetBuilder::new(1, "goal")
+            .at(Timestamp::from_mins(15))
+            .build();
+        let before = TweetBuilder::new(2, "goal")
+            .at(Timestamp::from_mins(5))
+            .build();
         assert!(spec.matches(&inside, &m));
         assert!(!spec.matches(&before, &m));
     }

@@ -56,7 +56,10 @@ fn sentiment_class(p: Polarity) -> &'static str {
 pub fn render_html(analysis: &EventAnalysis) -> String {
     let mut html = String::with_capacity(16 * 1024);
     html.push_str("<!DOCTYPE html><html><head><meta charset=\"utf-8\">");
-    html.push_str(&format!("<title>{} — TwitInfo</title>", escape(&analysis.name)));
+    html.push_str(&format!(
+        "<title>{} — TwitInfo</title>",
+        escape(&analysis.name)
+    ));
     html.push_str(
         "<style>
 body{font-family:Helvetica,Arial,sans-serif;margin:1.5em;max-width:70em}

@@ -47,7 +47,9 @@ mod tests {
     use tweeql_model::TweetBuilder;
 
     fn tweet(id: u64, text: &str, mins: i64) -> Tweet {
-        TweetBuilder::new(id, text).at(Timestamp::from_mins(mins)).build()
+        TweetBuilder::new(id, text)
+            .at(Timestamp::from_mins(mins))
+            .build()
     }
 
     #[test]
@@ -75,7 +77,12 @@ mod tests {
             tweet(1, "early http://a.com", 1),
             tweet(2, "late http://b.com", 50),
         ];
-        let links = popular_links(&tweets, Timestamp::from_mins(40), Timestamp::from_mins(60), 3);
+        let links = popular_links(
+            &tweets,
+            Timestamp::from_mins(40),
+            Timestamp::from_mins(60),
+            3,
+        );
         assert_eq!(links.len(), 1);
         assert_eq!(links[0].url, "http://b.com");
     }

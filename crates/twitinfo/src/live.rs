@@ -141,8 +141,7 @@ impl LiveEvent {
             .iter()
             .filter(|t| t.created_at >= start && t.created_at < end)
             .map(|t| t.text.as_str());
-        let terms =
-            tweeql_text::tfidf::top_terms(docs, &self.df, 4, &self.spec.keywords);
+        let terms = tweeql_text::tfidf::top_terms(docs, &self.df, 4, &self.spec.keywords);
         LivePeak {
             peak,
             terms,
@@ -213,7 +212,13 @@ mod tests {
         let tweets = generate(&scenario, 42);
         let spec = EventSpec::new(
             "soccer",
-            &["soccer", "football", "premierleague", "manchester", "liverpool"],
+            &[
+                "soccer",
+                "football",
+                "premierleague",
+                "manchester",
+                "liverpool",
+            ],
         );
         let live = LiveEvent::new(
             spec,
@@ -233,7 +238,13 @@ mod tests {
 
         let spec = EventSpec::new(
             "soccer",
-            &["soccer", "football", "premierleague", "manchester", "liverpool"],
+            &[
+                "soccer",
+                "football",
+                "premierleague",
+                "manchester",
+                "liverpool",
+            ],
         );
         let batch = analyze(&spec, &tweets, &AnalysisConfig::default());
 

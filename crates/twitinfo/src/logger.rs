@@ -38,7 +38,12 @@ pub fn log_event_via_tweeql(
                 })
                 .unwrap_or_default()
         };
-        let get_int = |name: &str| rec.get(name).ok().and_then(|v| v.as_int().ok()).unwrap_or(0);
+        let get_int = |name: &str| {
+            rec.get(name)
+                .ok()
+                .and_then(|v| v.as_int().ok())
+                .unwrap_or(0)
+        };
         let mut b = TweetBuilder::new(get_int("id").max(0) as u64, get_str("text"))
             .user(User {
                 id: get_int("user_id").max(0) as u64,
@@ -53,8 +58,7 @@ pub fn log_event_via_tweeql(
                 .and_then(|v| v.as_time().ok())
                 .unwrap_or(Timestamp::ZERO))
             .lang(get_str("lang"));
-        if let (Ok(Value::Float(lat)), Ok(Value::Float(lon))) = (rec.get("lat"), rec.get("lon"))
-        {
+        if let (Ok(Value::Float(lat)), Ok(Value::Float(lon))) = (rec.get("lat"), rec.get("lon")) {
             b = b.coordinates(*lat, *lon);
         }
         tweets.push(b.build());

@@ -162,7 +162,9 @@ mod tests {
         let clf = LexiconClassifier::new();
         let tweets = vec![
             tweet(1, "great", 40.7, -74.0, 1),
-            TweetBuilder::new(2, "no geo").at(Timestamp::from_mins(1)).build(),
+            TweetBuilder::new(2, "no geo")
+                .at(Timestamp::from_mins(1))
+                .build(),
             tweet(3, "late", 40.7, -74.0, 99),
         ];
         let ms = markers(&tweets, Timestamp::ZERO, Timestamp::from_mins(10), &clf);
@@ -202,7 +204,7 @@ mod tests {
         let map = render_ascii_map(&ms, 40, 12);
         let lines: Vec<&str> = map.lines().collect();
         assert_eq!(lines.len(), 14); // border + 12 rows + border
-        // One positive and one negative dense marker somewhere.
+                                     // One positive and one negative dense marker somewhere.
         assert!(map.contains('⊕'), "{map}");
         assert!(map.contains('⊖'), "{map}");
     }

@@ -314,10 +314,7 @@ impl PeakDetector {
 ///
 /// A detected peak is a true positive when its range overlaps a truth
 /// window; each truth window counts at most once.
-pub fn score_against_truth(
-    peaks: &[Peak],
-    truth_windows: &[(usize, usize)],
-) -> PeakScore {
+pub fn score_against_truth(peaks: &[Peak], truth_windows: &[(usize, usize)]) -> PeakScore {
     let mut matched_truth = vec![false; truth_windows.len()];
     let mut true_positives = 0;
     let mut detection_delay_bins = Vec::new();

@@ -67,7 +67,11 @@ mod tests {
     #[test]
     fn ranking_prefers_keyword_dense_tweets() {
         let clf = LexiconClassifier::new();
-        let kws = vec!["manchester".to_string(), "goal".to_string(), "tevez".to_string()];
+        let kws = vec![
+            "manchester".to_string(),
+            "goal".to_string(),
+            "tevez".to_string(),
+        ];
         let ranked = rank_tweets(&tweets(), &kws, &clf, 10);
         // Unrelated tweet is dropped entirely.
         assert_eq!(ranked.len(), 3);

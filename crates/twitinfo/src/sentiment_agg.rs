@@ -6,9 +6,7 @@
 //! the pie.
 
 use tweeql_model::{Timestamp, TruthPolarity, Tweet};
-use tweeql_text::sentiment::{
-    normalized_proportions, Polarity, RecallStats, SentimentClassifier,
-};
+use tweeql_text::sentiment::{normalized_proportions, Polarity, RecallStats, SentimentClassifier};
 
 /// Aggregate sentiment over a set of tweets.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,10 +56,7 @@ pub fn summarize(
 /// Measure the classifier's per-class recall on the generator's ground
 /// truth labels — the labeled data the real TwitInfo measured recall on
 /// by hand-labeling; our synthetic stream carries truth directly.
-pub fn measure_recall(
-    tweets: &[Tweet],
-    classifier: &dyn SentimentClassifier,
-) -> RecallStats {
+pub fn measure_recall(tweets: &[Tweet], classifier: &dyn SentimentClassifier) -> RecallStats {
     let labeled = tweets.iter().filter_map(|t| {
         t.truth_polarity.map(|p| {
             let polarity = match p {

@@ -122,14 +122,7 @@ pub fn analyze(spec: &EventSpec, firehose: &[Tweet], config: &AnalysisConfig) ->
         .into_iter()
         .map(|peak| {
             let window = peak.window(&timeline);
-            let terms = peak_terms(
-                &peak,
-                &timeline,
-                &matched,
-                &df,
-                spec,
-                config.terms_per_peak,
-            );
+            let terms = peak_terms(&peak, &timeline, &matched, &df, spec, config.terms_per_peak);
             let sentiment = summarize(
                 &matched,
                 window.0,
@@ -274,7 +267,13 @@ mod tests {
     fn soccer_spec() -> EventSpec {
         EventSpec::new(
             "Soccer: Manchester City vs. Liverpool",
-            &["soccer", "football", "premierleague", "manchester", "liverpool"],
+            &[
+                "soccer",
+                "football",
+                "premierleague",
+                "manchester",
+                "liverpool",
+            ],
         )
     }
 

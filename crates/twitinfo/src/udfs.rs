@@ -194,7 +194,8 @@ mod tests {
         assert!(det.call(&[], Timestamp::ZERO).is_err());
         // Non-numeric counts degrade to 0 rather than killing the query.
         assert_eq!(
-            det.call(&[Value::Str("x".into())], Timestamp::ZERO).unwrap(),
+            det.call(&[Value::Str("x".into())], Timestamp::ZERO)
+                .unwrap(),
             Value::Null
         );
     }

@@ -6,20 +6,24 @@
 //!
 //! Run with `cargo run --release --example earthquake_monitor`.
 
+use tweeql::engine::{Engine, EngineConfig};
+use tweeql_firehose::{generate, scenarios, StreamingApi};
+use tweeql_model::VirtualClock;
 use twitinfo::dashboard::{render, DashboardOptions};
 use twitinfo::event::EventSpec;
 use twitinfo::peaks::PeakDetectorConfig;
 use twitinfo::store::{analyze, AnalysisConfig};
 use twitinfo::udfs;
-use tweeql::engine::{Engine, EngineConfig};
-use tweeql_firehose::{generate, scenarios, StreamingApi};
-use tweeql_model::VirtualClock;
 
 fn main() {
     let scenario = scenarios::earthquakes();
     println!("generating {} …", scenario.name);
     let tweets = generate(&scenario, 311); // Sendai, 3/11
-    println!("firehose: {} tweets over {}\n", tweets.len(), scenario.duration);
+    println!(
+        "firehose: {} tweets over {}\n",
+        tweets.len(),
+        scenario.duration
+    );
 
     // --- live monitoring through TweeQL ---
     let clock = VirtualClock::new();

@@ -7,12 +7,12 @@
 //!
 //! Run with `cargo run --release --example live_ticker`.
 
-use twitinfo::event::EventSpec;
-use twitinfo::live::LiveEvent;
-use twitinfo::peaks::PeakDetectorConfig;
 use tweeql_firehose::{generate, scenarios};
 use tweeql_model::Timestamp;
 use tweeql_text::sentiment::LexiconClassifier;
+use twitinfo::event::EventSpec;
+use twitinfo::live::LiveEvent;
+use twitinfo::peaks::PeakDetectorConfig;
 
 fn main() {
     let scenario = scenarios::earthquakes();

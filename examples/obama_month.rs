@@ -4,17 +4,21 @@
 //!
 //! Run with `cargo run --release --example obama_month`.
 
+use tweeql_firehose::{generate, scenarios};
 use twitinfo::event::EventSpec;
 use twitinfo::keyterms::render_terms;
 use twitinfo::sentiment_agg::render_pie;
 use twitinfo::store::{analyze, AnalysisConfig};
-use tweeql_firehose::{generate, scenarios};
 
 fn main() {
     let scenario = scenarios::obama_month();
     println!("generating {} …", scenario.name);
     let tweets = generate(&scenario, 44);
-    println!("firehose: {} tweets over {}\n", tweets.len(), scenario.duration);
+    println!(
+        "firehose: {} tweets over {}\n",
+        tweets.len(),
+        scenario.duration
+    );
 
     let spec = EventSpec::new("A month in Barack Obama's life", &["obama"]);
     let analysis = analyze(&spec, &tweets, &AnalysisConfig::default());

@@ -51,6 +51,9 @@ fn main() {
         result.stats.geo_cache.hit_rate() * 100.0
     );
     for (stage, s) in &result.stats.stages {
-        println!("  stage {stage:<18} in {:>6}  out {:>6}", s.records_in, s.records_out);
+        println!(
+            "  stage {stage:<18} in {:>6}  out {:>6}",
+            s.records_in, s.records_out
+        );
     }
 }

@@ -38,18 +38,14 @@ fn run(sql: &str) {
 
 fn main() {
     println!("=== fixed 3-hour window (the paper's strawman) ===\n");
-    run(
-        "SELECT AVG(sentiment(text)), floor(latitude(loc)) AS lat, \
+    run("SELECT AVG(sentiment(text)), floor(latitude(loc)) AS lat, \
          floor(longitude(loc)) AS long \
          FROM twitter WHERE text contains 'obama' \
-         GROUP BY lat, long WINDOW 3 hours",
-    );
+         GROUP BY lat, long WINDOW 3 hours");
 
     println!("=== confidence window (CONTROL-style, what TweeQL does) ===\n");
-    run(
-        "SELECT AVG(sentiment(text)), floor(latitude(loc)) AS lat, \
+    run("SELECT AVG(sentiment(text)), floor(latitude(loc)) AS lat, \
          floor(longitude(loc)) AS long \
          FROM twitter WHERE text contains 'obama' \
-         GROUP BY lat, long WINDOW CONFIDENCE 0.25 MAX 3 hours",
-    );
+         GROUP BY lat, long WINDOW CONFIDENCE 0.25 MAX 3 hours");
 }

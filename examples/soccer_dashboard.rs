@@ -5,22 +5,32 @@
 //! Run with `cargo run --release --example soccer_dashboard`.
 //! Pass `--html dashboard.html` to also write the web version.
 
+use tweeql_firehose::{generate, scenarios};
 use twitinfo::dashboard::{render, DashboardOptions};
 use twitinfo::event::EventSpec;
 use twitinfo::html::render_html;
 use twitinfo::store::{analyze, AnalysisConfig};
-use tweeql_firehose::{generate, scenarios};
 
 fn main() {
     let scenario = scenarios::soccer_match();
     println!("generating {} …", scenario.name);
     let tweets = generate(&scenario, 42);
-    println!("firehose: {} tweets over {}\n", tweets.len(), scenario.duration);
+    println!(
+        "firehose: {} tweets over {}\n",
+        tweets.len(),
+        scenario.duration
+    );
 
     // §3.1: the user defines the event by keywords and a name.
     let spec = EventSpec::new(
         "Soccer: Manchester City vs. Liverpool",
-        &["soccer", "football", "premierleague", "manchester", "liverpool"],
+        &[
+            "soccer",
+            "football",
+            "premierleague",
+            "manchester",
+            "liverpool",
+        ],
     );
 
     let analysis = analyze(&spec, &tweets, &AnalysisConfig::default());
@@ -31,9 +41,7 @@ fn main() {
     for b in &scenario.bursts {
         println!(
             "  {:>22}  at {}  (peak ×{})",
-            b.label,
-            b.start,
-            b.peak_multiplier
+            b.label, b.start, b.peak_multiplier
         );
     }
 

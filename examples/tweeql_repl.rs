@@ -5,14 +5,15 @@
 //!
 //! Run with `cargo run --release --example tweeql_repl`, then type a
 //! query (`;` optional), `\examples` for the pre-built queries,
-//! `\explain <sql>`, `\scenario soccer|earthquakes|obama`, or `\q`.
+//! `\explain <sql>`, `:check <sql>` for static analysis without
+//! running, `\scenario soccer|earthquakes|obama`, or `\q`.
 
 use std::io::{BufRead, Write};
-use twitinfo::peaks::PeakDetectorConfig;
-use twitinfo::udfs;
 use tweeql::engine::{Engine, EngineConfig};
 use tweeql_firehose::{generate, scenarios, StreamingApi};
 use tweeql_model::VirtualClock;
+use twitinfo::peaks::PeakDetectorConfig;
+use twitinfo::udfs;
 
 const EXAMPLES: &[(&str, &str)] = &[
     (
@@ -104,7 +105,29 @@ fn main() {
                 t if t.starts_with("\\explain ") => {
                     match engine.explain(t.trim_start_matches("\\explain ")) {
                         Ok(plan) => println!("{plan}"),
-                        Err(e) => println!("error: {e}"),
+                        Err(e) => print!("{}", e.render(t.trim_start_matches("\\explain "))),
+                    }
+                    continue;
+                }
+                t if t.starts_with(":check ") || t.starts_with("\\check ") => {
+                    let sql = t
+                        .trim_start_matches(":check ")
+                        .trim_start_matches("\\check ")
+                        .trim_end_matches(';');
+                    match engine.check(sql) {
+                        Ok(diags) if diags.is_empty() => println!("no diagnostics"),
+                        Ok(diags) => {
+                            let (e, w) = diags.iter().fold((0, 0), |(e, w), d| {
+                                if d.is_error() {
+                                    (e + 1, w)
+                                } else {
+                                    (e, w + 1)
+                                }
+                            });
+                            print!("{}", tweeql::check::render_all(&diags, sql));
+                            println!("-- {e} errors, {w} warnings");
+                        }
+                        Err(err) => print!("{}", err.render(sql)),
                     }
                     continue;
                 }
@@ -129,7 +152,7 @@ fn main() {
                 // A fresh engine rewinds the stream for the next query.
                 engine = build_engine(&current);
             }
-            Err(e) => println!("error: {e}"),
+            Err(e) => print!("{}", e.render(sql.trim())),
         }
     }
     println!("bye");

@@ -3,11 +3,11 @@
 //! Boston during a Red Sox-Yankees baseball game, with sentiment toward
 //! a given peak (e.g., a home run) varying by region."
 
+use tweeql_firehose::{generate, scenarios};
+use tweeql_text::sentiment::LexiconClassifier;
 use twitinfo::event::EventSpec;
 use twitinfo::mapview::{clusters, markers};
 use twitinfo::store::{analyze, AnalysisConfig};
-use tweeql_firehose::{generate, scenarios};
-use tweeql_text::sentiment::LexiconClassifier;
 
 #[test]
 fn baseball_clusters_around_boston_and_new_york() {

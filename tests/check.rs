@@ -1,0 +1,310 @@
+//! Integration tests for the static analyzer (`tweeql::check`): every
+//! diagnostic code fires on a minimal query and stays silent on the
+//! corrected one, and check-accepted queries never panic downstream.
+
+use proptest::prelude::*;
+use tweeql::catalog::Catalog;
+use tweeql::check::{check_sql, Diagnostic};
+use tweeql::udf::{Registry, ServiceConfig};
+use tweeql_model::VirtualClock;
+
+fn diags(sql: &str) -> Vec<Diagnostic> {
+    let catalog = Catalog::with_twitter();
+    let registry = Registry::standard(&ServiceConfig::default(), VirtualClock::new());
+    check_sql(sql, &catalog, &registry).unwrap_or_else(|e| panic!("{sql} failed to parse: {e}"))
+}
+
+fn codes(sql: &str) -> Vec<&'static str> {
+    diags(sql).iter().map(|d| d.code).collect()
+}
+
+/// `code` fires on `bad` and is absent from `good`.
+fn fires(code: &str, bad: &str, good: &str) {
+    let bad_codes = codes(bad);
+    assert!(
+        bad_codes.contains(&code),
+        "{code} missing on {bad:?}: {bad_codes:?}"
+    );
+    let good_codes = codes(good);
+    assert!(
+        !good_codes.contains(&code),
+        "{code} present on {good:?}: {good_codes:?}"
+    );
+}
+
+#[test]
+fn e001_unknown_stream() {
+    fires(
+        "E001",
+        "SELECT text FROM facebook",
+        "SELECT text FROM twitter",
+    );
+}
+
+#[test]
+fn e002_unknown_column() {
+    fires(
+        "E002",
+        "SELECT txet FROM twitter",
+        "SELECT text FROM twitter",
+    );
+}
+
+#[test]
+fn e003_unknown_function() {
+    fires(
+        "E003",
+        "SELECT lowercase(text) FROM twitter",
+        "SELECT lower(text) FROM twitter",
+    );
+}
+
+#[test]
+fn e004_wrong_arity() {
+    fires(
+        "E004",
+        "SELECT floor(lat, lon) FROM twitter",
+        "SELECT floor(lat) FROM twitter",
+    );
+}
+
+#[test]
+fn e005_type_mismatch() {
+    fires(
+        "E005",
+        "SELECT text FROM twitter WHERE text > 5",
+        "SELECT text FROM twitter WHERE followers > 5",
+    );
+    // Argument types are also checked.
+    fires(
+        "E005",
+        "SELECT floor(text) FROM twitter",
+        "SELECT floor(lat) FROM twitter",
+    );
+}
+
+#[test]
+fn e006_aggregate_misuse() {
+    // Aggregate in WHERE.
+    fires(
+        "E006",
+        "SELECT text FROM twitter WHERE count(*) > 10",
+        "SELECT count(*) FROM twitter",
+    );
+    // Nested aggregates.
+    fires(
+        "E006",
+        "SELECT avg(sum(followers)) FROM twitter",
+        "SELECT avg(followers) FROM twitter",
+    );
+    // Non-numeric input to a numeric aggregate.
+    fires(
+        "E006",
+        "SELECT avg(text) FROM twitter",
+        "SELECT avg(followers) FROM twitter",
+    );
+}
+
+#[test]
+fn e007_non_boolean_predicate() {
+    fires(
+        "E007",
+        "SELECT text FROM twitter WHERE followers + 1",
+        "SELECT text FROM twitter WHERE followers + 1 > 2",
+    );
+}
+
+#[test]
+fn e008_aggregate_in_group_by() {
+    fires(
+        "E008",
+        "SELECT count(*) AS n FROM twitter GROUP BY n WINDOW 100 TUPLES",
+        "SELECT count(*) AS n, lang FROM twitter GROUP BY lang WINDOW 100 TUPLES",
+    );
+}
+
+#[test]
+fn e009_confidence_without_avg() {
+    fires(
+        "E009",
+        "SELECT count(*) FROM twitter GROUP BY lang WINDOW CONFIDENCE 0.1 MAX 1 hours",
+        "SELECT avg(followers) FROM twitter GROUP BY lang WINDOW CONFIDENCE 0.1 MAX 1 hours",
+    );
+}
+
+#[test]
+fn e010_invalid_regex() {
+    fires(
+        "E010",
+        "SELECT text FROM twitter WHERE text matches '('",
+        "SELECT text FROM twitter WHERE text matches 'a+'",
+    );
+}
+
+#[test]
+fn e011_having_without_group_or_aggregate() {
+    fires(
+        "E011",
+        "SELECT text FROM twitter HAVING followers > 5",
+        "SELECT count(*) FROM twitter HAVING count(*) > 5",
+    );
+    let d = diags("SELECT text FROM twitter HAVING followers > 5");
+    let e = d.iter().find(|d| d.code == "E011").unwrap();
+    assert!(e.message.contains("HAVING"), "{}", e.message);
+}
+
+#[test]
+fn w101_constant_where() {
+    fires(
+        "W101",
+        "SELECT text FROM twitter WHERE 1 = 1 AND text contains 'x'",
+        "SELECT text FROM twitter WHERE text contains 'x'",
+    );
+}
+
+#[test]
+fn w102_unpushable_filter() {
+    fires(
+        "W102",
+        "SELECT text FROM twitter WHERE followers > 1000",
+        "SELECT text FROM twitter WHERE text contains 'obama' AND followers > 1000",
+    );
+}
+
+#[test]
+fn w103_high_latency_where() {
+    fires(
+        "W103",
+        "SELECT text FROM twitter WHERE latitude(loc) > 40.0",
+        "SELECT latitude(loc) FROM twitter WHERE text contains 'x'",
+    );
+}
+
+#[test]
+fn w104_location_group_fixed_window() {
+    fires(
+        "W104",
+        "SELECT lat, count(*) FROM twitter GROUP BY lat WINDOW 1 hours",
+        "SELECT lang, count(*) FROM twitter GROUP BY lang WINDOW 1 hours",
+    );
+}
+
+#[test]
+fn w105_self_join_same_key() {
+    fires(
+        "W105",
+        "SELECT text FROM twitter JOIN twitter ON user_id = user_id WINDOW 1 minutes",
+        "SELECT text FROM twitter JOIN twitter ON user_id = retweet_of WINDOW 1 minutes",
+    );
+}
+
+#[test]
+fn w106_output_name_hazards() {
+    fires(
+        "W106",
+        "SELECT text, text FROM twitter",
+        "SELECT text, lang FROM twitter",
+    );
+    // Alias shadowing a schema column (paper query 3's `AS lat`).
+    fires(
+        "W106",
+        "SELECT floor(latitude(loc)) AS lat FROM twitter",
+        "SELECT floor(latitude(loc)) AS cell_lat FROM twitter",
+    );
+}
+
+#[test]
+fn w107_limit_over_aggregation() {
+    fires(
+        "W107",
+        "SELECT lang, count(*) FROM twitter GROUP BY lang WINDOW 1 hours LIMIT 5",
+        "SELECT lang, count(*) FROM twitter GROUP BY lang WINDOW 1 hours",
+    );
+}
+
+#[test]
+fn diagnostics_render_with_position_and_caret() {
+    let sql = "SELECT text FROM twitter WHERE text > 5";
+    let d = diags(sql);
+    let e = d.iter().find(|d| d.code == "E005").unwrap();
+    let rendered = e.render(sql);
+    assert!(rendered.contains("error[E005]"), "{rendered}");
+    assert!(rendered.contains("line 1"), "{rendered}");
+    assert!(rendered.contains('^'), "{rendered}");
+}
+
+// ---- check-accepted queries are safe downstream -------------------------
+
+const SELECTS: &[&str] = &[
+    "text",
+    "lower(text) AS lowered",
+    "sentiment(text) AS s",
+    "count(*) AS n",
+    "avg(followers) AS f",
+    "topk(hashtags(text), 3) AS tags",
+    "floor(lat) AS cell",
+    "length(text) AS len",
+];
+const WHERES: &[&str] = &[
+    "",
+    "WHERE text contains 'kw'",
+    "WHERE followers > 10",
+    "WHERE text matches 'a+'",
+    "WHERE lat is not null AND text contains 'kw'",
+];
+const TAILS: &[&str] = &[
+    "",
+    "WINDOW 2 minutes",
+    "GROUP BY lang WINDOW 2 minutes",
+    "GROUP BY lang WINDOW 100 TUPLES",
+    "LIMIT 7",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any query the checker accepts (no error-level diagnostics) must
+    /// plan and execute without panicking — Expr::eval included.
+    /// Planner errors are tolerated (some shape rules, e.g. ungrouped
+    /// columns, are planner territory); panics are not.
+    #[test]
+    fn check_accepted_queries_never_panic(
+        s1 in 0..SELECTS.len(),
+        s2 in 0..SELECTS.len(),
+        w in 0..WHERES.len(),
+        t in 0..TAILS.len(),
+    ) {
+        use tweeql::engine::{Engine, EngineConfig};
+        use tweeql_firehose::scenario::{Scenario, Topic};
+        use tweeql_firehose::StreamingApi;
+        use tweeql_model::Duration;
+
+        let sql = format!(
+            "SELECT {}, {} FROM twitter {} {}",
+            SELECTS[s1], SELECTS[s2], WHERES[w], TAILS[t]
+        );
+        let catalog = Catalog::with_twitter();
+        let registry = Registry::standard(&ServiceConfig::default(), VirtualClock::new());
+        let Ok(diags) = check_sql(&sql, &catalog, &registry) else {
+            return Ok(()); // parse error: out of scope here
+        };
+        if diags.iter().any(|d| d.is_error()) {
+            return Ok(());
+        }
+
+        let scenario = Scenario {
+            name: "check-prop".into(),
+            duration: Duration::from_mins(3),
+            background_rate_per_min: 10.0,
+            topics: vec![Topic::new("kw", vec!["kw"], 10.0)],
+            bursts: vec![],
+            geotag_rate: 0.3,
+            population_size: 30,
+        };
+        let clock = VirtualClock::new();
+        let api = StreamingApi::new(tweeql_firehose::generate(&scenario, 11), clock.clone());
+        let mut engine = Engine::new(EngineConfig::default(), api, clock);
+        // Err is acceptable; a panic fails the test.
+        let _ = engine.execute(&sql);
+    }
+}

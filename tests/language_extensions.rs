@@ -74,9 +74,7 @@ fn having_filters_groups() {
 fn having_can_use_aggregates_not_in_select() {
     let mut e = engine(10);
     let r = e
-        .execute(
-            "SELECT lang FROM twitter GROUP BY lang HAVING avg(followers) > 10",
-        )
+        .execute("SELECT lang FROM twitter GROUP BY lang HAVING avg(followers) > 10")
         .unwrap();
     assert!(!r.rows.is_empty());
     assert_eq!(r.schema.names(), vec!["lang"]);
@@ -142,7 +140,10 @@ fn slide_equal_to_window_is_tumbling() {
         .execute("SELECT count(*) FROM twitter WINDOW 5 minutes SLIDE 5 minutes")
         .unwrap();
     let sum = |r: &tweeql::engine::QueryResult| -> i64 {
-        r.rows.iter().map(|row| row.value(0).as_int().unwrap()).sum()
+        r.rows
+            .iter()
+            .map(|row| row.value(0).as_int().unwrap())
+            .sum()
     };
     assert_eq!(sum(&a), sum(&b));
 }
@@ -208,7 +209,11 @@ fn transient_service_failures_degrade_to_null_not_crash() {
     // The query completes; failures surface as NULLs alongside
     // successes.
     assert!(resolved > 0, "some calls succeed");
-    assert!(nulls > lats.len() / 4, "failures visible: {nulls}/{}", lats.len());
+    assert!(
+        nulls > lats.len() / 4,
+        "failures visible: {nulls}/{}",
+        lats.len()
+    );
 }
 
 #[test]
@@ -216,8 +221,7 @@ fn topk_aggregate_finds_popular_links() {
     // The Popular Links panel as one SQL aggregate: bounded-memory
     // SpaceSaving heavy hitters over extracted URLs.
     let scenario = {
-        let mut topic =
-            tweeql_firehose::scenario::Topic::new("quake", vec!["quake"], 40.0);
+        let mut topic = tweeql_firehose::scenario::Topic::new("quake", vec!["quake"], 40.0);
         topic.phrases = vec!["big one".into()];
         Scenario {
             name: "topk".into(),
@@ -253,7 +257,11 @@ fn topk_aggregate_finds_popular_links() {
             assert!(!items.is_empty());
             assert!(items.len() <= 3);
             // The scripted burst URL dominates organic t.co noise.
-            assert_eq!(items[0], Value::from("http://usgs.gov/big-one"), "{items:?}");
+            assert_eq!(
+                items[0],
+                Value::from("http://usgs.gov/big-one"),
+                "{items:?}"
+            );
         }
         other => panic!("{other:?}"),
     }

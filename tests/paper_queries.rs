@@ -61,7 +61,11 @@ fn paper_query_1_sentiment_and_geocode() {
     // A decent share of profile locations geocode; the rest are NULL.
     let lats = result.column("latitude").unwrap();
     let resolved = lats.iter().filter(|v| !v.is_null()).count();
-    assert!(resolved * 3 > lats.len(), "resolved = {resolved}/{}", lats.len());
+    assert!(
+        resolved * 3 > lats.len(),
+        "resolved = {resolved}/{}",
+        lats.len()
+    );
     // Caching collapsed repeated locations into few remote requests.
     assert!(result.stats.geo_requests > 0);
     assert!(

@@ -2,11 +2,11 @@
 //! canned demo scenarios (§4), checking the peak detector against the
 //! generator's scripted ground truth.
 
+use tweeql_firehose::{generate, scenarios};
+use tweeql_model::{Timestamp, Tweet};
 use twitinfo::event::EventSpec;
 use twitinfo::peaks::score_against_truth;
 use twitinfo::store::{analyze, AnalysisConfig};
-use tweeql_firehose::{generate, scenarios};
-use tweeql_model::{Timestamp, Tweet};
 
 /// Ground-truth burst windows in timeline-bin units.
 fn truth_bins(scenario: &tweeql_firehose::Scenario, bin_ms: i64) -> Vec<(usize, usize)> {
@@ -26,7 +26,11 @@ fn run_scenario(
     scenario: tweeql_firehose::Scenario,
     spec: EventSpec,
     seed: u64,
-) -> (twitinfo::store::EventAnalysis, Vec<(usize, usize)>, Vec<Tweet>) {
+) -> (
+    twitinfo::store::EventAnalysis,
+    Vec<(usize, usize)>,
+    Vec<Tweet>,
+) {
     let tweets = generate(&scenario, seed);
     let config = AnalysisConfig::default();
     let truth = truth_bins(&scenario, config.bin.millis());
@@ -40,7 +44,13 @@ fn soccer_all_goals_detected_with_high_precision() {
         scenarios::soccer_match(),
         EventSpec::new(
             "soccer",
-            &["soccer", "football", "premierleague", "manchester", "liverpool"],
+            &[
+                "soccer",
+                "football",
+                "premierleague",
+                "manchester",
+                "liverpool",
+            ],
         ),
         42,
     );
@@ -130,7 +140,11 @@ fn obama_month_news_cycles() {
     let peaks: Vec<_> = analysis.peaks.iter().map(|p| p.peak.clone()).collect();
     let score = score_against_truth(&peaks, &truth);
     // Five scripted news cycles; at least four must be found.
-    assert!(score.recall() >= 0.8, "recall {} ({peaks:?})", score.recall());
+    assert!(
+        score.recall() >= 0.8,
+        "recall {} ({peaks:?})",
+        score.recall()
+    );
     assert!(score.precision() >= 0.7, "precision {}", score.precision());
 }
 
@@ -141,7 +155,13 @@ fn burst_urls_win_the_popular_links_panel() {
         scenario,
         EventSpec::new(
             "soccer",
-            &["soccer", "football", "premierleague", "manchester", "liverpool"],
+            &[
+                "soccer",
+                "football",
+                "premierleague",
+                "manchester",
+                "liverpool",
+            ],
         ),
         42,
     );

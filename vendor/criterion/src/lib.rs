@@ -1,0 +1,185 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the minimal harness surface its benches use:
+//! `Criterion::benchmark_group`, `bench_function`, `iter` /
+//! `iter_batched`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros. Instead of statistical sampling it runs
+//! each routine a handful of times and prints the best wall-clock
+//! time — enough to compare orders of magnitude and to keep
+//! `cargo bench` / CI wiring working.
+
+use std::time::{Duration, Instant};
+
+/// Iterations per bench routine (kept tiny; this is a smoke harness).
+const RUNS: u32 = 3;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// How work-per-iteration is reported.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; ignored by the stub.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Fresh input for every single iteration.
+    PerIteration,
+}
+
+/// A named group of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Set the sample count (accepted for API compatibility; ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set measurement time (accepted for API compatibility; ignored).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declare per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark routine.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { best: None };
+        f(&mut b);
+        let best = b.best.unwrap_or(Duration::ZERO);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if !best.is_zero() => {
+                format!("  ({:.0} elem/s)", n as f64 / best.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if !best.is_zero() => {
+                format!(
+                    "  ({:.1} MiB/s)",
+                    n as f64 / best.as_secs_f64() / (1 << 20) as f64
+                )
+            }
+            _ => String::new(),
+        };
+        println!("bench {}/{:<32} {:>12.3?}{}", self.name, id, best, rate);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each routine; runs and times closures.
+#[derive(Debug)]
+pub struct Bencher {
+    best: Option<Duration>,
+}
+
+impl Bencher {
+    fn record(&mut self, d: Duration) {
+        self.best = Some(match self.best {
+            Some(b) if b < d => b,
+            _ => d,
+        });
+    }
+
+    /// Time `routine`, keeping the best of a few runs.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        for _ in 0..RUNS {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.record(start.elapsed());
+        }
+    }
+
+    /// Time `routine` over inputs built by `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..RUNS {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.record(start.elapsed());
+        }
+    }
+}
+
+/// Bundle bench functions into a single runner, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("iter", |b| b.iter(|| (0..100).sum::<u64>()));
+        g.bench_function("iter_batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+    }
+}

@@ -1,0 +1,513 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a deterministic property-testing harness with the
+//! API surface its tests use: the `proptest!` / `prop_assert!` /
+//! `prop_assert_eq!` macros, integer/float range strategies, a
+//! regex-subset string strategy (`.`, `[class]`, `{m,n}` and friends),
+//! tuples, and `collection::vec`. Generation is seeded from the test
+//! name, so runs are reproducible; there is no shrinking — failures
+//! print the generated inputs instead.
+
+pub mod strategy {
+    //! The [`Strategy`] trait and implementations.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: std::fmt::Debug;
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// `&str` is interpreted as a regex subset and generates `String`s.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_matching(self, rng)
+        }
+    }
+
+    impl Strategy for String {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_matching(self, rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+
+    /// Always produces a clone of the same value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with lengths drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generate vectors of `element` values with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.rng.random_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    //! Regex-subset string generation.
+    //!
+    //! Supports exactly the constructs the workspace's strategies use:
+    //! `.` (any char, including multibyte and astral-plane), literal
+    //! characters, `[abc]` / `[a-z]` classes, and the `{m,n}` / `{m}` /
+    //! `*` / `+` / `?` repetition suffixes.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    #[derive(Debug)]
+    enum Atom {
+        Any,
+        Literal(char),
+        Class(Vec<(char, char)>),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '.' => Atom::Any,
+                '[' => {
+                    let mut members = Vec::new();
+                    let mut inner: Vec<char> = Vec::new();
+                    for cc in chars.by_ref() {
+                        if cc == ']' {
+                            break;
+                        }
+                        inner.push(cc);
+                    }
+                    let mut i = 0;
+                    while i < inner.len() {
+                        if i + 2 < inner.len() && inner[i + 1] == '-' {
+                            members.push((inner[i], inner[i + 2]));
+                            i += 3;
+                        } else {
+                            members.push((inner[i], inner[i]));
+                            i += 1;
+                        }
+                    }
+                    Atom::Class(members)
+                }
+                '\\' => Atom::Literal(chars.next().unwrap_or('\\')),
+                other => Atom::Literal(other),
+            };
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for cc in chars.by_ref() {
+                        if cc == '}' {
+                            break;
+                        }
+                        spec.push(cc);
+                    }
+                    match spec.split_once(',') {
+                        Some((m, n)) => {
+                            (m.trim().parse().unwrap_or(0), n.trim().parse().unwrap_or(0))
+                        }
+                        None => {
+                            let m = spec.trim().parse().unwrap_or(1);
+                            (m, m)
+                        }
+                    }
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    /// Characters `.` draws from beyond printable ASCII: sigils that
+    /// start tweet entities, CJK, accents, whitespace, and
+    /// astral-plane chars (which famously shake out byte-offset bugs).
+    const SPICE: &[char] = &[
+        '#',
+        '@',
+        'h',
+        ':',
+        ')',
+        '(',
+        'é',
+        'ü',
+        'ß',
+        '日',
+        '本',
+        '地',
+        '震',
+        '\n',
+        '\t',
+        ' ',
+        '"',
+        '<',
+        '>',
+        '\u{1F600}',
+        '\u{1F30D}',
+        '\u{80000}',
+        '\u{10FFFF}',
+        '\u{FFFD}',
+        '\u{0301}',
+    ];
+
+    fn any_char(rng: &mut TestRng) -> char {
+        match rng.rng.random_range(0u32..10) {
+            0..=6 => char::from_u32(rng.rng.random_range(0x20u32..0x7F)).unwrap(),
+            7 | 8 => SPICE[rng.rng.random_range(0usize..SPICE.len())],
+            _ => {
+                // Arbitrary scalar value, skipping the surrogate gap.
+                let v = rng.rng.random_range(0x20u32..0x11_0000);
+                char::from_u32(v).unwrap_or('\u{FFFD}')
+            }
+        }
+    }
+
+    fn gen_atom(atom: &Atom, rng: &mut TestRng) -> char {
+        match atom {
+            Atom::Any => any_char(rng),
+            Atom::Literal(c) => *c,
+            Atom::Class(members) => {
+                let (lo, hi) = members[rng.rng.random_range(0usize..members.len())];
+                char::from_u32(rng.rng.random_range(lo as u32..=hi as u32)).unwrap_or(lo)
+            }
+        }
+    }
+
+    /// Generate one string matching `pattern`.
+    pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(pattern) {
+            let n = if piece.max > piece.min {
+                rng.rng.random_range(piece.min..=piece.max)
+            } else {
+                piece.min
+            };
+            for _ in 0..n {
+                out.push(gen_atom(&piece.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic per-test RNG and configuration.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// RNG handed to strategies; seeded from the test name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        /// Underlying generator (public so sibling modules sample it).
+        pub rng: StdRng,
+    }
+
+    impl TestRng {
+        /// Deterministic RNG for the named test.
+        pub fn from_name(name: &str) -> TestRng {
+            // FNV-1a over the name: stable across runs and platforms.
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                rng: StdRng::seed_from_u64(h),
+            }
+        }
+    }
+
+    /// Subset of proptest's run configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a test file needs.
+
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            for __case in 0..__cfg.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __inputs = [
+                    $(format!("{} = {:?}", stringify!($arg), &$arg)),+
+                ].join(", ");
+                let __result: ::std::result::Result<(), ::std::string::String> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(__msg) = __result {
+                    panic!(
+                        "proptest case {}/{} failed: {}\n  inputs: {}",
+                        __case + 1,
+                        __cfg.cases,
+                        __msg,
+                        __inputs
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err(format!(
+                        "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        __l,
+                        __r
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::std::result::Result::Err(format!(
+                        "assertion failed: `{} != {}`\n  both: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        __l
+                    ));
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    proptest! {
+        #[test]
+        fn int_ranges_in_bounds(x in -50i64..50, u in 0usize..4) {
+            prop_assert!((-50..50).contains(&x));
+            prop_assert!(u < 4);
+        }
+
+        #[test]
+        fn tuples_and_vecs(ops in collection::vec((0u8..4, 0u32..10), 1..20)) {
+            prop_assert!(!ops.is_empty() && ops.len() < 20);
+            for (k, v) in ops {
+                prop_assert!(k < 4 && v < 10);
+            }
+        }
+
+        #[test]
+        fn class_strings_match(s in "[a-c ]{0,40}") {
+            prop_assert!(s.len() <= 40);
+            prop_assert!(s.chars().all(|c| matches!(c, 'a'..='c' | ' ')));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn config_cases_is_respected(x in 0u8..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn dot_pattern_emits_multibyte_eventually() {
+        let mut rng = TestRng::from_name("dot_pattern");
+        let mut saw_multibyte = false;
+        for _ in 0..200 {
+            let s = crate::string::generate_matching(".{0,20}", &mut rng);
+            assert!(s.chars().count() <= 20);
+            if s.chars().any(|c| c.len_utf8() > 1) {
+                saw_multibyte = true;
+            }
+        }
+        assert!(saw_multibyte, "`.` should cover non-ASCII chars");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let mut a = TestRng::from_name("same");
+        let mut b = TestRng::from_name("same");
+        for _ in 0..50 {
+            assert_eq!(
+                crate::string::generate_matching(".{0,30}", &mut a),
+                crate::string::generate_matching(".{0,30}", &mut b)
+            );
+        }
+    }
+}

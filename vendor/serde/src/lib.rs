@@ -1,0 +1,19 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access to crates.io, and
+//! nothing in the workspace actually serializes through serde (JSON
+//! output is hand-rolled; see `tweeql::sink`). The derives therefore
+//! only need to *exist*: `Serialize` / `Deserialize` are marker traits
+//! blanket-implemented for every type, and the derive macros expand to
+//! nothing.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
