@@ -1,0 +1,57 @@
+//! Writes `BENCH_engine.json`: parallel-engine throughput and speedup
+//! per worker count (the E9 sweep).
+//!
+//! ```text
+//! cargo run --release -p tweeql-bench --bin engine_bench [-- --smoke] [--out PATH] [--seed N]
+//! ```
+//!
+//! `--smoke` shrinks the firehose to a ~2-minute stream so CI can
+//! validate the pipeline end-to-end in seconds; the default 20-minute
+//! stream is what EXPERIMENTS.md records.
+
+use tweeql_bench::e9_parallel;
+
+fn main() {
+    let mut smoke = false;
+    let mut seed = 42u64;
+    let mut out_path = String::from("BENCH_engine.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--seed" => {
+                seed = args.next().and_then(|s| s.parse().ok()).expect("--seed N");
+            }
+            "--out" => out_path = args.next().expect("--out PATH"),
+            other => {
+                eprintln!("unknown flag: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let minutes = if smoke { 2 } else { 20 };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let tweets = e9_parallel::firehose(seed, minutes).len();
+    eprintln!(
+        "engine bench: {tweets} tweets ({minutes} min stream), host cores: {cores}, \
+         workers swept: {:?}",
+        e9_parallel::WORKER_COUNTS
+    );
+
+    let rows = e9_parallel::run(seed, minutes);
+    for row in &rows {
+        for c in &row.cells {
+            eprintln!(
+                "  {:<18} workers={} {:>9.0} tweets/sec  speedup {:.2}x",
+                row.query, c.workers, c.tweets_per_sec, c.speedup
+            );
+        }
+    }
+
+    let json = e9_parallel::to_json(&rows, seed, cores, tweets);
+    std::fs::write(&out_path, &json).expect("write BENCH_engine.json");
+    eprintln!("wrote {out_path}");
+}

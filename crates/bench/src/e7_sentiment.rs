@@ -111,7 +111,7 @@ pub fn run(seed: u64) -> (Vec<E7Row>, usize) {
     // two-class NB otherwise force-labels weak evidence as polar);
     // 1.2 balances 3-class accuracy against polar recall here.
     let mut nb = NaiveBayesClassifier::default().with_decision_margin(1.2);
-    let used = nb.train_distant(train.iter().map(|t| t.text.as_str()));
+    let used = nb.train_distant(train.iter().map(|t| &*t.text));
 
     let rows = vec![
         evaluate(&LexiconClassifier::new(), &held_out),

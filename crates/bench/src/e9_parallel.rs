@@ -1,0 +1,198 @@
+//! E9 — parallel engine scaling: tweets/second and speedup of the
+//! micro-batched multi-core pipeline versus the serial engine, per
+//! worker count.
+//!
+//! Queries deliberately avoid the geocoder: its modeled latency is
+//! stream-time, not CPU, so it would hide the compute scaling this
+//! experiment measures. The serial run (`workers = 1`) is the baseline
+//! for each query's speedup column.
+
+use std::time::Instant;
+use tweeql::engine::{Engine, EngineConfig};
+use tweeql_firehose::scenario::{Scenario, Topic};
+use tweeql_firehose::{generate, StreamingApi};
+use tweeql_model::{Duration, Tweet, VirtualClock};
+
+/// Worker counts swept by the benchmark.
+pub const WORKER_COUNTS: &[usize] = &[1, 2, 4, 8];
+
+/// CPU-bound benchmark queries (no async UDFs).
+pub const QUERIES: &[(&str, &str)] = &[
+    (
+        "filter+project",
+        "SELECT upper(lang) AS l, followers * 2 AS f2 FROM twitter \
+         WHERE text contains 'obama'",
+    ),
+    (
+        "sentiment filter",
+        "SELECT sentiment(text) AS s, text FROM twitter \
+         WHERE text contains 'obama'",
+    ),
+    (
+        "windowed count",
+        "SELECT count(*) AS c, lang FROM twitter \
+         WHERE text contains 'obama' GROUP BY lang WINDOW 5 minutes",
+    ),
+];
+
+/// One (query, worker-count) measurement.
+#[derive(Debug, Clone)]
+pub struct E9Cell {
+    /// Worker count (1 = serial path).
+    pub workers: usize,
+    /// Firehose tweets scanned.
+    pub scanned: u64,
+    /// Output rows.
+    pub rows: usize,
+    /// Wall-clock seconds.
+    pub wall_secs: f64,
+    /// Firehose tweets processed per wall-clock second.
+    pub tweets_per_sec: f64,
+    /// Throughput relative to the serial run of the same query.
+    pub speedup: f64,
+}
+
+/// One query's sweep over [`WORKER_COUNTS`].
+#[derive(Debug, Clone)]
+pub struct E9Row {
+    /// Query label.
+    pub query: &'static str,
+    /// SQL text.
+    pub sql: &'static str,
+    /// One cell per worker count, serial first.
+    pub cells: Vec<E9Cell>,
+}
+
+/// The benchmark firehose: `minutes` of stream at ~260 tweets/min.
+pub fn firehose(seed: u64, minutes: i64) -> Vec<Tweet> {
+    let s = Scenario {
+        name: "e9".into(),
+        duration: Duration::from_mins(minutes),
+        background_rate_per_min: 200.0,
+        topics: vec![Topic::new("obama", vec!["obama"], 60.0)],
+        bursts: vec![],
+        geotag_rate: 0.1,
+        population_size: 2000,
+    };
+    generate(&s, seed)
+}
+
+fn measure(tweets: Vec<Tweet>, sql: &str, workers: usize) -> (u64, usize, f64) {
+    let clock = VirtualClock::new();
+    let api = StreamingApi::new(tweets, clock.clone());
+    let config = EngineConfig {
+        workers,
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::new(config, api, clock);
+    let t0 = Instant::now();
+    let result = engine.execute(sql).expect("bench query runs");
+    let wall = t0.elapsed().as_secs_f64();
+    (result.stats.source.scanned, result.rows.len(), wall)
+}
+
+/// Sweep every query over every worker count on a shared firehose.
+pub fn run(seed: u64, minutes: i64) -> Vec<E9Row> {
+    let tweets = firehose(seed, minutes);
+    QUERIES
+        .iter()
+        .map(|(label, sql)| {
+            let mut cells = Vec::new();
+            let mut baseline = 0.0f64;
+            for &workers in WORKER_COUNTS {
+                let (scanned, rows, wall) = measure(tweets.clone(), sql, workers);
+                let tps = scanned as f64 / wall.max(1e-9);
+                if workers == 1 {
+                    baseline = tps;
+                }
+                cells.push(E9Cell {
+                    workers,
+                    scanned,
+                    rows,
+                    wall_secs: wall,
+                    tweets_per_sec: tps,
+                    speedup: tps / baseline.max(1e-9),
+                });
+            }
+            E9Row {
+                query: label,
+                sql,
+                cells,
+            }
+        })
+        .collect()
+}
+
+/// Render the sweep as the JSON payload written to `BENCH_engine.json`.
+/// Hand-rolled: the vendored `serde` is a stub, and the shape is flat.
+pub fn to_json(rows: &[E9Row], seed: u64, cores: usize, tweets: usize) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"engine_parallel\",\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"host_cores\": {cores},\n"));
+    out.push_str(&format!("  \"firehose_tweets\": {tweets},\n"));
+    out.push_str("  \"queries\": [\n");
+    for (qi, row) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"query\": {:?},\n", row.query));
+        out.push_str(&format!("      \"sql\": {:?},\n", row.sql));
+        out.push_str("      \"results\": [\n");
+        for (ci, c) in row.cells.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"workers\": {}, \"scanned\": {}, \"rows\": {}, \
+                 \"wall_secs\": {:.6}, \"tweets_per_sec\": {:.1}, \
+                 \"speedup\": {:.3}}}{}\n",
+                c.workers,
+                c.scanned,
+                c.rows,
+                c.wall_secs,
+                c.tweets_per_sec,
+                c.speedup,
+                if ci + 1 < row.cells.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if qi + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_runs_and_rows_match_across_worker_counts() {
+        let rows = run(7, 2);
+        assert_eq!(rows.len(), QUERIES.len());
+        for row in &rows {
+            assert_eq!(row.cells.len(), WORKER_COUNTS.len());
+            let serial = &row.cells[0];
+            assert_eq!(serial.workers, 1);
+            assert!((serial.speedup - 1.0).abs() < 1e-9);
+            for c in &row.cells {
+                assert_eq!(c.rows, serial.rows, "{}: row count drift", row.query);
+                assert_eq!(c.scanned, serial.scanned);
+                assert!(c.tweets_per_sec > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn json_is_balanced_and_quotes_queries() {
+        let rows = run(7, 1);
+        let json = to_json(&rows, 7, 4, 123);
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"bench\": \"engine_parallel\""));
+        assert!(json.contains("\"workers\": 8"));
+    }
+}

@@ -29,6 +29,15 @@ pub struct EngineConfig {
     pub async_max_batch: usize,
     /// Max stream-time a tuple waits in a partial async batch.
     pub async_max_delay: Duration,
+    /// Prefix worker threads for single-stream queries. `1` runs the
+    /// serial engine; `>= 2` runs the parallel micro-batched engine
+    /// (decoder thread + workers + merge), which produces identical
+    /// output.
+    pub workers: usize,
+    /// Records per micro-batch in the parallel engine.
+    pub batch_size: usize,
+    /// Bounded-channel capacity (in-flight batches) per queue.
+    pub channel_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -40,6 +49,9 @@ impl Default for EngineConfig {
             use_eddy: false,
             async_max_batch: 25,
             async_max_delay: Duration::from_secs(2),
+            workers: 1,
+            batch_size: 256,
+            channel_capacity: 8,
         }
     }
 }
@@ -283,6 +295,16 @@ impl Engine {
         filter: FilterSpec,
         sink: &mut dyn FnMut(&Record),
     ) -> Result<ConnectionStats, QueryError> {
+        if self.config.workers > 1 {
+            let conn = self.api.connect(filter);
+            let pcfg = crate::exec::parallel::ParallelConfig {
+                workers: self.config.workers,
+                batch_size: self.config.batch_size,
+                channel_capacity: self.config.channel_capacity,
+                watermark_interval: self.config.watermark_interval,
+            };
+            return crate::exec::parallel::run_parallel(conn, &mut planned.pipeline, &pcfg, sink);
+        }
         let mut conn = self.api.connect(filter);
         let wm_interval = self.config.watermark_interval;
         let mut next_wm: Option<Timestamp> = None;
@@ -290,11 +312,17 @@ impl Engine {
         for tweet in conn.by_ref() {
             let rec = Record::from_tweet(&tweet);
             let ts = rec.timestamp();
-            // Inject punctuation when stream time crosses boundaries.
+            // Inject punctuation when stream time crosses boundaries —
+            // every boundary the stream jumped over, not just one, so
+            // idle gaps still tick time-driven flushes.
             if let Some(wm) = next_wm {
                 if ts >= wm {
-                    let boundary = ts.truncate(wm_interval);
-                    planned.pipeline.watermark(boundary, &mut out)?;
+                    let last = ts.truncate(wm_interval);
+                    let mut boundary = wm;
+                    while boundary <= last {
+                        planned.pipeline.watermark(boundary, &mut out)?;
+                        boundary += wm_interval;
+                    }
                 }
             }
             next_wm = Some(ts.truncate(wm_interval) + wm_interval);
@@ -349,7 +377,14 @@ impl Engine {
             if planned.pipeline.done() {
                 break;
             }
-            if nl == 0 && nr == 0 && left.stats().scanned as usize >= self.api.firehose_len() {
+            // End of stream only when *both* connections have scanned
+            // the whole firehose — the sides can drain at different
+            // rates under delivery caps.
+            if nl == 0
+                && nr == 0
+                && left.stats().scanned as usize >= self.api.firehose_len()
+                && right.stats().scanned as usize >= self.api.firehose_len()
+            {
                 break;
             }
             t += step;

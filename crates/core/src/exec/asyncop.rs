@@ -94,6 +94,23 @@ impl Operator for AsyncUdfOp {
         Ok(())
     }
 
+    fn on_batch(&mut self, recs: Vec<Record>, out: &mut Vec<Record>) -> Result<(), QueryError> {
+        // Feeding the whole micro-batch before draining lets the
+        // batcher form full service batches even when the engine's
+        // micro-batch is larger than `max_batch`.
+        for rec in recs {
+            let mut args = Vec::with_capacity(self.arg_exprs.len());
+            for e in &self.arg_exprs {
+                args.push(e.eval(&rec, &mut self.ctx)?);
+            }
+            let ts = rec.timestamp();
+            if let Some(batch) = self.batcher.push((rec, args), ts) {
+                self.run_batch(batch, out);
+            }
+        }
+        Ok(())
+    }
+
     fn on_watermark(&mut self, wm: Timestamp, out: &mut Vec<Record>) -> Result<(), QueryError> {
         if let Some(batch) = self.batcher.poll(wm) {
             self.run_batch(batch, out);

@@ -46,6 +46,28 @@ impl Operator for FilterOp {
         }
         Ok(())
     }
+
+    fn on_batch(&mut self, recs: Vec<Record>, out: &mut Vec<Record>) -> Result<(), QueryError> {
+        out.reserve(recs.len());
+        for rec in recs {
+            if self.predicate.eval_predicate(&rec, &mut self.ctx)? {
+                out.push(rec);
+            }
+        }
+        Ok(())
+    }
+
+    fn parallel_clone(&self) -> Option<Box<dyn Operator>> {
+        if !self.ctx.is_stateless() {
+            return None;
+        }
+        Some(Box::new(FilterOp {
+            predicate: self.predicate.clone(),
+            ctx: EvalCtx::default(),
+            schema: self.schema.clone(),
+            label: self.label.clone(),
+        }))
+    }
 }
 
 #[cfg(test)]

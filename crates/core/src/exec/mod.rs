@@ -11,10 +11,12 @@ pub mod eddy;
 pub mod filter;
 pub mod join;
 pub mod limit;
+pub mod parallel;
 pub mod project;
 pub mod topk;
 
 use crate::error::QueryError;
+use std::time::Instant;
 use tweeql_model::{Record, SchemaRef, Timestamp};
 
 /// A streaming operator.
@@ -27,6 +29,18 @@ pub trait Operator: Send {
 
     /// Consume one record, pushing any outputs.
     fn on_record(&mut self, rec: Record, out: &mut Vec<Record>) -> Result<(), QueryError>;
+
+    /// Consume a micro-batch of records, pushing any outputs.
+    ///
+    /// The default loops [`Operator::on_record`]; operators with a
+    /// cheaper vectorized path (filter, project, async UDFs) override
+    /// it to amortize dispatch and pre-size buffers.
+    fn on_batch(&mut self, recs: Vec<Record>, out: &mut Vec<Record>) -> Result<(), QueryError> {
+        for rec in recs {
+            self.on_record(rec, out)?;
+        }
+        Ok(())
+    }
 
     /// Stream time has advanced to `wm`; flush anything due.
     fn on_watermark(&mut self, _wm: Timestamp, _out: &mut Vec<Record>) -> Result<(), QueryError> {
@@ -43,28 +57,79 @@ pub trait Operator: Send {
     fn done(&self) -> bool {
         false
     }
+
+    /// An independent copy of this operator that may process a disjoint
+    /// subset of the stream on another worker thread.
+    ///
+    /// `None` (the default) marks the operator as stateful or
+    /// order-dependent: the parallel engine keeps it on the single
+    /// stateful-suffix thread. Only operators whose per-record output
+    /// is a pure function of that record (stateless filters and
+    /// projections) return `Some`.
+    fn parallel_clone(&self) -> Option<Box<dyn Operator>> {
+        None
+    }
+
+    /// Downcast hook: `Some` when this operator is the grouped
+    /// aggregate, letting the parallel engine merge worker-built
+    /// partial tables into it without `dyn Any` gymnastics.
+    fn as_aggregate(&mut self) -> Option<&mut aggregate::AggregateOp> {
+        None
+    }
 }
 
-/// Per-operator tuple counters.
+/// Per-operator tuple counters and timing.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OpStats {
     /// Records consumed.
     pub records_in: u64,
     /// Records emitted.
     pub records_out: u64,
+    /// Wall time spent inside the operator, in nanoseconds. Under data
+    /// parallelism this sums the busy time of every worker clone, so it
+    /// can exceed the run's elapsed wall time.
+    pub busy_nanos: u64,
+}
+
+impl OpStats {
+    /// Input records per second of busy time (0.0 when untimed).
+    pub fn records_per_sec(&self) -> f64 {
+        if self.busy_nanos == 0 {
+            return 0.0;
+        }
+        self.records_in as f64 / (self.busy_nanos as f64 / 1e9)
+    }
+
+    /// Accumulate another stat block (worker-clone merge).
+    pub fn absorb(&mut self, other: &OpStats) {
+        self.records_in += other.records_in;
+        self.records_out += other.records_out;
+        self.busy_nanos += other.busy_nanos;
+    }
 }
 
 /// A linear chain of operators with per-stage stats.
+///
+/// The pipeline owns two scratch buffers that ping-pong between stages,
+/// so steady-state record pushes allocate nothing beyond what operators
+/// themselves allocate.
 pub struct Pipeline {
     ops: Vec<Box<dyn Operator>>,
     stats: Vec<OpStats>,
+    cur: Vec<Record>,
+    next: Vec<Record>,
 }
 
 impl Pipeline {
     /// Build from a stage list (source side first).
     pub fn new(ops: Vec<Box<dyn Operator>>) -> Pipeline {
         let stats = vec![OpStats::default(); ops.len()];
-        Pipeline { ops, stats }
+        Pipeline {
+            ops,
+            stats,
+            cur: Vec::new(),
+            next: Vec::new(),
+        }
     }
 
     /// Number of stages.
@@ -91,6 +156,42 @@ impl Pipeline {
             .collect()
     }
 
+    /// Merge externally-tracked stats (worker clones) into stage `i`.
+    pub fn add_stage_stats(&mut self, i: usize, s: &OpStats) {
+        if let Some(slot) = self.stats.get_mut(i) {
+            slot.absorb(s);
+        }
+    }
+
+    /// Mutable access to stage `i` (parallel partial-aggregate merge).
+    pub(crate) fn op_mut(&mut self, i: usize) -> &mut Box<dyn Operator> {
+        &mut self.ops[i]
+    }
+
+    /// Length of the longest stateless prefix: leading stages whose
+    /// [`Operator::parallel_clone`] succeeds, safe to fan out across a
+    /// worker pool.
+    pub fn parallel_prefix_len(&self) -> usize {
+        self.ops
+            .iter()
+            .take_while(|o| o.parallel_clone().is_some())
+            .count()
+    }
+
+    /// Clone the first `len` stages for a worker thread.
+    ///
+    /// Panics if a stage refuses to clone — callers must not exceed
+    /// [`Pipeline::parallel_prefix_len`].
+    pub fn clone_prefix(&self, len: usize) -> Vec<Box<dyn Operator>> {
+        self.ops[..len]
+            .iter()
+            .map(|o| {
+                o.parallel_clone()
+                    .expect("clone_prefix beyond parallel prefix")
+            })
+            .collect()
+    }
+
     /// True once the pipeline will never produce more output.
     pub fn done(&self) -> bool {
         self.ops.iter().any(|o| o.done())
@@ -99,45 +200,125 @@ impl Pipeline {
     /// Push one source record through every stage, collecting final
     /// outputs into `out`.
     pub fn push(&mut self, rec: Record, out: &mut Vec<Record>) -> Result<(), QueryError> {
-        self.run_from(0, vec![rec], None, false, out)
+        self.cur.clear();
+        self.cur.push(rec);
+        self.run_from(0, None, false, out)
+    }
+
+    /// Push a micro-batch through every stage via the operators' batch
+    /// path.
+    pub fn push_batch(
+        &mut self,
+        recs: Vec<Record>,
+        out: &mut Vec<Record>,
+    ) -> Result<(), QueryError> {
+        self.push_batch_from(0, recs, out)
+    }
+
+    /// Push a micro-batch through stages `start..`.
+    pub fn push_batch_from(
+        &mut self,
+        start: usize,
+        recs: Vec<Record>,
+        out: &mut Vec<Record>,
+    ) -> Result<(), QueryError> {
+        let mut current = recs;
+        for i in start..self.ops.len() {
+            let op = &mut self.ops[i];
+            self.stats[i].records_in += current.len() as u64;
+            let mut next = std::mem::take(&mut self.next);
+            next.clear();
+            let t0 = Instant::now();
+            op.on_batch(current, &mut next)?;
+            self.stats[i].busy_nanos += t0.elapsed().as_nanos() as u64;
+            self.stats[i].records_out += next.len() as u64;
+            current = next;
+        }
+        out.append(&mut current);
+        self.next = current;
+        Ok(())
+    }
+
+    /// Merge a worker-built partial aggregation table into stage
+    /// `stage` (which must be the aggregate), then run whatever it
+    /// flushed through the downstream stages.
+    pub fn absorb_partial(
+        &mut self,
+        stage: usize,
+        table: aggregate::PartialTable,
+        out: &mut Vec<Record>,
+    ) -> Result<(), QueryError> {
+        self.cur.clear();
+        self.stats[stage].records_in += table.records();
+        let mut buf = std::mem::take(&mut self.cur);
+        let t0 = Instant::now();
+        let agg = self.ops[stage]
+            .as_aggregate()
+            .expect("absorb_partial targets a non-aggregate stage");
+        agg.absorb_partial(table, &mut buf)?;
+        self.stats[stage].busy_nanos += t0.elapsed().as_nanos() as u64;
+        self.stats[stage].records_out += buf.len() as u64;
+        self.cur = buf;
+        self.run_from(stage + 1, None, false, out)
     }
 
     /// Propagate a watermark through every stage.
     pub fn watermark(&mut self, wm: Timestamp, out: &mut Vec<Record>) -> Result<(), QueryError> {
-        self.run_from(0, Vec::new(), Some(wm), false, out)
+        self.cur.clear();
+        self.run_from(0, Some(wm), false, out)
+    }
+
+    /// Propagate a watermark through stages `start..`.
+    pub fn watermark_from(
+        &mut self,
+        start: usize,
+        wm: Timestamp,
+        out: &mut Vec<Record>,
+    ) -> Result<(), QueryError> {
+        self.cur.clear();
+        self.run_from(start, Some(wm), false, out)
     }
 
     /// End of stream: flush every stage in order.
     pub fn finish(&mut self, out: &mut Vec<Record>) -> Result<(), QueryError> {
-        self.run_from(0, Vec::new(), None, true, out)
+        self.cur.clear();
+        self.run_from(0, None, true, out)
     }
 
+    /// End of stream for stages `start..` only.
+    pub fn finish_from(&mut self, start: usize, out: &mut Vec<Record>) -> Result<(), QueryError> {
+        self.cur.clear();
+        self.run_from(start, None, true, out)
+    }
+
+    /// Run `self.cur` (plus optional punctuation / finish) from stage
+    /// `start`, ping-ponging between the two scratch buffers.
     fn run_from(
         &mut self,
         start: usize,
-        records: Vec<Record>,
         wm: Option<Timestamp>,
         finishing: bool,
         out: &mut Vec<Record>,
     ) -> Result<(), QueryError> {
-        let mut current = records;
         for i in start..self.ops.len() {
             let op = &mut self.ops[i];
-            let mut next = Vec::new();
-            self.stats[i].records_in += current.len() as u64;
-            for rec in current {
-                op.on_record(rec, &mut next)?;
+            self.next.clear();
+            self.stats[i].records_in += self.cur.len() as u64;
+            let t0 = Instant::now();
+            for rec in self.cur.drain(..) {
+                op.on_record(rec, &mut self.next)?;
             }
             if let Some(w) = wm {
-                op.on_watermark(w, &mut next)?;
+                op.on_watermark(w, &mut self.next)?;
             }
             if finishing {
-                op.finish(&mut next)?;
+                op.finish(&mut self.next)?;
             }
-            self.stats[i].records_out += next.len() as u64;
-            current = next;
+            self.stats[i].busy_nanos += t0.elapsed().as_nanos() as u64;
+            self.stats[i].records_out += self.next.len() as u64;
+            std::mem::swap(&mut self.cur, &mut self.next);
         }
-        out.extend(current);
+        out.append(&mut self.cur);
         Ok(())
     }
 }

@@ -1,0 +1,160 @@
+//! A bounded multi-producer/multi-consumer channel on std primitives.
+//!
+//! The vendored crate set has no crossbeam and the `parking_lot` stub
+//! lacks a Condvar, so this is a plain `Mutex` + two `Condvar`s ring.
+//! Capacity bounds give backpressure: a fast decoder blocks instead of
+//! buffering the whole firehose, and a closed channel wakes every
+//! blocked producer/consumer so early exit (LIMIT, error) cannot hang.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded MPMC channel. `&Chan<T>` is shareable across scoped threads.
+pub struct Chan<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+}
+
+impl<T> Chan<T> {
+    /// A channel holding at most `cap` items (min 1).
+    pub fn bounded(cap: usize) -> Chan<T> {
+        let cap = cap.max(1);
+        Chan {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::with_capacity(cap),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Block until there is room, then enqueue. `Err(v)` once closed —
+    /// the producer's signal to stop (the value is handed back so
+    /// nothing is silently dropped).
+    pub fn push(&self, v: T) -> Result<(), T> {
+        let mut g = self.inner.lock().expect("chan poisoned");
+        loop {
+            if g.closed {
+                return Err(v);
+            }
+            if g.queue.len() < self.cap {
+                g.queue.push_back(v);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            g = self.not_full.wait(g).expect("chan poisoned");
+        }
+    }
+
+    /// Block until an item is available. `None` once the channel is
+    /// closed *and* drained — in-flight items are always delivered.
+    pub fn pop(&self) -> Option<T> {
+        let mut g = self.inner.lock().expect("chan poisoned");
+        loop {
+            if let Some(v) = g.queue.pop_front() {
+                self.not_full.notify_one();
+                return Some(v);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.not_empty.wait(g).expect("chan poisoned");
+        }
+    }
+
+    /// Close the channel, waking every blocked producer and consumer.
+    /// Idempotent.
+    pub fn close(&self) {
+        let mut g = self.inner.lock().expect("chan poisoned");
+        g.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fifo_within_capacity() {
+        let c: Chan<i32> = Chan::bounded(4);
+        for i in 0..4 {
+            c.push(i).unwrap();
+        }
+        assert_eq!(c.pop(), Some(0));
+        assert_eq!(c.pop(), Some(1));
+        c.close();
+        assert_eq!(c.pop(), Some(2));
+        assert_eq!(c.pop(), Some(3));
+        assert_eq!(c.pop(), None, "closed and drained");
+    }
+
+    #[test]
+    fn push_after_close_returns_value() {
+        let c: Chan<String> = Chan::bounded(2);
+        c.close();
+        assert_eq!(c.push("x".to_string()), Err("x".to_string()));
+    }
+
+    #[test]
+    fn backpressure_blocks_until_pop() {
+        let c: Chan<u64> = Chan::bounded(1);
+        c.push(1).unwrap();
+        let pushed = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                c.push(2).unwrap(); // blocks until main pops
+                pushed.store(1, Ordering::SeqCst);
+            });
+            assert_eq!(c.pop(), Some(1));
+            assert_eq!(c.pop(), Some(2));
+        });
+        assert_eq!(pushed.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn close_unblocks_blocked_producer() {
+        let c: Chan<u64> = Chan::bounded(1);
+        c.push(1).unwrap();
+        std::thread::scope(|s| {
+            let h = s.spawn(|| c.push(2)); // blocks: full
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            c.close();
+            assert_eq!(h.join().unwrap(), Err(2));
+        });
+    }
+
+    #[test]
+    fn many_producers_one_consumer() {
+        let c: Chan<usize> = Chan::bounded(2);
+        let total = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let c = &c;
+                s.spawn(move || {
+                    for i in 0..25 {
+                        c.push(t * 100 + i).unwrap();
+                    }
+                });
+            }
+            s.spawn(|| {
+                for _ in 0..100 {
+                    c.pop().unwrap();
+                    total.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 100);
+    }
+}

@@ -1,0 +1,379 @@
+//! The parallel micro-batched execution engine.
+//!
+//! Splits a single-stream query across threads while producing output
+//! byte-identical to the serial engine:
+//!
+//! ```text
+//!  decoder ──batches──▶ worker pool ──results──▶ merge + suffix (caller)
+//!     │                 (stateless prefix,          reorder by seq,
+//!     └──watermarks──────── pre-aggregation) ─────▶ stateful suffix, sink
+//! ```
+//!
+//! * **Decoder thread** pulls the connection, projects tweets onto
+//!   records, cuts micro-batches at `batch_size` *and* at watermark
+//!   boundaries (so no punctuation ever falls mid-batch), and stamps
+//!   every batch/watermark with a monotone sequence number.
+//! * **Worker pool** runs independent clones of the stateless operator
+//!   prefix ([`crate::exec::Operator::parallel_clone`]) over batches, in
+//!   any order. When the first stateful stage is a mergeable aggregate,
+//!   workers also pre-aggregate each batch into a
+//!   [`PartialTable`](crate::exec::aggregate::PartialTable).
+//! * **Merge** (the calling thread) reassembles results in sequence
+//!   order and drives the stateful suffix — so every order-sensitive
+//!   operator observes exactly the event sequence the serial engine
+//!   would have produced.
+//!
+//! Determinism argument: the decoder emits one totally-ordered event
+//! stream (batches ⊎ watermarks, numbered). Workers compute pure
+//! functions of single batches (stateless prefix) or order-insensitive
+//! mergeable summaries (COUNT/MIN/MAX/COUNT DISTINCT partials). The
+//! merge applies results strictly in sequence order, therefore the
+//! suffix's state transitions — and its output — are identical to the
+//! serial run. Early exit (LIMIT) truncates the event stream at the
+//! same event in both engines; `LimitOp` hard-caps emission either way.
+
+mod chan;
+mod reorder;
+
+pub use chan::Chan;
+pub use reorder::Reorder;
+
+use super::aggregate::{PartialAggBuilder, PartialTable};
+use super::{OpStats, Operator, Pipeline};
+use crate::error::QueryError;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+use tweeql_firehose::api::{Connection, ConnectionStats};
+use tweeql_model::{Duration, Record, Timestamp};
+
+/// Knobs for one parallel run (a slice of
+/// [`EngineConfig`](crate::engine::EngineConfig)).
+#[derive(Debug, Clone)]
+pub struct ParallelConfig {
+    /// Prefix worker threads (the decoder and merge are extra).
+    pub workers: usize,
+    /// Records per micro-batch.
+    pub batch_size: usize,
+    /// Bounded-channel capacity (batches in flight per queue).
+    pub channel_capacity: usize,
+    /// Watermark injection interval (must match the serial engine's).
+    pub watermark_interval: Duration,
+}
+
+/// One worker's owned state: cloned stateless-prefix operators plus an
+/// optional pre-aggregation builder.
+type WorkerKit = (Vec<Box<dyn Operator>>, Option<PartialAggBuilder>);
+
+/// An item stamped with its position in the decoder's event stream.
+struct Seq<T> {
+    seq: u64,
+    item: T,
+}
+
+/// What a worker (or the decoder, for watermarks) hands to the merge.
+enum Done {
+    /// Prefix output rows for one batch.
+    Rows(Vec<Record>),
+    /// Pre-aggregated partial table for one batch.
+    Partial(PartialTable),
+    /// Punctuation, routed around the worker pool.
+    Watermark(Timestamp),
+    /// A batch failed; the error surfaces at its sequence position.
+    Error(QueryError),
+}
+
+/// Run a planned single-stream pipeline over `conn` using the parallel
+/// engine. Mirrors the serial `run_single` loop: same watermark
+/// injection, same end-of-stream flush, same early exit on `done()`.
+pub fn run_parallel(
+    conn: Connection,
+    pipeline: &mut Pipeline,
+    cfg: &ParallelConfig,
+    sink: &mut dyn FnMut(&Record),
+) -> Result<ConnectionStats, QueryError> {
+    let workers = cfg.workers.max(1);
+    let batch_size = cfg.batch_size.max(1);
+    let prefix_len = pipeline.parallel_prefix_len();
+
+    // Hash-partition-free pre-aggregation: if the first stateful stage
+    // is a mergeable aggregate, each worker pre-aggregates its batches
+    // and the merge absorbs the partial tables in order.
+    let spec: Option<PartialAggBuilder> = if prefix_len < pipeline.len() {
+        pipeline
+            .op_mut(prefix_len)
+            .as_aggregate()
+            .and_then(|a| a.partial_spec())
+    } else {
+        None
+    };
+
+    let mut kits: Vec<WorkerKit> = (0..workers)
+        .map(|_| (pipeline.clone_prefix(prefix_len), spec.clone()))
+        .collect();
+
+    let to_workers: Chan<Seq<Vec<Record>>> = Chan::bounded(cfg.channel_capacity);
+    // The merge queue is sized per producer so one slow worker cannot
+    // starve the others of result slots.
+    let to_merge: Chan<Seq<Done>> = Chan::bounded(cfg.channel_capacity.max(1) * (workers + 1));
+    let live_workers = AtomicUsize::new(workers);
+    let wm_interval = cfg.watermark_interval;
+
+    let mut result: Result<(), QueryError> = Ok(());
+    let mut conn_stats = ConnectionStats::default();
+    let mut worker_stats: Vec<(Vec<OpStats>, OpStats)> = Vec::new();
+
+    std::thread::scope(|s| {
+        let decoder =
+            s.spawn(|| decode_loop(conn, &to_workers, &to_merge, batch_size, wm_interval));
+        let handles: Vec<_> = kits
+            .drain(..)
+            .map(|(ops, builder)| {
+                let (tw, tm, live) = (&to_workers, &to_merge, &live_workers);
+                s.spawn(move || {
+                    let stats = worker_loop(ops, builder, tw, tm);
+                    // Last worker out closes the merge queue; the
+                    // decoder has already stopped feeding by then.
+                    if live.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        tm.close();
+                    }
+                    stats
+                })
+            })
+            .collect();
+
+        // Merge + stateful suffix on the calling thread.
+        let mut reorder: Reorder<Done> = Reorder::new();
+        let mut out: Vec<Record> = Vec::new();
+        'merge: while let Some(Seq { seq, item }) = to_merge.pop() {
+            reorder.insert(seq, item);
+            while let Some(item) = reorder.pop_next() {
+                let step = match item {
+                    Done::Rows(rows) => pipeline.push_batch_from(prefix_len, rows, &mut out),
+                    Done::Partial(table) => pipeline.absorb_partial(prefix_len, table, &mut out),
+                    Done::Watermark(wm) => pipeline.watermark_from(prefix_len, wm, &mut out),
+                    Done::Error(e) => Err(e),
+                };
+                match step {
+                    Ok(()) => {
+                        for r in out.drain(..) {
+                            sink(&r);
+                        }
+                        if pipeline.done() {
+                            break 'merge;
+                        }
+                    }
+                    Err(e) => {
+                        result = Err(e);
+                        break 'merge;
+                    }
+                }
+            }
+        }
+        // Normal end: channels already drained; early exit: closing
+        // wakes and stops every blocked producer.
+        to_workers.close();
+        to_merge.close();
+
+        conn_stats = decoder.join().expect("decoder thread panicked");
+        for h in handles {
+            worker_stats.push(h.join().expect("worker thread panicked"));
+        }
+    });
+
+    // Fold worker-side stats into the pipeline's per-stage counters.
+    for (prefix, builder_stat) in &worker_stats {
+        for (i, st) in prefix.iter().enumerate() {
+            pipeline.add_stage_stats(i, st);
+        }
+        pipeline.add_stage_stats(prefix_len, builder_stat);
+    }
+    result?;
+
+    // End-of-stream flush, exactly like the serial path. The prefix
+    // stages of the main pipeline are stateless, so finishing from 0 is
+    // a no-op for them.
+    let mut out = Vec::new();
+    pipeline.finish(&mut out)?;
+    for r in out.drain(..) {
+        sink(&r);
+    }
+    Ok(conn_stats)
+}
+
+/// Decoder thread: source → records → sequenced batches + watermarks.
+fn decode_loop(
+    mut conn: Connection,
+    to_workers: &Chan<Seq<Vec<Record>>>,
+    to_merge: &Chan<Seq<Done>>,
+    batch_size: usize,
+    wm_interval: Duration,
+) -> ConnectionStats {
+    let mut seq = 0u64;
+    let mut batch: Vec<Record> = Vec::with_capacity(batch_size);
+    let mut next_wm: Option<Timestamp> = None;
+    'stream: for tweet in conn.by_ref() {
+        let rec = Record::from_tweet(&tweet);
+        let ts = rec.timestamp();
+        if let Some(wm) = next_wm {
+            if ts >= wm {
+                // Cut the batch so records before the boundary keep an
+                // earlier sequence number than the watermark.
+                if !batch.is_empty() {
+                    let full = std::mem::replace(&mut batch, Vec::with_capacity(batch_size));
+                    if to_workers.push(Seq { seq, item: full }).is_err() {
+                        break 'stream;
+                    }
+                    seq += 1;
+                }
+                // Emit every boundary the stream jumped over, not just
+                // one — idle gaps must still tick time-driven flushes.
+                let last = ts.truncate(wm_interval);
+                let mut b = wm;
+                while b <= last {
+                    let w = Seq {
+                        seq,
+                        item: Done::Watermark(b),
+                    };
+                    if to_merge.push(w).is_err() {
+                        break 'stream;
+                    }
+                    seq += 1;
+                    b += wm_interval;
+                }
+            }
+        }
+        next_wm = Some(ts.truncate(wm_interval) + wm_interval);
+        batch.push(rec);
+        if batch.len() >= batch_size {
+            let full = std::mem::replace(&mut batch, Vec::with_capacity(batch_size));
+            if to_workers.push(Seq { seq, item: full }).is_err() {
+                break 'stream;
+            }
+            seq += 1;
+        }
+    }
+    if !batch.is_empty() {
+        let _ = to_workers.push(Seq { seq, item: batch });
+    }
+    to_workers.close();
+    conn.stats()
+}
+
+/// Worker thread: stateless prefix (and optional pre-aggregation) over
+/// each batch, results pushed with their sequence numbers.
+fn worker_loop(
+    mut ops: Vec<Box<dyn Operator>>,
+    mut builder: Option<PartialAggBuilder>,
+    to_workers: &Chan<Seq<Vec<Record>>>,
+    to_merge: &Chan<Seq<Done>>,
+) -> (Vec<OpStats>, OpStats) {
+    let mut stats = vec![OpStats::default(); ops.len()];
+    let mut builder_stat = OpStats::default();
+    while let Some(Seq { seq, item }) = to_workers.pop() {
+        let mut cur = item;
+        let mut failed: Option<QueryError> = None;
+        for (i, op) in ops.iter_mut().enumerate() {
+            stats[i].records_in += cur.len() as u64;
+            let mut next = Vec::new();
+            let t0 = Instant::now();
+            match op.on_batch(cur, &mut next) {
+                Ok(()) => {
+                    stats[i].busy_nanos += t0.elapsed().as_nanos() as u64;
+                    stats[i].records_out += next.len() as u64;
+                    cur = next;
+                }
+                Err(e) => {
+                    failed = Some(e);
+                    cur = Vec::new();
+                    break;
+                }
+            }
+        }
+        let done = match failed {
+            Some(e) => Done::Error(e),
+            None => match &mut builder {
+                Some(b) => {
+                    let t0 = Instant::now();
+                    match b.build(&cur) {
+                        Ok(table) => {
+                            builder_stat.busy_nanos += t0.elapsed().as_nanos() as u64;
+                            Done::Partial(table)
+                        }
+                        Err(e) => Done::Error(e),
+                    }
+                }
+                None => Done::Rows(cur),
+            },
+        };
+        if to_merge.push(Seq { seq, item: done }).is_err() {
+            break; // merge stopped early (LIMIT or error)
+        }
+    }
+    (stats, builder_stat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tweeql_firehose::{FilterSpec, StreamingApi};
+    use tweeql_model::{Tweet, VirtualClock};
+
+    #[test]
+    fn decoder_emits_every_intermediate_watermark() {
+        // Two tweets 4.7s apart with a 1s watermark interval: the gap
+        // must produce watermarks 1,2,3,4,5 — not just the last one.
+        let tweets = vec![
+            Tweet::builder(1, "a")
+                .at(Timestamp::from_millis(500))
+                .build(),
+            Tweet::builder(2, "b")
+                .at(Timestamp::from_millis(5200))
+                .build(),
+        ];
+        let api = StreamingApi::new(tweets, VirtualClock::new());
+        let conn = api.connect(FilterSpec::Sample(1.0));
+        let to_workers: Chan<Seq<Vec<Record>>> = Chan::bounded(64);
+        let to_merge: Chan<Seq<Done>> = Chan::bounded(64);
+        decode_loop(conn, &to_workers, &to_merge, 8, Duration::from_secs(1));
+        to_merge.close();
+
+        let mut batches = Vec::new();
+        while let Some(Seq { seq, item }) = to_workers.pop() {
+            batches.push((seq, item.len()));
+        }
+        let mut wms = Vec::new();
+        while let Some(Seq { seq, item }) = to_merge.pop() {
+            if let Done::Watermark(w) = item {
+                wms.push((seq, w.millis()));
+            }
+        }
+        // Batch before the boundary (seq 0), five watermarks (1..=5),
+        // final batch (seq 6).
+        assert_eq!(batches, vec![(0, 1), (6, 1)]);
+        assert_eq!(
+            wms,
+            vec![(1, 1000), (2, 2000), (3, 3000), (4, 4000), (5, 5000)]
+        );
+    }
+
+    #[test]
+    fn decoder_cuts_batches_at_size() {
+        let tweets: Vec<Tweet> = (0..10)
+            .map(|i| {
+                Tweet::builder(i + 1, "x")
+                    .at(Timestamp::from_millis(i as i64 * 10))
+                    .build()
+            })
+            .collect();
+        let api = StreamingApi::new(tweets, VirtualClock::new());
+        let conn = api.connect(FilterSpec::Sample(1.0));
+        let to_workers: Chan<Seq<Vec<Record>>> = Chan::bounded(64);
+        let to_merge: Chan<Seq<Done>> = Chan::bounded(64);
+        decode_loop(conn, &to_workers, &to_merge, 4, Duration::from_secs(60));
+        let mut sizes = Vec::new();
+        while let Some(Seq { item, .. }) = to_workers.pop() {
+            sizes.push(item.len());
+        }
+        assert_eq!(sizes, vec![4, 4, 2]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Sequence-number reassembly for out-of-order worker results.
+//!
+//! The decoder stamps every batch and watermark with a monotone
+//! sequence number before fanning batches across the worker pool.
+//! Workers finish in arbitrary order; the merge thread feeds results
+//! through this buffer so the stateful suffix sees them in exactly the
+//! serial engine's order — the heart of the determinism guarantee.
+
+use std::collections::BTreeMap;
+
+/// Buffers `(seq, item)` pairs and releases them in contiguous order.
+pub struct Reorder<T> {
+    next: u64,
+    pending: BTreeMap<u64, T>,
+}
+
+impl<T> Reorder<T> {
+    /// An empty buffer expecting sequence number 0 first.
+    pub fn new() -> Reorder<T> {
+        Reorder {
+            next: 0,
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// Stash an item under its sequence number.
+    pub fn insert(&mut self, seq: u64, item: T) {
+        debug_assert!(seq >= self.next, "duplicate or replayed sequence {seq}");
+        self.pending.insert(seq, item);
+    }
+
+    /// The next in-order item, if it has arrived.
+    pub fn pop_next(&mut self) -> Option<T> {
+        let v = self.pending.remove(&self.next)?;
+        self.next += 1;
+        Some(v)
+    }
+
+    /// Items buffered out of order (diagnostics).
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+impl<T> Default for Reorder<T> {
+    fn default() -> Self {
+        Reorder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn releases_in_sequence_order() {
+        let mut r = Reorder::new();
+        r.insert(2, "c");
+        r.insert(0, "a");
+        assert_eq!(r.pop_next(), Some("a"));
+        assert_eq!(r.pop_next(), None, "1 missing");
+        assert_eq!(r.pending(), 1);
+        r.insert(1, "b");
+        assert_eq!(r.pop_next(), Some("b"));
+        assert_eq!(r.pop_next(), Some("c"));
+        assert_eq!(r.pop_next(), None);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn handles_fully_reversed_arrival() {
+        let mut r = Reorder::new();
+        for seq in (0..10u64).rev() {
+            r.insert(seq, seq);
+        }
+        let drained: Vec<u64> = std::iter::from_fn(|| r.pop_next()).collect();
+        assert_eq!(drained, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -38,6 +38,29 @@ impl Operator for ProjectOp {
         out.push(rec.with_shape(self.schema.clone(), values));
         Ok(())
     }
+
+    fn on_batch(&mut self, recs: Vec<Record>, out: &mut Vec<Record>) -> Result<(), QueryError> {
+        out.reserve(recs.len());
+        for rec in recs {
+            let mut values = Vec::with_capacity(self.exprs.len());
+            for e in &self.exprs {
+                values.push(e.eval(&rec, &mut self.ctx)?);
+            }
+            out.push(rec.with_shape(self.schema.clone(), values));
+        }
+        Ok(())
+    }
+
+    fn parallel_clone(&self) -> Option<Box<dyn Operator>> {
+        if !self.ctx.is_stateless() {
+            return None;
+        }
+        Some(Box::new(ProjectOp {
+            exprs: self.exprs.clone(),
+            ctx: EvalCtx::default(),
+            schema: self.schema.clone(),
+        }))
+    }
 }
 
 #[cfg(test)]

@@ -109,14 +109,14 @@ fn f_lower(args: &[Value]) -> Result<Value, QueryError> {
     if null_prop(args) {
         return Ok(Value::Null);
     }
-    Ok(Value::Str(args[0].to_string().to_lowercase()))
+    Ok(Value::Str(args[0].to_string().to_lowercase().into()))
 }
 
 fn f_upper(args: &[Value]) -> Result<Value, QueryError> {
     if null_prop(args) {
         return Ok(Value::Null);
     }
-    Ok(Value::Str(args[0].to_string().to_uppercase()))
+    Ok(Value::Str(args[0].to_string().to_uppercase().into()))
 }
 
 fn f_length(args: &[Value]) -> Result<Value, QueryError> {
@@ -133,7 +133,7 @@ fn f_trim(args: &[Value]) -> Result<Value, QueryError> {
     if null_prop(args) {
         return Ok(Value::Null);
     }
-    Ok(Value::Str(args[0].to_string().trim().to_string()))
+    Ok(Value::Str(args[0].to_string().trim().into()))
 }
 
 /// `substr(s, start_1_based, len?)` — char-based, SQL-style.
@@ -150,7 +150,12 @@ fn f_substr(args: &[Value]) -> Result<Value, QueryError> {
         chars.len().saturating_sub(start)
     };
     Ok(Value::Str(
-        chars.iter().skip(start).take(len).collect::<String>(),
+        chars
+            .iter()
+            .skip(start)
+            .take(len)
+            .collect::<String>()
+            .into(),
     ))
 }
 
@@ -161,7 +166,7 @@ fn f_concat(args: &[Value]) -> Result<Value, QueryError> {
             s.push_str(&a.to_string());
         }
     }
-    Ok(Value::Str(s))
+    Ok(Value::Str(s.into()))
 }
 
 fn f_replace(args: &[Value]) -> Result<Value, QueryError> {
@@ -171,7 +176,8 @@ fn f_replace(args: &[Value]) -> Result<Value, QueryError> {
     Ok(Value::Str(
         args[0]
             .to_string()
-            .replace(&args[1].to_string(), &args[2].to_string()),
+            .replace(&args[1].to_string(), &args[2].to_string())
+            .into(),
     ))
 }
 
@@ -215,7 +221,7 @@ fn f_tostring(args: &[Value]) -> Result<Value, QueryError> {
     if null_prop(args) {
         return Ok(Value::Null);
     }
-    Ok(Value::Str(args[0].to_string()))
+    Ok(Value::Str(args[0].to_string().into()))
 }
 
 // ---- tweet text helpers ----
@@ -226,7 +232,10 @@ fn f_hashtags(args: &[Value]) -> Result<Value, QueryError> {
     }
     let e = tweeql_model::Entities::parse(&args[0].to_string());
     Ok(Value::List(
-        e.hashtags.into_iter().map(|h| Value::Str(h.tag)).collect(),
+        e.hashtags
+            .into_iter()
+            .map(|h| Value::Str(h.tag.into()))
+            .collect(),
     ))
 }
 
@@ -236,7 +245,10 @@ fn f_urls(args: &[Value]) -> Result<Value, QueryError> {
     }
     let e = tweeql_model::Entities::parse(&args[0].to_string());
     Ok(Value::List(
-        e.urls.into_iter().map(|u| Value::Str(u.url)).collect(),
+        e.urls
+            .into_iter()
+            .map(|u| Value::Str(u.url.into()))
+            .collect(),
     ))
 }
 
@@ -248,7 +260,7 @@ fn f_mentions(args: &[Value]) -> Result<Value, QueryError> {
     Ok(Value::List(
         e.mentions
             .into_iter()
-            .map(|m| Value::Str(m.screen_name))
+            .map(|m| Value::Str(m.screen_name.into()))
             .collect(),
     ))
 }
@@ -356,7 +368,7 @@ impl ScalarUdf for RegexExtractUdf {
         };
         Ok(regex
             .extract(&text, group)
-            .map(|s| Value::Str(s.to_string()))
+            .map(|s| Value::Str(s.into()))
             .unwrap_or(Value::Null))
     }
 }

@@ -466,7 +466,7 @@ impl Parser {
                 let v = match self.bump() {
                     Tok::Int(i) => Value::Int(i),
                     Tok::Float(f) => Value::Float(f),
-                    Tok::Str(s) => Value::Str(s),
+                    Tok::Str(s) => Value::Str(s.into()),
                     Tok::Ident(s) if s == "null" => Value::Null,
                     Tok::Ident(s) if s == "true" => Value::Bool(true),
                     Tok::Ident(s) if s == "false" => Value::Bool(false),

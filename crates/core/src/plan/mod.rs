@@ -501,7 +501,7 @@ fn as_track_keywords(e: &Expr) -> Option<Vec<String>> {
             (ExprKind::Column { name, .. }, ExprKind::Literal(Value::Str(s)))
                 if name == "text" && !s.is_empty() =>
             {
-                Some(vec![s.clone()])
+                Some(vec![s.to_string()])
             }
             _ => None,
         },

@@ -317,7 +317,7 @@ impl AsyncUdf for GeocodeUdf {
         let locs: Vec<&str> = batch
             .iter()
             .map(|args| match args.first() {
-                Some(Value::Str(s)) => s.as_str(),
+                Some(Value::Str(s)) => s,
                 _ => "",
             })
             .collect();
@@ -392,7 +392,7 @@ impl AsyncUdf for EntityUdf {
                     Some(Value::Str(s)) => Value::List(
                         tweeql_text::entity::extract_entities(s)
                             .into_iter()
-                            .map(|e| Value::Str(e.name))
+                            .map(|e| Value::Str(e.name.into()))
                             .collect(),
                     ),
                     _ => Value::Null,

@@ -115,10 +115,10 @@ impl Population {
             users.push(SyntheticUser {
                 user: User {
                     id: (i as UserId) + 1,
-                    screen_name,
-                    location,
+                    screen_name: screen_name.into(),
+                    location: location.into(),
                     followers,
-                    lang: lang.to_string(),
+                    lang: lang.into(),
                 },
                 city_index,
                 home,
@@ -269,7 +269,7 @@ mod tests {
         let garbage = pop
             .users()
             .iter()
-            .filter(|u| u.user.location == "somewhere" || u.user.location == "earth")
+            .filter(|u| &*u.user.location == "somewhere" || &*u.user.location == "earth")
             .count();
         assert!(empty > 50, "empty = {empty}");
         assert!(garbage > 20, "garbage = {garbage}");

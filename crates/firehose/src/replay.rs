@@ -132,10 +132,10 @@ pub fn decode_log(mut buf: Bytes) -> Result<Vec<Tweet>, ReplayError> {
         let mut builder = TweetBuilder::new(id, text)
             .user(User {
                 id: user_id,
-                screen_name,
-                location,
+                screen_name: screen_name.into(),
+                location: location.into(),
                 followers,
-                lang: user_lang,
+                lang: user_lang.into(),
             })
             .at(ts)
             .lang(lang);

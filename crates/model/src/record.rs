@@ -147,6 +147,10 @@ pub fn twitter_schema() -> SchemaRef {
 
 impl Record {
     /// Project a [`Tweet`] onto the `twitter` schema.
+    ///
+    /// String columns share the tweet's `Arc<str>` buffers — decoding a
+    /// tweet into a record performs no string copies, which keeps the
+    /// per-record cost on the hot decode path at one `Vec` allocation.
     pub fn from_tweet(tweet: &Tweet) -> Record {
         let (lat, lon) = match tweet.coordinates {
             Some((la, lo)) => (Value::Float(la), Value::Float(lo)),
@@ -156,14 +160,14 @@ impl Record {
             twitter_schema(),
             vec![
                 Value::Int(tweet.id as i64),
-                Value::Str(tweet.text.clone()),
+                Value::Str(Arc::clone(&tweet.text)),
                 Value::Int(tweet.user.id as i64),
-                Value::Str(tweet.user.screen_name.clone()),
-                Value::Str(tweet.user.location.clone()),
+                Value::Str(Arc::clone(&tweet.user.screen_name)),
+                Value::Str(Arc::clone(&tweet.user.location)),
                 lat,
                 lon,
                 Value::Time(tweet.created_at),
-                Value::Str(tweet.lang.clone()),
+                Value::Str(Arc::clone(&tweet.lang)),
                 Value::Int(tweet.user.followers as i64),
                 tweet
                     .retweet_of

@@ -5,6 +5,7 @@ use crate::entities::Entities;
 use crate::time::Timestamp;
 use crate::user::User;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Numeric tweet identifier (monotone within a generated stream).
 pub type TweetId = u64;
@@ -30,8 +31,10 @@ pub enum TruthPolarity {
 pub struct Tweet {
     /// Monotone id.
     pub id: TweetId,
-    /// Raw tweet text (≤ 140 chars in 2011-era streams).
-    pub text: String,
+    /// Raw tweet text (≤ 140 chars in 2011-era streams). Shared so
+    /// cloning a tweet (per-connection delivery) and projecting it onto
+    /// a record are refcount bumps, not copies.
+    pub text: Arc<str>,
     /// The author.
     pub user: User,
     /// Stream time of creation.
@@ -42,7 +45,7 @@ pub struct Tweet {
     /// Pre-parsed entities.
     pub entities: Entities,
     /// BCP-47-ish language code.
-    pub lang: String,
+    pub lang: Arc<str>,
     /// `Some(original_id)` when this is a retweet.
     pub retweet_of: Option<TweetId>,
     /// Generator-only ground truth (None for externally loaded tweets).
@@ -55,7 +58,7 @@ pub struct Tweet {
 
 impl Tweet {
     /// Start building a tweet.
-    pub fn builder(id: TweetId, text: impl Into<String>) -> TweetBuilder {
+    pub fn builder(id: TweetId, text: impl Into<Arc<str>>) -> TweetBuilder {
         TweetBuilder::new(id, text)
     }
 
@@ -83,7 +86,7 @@ pub struct TweetBuilder {
 
 impl TweetBuilder {
     /// New builder with required fields; everything else defaulted.
-    pub fn new(id: TweetId, text: impl Into<String>) -> TweetBuilder {
+    pub fn new(id: TweetId, text: impl Into<Arc<str>>) -> TweetBuilder {
         TweetBuilder {
             tweet: Tweet {
                 id,
@@ -92,7 +95,7 @@ impl TweetBuilder {
                 created_at: Timestamp::ZERO,
                 coordinates: None,
                 entities: Entities::default(),
-                lang: "en".to_string(),
+                lang: Arc::from("en"),
                 retweet_of: None,
                 truth_polarity: None,
                 truth_burst: None,
@@ -120,7 +123,7 @@ impl TweetBuilder {
     }
 
     /// Set language.
-    pub fn lang(mut self, lang: impl Into<String>) -> Self {
+    pub fn lang(mut self, lang: impl Into<Arc<str>>) -> Self {
         self.tweet.lang = lang.into();
         self
     }
@@ -169,7 +172,7 @@ mod tests {
         assert_eq!(t.id, 1);
         assert_eq!(t.entities.hashtags[0].tag, "mcfc");
         assert_eq!(t.entities.urls[0].url, "http://t.co/x");
-        assert_eq!(t.lang, "en");
+        assert_eq!(&*t.lang, "en");
         assert!(t.coordinates.is_none());
         assert!(t.retweet_of.is_none());
     }

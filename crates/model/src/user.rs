@@ -1,6 +1,7 @@
 //! Twitter user accounts as carried in the stream payload.
 
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Numeric account identifier.
 pub type UserId = u64;
@@ -14,27 +15,28 @@ pub type UserId = u64;
 pub struct User {
     /// Stable numeric id (the streaming API `follow` filter matches this).
     pub id: UserId,
-    /// Handle without the leading `@`.
-    pub screen_name: String,
+    /// Handle without the leading `@`. Shared: users are cloned into
+    /// every tweet they author and again per delivered tweet.
+    pub screen_name: Arc<str>,
     /// Free-text, user-provided profile location, e.g. `"NYC"`,
     /// `"Tokyo, Japan"`, or empty. This is *not* a coordinate: the
     /// `latitude()` / `longitude()` UDFs must geocode it.
-    pub location: String,
+    pub location: Arc<str>,
     /// Follower count; drives retweet probability in the generator.
     pub followers: u32,
     /// Language code the account mostly tweets in (`"en"`, `"ja"`, ...).
-    pub lang: String,
+    pub lang: Arc<str>,
 }
 
 impl User {
     /// Convenience constructor for tests.
-    pub fn new(id: UserId, screen_name: impl Into<String>) -> User {
+    pub fn new(id: UserId, screen_name: impl Into<Arc<str>>) -> User {
         User {
             id,
             screen_name: screen_name.into(),
-            location: String::new(),
+            location: Arc::from(""),
             followers: 0,
-            lang: "en".to_string(),
+            lang: Arc::from("en"),
         }
     }
 
@@ -52,10 +54,10 @@ mod tests {
     fn new_fills_defaults() {
         let u = User::new(42, "marcua");
         assert_eq!(u.id, 42);
-        assert_eq!(u.screen_name, "marcua");
-        assert_eq!(u.location, "");
+        assert_eq!(&*u.screen_name, "marcua");
+        assert_eq!(&*u.location, "");
         assert_eq!(u.followers, 0);
-        assert_eq!(u.lang, "en");
+        assert_eq!(&*u.lang, "en");
     }
 
     #[test]

@@ -6,11 +6,16 @@ use crate::time::Timestamp;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
+use std::sync::Arc;
 
 /// A runtime scalar value.
 ///
 /// TweeQL is dynamically typed at the tuple level (tweets are messy);
 /// `Value` carries the small closed set of types the language exposes.
+/// Strings are reference-counted (`Arc<str>`) so the hot decode path —
+/// every tweet becomes a record carrying text, screen name, location,
+/// and language — shares buffers instead of copying them, and so
+/// records can cross worker-thread boundaries without reallocation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum Value {
     /// SQL NULL — absent / unknown.
@@ -21,8 +26,8 @@ pub enum Value {
     Int(i64),
     /// 64-bit float.
     Float(f64),
-    /// UTF-8 string.
-    Str(String),
+    /// UTF-8 string (shared).
+    Str(Arc<str>),
     /// Stream timestamp.
     Time(Timestamp),
     /// Homogeneous-ish list (used by e.g. named-entity UDFs).
@@ -114,7 +119,7 @@ impl Value {
         match (self, other) {
             (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
             (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_add(*b))),
-            (Value::Str(a), Value::Str(b)) => Ok(Value::Str(format!("{a}{b}"))),
+            (Value::Str(a), Value::Str(b)) => Ok(Value::Str(format!("{a}{b}").into())),
             (a, b) => Ok(Value::Float(a.as_float()? + b.as_float()?)),
         }
     }
@@ -331,12 +336,22 @@ impl From<f64> for Value {
 }
 impl From<&str> for Value {
     fn from(s: &str) -> Self {
-        Value::Str(s.to_string())
+        Value::Str(Arc::from(s))
     }
 }
 impl From<String> for Value {
     fn from(s: String) -> Self {
+        Value::Str(s.into())
+    }
+}
+impl From<Arc<str>> for Value {
+    fn from(s: Arc<str>) -> Self {
         Value::Str(s)
+    }
+}
+impl From<&Arc<str>> for Value {
+    fn from(s: &Arc<str>) -> Self {
+        Value::Str(Arc::clone(s))
     }
 }
 impl From<Timestamp> for Value {
@@ -362,7 +377,7 @@ mod tests {
         assert!(!Value::Bool(false).is_truthy());
         assert!(Value::Int(3).is_truthy());
         assert!(!Value::Int(0).is_truthy());
-        assert!(!Value::Str(String::new()).is_truthy());
+        assert!(!Value::Str("".into()).is_truthy());
         assert!(Value::Str("x".into()).is_truthy());
         assert!(!Value::List(vec![]).is_truthy());
     }

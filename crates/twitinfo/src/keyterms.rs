@@ -34,7 +34,7 @@ pub fn peak_terms(
     let docs = tweets
         .iter()
         .filter(|t| t.created_at >= start && t.created_at < end)
-        .map(|t| t.text.as_str());
+        .map(|t| &*t.text);
     top_terms(docs, df, k, &spec.keywords)
 }
 

@@ -140,7 +140,7 @@ impl LiveEvent {
             .recent
             .iter()
             .filter(|t| t.created_at >= start && t.created_at < end)
-            .map(|t| t.text.as_str());
+            .map(|t| &*t.text);
         let terms = tweeql_text::tfidf::top_terms(docs, &self.df, 4, &self.spec.keywords);
         LivePeak {
             peak,

@@ -29,14 +29,14 @@ pub fn log_event_via_tweeql(
     );
     let mut tweets = Vec::new();
     let (_schema, stats) = engine.execute_with_sink(&sql, &mut |rec| {
-        let get_str = |name: &str| -> String {
+        let get_str = |name: &str| -> std::sync::Arc<str> {
             rec.get(name)
                 .ok()
                 .and_then(|v| match v {
                     Value::Str(s) => Some(s.clone()),
                     _ => None,
                 })
-                .unwrap_or_default()
+                .unwrap_or_else(|| std::sync::Arc::from(""))
         };
         let get_int = |name: &str| {
             rec.get(name)

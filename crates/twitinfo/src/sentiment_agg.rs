@@ -64,7 +64,7 @@ pub fn measure_recall(tweets: &[Tweet], classifier: &dyn SentimentClassifier) ->
                 TruthPolarity::Negative => Polarity::Negative,
                 TruthPolarity::Neutral => Polarity::Neutral,
             };
-            (t.text.as_str(), polarity)
+            (&*t.text, polarity)
         })
     });
     RecallStats::measure(classifier, labeled)

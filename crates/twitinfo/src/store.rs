@@ -150,8 +150,8 @@ pub fn analyze(spec: &EventSpec, firehose: &[Tweet], config: &AnalysisConfig) ->
     let relevant = ranked
         .into_iter()
         .map(|r| RelevantTweet {
-            text: matched[r.index].text.clone(),
-            screen_name: matched[r.index].user.screen_name.clone(),
+            text: matched[r.index].text.to_string(),
+            screen_name: matched[r.index].user.screen_name.to_string(),
             similarity: r.similarity,
             sentiment: r.sentiment,
         })

@@ -40,7 +40,7 @@ impl StatefulUdf for DetectPeakUdf {
             .unwrap_or(0)
             .max(0) as u64;
         Ok(match self.detector.push(count) {
-            Some(peak) => Value::Str(peak.label.to_string()),
+            Some(peak) => Value::Str(peak.label.to_string().into()),
             None => Value::Null,
         })
     }

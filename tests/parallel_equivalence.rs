@@ -1,0 +1,232 @@
+//! Serial-vs-parallel engine equivalence.
+//!
+//! The parallel micro-batched engine must produce output byte-identical
+//! to the serial engine for every query, along with identical per-stage
+//! record counts (except under LIMIT, where overscan past the early
+//! exit is allowed to differ — `LimitOp` hard-caps emission anyway).
+
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+use tweeql::engine::{Engine, EngineConfig, QueryResult};
+use tweeql_firehose::scenario::{Burst, Scenario, Topic};
+use tweeql_firehose::StreamingApi;
+use tweeql_model::{Duration, Timestamp, Tweet, VirtualClock};
+
+/// One deterministic firehose shared by every case: a keyword topic, a
+/// burst, and a quiet tail so time-window queries cross idle gaps.
+fn tweets() -> &'static Vec<Tweet> {
+    static TWEETS: OnceLock<Vec<Tweet>> = OnceLock::new();
+    TWEETS.get_or_init(|| {
+        let s = Scenario {
+            name: "equiv".into(),
+            duration: Duration::from_mins(12),
+            background_rate_per_min: 40.0,
+            topics: vec![{
+                let mut t = Topic::new("kw", vec!["kw"], 25.0);
+                t.sentiment_bias = 0.3;
+                t
+            }],
+            bursts: vec![Burst {
+                topic: 0,
+                label: "spike".into(),
+                start: Timestamp::from_mins(3),
+                ramp_up: Duration::from_mins(1),
+                ramp_down: Duration::from_mins(1),
+                peak_multiplier: 5.0,
+                phrases: vec!["kw spike".into()],
+                sentiment_bias: 0.4,
+                url: None,
+            }],
+            geotag_rate: 0.2,
+            population_size: 120,
+        };
+        tweeql_firehose::generate(&s, 4242)
+    })
+}
+
+fn run(sql: &str, workers: usize, batch_size: usize) -> QueryResult {
+    let clock = VirtualClock::new();
+    let api = StreamingApi::new(tweets().clone(), Arc::clone(&clock));
+    let cfg = EngineConfig {
+        workers,
+        batch_size,
+        channel_capacity: 4,
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::new(cfg, api, clock);
+    engine.execute(sql).expect(sql)
+}
+
+/// `(stage name, records_in, records_out)` triples — the byte-identical
+/// part of the stats (busy time is wall-clock and legitimately varies).
+fn stage_counts(r: &QueryResult) -> Vec<(String, u64, u64)> {
+    r.stats
+        .stages
+        .iter()
+        .map(|(n, s)| (n.clone(), s.records_in, s.records_out))
+        .collect()
+}
+
+fn assert_equivalent(sql: &str, workers: usize, batch_size: usize) {
+    let serial = run(sql, 1, batch_size);
+    let parallel = run(sql, workers, batch_size);
+    assert_eq!(serial.schema.names(), parallel.schema.names(), "{sql}");
+    assert_eq!(
+        serial.rows, parallel.rows,
+        "rows diverged: {sql} (workers={workers}, batch={batch_size})"
+    );
+    if !sql.contains("LIMIT") {
+        assert_eq!(
+            stage_counts(&serial),
+            stage_counts(&parallel),
+            "stage counts diverged: {sql} (workers={workers})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Generated queries — filters, scalar UDFs, GROUP BY windows,
+    /// LIMIT early-exit — produce identical rows and (without LIMIT)
+    /// identical per-stage record counts at every worker count.
+    #[test]
+    fn parallel_matches_serial(
+        template in 0u8..7,
+        window_mins in 1i64..5,
+        limit in 5u32..60,
+        workers in 2usize..=8,
+        batch_size in 1usize..48,
+    ) {
+        let sql = match template {
+            0 => "SELECT text FROM twitter WHERE text contains 'kw'".to_string(),
+            1 => "SELECT upper(lang) AS l, followers * 2 AS f2 FROM twitter \
+                  WHERE followers > 3".to_string(),
+            2 => format!(
+                "SELECT count(*) AS c, lang FROM twitter WHERE text contains 'kw' \
+                 GROUP BY lang WINDOW {window_mins} minutes"
+            ),
+            3 => format!(
+                "SELECT avg(followers) AS a, lang FROM twitter \
+                 GROUP BY lang WINDOW {window_mins} minutes"
+            ),
+            4 => format!(
+                "SELECT sentiment(text) AS s, text FROM twitter \
+                 WHERE text contains 'kw' LIMIT {limit}"
+            ),
+            5 => format!(
+                "SELECT min(followers) AS mn, max(followers) AS mx, \
+                        count(distinct screen_name) AS cd \
+                 FROM twitter WINDOW {window_mins} minutes"
+            ),
+            _ => "SELECT count(*) AS c, lang FROM twitter GROUP BY lang".to_string(),
+        };
+        let serial = run(&sql, 1, batch_size);
+        let parallel = run(&sql, workers, batch_size);
+        prop_assert_eq!(serial.schema.names(), parallel.schema.names());
+        prop_assert_eq!(&serial.rows, &parallel.rows);
+        if !sql.contains("LIMIT") {
+            prop_assert_eq!(stage_counts(&serial), stage_counts(&parallel));
+        }
+    }
+}
+
+/// Batch size 1 degenerates to per-record pipelining; still identical.
+#[test]
+fn batch_size_one_equivalent() {
+    assert_equivalent(
+        "SELECT count(*) AS c, lang FROM twitter WHERE text contains 'kw' \
+         GROUP BY lang WINDOW 2 minutes",
+        3,
+        1,
+    );
+}
+
+/// Pure stateless pipelines (no suffix at all) pass rows through the
+/// worker pool unchanged and in order.
+#[test]
+fn stateless_only_pipeline_equivalent() {
+    assert_equivalent("SELECT text FROM twitter WHERE text contains 'kw'", 4, 7);
+}
+
+/// LIMIT early-exit: identical rows even though the parallel engine
+/// overscans the source at batch granularity.
+#[test]
+fn limit_early_exit_equivalent() {
+    assert_equivalent(
+        "SELECT text FROM twitter WHERE text contains 'kw' LIMIT 13",
+        4,
+        8,
+    );
+}
+
+/// Async-UDF suffix (geocoding with modeled latency, caching, batching)
+/// stays deterministic: batch release is stream-time driven, and the
+/// suffix thread observes the serial event order.
+#[test]
+fn async_udf_suffix_equivalent() {
+    assert_equivalent(
+        "SELECT latitude(loc) AS la, longitude(loc) AS lo, sentiment(text) AS s \
+         FROM twitter WHERE text contains 'kw' AND followers >= 0",
+        3,
+        16,
+    );
+}
+
+/// Cross-thread watermark flushing: an idle gap in the stream must
+/// tick every intermediate time-window flush on the suffix thread,
+/// exactly as the serial engine does.
+#[test]
+fn idle_gap_watermarks_flush_windows_across_threads() {
+    let mut log: Vec<Tweet> = Vec::new();
+    let mut id = 0u64;
+    let mut push_at = |log: &mut Vec<Tweet>, secs: i64, text: &str| {
+        id += 1;
+        log.push(
+            Tweet::builder(id, text)
+                .at(Timestamp::from_secs(secs))
+                .build(),
+        );
+    };
+    // Two records, a 10-minute silence, then two more.
+    push_at(&mut log, 10, "kw early one");
+    push_at(&mut log, 40, "kw early two");
+    push_at(&mut log, 650, "kw late one");
+    push_at(&mut log, 655, "kw late two");
+
+    let run = |workers: usize| {
+        let clock = VirtualClock::new();
+        let api = StreamingApi::new(log.clone(), Arc::clone(&clock));
+        let cfg = EngineConfig {
+            workers,
+            batch_size: 2,
+            channel_capacity: 2,
+            ..EngineConfig::default()
+        };
+        let mut e = Engine::new(cfg, api, clock);
+        e.execute("SELECT count(*) AS c FROM twitter WHERE text contains 'kw' WINDOW 1 minutes")
+            .unwrap()
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(serial.rows, parallel.rows);
+    // Two windows with data: [0,60) with 2 tweets, [600,660) with 2.
+    assert_eq!(serial.rows.len(), 2);
+    let counts: Vec<i64> = serial
+        .rows
+        .iter()
+        .map(|r| r.value(0).as_int().unwrap())
+        .collect();
+    assert_eq!(counts, vec![2, 2]);
+}
+
+/// Worker counts well beyond the batch count (more workers than work)
+/// must not deadlock or reorder.
+#[test]
+fn more_workers_than_batches() {
+    assert_equivalent(
+        "SELECT count(*) AS c FROM twitter WHERE text contains 'spike' WINDOW 1 minutes",
+        8,
+        4096,
+    );
+}
