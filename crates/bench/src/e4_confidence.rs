@@ -7,7 +7,7 @@
 //! (Cape Town) buckets: number of emissions, mean samples per emission,
 //! and the stream time of the first emission (responsiveness).
 
-use tweeql::engine::{Engine, EngineConfig};
+use tweeql::engine::Engine;
 use tweeql::udf::ServiceConfig;
 use tweeql_firehose::scenario::{Scenario, Topic};
 use tweeql_firehose::{generate, StreamingApi};
@@ -53,17 +53,15 @@ fn scenario() -> Scenario {
 
 fn engine(seed: u64) -> Engine {
     let clock = VirtualClock::new();
-    let api = StreamingApi::new(generate(&scenario(), seed), clock.clone());
-    let config = EngineConfig {
-        service: ServiceConfig {
+    let api = StreamingApi::new(generate(&scenario(), seed), clock);
+    Engine::builder(api)
+        .service(ServiceConfig {
             // Constant latency keeps E4 focused on windowing.
             latency: LatencyModel::Constant(Duration::from_millis(50)),
             cache_capacity: 65536,
             ..ServiceConfig::default()
-        },
-        ..EngineConfig::default()
-    };
-    Engine::new(config, api, clock)
+        })
+        .build()
 }
 
 fn outcome_for(rows: &[(f64, f64, u64, Timestamp)], lat: f64, lon: f64) -> BucketOutcome {

@@ -43,23 +43,24 @@ fn scenario() -> Scenario {
 /// Run the query under one service configuration.
 pub fn run_config(label: &str, cache: usize, batch: usize, seed: u64) -> E5Row {
     let clock = VirtualClock::new();
-    let api = StreamingApi::new(generate(&scenario(), seed), clock.clone());
-    let config = EngineConfig {
-        service: ServiceConfig {
-            latency: LatencyModel::LogNormal {
-                median_ms: 200.0,
-                sigma: 0.45,
+    let api = StreamingApi::new(generate(&scenario(), seed), clock);
+    let mut engine = Engine::builder(api)
+        .config(EngineConfig {
+            service: ServiceConfig {
+                latency: LatencyModel::LogNormal {
+                    median_ms: 200.0,
+                    sigma: 0.45,
+                },
+                cache_capacity: cache,
+                max_batch: batch,
+                batch_per_item: Duration::from_millis(5),
+                ..ServiceConfig::default()
             },
-            cache_capacity: cache,
-            max_batch: batch,
-            batch_per_item: Duration::from_millis(5),
-            ..ServiceConfig::default()
-        },
-        async_max_batch: batch,
-        async_max_delay: Duration::from_secs(5),
-        ..EngineConfig::default()
-    };
-    let mut engine = Engine::new(config, api, clock);
+            async_max_batch: batch,
+            async_max_delay: Duration::from_secs(5),
+            ..EngineConfig::default()
+        })
+        .build();
     let result = engine
         .execute(
             "SELECT latitude(loc), longitude(loc) \

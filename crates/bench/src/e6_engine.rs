@@ -3,7 +3,7 @@
 //! baseline, with per-stage tuple counts.
 
 use std::time::Instant;
-use tweeql::engine::{Engine, EngineConfig, QueryResult};
+use tweeql::engine::{Engine, QueryResult};
 use tweeql::udf::ServiceConfig;
 use tweeql_firehose::scenario::{Scenario, Topic};
 use tweeql_firehose::{generate, StreamingApi};
@@ -67,16 +67,14 @@ pub const QUERIES: &[(&str, &str)] = &[
 /// Execute one query on a fresh engine over `tweets`.
 pub fn run_query(tweets: Vec<Tweet>, sql: &str) -> QueryResult {
     let clock = VirtualClock::new();
-    let api = StreamingApi::new(tweets, clock.clone());
-    let config = EngineConfig {
-        service: ServiceConfig {
+    let api = StreamingApi::new(tweets, clock);
+    let mut engine = Engine::builder(api)
+        .service(ServiceConfig {
             latency: LatencyModel::Constant(Duration::from_millis(100)),
             cache_capacity: 65536,
             ..ServiceConfig::default()
-        },
-        ..EngineConfig::default()
-    };
-    let mut engine = Engine::new(config, api, clock);
+        })
+        .build();
     engine.execute(sql).expect("query runs")
 }
 

@@ -8,7 +8,7 @@
 //! for each query's speedup column.
 
 use std::time::Instant;
-use tweeql::engine::{Engine, EngineConfig};
+use tweeql::engine::Engine;
 use tweeql_firehose::scenario::{Scenario, Topic};
 use tweeql_firehose::{generate, StreamingApi};
 use tweeql_model::{Duration, Tweet, VirtualClock};
@@ -79,12 +79,8 @@ pub fn firehose(seed: u64, minutes: i64) -> Vec<Tweet> {
 
 fn measure(tweets: Vec<Tweet>, sql: &str, workers: usize) -> (u64, usize, f64) {
     let clock = VirtualClock::new();
-    let api = StreamingApi::new(tweets, clock.clone());
-    let config = EngineConfig {
-        workers,
-        ..EngineConfig::default()
-    };
-    let mut engine = Engine::new(config, api, clock);
+    let api = StreamingApi::new(tweets, clock);
+    let mut engine = Engine::builder(api).workers(workers).build();
     let t0 = Instant::now();
     let result = engine.execute(sql).expect("bench query runs");
     let wall = t0.elapsed().as_secs_f64();

@@ -1,0 +1,81 @@
+//! Deprecated engine constructors, kept for one release.
+//!
+//! New code builds engines with [`Engine::builder`]; this module is the
+//! only place `#[allow(deprecated)]` is permitted (CI greps for it).
+
+use crate::catalog::Catalog;
+use crate::engine::{Engine, EngineConfig};
+use crate::udf::{Registry, SharedGeoService};
+use std::sync::Arc;
+use tweeql_firehose::StreamingApi;
+use tweeql_model::VirtualClock;
+
+impl Engine {
+    /// Build an engine over a streaming API, with the standard registry.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `Engine::builder(api)` — the clock comes from the API"
+    )]
+    pub fn new(config: EngineConfig, api: StreamingApi, clock: Arc<VirtualClock>) -> Engine {
+        let geo = SharedGeoService::new(&config.service, Arc::clone(&clock));
+        let registry =
+            Registry::standard_with_geo(&config.service, Arc::clone(&clock), geo.clone());
+        Engine {
+            config,
+            api,
+            clock,
+            catalog: Catalog::with_twitter(),
+            registry,
+            geo,
+        }
+    }
+
+    /// Register additional UDFs (e.g. TwitInfo's peak detector).
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `EngineBuilder::register_udf`/`configure_registry` before build()"
+    )]
+    pub fn registry_mut(&mut self) -> &mut Registry {
+        &mut self.registry
+    }
+
+    /// Register additional streams.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `EngineBuilder::register_stream` before build()"
+    )]
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tweeql_firehose::generate;
+    use tweeql_firehose::scenario::{Scenario, Topic};
+    use tweeql_model::{DataType, Duration, Schema};
+
+    /// The shim must keep working until it is removed.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_still_builds_a_working_engine() {
+        let s = Scenario {
+            name: "compat".into(),
+            duration: Duration::from_mins(3),
+            background_rate_per_min: 120.0,
+            topics: vec![Topic::new("obama", vec!["obama"], 30.0)],
+            bursts: vec![],
+            geotag_rate: 0.2,
+            population_size: 200,
+        };
+        let clock = VirtualClock::new();
+        let api = StreamingApi::new(generate(&s, 3), Arc::clone(&clock));
+        let mut e = Engine::new(EngineConfig::default(), api, clock);
+        e.catalog_mut()
+            .register("extra", Schema::shared(&[("x", DataType::Int)]));
+        assert!(e.registry_mut().async_udf("latitude").is_some());
+        let r = e.execute("SELECT text FROM twitter LIMIT 3").unwrap();
+        assert_eq!(r.rows.len(), 3);
+    }
+}

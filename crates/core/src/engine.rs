@@ -1,15 +1,24 @@
 //! The TweeQL engine: parse → plan → choose pushdown → stream → collect.
+//!
+//! Engines are assembled with the fluent [`EngineBuilder`]
+//! (`Engine::builder(api).workers(4).fault_policy(plan).build()`); the
+//! old `Engine::new(config, api, clock)` constructor survives one
+//! release as a deprecated shim in [`crate::compat`].
 
 use crate::catalog::Catalog;
 use crate::error::QueryError;
 use crate::exec::join::Side;
+use crate::exec::supervise::{RetryPolicy, SourceEvent, SourceFaultStats, SupervisedSource};
 use crate::exec::OpStats;
 use crate::parser::parse;
 use crate::plan::{plan, PlanConfig, PlannedQuery};
 use crate::selectivity::{choose_filter, PushdownDecision};
-use crate::udf::{Registry, ServiceConfig, SharedGeoService};
+use crate::udf::{
+    AsyncFactory, Registry, ScalarUdf, ServiceConfig, SharedGeoService, StatefulFactory,
+};
 use std::sync::Arc;
 use tweeql_firehose::api::ConnectionStats;
+use tweeql_firehose::fault::FaultPlan;
 use tweeql_firehose::{FilterSpec, StreamingApi};
 use tweeql_geo::cache::CacheStats;
 use tweeql_model::{Duration, Record, SchemaRef, Timestamp, Value, VirtualClock};
@@ -17,7 +26,7 @@ use tweeql_model::{Duration, Record, SchemaRef, Timestamp, Value, VirtualClock};
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
-    /// Simulated web-service knobs (latency, cache, batching).
+    /// Simulated web-service knobs (latency, cache, batching, breaker).
     pub service: ServiceConfig,
     /// How often punctuation is injected (stream time).
     pub watermark_interval: Duration,
@@ -38,6 +47,12 @@ pub struct EngineConfig {
     pub batch_size: usize,
     /// Bounded-channel capacity (in-flight batches) per queue.
     pub channel_capacity: usize,
+    /// Fault-injection plan for the source connection (None = clean).
+    pub fault: Option<FaultPlan>,
+    /// Reconnect policy for the supervised source.
+    pub retry: RetryPolicy,
+    /// Engine seed: backoff jitter and other engine-level randomness.
+    pub seed: u64,
 }
 
 impl Default for EngineConfig {
@@ -52,7 +67,60 @@ impl Default for EngineConfig {
             workers: 1,
             batch_size: 256,
             channel_capacity: 8,
+            fault: None,
+            retry: RetryPolicy::default(),
+            seed: 0x5EED,
         }
+    }
+}
+
+/// The shared diagnostics attachment every engine entry point returns:
+/// static-analysis warnings plus runtime degradation notices.
+#[derive(Debug, Clone, Default)]
+pub struct Diagnostics {
+    /// Lint warnings from static analysis (never errors — those abort
+    /// with [`QueryError::Check`]).
+    pub warnings: Vec<crate::check::Diagnostic>,
+    /// Runtime degradation notices, e.g. "async:latitude: circuit open,
+    /// 312 rows NULL" or "source: 3 disconnects, 3 reconnects".
+    pub notices: Vec<String>,
+}
+
+impl Diagnostics {
+    /// True when there is nothing to report.
+    pub fn is_empty(&self) -> bool {
+        self.warnings.is_empty() && self.notices.is_empty()
+    }
+}
+
+impl std::fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for w in &self.warnings {
+            writeln!(f, "warning[{}]: {}", w.code, w.message)?;
+        }
+        for n in &self.notices {
+            writeln!(f, "notice: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// What EXPLAIN returns: the plan text plus any static diagnostics.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// Rendered plan (stages + pushdown candidates).
+    pub plan: String,
+    /// Warnings attached at plan time.
+    pub diagnostics: Diagnostics,
+}
+
+impl std::fmt::Display for Explanation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.plan)?;
+        if !self.diagnostics.is_empty() {
+            write!(f, "{}", self.diagnostics)?;
+        }
+        Ok(())
     }
 }
 
@@ -61,10 +129,18 @@ impl Default for EngineConfig {
 pub struct QueryStats {
     /// Pushdown decision rendered for humans.
     pub pushdown: String,
-    /// Source connection delivery stats.
+    /// Source connection delivery stats (summed across reconnects).
     pub source: ConnectionStats,
-    /// Per-stage tuple counters.
+    /// What the stream supervisor saw: disconnects, reconnects,
+    /// duplicates dropped, gaps, injected faults.
+    pub source_faults: SourceFaultStats,
+    /// Window starts the aggregate flagged as under-sampled because of
+    /// source coverage gaps.
+    pub gap_windows: Vec<Timestamp>,
+    /// Per-stage tuple counters (including per-service health).
     pub stages: Vec<(String, OpStats)>,
+    /// Warnings + degradation notices for this run.
+    pub diagnostics: Diagnostics,
     /// Geocoding web-service stats (requests, modeled time, cache).
     pub geo_requests: u64,
     /// Total modeled web-service latency.
@@ -94,6 +170,11 @@ impl QueryResult {
             .index_of(name)
             .ok_or_else(|| QueryError::UnknownColumn(name.to_string()))?;
         Ok(self.rows.iter().map(|r| r.value(idx).clone()).collect())
+    }
+
+    /// Warnings + degradation notices for this run.
+    pub fn diagnostics(&self) -> &Diagnostics {
+        &self.stats.diagnostics
     }
 
     /// Render as CSV (header + rows).
@@ -153,40 +234,176 @@ impl QueryResult {
     }
 }
 
-/// The TweeQL query engine.
-pub struct Engine {
+/// Fluent engine assembly: configuration knobs plus deferred UDF and
+/// stream registration, resolved in one [`EngineBuilder::build`] call.
+///
+/// ```ignore
+/// let engine = Engine::builder(api)
+///     .workers(4)
+///     .fault_policy(FaultPlan::chaos(7))
+///     .configure_registry(|r| udfs::register(r, PeakDetectorConfig::default()))
+///     .build();
+/// ```
+pub struct EngineBuilder {
     config: EngineConfig,
     api: StreamingApi,
-    clock: Arc<VirtualClock>,
-    catalog: Catalog,
-    registry: Registry,
-    geo: SharedGeoService,
+    registry_fns: Vec<RegistryFn>,
+    streams: Vec<(String, SchemaRef)>,
 }
 
-impl Engine {
-    /// Build an engine over a streaming API, with the standard registry.
-    pub fn new(config: EngineConfig, api: StreamingApi, clock: Arc<VirtualClock>) -> Engine {
-        let geo = SharedGeoService::new(&config.service, Arc::clone(&clock));
-        let registry =
-            Registry::standard_with_geo(&config.service, Arc::clone(&clock), geo.clone());
+/// A deferred registry mutation, applied at [`EngineBuilder::build`].
+type RegistryFn = Box<dyn FnOnce(&mut Registry)>;
+
+impl EngineBuilder {
+    /// Replace the whole configuration (knob methods still apply on
+    /// top, in call order).
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Simulated web-service knobs (latency, cache, breaker, retries).
+    pub fn service(mut self, service: ServiceConfig) -> Self {
+        self.config.service = service;
+        self
+    }
+
+    /// Worker threads (1 = serial engine).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Records per micro-batch in the parallel engine.
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.config.batch_size = batch_size;
+        self
+    }
+
+    /// Bounded-channel capacity per queue in the parallel engine.
+    pub fn channel_capacity(mut self, capacity: usize) -> Self {
+        self.config.channel_capacity = capacity;
+        self
+    }
+
+    /// Watermark injection interval.
+    pub fn watermark_interval(mut self, interval: Duration) -> Self {
+        self.config.watermark_interval = interval;
+        self
+    }
+
+    /// Tweets scanned per candidate during selectivity probing.
+    pub fn selectivity_sample(mut self, sample: usize) -> Self {
+        self.config.selectivity_sample = sample;
+        self
+    }
+
+    /// Use the adaptive eddy for multi-predicate filters.
+    pub fn use_eddy(mut self, on: bool) -> Self {
+        self.config.use_eddy = on;
+        self
+    }
+
+    /// One seed for everything the engine randomizes: service latency
+    /// and failures, and reconnect-backoff jitter.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self.config.service.seed = seed;
+        self
+    }
+
+    /// Inject faults into the source connection (chaos testing).
+    pub fn fault_policy(mut self, plan: FaultPlan) -> Self {
+        self.config.fault = Some(plan);
+        self
+    }
+
+    /// Reconnect/backoff/replay policy for the supervised source.
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.config.retry = retry;
+        self
+    }
+
+    /// Register a scalar UDF on top of the standard registry.
+    pub fn register_udf(mut self, udf: Arc<dyn ScalarUdf>) -> Self {
+        self.registry_fns
+            .push(Box::new(move |r| r.register_scalar(udf)));
+        self
+    }
+
+    /// Register a stateful UDF factory.
+    pub fn register_stateful(mut self, name: &str, factory: StatefulFactory) -> Self {
+        let name = name.to_string();
+        self.registry_fns
+            .push(Box::new(move |r| r.register_stateful(&name, factory)));
+        self
+    }
+
+    /// Register an async (web-service) UDF factory.
+    pub fn register_async(mut self, name: &str, factory: AsyncFactory) -> Self {
+        let name = name.to_string();
+        self.registry_fns
+            .push(Box::new(move |r| r.register_async(&name, factory)));
+        self
+    }
+
+    /// Register an additional named stream in the catalog.
+    pub fn register_stream(mut self, name: &str, schema: SchemaRef) -> Self {
+        self.streams.push((name.to_string(), schema));
+        self
+    }
+
+    /// Escape hatch: arbitrary registry setup (e.g. a whole UDF pack
+    /// like TwitInfo's `udfs::register`).
+    pub fn configure_registry(mut self, f: impl FnOnce(&mut Registry) + 'static) -> Self {
+        self.registry_fns.push(Box::new(f));
+        self
+    }
+
+    /// Assemble the engine. The clock is the streaming API's clock, so
+    /// source delivery and modeled service latency share one timeline.
+    pub fn build(self) -> Engine {
+        let clock = self.api.clock();
+        let geo = SharedGeoService::new(&self.config.service, Arc::clone(&clock));
+        let mut registry =
+            Registry::standard_with_geo(&self.config.service, Arc::clone(&clock), geo.clone());
+        for f in self.registry_fns {
+            f(&mut registry);
+        }
+        let mut catalog = Catalog::with_twitter();
+        for (name, schema) in self.streams {
+            catalog.register(&name, schema);
+        }
         Engine {
-            config,
-            api,
+            config: self.config,
+            api: self.api,
             clock,
-            catalog: Catalog::with_twitter(),
+            catalog,
             registry,
             geo,
         }
     }
+}
 
-    /// Register additional UDFs (e.g. TwitInfo's peak detector).
-    pub fn registry_mut(&mut self) -> &mut Registry {
-        &mut self.registry
-    }
+/// The TweeQL query engine.
+pub struct Engine {
+    pub(crate) config: EngineConfig,
+    pub(crate) api: StreamingApi,
+    pub(crate) clock: Arc<VirtualClock>,
+    pub(crate) catalog: Catalog,
+    pub(crate) registry: Registry,
+    pub(crate) geo: SharedGeoService,
+}
 
-    /// Register additional streams.
-    pub fn catalog_mut(&mut self) -> &mut Catalog {
-        &mut self.catalog
+impl Engine {
+    /// Start building an engine over a streaming API.
+    pub fn builder(api: StreamingApi) -> EngineBuilder {
+        EngineBuilder {
+            config: EngineConfig::default(),
+            api,
+            registry_fns: Vec::new(),
+            streams: Vec::new(),
+        }
     }
 
     /// The engine's clock.
@@ -194,18 +411,32 @@ impl Engine {
         Arc::clone(&self.clock)
     }
 
-    /// EXPLAIN: the plan text plus pushdown candidates, without running.
-    pub fn explain(&self, sql: &str) -> Result<String, QueryError> {
+    /// EXPLAIN: the plan text plus pushdown candidates and any static
+    /// warnings, without running.
+    pub fn explain(&self, sql: &str) -> Result<Explanation, QueryError> {
         let planned = self.checked_plan(sql)?;
-        Ok(planned.explain)
+        Ok(Explanation {
+            plan: planned.explain,
+            diagnostics: Diagnostics {
+                warnings: planned.warnings,
+                notices: Vec::new(),
+            },
+        })
     }
 
     /// Run static analysis on `sql` without planning or executing.
     ///
-    /// Returns every diagnostic (errors and lints) in severity-then-
-    /// source order; `Err` only for parse failures.
-    pub fn check(&self, sql: &str) -> Result<Vec<crate::check::Diagnostic>, QueryError> {
-        crate::check::check_sql(sql, &self.catalog, &self.registry)
+    /// Errors abort with [`QueryError::Check`] (rendered with caret
+    /// snippets); lint warnings come back in [`Diagnostics`].
+    pub fn check(&self, sql: &str) -> Result<Diagnostics, QueryError> {
+        let diags = crate::check::check_sql(sql, &self.catalog, &self.registry)?;
+        if diags.iter().any(|d| d.is_error()) {
+            return Err(QueryError::Check(crate::check::render_all(&diags, sql)));
+        }
+        Ok(Diagnostics {
+            warnings: diags,
+            notices: Vec::new(),
+        })
     }
 
     fn plan_config(&self) -> PlanConfig {
@@ -223,7 +454,7 @@ impl Engine {
 
     /// Parse, run static analysis (errors abort with the rendered
     /// diagnostics), then plan. Lint warnings attach to the plan.
-    fn checked_plan(&self, sql: &str) -> Result<PlannedQuery, QueryError> {
+    pub(crate) fn checked_plan(&self, sql: &str) -> Result<PlannedQuery, QueryError> {
         let stmt = parse(sql)?;
         let diags = crate::check::check(&stmt, &self.catalog, &self.registry);
         if diags.iter().any(|d| d.is_error()) {
@@ -268,7 +499,7 @@ impl Engine {
         let pushdown = decision.describe(&planned.api_candidates);
         let filter = decision.filter(&planned.api_candidates);
 
-        let source_stats = match planned.join.take() {
+        let (source_stats, source_faults) = match planned.join.take() {
             None => self.run_single(&mut planned, filter, sink)?,
             Some(join) => self.run_join(&mut planned, join, sink)?,
         };
@@ -277,10 +508,19 @@ impl Engine {
             use tweeql_model::Clock;
             self.clock.now()
         };
+        let gap_windows = planned.pipeline.gap_windows();
+        let stages = planned.pipeline.stage_stats();
+        let diagnostics = Diagnostics {
+            warnings: std::mem::take(&mut planned.warnings),
+            notices: degradation_notices(&source_faults, &gap_windows, &stages),
+        };
         let stats = QueryStats {
             pushdown,
             source: source_stats,
-            stages: planned.pipeline.stage_stats(),
+            source_faults,
+            gap_windows,
+            stages,
+            diagnostics,
             geo_requests: self.geo.requests_issued(),
             geo_service_time: self.geo.modeled_service_time(),
             geo_cache: self.geo.cache_stats(),
@@ -294,39 +534,53 @@ impl Engine {
         planned: &mut PlannedQuery,
         filter: FilterSpec,
         sink: &mut dyn FnMut(&Record),
-    ) -> Result<ConnectionStats, QueryError> {
+    ) -> Result<(ConnectionStats, SourceFaultStats), QueryError> {
+        let src = SupervisedSource::new(
+            self.api.clone(),
+            filter,
+            self.config.fault.clone(),
+            self.config.retry.clone(),
+            self.config.seed,
+        );
         if self.config.workers > 1 {
-            let conn = self.api.connect(filter);
             let pcfg = crate::exec::parallel::ParallelConfig {
                 workers: self.config.workers,
                 batch_size: self.config.batch_size,
                 channel_capacity: self.config.channel_capacity,
                 watermark_interval: self.config.watermark_interval,
             };
-            return crate::exec::parallel::run_parallel(conn, &mut planned.pipeline, &pcfg, sink);
+            return crate::exec::parallel::run_parallel(src, &mut planned.pipeline, &pcfg, sink);
         }
-        let mut conn = self.api.connect(filter);
+        let mut src = src;
         let wm_interval = self.config.watermark_interval;
         let mut next_wm: Option<Timestamp> = None;
         let mut out = Vec::new();
-        for tweet in conn.by_ref() {
-            let rec = Record::from_tweet(&tweet);
-            let ts = rec.timestamp();
-            // Inject punctuation when stream time crosses boundaries —
-            // every boundary the stream jumped over, not just one, so
-            // idle gaps still tick time-driven flushes.
-            if let Some(wm) = next_wm {
-                if ts >= wm {
-                    let last = ts.truncate(wm_interval);
-                    let mut boundary = wm;
-                    while boundary <= last {
-                        planned.pipeline.watermark(boundary, &mut out)?;
-                        boundary += wm_interval;
+        for event in src.by_ref() {
+            match event {
+                SourceEvent::Gap { from, to } => {
+                    planned.pipeline.gap(from, to, &mut out)?;
+                }
+                SourceEvent::Tweet(tweet) => {
+                    let rec = Record::from_tweet(&tweet);
+                    let ts = rec.timestamp();
+                    // Inject punctuation when stream time crosses
+                    // boundaries — every boundary the stream jumped
+                    // over, not just one, so idle gaps still tick
+                    // time-driven flushes.
+                    if let Some(wm) = next_wm {
+                        if ts >= wm {
+                            let last = ts.truncate(wm_interval);
+                            let mut boundary = wm;
+                            while boundary <= last {
+                                planned.pipeline.watermark(boundary, &mut out)?;
+                                boundary += wm_interval;
+                            }
+                        }
                     }
+                    next_wm = Some(ts.truncate(wm_interval) + wm_interval);
+                    planned.pipeline.push(rec, &mut out)?;
                 }
             }
-            next_wm = Some(ts.truncate(wm_interval) + wm_interval);
-            planned.pipeline.push(rec, &mut out)?;
             for r in out.drain(..) {
                 sink(&r);
             }
@@ -338,7 +592,7 @@ impl Engine {
         for r in out.drain(..) {
             sink(&r);
         }
-        Ok(conn.stats())
+        Ok((src.stats(), src.fault_stats()))
     }
 
     fn run_join(
@@ -346,7 +600,7 @@ impl Engine {
         planned: &mut PlannedQuery,
         mut pj: crate::plan::PlannedJoin,
         sink: &mut dyn FnMut(&Record),
-    ) -> Result<ConnectionStats, QueryError> {
+    ) -> Result<(ConnectionStats, SourceFaultStats), QueryError> {
         // Both sides read the full stream (no pushdown across a join).
         let mut left = self.api.connect(FilterSpec::Sample(1.0));
         let mut right = self.api.connect(FilterSpec::Sample(1.0));
@@ -393,8 +647,54 @@ impl Engine {
         for r in out.drain(..) {
             sink(&r);
         }
-        Ok(left.stats())
+        Ok((left.stats(), SourceFaultStats::default()))
     }
+}
+
+/// Human-readable degradation notices from supervisor and per-service
+/// health counters.
+fn degradation_notices(
+    faults: &SourceFaultStats,
+    gap_windows: &[Timestamp],
+    stages: &[(String, OpStats)],
+) -> Vec<String> {
+    let mut notices = Vec::new();
+    if faults.disconnects > 0 {
+        notices.push(format!(
+            "source: {} disconnect(s), {} reconnect(s), {} replay duplicate(s) dropped, {} malformed payload(s) skipped",
+            faults.disconnects,
+            faults.reconnects,
+            faults.duplicates_dropped,
+            faults.malformed_skipped,
+        ));
+    }
+    if !faults.gaps.is_empty() {
+        notices.push(format!(
+            "source: {} coverage gap(s); {} window(s) flagged under-sampled",
+            faults.gaps.len(),
+            gap_windows.len(),
+        ));
+    }
+    if faults.gave_up {
+        notices.push("source: reconnection abandoned after max attempts; stream tail lost".into());
+    }
+    for (name, s) in stages {
+        if let Some(h) = s.health {
+            if h.degraded_rows > 0 || h.breaker_opens > 0 {
+                notices.push(format!(
+                    "{name}: circuit {}, {} rows NULL ({} short-circuited, {} timeout(s), {} retr{}, {} breaker open(s))",
+                    h.state,
+                    h.degraded_rows,
+                    h.short_circuits,
+                    h.timeouts,
+                    h.retries,
+                    if h.retries == 1 { "y" } else { "ies" },
+                    h.breaker_opens,
+                ));
+            }
+        }
+    }
+    notices
 }
 
 #[cfg(test)]
@@ -434,15 +734,13 @@ mod tests {
 
     fn engine() -> Engine {
         let clock = VirtualClock::new();
-        let api = small_api(Arc::clone(&clock));
-        let cfg = EngineConfig {
-            service: ServiceConfig {
+        let api = small_api(clock);
+        Engine::builder(api)
+            .service(ServiceConfig {
                 latency: LatencyModel::Constant(Duration::from_millis(100)),
                 ..ServiceConfig::default()
-            },
-            ..EngineConfig::default()
-        };
-        Engine::new(cfg, api, clock)
+            })
+            .build()
     }
 
     #[test]
@@ -541,12 +839,25 @@ mod tests {
     }
 
     #[test]
+    fn clean_run_reports_no_faults_or_notices() {
+        let mut e = engine();
+        let r = e
+            .execute("SELECT text FROM twitter WHERE text contains 'obama' LIMIT 5")
+            .unwrap();
+        assert_eq!(r.stats.source_faults.disconnects, 0);
+        assert!(r.stats.source_faults.gaps.is_empty());
+        assert!(r.stats.gap_windows.is_empty());
+        assert!(r.stats.diagnostics.notices.is_empty());
+    }
+
+    #[test]
     fn explain_does_not_run() {
         let e = engine();
-        let text = e
+        let ex = e
             .explain("SELECT sentiment(text) FROM twitter WHERE text contains 'x'")
             .unwrap();
-        assert!(text.contains("project"));
+        assert!(ex.plan.contains("project"));
+        assert!(ex.to_string().contains("project"));
         assert_eq!(e.clock().now(), Timestamp::ZERO);
     }
 
@@ -590,13 +901,29 @@ mod tests {
     }
 
     #[test]
-    fn check_reports_without_running() {
+    fn lint_warnings_surface_in_run_diagnostics() {
+        let mut e = engine();
+        let r = e
+            .execute("SELECT text FROM twitter WHERE followers > 1000 LIMIT 5")
+            .unwrap();
+        assert!(
+            r.diagnostics().warnings.iter().any(|d| d.code == "W102"),
+            "{:?}",
+            r.diagnostics()
+        );
+        assert!(r.diagnostics().to_string().contains("W102"));
+    }
+
+    #[test]
+    fn check_reports_warnings_and_rejects_errors() {
         let e = engine();
         let diags = e
             .check("SELECT text FROM twitter WHERE latitude(loc) > 40.0")
             .unwrap();
-        assert!(diags.iter().any(|d| d.code == "W103"), "{diags:?}");
+        assert!(diags.warnings.iter().any(|d| d.code == "W103"), "{diags:?}");
         assert_eq!(e.clock().now(), Timestamp::ZERO);
+        let err = e.check("SELECT text FROM twitter WHERE text > 5");
+        assert!(matches!(err, Err(QueryError::Check(_))), "{err:?}");
     }
 
     #[test]
@@ -631,7 +958,7 @@ mod tests {
             .retain(|b| b.end() <= Timestamp::ZERO + sc.duration);
         sc.population_size = 400;
         let api = StreamingApi::new(generate(&sc, 5), Arc::clone(&clock));
-        let mut e = Engine::new(EngineConfig::default(), api, clock);
+        let mut e = Engine::builder(api).build();
         let r = e
             .execute(
                 "SELECT count(*) AS c FROM twitter \
@@ -640,5 +967,49 @@ mod tests {
             )
             .unwrap();
         assert!(r.rows.len() >= 15, "rows = {}", r.rows.len());
+    }
+
+    #[test]
+    fn builder_seed_flows_into_service_and_engine() {
+        let clock = VirtualClock::new();
+        let api = small_api(clock);
+        let b = Engine::builder(api).seed(42).workers(2).use_eddy(true);
+        assert_eq!(b.config.seed, 42);
+        assert_eq!(b.config.service.seed, 42);
+        let e = b.build();
+        assert_eq!(e.config.workers, 2);
+        assert!(e.config.use_eddy);
+    }
+
+    #[test]
+    fn faulted_run_survives_and_reports_degradation() {
+        let clock = VirtualClock::new();
+        let api = small_api(clock);
+        let mut plan = FaultPlan::chaos(11);
+        plan.disconnect_rate = 0.01;
+        let mut e = Engine::builder(api)
+            .fault_policy(plan)
+            .retry_policy(RetryPolicy {
+                replay_overlap: Duration::ZERO,
+                ..RetryPolicy::default()
+            })
+            .build();
+        let r = e
+            .execute(
+                "SELECT count(*) AS c FROM twitter \
+                 WHERE text contains 'obama' WINDOW 1 minutes",
+            )
+            .unwrap();
+        assert!(r.stats.source_faults.disconnects > 0);
+        assert!(
+            r.stats
+                .diagnostics
+                .notices
+                .iter()
+                .any(|n| n.starts_with("source:")),
+            "{:?}",
+            r.stats.diagnostics.notices
+        );
+        assert!(!r.rows.is_empty());
     }
 }

@@ -370,6 +370,8 @@ pub struct AggregateOp {
     sliding: std::collections::BTreeMap<i64, HashMap<Vec<Value>, Group>>,
     /// Index of the aggregate driving confidence emission.
     confidence_target: usize,
+    /// Source coverage gaps reported by the supervisor, `[from, to)`.
+    gaps: Vec<(Timestamp, Timestamp)>,
 }
 
 impl AggregateOp {
@@ -395,7 +397,57 @@ impl AggregateOp {
             window_end: None,
             sliding: std::collections::BTreeMap::new(),
             confidence_target,
+            gaps: Vec::new(),
         }
+    }
+
+    /// Window start timestamps whose input may be under-sampled because
+    /// a source coverage gap overlaps them. Computed from the reported
+    /// gap intervals directly — a window wholly inside a gap (which
+    /// never saw a record) is still flagged.
+    pub fn gap_windows(&self) -> Vec<Timestamp> {
+        let mut starts = std::collections::BTreeSet::new();
+        match self.policy {
+            WindowPolicy::Time(d) if d > Duration::ZERO => {
+                for &(from, to) in &self.gaps {
+                    let mut w = from.truncate(d);
+                    while w < to {
+                        starts.insert(w);
+                        w += d;
+                    }
+                }
+            }
+            WindowPolicy::Sliding { size, slide }
+                if size > Duration::ZERO && slide > Duration::ZERO =>
+            {
+                for &(from, to) in &self.gaps {
+                    // First window that could overlap `from` starts at
+                    // from - size + 1ms, rounded down to a slide multiple.
+                    let first = (from + Duration::from_millis(1) - size).truncate(slide);
+                    let first = if first < Timestamp::ZERO {
+                        Timestamp::ZERO
+                    } else {
+                        first
+                    };
+                    let mut w = first;
+                    while w < to {
+                        if w + size > from {
+                            starts.insert(w);
+                        }
+                        w += slide;
+                    }
+                }
+            }
+            // Unbounded output covers the whole stream: any gap taints
+            // the single result set.
+            WindowPolicy::Unbounded if !self.gaps.is_empty() => {
+                starts.insert(Timestamp::ZERO);
+            }
+            // Count/Confidence windows are data-driven, not time-aligned;
+            // a gap shifts them rather than under-filling them.
+            _ => {}
+        }
+        starts.into_iter().collect()
     }
 
     fn emit_group(&self, key: &[Value], g: &Group, out: &mut Vec<Record>) {
@@ -639,6 +691,18 @@ impl Operator for AggregateOp {
                 }
             }
             _ => {}
+        }
+        Ok(())
+    }
+
+    fn on_gap(
+        &mut self,
+        from: Timestamp,
+        to: Timestamp,
+        _out: &mut Vec<Record>,
+    ) -> Result<(), QueryError> {
+        if to > from {
+            self.gaps.push((from, to));
         }
         Ok(())
     }
@@ -1054,5 +1118,71 @@ mod tests {
             .unwrap();
         op.finish(&mut out).unwrap();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn gap_windows_cover_tumbling_windows_touched_by_the_gap() {
+        let mut op = make_op(WindowPolicy::Time(Duration::from_secs(60)), AggFunc::Count);
+        let mut out = Vec::new();
+        // Gap spanning 90s..=200s touches minute windows 1, 2, 3.
+        op.on_gap(
+            Timestamp::from_secs(90),
+            Timestamp::from_secs(200),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(
+            op.gap_windows(),
+            vec![
+                Timestamp::from_secs(60),
+                Timestamp::from_secs(120),
+                Timestamp::from_secs(180)
+            ]
+        );
+        // A window wholly inside a gap (no record ever arrives in it)
+        // is still flagged: the interval itself drives enumeration.
+        assert!(op.gap_windows().contains(&Timestamp::from_secs(120)));
+    }
+
+    #[test]
+    fn gap_windows_flag_overlapping_sliding_windows() {
+        let op = {
+            let mut op = make_op(
+                WindowPolicy::Sliding {
+                    size: Duration::from_secs(60),
+                    slide: Duration::from_secs(30),
+                },
+                AggFunc::Count,
+            );
+            let mut out = Vec::new();
+            op.on_gap(
+                Timestamp::from_secs(100),
+                Timestamp::from_secs(110),
+                &mut out,
+            )
+            .unwrap();
+            op
+        };
+        // Windows [60,120) and [90,150) overlap 100..110; [30,90) and
+        // [120,180) do not.
+        assert_eq!(
+            op.gap_windows(),
+            vec![Timestamp::from_secs(60), Timestamp::from_secs(90)]
+        );
+    }
+
+    #[test]
+    fn gap_windows_empty_without_gaps_and_for_count_windows() {
+        let op = make_op(WindowPolicy::Time(Duration::from_secs(60)), AggFunc::Count);
+        assert!(op.gap_windows().is_empty());
+        let mut op = make_op(WindowPolicy::Count(5), AggFunc::Count);
+        let mut out = Vec::new();
+        op.on_gap(Timestamp::from_secs(1), Timestamp::from_secs(2), &mut out)
+            .unwrap();
+        assert!(op.gap_windows().is_empty());
+        let mut op = make_op(WindowPolicy::Unbounded, AggFunc::Count);
+        op.on_gap(Timestamp::from_secs(1), Timestamp::from_secs(2), &mut out)
+            .unwrap();
+        assert_eq!(op.gap_windows(), vec![Timestamp::ZERO]);
     }
 }

@@ -123,6 +123,10 @@ impl Operator for AsyncUdfOp {
         self.run_batch(batch, out);
         Ok(())
     }
+
+    fn service_health(&self) -> Option<tweeql_geo::breaker::ServiceHealth> {
+        self.udf.health()
+    }
 }
 
 #[cfg(test)]

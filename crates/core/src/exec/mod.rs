@@ -13,10 +13,12 @@ pub mod join;
 pub mod limit;
 pub mod parallel;
 pub mod project;
+pub mod supervise;
 pub mod topk;
 
 use crate::error::QueryError;
 use std::time::Instant;
+use tweeql_geo::breaker::ServiceHealth;
 use tweeql_model::{Record, SchemaRef, Timestamp};
 
 /// A streaming operator.
@@ -44,6 +46,19 @@ pub trait Operator: Send {
 
     /// Stream time has advanced to `wm`; flush anything due.
     fn on_watermark(&mut self, _wm: Timestamp, _out: &mut Vec<Record>) -> Result<(), QueryError> {
+        Ok(())
+    }
+
+    /// The source lost coverage over `[from, to)` (a disconnect the
+    /// supervisor could not fully replay). Windowed aggregates record
+    /// the interval so affected windows can be flagged as
+    /// under-sampled; everything else ignores it.
+    fn on_gap(
+        &mut self,
+        _from: Timestamp,
+        _to: Timestamp,
+        _out: &mut Vec<Record>,
+    ) -> Result<(), QueryError> {
         Ok(())
     }
 
@@ -76,6 +91,12 @@ pub trait Operator: Send {
     fn as_aggregate(&mut self) -> Option<&mut aggregate::AggregateOp> {
         None
     }
+
+    /// Health counters of the remote service behind this operator, if
+    /// any (async web-service UDF stages).
+    fn service_health(&self) -> Option<ServiceHealth> {
+        None
+    }
 }
 
 /// Per-operator tuple counters and timing.
@@ -89,6 +110,8 @@ pub struct OpStats {
     /// parallelism this sums the busy time of every worker clone, so it
     /// can exceed the run's elapsed wall time.
     pub busy_nanos: u64,
+    /// Remote-service health, for stages backed by a web service.
+    pub health: Option<ServiceHealth>,
 }
 
 impl OpStats {
@@ -105,6 +128,11 @@ impl OpStats {
         self.records_in += other.records_in;
         self.records_out += other.records_out;
         self.busy_nanos += other.busy_nanos;
+        match (&mut self.health, &other.health) {
+            (Some(mine), Some(theirs)) => mine.absorb(theirs),
+            (None, Some(theirs)) => self.health = Some(*theirs),
+            _ => {}
+        }
     }
 }
 
@@ -147,12 +175,19 @@ impl Pipeline {
         self.ops.last().map(|o| o.schema())
     }
 
-    /// `(name, stats)` per stage.
+    /// `(name, stats)` per stage, with current service health attached
+    /// for stages backed by a remote service.
     pub fn stage_stats(&self) -> Vec<(String, OpStats)> {
         self.ops
             .iter()
             .zip(&self.stats)
-            .map(|(o, s)| (o.name().to_string(), *s))
+            .map(|(o, s)| {
+                let mut s = *s;
+                if let Some(h) = o.service_health() {
+                    s.health = Some(h);
+                }
+                (o.name().to_string(), s)
+            })
             .collect()
     }
 
@@ -202,7 +237,7 @@ impl Pipeline {
     pub fn push(&mut self, rec: Record, out: &mut Vec<Record>) -> Result<(), QueryError> {
         self.cur.clear();
         self.cur.push(rec);
-        self.run_from(0, None, false, out)
+        self.run_from(0, None, None, false, out)
     }
 
     /// Push a micro-batch through every stage via the operators' batch
@@ -259,13 +294,13 @@ impl Pipeline {
         self.stats[stage].busy_nanos += t0.elapsed().as_nanos() as u64;
         self.stats[stage].records_out += buf.len() as u64;
         self.cur = buf;
-        self.run_from(stage + 1, None, false, out)
+        self.run_from(stage + 1, None, None, false, out)
     }
 
     /// Propagate a watermark through every stage.
     pub fn watermark(&mut self, wm: Timestamp, out: &mut Vec<Record>) -> Result<(), QueryError> {
         self.cur.clear();
-        self.run_from(0, Some(wm), false, out)
+        self.run_from(0, None, Some(wm), false, out)
     }
 
     /// Propagate a watermark through stages `start..`.
@@ -276,19 +311,53 @@ impl Pipeline {
         out: &mut Vec<Record>,
     ) -> Result<(), QueryError> {
         self.cur.clear();
-        self.run_from(start, Some(wm), false, out)
+        self.run_from(start, None, Some(wm), false, out)
+    }
+
+    /// Propagate a source coverage gap `[from, to)` through every stage.
+    pub fn gap(
+        &mut self,
+        from: Timestamp,
+        to: Timestamp,
+        out: &mut Vec<Record>,
+    ) -> Result<(), QueryError> {
+        self.cur.clear();
+        self.run_from(0, Some((from, to)), None, false, out)
+    }
+
+    /// Propagate a source coverage gap through stages `start..`.
+    pub fn gap_from(
+        &mut self,
+        start: usize,
+        from: Timestamp,
+        to: Timestamp,
+        out: &mut Vec<Record>,
+    ) -> Result<(), QueryError> {
+        self.cur.clear();
+        self.run_from(start, Some((from, to)), None, false, out)
+    }
+
+    /// Window start timestamps the aggregate stage (if any) flagged as
+    /// under-sampled because of source coverage gaps.
+    pub fn gap_windows(&mut self) -> Vec<Timestamp> {
+        for op in &mut self.ops {
+            if let Some(agg) = op.as_aggregate() {
+                return agg.gap_windows();
+            }
+        }
+        Vec::new()
     }
 
     /// End of stream: flush every stage in order.
     pub fn finish(&mut self, out: &mut Vec<Record>) -> Result<(), QueryError> {
         self.cur.clear();
-        self.run_from(0, None, true, out)
+        self.run_from(0, None, None, true, out)
     }
 
     /// End of stream for stages `start..` only.
     pub fn finish_from(&mut self, start: usize, out: &mut Vec<Record>) -> Result<(), QueryError> {
         self.cur.clear();
-        self.run_from(start, None, true, out)
+        self.run_from(start, None, None, true, out)
     }
 
     /// Run `self.cur` (plus optional punctuation / finish) from stage
@@ -296,6 +365,7 @@ impl Pipeline {
     fn run_from(
         &mut self,
         start: usize,
+        gap: Option<(Timestamp, Timestamp)>,
         wm: Option<Timestamp>,
         finishing: bool,
         out: &mut Vec<Record>,
@@ -307,6 +377,9 @@ impl Pipeline {
             let t0 = Instant::now();
             for rec in self.cur.drain(..) {
                 op.on_record(rec, &mut self.next)?;
+            }
+            if let Some((from, to)) = gap {
+                op.on_gap(from, to, &mut self.next)?;
             }
             if let Some(w) = wm {
                 op.on_watermark(w, &mut self.next)?;

@@ -39,11 +39,12 @@ pub use chan::Chan;
 pub use reorder::Reorder;
 
 use super::aggregate::{PartialAggBuilder, PartialTable};
+use super::supervise::{SourceEvent, SourceFaultStats, SupervisedSource};
 use super::{OpStats, Operator, Pipeline};
 use crate::error::QueryError;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
-use tweeql_firehose::api::{Connection, ConnectionStats};
+use tweeql_firehose::api::ConnectionStats;
 use tweeql_model::{Duration, Record, Timestamp};
 
 /// Knobs for one parallel run (a slice of
@@ -78,19 +79,23 @@ enum Done {
     Partial(PartialTable),
     /// Punctuation, routed around the worker pool.
     Watermark(Timestamp),
+    /// A source coverage gap `[from, to)`, routed around the worker
+    /// pool like punctuation.
+    Gap(Timestamp, Timestamp),
     /// A batch failed; the error surfaces at its sequence position.
     Error(QueryError),
 }
 
-/// Run a planned single-stream pipeline over `conn` using the parallel
-/// engine. Mirrors the serial `run_single` loop: same watermark
-/// injection, same end-of-stream flush, same early exit on `done()`.
+/// Run a planned single-stream pipeline over the supervised source
+/// using the parallel engine. Mirrors the serial `run_single` loop:
+/// same watermark injection, same gap routing, same end-of-stream
+/// flush, same early exit on `done()`.
 pub fn run_parallel(
-    conn: Connection,
+    src: SupervisedSource,
     pipeline: &mut Pipeline,
     cfg: &ParallelConfig,
     sink: &mut dyn FnMut(&Record),
-) -> Result<ConnectionStats, QueryError> {
+) -> Result<(ConnectionStats, SourceFaultStats), QueryError> {
     let workers = cfg.workers.max(1);
     let batch_size = cfg.batch_size.max(1);
     let prefix_len = pipeline.parallel_prefix_len();
@@ -120,11 +125,11 @@ pub fn run_parallel(
 
     let mut result: Result<(), QueryError> = Ok(());
     let mut conn_stats = ConnectionStats::default();
+    let mut fault_stats = SourceFaultStats::default();
     let mut worker_stats: Vec<(Vec<OpStats>, OpStats)> = Vec::new();
 
     std::thread::scope(|s| {
-        let decoder =
-            s.spawn(|| decode_loop(conn, &to_workers, &to_merge, batch_size, wm_interval));
+        let decoder = s.spawn(|| decode_loop(src, &to_workers, &to_merge, batch_size, wm_interval));
         let handles: Vec<_> = kits
             .drain(..)
             .map(|(ops, builder)| {
@@ -151,6 +156,7 @@ pub fn run_parallel(
                     Done::Rows(rows) => pipeline.push_batch_from(prefix_len, rows, &mut out),
                     Done::Partial(table) => pipeline.absorb_partial(prefix_len, table, &mut out),
                     Done::Watermark(wm) => pipeline.watermark_from(prefix_len, wm, &mut out),
+                    Done::Gap(from, to) => pipeline.gap_from(prefix_len, from, to, &mut out),
                     Done::Error(e) => Err(e),
                 };
                 match step {
@@ -174,7 +180,9 @@ pub fn run_parallel(
         to_workers.close();
         to_merge.close();
 
-        conn_stats = decoder.join().expect("decoder thread panicked");
+        let (cs, fs) = decoder.join().expect("decoder thread panicked");
+        conn_stats = cs;
+        fault_stats = fs;
         for h in handles {
             worker_stats.push(h.join().expect("worker thread panicked"));
         }
@@ -197,21 +205,46 @@ pub fn run_parallel(
     for r in out.drain(..) {
         sink(&r);
     }
-    Ok(conn_stats)
+    Ok((conn_stats, fault_stats))
 }
 
-/// Decoder thread: source → records → sequenced batches + watermarks.
+/// Decoder thread: supervised source → records → sequenced batches +
+/// watermarks + gap markers.
 fn decode_loop(
-    mut conn: Connection,
+    mut src: SupervisedSource,
     to_workers: &Chan<Seq<Vec<Record>>>,
     to_merge: &Chan<Seq<Done>>,
     batch_size: usize,
     wm_interval: Duration,
-) -> ConnectionStats {
+) -> (ConnectionStats, SourceFaultStats) {
     let mut seq = 0u64;
     let mut batch: Vec<Record> = Vec::with_capacity(batch_size);
     let mut next_wm: Option<Timestamp> = None;
-    'stream: for tweet in conn.by_ref() {
+    'stream: for event in src.by_ref() {
+        let tweet = match event {
+            SourceEvent::Tweet(t) => t,
+            SourceEvent::Gap { from, to } => {
+                // Cut the batch so records before the gap keep an
+                // earlier sequence number, then route the marker
+                // around the worker pool like punctuation.
+                if !batch.is_empty() {
+                    let full = std::mem::replace(&mut batch, Vec::with_capacity(batch_size));
+                    if to_workers.push(Seq { seq, item: full }).is_err() {
+                        break 'stream;
+                    }
+                    seq += 1;
+                }
+                let g = Seq {
+                    seq,
+                    item: Done::Gap(from, to),
+                };
+                if to_merge.push(g).is_err() {
+                    break 'stream;
+                }
+                seq += 1;
+                continue;
+            }
+        };
         let rec = Record::from_tweet(&tweet);
         let ts = rec.timestamp();
         if let Some(wm) = next_wm {
@@ -256,7 +289,7 @@ fn decode_loop(
         let _ = to_workers.push(Seq { seq, item: batch });
     }
     to_workers.close();
-    conn.stats()
+    (src.stats(), src.fault_stats())
 }
 
 /// Worker thread: stateless prefix (and optional pre-aggregation) over
@@ -315,8 +348,19 @@ fn worker_loop(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::supervise::RetryPolicy;
     use tweeql_firehose::{FilterSpec, StreamingApi};
     use tweeql_model::{Tweet, VirtualClock};
+
+    fn supervised(api: &StreamingApi) -> SupervisedSource {
+        SupervisedSource::new(
+            api.clone(),
+            FilterSpec::Sample(1.0),
+            None,
+            RetryPolicy::default(),
+            0,
+        )
+    }
 
     #[test]
     fn decoder_emits_every_intermediate_watermark() {
@@ -331,10 +375,15 @@ mod tests {
                 .build(),
         ];
         let api = StreamingApi::new(tweets, VirtualClock::new());
-        let conn = api.connect(FilterSpec::Sample(1.0));
         let to_workers: Chan<Seq<Vec<Record>>> = Chan::bounded(64);
         let to_merge: Chan<Seq<Done>> = Chan::bounded(64);
-        decode_loop(conn, &to_workers, &to_merge, 8, Duration::from_secs(1));
+        decode_loop(
+            supervised(&api),
+            &to_workers,
+            &to_merge,
+            8,
+            Duration::from_secs(1),
+        );
         to_merge.close();
 
         let mut batches = Vec::new();
@@ -366,10 +415,15 @@ mod tests {
             })
             .collect();
         let api = StreamingApi::new(tweets, VirtualClock::new());
-        let conn = api.connect(FilterSpec::Sample(1.0));
         let to_workers: Chan<Seq<Vec<Record>>> = Chan::bounded(64);
         let to_merge: Chan<Seq<Done>> = Chan::bounded(64);
-        decode_loop(conn, &to_workers, &to_merge, 4, Duration::from_secs(60));
+        decode_loop(
+            supervised(&api),
+            &to_workers,
+            &to_merge,
+            4,
+            Duration::from_secs(60),
+        );
         let mut sizes = Vec::new();
         while let Some(Seq { item, .. }) = to_workers.pop() {
             sizes.push(item.len());

@@ -1,0 +1,603 @@
+//! Supervised stream source: reconnect, replay, dedup, gap markers.
+//!
+//! The 2011 streaming API dropped connections routinely; a production
+//! ingest tier reconnects with capped exponential backoff, resubscribes
+//! the same pushed-down filter, and replays a short overlap to cover
+//! in-flight loss. [`SupervisedSource`] wraps the firehose API behind
+//! exactly that loop and yields [`SourceEvent`]s:
+//!
+//! * `Tweet` — a delivered tweet, deduplicated by id across replay
+//!   overlaps and healed of small reorderings;
+//! * `Gap { from, to }` — the supervisor could not re-cover `[from,
+//!   to)` of stream time; windowed aggregates downstream flag windows
+//!   overlapping the interval as under-sampled instead of silently
+//!   undercounting.
+//!
+//! Everything is deterministic: backoff jitter comes from a seeded
+//! splitmix, delays advance the [`VirtualClock`], and the injected
+//! faults themselves come from a seeded [`FaultPlan`].
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::sync::Arc;
+use tweeql_firehose::api::{Connection, ConnectionStats, FilterSpec, StreamingApi};
+use tweeql_firehose::fault::{
+    FaultPlan, FaultStats, FaultyConnection, StreamConnection, StreamFault,
+};
+use tweeql_model::{Duration, Timestamp, Tweet, VirtualClock};
+
+/// What a supervised source yields.
+///
+/// Nearly every event is a `Tweet`; boxing it to shrink the rare `Gap`
+/// variant would cost an allocation per delivered tweet.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)]
+pub enum SourceEvent {
+    /// A delivered (deduplicated) tweet.
+    Tweet(Tweet),
+    /// Stream time `[from, to)` may be under-covered: a disconnect the
+    /// replay overlap did not fully heal.
+    Gap {
+        /// Inclusive start of the suspect interval.
+        from: Timestamp,
+        /// Exclusive end of the suspect interval.
+        to: Timestamp,
+    },
+}
+
+/// Reconnect policy: capped exponential backoff with deterministic
+/// jitter, plus how much stream time each reconnect replays.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// First-retry backoff.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub cap: Duration,
+    /// Consecutive failed attempts before giving up on the stream.
+    pub max_attempts: u32,
+    /// How far before the disconnect point each reconnect resubscribes
+    /// (the replay overlap; dedup drops the duplicates).
+    pub replay_overlap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            base: Duration::from_secs(1),
+            cap: Duration::from_secs(60),
+            max_attempts: 8,
+            replay_overlap: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Counters describing what the supervisor saw and did.
+#[derive(Debug, Clone)]
+pub struct SourceFaultStats {
+    /// Disconnects observed.
+    pub disconnects: u64,
+    /// Successful reconnects.
+    pub reconnects: u64,
+    /// Replay duplicates dropped by id.
+    pub duplicates_dropped: u64,
+    /// Malformed payloads skipped.
+    pub malformed_skipped: u64,
+    /// Total virtual time spent backing off.
+    pub backoff_total: Duration,
+    /// Un-healed coverage gaps `[from, to)`.
+    pub gaps: Vec<(Timestamp, Timestamp)>,
+    /// True when reconnection was abandoned after `max_attempts`.
+    pub gave_up: bool,
+    /// Faults the injection layer reports having injected.
+    pub injected: FaultStats,
+}
+
+impl Default for SourceFaultStats {
+    fn default() -> SourceFaultStats {
+        SourceFaultStats {
+            disconnects: 0,
+            reconnects: 0,
+            duplicates_dropped: 0,
+            malformed_skipped: 0,
+            backoff_total: Duration::ZERO,
+            gaps: Vec::new(),
+            gave_up: false,
+            injected: FaultStats::default(),
+        }
+    }
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// One connection epoch: plain, or wrapped in fault injection.
+enum Seg {
+    Plain(Connection),
+    Faulty(FaultyConnection<Connection>),
+}
+
+impl Seg {
+    fn try_next(&mut self) -> Result<Option<Tweet>, StreamFault> {
+        match self {
+            Seg::Plain(c) => c.try_next(),
+            Seg::Faulty(f) => f.try_next(),
+        }
+    }
+
+    fn stats(&self) -> ConnectionStats {
+        match self {
+            Seg::Plain(c) => StreamConnection::stats(c),
+            Seg::Faulty(f) => f.stats(),
+        }
+    }
+
+    fn injected(&self) -> FaultStats {
+        match self {
+            Seg::Plain(_) => FaultStats::default(),
+            Seg::Faulty(f) => f.fault_stats(),
+        }
+    }
+}
+
+/// A tweet held in the reorder-healing buffer, ordered by
+/// `(created_at, id)` — generator ids are monotone in log order, so
+/// this restores log order exactly.
+struct Held(Tweet);
+
+impl Held {
+    fn key(&self) -> (Timestamp, u64) {
+        (self.0.created_at, self.0.id)
+    }
+}
+
+impl PartialEq for Held {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for Held {}
+impl PartialOrd for Held {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Held {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// How many tweets the reorder-healing buffer holds back when fault
+/// injection is active. Injected reorders are adjacent swaps; a few
+/// slots of lookahead re-sorts them.
+const REORDER_HOLD: usize = 4;
+
+/// The supervised source. Iterate it like a connection; it reconnects,
+/// dedups, heals reorders, and emits gap markers internally.
+///
+/// With no fault plan (or an inactive one) it is a zero-overhead
+/// pass-through over a plain connection: no dedup set, no hold buffer,
+/// byte-identical delivery to `api.connect(filter)`.
+pub struct SupervisedSource {
+    api: StreamingApi,
+    filter: FilterSpec,
+    plan: Option<FaultPlan>,
+    retry: RetryPolicy,
+    seed: u64,
+    clock: Arc<VirtualClock>,
+    seg: Option<Seg>,
+    epoch: u64,
+    disconnects_left: u32,
+    stats_acc: ConnectionStats,
+    fstats: SourceFaultStats,
+    seen: HashSet<u64>,
+    heap: BinaryHeap<Reverse<Held>>,
+    hold: usize,
+    pending: VecDeque<SourceEvent>,
+    consecutive: u32,
+    max_seen_ts: Timestamp,
+    done: bool,
+}
+
+impl SupervisedSource {
+    /// Open the supervised stream. `plan` (when active) injects faults;
+    /// `retry` governs reconnection; `seed` drives backoff jitter.
+    pub fn new(
+        api: StreamingApi,
+        filter: FilterSpec,
+        plan: Option<FaultPlan>,
+        retry: RetryPolicy,
+        seed: u64,
+    ) -> SupervisedSource {
+        let active = plan.as_ref().is_some_and(|p| p.is_active());
+        let mut s = SupervisedSource {
+            clock: api.clock(),
+            disconnects_left: plan.as_ref().map_or(0, |p| p.max_disconnects),
+            hold: if active { REORDER_HOLD } else { 0 },
+            api,
+            filter,
+            plan,
+            retry,
+            seed,
+            seg: None,
+            epoch: 0,
+            stats_acc: ConnectionStats::default(),
+            fstats: SourceFaultStats::default(),
+            seen: HashSet::new(),
+            heap: BinaryHeap::new(),
+            pending: VecDeque::new(),
+            consecutive: 0,
+            max_seen_ts: Timestamp::ZERO,
+            done: false,
+        };
+        s.open_segment(Timestamp::ZERO);
+        s
+    }
+
+    /// Combined delivery statistics across all connection epochs.
+    pub fn stats(&self) -> ConnectionStats {
+        let mut s = self.stats_acc;
+        if let Some(seg) = &self.seg {
+            let cur = seg.stats();
+            s.scanned += cur.scanned;
+            s.matched += cur.matched;
+            s.delivered += cur.delivered;
+            s.dropped += cur.dropped;
+        }
+        s
+    }
+
+    /// Supervisor counters (gaps, reconnects, dedup, injected faults).
+    pub fn fault_stats(&self) -> SourceFaultStats {
+        let mut f = self.fstats.clone();
+        if let Some(seg) = &self.seg {
+            f.injected.absorb(&seg.injected());
+        }
+        f
+    }
+
+    /// Exclusive end of the firehose log (last tweet time + 1ms) — the
+    /// bound for terminal gap markers.
+    fn log_end(&self) -> Timestamp {
+        self.api
+            .ground_truth()
+            .last()
+            .map_or(Timestamp::ZERO, |t| t.created_at + Duration::from_millis(1))
+    }
+
+    fn open_segment(&mut self, from: Timestamp) {
+        let conn = self.api.connect_at(self.filter.clone(), from);
+        self.seg = Some(match &self.plan {
+            Some(plan) if plan.is_active() => Seg::Faulty(FaultyConnection::new(
+                conn,
+                plan.clone(),
+                self.api.clock(),
+                self.epoch,
+                self.disconnects_left,
+            )),
+            _ => Seg::Plain(conn),
+        });
+    }
+
+    fn close_segment(&mut self) {
+        if let Some(seg) = self.seg.take() {
+            let s = seg.stats();
+            self.stats_acc.scanned += s.scanned;
+            self.stats_acc.matched += s.matched;
+            self.stats_acc.delivered += s.delivered;
+            self.stats_acc.dropped += s.dropped;
+            let injected = seg.injected();
+            self.disconnects_left = self
+                .disconnects_left
+                .saturating_sub(injected.disconnects as u32);
+            self.fstats.injected.absorb(&injected);
+        }
+    }
+
+    fn drain_heap_to_pending(&mut self) {
+        let mut held: Vec<Held> = Vec::with_capacity(self.heap.len());
+        while let Some(Reverse(h)) = self.heap.pop() {
+            held.push(h);
+        }
+        for h in held {
+            self.pending.push_back(SourceEvent::Tweet(h.0));
+        }
+    }
+
+    fn push_gap(&mut self, from: Timestamp, to: Timestamp) {
+        let to = to.min(self.log_end());
+        if to > from {
+            self.fstats.gaps.push((from, to));
+            self.pending.push_back(SourceEvent::Gap { from, to });
+        }
+    }
+
+    fn handle_disconnect(&mut self) {
+        self.fstats.disconnects += 1;
+        self.close_segment();
+        self.drain_heap_to_pending();
+        self.consecutive += 1;
+        // Conservative loss start: the last stream time we know we
+        // delivered. (Not clock.now() — async UDF latency inflates the
+        // clock past stream time, and a too-late gap start would
+        // under-flag.)
+        let t_d = self.max_seen_ts;
+        if self.consecutive > self.retry.max_attempts {
+            self.fstats.gave_up = true;
+            let end = self.log_end();
+            self.push_gap(t_d, end);
+            self.done = true;
+            return;
+        }
+        // Capped exponential backoff with deterministic jitter
+        // (at most delay/4, from a seeded splitmix).
+        let exp = (self.consecutive - 1).min(20);
+        let base_ms = self.retry.base.millis().max(1);
+        let delay_ms = base_ms
+            .saturating_mul(1i64 << exp)
+            .min(self.retry.cap.millis().max(1));
+        let jitter_ms = (splitmix(self.seed ^ (self.fstats.reconnects.wrapping_mul(0x9E37) + 1))
+            % (delay_ms as u64 / 4 + 1)) as i64;
+        let delay = Duration::from_millis(delay_ms + jitter_ms);
+        self.clock.advance(delay);
+        self.fstats.backoff_total = self.fstats.backoff_total + delay;
+        self.fstats.reconnects += 1;
+        // Resubscribe the same filter from (reconnect time − overlap);
+        // dedup eats the replayed prefix. Anything between the
+        // disconnect point and the resume point is lost for good.
+        let resume_ms = t_d.millis() + delay.millis() - self.retry.replay_overlap.millis();
+        let resume = Timestamp::from_millis(resume_ms.max(0));
+        if resume > t_d {
+            self.push_gap(t_d, resume);
+        }
+        self.open_segment(resume);
+    }
+}
+
+impl Iterator for SupervisedSource {
+    type Item = SourceEvent;
+
+    fn next(&mut self) -> Option<SourceEvent> {
+        loop {
+            if let Some(ev) = self.pending.pop_front() {
+                return Some(ev);
+            }
+            if self.done {
+                return None;
+            }
+            let Some(seg) = self.seg.as_mut() else {
+                self.done = true;
+                continue;
+            };
+            match seg.try_next() {
+                Ok(Some(t)) => {
+                    self.consecutive = 0;
+                    if self.hold > 0 {
+                        // Fault injection is active: dedup replays and
+                        // injected duplicates, heal small reorders.
+                        if !self.seen.insert(t.id) {
+                            self.fstats.duplicates_dropped += 1;
+                            continue;
+                        }
+                        if t.created_at > self.max_seen_ts {
+                            self.max_seen_ts = t.created_at;
+                        }
+                        self.heap.push(Reverse(Held(t)));
+                        if self.heap.len() > self.hold {
+                            let Reverse(h) = self.heap.pop().expect("non-empty heap");
+                            return Some(SourceEvent::Tweet(h.0));
+                        }
+                        continue;
+                    }
+                    if t.created_at > self.max_seen_ts {
+                        self.max_seen_ts = t.created_at;
+                    }
+                    return Some(SourceEvent::Tweet(t));
+                }
+                Ok(None) => {
+                    self.close_segment();
+                    self.drain_heap_to_pending();
+                    self.done = true;
+                }
+                Err(StreamFault::Malformed) => {
+                    self.fstats.malformed_skipped += 1;
+                }
+                Err(StreamFault::Disconnect) => {
+                    self.handle_disconnect();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tweeql_firehose::scenario::{Scenario, Topic};
+    use tweeql_model::Clock;
+
+    fn api(clock: Arc<VirtualClock>) -> StreamingApi {
+        let s = Scenario {
+            name: "supervise-test".into(),
+            duration: Duration::from_mins(12),
+            background_rate_per_min: 150.0,
+            topics: vec![Topic::new("obama", vec!["obama"], 40.0)],
+            bursts: vec![],
+            geotag_rate: 0.5,
+            population_size: 400,
+        };
+        StreamingApi::new(tweeql_firehose::generate(&s, 21), clock)
+    }
+
+    fn baseline_ids(api: &StreamingApi, filter: FilterSpec) -> Vec<u64> {
+        api.connect(filter).map(|t| t.id).collect()
+    }
+
+    fn heal_all_policy() -> RetryPolicy {
+        RetryPolicy {
+            base: Duration::from_secs(1),
+            cap: Duration::from_secs(60),
+            max_attempts: 8,
+            // Overlap dwarfs any possible backoff: every reconnect
+            // re-covers the loss window entirely.
+            replay_overlap: Duration::from_mins(30),
+        }
+    }
+
+    #[test]
+    fn no_fault_plan_is_a_pure_passthrough() {
+        let api = api(VirtualClock::new());
+        let filter = FilterSpec::Track(vec!["obama".into()]);
+        let expected = baseline_ids(&api, filter.clone());
+        let src = SupervisedSource::new(api.clone(), filter, None, RetryPolicy::default(), 0);
+        let got: Vec<u64> = src
+            .map(|e| match e {
+                SourceEvent::Tweet(t) => t.id,
+                SourceEvent::Gap { .. } => panic!("no gaps without faults"),
+            })
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn passthrough_stats_match_plain_connection() {
+        let api = api(VirtualClock::new());
+        let filter = FilterSpec::Track(vec!["obama".into()]);
+        let mut conn = api.connect(filter.clone());
+        for _ in conn.by_ref() {}
+        let expected = conn.stats();
+        let mut src = SupervisedSource::new(api, filter, None, RetryPolicy::default(), 0);
+        for _ in src.by_ref() {}
+        assert_eq!(src.stats(), expected);
+        let f = src.fault_stats();
+        assert_eq!(f.disconnects, 0);
+        assert!(f.gaps.is_empty());
+    }
+
+    #[test]
+    fn generous_replay_overlap_heals_chaos_exactly() {
+        let api = api(VirtualClock::new());
+        let filter = FilterSpec::Sample(1.0);
+        let expected = baseline_ids(&api, filter.clone());
+        let src = SupervisedSource::new(
+            api,
+            filter,
+            Some(FaultPlan::chaos(1234)),
+            heal_all_policy(),
+            77,
+        );
+        let mut got = Vec::new();
+        let mut gaps = 0;
+        let mut src = src;
+        for e in src.by_ref() {
+            match e {
+                SourceEvent::Tweet(t) => got.push(t.id),
+                SourceEvent::Gap { .. } => gaps += 1,
+            }
+        }
+        let f = src.fault_stats();
+        assert!(f.disconnects >= 1, "chaos plan must disconnect: {f:?}");
+        assert_eq!(f.reconnects, f.disconnects);
+        assert!(f.duplicates_dropped > 0);
+        assert_eq!(gaps, 0, "full overlap leaves no gaps");
+        assert_eq!(got, expected, "dedup + reorder healing restore the log");
+    }
+
+    #[test]
+    fn zero_overlap_reports_gaps_covering_every_lost_tweet() {
+        let clock = VirtualClock::new();
+        let api = api(Arc::clone(&clock));
+        let filter = FilterSpec::Sample(1.0);
+        let expected = baseline_ids(&api, filter.clone());
+        let mut plan = FaultPlan::chaos(5);
+        plan.disconnect_rate = 0.004;
+        let policy = RetryPolicy {
+            replay_overlap: Duration::ZERO,
+            ..RetryPolicy::default()
+        };
+        let mut src = SupervisedSource::new(api.clone(), filter, Some(plan), policy, 9);
+        let mut got = Vec::new();
+        let mut gap_events: Vec<(Timestamp, Timestamp)> = Vec::new();
+        for e in src.by_ref() {
+            match e {
+                SourceEvent::Tweet(t) => got.push(t),
+                SourceEvent::Gap { from, to } => gap_events.push((from, to)),
+            }
+        }
+        let f = src.fault_stats();
+        assert!(f.disconnects >= 1);
+        assert_eq!(gap_events, f.gaps);
+        assert!(!gap_events.is_empty(), "no overlap ⇒ losses become gaps");
+        // Every baseline tweet either arrived or falls inside a gap.
+        let got_ids: HashSet<u64> = got.iter().map(|t| t.id).collect();
+        let by_id: std::collections::HashMap<u64, Timestamp> = api
+            .ground_truth()
+            .iter()
+            .map(|t| (t.id, t.created_at))
+            .collect();
+        for id in &expected {
+            if !got_ids.contains(id) {
+                let ts = by_id[id];
+                assert!(
+                    gap_events.iter().any(|&(from, to)| ts >= from && ts < to),
+                    "lost tweet {id} at {ts:?} not covered by any gap {gap_events:?}"
+                );
+            }
+        }
+        // No duplicates in the output.
+        assert_eq!(got_ids.len(), got.len());
+    }
+
+    #[test]
+    fn gives_up_after_max_attempts_and_flags_the_tail() {
+        let api = api(VirtualClock::new());
+        let mut plan = FaultPlan::chaos(2);
+        plan.disconnect_rate = 1.0; // every delivery attempt drops
+        plan.max_disconnects = 100;
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        let mut src =
+            SupervisedSource::new(api.clone(), FilterSpec::Sample(1.0), Some(plan), policy, 4);
+        let events: Vec<SourceEvent> = src.by_ref().collect();
+        let f = src.fault_stats();
+        assert!(f.gave_up);
+        assert_eq!(f.disconnects, 4, "initial + 3 retries");
+        let last_gap = events.iter().rev().find_map(|e| match e {
+            SourceEvent::Gap { from, to } => Some((*from, *to)),
+            _ => None,
+        });
+        let (_, to) = last_gap.expect("terminal gap marker");
+        let log_last = api.ground_truth().last().unwrap().created_at;
+        assert_eq!(to, log_last + Duration::from_millis(1));
+    }
+
+    #[test]
+    fn backoff_advances_the_virtual_clock_deterministically() {
+        let run = |seed: u64| {
+            let clock = VirtualClock::new();
+            let api = api(Arc::clone(&clock));
+            let mut src = SupervisedSource::new(
+                api,
+                FilterSpec::Sample(1.0),
+                Some(FaultPlan::chaos(8)),
+                heal_all_policy(),
+                seed,
+            );
+            for _ in src.by_ref() {}
+            (src.fault_stats().backoff_total, clock.now())
+        };
+        let (b1, c1) = run(42);
+        let (b2, c2) = run(42);
+        assert_eq!(b1, b2);
+        assert_eq!(c1, c2);
+        assert!(b1 > Duration::ZERO);
+        let (b3, _) = run(43);
+        assert_ne!(b1, b3, "jitter differs by seed");
+    }
+}

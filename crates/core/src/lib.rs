@@ -6,7 +6,7 @@
 //! library.
 //!
 //! ```
-//! use tweeql::engine::{Engine, EngineConfig};
+//! use tweeql::engine::Engine;
 //! use tweeql_firehose::{scenarios, generate, StreamingApi};
 //! use tweeql_model::VirtualClock;
 //!
@@ -15,9 +15,9 @@
 //! scenario.bursts.clear();
 //! scenario.population_size = 200;
 //! let clock = VirtualClock::new();
-//! let api = StreamingApi::new(generate(&scenario, 42), clock.clone());
+//! let api = StreamingApi::new(generate(&scenario, 42), clock);
 //!
-//! let mut engine = Engine::new(EngineConfig::default(), api, clock);
+//! let mut engine = Engine::builder(api).build();
 //! let result = engine
 //!     .execute("SELECT text FROM twitter WHERE text contains 'manchester' LIMIT 5")
 //!     .unwrap();
@@ -44,6 +44,7 @@
 pub mod ast;
 pub mod catalog;
 pub mod check;
+pub mod compat;
 pub mod engine;
 pub mod error;
 pub mod exec;
@@ -55,5 +56,5 @@ pub mod selectivity;
 pub mod sink;
 pub mod udf;
 
-pub use engine::{Engine, EngineConfig, QueryResult};
+pub use engine::{Diagnostics, Engine, EngineBuilder, EngineConfig, Explanation, QueryResult};
 pub use error::QueryError;

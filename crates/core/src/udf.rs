@@ -4,10 +4,13 @@
 
 use crate::error::QueryError;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
-use tweeql_geo::cache::CacheStats;
-use tweeql_geo::geocoder::{CachingGeocoder, GazetteerGeocoder, Geocoder, SimulatedRemoteGeocoder};
+use tweeql_geo::breaker::{BreakerConfig, CircuitBreaker, ServiceHealth};
+use tweeql_geo::cache::{CacheStats, LruCache};
+use tweeql_geo::geocoder::{
+    GazetteerGeocoder, GeocodeResult, Geocoder, RemoteError, SimulatedRemoteGeocoder,
+};
 use tweeql_geo::latency::LatencyModel;
 use tweeql_model::{Duration, Timestamp, Value, VirtualClock};
 use tweeql_text::sentiment::{LexiconClassifier, SentimentClassifier};
@@ -45,6 +48,10 @@ pub trait AsyncUdf: Send {
     fn cache_stats(&self) -> Option<CacheStats> {
         None
     }
+    /// Health counters of the backing remote service, when there is one.
+    fn health(&self) -> Option<ServiceHealth> {
+        None
+    }
 }
 
 /// Factory for per-query stateful UDF instances.
@@ -67,6 +74,13 @@ pub struct ServiceConfig {
     pub failure_rate: f64,
     /// RNG seed for latency/failures.
     pub seed: u64,
+    /// Abort requests whose modeled latency exceeds this (None = wait
+    /// forever, the pre-fault-tolerance behaviour).
+    pub timeout: Option<Duration>,
+    /// Retries after a failed/timed-out request (0 = degrade at once).
+    pub retries: u32,
+    /// Per-service circuit-breaker parameters.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for ServiceConfig {
@@ -78,6 +92,9 @@ impl Default for ServiceConfig {
             batch_per_item: Duration::from_millis(5),
             failure_rate: 0.0,
             seed: 0x5EED,
+            timeout: None,
+            retries: 0,
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -224,68 +241,195 @@ impl ScalarUdf for SentimentUdf {
 // ---------------------------------------------------------------------
 // latitude(loc) / longitude(loc) over one shared geocoding service
 
+/// Shared mutable state behind the engine's geocoding service: the
+/// simulated remote, the LRU cache, and the fault-tolerance layer
+/// (circuit breaker + health counters). The cache sits *outside* the
+/// failure path on purpose: a timed-out or short-circuited request must
+/// never poison the cache with a transient NULL.
+struct GeoInner {
+    remote: SimulatedRemoteGeocoder<GazetteerGeocoder>,
+    cache: LruCache<String, Option<GeocodeResult>>,
+    breaker: CircuitBreaker,
+    health: ServiceHealth,
+}
+
+impl GeoInner {
+    fn refresh_health(&mut self) {
+        self.health.state = self.breaker.state();
+        self.health.breaker_opens = self.breaker.opens();
+    }
+}
+
 /// One shared, caching, batching, latency-modeled geocoding service per
 /// engine — so `latitude(loc)` and `longitude(loc)` in the same query
-/// hit a common cache, exactly the §2 caching story.
+/// hit a common cache, exactly the §2 caching story. Requests run
+/// behind a timeout, bounded retries, and a circuit breaker; when the
+/// service is unavailable results degrade to cached-or-NULL.
 #[derive(Clone)]
 pub struct SharedGeoService {
-    inner: Arc<Mutex<CachingGeocoder<SimulatedRemoteGeocoder<GazetteerGeocoder>>>>,
+    inner: Arc<Mutex<GeoInner>>,
     cache_disabled: bool,
+    retries: u32,
 }
 
 impl SharedGeoService {
     /// Build from config.
     pub fn new(config: &ServiceConfig, clock: Arc<VirtualClock>) -> SharedGeoService {
-        let remote = SimulatedRemoteGeocoder::with_model(
+        let mut remote = SimulatedRemoteGeocoder::with_model(
             GazetteerGeocoder::new(),
-            clock,
+            Arc::clone(&clock),
             config.latency.clone(),
             config.seed,
         )
         .with_failure_rate(config.failure_rate)
         .with_batching(config.max_batch.max(1), config.batch_per_item);
-        let cache_disabled = config.cache_capacity == 0;
+        if let Some(timeout) = config.timeout {
+            remote = remote.with_timeout(timeout);
+        }
         SharedGeoService {
-            inner: Arc::new(Mutex::new(CachingGeocoder::new(
+            inner: Arc::new(Mutex::new(GeoInner {
                 remote,
-                config.cache_capacity.max(1),
-            ))),
-            cache_disabled,
+                cache: LruCache::new(config.cache_capacity.max(1)),
+                breaker: CircuitBreaker::new(config.breaker.clone(), clock),
+                health: ServiceHealth::default(),
+            })),
+            cache_disabled: config.cache_capacity == 0,
+            retries: config.retries,
         }
     }
 
-    /// Geocode a batch of location strings.
+    /// Geocode a batch of location strings: cache hits first, then the
+    /// distinct misses in `max_batch`-sized requests through the
+    /// breaker/retry layer. Unavailable chunks degrade to NULL and are
+    /// NOT cached.
     pub fn geocode_batch(&self, locs: &[&str]) -> Vec<Option<tweeql_geo::GeoPoint>> {
-        let mut g = self.inner.lock();
+        let mut guard = self.inner.lock();
+        let g = &mut *guard;
+        let keys: Vec<String> = locs.iter().map(|l| l.trim().to_lowercase()).collect();
+        let mut out: Vec<Option<Option<GeocodeResult>>> = vec![None; locs.len()];
+        let mut misses: Vec<usize> = Vec::new();
         if self.cache_disabled {
-            // Bypass the cache layer but keep the remote's batch
-            // endpoint: ask the remote directly.
-            return g
-                .inner_mut()
-                .geocode_batch(locs)
-                .into_iter()
-                .map(|r| r.map(|g| g.point))
-                .collect();
+            misses.extend(0..locs.len());
+        } else {
+            for (i, key) in keys.iter().enumerate() {
+                match g.cache.get(key.as_str()) {
+                    Some(hit) => out[i] = Some(hit),
+                    None => misses.push(i),
+                }
+            }
         }
-        g.geocode_batch(locs)
-            .into_iter()
-            .map(|r| r.map(|g| g.point))
+        // With a cache, each distinct key is fetched once; without one
+        // every slot is its own request item (preserving per-call
+        // request counts).
+        let distinct: Vec<usize> = if self.cache_disabled {
+            misses.clone()
+        } else {
+            let mut d: Vec<usize> = Vec::new();
+            for &i in &misses {
+                if !d.iter().any(|&j| keys[j] == keys[i]) {
+                    d.push(i);
+                }
+            }
+            d
+        };
+
+        let max_batch = g.remote.max_batch();
+        let mut fetched: Vec<Option<Option<GeocodeResult>>> = vec![None; distinct.len()];
+        let mut degraded_keys: HashSet<&str> = HashSet::new();
+        let mut pos = 0;
+        while pos < distinct.len() {
+            let end = (pos + max_batch).min(distinct.len());
+            let chunk: Vec<&str> = distinct[pos..end].iter().map(|&i| locs[i]).collect();
+            if !g.breaker.allow() {
+                g.health.short_circuits += 1;
+                if self.cache_disabled {
+                    g.health.degraded_rows += (end - pos) as u64;
+                } else {
+                    degraded_keys.extend(distinct[pos..end].iter().map(|&i| keys[i].as_str()));
+                }
+                pos = end;
+                continue;
+            }
+            let mut attempt = 0;
+            loop {
+                g.health.requests += 1;
+                match g.remote.try_request(&chunk) {
+                    Ok(results) => {
+                        g.breaker.on_success();
+                        for (slot, res) in (pos..end).zip(results) {
+                            fetched[slot] = Some(res);
+                        }
+                        break;
+                    }
+                    Err(e) => {
+                        g.health.failures += 1;
+                        if e == RemoteError::Timeout {
+                            g.health.timeouts += 1;
+                        }
+                        g.breaker.on_failure();
+                        if attempt < self.retries && g.breaker.allow() {
+                            attempt += 1;
+                            g.health.retries += 1;
+                        } else {
+                            if self.cache_disabled {
+                                g.health.degraded_rows += (end - pos) as u64;
+                            } else {
+                                degraded_keys
+                                    .extend(distinct[pos..end].iter().map(|&i| keys[i].as_str()));
+                            }
+                            break;
+                        }
+                    }
+                }
+            }
+            pos = end;
+        }
+
+        // Write back: cache successful lookups (negatives included —
+        // unresolvable repeats just as often), fill output slots.
+        for (slot, &i) in distinct.iter().enumerate() {
+            if let Some(res) = fetched[slot].take() {
+                if self.cache_disabled {
+                    out[i] = Some(res);
+                } else {
+                    g.cache.put(keys[i].clone(), res);
+                }
+            }
+        }
+        if !self.cache_disabled {
+            for &i in &misses {
+                if degraded_keys.contains(keys[i].as_str()) {
+                    g.health.degraded_rows += 1;
+                }
+                out[i] = Some(g.cache.get(keys[i].as_str()).unwrap_or(None));
+            }
+        }
+        g.refresh_health();
+        out.into_iter()
+            .map(|o| o.flatten().map(|r| r.point))
             .collect()
     }
 
     /// Remote requests issued.
     pub fn requests_issued(&self) -> u64 {
-        self.inner.lock().requests_issued()
+        self.inner.lock().remote.requests_issued()
     }
 
     /// Modeled service latency.
     pub fn modeled_service_time(&self) -> Duration {
-        self.inner.lock().modeled_service_time()
+        self.inner.lock().remote.modeled_service_time()
     }
 
     /// Cache stats.
     pub fn cache_stats(&self) -> CacheStats {
-        self.inner.lock().cache_stats()
+        self.inner.lock().cache.stats()
+    }
+
+    /// Current health counters (breaker state refreshed).
+    pub fn health(&self) -> ServiceHealth {
+        let mut g = self.inner.lock();
+        g.refresh_health();
+        g.health
     }
 }
 
@@ -342,18 +486,27 @@ impl AsyncUdf for GeocodeUdf {
     fn cache_stats(&self) -> Option<CacheStats> {
         Some(self.service.cache_stats())
     }
+
+    fn health(&self) -> Option<ServiceHealth> {
+        Some(self.service.health())
+    }
 }
 
 // ---------------------------------------------------------------------
 // named_entities(text) — the OpenCalais stand-in
 
 /// `named_entities(text)`: dictionary NER behind the same simulated
-/// web-service latency as geocoding (the paper's OpenCalais UDF).
+/// web-service latency as geocoding (the paper's OpenCalais UDF), with
+/// the same timeout/retry/breaker protection.
 pub struct EntityUdf {
     sampler: tweeql_geo::latency::LatencySampler,
     clock: Arc<VirtualClock>,
     per_item: Duration,
     max_batch: usize,
+    timeout: Option<Duration>,
+    retries: u32,
+    breaker: CircuitBreaker,
+    health: ServiceHealth,
     requests: u64,
     service_ms: i64,
 }
@@ -366,12 +519,36 @@ impl EntityUdf {
                 config.latency.clone(),
                 config.seed.wrapping_add(17),
             ),
+            breaker: CircuitBreaker::new(config.breaker.clone(), Arc::clone(&clock)),
             clock,
             per_item: config.batch_per_item,
             max_batch: config.max_batch.max(1),
+            timeout: config.timeout,
+            retries: config.retries,
+            health: ServiceHealth::default(),
             requests: 0,
             service_ms: 0,
         }
+    }
+
+    /// Attempt one chunk round trip; false means timeout (the clock is
+    /// charged the timeout, not the full latency).
+    fn charge_chunk(&mut self, n: usize) -> bool {
+        self.requests += 1;
+        self.health.requests += 1;
+        let latency = self.sampler.sample() + self.per_item * (n as i64 - 1).max(0);
+        if let Some(timeout) = self.timeout {
+            if latency > timeout {
+                self.clock.advance(timeout);
+                self.service_ms += timeout.millis();
+                self.health.timeouts += 1;
+                self.health.failures += 1;
+                return false;
+            }
+        }
+        self.clock.advance(latency);
+        self.service_ms += latency.millis();
+        true
     }
 }
 
@@ -383,10 +560,33 @@ impl AsyncUdf for EntityUdf {
     fn call_batch(&mut self, batch: &[Vec<Value>]) -> Vec<Value> {
         let mut out = Vec::with_capacity(batch.len());
         for chunk in batch.chunks(self.max_batch) {
-            self.requests += 1;
-            let latency = self.sampler.sample() + self.per_item * (chunk.len() as i64 - 1).max(0);
-            self.clock.advance(latency);
-            self.service_ms += latency.millis();
+            if !self.breaker.allow() {
+                self.health.short_circuits += 1;
+                self.health.degraded_rows += chunk.len() as u64;
+                out.extend(chunk.iter().map(|_| Value::Null));
+                continue;
+            }
+            let mut ok = false;
+            let mut attempt = 0;
+            loop {
+                if self.charge_chunk(chunk.len()) {
+                    self.breaker.on_success();
+                    ok = true;
+                    break;
+                }
+                self.breaker.on_failure();
+                if attempt < self.retries && self.breaker.allow() {
+                    attempt += 1;
+                    self.health.retries += 1;
+                } else {
+                    break;
+                }
+            }
+            if !ok {
+                self.health.degraded_rows += chunk.len() as u64;
+                out.extend(chunk.iter().map(|_| Value::Null));
+                continue;
+            }
             for args in chunk {
                 let v = match args.first() {
                     Some(Value::Str(s)) => Value::List(
@@ -400,6 +600,8 @@ impl AsyncUdf for EntityUdf {
                 out.push(v);
             }
         }
+        self.health.state = self.breaker.state();
+        self.health.breaker_opens = self.breaker.opens();
         out
     }
 
@@ -409,6 +611,13 @@ impl AsyncUdf for EntityUdf {
 
     fn modeled_service_time(&self) -> Duration {
         Duration::from_millis(self.service_ms)
+    }
+
+    fn health(&self) -> Option<ServiceHealth> {
+        let mut h = self.health;
+        h.state = self.breaker.state();
+        h.breaker_opens = self.breaker.opens();
+        Some(h)
     }
 }
 
@@ -523,6 +732,134 @@ mod tests {
         }
         assert_eq!(udf.requests_issued(), 1);
         assert!(clock.now().millis() >= 150);
+    }
+
+    #[test]
+    fn transient_failures_degrade_to_null_and_are_not_cached() {
+        let clock = VirtualClock::new();
+        let cfg = ServiceConfig {
+            latency: LatencyModel::Constant(Duration::from_millis(10)),
+            failure_rate: 1.0,
+            ..ServiceConfig::default()
+        };
+        let svc = SharedGeoService::new(&cfg, clock);
+        assert_eq!(svc.geocode_batch(&["tokyo"]), vec![None]);
+        // The failure was NOT cached as a negative entry: the next call
+        // issues a fresh request instead of replaying a transient NULL.
+        svc.geocode_batch(&["tokyo"]);
+        assert_eq!(svc.requests_issued(), 2);
+        let h = svc.health();
+        assert_eq!(h.failures, 2);
+        assert_eq!(h.degraded_rows, 2);
+    }
+
+    #[test]
+    fn breaker_opens_and_short_circuits_under_total_failure() {
+        let clock = VirtualClock::new();
+        let cfg = ServiceConfig {
+            latency: LatencyModel::Constant(Duration::from_millis(10)),
+            failure_rate: 1.0,
+            breaker: BreakerConfig {
+                failure_threshold: 3,
+                cooldown: Duration::from_mins(60),
+                half_open_trials: 1,
+            },
+            ..ServiceConfig::default()
+        };
+        let svc = SharedGeoService::new(&cfg, clock);
+        for _ in 0..10 {
+            assert_eq!(svc.geocode_batch(&["tokyo"]), vec![None]);
+        }
+        let h = svc.health();
+        assert_eq!(h.state, tweeql_geo::breaker::BreakerState::Open);
+        assert_eq!(h.breaker_opens, 1);
+        // Three failures tripped it; the remaining seven short-circuited
+        // without touching the service.
+        assert_eq!(svc.requests_issued(), 3);
+        assert_eq!(h.short_circuits, 7);
+        assert_eq!(h.degraded_rows, 10);
+    }
+
+    #[test]
+    fn breaker_recovers_after_cooldown() {
+        let clock = VirtualClock::new();
+        let cfg = ServiceConfig {
+            latency: LatencyModel::Constant(Duration::from_millis(10)),
+            timeout: Some(Duration::from_millis(5)), // everything times out
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                cooldown: Duration::from_secs(30),
+                half_open_trials: 1,
+            },
+            ..ServiceConfig::default()
+        };
+        let svc = SharedGeoService::new(&cfg, Arc::clone(&clock));
+        svc.geocode_batch(&["tokyo"]);
+        svc.geocode_batch(&["nyc"]);
+        assert_eq!(svc.health().state, tweeql_geo::breaker::BreakerState::Open);
+        assert!(svc.health().timeouts >= 2);
+        clock.advance(Duration::from_secs(30));
+        // Cooldown elapsed: the next call is allowed through (and times
+        // out again, re-opening the breaker).
+        let before = svc.requests_issued();
+        svc.geocode_batch(&["london"]);
+        assert_eq!(svc.requests_issued(), before + 1);
+        assert_eq!(svc.health().breaker_opens, 2);
+    }
+
+    #[test]
+    fn retries_rescue_a_flaky_service() {
+        let clock = VirtualClock::new();
+        let cfg = ServiceConfig {
+            latency: LatencyModel::Constant(Duration::from_millis(10)),
+            failure_rate: 0.5,
+            retries: 3,
+            breaker: BreakerConfig {
+                failure_threshold: 100,
+                ..BreakerConfig::default()
+            },
+            ..ServiceConfig::default()
+        };
+        let svc = SharedGeoService::new(&cfg, clock);
+        let mut resolved = 0;
+        let cities = ["tokyo", "nyc", "london", "boston", "paris", "berlin"];
+        for (i, city) in cities.iter().cycle().take(40).enumerate() {
+            // Vary the raw string so every call is a fresh cache miss.
+            let loc = format!("{} {}", " ".repeat(i % 3), city);
+            if svc.geocode_batch(&[&loc, city])[1].is_some() {
+                resolved += 1;
+            }
+        }
+        assert!(resolved >= 30, "retries make success likely: {resolved}");
+        assert!(svc.health().retries > 0);
+    }
+
+    #[test]
+    fn entity_udf_timeout_degrades_to_null_and_trips_breaker() {
+        let clock = VirtualClock::new();
+        let cfg = ServiceConfig {
+            latency: LatencyModel::Constant(Duration::from_millis(400)),
+            timeout: Some(Duration::from_millis(200)),
+            max_batch: 1,
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                cooldown: Duration::from_mins(60),
+                half_open_trials: 1,
+            },
+            ..ServiceConfig::default()
+        };
+        let mut udf = EntityUdf::new(&cfg, Arc::clone(&clock));
+        let args: Vec<Vec<Value>> = (0..5)
+            .map(|i| vec![Value::Str(format!("obama news {i}").into())])
+            .collect();
+        let out = udf.call_batch(&args);
+        assert!(out.iter().all(|v| *v == Value::Null));
+        let h = udf.health().unwrap();
+        assert_eq!(h.timeouts, 2, "breaker opened after 2 timeouts");
+        assert_eq!(h.short_circuits, 3);
+        assert_eq!(h.state, tweeql_geo::breaker::BreakerState::Open);
+        // Each timed-out request charged exactly the timeout.
+        assert_eq!(clock.now().millis(), 400);
     }
 
     #[test]

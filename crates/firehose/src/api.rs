@@ -158,11 +158,19 @@ impl StreamingApi {
 
     /// Open a streaming connection with exactly one filter.
     pub fn connect(&self, filter: FilterSpec) -> Connection {
+        self.connect_at(filter, Timestamp::ZERO)
+    }
+
+    /// Open a connection whose stream starts at log time `from` — the
+    /// reconnect primitive: a supervisor resubscribing after a
+    /// disconnect asks for the stream from just before the drop.
+    pub fn connect_at(&self, filter: FilterSpec, from: Timestamp) -> Connection {
+        let pos = self.tweets.partition_point(|t| t.created_at < from);
         Connection {
             tweets: Arc::clone(&self.tweets),
             clock: Arc::clone(&self.clock),
             filter: CompiledFilter::compile(&filter),
-            pos: 0,
+            pos,
             stats: ConnectionStats::default(),
             cap_per_min: self.delivery_cap_per_min,
             window_start: Timestamp::ZERO,

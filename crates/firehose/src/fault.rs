@@ -1,0 +1,431 @@
+//! Deterministic, seeded fault injection for streaming connections.
+//!
+//! The real 2011 streaming API dropped connections, stalled, delivered
+//! duplicates across reconnects, reordered under load, and occasionally
+//! shipped malformed payloads. [`FaultyConnection`] wraps any
+//! [`StreamConnection`] and injects those faults at configurable rates
+//! from a seeded RNG, so chaos tests are exactly reproducible: the same
+//! `FaultPlan` seed yields the same fault sequence every run.
+
+use crate::api::{Connection, ConnectionStats};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use tweeql_model::{Duration, Tweet, VirtualClock};
+
+/// A fault surfaced to the consumer mid-stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamFault {
+    /// The connection dropped; no further tweets until a reconnect.
+    Disconnect,
+    /// One payload arrived malformed and was discarded. The connection
+    /// itself is still healthy.
+    Malformed,
+}
+
+impl std::fmt::Display for StreamFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamFault::Disconnect => write!(f, "connection dropped"),
+            StreamFault::Malformed => write!(f, "malformed payload"),
+        }
+    }
+}
+
+/// A streaming connection whose delivery can fail — the seam the
+/// fault-injection layer and the supervisor both plug into.
+pub trait StreamConnection: Send {
+    /// Next delivery: a tweet, end-of-stream, or a fault.
+    fn try_next(&mut self) -> Result<Option<Tweet>, StreamFault>;
+
+    /// Delivery statistics so far.
+    fn stats(&self) -> ConnectionStats;
+}
+
+/// A plain [`Connection`] never faults.
+impl StreamConnection for Connection {
+    fn try_next(&mut self) -> Result<Option<Tweet>, StreamFault> {
+        Ok(self.next())
+    }
+
+    fn stats(&self) -> ConnectionStats {
+        Connection::stats(self)
+    }
+}
+
+/// Rates and parameters for deterministic fault injection. All rates
+/// are per delivered tweet, in `[0, 1]`.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// RNG seed; with the reconnect epoch it fully determines the
+    /// fault sequence.
+    pub seed: u64,
+    /// Probability a delivery drops the connection instead.
+    pub disconnect_rate: f64,
+    /// Hard cap on total injected disconnects across all reconnect
+    /// epochs (so a run terminates).
+    pub max_disconnects: u32,
+    /// Probability a delivery first stalls the stream.
+    pub stall_rate: f64,
+    /// How long each stall lasts (virtual time).
+    pub stall: Duration,
+    /// Probability a delivered tweet is re-delivered right after.
+    pub duplicate_rate: f64,
+    /// Probability a delivered tweet swaps with its successor.
+    pub reorder_rate: f64,
+    /// Probability a malformed payload precedes a delivery.
+    pub malformed_rate: f64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as an explicit baseline).
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            disconnect_rate: 0.0,
+            max_disconnects: 0,
+            stall_rate: 0.0,
+            stall: Duration::ZERO,
+            duplicate_rate: 0.0,
+            reorder_rate: 0.0,
+            malformed_rate: 0.0,
+        }
+    }
+
+    /// A representative chaos mix: rare disconnects and stalls, a
+    /// sprinkle of duplicates, reorders, and malformed payloads.
+    pub fn chaos(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            disconnect_rate: 0.002,
+            max_disconnects: 8,
+            stall_rate: 0.001,
+            stall: Duration::from_secs(2),
+            duplicate_rate: 0.01,
+            reorder_rate: 0.01,
+            malformed_rate: 0.005,
+        }
+    }
+
+    /// Does this plan inject anything at all?
+    pub fn is_active(&self) -> bool {
+        self.disconnect_rate > 0.0
+            || self.stall_rate > 0.0
+            || self.duplicate_rate > 0.0
+            || self.reorder_rate > 0.0
+            || self.malformed_rate > 0.0
+    }
+}
+
+/// Counts of injected faults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Disconnects injected.
+    pub disconnects: u64,
+    /// Stalls injected.
+    pub stalls: u64,
+    /// Duplicate deliveries injected.
+    pub duplicates: u64,
+    /// Adjacent-pair reorders injected.
+    pub reorders: u64,
+    /// Malformed payloads injected.
+    pub malformed: u64,
+}
+
+impl FaultStats {
+    /// Sum another epoch's counts into this one.
+    pub fn absorb(&mut self, other: &FaultStats) {
+        self.disconnects += other.disconnects;
+        self.stalls += other.stalls;
+        self.duplicates += other.duplicates;
+        self.reorders += other.reorders;
+        self.malformed += other.malformed;
+    }
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Wraps a [`StreamConnection`] and injects the plan's faults.
+///
+/// One `FaultyConnection` covers one connection epoch: after it reports
+/// [`StreamFault::Disconnect`] it is dead, and the supervisor opens a
+/// fresh one (with `epoch + 1`) on reconnect.
+pub struct FaultyConnection<C: StreamConnection> {
+    inner: C,
+    plan: FaultPlan,
+    clock: Arc<VirtualClock>,
+    rng: StdRng,
+    /// Deliveries queued by duplicate/reorder/malformed injection.
+    queue: VecDeque<Result<Tweet, StreamFault>>,
+    /// Disconnects this epoch may still inject.
+    disconnect_budget: u32,
+    dead: bool,
+    stats: FaultStats,
+}
+
+impl<C: StreamConnection> FaultyConnection<C> {
+    /// Wrap `inner` for reconnect epoch `epoch`, allowed to inject at
+    /// most `disconnect_budget` further disconnects.
+    pub fn new(
+        inner: C,
+        plan: FaultPlan,
+        clock: Arc<VirtualClock>,
+        epoch: u64,
+        disconnect_budget: u32,
+    ) -> FaultyConnection<C> {
+        let rng = StdRng::seed_from_u64(plan.seed ^ splitmix(epoch));
+        FaultyConnection {
+            inner,
+            plan,
+            clock,
+            rng,
+            queue: VecDeque::new(),
+            disconnect_budget,
+            dead: false,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Faults injected by this epoch.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    fn roll(&mut self, rate: f64) -> bool {
+        rate > 0.0 && self.rng.random_range(0.0..1.0) < rate
+    }
+}
+
+impl<C: StreamConnection> StreamConnection for FaultyConnection<C> {
+    fn try_next(&mut self) -> Result<Option<Tweet>, StreamFault> {
+        if let Some(queued) = self.queue.pop_front() {
+            return queued.map(Some);
+        }
+        if self.dead {
+            return Err(StreamFault::Disconnect);
+        }
+        let t = match self.inner.try_next()? {
+            Some(t) => t,
+            None => return Ok(None),
+        };
+        if self.disconnect_budget > 0 && self.roll(self.plan.disconnect_rate) {
+            // The in-flight tweet is lost with the connection — exactly
+            // the data loss a reconnect gap marker must cover.
+            self.dead = true;
+            self.disconnect_budget -= 1;
+            self.stats.disconnects += 1;
+            return Err(StreamFault::Disconnect);
+        }
+        if self.roll(self.plan.stall_rate) {
+            self.clock.advance(self.plan.stall);
+            self.stats.stalls += 1;
+        }
+        if self.roll(self.plan.malformed_rate) {
+            // Garbage arrives first; the real tweet follows intact.
+            self.queue.push_back(Ok(t));
+            self.stats.malformed += 1;
+            return Err(StreamFault::Malformed);
+        }
+        if self.roll(self.plan.reorder_rate) {
+            // Swap with the successor when there is one.
+            match self.inner.try_next() {
+                Ok(Some(u)) => {
+                    self.queue.push_back(Ok(t));
+                    self.stats.reorders += 1;
+                    return Ok(Some(u));
+                }
+                Ok(None) => {}
+                Err(f) => {
+                    if f == StreamFault::Disconnect {
+                        self.dead = true;
+                    }
+                    self.queue.push_back(Err(f));
+                }
+            }
+        }
+        if self.roll(self.plan.duplicate_rate) {
+            self.queue.push_back(Ok(t.clone()));
+            self.stats.duplicates += 1;
+        }
+        Ok(Some(t))
+    }
+
+    fn stats(&self) -> ConnectionStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{FilterSpec, StreamingApi};
+    use crate::scenario::{Scenario, Topic};
+    use tweeql_model::Clock;
+
+    fn api() -> StreamingApi {
+        let s = Scenario {
+            name: "fault-test".into(),
+            duration: Duration::from_mins(10),
+            background_rate_per_min: 120.0,
+            topics: vec![Topic::new("obama", vec!["obama"], 30.0)],
+            bursts: vec![],
+            geotag_rate: 0.5,
+            population_size: 300,
+        };
+        StreamingApi::new(crate::generator::generate(&s, 7), VirtualClock::new())
+    }
+
+    fn drain<C: StreamConnection>(mut c: C) -> (Vec<u64>, Vec<StreamFault>) {
+        let mut ids = Vec::new();
+        let mut faults = Vec::new();
+        loop {
+            match c.try_next() {
+                Ok(Some(t)) => ids.push(t.id),
+                Ok(None) => break,
+                Err(StreamFault::Disconnect) => {
+                    faults.push(StreamFault::Disconnect);
+                    break;
+                }
+                Err(f) => faults.push(f),
+            }
+        }
+        (ids, faults)
+    }
+
+    #[test]
+    fn inactive_plan_is_transparent() {
+        let api = api();
+        let baseline: Vec<u64> = api.connect(FilterSpec::Sample(1.0)).map(|t| t.id).collect();
+        let fc = FaultyConnection::new(
+            api.connect(FilterSpec::Sample(1.0)),
+            FaultPlan::none(),
+            api.clock(),
+            0,
+            0,
+        );
+        let (ids, faults) = drain(fc);
+        assert_eq!(ids, baseline);
+        assert!(faults.is_empty());
+    }
+
+    #[test]
+    fn faults_are_deterministic_per_seed_and_epoch() {
+        let api = api();
+        let run = |epoch: u64| {
+            let fc = FaultyConnection::new(
+                api.connect(FilterSpec::Sample(1.0)),
+                FaultPlan::chaos(99),
+                api.clock(),
+                epoch,
+                8,
+            );
+            drain(fc)
+        };
+        assert_eq!(run(0), run(0));
+        assert_ne!(run(0).0, run(1).0, "epochs must differ");
+    }
+
+    #[test]
+    fn disconnect_respects_budget_and_kills_connection() {
+        let api = api();
+        let mut plan = FaultPlan::chaos(3);
+        plan.disconnect_rate = 1.0; // drop on the very first delivery
+        let mut fc = FaultyConnection::new(
+            api.connect(FilterSpec::Sample(1.0)),
+            plan.clone(),
+            api.clock(),
+            0,
+            1,
+        );
+        assert_eq!(fc.try_next(), Err(StreamFault::Disconnect));
+        // Dead stays dead.
+        assert_eq!(fc.try_next(), Err(StreamFault::Disconnect));
+        assert_eq!(fc.fault_stats().disconnects, 1);
+
+        // Zero budget: same plan never disconnects.
+        let fc2 = FaultyConnection::new(
+            api.connect(FilterSpec::Sample(1.0)),
+            plan,
+            api.clock(),
+            0,
+            0,
+        );
+        let (_, faults) = drain(fc2);
+        assert!(!faults.contains(&StreamFault::Disconnect));
+    }
+
+    #[test]
+    fn duplicates_and_reorders_preserve_the_id_multiset_superset() {
+        let api = api();
+        let baseline: Vec<u64> = api.connect(FilterSpec::Sample(1.0)).map(|t| t.id).collect();
+        let mut plan = FaultPlan::chaos(42);
+        plan.disconnect_rate = 0.0;
+        plan.malformed_rate = 0.0;
+        plan.stall_rate = 0.0;
+        let fc = FaultyConnection::new(
+            api.connect(FilterSpec::Sample(1.0)),
+            plan,
+            api.clock(),
+            0,
+            0,
+        );
+        let (ids, faults) = drain(fc);
+        assert!(faults.is_empty());
+        // Every baseline tweet still arrives; duplicates only add.
+        let mut dedup: Vec<u64> = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        let mut base_sorted = baseline.clone();
+        base_sorted.sort_unstable();
+        assert_eq!(dedup, base_sorted);
+        assert!(ids.len() > baseline.len(), "duplicates injected");
+        assert_ne!(ids[..baseline.len()], baseline[..], "reorders injected");
+    }
+
+    #[test]
+    fn malformed_payloads_do_not_lose_tweets() {
+        let api = api();
+        let baseline: Vec<u64> = api.connect(FilterSpec::Sample(1.0)).map(|t| t.id).collect();
+        let mut plan = FaultPlan::none();
+        plan.seed = 5;
+        plan.malformed_rate = 0.2;
+        let fc = FaultyConnection::new(
+            api.connect(FilterSpec::Sample(1.0)),
+            plan,
+            api.clock(),
+            0,
+            0,
+        );
+        let (ids, faults) = drain(fc);
+        assert_eq!(ids, baseline, "garbage precedes, never replaces");
+        assert!(faults.iter().all(|f| *f == StreamFault::Malformed));
+        assert!(!faults.is_empty());
+    }
+
+    #[test]
+    fn stalls_advance_the_virtual_clock() {
+        let api = api();
+        let mut plan = FaultPlan::none();
+        plan.seed = 11;
+        plan.stall_rate = 1.0;
+        plan.stall = Duration::from_secs(3);
+        let mut fc = FaultyConnection::new(
+            api.connect(FilterSpec::Sample(1.0)),
+            plan,
+            api.clock(),
+            0,
+            0,
+        );
+        let before = api.clock().now();
+        let t = fc.try_next().unwrap().unwrap();
+        assert!(api.clock().now() >= t.created_at + Duration::from_secs(3));
+        assert!(api.clock().now() > before);
+        assert_eq!(fc.fault_stats().stalls, 1);
+    }
+}

@@ -27,6 +27,7 @@
 //!   so expensive scenarios can be generated once and replayed.
 
 pub mod api;
+pub mod fault;
 pub mod generator;
 pub mod population;
 pub mod replay;
@@ -35,6 +36,7 @@ pub mod scenarios;
 pub mod textgen;
 
 pub use api::{FilterSpec, StreamingApi};
+pub use fault::{FaultPlan, FaultStats, FaultyConnection, StreamConnection, StreamFault};
 pub use generator::generate;
 pub use population::Population;
 pub use scenario::{Burst, Scenario, Topic};

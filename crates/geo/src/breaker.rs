@@ -1,0 +1,297 @@
+//! Per-service circuit breaker and health counters.
+//!
+//! High-latency web-service UDFs (geocoding, entity extraction) can fail
+//! or time out. Retrying a dead service on every tuple wastes the stream
+//! budget and inflates the virtual clock; the classic remedy is a
+//! circuit breaker: after `failure_threshold` consecutive failures the
+//! breaker *opens* and calls short-circuit to a degraded result
+//! (cached-or-NULL) without touching the service. After a cooldown on
+//! the [`VirtualClock`] the breaker lets a few *half-open* trial
+//! requests through; if they succeed it closes, otherwise it re-opens.
+//!
+//! Everything here is deterministic: state transitions are driven by the
+//! virtual clock, never wall time.
+
+use std::sync::Arc;
+use tweeql_model::{Clock, Duration, Timestamp, VirtualClock};
+
+/// Breaker state machine: `Closed → Open → HalfOpen → {Closed, Open}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BreakerState {
+    /// Normal operation; requests flow to the service.
+    #[default]
+    Closed,
+    /// Too many consecutive failures; requests short-circuit.
+    Open,
+    /// Cooldown elapsed; a bounded number of trial requests probe the
+    /// service.
+    HalfOpen,
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BreakerState::Closed => write!(f, "closed"),
+            BreakerState::Open => write!(f, "open"),
+            BreakerState::HalfOpen => write!(f, "half-open"),
+        }
+    }
+}
+
+/// Tunable breaker parameters.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Consecutive failures before the breaker trips open.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before probing (virtual time).
+    pub cooldown: Duration,
+    /// Successful half-open trials required to close again.
+    pub half_open_trials: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 5,
+            cooldown: Duration::from_secs(30),
+            half_open_trials: 2,
+        }
+    }
+}
+
+/// A single service's circuit breaker, driven by the virtual clock.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    clock: Arc<VirtualClock>,
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Timestamp,
+    trial_successes: u32,
+    opens: u64,
+}
+
+impl CircuitBreaker {
+    /// New breaker in the `Closed` state.
+    pub fn new(config: BreakerConfig, clock: Arc<VirtualClock>) -> CircuitBreaker {
+        CircuitBreaker {
+            config,
+            clock,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at: Timestamp::ZERO,
+            trial_successes: 0,
+            opens: 0,
+        }
+    }
+
+    /// Current state (after accounting for cooldown expiry on `allow`).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// How many times the breaker has tripped open.
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+
+    /// May a request be issued right now? Transitions `Open → HalfOpen`
+    /// once the cooldown has elapsed on the virtual clock.
+    pub fn allow(&mut self) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                if self.clock.now() >= self.opened_at + self.config.cooldown {
+                    self.state = BreakerState::HalfOpen;
+                    self.trial_successes = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => true,
+        }
+    }
+
+    /// Record a successful request.
+    pub fn on_success(&mut self) {
+        match self.state {
+            BreakerState::Closed => self.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                self.trial_successes += 1;
+                if self.trial_successes >= self.config.half_open_trials {
+                    self.state = BreakerState::Closed;
+                    self.consecutive_failures = 0;
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Record a failed (or timed-out) request.
+    pub fn on_failure(&mut self) {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.config.failure_threshold {
+                    self.trip();
+                }
+            }
+            // A half-open trial failing re-opens immediately.
+            BreakerState::HalfOpen => self.trip(),
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&mut self) {
+        self.state = BreakerState::Open;
+        self.opened_at = self.clock.now();
+        self.consecutive_failures = 0;
+        self.trial_successes = 0;
+        self.opens += 1;
+    }
+}
+
+/// Health counters for one remote service, surfaced through `OpStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceHealth {
+    /// Requests attempted against the service (including retries).
+    pub requests: u64,
+    /// Requests that failed outright.
+    pub failures: u64,
+    /// Requests that exceeded the configured timeout.
+    pub timeouts: u64,
+    /// Retries issued after a failure/timeout.
+    pub retries: u64,
+    /// Calls short-circuited by an open breaker (no request issued).
+    pub short_circuits: u64,
+    /// Output rows degraded to NULL because the service was unavailable.
+    pub degraded_rows: u64,
+    /// Times the breaker tripped open.
+    pub breaker_opens: u64,
+    /// Breaker state at the time the snapshot was taken.
+    pub state: BreakerState,
+}
+
+impl ServiceHealth {
+    /// Merge another snapshot's counters into this one (for worker
+    /// stats folding). Takes the other's state: the merged-in snapshot
+    /// is the more recent one.
+    pub fn absorb(&mut self, other: &ServiceHealth) {
+        self.requests += other.requests;
+        self.failures += other.failures;
+        self.timeouts += other.timeouts;
+        self.retries += other.retries;
+        self.short_circuits += other.short_circuits;
+        self.degraded_rows += other.degraded_rows;
+        self.breaker_opens += other.breaker_opens;
+        self.state = other.state;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(clock: &Arc<VirtualClock>) -> CircuitBreaker {
+        CircuitBreaker::new(
+            BreakerConfig {
+                failure_threshold: 3,
+                cooldown: Duration::from_secs(10),
+                half_open_trials: 2,
+            },
+            Arc::clone(clock),
+        )
+    }
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let clock = VirtualClock::new();
+        let mut b = breaker(&clock);
+        b.on_failure();
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 1);
+        assert!(!b.allow());
+    }
+
+    #[test]
+    fn success_resets_consecutive_failures() {
+        let clock = VirtualClock::new();
+        let mut b = breaker(&clock);
+        b.on_failure();
+        b.on_failure();
+        b.on_success();
+        b.on_failure();
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn cooldown_moves_open_to_half_open_then_closed() {
+        let clock = VirtualClock::new();
+        let mut b = breaker(&clock);
+        for _ in 0..3 {
+            b.on_failure();
+        }
+        assert!(!b.allow());
+        clock.advance(Duration::from_secs(10));
+        assert!(b.allow());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow());
+    }
+
+    #[test]
+    fn half_open_failure_reopens() {
+        let clock = VirtualClock::new();
+        let mut b = breaker(&clock);
+        for _ in 0..3 {
+            b.on_failure();
+        }
+        clock.advance(Duration::from_secs(10));
+        assert!(b.allow());
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 2);
+        assert!(!b.allow());
+        // Re-opened breaker needs a fresh cooldown.
+        clock.advance(Duration::from_secs(10));
+        assert!(b.allow());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn health_absorb_sums_counters() {
+        let mut a = ServiceHealth {
+            requests: 10,
+            failures: 2,
+            timeouts: 1,
+            retries: 1,
+            short_circuits: 0,
+            degraded_rows: 3,
+            breaker_opens: 1,
+            state: BreakerState::Closed,
+        };
+        let b = ServiceHealth {
+            requests: 5,
+            failures: 1,
+            timeouts: 0,
+            retries: 0,
+            short_circuits: 4,
+            degraded_rows: 4,
+            breaker_opens: 0,
+            state: BreakerState::Open,
+        };
+        a.absorb(&b);
+        assert_eq!(a.requests, 15);
+        assert_eq!(a.degraded_rows, 7);
+        assert_eq!(a.short_circuits, 4);
+        assert_eq!(a.state, BreakerState::Open);
+    }
+}

@@ -25,6 +25,25 @@ pub struct GeocodeResult {
     pub canonical: String,
 }
 
+/// Why a remote request failed (as opposed to resolving to nothing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemoteError {
+    /// The request exceeded the configured timeout; the caller was
+    /// charged the timeout duration, not the (longer) modeled latency.
+    Timeout,
+    /// The service transiently failed the request.
+    Unavailable,
+}
+
+impl std::fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RemoteError::Timeout => write!(f, "request timed out"),
+            RemoteError::Unavailable => write!(f, "service unavailable"),
+        }
+    }
+}
+
 /// A geocoding service.
 pub trait Geocoder: Send {
     /// Resolve one free-text location. `None` when unresolvable or the
@@ -92,9 +111,13 @@ pub struct SimulatedRemoteGeocoder<G: Geocoder> {
     per_item: Duration,
     /// Max items per batch request.
     max_batch: usize,
+    /// Abort a request whose sampled latency exceeds this; the caller
+    /// is charged the timeout instead of the full latency.
+    timeout: Option<Duration>,
     requests: u64,
     service_time_ms: i64,
     failures: u64,
+    timeouts: u64,
     fail_seq: u64,
 }
 
@@ -113,11 +136,19 @@ impl<G: Geocoder> SimulatedRemoteGeocoder<G> {
             failure_rate: 0.0,
             per_item: Duration::from_millis(5),
             max_batch: 25,
+            timeout: None,
             requests: 0,
             service_time_ms: 0,
             failures: 0,
+            timeouts: 0,
             fail_seq: seed.wrapping_mul(0x9E3779B97F4A7C15),
         }
+    }
+
+    /// Abort requests whose modeled latency exceeds `timeout`.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
     }
 
     /// Set transient failure probability.
@@ -133,9 +164,14 @@ impl<G: Geocoder> SimulatedRemoteGeocoder<G> {
         self
     }
 
-    /// Transient failures so far.
+    /// Transient failures so far (timeouts included).
     pub fn failures(&self) -> u64 {
         self.failures
+    }
+
+    /// Requests that exceeded the timeout so far.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts
     }
 
     /// Batch size limit of the simulated API.
@@ -159,6 +195,36 @@ impl<G: Geocoder> SimulatedRemoteGeocoder<G> {
         z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
         z ^= z >> 31;
         (z as f64 / u64::MAX as f64) < self.failure_rate
+    }
+
+    /// Issue `locations` as ONE request (no chunking — the caller is
+    /// responsible for respecting [`max_batch`](Self::max_batch)),
+    /// distinguishing timeouts and transient failures from legitimate
+    /// "unresolvable" results. This is the entry point for the
+    /// retry/circuit-breaker layer; the plain [`Geocoder`] methods keep
+    /// their fail-to-`None` semantics.
+    pub fn try_request(
+        &mut self,
+        locations: &[&str],
+    ) -> Result<Vec<Option<GeocodeResult>>, RemoteError> {
+        self.requests += 1;
+        let latency = self.sampler.sample() + self.per_item * (locations.len() as i64 - 1).max(0);
+        if let Some(timeout) = self.timeout {
+            if latency > timeout {
+                // The caller gave up at the timeout: charge that long,
+                // not the full modeled round trip.
+                self.charge(timeout);
+                self.timeouts += 1;
+                self.failures += 1;
+                return Err(RemoteError::Timeout);
+            }
+        }
+        self.charge(latency);
+        if self.roll_failure() {
+            self.failures += 1;
+            return Err(RemoteError::Unavailable);
+        }
+        Ok(locations.iter().map(|l| self.inner.geocode(l)).collect())
     }
 }
 
@@ -432,5 +498,56 @@ mod tests {
         // One prior request + one batch for {tokyo, london}.
         assert_eq!(g.requests_issued(), 2);
         assert_eq!(res[1], res[2]);
+    }
+
+    #[test]
+    fn try_request_times_out_and_charges_only_the_timeout() {
+        let clock = VirtualClock::new();
+        let mut g = SimulatedRemoteGeocoder::with_model(
+            GazetteerGeocoder::new(),
+            Arc::clone(&clock),
+            LatencyModel::Constant(Duration::from_millis(500)),
+            1,
+        )
+        .with_timeout(Duration::from_millis(300));
+        assert_eq!(g.try_request(&["tokyo"]), Err(RemoteError::Timeout));
+        assert_eq!(clock.now().millis(), 300);
+        assert_eq!(g.timeouts(), 1);
+        assert_eq!(g.failures(), 1);
+        assert_eq!(g.requests_issued(), 1);
+    }
+
+    #[test]
+    fn try_request_succeeds_under_timeout() {
+        let clock = VirtualClock::new();
+        let mut g = SimulatedRemoteGeocoder::with_model(
+            GazetteerGeocoder::new(),
+            Arc::clone(&clock),
+            LatencyModel::Constant(Duration::from_millis(100)),
+            1,
+        )
+        .with_timeout(Duration::from_millis(300))
+        .with_batching(25, Duration::from_millis(5));
+        let res = g.try_request(&["tokyo", "nyc", "nowhereland"]).unwrap();
+        assert!(res[0].is_some() && res[1].is_some());
+        assert!(res[2].is_none(), "unresolvable is Ok(None), not Err");
+        // 100 + 2×5 per-item.
+        assert_eq!(clock.now().millis(), 110);
+        assert_eq!(g.timeouts(), 0);
+    }
+
+    #[test]
+    fn try_request_reports_transient_failure() {
+        let clock = VirtualClock::new();
+        let mut g = SimulatedRemoteGeocoder::with_model(
+            GazetteerGeocoder::new(),
+            clock,
+            LatencyModel::Constant(Duration::from_millis(1)),
+            7,
+        )
+        .with_failure_rate(1.0);
+        assert_eq!(g.try_request(&["tokyo"]), Err(RemoteError::Unavailable));
+        assert_eq!(g.failures(), 1);
+        assert_eq!(g.timeouts(), 0);
     }
 }

@@ -65,8 +65,13 @@ impl LatencySampler {
     }
 
     /// Sample one request latency.
+    ///
+    /// Samples are clamped to `[0, MAX_SAMPLE]`: a misconfigured model
+    /// (negative constant, negative uniform bounds, a lognormal whose
+    /// sigma overflows `f64`) must never produce a negative duration or
+    /// an overflowed clock advance.
     pub fn sample(&mut self) -> Duration {
-        match &self.model {
+        let raw = match &self.model {
             LatencyModel::Constant(d) => *d,
             LatencyModel::LogNormal { median_ms, sigma } => {
                 // Box-Muller standard normal.
@@ -74,14 +79,35 @@ impl LatencySampler {
                 let u2: f64 = self.rng.random_range(0.0..1.0);
                 let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                 let ms = median_ms * (sigma * z).exp();
-                Duration::from_millis(ms.round().max(1.0) as i64)
+                // Infinities and NaN saturate to the cap, not i64::MAX.
+                let ms = if ms.is_finite() {
+                    ms.round().max(1.0).min(MAX_SAMPLE.millis() as f64)
+                } else {
+                    MAX_SAMPLE.millis() as f64
+                };
+                Duration::from_millis(ms as i64)
             }
             LatencyModel::Uniform(a, b) => {
                 let lo = a.millis().min(b.millis());
                 let hi = a.millis().max(b.millis());
                 Duration::from_millis(self.rng.random_range(lo..=hi))
             }
-        }
+        };
+        clamp_sample(raw)
+    }
+}
+
+/// Upper bound on a single sampled latency: one hour. No simulated web
+/// service round trip is longer; anything above this is a model bug.
+pub const MAX_SAMPLE: Duration = Duration::from_mins(60);
+
+fn clamp_sample(d: Duration) -> Duration {
+    if d < Duration::ZERO {
+        Duration::ZERO
+    } else if d > MAX_SAMPLE {
+        MAX_SAMPLE
+    } else {
+        d
     }
 }
 
@@ -131,6 +157,56 @@ mod tests {
         for _ in 0..100 {
             let v = s.sample().millis();
             assert!((10..=20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn negative_constant_clamps_to_zero() {
+        let mut s = LatencySampler::new(LatencyModel::Constant(Duration::from_millis(-250)), 1);
+        for _ in 0..10 {
+            assert_eq!(s.sample(), Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn negative_uniform_bounds_clamp_to_zero() {
+        let mut s = LatencySampler::new(
+            LatencyModel::Uniform(Duration::from_millis(-500), Duration::from_millis(-100)),
+            3,
+        );
+        for _ in 0..100 {
+            assert!(s.sample() >= Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn zero_variance_lognormal_is_exactly_the_median() {
+        let mut s = LatencySampler::new(
+            LatencyModel::LogNormal {
+                median_ms: 200.0,
+                sigma: 0.0,
+            },
+            9,
+        );
+        for _ in 0..50 {
+            assert_eq!(s.sample(), Duration::from_millis(200));
+        }
+    }
+
+    #[test]
+    fn pathological_sigma_cannot_overflow() {
+        // exp(sigma * z) overflows f64 for large sigma; the sample must
+        // saturate at the cap instead of wrapping through `as i64`.
+        let mut s = LatencySampler::new(
+            LatencyModel::LogNormal {
+                median_ms: 200.0,
+                sigma: 1e6,
+            },
+            11,
+        );
+        for _ in 0..200 {
+            let v = s.sample();
+            assert!(v >= Duration::ZERO && v <= MAX_SAMPLE, "{v:?}");
         }
     }
 

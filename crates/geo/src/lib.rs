@@ -23,6 +23,7 @@
 
 pub mod batch;
 pub mod bbox;
+pub mod breaker;
 pub mod cache;
 pub mod gazetteer;
 pub mod geocoder;
@@ -30,8 +31,11 @@ pub mod latency;
 pub mod point;
 
 pub use bbox::BoundingBox;
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, ServiceHealth};
 pub use cache::LruCache;
 pub use gazetteer::{City, Gazetteer};
-pub use geocoder::{GazetteerGeocoder, GeocodeResult, Geocoder, SimulatedRemoteGeocoder};
+pub use geocoder::{
+    GazetteerGeocoder, GeocodeResult, Geocoder, RemoteError, SimulatedRemoteGeocoder,
+};
 pub use latency::LatencyModel;
 pub use point::GeoPoint;

@@ -76,7 +76,6 @@ pub fn log_event_via_tweeql(
 mod tests {
     use super::*;
     use crate::store::AnalysisConfig;
-    use tweeql::engine::EngineConfig;
     use tweeql_firehose::scenario::{Scenario, Topic};
     use tweeql_firehose::{generate, StreamingApi};
     use tweeql_model::{Duration, VirtualClock};
@@ -92,8 +91,8 @@ mod tests {
             population_size: 400,
         };
         let clock = VirtualClock::new();
-        let api = StreamingApi::new(generate(&s, 12), clock.clone());
-        Engine::new(EngineConfig::default(), api, clock)
+        let api = StreamingApi::new(generate(&s, 12), clock);
+        Engine::builder(api).build()
     }
 
     #[test]

@@ -90,7 +90,7 @@ pub fn register(registry: &mut Registry, config: PeakDetectorConfig) {
 mod tests {
     use super::*;
     use std::sync::Arc as StdArc;
-    use tweeql::engine::{Engine, EngineConfig};
+    use tweeql::engine::Engine;
     use tweeql_firehose::scenario::{Burst, Scenario, Topic};
     use tweeql_firehose::{generate, StreamingApi};
     use tweeql_model::{Duration, VirtualClock};
@@ -117,9 +117,9 @@ mod tests {
         };
         let clock = VirtualClock::new();
         let api = StreamingApi::new(generate(&s, 33), StdArc::clone(&clock));
-        let mut engine = Engine::new(EngineConfig::default(), api, clock);
-        register(engine.registry_mut(), PeakDetectorConfig::default());
-        engine
+        Engine::builder(api)
+            .configure_registry(|r| register(r, PeakDetectorConfig::default()))
+            .build()
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //!
 //! Run with `cargo run --release --example earthquake_monitor`.
 
-use tweeql::engine::{Engine, EngineConfig};
+use tweeql::engine::Engine;
 use tweeql_firehose::{generate, scenarios, StreamingApi};
 use tweeql_model::VirtualClock;
 use twitinfo::dashboard::{render, DashboardOptions};
@@ -27,9 +27,10 @@ fn main() {
 
     // --- live monitoring through TweeQL ---
     let clock = VirtualClock::new();
-    let api = StreamingApi::new(tweets.clone(), clock.clone());
-    let mut engine = Engine::new(EngineConfig::default(), api, clock);
-    udfs::register(engine.registry_mut(), PeakDetectorConfig::default());
+    let api = StreamingApi::new(tweets.clone(), clock);
+    let mut engine = Engine::builder(api)
+        .configure_registry(|r| udfs::register(r, PeakDetectorConfig::default()))
+        .build();
 
     let sql = "SELECT count(*) AS c, detect_peak(count(*)) AS peak \
                FROM twitter \

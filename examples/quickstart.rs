@@ -8,7 +8,7 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use tweeql::engine::{Engine, EngineConfig};
+use tweeql::engine::Engine;
 use tweeql_firehose::{generate, scenarios, StreamingApi};
 use tweeql_model::{Duration, Timestamp, VirtualClock};
 
@@ -29,8 +29,8 @@ fn main() {
         scenario.duration
     );
 
-    let api = StreamingApi::new(tweets, clock.clone());
-    let mut engine = Engine::new(EngineConfig::default(), api, clock);
+    let api = StreamingApi::new(tweets, clock);
+    let mut engine = Engine::builder(api).build();
 
     let sql = "SELECT sentiment(text), latitude(loc), longitude(loc) \
                FROM twitter WHERE text contains 'obama' LIMIT 15";

@@ -15,15 +15,15 @@
 //!
 //! Run with `cargo run --release --example sentiment_map`.
 
-use tweeql::engine::{Engine, EngineConfig};
+use tweeql::engine::Engine;
 use tweeql_firehose::{generate, scenarios, StreamingApi};
 use tweeql_model::VirtualClock;
 
 fn run(sql: &str) {
     let scenario = scenarios::obama_month();
     let clock = VirtualClock::new();
-    let api = StreamingApi::new(generate(&scenario, 8), clock.clone());
-    let mut engine = Engine::new(EngineConfig::default(), api, clock);
+    let api = StreamingApi::new(generate(&scenario, 8), clock);
+    let mut engine = Engine::builder(api).build();
 
     println!("tweeql> {sql}\n");
     let result = engine.execute(sql).expect("query runs");

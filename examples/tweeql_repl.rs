@@ -9,7 +9,7 @@
 //! running, `\scenario soccer|earthquakes|obama`, or `\q`.
 
 use std::io::{BufRead, Write};
-use tweeql::engine::{Engine, EngineConfig};
+use tweeql::engine::Engine;
 use tweeql_firehose::{generate, scenarios, StreamingApi};
 use tweeql_model::VirtualClock;
 use twitinfo::peaks::PeakDetectorConfig;
@@ -62,10 +62,10 @@ fn build_engine(which: &str) -> Engine {
     };
     eprintln!("(generating scenario {:?} …)", scenario.name);
     let clock = VirtualClock::new();
-    let api = StreamingApi::new(generate(&scenario, 7), clock.clone());
-    let mut engine = Engine::new(EngineConfig::default(), api, clock);
-    udfs::register(engine.registry_mut(), PeakDetectorConfig::default());
-    engine
+    let api = StreamingApi::new(generate(&scenario, 7), clock);
+    Engine::builder(api)
+        .configure_registry(|r| udfs::register(r, PeakDetectorConfig::default()))
+        .build()
 }
 
 fn main() {
@@ -104,7 +104,7 @@ fn main() {
                 }
                 t if t.starts_with("\\explain ") => {
                     match engine.explain(t.trim_start_matches("\\explain ")) {
-                        Ok(plan) => println!("{plan}"),
+                        Ok(explanation) => println!("{explanation}"),
                         Err(e) => print!("{}", e.render(t.trim_start_matches("\\explain "))),
                     }
                     continue;
@@ -117,15 +117,8 @@ fn main() {
                     match engine.check(sql) {
                         Ok(diags) if diags.is_empty() => println!("no diagnostics"),
                         Ok(diags) => {
-                            let (e, w) = diags.iter().fold((0, 0), |(e, w), d| {
-                                if d.is_error() {
-                                    (e + 1, w)
-                                } else {
-                                    (e, w + 1)
-                                }
-                            });
-                            print!("{}", tweeql::check::render_all(&diags, sql));
-                            println!("-- {e} errors, {w} warnings");
+                            print!("{}", tweeql::check::render_all(&diags.warnings, sql));
+                            println!("-- {} warnings", diags.warnings.len());
                         }
                         Err(err) => print!("{}", err.render(sql)),
                     }

@@ -274,7 +274,7 @@ proptest! {
         w in 0..WHERES.len(),
         t in 0..TAILS.len(),
     ) {
-        use tweeql::engine::{Engine, EngineConfig};
+        use tweeql::engine::Engine;
         use tweeql_firehose::scenario::{Scenario, Topic};
         use tweeql_firehose::StreamingApi;
         use tweeql_model::Duration;
@@ -301,9 +301,8 @@ proptest! {
             geotag_rate: 0.3,
             population_size: 30,
         };
-        let clock = VirtualClock::new();
-        let api = StreamingApi::new(tweeql_firehose::generate(&scenario, 11), clock.clone());
-        let mut engine = Engine::new(EngineConfig::default(), api, clock);
+        let api = StreamingApi::new(tweeql_firehose::generate(&scenario, 11), VirtualClock::new());
+        let mut engine = Engine::builder(api).build();
         // Err is acceptable; a panic fails the test.
         let _ = engine.execute(&sql);
     }

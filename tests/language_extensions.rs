@@ -2,7 +2,7 @@
 //! printed examples: HAVING, sliding windows, COUNT(DISTINCT),
 //! geo-distance, and failure injection on the simulated web service.
 
-use tweeql::engine::{Engine, EngineConfig};
+use tweeql::engine::Engine;
 use tweeql::udf::ServiceConfig;
 use tweeql_firehose::scenario::{Scenario, Topic};
 use tweeql_firehose::{generate, StreamingApi};
@@ -21,16 +21,8 @@ fn engine_with(minutes: i64, service: ServiceConfig) -> Engine {
         geotag_rate: 0.2,
         population_size: 800,
     };
-    let clock = VirtualClock::new();
-    let api = StreamingApi::new(generate(&scenario, 77), clock.clone());
-    Engine::new(
-        EngineConfig {
-            service,
-            ..EngineConfig::default()
-        },
-        api,
-        clock,
-    )
+    let api = StreamingApi::new(generate(&scenario, 77), VirtualClock::new());
+    Engine::builder(api).service(service).build()
 }
 
 fn engine(minutes: i64) -> Engine {
@@ -243,9 +235,8 @@ fn topk_aggregate_finds_popular_links() {
             population_size: 400,
         }
     };
-    let clock = VirtualClock::new();
-    let api = StreamingApi::new(generate(&scenario, 3), clock.clone());
-    let mut e = Engine::new(EngineConfig::default(), api, clock);
+    let api = StreamingApi::new(generate(&scenario, 3), VirtualClock::new());
+    let mut e = Engine::builder(api).build();
     let r = e
         .execute(
             "SELECT topk(urls(text), 3) AS links, count(*)              FROM twitter WHERE text contains 'quake'",

@@ -2,7 +2,7 @@
 //! run end-to-end (parser → planner → pushdown choice → operators →
 //! web-service UDFs) over a synthetic firehose.
 
-use tweeql::engine::{Engine, EngineConfig};
+use tweeql::engine::Engine;
 use tweeql::udf::ServiceConfig;
 use tweeql_firehose::scenario::{Scenario, Topic};
 use tweeql_firehose::{generate, StreamingApi};
@@ -23,16 +23,13 @@ fn obama_engine(minutes: i64) -> Engine {
         geotag_rate: 0.25,
         population_size: 1200,
     };
-    let clock = VirtualClock::new();
-    let api = StreamingApi::new(generate(&scenario, 1234), clock.clone());
-    let config = EngineConfig {
-        service: ServiceConfig {
+    let api = StreamingApi::new(generate(&scenario, 1234), VirtualClock::new());
+    Engine::builder(api)
+        .service(ServiceConfig {
             latency: LatencyModel::Constant(Duration::from_millis(150)),
             ..ServiceConfig::default()
-        },
-        ..EngineConfig::default()
-    };
-    Engine::new(config, api, clock)
+        })
+        .build()
 }
 
 #[test]
@@ -185,16 +182,8 @@ fn eddy_mode_produces_identical_results() {
         geotag_rate: 0.25,
         population_size: 1200,
     };
-    let clock = VirtualClock::new();
-    let api = StreamingApi::new(generate(&scenario, 1234), clock.clone());
-    let mut eddy_engine = Engine::new(
-        EngineConfig {
-            use_eddy: true,
-            ..EngineConfig::default()
-        },
-        api,
-        clock,
-    );
+    let api = StreamingApi::new(generate(&scenario, 1234), VirtualClock::new());
+    let mut eddy_engine = Engine::builder(api).use_eddy(true).build();
     let eddy = eddy_engine.execute(sql).expect("eddy");
     assert_eq!(baseline.rows.len(), eddy.rows.len());
 }

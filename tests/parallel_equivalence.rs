@@ -6,8 +6,8 @@
 //! exit is allowed to differ — `LimitOp` hard-caps emission anyway).
 
 use proptest::prelude::*;
-use std::sync::{Arc, OnceLock};
-use tweeql::engine::{Engine, EngineConfig, QueryResult};
+use std::sync::OnceLock;
+use tweeql::engine::{Engine, QueryResult};
 use tweeql_firehose::scenario::{Burst, Scenario, Topic};
 use tweeql_firehose::StreamingApi;
 use tweeql_model::{Duration, Timestamp, Tweet, VirtualClock};
@@ -45,15 +45,12 @@ fn tweets() -> &'static Vec<Tweet> {
 }
 
 fn run(sql: &str, workers: usize, batch_size: usize) -> QueryResult {
-    let clock = VirtualClock::new();
-    let api = StreamingApi::new(tweets().clone(), Arc::clone(&clock));
-    let cfg = EngineConfig {
-        workers,
-        batch_size,
-        channel_capacity: 4,
-        ..EngineConfig::default()
-    };
-    let mut engine = Engine::new(cfg, api, clock);
+    let api = StreamingApi::new(tweets().clone(), VirtualClock::new());
+    let mut engine = Engine::builder(api)
+        .workers(workers)
+        .batch_size(batch_size)
+        .channel_capacity(4)
+        .build();
     engine.execute(sql).expect(sql)
 }
 
@@ -195,15 +192,12 @@ fn idle_gap_watermarks_flush_windows_across_threads() {
     push_at(&mut log, 655, "kw late two");
 
     let run = |workers: usize| {
-        let clock = VirtualClock::new();
-        let api = StreamingApi::new(log.clone(), Arc::clone(&clock));
-        let cfg = EngineConfig {
-            workers,
-            batch_size: 2,
-            channel_capacity: 2,
-            ..EngineConfig::default()
-        };
-        let mut e = Engine::new(cfg, api, clock);
+        let api = StreamingApi::new(log.clone(), VirtualClock::new());
+        let mut e = Engine::builder(api)
+            .workers(workers)
+            .batch_size(2)
+            .channel_capacity(2)
+            .build();
         e.execute("SELECT count(*) AS c FROM twitter WHERE text contains 'kw' WINDOW 1 minutes")
             .unwrap()
     };

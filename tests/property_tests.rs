@@ -204,7 +204,7 @@ proptest! {
     /// equals the number of matching tweets, for any window size.
     #[test]
     fn windowed_count_conserves_tweets(window_mins in 1i64..7) {
-        use tweeql::engine::{Engine, EngineConfig};
+        use tweeql::engine::Engine;
         use tweeql_firehose::scenario::{Scenario, Topic};
         use tweeql_firehose::StreamingApi;
         use tweeql_model::VirtualClock;
@@ -220,9 +220,8 @@ proptest! {
         };
         let tweets = tweeql_firehose::generate(&s, 9);
         let expected = tweets.iter().filter(|t| t.contains("kw")).count() as i64;
-        let clock = VirtualClock::new();
-        let api = StreamingApi::new(tweets, clock.clone());
-        let mut engine = Engine::new(EngineConfig::default(), api, clock);
+        let api = StreamingApi::new(tweets, VirtualClock::new());
+        let mut engine = Engine::builder(api).build();
         let r = engine
             .execute(&format!(
                 "SELECT count(*) FROM twitter WHERE text contains 'kw' WINDOW {window_mins} minutes"
