@@ -1,0 +1,56 @@
+//! Heap-allocation counter for the benchmark binaries.
+//!
+//! [`CountingAlloc`] wraps the system allocator and counts every
+//! `alloc`/`realloc` call in a process-wide atomic. The `engine_bench`
+//! binary installs it as the global allocator when the crate is built
+//! with `--features bench-alloc`; `BENCH_engine.json` then reports
+//! `allocs_per_record` per measurement. Without the feature (or in any
+//! process that doesn't install the allocator) the counter stays at
+//! zero and the JSON field is `null` — never a fabricated number.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// A [`GlobalAlloc`] that delegates to [`System`] and counts calls.
+pub struct CountingAlloc;
+
+// SAFETY: pure delegation to `System`; the counter is a relaxed atomic
+// with no allocation of its own, so the GlobalAlloc contract is
+// exactly System's.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Total `alloc` + `realloc` calls since process start (0 when the
+/// counting allocator isn't installed).
+pub fn count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_reads_without_installation() {
+        // The test harness doesn't install CountingAlloc, so the
+        // counter must read cleanly as a plain zero-initialized atomic.
+        let a = count();
+        let b = count();
+        assert!(b >= a);
+    }
+}

@@ -11,6 +11,13 @@
 
 use tweeql_bench::e9_parallel;
 
+// With --features bench-alloc every measurement also reports heap
+// allocations per scanned record (the JSON field is null otherwise).
+#[cfg(feature = "bench-alloc")]
+#[global_allocator]
+static ALLOC: tweeql_bench::alloc_counter::CountingAlloc =
+    tweeql_bench::alloc_counter::CountingAlloc;
+
 fn main() {
     let mut smoke = false;
     let mut seed = 42u64;
@@ -34,14 +41,14 @@ fn main() {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let counts = e9_parallel::worker_counts(cores);
     let tweets = e9_parallel::firehose(seed, minutes).len();
     eprintln!(
         "engine bench: {tweets} tweets ({minutes} min stream), host cores: {cores}, \
-         workers swept: {:?}",
-        e9_parallel::WORKER_COUNTS
+         workers swept: {counts:?}"
     );
 
-    let rows = e9_parallel::run(seed, minutes);
+    let rows = e9_parallel::run_with_counts(seed, minutes, &counts);
     for row in &rows {
         for c in &row.cells {
             eprintln!(

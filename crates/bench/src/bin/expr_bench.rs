@@ -1,0 +1,68 @@
+//! Writes `BENCH_expr.json`: compiled-vs-interpreted serial expression
+//! throughput (the E10 comparison).
+//!
+//! ```text
+//! cargo run --release -p tweeql-bench --bin expr_bench [-- --smoke] [--out PATH] [--seed N]
+//! ```
+//!
+//! `--smoke` shrinks the firehose to a ~2-minute stream so CI can
+//! validate the pipeline end-to-end in seconds; the default 20-minute
+//! stream is what EXPERIMENTS.md records.
+
+use tweeql_bench::e10_expr;
+
+#[cfg(feature = "bench-alloc")]
+#[global_allocator]
+static ALLOC: tweeql_bench::alloc_counter::CountingAlloc =
+    tweeql_bench::alloc_counter::CountingAlloc;
+
+fn main() {
+    let mut smoke = false;
+    let mut seed = 42u64;
+    let mut out_path = String::from("BENCH_expr.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--seed" => {
+                seed = args.next().and_then(|s| s.parse().ok()).expect("--seed N");
+            }
+            "--out" => out_path = args.next().expect("--out PATH"),
+            other => {
+                eprintln!("unknown flag: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (minutes, reps) = if smoke { (2, 5) } else { (20, 50) };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let tweets = e10_expr::firehose(seed, minutes).len();
+    eprintln!("expr bench: {tweets} tweets ({minutes} min stream), host cores: {cores}");
+
+    let rows = e10_expr::run_with_reps(seed, minutes, reps);
+    for row in &rows {
+        eprintln!(
+            "  {:<20} engine {:>9.0} -> {:>9.0} t/s ({:.2}x)  exprs {:>10.0} -> {:>10.0} t/s ({:.2}x)",
+            row.query,
+            row.engine.interpreted_tps,
+            row.engine.compiled_tps,
+            row.engine.speedup(),
+            row.exprs.interpreted_tps,
+            row.exprs.compiled_tps,
+            row.exprs.speedup(),
+        );
+        if let (Some(seed_tps), Some(vs)) = (row.seed_tps, row.speedup_vs_seed()) {
+            eprintln!(
+                "  {:<20} seed-baseline exprs {:>10.0} t/s  compiled vs seed {:.2}x",
+                "", seed_tps, vs
+            );
+        }
+    }
+
+    let json = e10_expr::to_json(&rows, seed, cores, tweets);
+    std::fs::write(&out_path, &json).expect("write BENCH_expr.json");
+    eprintln!("wrote {out_path}");
+}

@@ -16,6 +16,22 @@ use tweeql_model::{Duration, Tweet, VirtualClock};
 /// Worker counts swept by the benchmark.
 pub const WORKER_COUNTS: &[usize] = &[1, 2, 4, 8];
 
+/// [`WORKER_COUNTS`] clamped to the host: worker counts beyond the
+/// physical core count only measure scheduler thrash, so the sweep
+/// drops them (serial is always kept as the baseline).
+pub fn worker_counts(host_cores: usize) -> Vec<usize> {
+    let kept: Vec<usize> = WORKER_COUNTS
+        .iter()
+        .copied()
+        .filter(|&w| w <= host_cores.max(1))
+        .collect();
+    if kept.is_empty() {
+        vec![1]
+    } else {
+        kept
+    }
+}
+
 /// CPU-bound benchmark queries (no async UDFs).
 pub const QUERIES: &[(&str, &str)] = &[
     (
@@ -50,6 +66,10 @@ pub struct E9Cell {
     pub tweets_per_sec: f64,
     /// Throughput relative to the serial run of the same query.
     pub speedup: f64,
+    /// Heap allocations per scanned record, when the crate is built
+    /// with the `bench-alloc` feature (and the binary installed the
+    /// counting allocator); `None` — JSON `null` — otherwise.
+    pub allocs_per_record: Option<f64>,
 }
 
 /// One query's sweep over [`WORKER_COUNTS`].
@@ -77,26 +97,42 @@ pub fn firehose(seed: u64, minutes: i64) -> Vec<Tweet> {
     generate(&s, seed)
 }
 
-fn measure(tweets: Vec<Tweet>, sql: &str, workers: usize) -> (u64, usize, f64) {
+fn measure(tweets: Vec<Tweet>, sql: &str, workers: usize) -> (u64, usize, f64, Option<f64>) {
     let clock = VirtualClock::new();
     let api = StreamingApi::new(tweets, clock);
     let mut engine = Engine::builder(api).workers(workers).build();
+    let allocs_before = crate::alloc_counter::count();
     let t0 = Instant::now();
     let result = engine.execute(sql).expect("bench query runs");
     let wall = t0.elapsed().as_secs_f64();
-    (result.stats.source.scanned, result.rows.len(), wall)
+    let scanned = result.stats.source.scanned;
+    let allocs = if cfg!(feature = "bench-alloc") && scanned > 0 {
+        Some((crate::alloc_counter::count() - allocs_before) as f64 / scanned as f64)
+    } else {
+        None
+    };
+    (scanned, result.rows.len(), wall, allocs)
 }
 
 /// Sweep every query over every worker count on a shared firehose.
+/// Uses the full [`WORKER_COUNTS`] grid; the bench binary clamps via
+/// [`run_with_counts`] + [`worker_counts`].
 pub fn run(seed: u64, minutes: i64) -> Vec<E9Row> {
+    run_with_counts(seed, minutes, WORKER_COUNTS)
+}
+
+/// Sweep every query over the given worker counts (serial first) on a
+/// shared firehose.
+pub fn run_with_counts(seed: u64, minutes: i64, counts: &[usize]) -> Vec<E9Row> {
     let tweets = firehose(seed, minutes);
     QUERIES
         .iter()
         .map(|(label, sql)| {
             let mut cells = Vec::new();
             let mut baseline = 0.0f64;
-            for &workers in WORKER_COUNTS {
-                let (scanned, rows, wall) = measure(tweets.clone(), sql, workers);
+            for &workers in counts {
+                let (scanned, rows, wall, allocs_per_record) =
+                    measure(tweets.clone(), sql, workers);
                 let tps = scanned as f64 / wall.max(1e-9);
                 if workers == 1 {
                     baseline = tps;
@@ -108,6 +144,7 @@ pub fn run(seed: u64, minutes: i64) -> Vec<E9Row> {
                     wall_secs: wall,
                     tweets_per_sec: tps,
                     speedup: tps / baseline.max(1e-9),
+                    allocs_per_record,
                 });
             }
             E9Row {
@@ -134,16 +171,21 @@ pub fn to_json(rows: &[E9Row], seed: u64, cores: usize, tweets: usize) -> String
         out.push_str(&format!("      \"sql\": {:?},\n", row.sql));
         out.push_str("      \"results\": [\n");
         for (ci, c) in row.cells.iter().enumerate() {
+            let allocs = match c.allocs_per_record {
+                Some(a) => format!("{a:.2}"),
+                None => "null".into(),
+            };
             out.push_str(&format!(
                 "        {{\"workers\": {}, \"scanned\": {}, \"rows\": {}, \
                  \"wall_secs\": {:.6}, \"tweets_per_sec\": {:.1}, \
-                 \"speedup\": {:.3}}}{}\n",
+                 \"speedup\": {:.3}, \"allocs_per_record\": {}}}{}\n",
                 c.workers,
                 c.scanned,
                 c.rows,
                 c.wall_secs,
                 c.tweets_per_sec,
                 c.speedup,
+                allocs,
                 if ci + 1 < row.cells.len() { "," } else { "" },
             ));
         }
@@ -190,5 +232,18 @@ mod tests {
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(json.contains("\"bench\": \"engine_parallel\""));
         assert!(json.contains("\"workers\": 8"));
+        // Without the bench-alloc allocator installed the field is an
+        // honest null, never a made-up number.
+        assert!(json.contains("\"allocs_per_record\": null") || cfg!(feature = "bench-alloc"));
+    }
+
+    #[test]
+    fn worker_counts_clamp_to_host() {
+        assert_eq!(worker_counts(1), vec![1]);
+        assert_eq!(worker_counts(2), vec![1, 2]);
+        assert_eq!(worker_counts(6), vec![1, 2, 4]);
+        assert_eq!(worker_counts(8), vec![1, 2, 4, 8]);
+        assert_eq!(worker_counts(64), vec![1, 2, 4, 8]);
+        assert_eq!(worker_counts(0), vec![1]);
     }
 }

@@ -34,6 +34,11 @@ pub struct EngineConfig {
     pub selectivity_sample: usize,
     /// Use the adaptive eddy for multi-predicate filters.
     pub use_eddy: bool,
+    /// Lower stateless WHERE/SELECT expressions to compiled batch
+    /// programs (vectorized scan with adaptive conjunct ordering).
+    /// Expressions the lowering rejects fall back to the interpreted
+    /// operators per-stage; `false` forces the interpreter everywhere.
+    pub compile_exprs: bool,
     /// Async-UDF batch release bounds.
     pub async_max_batch: usize,
     /// Max stream-time a tuple waits in a partial async batch.
@@ -62,6 +67,7 @@ impl Default for EngineConfig {
             watermark_interval: Duration::from_secs(1),
             selectivity_sample: 2000,
             use_eddy: false,
+            compile_exprs: true,
             async_max_batch: 25,
             async_max_delay: Duration::from_secs(2),
             workers: 1,
@@ -304,6 +310,15 @@ impl EngineBuilder {
         self
     }
 
+    /// Toggle the compiled expression pipeline (`true` by default).
+    /// `false` runs every stage on the interpreted tree-walk — the
+    /// reference implementation the compiled path is differentially
+    /// tested against.
+    pub fn compiled_expressions(mut self, on: bool) -> Self {
+        self.config.compile_exprs = on;
+        self
+    }
+
     /// One seed for everything the engine randomizes: service latency
     /// and failures, and reconnect-backoff jitter.
     pub fn seed(mut self, seed: u64) -> Self {
@@ -442,6 +457,7 @@ impl Engine {
     fn plan_config(&self) -> PlanConfig {
         PlanConfig {
             use_eddy: self.config.use_eddy,
+            compile_exprs: self.config.compile_exprs,
             async_max_batch: self.config.async_max_batch,
             async_max_delay: self.config.async_max_delay,
             default_join_window: Duration::from_mins(5),
@@ -551,13 +567,24 @@ impl Engine {
             };
             return crate::exec::parallel::run_parallel(src, &mut planned.pipeline, &pcfg, sink);
         }
+        // Serial engine, micro-batched: records accumulate into one
+        // reused buffer and flush through the pipeline's batch path
+        // (which drives the compiled operators at full width) whenever
+        // the buffer fills or stream order demands it — before every
+        // watermark and gap, so punctuation interleaves with data
+        // exactly as in the per-record loop.
         let mut src = src;
         let wm_interval = self.config.watermark_interval;
+        let batch_size = self.config.batch_size.max(1);
         let mut next_wm: Option<Timestamp> = None;
         let mut out = Vec::new();
-        for event in src.by_ref() {
+        let mut batch: Vec<Record> = Vec::with_capacity(batch_size);
+        'stream: for event in src.by_ref() {
             match event {
                 SourceEvent::Gap { from, to } => {
+                    if !batch.is_empty() {
+                        planned.pipeline.push_batch(&mut batch, &mut out)?;
+                    }
                     planned.pipeline.gap(from, to, &mut out)?;
                 }
                 SourceEvent::Tweet(tweet) => {
@@ -569,6 +596,9 @@ impl Engine {
                     // time-driven flushes.
                     if let Some(wm) = next_wm {
                         if ts >= wm {
+                            if !batch.is_empty() {
+                                planned.pipeline.push_batch(&mut batch, &mut out)?;
+                            }
                             let last = ts.truncate(wm_interval);
                             let mut boundary = wm;
                             while boundary <= last {
@@ -578,15 +608,23 @@ impl Engine {
                         }
                     }
                     next_wm = Some(ts.truncate(wm_interval) + wm_interval);
-                    planned.pipeline.push(rec, &mut out)?;
+                    batch.push(rec);
+                    if batch.len() >= batch_size {
+                        planned.pipeline.push_batch(&mut batch, &mut out)?;
+                    }
                 }
             }
-            for r in out.drain(..) {
-                sink(&r);
+            if !out.is_empty() {
+                for r in out.drain(..) {
+                    sink(&r);
+                }
+                if planned.pipeline.done() {
+                    break 'stream;
+                }
             }
-            if planned.pipeline.done() {
-                break;
-            }
+        }
+        if !batch.is_empty() && !planned.pipeline.done() {
+            planned.pipeline.push_batch(&mut batch, &mut out)?;
         }
         planned.pipeline.finish(&mut out)?;
         for r in out.drain(..) {
@@ -832,7 +870,7 @@ mod tests {
             .unwrap();
         assert!(!r.stats.stages.is_empty());
         let (name, s) = &r.stats.stages[0];
-        assert_eq!(name, "where");
+        assert_eq!(name, "where+project");
         assert!(s.records_in > 0);
         assert!(r.stats.stream_time >= Duration::from_mins(9));
         assert!(r.stats.source.scanned > 0);

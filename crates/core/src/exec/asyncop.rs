@@ -94,11 +94,15 @@ impl Operator for AsyncUdfOp {
         Ok(())
     }
 
-    fn on_batch(&mut self, recs: Vec<Record>, out: &mut Vec<Record>) -> Result<(), QueryError> {
+    fn on_batch(
+        &mut self,
+        recs: &mut Vec<Record>,
+        out: &mut Vec<Record>,
+    ) -> Result<(), QueryError> {
         // Feeding the whole micro-batch before draining lets the
         // batcher form full service batches even when the engine's
         // micro-batch is larger than `max_batch`.
-        for rec in recs {
+        for rec in recs.drain(..) {
             let mut args = Vec::with_capacity(self.arg_exprs.len());
             for e in &self.arg_exprs {
                 args.push(e.eval(&rec, &mut self.ctx)?);

@@ -28,7 +28,10 @@ pub struct PredicateStats {
 }
 
 impl PredicateStats {
-    fn new() -> PredicateStats {
+    /// Fresh stats with an optimistic pass-rate prior (shared with the
+    /// compiled [`FusedScanOp`](super::fused::FusedScanOp), which feeds
+    /// the same counters batch-at-a-time).
+    pub fn new() -> PredicateStats {
         PredicateStats {
             evaluations: 0,
             passes: 0,
@@ -37,13 +40,33 @@ impl PredicateStats {
         }
     }
 
-    fn observe(&mut self, passed: bool, alpha: f64) {
+    /// Record one evaluation outcome with EWMA decay `alpha`.
+    pub fn observe(&mut self, passed: bool, alpha: f64) {
         self.evaluations += 1;
         if passed {
             self.passes += 1;
         }
         self.est_pass_rate =
             (1.0 - alpha) * self.est_pass_rate + alpha * if passed { 1.0 } else { 0.0 };
+    }
+
+    /// Record a whole micro-batch of outcomes at once: one EWMA step
+    /// toward the batch's pass fraction (the batched analogue of
+    /// calling [`Self::observe`] per record with a larger decay).
+    pub fn observe_batch(&mut self, evals: u64, passes: u64, alpha: f64) {
+        if evals == 0 {
+            return;
+        }
+        self.evaluations += evals;
+        self.passes += passes;
+        let frac = passes as f64 / evals as f64;
+        self.est_pass_rate = (1.0 - alpha) * self.est_pass_rate + alpha * frac;
+    }
+}
+
+impl Default for PredicateStats {
+    fn default() -> Self {
+        Self::new()
     }
 }
 

@@ -47,9 +47,13 @@ impl Operator for FilterOp {
         Ok(())
     }
 
-    fn on_batch(&mut self, recs: Vec<Record>, out: &mut Vec<Record>) -> Result<(), QueryError> {
+    fn on_batch(
+        &mut self,
+        recs: &mut Vec<Record>,
+        out: &mut Vec<Record>,
+    ) -> Result<(), QueryError> {
         out.reserve(recs.len());
-        for rec in recs {
+        for rec in recs.drain(..) {
             if self.predicate.eval_predicate(&rec, &mut self.ctx)? {
                 out.push(rec);
             }

@@ -1,0 +1,419 @@
+//! The compiled fused scan: `WHERE` conjuncts + `SELECT` projection in
+//! one operator, evaluated batch-at-a-time over selection vectors.
+//!
+//! A `filter → project` pair from the planner becomes a single
+//! [`FusedScanOp`]: each conjunct is its own [`ExprProgram`] that
+//! shrinks the batch's selection vector, the projection programs run
+//! only over the survivors, and output records materialize once at the
+//! end — no intermediate `Record` vector between the stages.
+//!
+//! **Adaptive conjunct ordering** (the paper's answer to uncertain
+//! stream selectivities, batched): every conjunct carries the same
+//! [`PredicateStats`] the per-record [`super::eddy::EddyFilter`] uses,
+//! fed batch-at-a-time, plus an EWMA of its per-row evaluation cost.
+//! Every `rerank_every` batches the conjuncts re-sort by
+//! drop-rate-per-nanosecond, so a needle going viral (pass rate up) or
+//! a cheap predicate turning expensive demotes itself. Because a
+//! conjunction's survivor set is order-independent, re-ranking never
+//! changes *what* the operator emits — only how much work it does — so
+//! worker clones may adapt independently without breaking the parallel
+//! engine's determinism.
+//!
+//! Unlike the eddy there is no per-record exploration: pass rates for
+//! later conjuncts are measured conditioned on earlier ones. That bias
+//! is bounded (the first conjunct always sees the raw stream, and rank
+//! flips re-condition the estimates) and is the price of keeping the
+//! hot loop allocation- and branch-free.
+
+use super::eddy::PredicateStats;
+use super::Operator;
+use crate::error::QueryError;
+use crate::expr::compile::Unsupported;
+use crate::expr::{BatchVm, CExpr, ExprProgram};
+use std::time::Instant;
+use tweeql_model::{Record, SchemaRef, Value};
+
+/// One compiled `WHERE` conjunct with its runtime counters.
+struct Conjunct {
+    prog: ExprProgram,
+    stats: PredicateStats,
+    /// EWMA nanos per input row.
+    cost_ewma: f64,
+}
+
+/// Compiled projection: one program per output column.
+struct Projection {
+    cols: Vec<ExprProgram>,
+    schema: SchemaRef,
+}
+
+/// Fused filter(+projection) operator over compiled programs.
+pub struct FusedScanOp {
+    conjuncts: Vec<Conjunct>,
+    /// Current evaluation order (indexes into `conjuncts`).
+    order: Vec<usize>,
+    project: Option<Projection>,
+    /// Output schema: the projection's, or the input schema when this
+    /// is a pure filter.
+    schema: SchemaRef,
+    label: String,
+    vm: BatchVm,
+    sel_a: Vec<u32>,
+    sel_b: Vec<u32>,
+    /// Per-column projection results, indexed `[col][row]`.
+    col_scratch: Vec<Vec<tweeql_model::Value>>,
+    one: Vec<Record>,
+    batches: u64,
+    rerank_every: u64,
+    alpha: f64,
+}
+
+impl FusedScanOp {
+    /// Lower compiled conjuncts and an optional projection. Returns
+    /// `Err` when any expression is uncompilable (stateful UDF), in
+    /// which case the planner falls back to the interpreted operators.
+    pub fn try_new(
+        conjuncts: &[CExpr],
+        project: Option<(&[CExpr], SchemaRef)>,
+        input_schema: SchemaRef,
+        label: impl Into<String>,
+    ) -> Result<FusedScanOp, Unsupported> {
+        let lowered: Vec<Conjunct> = conjuncts
+            .iter()
+            .map(|c| {
+                Ok(Conjunct {
+                    prog: ExprProgram::lower(c)?,
+                    stats: PredicateStats::new(),
+                    cost_ewma: 0.0,
+                })
+            })
+            .collect::<Result<_, Unsupported>>()?;
+        let project = match project {
+            Some((exprs, schema)) => {
+                let cols = exprs
+                    .iter()
+                    .map(ExprProgram::lower)
+                    .collect::<Result<Vec<_>, Unsupported>>()?;
+                Some(Projection { cols, schema })
+            }
+            None => None,
+        };
+        let schema = project
+            .as_ref()
+            .map(|p| p.schema.clone())
+            .unwrap_or(input_schema);
+        let order = (0..lowered.len()).collect();
+        Ok(FusedScanOp {
+            conjuncts: lowered,
+            order,
+            project,
+            schema,
+            label: label.into(),
+            vm: BatchVm::new(),
+            sel_a: Vec::new(),
+            sel_b: Vec::new(),
+            col_scratch: Vec::new(),
+            one: Vec::new(),
+            batches: 0,
+            rerank_every: 64,
+            alpha: 0.2,
+        })
+    }
+
+    /// Tune the adaptive reordering (tests and experiments).
+    pub fn with_rerank_every(mut self, every: u64) -> FusedScanOp {
+        self.rerank_every = every.max(1);
+        self
+    }
+
+    /// `(evaluations, passes, est_pass_rate)` per conjunct, in plan
+    /// order (not current evaluation order).
+    pub fn conjunct_stats(&self) -> Vec<PredicateStats> {
+        self.conjuncts.iter().map(|c| c.stats).collect()
+    }
+
+    /// Current evaluation order over plan-order conjunct indexes.
+    pub fn current_order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Re-sort conjuncts by expected cost saved per nanosecond spent:
+    /// drop-rate / cost-per-row, highest first.
+    fn rerank(&mut self) {
+        let conj = &self.conjuncts;
+        self.order.sort_by(|&a, &b| {
+            let score = |i: usize| {
+                let c = &conj[i];
+                let drop = 1.0 - c.stats.est_pass_rate;
+                drop / c.cost_ewma.max(1.0)
+            };
+            score(b)
+                .partial_cmp(&score(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+    }
+
+    /// Run the conjunct chain over `recs`, leaving the surviving rows
+    /// in `self.sel_a` (sorted ascending).
+    fn run_filters(&mut self, recs: &[Record]) -> Result<(), QueryError> {
+        self.sel_a.clear();
+        self.sel_a.extend(0..recs.len() as u32);
+        let adaptive = self.conjuncts.len() > 1;
+        for k in 0..self.order.len() {
+            let ci = self.order[k];
+            if self.sel_a.is_empty() {
+                break;
+            }
+            let in_len = self.sel_a.len();
+            let t0 = adaptive.then(Instant::now);
+            let c = &mut self.conjuncts[ci];
+            self.vm
+                .filter(&c.prog, recs, &self.sel_a, &mut self.sel_b)?;
+            if let Some(t0) = t0 {
+                let per_row = t0.elapsed().as_nanos() as f64 / in_len as f64;
+                c.cost_ewma = if c.cost_ewma == 0.0 {
+                    per_row
+                } else {
+                    0.8 * c.cost_ewma + 0.2 * per_row
+                };
+                c.stats
+                    .observe_batch(in_len as u64, self.sel_b.len() as u64, self.alpha);
+            }
+            std::mem::swap(&mut self.sel_a, &mut self.sel_b);
+        }
+        if adaptive {
+            self.batches += 1;
+            if self.batches.is_multiple_of(self.rerank_every) {
+                self.rerank();
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Operator for FusedScanOp {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    fn on_record(&mut self, rec: Record, out: &mut Vec<Record>) -> Result<(), QueryError> {
+        let mut one = std::mem::take(&mut self.one);
+        one.clear();
+        one.push(rec);
+        let res = self.on_batch(&mut one, out);
+        self.one = one;
+        res
+    }
+
+    fn on_batch(
+        &mut self,
+        recs: &mut Vec<Record>,
+        out: &mut Vec<Record>,
+    ) -> Result<(), QueryError> {
+        self.run_filters(recs)?;
+        match &self.project {
+            None => {
+                // Pure filter: move the surviving records through.
+                out.reserve(self.sel_a.len());
+                let mut keep = self.sel_a.iter().peekable();
+                for (i, rec) in recs.drain(..).enumerate() {
+                    if keep.peek() == Some(&&(i as u32)) {
+                        keep.next();
+                        out.push(rec);
+                    }
+                }
+            }
+            Some(p) => {
+                // Evaluate each output column over the survivors, then
+                // materialize rows once.
+                if self.col_scratch.len() < p.cols.len() {
+                    self.col_scratch.resize_with(p.cols.len(), Vec::new);
+                }
+                for (c, prog) in p.cols.iter().enumerate() {
+                    self.vm.eval_into(prog, recs, &self.sel_a)?;
+                    let buf = &mut self.col_scratch[c];
+                    if buf.len() < recs.len() {
+                        buf.resize(recs.len(), tweeql_model::Value::Null);
+                    }
+                    for &i in &self.sel_a {
+                        buf[i as usize] = self.vm.take_result(prog, i);
+                    }
+                }
+                out.reserve(self.sel_a.len());
+                let mut keep = self.sel_a.iter().peekable();
+                for (i, rec) in recs.drain(..).enumerate() {
+                    if keep.peek() == Some(&&(i as u32)) {
+                        keep.next();
+                        let values = self
+                            .col_scratch
+                            .iter_mut()
+                            .take(p.cols.len())
+                            .map(|col| std::mem::replace(&mut col[i], Value::Null))
+                            .collect();
+                        out.push(rec.with_shape(p.schema.clone(), values));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn parallel_clone(&self) -> Option<Box<dyn Operator>> {
+        // Programs are stateless by construction (stateful UDFs fail
+        // lowering), so a clone with fresh scratch is always safe.
+        Some(Box::new(FusedScanOp {
+            conjuncts: self
+                .conjuncts
+                .iter()
+                .map(|c| Conjunct {
+                    prog: c.prog.clone(),
+                    stats: c.stats,
+                    cost_ewma: c.cost_ewma,
+                })
+                .collect(),
+            order: self.order.clone(),
+            project: self.project.as_ref().map(|p| Projection {
+                cols: p.cols.clone(),
+                schema: p.schema.clone(),
+            }),
+            schema: self.schema.clone(),
+            label: self.label.clone(),
+            vm: BatchVm::new(),
+            sel_a: Vec::new(),
+            sel_b: Vec::new(),
+            col_scratch: Vec::new(),
+            one: Vec::new(),
+            batches: 0,
+            rerank_every: self.rerank_every,
+            alpha: self.alpha,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{compile_into, EvalCtx};
+    use crate::parser::parse_expr;
+    use crate::udf::Registry;
+    use tweeql_model::{DataType, Schema, Timestamp, Value};
+
+    fn schema() -> SchemaRef {
+        Schema::shared(&[
+            ("text", DataType::Str),
+            ("followers", DataType::Int),
+            ("lang", DataType::Str),
+        ])
+    }
+
+    fn rec(text: &str, followers: i64) -> Record {
+        Record::new(
+            schema(),
+            vec![
+                Value::Str(text.into()),
+                Value::Int(followers),
+                Value::Str("en".into()),
+            ],
+            Timestamp::from_secs(5),
+        )
+        .unwrap()
+    }
+
+    fn cexprs(srcs: &[&str]) -> Vec<CExpr> {
+        let mut reg = Registry::empty();
+        crate::expr::functions::register_builtins(&mut reg);
+        let mut ctx = EvalCtx::default();
+        srcs.iter()
+            .map(|s| compile_into(&parse_expr(s).unwrap(), &schema(), &reg, &mut ctx).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn fused_filter_project_matches_expected() {
+        let conj = cexprs(&["text contains 'obama'", "followers > 10"]);
+        let proj = cexprs(&["upper(lang)", "followers * 2"]);
+        let out_schema = Schema::shared(&[("l", DataType::Str), ("f2", DataType::Int)]);
+        let mut op =
+            FusedScanOp::try_new(&conj, Some((&proj, out_schema)), schema(), "where+project")
+                .unwrap();
+        let mut batch = vec![
+            rec("Obama speaks", 100),
+            rec("obama again", 5), // fails followers
+            rec("unrelated", 100), // fails contains
+            rec("OBAMA III", 11),
+        ];
+        let mut out = Vec::new();
+        op.on_batch(&mut batch, &mut out).unwrap();
+        assert!(batch.is_empty(), "on_batch must drain its input");
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].value(0), &Value::Str("EN".into()));
+        assert_eq!(out[0].value(1), &Value::Int(200));
+        assert_eq!(out[1].value(1), &Value::Int(22));
+        assert_eq!(out[0].timestamp(), Timestamp::from_secs(5));
+    }
+
+    #[test]
+    fn pure_filter_moves_records() {
+        let conj = cexprs(&["followers > 10"]);
+        let mut op = FusedScanOp::try_new(&conj, None, schema(), "where").unwrap();
+        let mut batch = vec![rec("a", 100), rec("b", 1), rec("c", 50)];
+        let mut out = Vec::new();
+        op.on_batch(&mut batch, &mut out).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].value(1), &Value::Int(100));
+        assert_eq!(out[1].value(1), &Value::Int(50));
+    }
+
+    #[test]
+    fn adaptive_order_puts_selective_conjunct_first() {
+        // Conjunct 0 passes everything; conjunct 1 drops everything.
+        let conj = cexprs(&["followers >= 0", "followers > 1000000"]);
+        let mut op = FusedScanOp::try_new(&conj, None, schema(), "where")
+            .unwrap()
+            .with_rerank_every(4);
+        let mut out = Vec::new();
+        for _ in 0..32 {
+            let mut batch: Vec<Record> = (0..64).map(|i| rec("x", i)).collect();
+            op.on_batch(&mut batch, &mut out).unwrap();
+        }
+        assert!(out.is_empty());
+        assert_eq!(
+            op.current_order()[0],
+            1,
+            "selective conjunct should be evaluated first: {:?}",
+            op.conjunct_stats()
+        );
+        // Once the order flips, conjunct 0 stops being evaluated.
+        let stats = op.conjunct_stats();
+        assert!(stats[1].evaluations > stats[0].evaluations, "{stats:?}");
+    }
+
+    #[test]
+    fn on_record_path_agrees_with_batch() {
+        let conj = cexprs(&["text contains 'kw'"]);
+        let proj = cexprs(&["followers + 1"]);
+        let out_schema = Schema::shared(&[("f", DataType::Int)]);
+        let mut op =
+            FusedScanOp::try_new(&conj, Some((&proj, out_schema)), schema(), "wp").unwrap();
+        let mut out = Vec::new();
+        op.on_record(rec("has kw here", 7), &mut out).unwrap();
+        op.on_record(rec("nope", 7), &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value(0), &Value::Int(8));
+    }
+
+    #[test]
+    fn parallel_clone_is_equivalent() {
+        let conj = cexprs(&["followers > 10", "text contains 'a'"]);
+        let op = FusedScanOp::try_new(&conj, None, schema(), "where").unwrap();
+        let mut clone = op.parallel_clone().expect("fused ops always clone");
+        let mut batch = vec![rec("abc", 100), rec("xyz", 100), rec("a", 2)];
+        let mut out = Vec::new();
+        clone.on_batch(&mut batch, &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+}

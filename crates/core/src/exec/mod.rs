@@ -9,6 +9,7 @@ pub mod asyncop;
 pub mod confidence;
 pub mod eddy;
 pub mod filter;
+pub mod fused;
 pub mod join;
 pub mod limit;
 pub mod parallel;
@@ -34,11 +35,21 @@ pub trait Operator: Send {
 
     /// Consume a micro-batch of records, pushing any outputs.
     ///
+    /// The operator takes the records by draining `recs` — it must
+    /// leave the vector empty — so the *caller keeps the allocation*
+    /// and can refill it for the next batch instead of allocating a
+    /// fresh `Vec` per send (the parallel engine recycles these
+    /// buffers across its channels).
+    ///
     /// The default loops [`Operator::on_record`]; operators with a
-    /// cheaper vectorized path (filter, project, async UDFs) override
-    /// it to amortize dispatch and pre-size buffers.
-    fn on_batch(&mut self, recs: Vec<Record>, out: &mut Vec<Record>) -> Result<(), QueryError> {
-        for rec in recs {
+    /// cheaper vectorized path (filter, project, fused scans, async
+    /// UDFs) override it to amortize dispatch and pre-size buffers.
+    fn on_batch(
+        &mut self,
+        recs: &mut Vec<Record>,
+        out: &mut Vec<Record>,
+    ) -> Result<(), QueryError> {
+        for rec in recs.drain(..) {
             self.on_record(rec, out)?;
         }
         Ok(())
@@ -106,6 +117,9 @@ pub struct OpStats {
     pub records_in: u64,
     /// Records emitted.
     pub records_out: u64,
+    /// Micro-batches consumed via the vectorized path (0 for purely
+    /// record-at-a-time stages).
+    pub batches: u64,
     /// Wall time spent inside the operator, in nanoseconds. Under data
     /// parallelism this sums the busy time of every worker clone, so it
     /// can exceed the run's elapsed wall time.
@@ -127,6 +141,7 @@ impl OpStats {
     pub fn absorb(&mut self, other: &OpStats) {
         self.records_in += other.records_in;
         self.records_out += other.records_out;
+        self.batches += other.batches;
         self.busy_nanos += other.busy_nanos;
         match (&mut self.health, &other.health) {
             (Some(mine), Some(theirs)) => mine.absorb(theirs),
@@ -241,36 +256,49 @@ impl Pipeline {
     }
 
     /// Push a micro-batch through every stage via the operators' batch
-    /// path.
+    /// path. Drains `recs`, leaving the caller its allocation.
     pub fn push_batch(
         &mut self,
-        recs: Vec<Record>,
+        recs: &mut Vec<Record>,
         out: &mut Vec<Record>,
     ) -> Result<(), QueryError> {
         self.push_batch_from(0, recs, out)
     }
 
-    /// Push a micro-batch through stages `start..`.
+    /// Push a micro-batch through stages `start..`. Drains `recs`;
+    /// intermediate results ping-pong between pipeline-owned scratch.
     pub fn push_batch_from(
         &mut self,
         start: usize,
-        recs: Vec<Record>,
+        recs: &mut Vec<Record>,
         out: &mut Vec<Record>,
     ) -> Result<(), QueryError> {
-        let mut current = recs;
-        for i in start..self.ops.len() {
-            let op = &mut self.ops[i];
-            self.stats[i].records_in += current.len() as u64;
-            let mut next = std::mem::take(&mut self.next);
+        let n = self.ops.len();
+        if start >= n {
+            out.append(recs);
+            return Ok(());
+        }
+        let mut cur = std::mem::take(&mut self.cur);
+        let mut next = std::mem::take(&mut self.next);
+        for i in start..n {
+            let input: &mut Vec<Record> = if i == start { recs } else { &mut cur };
+            self.stats[i].records_in += input.len() as u64;
+            self.stats[i].batches += 1;
             next.clear();
             let t0 = Instant::now();
-            op.on_batch(current, &mut next)?;
+            let res = self.ops[i].on_batch(input, &mut next);
             self.stats[i].busy_nanos += t0.elapsed().as_nanos() as u64;
             self.stats[i].records_out += next.len() as u64;
-            current = next;
+            if let Err(e) = res {
+                self.cur = cur;
+                self.next = next;
+                return Err(e);
+            }
+            std::mem::swap(&mut cur, &mut next);
         }
-        out.append(&mut current);
-        self.next = current;
+        out.append(&mut cur);
+        self.cur = cur;
+        self.next = next;
         Ok(())
     }
 

@@ -71,6 +71,30 @@ impl<T> Chan<T> {
         }
     }
 
+    /// Enqueue without blocking. `Err(v)` when the channel is full or
+    /// closed. Used by the buffer-recycling path, where dropping the
+    /// value (an empty `Vec` allocation) is always acceptable.
+    pub fn try_push(&self, v: T) -> Result<(), T> {
+        let mut g = self.inner.lock().expect("chan poisoned");
+        if g.closed || g.queue.len() >= self.cap {
+            return Err(v);
+        }
+        g.queue.push_back(v);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue without blocking. `None` when the channel is currently
+    /// empty (closed or not).
+    pub fn try_pop(&self) -> Option<T> {
+        let mut g = self.inner.lock().expect("chan poisoned");
+        let v = g.queue.pop_front();
+        if v.is_some() {
+            self.not_full.notify_one();
+        }
+        v
+    }
+
     /// Close the channel, waking every blocked producer and consumer.
     /// Idempotent.
     pub fn close(&self) {

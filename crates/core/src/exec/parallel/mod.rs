@@ -120,6 +120,12 @@ pub fn run_parallel(
     // The merge queue is sized per producer so one slow worker cannot
     // starve the others of result slots.
     let to_merge: Chan<Seq<Done>> = Chan::bounded(cfg.channel_capacity.max(1) * (workers + 1));
+    // Drained batch buffers flow back here instead of being dropped:
+    // the decoder and workers refill them, so the steady state moves
+    // records through the pool without allocating a `Vec` per batch.
+    // Strictly opportunistic — `try_push` drops the buffer when the
+    // pool is full, `try_pop` falls back to a fresh allocation.
+    let recycle: Chan<Vec<Record>> = Chan::bounded(cfg.channel_capacity.max(1) * (workers + 2));
     let live_workers = AtomicUsize::new(workers);
     let wm_interval = cfg.watermark_interval;
 
@@ -129,13 +135,22 @@ pub fn run_parallel(
     let mut worker_stats: Vec<(Vec<OpStats>, OpStats)> = Vec::new();
 
     std::thread::scope(|s| {
-        let decoder = s.spawn(|| decode_loop(src, &to_workers, &to_merge, batch_size, wm_interval));
+        let decoder = s.spawn(|| {
+            decode_loop(
+                src,
+                &to_workers,
+                &to_merge,
+                &recycle,
+                batch_size,
+                wm_interval,
+            )
+        });
         let handles: Vec<_> = kits
             .drain(..)
             .map(|(ops, builder)| {
-                let (tw, tm, live) = (&to_workers, &to_merge, &live_workers);
+                let (tw, tm, rc, live) = (&to_workers, &to_merge, &recycle, &live_workers);
                 s.spawn(move || {
-                    let stats = worker_loop(ops, builder, tw, tm);
+                    let stats = worker_loop(ops, builder, tw, tm, rc);
                     // Last worker out closes the merge queue; the
                     // decoder has already stopped feeding by then.
                     if live.fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -153,7 +168,11 @@ pub fn run_parallel(
             reorder.insert(seq, item);
             while let Some(item) = reorder.pop_next() {
                 let step = match item {
-                    Done::Rows(rows) => pipeline.push_batch_from(prefix_len, rows, &mut out),
+                    Done::Rows(mut rows) => {
+                        let step = pipeline.push_batch_from(prefix_len, &mut rows, &mut out);
+                        let _ = recycle.try_push(rows);
+                        step
+                    }
                     Done::Partial(table) => pipeline.absorb_partial(prefix_len, table, &mut out),
                     Done::Watermark(wm) => pipeline.watermark_from(prefix_len, wm, &mut out),
                     Done::Gap(from, to) => pipeline.gap_from(prefix_len, from, to, &mut out),
@@ -179,6 +198,7 @@ pub fn run_parallel(
         // wakes and stops every blocked producer.
         to_workers.close();
         to_merge.close();
+        recycle.close();
 
         let (cs, fs) = decoder.join().expect("decoder thread panicked");
         conn_stats = cs;
@@ -214,9 +234,20 @@ fn decode_loop(
     mut src: SupervisedSource,
     to_workers: &Chan<Seq<Vec<Record>>>,
     to_merge: &Chan<Seq<Done>>,
+    recycle: &Chan<Vec<Record>>,
     batch_size: usize,
     wm_interval: Duration,
 ) -> (ConnectionStats, SourceFaultStats) {
+    // Prefer a recycled buffer (drained downstream) over allocating.
+    let fresh = |recycle: &Chan<Vec<Record>>| {
+        recycle
+            .try_pop()
+            .map(|mut v| {
+                v.clear();
+                v
+            })
+            .unwrap_or_else(|| Vec::with_capacity(batch_size))
+    };
     let mut seq = 0u64;
     let mut batch: Vec<Record> = Vec::with_capacity(batch_size);
     let mut next_wm: Option<Timestamp> = None;
@@ -228,7 +259,7 @@ fn decode_loop(
                 // earlier sequence number, then route the marker
                 // around the worker pool like punctuation.
                 if !batch.is_empty() {
-                    let full = std::mem::replace(&mut batch, Vec::with_capacity(batch_size));
+                    let full = std::mem::replace(&mut batch, fresh(recycle));
                     if to_workers.push(Seq { seq, item: full }).is_err() {
                         break 'stream;
                     }
@@ -252,7 +283,7 @@ fn decode_loop(
                 // Cut the batch so records before the boundary keep an
                 // earlier sequence number than the watermark.
                 if !batch.is_empty() {
-                    let full = std::mem::replace(&mut batch, Vec::with_capacity(batch_size));
+                    let full = std::mem::replace(&mut batch, fresh(recycle));
                     if to_workers.push(Seq { seq, item: full }).is_err() {
                         break 'stream;
                     }
@@ -278,7 +309,7 @@ fn decode_loop(
         next_wm = Some(ts.truncate(wm_interval) + wm_interval);
         batch.push(rec);
         if batch.len() >= batch_size {
-            let full = std::mem::replace(&mut batch, Vec::with_capacity(batch_size));
+            let full = std::mem::replace(&mut batch, fresh(recycle));
             if to_workers.push(Seq { seq, item: full }).is_err() {
                 break 'stream;
             }
@@ -299,25 +330,39 @@ fn worker_loop(
     mut builder: Option<PartialAggBuilder>,
     to_workers: &Chan<Seq<Vec<Record>>>,
     to_merge: &Chan<Seq<Done>>,
+    recycle: &Chan<Vec<Record>>,
 ) -> (Vec<OpStats>, OpStats) {
     let mut stats = vec![OpStats::default(); ops.len()];
     let mut builder_stat = OpStats::default();
+    // Thread-local spare buffers for intermediate stages; drained
+    // inputs drop back in here, so a worker's steady state allocates
+    // nothing per batch.
+    let mut spares: Vec<Vec<Record>> = Vec::new();
     while let Some(Seq { seq, item }) = to_workers.pop() {
         let mut cur = item;
         let mut failed: Option<QueryError> = None;
         for (i, op) in ops.iter_mut().enumerate() {
             stats[i].records_in += cur.len() as u64;
-            let mut next = Vec::new();
+            stats[i].batches += 1;
+            let mut next = spares.pop().unwrap_or_default();
+            next.clear();
             let t0 = Instant::now();
-            match op.on_batch(cur, &mut next) {
-                Ok(()) => {
-                    stats[i].busy_nanos += t0.elapsed().as_nanos() as u64;
-                    stats[i].records_out += next.len() as u64;
-                    cur = next;
-                }
+            let res = op.on_batch(&mut cur, &mut next);
+            stats[i].busy_nanos += t0.elapsed().as_nanos() as u64;
+            // `cur` is drained now. The first stage's input came from
+            // the decoder's pool; hand it back. Later inputs are this
+            // worker's own scratch.
+            let drained = std::mem::replace(&mut cur, next);
+            if i == 0 {
+                let _ = recycle.try_push(drained);
+            } else {
+                spares.push(drained);
+            }
+            match res {
+                Ok(()) => stats[i].records_out += cur.len() as u64,
                 Err(e) => {
                     failed = Some(e);
-                    cur = Vec::new();
+                    cur.clear();
                     break;
                 }
             }
@@ -327,11 +372,16 @@ fn worker_loop(
             None => match &mut builder {
                 Some(b) => {
                     let t0 = Instant::now();
-                    match b.build(&cur) {
-                        Ok(table) => {
-                            builder_stat.busy_nanos += t0.elapsed().as_nanos() as u64;
-                            Done::Partial(table)
-                        }
+                    let built = b.build(&cur);
+                    builder_stat.busy_nanos += t0.elapsed().as_nanos() as u64;
+                    cur.clear();
+                    if ops.is_empty() {
+                        let _ = recycle.try_push(std::mem::take(&mut cur));
+                    } else {
+                        spares.push(std::mem::take(&mut cur));
+                    }
+                    match built {
+                        Ok(table) => Done::Partial(table),
                         Err(e) => Done::Error(e),
                     }
                 }
@@ -377,10 +427,12 @@ mod tests {
         let api = StreamingApi::new(tweets, VirtualClock::new());
         let to_workers: Chan<Seq<Vec<Record>>> = Chan::bounded(64);
         let to_merge: Chan<Seq<Done>> = Chan::bounded(64);
+        let recycle: Chan<Vec<Record>> = Chan::bounded(64);
         decode_loop(
             supervised(&api),
             &to_workers,
             &to_merge,
+            &recycle,
             8,
             Duration::from_secs(1),
         );
@@ -417,10 +469,12 @@ mod tests {
         let api = StreamingApi::new(tweets, VirtualClock::new());
         let to_workers: Chan<Seq<Vec<Record>>> = Chan::bounded(64);
         let to_merge: Chan<Seq<Done>> = Chan::bounded(64);
+        let recycle: Chan<Vec<Record>> = Chan::bounded(64);
         decode_loop(
             supervised(&api),
             &to_workers,
             &to_merge,
+            &recycle,
             4,
             Duration::from_secs(60),
         );

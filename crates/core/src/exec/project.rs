@@ -39,9 +39,13 @@ impl Operator for ProjectOp {
         Ok(())
     }
 
-    fn on_batch(&mut self, recs: Vec<Record>, out: &mut Vec<Record>) -> Result<(), QueryError> {
+    fn on_batch(
+        &mut self,
+        recs: &mut Vec<Record>,
+        out: &mut Vec<Record>,
+    ) -> Result<(), QueryError> {
         out.reserve(recs.len());
-        for rec in recs {
+        for rec in recs.drain(..) {
             let mut values = Vec::with_capacity(self.exprs.len());
             for e in &self.exprs {
                 values.push(e.eval(&rec, &mut self.ctx)?);

@@ -7,7 +7,12 @@
 //! Async UDFs never appear here — the planner hoists them into
 //! dedicated operators first (see [`crate::plan`]).
 
+pub mod compile;
 pub mod functions;
+pub mod vm;
+
+pub use compile::ExprProgram;
+pub use vm::BatchVm;
 
 use crate::ast::{BinOp, Expr, ExprKind};
 use crate::error::QueryError;
@@ -16,7 +21,22 @@ use std::sync::Arc;
 use tweeql_geo::BoundingBox;
 use tweeql_model::{Record, Schema, Value};
 use tweeql_text::ac::AhoCorasick;
+use tweeql_text::fold::{contains_fold_both, contains_folded, fold_needle, SmallBuf};
 use tweeql_text::Regex;
+
+/// Render a non-string operand into `buf` for substring matching;
+/// strings borrow directly and pay nothing.
+fn value_as_str<'a>(v: &'a Value, buf: &'a mut SmallBuf) -> &'a str {
+    match v {
+        Value::Str(s) => s,
+        other => {
+            use std::fmt::Write;
+            buf.clear();
+            let _ = write!(buf, "{other}");
+            buf.as_str()
+        }
+    }
+}
 
 /// Per-query mutable evaluation context: instances of stateful UDFs.
 #[derive(Default)]
@@ -212,14 +232,18 @@ impl CExpr {
                 }
             }
             CExpr::Neg(e) => Ok(e.eval(rec, ctx)?.neg()?),
-            CExpr::ContainsLiteral { expr, needle, ac } => {
+            CExpr::ContainsLiteral { expr, needle, .. } => {
                 let v = expr.eval(rec, ctx)?;
                 match v {
                     Value::Null => Ok(Value::Null),
-                    Value::Str(s) => Ok(Value::Bool(needle.is_empty() || ac.is_match(&s))),
-                    other => Ok(Value::Bool(
-                        other.to_string().to_lowercase().contains(needle.as_str()),
-                    )),
+                    Value::Str(s) => Ok(Value::Bool(contains_folded(&s, needle))),
+                    other => {
+                        let mut buf = SmallBuf::new();
+                        Ok(Value::Bool(contains_folded(
+                            value_as_str(&other, &mut buf),
+                            needle,
+                        )))
+                    }
                 }
             }
             CExpr::ContainsDynamic { expr, pattern } => {
@@ -228,11 +252,11 @@ impl CExpr {
                 if hay.is_null() || needle.is_null() {
                     return Ok(Value::Null);
                 }
-                Ok(Value::Bool(
-                    hay.to_string()
-                        .to_lowercase()
-                        .contains(&needle.to_string().to_lowercase()),
-                ))
+                let (mut hbuf, mut nbuf) = (SmallBuf::new(), SmallBuf::new());
+                Ok(Value::Bool(contains_fold_both(
+                    value_as_str(&hay, &mut hbuf),
+                    value_as_str(&needle, &mut nbuf),
+                )))
             }
             CExpr::Matches { expr, regex } => {
                 let v = expr.eval(rec, ctx)?;
@@ -333,7 +357,7 @@ pub fn compile_into(
             let ce = Box::new(compile_into(expr, schema, registry, ctx)?);
             match &pattern.kind {
                 ExprKind::Literal(Value::Str(s)) => {
-                    let needle = s.to_lowercase();
+                    let needle = fold_needle(s);
                     CExpr::ContainsLiteral {
                         expr: ce,
                         ac: AhoCorasick::new([needle.as_str()]),

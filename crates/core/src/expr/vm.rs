@@ -1,0 +1,641 @@
+//! Batch-at-a-time virtual machine for [`ExprProgram`]s.
+//!
+//! Registers are *columns*: `regs[r][i]` holds register `r`'s value for
+//! row `i` of the current batch. Each instruction loops over the
+//! current **selection vector** (a sorted list of live row indexes), so
+//! instruction dispatch is paid once per batch instead of once per
+//! record, and rows dropped by an earlier conjunct never touch later
+//! instructions.
+//!
+//! Programs are SSA-shaped (every `dst` register written exactly once,
+//! always before any read), which means register columns never need
+//! clearing between batches — stale values from a previous batch are
+//! unreachable. The VM only grows columns to the batch length.
+//!
+//! All scratch (register columns, mask stack, UDF argument buffer,
+//! string render buffers) lives in the [`BatchVm`] and is reused across
+//! batches: steady-state evaluation performs no heap allocation beyond
+//! what the expressions themselves demand (e.g. `upper()` building its
+//! output string).
+
+use super::compile::{ExprProgram, Instr};
+use super::value_as_str;
+use crate::ast::BinOp;
+use crate::error::QueryError;
+use tweeql_model::{Record, Value};
+use tweeql_text::fold::{contains_fold_both, SmallBuf};
+
+/// Reusable evaluation scratch for compiled programs. One per operator
+/// (or per worker clone); not shared across threads.
+pub struct BatchVm {
+    regs: Vec<Vec<Value>>,
+    masks: Vec<Vec<u32>>,
+    argv: Vec<Value>,
+    hbuf: SmallBuf,
+    nbuf: SmallBuf,
+}
+
+impl Default for BatchVm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BatchVm {
+    /// Fresh VM with no scratch allocated yet.
+    pub fn new() -> Self {
+        BatchVm {
+            regs: Vec::new(),
+            masks: Vec::new(),
+            argv: Vec::new(),
+            hbuf: SmallBuf::new(),
+            nbuf: SmallBuf::new(),
+        }
+    }
+
+    fn ensure(&mut self, num_regs: u16, rows: usize) {
+        let n = num_regs as usize;
+        if self.regs.len() < n {
+            self.regs.resize_with(n, Vec::new);
+        }
+        for col in &mut self.regs[..n] {
+            if col.len() < rows {
+                col.resize(rows, Value::Null);
+            }
+        }
+    }
+
+    /// Evaluate `prog` over the rows of `recs` listed in `sel` (sorted
+    /// ascending). The result value for row `i` is left in the result
+    /// register column at index `i`; read it with [`Self::result`] or
+    /// move it out with [`Self::take_result`].
+    pub fn eval_into(
+        &mut self,
+        prog: &ExprProgram,
+        recs: &[Record],
+        sel: &[u32],
+    ) -> Result<(), QueryError> {
+        self.ensure(prog.num_regs, recs.len());
+        let mut depth = 0usize;
+        for instr in &prog.instrs {
+            match instr {
+                Instr::AndRhs { lhs } | Instr::OrRhs { lhs } => {
+                    let want_truthy_skip = matches!(instr, Instr::OrRhs { .. });
+                    while self.masks.len() <= depth {
+                        self.masks.push(Vec::new());
+                    }
+                    let (head, tail) = self.masks.split_at_mut(depth);
+                    let cur: &[u32] = if depth == 0 { sel } else { &head[depth - 1] };
+                    let next = &mut tail[0];
+                    next.clear();
+                    let lcol = &self.regs[*lhs as usize];
+                    for &i in cur {
+                        let v = &lcol[i as usize];
+                        // AND evaluates the rhs where the lhs did not
+                        // already decide `false` (NULL or truthy); OR
+                        // where it did not already decide `true`.
+                        let needs_rhs = if want_truthy_skip {
+                            !v.is_truthy()
+                        } else {
+                            v.is_null() || v.is_truthy()
+                        };
+                        if needs_rhs {
+                            next.push(i);
+                        }
+                    }
+                    depth += 1;
+                    continue;
+                }
+                Instr::AndEnd { lhs, rhs, dst } | Instr::OrEnd { lhs, rhs, dst } => {
+                    let is_and = matches!(instr, Instr::AndEnd { .. });
+                    depth -= 1;
+                    let mut dstv = std::mem::take(&mut self.regs[*dst as usize]);
+                    {
+                        let cur: &[u32] = if depth == 0 {
+                            sel
+                        } else {
+                            &self.masks[depth - 1]
+                        };
+                        let sub = &self.masks[depth];
+                        let lcol = &self.regs[*lhs as usize];
+                        let rcol = &self.regs[*rhs as usize];
+                        let mut k = 0usize;
+                        for &i in cur {
+                            let row = i as usize;
+                            let in_sub = k < sub.len() && sub[k] == i;
+                            dstv[row] = if in_sub {
+                                k += 1;
+                                let (l, r) = (&lcol[row], &rcol[row]);
+                                if is_and {
+                                    if !r.is_null() && !r.is_truthy() {
+                                        Value::Bool(false)
+                                    } else if l.is_null() || r.is_null() {
+                                        Value::Null
+                                    } else {
+                                        Value::Bool(true)
+                                    }
+                                } else if r.is_truthy() {
+                                    Value::Bool(true)
+                                } else if l.is_null() || r.is_null() {
+                                    Value::Null
+                                } else {
+                                    Value::Bool(false)
+                                }
+                            } else {
+                                // Short-circuited: AND saw a definite
+                                // false, OR a definite true.
+                                Value::Bool(!is_and)
+                            };
+                        }
+                    }
+                    self.regs[*dst as usize] = dstv;
+                    continue;
+                }
+                _ => {}
+            }
+
+            let mut dstv = std::mem::take(&mut self.regs[dst_of(instr) as usize]);
+            let res = self.step(instr, prog, recs, sel, depth, &mut dstv);
+            self.regs[dst_of(instr) as usize] = dstv;
+            res?;
+        }
+        Ok(())
+    }
+
+    /// One non-mask instruction over the current selection.
+    fn step(
+        &mut self,
+        instr: &Instr,
+        prog: &ExprProgram,
+        recs: &[Record],
+        sel: &[u32],
+        depth: usize,
+        dstv: &mut [Value],
+    ) -> Result<(), QueryError> {
+        let cur: &[u32] = if depth == 0 {
+            sel
+        } else {
+            &self.masks[depth - 1]
+        };
+        match instr {
+            Instr::Col { col, .. } => {
+                for &i in cur {
+                    dstv[i as usize] = recs[i as usize].value(*col).clone();
+                }
+            }
+            Instr::Const { idx, .. } => {
+                let c = &prog.consts[*idx as usize];
+                for &i in cur {
+                    dstv[i as usize] = c.clone();
+                }
+            }
+            Instr::Bin { op, a, b, .. } => {
+                let acol = &self.regs[*a as usize];
+                let bcol = &self.regs[*b as usize];
+                match op {
+                    BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                        for &i in cur {
+                            let row = i as usize;
+                            dstv[row] = match acol[row].compare(&bcol[row]) {
+                                None => Value::Null,
+                                Some(ord) => Value::Bool(match op {
+                                    BinOp::Eq => ord.is_eq(),
+                                    BinOp::Ne => ord.is_ne(),
+                                    BinOp::Lt => ord.is_lt(),
+                                    BinOp::Le => ord.is_le(),
+                                    BinOp::Gt => ord.is_gt(),
+                                    BinOp::Ge => ord.is_ge(),
+                                    _ => unreachable!(),
+                                }),
+                            };
+                        }
+                    }
+                    BinOp::Add => {
+                        for &i in cur {
+                            let row = i as usize;
+                            dstv[row] = acol[row].add(&bcol[row])?;
+                        }
+                    }
+                    BinOp::Sub => {
+                        for &i in cur {
+                            let row = i as usize;
+                            dstv[row] = acol[row].sub(&bcol[row])?;
+                        }
+                    }
+                    BinOp::Mul => {
+                        for &i in cur {
+                            let row = i as usize;
+                            dstv[row] = acol[row].mul(&bcol[row])?;
+                        }
+                    }
+                    BinOp::Div => {
+                        for &i in cur {
+                            let row = i as usize;
+                            dstv[row] = acol[row].div(&bcol[row])?;
+                        }
+                    }
+                    BinOp::Mod => {
+                        for &i in cur {
+                            let row = i as usize;
+                            dstv[row] = acol[row].rem(&bcol[row])?;
+                        }
+                    }
+                    BinOp::And | BinOp::Or => unreachable!("lowered to mask instructions"),
+                }
+            }
+            Instr::BinConst {
+                op,
+                a,
+                idx,
+                const_right,
+                ..
+            } => {
+                let c = &prog.consts[*idx as usize];
+                let acol = &self.regs[*a as usize];
+                match op {
+                    BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                        for &i in cur {
+                            let row = i as usize;
+                            let (l, r) = if *const_right {
+                                (&acol[row], c)
+                            } else {
+                                (c, &acol[row])
+                            };
+                            dstv[row] = match l.compare(r) {
+                                None => Value::Null,
+                                Some(ord) => Value::Bool(match op {
+                                    BinOp::Eq => ord.is_eq(),
+                                    BinOp::Ne => ord.is_ne(),
+                                    BinOp::Lt => ord.is_lt(),
+                                    BinOp::Le => ord.is_le(),
+                                    BinOp::Gt => ord.is_gt(),
+                                    BinOp::Ge => ord.is_ge(),
+                                    _ => unreachable!(),
+                                }),
+                            };
+                        }
+                    }
+                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                        for &i in cur {
+                            let row = i as usize;
+                            let (l, r) = if *const_right {
+                                (&acol[row], c)
+                            } else {
+                                (c, &acol[row])
+                            };
+                            dstv[row] = match op {
+                                BinOp::Add => l.add(r)?,
+                                BinOp::Sub => l.sub(r)?,
+                                BinOp::Mul => l.mul(r)?,
+                                BinOp::Div => l.div(r)?,
+                                BinOp::Mod => l.rem(r)?,
+                                _ => unreachable!(),
+                            };
+                        }
+                    }
+                    BinOp::And | BinOp::Or => unreachable!("lowered to mask instructions"),
+                }
+            }
+            Instr::Not { a, .. } => {
+                let acol = &self.regs[*a as usize];
+                for &i in cur {
+                    let row = i as usize;
+                    let v = &acol[row];
+                    dstv[row] = if v.is_null() {
+                        Value::Null
+                    } else {
+                        Value::Bool(!v.is_truthy())
+                    };
+                }
+            }
+            Instr::Neg { a, .. } => {
+                let acol = &self.regs[*a as usize];
+                for &i in cur {
+                    let row = i as usize;
+                    dstv[row] = acol[row].neg()?;
+                }
+            }
+            Instr::IsNull { a, negated, .. } => {
+                let acol = &self.regs[*a as usize];
+                for &i in cur {
+                    let row = i as usize;
+                    dstv[row] = Value::Bool(acol[row].is_null() != *negated);
+                }
+            }
+            Instr::ContainsLit { a, matcher, .. } => {
+                let m = &prog.matchers[*matcher as usize];
+                let acol = &self.regs[*a as usize];
+                for &i in cur {
+                    let row = i as usize;
+                    dstv[row] = match &acol[row] {
+                        Value::Null => Value::Null,
+                        Value::Str(s) => Value::Bool(m.is_match(s)),
+                        other => Value::Bool(m.is_match(value_as_str(other, &mut self.hbuf))),
+                    };
+                }
+            }
+            Instr::ContainsCol { col, matcher, .. } => {
+                let m = &prog.matchers[*matcher as usize];
+                for &i in cur {
+                    let row = i as usize;
+                    dstv[row] = match recs[row].value(*col) {
+                        Value::Null => Value::Null,
+                        Value::Str(s) => Value::Bool(m.is_match(s)),
+                        other => Value::Bool(m.is_match(value_as_str(other, &mut self.hbuf))),
+                    };
+                }
+            }
+            Instr::MultiContains { col, matcher, .. } => {
+                let m = &prog.multis[*matcher as usize];
+                for &i in cur {
+                    let row = i as usize;
+                    dstv[row] = match recs[row].value(*col) {
+                        Value::Null => Value::Null,
+                        Value::Str(s) => Value::Bool(m.is_match(s)),
+                        other => Value::Bool(m.is_match(value_as_str(other, &mut self.hbuf))),
+                    };
+                }
+            }
+            Instr::ContainsDyn { a, b, .. } => {
+                let acol = &self.regs[*a as usize];
+                let bcol = &self.regs[*b as usize];
+                for &i in cur {
+                    let row = i as usize;
+                    let (hay, nee) = (&acol[row], &bcol[row]);
+                    dstv[row] = if hay.is_null() || nee.is_null() {
+                        Value::Null
+                    } else {
+                        Value::Bool(contains_fold_both(
+                            value_as_str(hay, &mut self.hbuf),
+                            value_as_str(nee, &mut self.nbuf),
+                        ))
+                    };
+                }
+            }
+            Instr::Matches { a, regex, .. } => {
+                let re = &prog.regexes[*regex as usize];
+                let acol = &self.regs[*a as usize];
+                for &i in cur {
+                    let row = i as usize;
+                    dstv[row] = match &acol[row] {
+                        Value::Null => Value::Null,
+                        other => Value::Bool(re.is_match(value_as_str(other, &mut self.hbuf))),
+                    };
+                }
+            }
+            Instr::InBBox { lat, lon, bbox, .. } => {
+                let b = &prog.bboxes[*bbox as usize];
+                for &i in cur {
+                    let row = i as usize;
+                    let (la, lo) = (recs[row].value(*lat), recs[row].value(*lon));
+                    dstv[row] = match (la.as_float().ok(), lo.as_float().ok()) {
+                        (Some(la), Some(lo)) => {
+                            Value::Bool(b.contains(&tweeql_geo::GeoPoint::new(la, lo)))
+                        }
+                        _ => Value::Bool(false),
+                    };
+                }
+            }
+            Instr::InList { a, list, .. } => {
+                let l = &prog.lists[*list as usize];
+                let acol = &self.regs[*a as usize];
+                for &i in cur {
+                    let row = i as usize;
+                    let v = &acol[row];
+                    dstv[row] = if v.is_null() {
+                        Value::Null
+                    } else {
+                        Value::Bool(l.iter().any(|c| c == v))
+                    };
+                }
+            }
+            Instr::CallScalar {
+                udf, args_at, argc, ..
+            } => {
+                let f = &prog.udfs[*udf as usize];
+                let arg_regs = &prog.call_args[*args_at as usize..(*args_at + *argc) as usize];
+                for &i in cur {
+                    let row = i as usize;
+                    self.argv.clear();
+                    for &r in arg_regs {
+                        self.argv.push(self.regs[r as usize][row].clone());
+                    }
+                    dstv[row] = f.call(&self.argv)?;
+                }
+            }
+            Instr::AndRhs { .. }
+            | Instr::OrRhs { .. }
+            | Instr::AndEnd { .. }
+            | Instr::OrEnd { .. } => unreachable!("handled in eval_into"),
+        }
+        Ok(())
+    }
+
+    /// Borrow the result value for `row` after [`Self::eval_into`].
+    pub fn result(&self, prog: &ExprProgram, row: u32) -> &Value {
+        &self.regs[prog.result as usize][row as usize]
+    }
+
+    /// Move the result value for `row` out of the register file.
+    pub fn take_result(&mut self, prog: &ExprProgram, row: u32) -> Value {
+        std::mem::replace(
+            &mut self.regs[prog.result as usize][row as usize],
+            Value::Null,
+        )
+    }
+
+    /// Evaluate as a filter: write the subset of `sel_in` whose result
+    /// is truthy (SQL semantics: NULL → dropped) into `sel_out`.
+    pub fn filter(
+        &mut self,
+        prog: &ExprProgram,
+        recs: &[Record],
+        sel_in: &[u32],
+        sel_out: &mut Vec<u32>,
+    ) -> Result<(), QueryError> {
+        self.eval_into(prog, recs, sel_in)?;
+        let res = &self.regs[prog.result as usize];
+        sel_out.clear();
+        for &i in sel_in {
+            if res[i as usize].is_truthy() {
+                sel_out.push(i);
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluate against a single record (differential tests, the
+    /// serial `on_record` path).
+    pub fn eval_record(&mut self, prog: &ExprProgram, rec: &Record) -> Result<Value, QueryError> {
+        self.eval_into(prog, std::slice::from_ref(rec), &[0])?;
+        Ok(self.take_result(prog, 0))
+    }
+}
+
+fn dst_of(instr: &Instr) -> u16 {
+    match instr {
+        Instr::Col { dst, .. }
+        | Instr::Const { dst, .. }
+        | Instr::Bin { dst, .. }
+        | Instr::BinConst { dst, .. }
+        | Instr::AndEnd { dst, .. }
+        | Instr::OrEnd { dst, .. }
+        | Instr::Not { dst, .. }
+        | Instr::Neg { dst, .. }
+        | Instr::IsNull { dst, .. }
+        | Instr::ContainsLit { dst, .. }
+        | Instr::ContainsCol { dst, .. }
+        | Instr::MultiContains { dst, .. }
+        | Instr::ContainsDyn { dst, .. }
+        | Instr::Matches { dst, .. }
+        | Instr::InBBox { dst, .. }
+        | Instr::InList { dst, .. }
+        | Instr::CallScalar { dst, .. } => *dst,
+        Instr::AndRhs { .. } | Instr::OrRhs { .. } => unreachable!("mask push has no dst"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{compile, ExprProgram};
+    use crate::parser::parse_expr;
+    use crate::udf::{Registry, ServiceConfig};
+    use tweeql_model::{DataType, Record, Schema, Timestamp, VirtualClock};
+
+    fn schema() -> tweeql_model::SchemaRef {
+        Schema::shared(&[
+            ("text", DataType::Str),
+            ("followers", DataType::Int),
+            ("lat", DataType::Float),
+            ("lang", DataType::Str),
+        ])
+    }
+
+    fn rec(text: &str, followers: i64, lat: Option<f64>) -> Record {
+        Record::new(
+            schema(),
+            vec![
+                Value::Str(text.into()),
+                Value::Int(followers),
+                lat.map(Value::Float).unwrap_or(Value::Null),
+                Value::Str("en".into()),
+            ],
+            Timestamp::ZERO,
+        )
+        .unwrap()
+    }
+
+    fn program(src: &str) -> ExprProgram {
+        let ast = parse_expr(src).unwrap();
+        let reg = Registry::standard(&ServiceConfig::default(), VirtualClock::new());
+        let (c, ctx) = compile(&ast, &schema(), &reg).unwrap();
+        assert!(ctx.is_stateless());
+        ExprProgram::lower(&c).unwrap()
+    }
+
+    /// Batch evaluation agrees with the interpreter on a matrix of
+    /// expressions × records (the proptest differential suite in
+    /// tests/ covers random inputs; this pins the basics).
+    #[test]
+    fn matches_interpreter_on_basics() {
+        let recs = vec![
+            rec("Barack Obama speaks", 100, Some(40.0)),
+            rec("nothing here", 0, None),
+            rec("OBAMA again", -3, Some(1.0)),
+        ];
+        let exprs = [
+            "text contains 'obama'",
+            "followers + 1",
+            "followers > 0 and lat > 10",
+            "followers > 0 or lat > 10",
+            "not (lat > 10)",
+            "lat is null",
+            "upper(lang)",
+            "text contains lang",
+            "lang in ('en', 'ja')",
+        ];
+        let reg = Registry::standard(&ServiceConfig::default(), VirtualClock::new());
+        let mut vm = BatchVm::new();
+        for src in exprs {
+            let ast = parse_expr(src).unwrap();
+            let (c, mut ctx) = compile(&ast, &schema(), &reg).unwrap();
+            let prog = ExprProgram::lower(&c).unwrap();
+            let sel: Vec<u32> = (0..recs.len() as u32).collect();
+            vm.eval_into(&prog, &recs, &sel).unwrap();
+            for (i, r) in recs.iter().enumerate() {
+                let want = c.eval(r, &mut ctx).unwrap();
+                assert_eq!(*vm.result(&prog, i as u32), want, "expr {src:?} row {i}");
+            }
+        }
+    }
+
+    /// `OR` must not evaluate its rhs for rows the lhs already decided
+    /// — an erroring rhs only fails the rows that reach it.
+    #[test]
+    fn or_short_circuits_erroring_rhs() {
+        let prog = program("followers > 0 or followers / (followers * 0) > 1");
+        let mut vm = BatchVm::new();
+        // Row passes the lhs: rhs (division by zero → Null, fine) is
+        // skipped entirely; result is true.
+        let ok = rec("x", 5, None);
+        assert_eq!(vm.eval_record(&prog, &ok).unwrap(), Value::Bool(true));
+        // Erroring rhs: 'a' + 1 errors only when the lhs is falsy.
+        let prog = program("followers > 0 or text + 1 > 0");
+        let ok = rec("x", 5, None);
+        assert_eq!(vm.eval_record(&prog, &ok).unwrap(), Value::Bool(true));
+        let bad = rec("x", 0, None);
+        assert!(vm.eval_record(&prog, &bad).is_err());
+    }
+
+    #[test]
+    fn or_of_contains_fuses_to_multi_needle() {
+        let prog = program("text contains 'goal' or text contains 'score'");
+        assert_eq!(prog.len(), 1, "expected single MultiContains: {prog:?}");
+        let mut vm = BatchVm::new();
+        assert_eq!(
+            vm.eval_record(&prog, &rec("great GOAL!", 1, None)).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            vm.eval_record(&prog, &rec("the score is 2-0", 1, None))
+                .unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            vm.eval_record(&prog, &rec("nothing", 1, None)).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn stateful_udf_is_unsupported() {
+        use crate::expr::compile_into;
+        use crate::udf::StatefulUdf;
+        struct S;
+        impl StatefulUdf for S {
+            fn call(&mut self, _: &[Value], _: Timestamp) -> Result<Value, QueryError> {
+                Ok(Value::Null)
+            }
+        }
+        let mut reg = Registry::empty();
+        reg.register_stateful("s", std::sync::Arc::new(|| Box::new(S)));
+        let ast = parse_expr("s()").unwrap();
+        let mut ctx = crate::expr::EvalCtx::default();
+        let c = compile_into(&ast, &schema(), &reg, &mut ctx).unwrap();
+        assert_eq!(
+            ExprProgram::lower(&c).unwrap_err(),
+            crate::expr::compile::Unsupported::StatefulUdf
+        );
+    }
+
+    #[test]
+    fn filter_shrinks_selection() {
+        let prog = program("followers > 0");
+        let recs = vec![rec("a", 5, None), rec("b", 0, None), rec("c", 9, None)];
+        let mut vm = BatchVm::new();
+        let mut out = Vec::new();
+        vm.filter(&prog, &recs, &[0, 1, 2], &mut out).unwrap();
+        assert_eq!(out, vec![0, 2]);
+    }
+}

@@ -26,6 +26,7 @@ use crate::exec::aggregate::{AggExpr, AggregateOp, WindowPolicy};
 use crate::exec::asyncop::AsyncUdfOp;
 use crate::exec::eddy::EddyFilter;
 use crate::exec::filter::FilterOp;
+use crate::exec::fused::FusedScanOp;
 use crate::exec::join::SymmetricHashJoin;
 use crate::exec::limit::LimitOp;
 use crate::exec::project::ProjectOp;
@@ -41,6 +42,11 @@ use tweeql_model::{DataType, Duration, Field, Schema, SchemaRef, Value};
 pub struct PlanConfig {
     /// Use the adaptive eddy for multi-conjunct local filters.
     pub use_eddy: bool,
+    /// Lower stateless WHERE/SELECT expressions into compiled batch
+    /// programs ([`crate::exec::fused::FusedScanOp`]); expressions the
+    /// lowering rejects (stateful UDFs) fall back to the interpreted
+    /// operators automatically.
+    pub compile_exprs: bool,
     /// Async operator batch size (1 = unbatched).
     pub async_max_batch: usize,
     /// Max stream-time an async tuple waits for batch peers.
@@ -53,6 +59,7 @@ impl Default for PlanConfig {
     fn default() -> Self {
         PlanConfig {
             use_eddy: false,
+            compile_exprs: true,
             async_max_batch: 25,
             async_max_delay: Duration::from_secs(2),
             default_join_window: Duration::from_mins(5),
@@ -192,6 +199,17 @@ pub fn plan(
         }
     }
 
+    // Pre-collect SELECT aggregates: the fusion decision below needs
+    // to know whether the query takes the aggregation path.
+    let mut aggs: Vec<(AggFunc, Option<Expr>)> = Vec::new();
+    for (e, _, _) in &select_exprs {
+        collect_aggs(e, &mut aggs)?;
+    }
+    // A "plain select": final stage is a straight projection (no
+    // aggregation, grouping, or HAVING) — the shape the compiled
+    // `where+project` fusion applies to.
+    let plain_select = stmt.having.is_none() && aggs.is_empty() && stmt.group_by.is_empty();
+
     // ---- build the pipeline ----
     let mut ops: Vec<Box<dyn Operator>> = Vec::new();
 
@@ -232,6 +250,9 @@ pub fn plan(
     // Async calls WHERE needs, then the filter, then the rest.
     add_async(0..where_hoists, &mut working_schema, &mut ops, &mut explain)?;
 
+    // WHERE conjuncts deferred for fusion with the final projection
+    // (only when nothing — async stage, aggregation — sits between).
+    let mut pending_fuse: Option<Vec<Expr>> = None;
     if !conjuncts.is_empty() {
         let ordered = optimizer::order_conjuncts(conjuncts);
         if config.use_eddy && ordered.len() > 1 {
@@ -246,14 +267,39 @@ pub fn plan(
                 ctx,
                 working_schema.clone(),
             )));
+        } else if config.compile_exprs && plain_select && hoists.len() == where_hoists {
+            // `filter → project` with nothing in between: fuse into one
+            // compiled scan at the projection point below.
+            pending_fuse = Some(ordered);
         } else {
-            let expr = Expr::and_all(ordered);
-            let mut ctx = EvalCtx::default();
-            let compiled = compile_into(&expr, &working_schema, registry, &mut ctx)?;
-            explain.push("filter (cost-ordered conjuncts)".to_string());
-            ops.push(Box::new(
-                FilterOp::new(compiled, ctx, working_schema.clone()).with_label("where"),
-            ));
+            let mut fused = None;
+            if config.compile_exprs {
+                let mut ctx = EvalCtx::default();
+                let mut compiled = Vec::with_capacity(ordered.len());
+                for c in &ordered {
+                    compiled.push(compile_into(c, &working_schema, registry, &mut ctx)?);
+                }
+                // Stateful UDFs fail lowering → interpreted fallback.
+                fused = FusedScanOp::try_new(&compiled, None, working_schema.clone(), "where").ok();
+                if fused.is_some() {
+                    explain.push(format!(
+                        "compiled filter ({} conjuncts, adaptive order)",
+                        compiled.len()
+                    ));
+                }
+            }
+            match fused {
+                Some(op) => ops.push(Box::new(op)),
+                None => {
+                    let expr = Expr::and_all(ordered);
+                    let mut ctx = EvalCtx::default();
+                    let compiled = compile_into(&expr, &working_schema, registry, &mut ctx)?;
+                    explain.push("filter (cost-ordered conjuncts)".to_string());
+                    ops.push(Box::new(
+                        FilterOp::new(compiled, ctx, working_schema.clone()).with_label("where"),
+                    ));
+                }
+            }
         }
     }
 
@@ -276,10 +322,6 @@ pub fn plan(
     };
 
     // ---- aggregation or projection ----
-    let mut aggs: Vec<(AggFunc, Option<Expr>)> = Vec::new();
-    for (e, _, _) in &select_exprs {
-        collect_aggs(e, &mut aggs)?;
-    }
     if let Some(h) = &having_expr {
         collect_aggs(h, &mut aggs)?;
     }
@@ -428,8 +470,60 @@ pub fn plan(
             ));
         }
         let schema = Arc::new(Schema::new(dedupe_names(out_fields)));
-        explain.push(format!("project {} columns", schema.len()));
-        ops.push(Box::new(ProjectOp::new(pexprs, ctx, schema.clone())));
+
+        // Compiled scan: deferred WHERE conjuncts (if any) fused with
+        // the projection into a single batch operator.
+        let mut fused = None;
+        if config.compile_exprs {
+            let mut cwhere = Vec::new();
+            if let Some(ordered) = &pending_fuse {
+                let mut fctx = EvalCtx::default();
+                for c in ordered {
+                    cwhere.push(compile_into(c, &working_schema, registry, &mut fctx)?);
+                }
+            }
+            let label = if cwhere.is_empty() {
+                "project"
+            } else {
+                "where+project"
+            };
+            fused = FusedScanOp::try_new(
+                &cwhere,
+                Some((&pexprs, schema.clone())),
+                working_schema.clone(),
+                label,
+            )
+            .ok();
+            if fused.is_some() {
+                if cwhere.is_empty() {
+                    explain.push(format!("compiled project {} columns", schema.len()));
+                } else {
+                    explain.push(format!(
+                        "compiled fused where+project ({} conjuncts, {} columns)",
+                        cwhere.len(),
+                        schema.len()
+                    ));
+                }
+            }
+        }
+        match fused {
+            Some(op) => ops.push(Box::new(op)),
+            None => {
+                // Interpreted fallback; a deferred WHERE re-emerges as
+                // its own filter stage.
+                if let Some(ordered) = pending_fuse.take() {
+                    let expr = Expr::and_all(ordered);
+                    let mut fctx = EvalCtx::default();
+                    let compiled = compile_into(&expr, &working_schema, registry, &mut fctx)?;
+                    explain.push("filter (cost-ordered conjuncts)".to_string());
+                    ops.push(Box::new(
+                        FilterOp::new(compiled, fctx, working_schema.clone()).with_label("where"),
+                    ));
+                }
+                explain.push(format!("project {} columns", schema.len()));
+                ops.push(Box::new(ProjectOp::new(pexprs, ctx, schema.clone())));
+            }
+        }
         output_schema = schema;
     }
 
@@ -828,8 +922,9 @@ mod tests {
         assert!(p.join.is_none());
         assert_eq!(p.api_candidates.len(), 1);
         assert!(p.api_candidates[0].description.contains("track"));
-        // filter + project
-        assert_eq!(p.pipeline.len(), 2);
+        // filter + project fuse into one compiled scan
+        assert_eq!(p.pipeline.len(), 1, "{}", p.explain);
+        assert!(p.explain.contains("where+project"), "{}", p.explain);
     }
 
     #[test]
@@ -867,7 +962,7 @@ mod tests {
             .map(|(n, _)| n.clone())
             .collect();
         assert!(stages[0].starts_with("async:latitude"), "{stages:?}");
-        assert_eq!(stages[1], "where");
+        assert!(stages[1].starts_with("where"), "{stages:?}");
     }
 
     #[test]

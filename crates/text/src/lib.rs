@@ -23,6 +23,7 @@
 
 pub mod ac;
 pub mod entity;
+pub mod fold;
 pub mod normalize;
 pub mod regex;
 pub mod sentiment;
@@ -32,6 +33,7 @@ pub mod tfidf;
 pub mod tokenize;
 
 pub use ac::AhoCorasick;
+pub use fold::{contains_fold_both, contains_folded, fold_needle, SmallBuf};
 pub use regex::Regex;
 pub use sentiment::{Polarity, SentimentClassifier};
 pub use tokenize::{tokenize, Token, TokenKind};
