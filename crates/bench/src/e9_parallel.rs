@@ -70,6 +70,10 @@ pub struct E9Cell {
     /// with the `bench-alloc` feature (and the binary installed the
     /// counting allocator); `None` — JSON `null` — otherwise.
     pub allocs_per_record: Option<f64>,
+    /// The run's metrics registry, rendered as a JSON object — the
+    /// engine's own counters (records decoded, per-operator rows,
+    /// windows emitted) embedded verbatim in `BENCH_engine.json`.
+    pub metrics_json: String,
 }
 
 /// One query's sweep over [`WORKER_COUNTS`].
@@ -97,7 +101,11 @@ pub fn firehose(seed: u64, minutes: i64) -> Vec<Tweet> {
     generate(&s, seed)
 }
 
-fn measure(tweets: Vec<Tweet>, sql: &str, workers: usize) -> (u64, usize, f64, Option<f64>) {
+fn measure(
+    tweets: Vec<Tweet>,
+    sql: &str,
+    workers: usize,
+) -> (u64, usize, f64, Option<f64>, String) {
     let clock = VirtualClock::new();
     let api = StreamingApi::new(tweets, clock);
     let mut engine = Engine::builder(api).workers(workers).build();
@@ -111,7 +119,8 @@ fn measure(tweets: Vec<Tweet>, sql: &str, workers: usize) -> (u64, usize, f64, O
     } else {
         None
     };
-    (scanned, result.rows.len(), wall, allocs)
+    let metrics_json = engine.metrics().render_json(8);
+    (scanned, result.rows.len(), wall, allocs, metrics_json)
 }
 
 /// Sweep every query over every worker count on a shared firehose.
@@ -131,7 +140,7 @@ pub fn run_with_counts(seed: u64, minutes: i64, counts: &[usize]) -> Vec<E9Row> 
             let mut cells = Vec::new();
             let mut baseline = 0.0f64;
             for &workers in counts {
-                let (scanned, rows, wall, allocs_per_record) =
+                let (scanned, rows, wall, allocs_per_record, metrics_json) =
                     measure(tweets.clone(), sql, workers);
                 let tps = scanned as f64 / wall.max(1e-9);
                 if workers == 1 {
@@ -145,6 +154,7 @@ pub fn run_with_counts(seed: u64, minutes: i64, counts: &[usize]) -> Vec<E9Row> 
                     tweets_per_sec: tps,
                     speedup: tps / baseline.max(1e-9),
                     allocs_per_record,
+                    metrics_json,
                 });
             }
             E9Row {
@@ -178,7 +188,8 @@ pub fn to_json(rows: &[E9Row], seed: u64, cores: usize, tweets: usize) -> String
             out.push_str(&format!(
                 "        {{\"workers\": {}, \"scanned\": {}, \"rows\": {}, \
                  \"wall_secs\": {:.6}, \"tweets_per_sec\": {:.1}, \
-                 \"speedup\": {:.3}, \"allocs_per_record\": {}}}{}\n",
+                 \"speedup\": {:.3}, \"allocs_per_record\": {}, \
+                 \"metrics\": {}}}{}\n",
                 c.workers,
                 c.scanned,
                 c.rows,
@@ -186,6 +197,7 @@ pub fn to_json(rows: &[E9Row], seed: u64, cores: usize, tweets: usize) -> String
                 c.tweets_per_sec,
                 c.speedup,
                 allocs,
+                c.metrics_json,
                 if ci + 1 < row.cells.len() { "," } else { "" },
             ));
         }
@@ -235,6 +247,9 @@ mod tests {
         // Without the bench-alloc allocator installed the field is an
         // honest null, never a made-up number.
         assert!(json.contains("\"allocs_per_record\": null") || cfg!(feature = "bench-alloc"));
+        // Each cell carries the run's own metrics snapshot.
+        assert!(json.contains("\"metrics\": {"), "{json}");
+        assert!(json.contains("tweeql_records_decoded_total"), "{json}");
     }
 
     #[test]

@@ -27,6 +27,9 @@ impl Engine {
             catalog: Catalog::with_twitter(),
             registry,
             geo,
+            metrics: tweeql_obs::MetricsRegistry::default(),
+            trace: None,
+            last_profile: None,
         }
     }
 

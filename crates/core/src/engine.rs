@@ -22,6 +22,7 @@ use tweeql_firehose::fault::FaultPlan;
 use tweeql_firehose::{FilterSpec, StreamingApi};
 use tweeql_geo::cache::CacheStats;
 use tweeql_model::{Duration, Record, SchemaRef, Timestamp, Value, VirtualClock};
+use tweeql_obs::{MetricsRegistry, QueryProfile, SpanKind, StageProfile, TraceSink, Tracer};
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -255,6 +256,8 @@ pub struct EngineBuilder {
     api: StreamingApi,
     registry_fns: Vec<RegistryFn>,
     streams: Vec<(String, SchemaRef)>,
+    metrics: Option<MetricsRegistry>,
+    trace: Option<Arc<dyn TraceSink>>,
 }
 
 /// A deferred registry mutation, applied at [`EngineBuilder::build`].
@@ -375,6 +378,22 @@ impl EngineBuilder {
         self
     }
 
+    /// Publish per-query metrics into an externally-owned registry —
+    /// lets several engines (or the TwitInfo dashboard) share one
+    /// registry. Without this an engine-private registry is created.
+    pub fn metrics(mut self, registry: MetricsRegistry) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// Emit structured trace spans (query → operator → batch) into
+    /// `sink`. Span timestamps are virtual stream time, so traces from
+    /// a seeded run are byte-reproducible.
+    pub fn trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
     /// Assemble the engine. The clock is the streaming API's clock, so
     /// source delivery and modeled service latency share one timeline.
     pub fn build(self) -> Engine {
@@ -396,6 +415,9 @@ impl EngineBuilder {
             catalog,
             registry,
             geo,
+            metrics: self.metrics.unwrap_or_default(),
+            trace: self.trace,
+            last_profile: None,
         }
     }
 }
@@ -408,6 +430,9 @@ pub struct Engine {
     pub(crate) catalog: Catalog,
     pub(crate) registry: Registry,
     pub(crate) geo: SharedGeoService,
+    pub(crate) metrics: MetricsRegistry,
+    pub(crate) trace: Option<Arc<dyn TraceSink>>,
+    pub(crate) last_profile: Option<QueryProfile>,
 }
 
 impl Engine {
@@ -418,12 +443,42 @@ impl Engine {
             api,
             registry_fns: Vec::new(),
             streams: Vec::new(),
+            metrics: None,
+            trace: None,
         }
     }
 
     /// The engine's clock.
     pub fn clock(&self) -> Arc<VirtualClock> {
         Arc::clone(&self.clock)
+    }
+
+    /// The metrics registry queries publish into.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The profile of the most recent `execute()` call.
+    pub fn profile(&self) -> Option<&QueryProfile> {
+        self.last_profile.as_ref()
+    }
+
+    /// `EXPLAIN ANALYZE`-style report for the most recent run: per-
+    /// operator rows in/out, busy time, batches, observed vs estimated
+    /// selectivity, and service/window counters.
+    pub fn profile_report(&self) -> Option<String> {
+        self.last_profile.as_ref().map(|p| p.render_text())
+    }
+
+    /// The most recent run's profile as JSON (CI schema-validates it).
+    pub fn profile_json(&self) -> Option<String> {
+        self.last_profile.as_ref().map(|p| p.to_json(0))
+    }
+
+    /// Render every metric this engine has published in the Prometheus
+    /// text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        self.metrics.render_prometheus()
     }
 
     /// EXPLAIN: the plan text plus pushdown candidates and any static
@@ -505,6 +560,12 @@ impl Engine {
             use tweeql_model::Clock;
             self.clock.now()
         };
+        // The shared geo service accumulates across queries on a reused
+        // engine; snapshotting here makes every geo figure below a
+        // per-run delta (regression-tested by tests/observability.rs).
+        let geo_base_requests = self.geo.requests_issued();
+        let geo_base_service_ms = self.geo.modeled_service_time().millis();
+        let geo_base_cache = self.geo.cache_stats();
 
         // ---- uncertain selectivities: choose the pushdown filter ----
         let decision: PushdownDecision = choose_filter(
@@ -515,10 +576,23 @@ impl Engine {
         let pushdown = decision.describe(&planned.api_candidates);
         let filter = decision.filter(&planned.api_candidates);
 
-        let (source_stats, source_faults) = match planned.join.take() {
-            None => self.run_single(&mut planned, filter, sink)?,
-            Some(join) => self.run_join(&mut planned, join, sink)?,
+        // ---- observability: query span + per-stage instrumentation ----
+        let tracer = self.trace.as_ref().map(|s| Tracer::new(Arc::clone(s)));
+        let query_span = tracer
+            .as_ref()
+            .map(|t| t.start(SpanKind::Query, "select", None, started_at.millis()));
+        planned.pipeline.attach_obs(
+            tracer.clone().zip(query_span),
+            &self.metrics,
+            started_at.millis(),
+        );
+
+        let run_result = match planned.join.take() {
+            None => self.run_single(&mut planned, filter, sink),
+            Some(join) => self.run_join(&mut planned, join, sink),
         };
+        let obs = planned.pipeline.close_obs();
+        let (source_stats, source_faults) = run_result?;
 
         let ended_at = {
             use tweeql_model::Clock;
@@ -526,6 +600,25 @@ impl Engine {
         };
         let gap_windows = planned.pipeline.gap_windows();
         let stages = planned.pipeline.stage_stats();
+        let stage_counters = planned.pipeline.stage_metric_counters();
+        if let (Some(t), Some(span)) = (&tracer, query_span) {
+            // Close the query span at the last *stream* timestamp the
+            // pipeline saw — deterministic, unlike the shared clock,
+            // which worker threads may have advanced concurrently.
+            let end_ts = obs
+                .as_ref()
+                .map(|o| o.last_ts())
+                .unwrap_or_else(|| started_at.millis());
+            let rows_out = stages.last().map(|(_, s)| s.records_out).unwrap_or(0);
+            t.end(span, None, SpanKind::Query, "select", end_ts, rows_out);
+        }
+
+        let geo_requests = self.geo.requests_issued().saturating_sub(geo_base_requests);
+        let geo_service_time = Duration::from_millis(
+            (self.geo.modeled_service_time().millis() - geo_base_service_ms).max(0),
+        );
+        let geo_cache = self.geo.cache_stats().delta_since(&geo_base_cache);
+
         let diagnostics = Diagnostics {
             warnings: std::mem::take(&mut planned.warnings),
             notices: degradation_notices(&source_faults, &gap_windows, &stages),
@@ -537,12 +630,87 @@ impl Engine {
             gap_windows,
             stages,
             diagnostics,
-            geo_requests: self.geo.requests_issued(),
-            geo_service_time: self.geo.modeled_service_time(),
-            geo_cache: self.geo.cache_stats(),
+            geo_requests,
+            geo_service_time,
+            geo_cache,
             stream_time: ended_at.since(started_at),
         };
+        self.publish_metrics(&stats, &stage_counters);
+        self.last_profile = Some(build_profile(
+            sql,
+            &stats,
+            &stage_counters,
+            &decision,
+            self.config.workers,
+        ));
         Ok((planned.output_schema.clone(), stats))
+    }
+
+    /// Publish one finished run's typed statistics into the metrics
+    /// registry. Every value here derives from deterministic run data
+    /// (never wall time), so seeded runs publish identical counters.
+    fn publish_metrics(&self, stats: &QueryStats, stage_counters: &[Vec<(&'static str, u64)>]) {
+        let m = &self.metrics;
+        m.counter("tweeql_queries_total", &[]).inc();
+        m.counter("tweeql_records_decoded_total", &[])
+            .add(stats.source.delivered);
+        m.counter("tweeql_gap_windows_total", &[])
+            .add(stats.gap_windows.len() as u64);
+
+        let f = &stats.source_faults;
+        for (name, v) in [
+            ("tweeql_source_disconnects_total", f.disconnects),
+            ("tweeql_source_reconnects_total", f.reconnects),
+            (
+                "tweeql_source_duplicates_dropped_total",
+                f.duplicates_dropped,
+            ),
+            ("tweeql_source_malformed_skipped_total", f.malformed_skipped),
+            ("tweeql_source_gaps_total", f.gaps.len() as u64),
+        ] {
+            m.counter(name, &[]).add(v);
+        }
+
+        for (i, (name, s)) in stats.stages.iter().enumerate() {
+            let labels = [("op", name.as_str())];
+            m.counter("tweeql_op_records_in_total", &labels)
+                .add(s.records_in);
+            m.counter("tweeql_op_records_out_total", &labels)
+                .add(s.records_out);
+            for (key, v) in stage_counters.get(i).into_iter().flatten() {
+                m.counter(&format!("tweeql_{key}_total"), &labels).add(*v);
+            }
+            if let Some(h) = &s.health {
+                let svc = [("service", name.as_str())];
+                for (metric, v) in [
+                    ("tweeql_service_requests_total", h.requests),
+                    ("tweeql_service_failures_total", h.failures),
+                    ("tweeql_service_timeouts_total", h.timeouts),
+                    ("tweeql_service_retries_total", h.retries),
+                    ("tweeql_service_short_circuits_total", h.short_circuits),
+                    ("tweeql_service_degraded_rows_total", h.degraded_rows),
+                    ("tweeql_service_breaker_opens_total", h.breaker_opens),
+                ] {
+                    m.counter(metric, &svc).add(v);
+                }
+                m.gauge("tweeql_service_breaker_state", &svc)
+                    .set(match h.state {
+                        tweeql_geo::breaker::BreakerState::Closed => 0,
+                        tweeql_geo::breaker::BreakerState::Open => 1,
+                        tweeql_geo::breaker::BreakerState::HalfOpen => 2,
+                    });
+            }
+        }
+
+        let geo = [("service", "geocode")];
+        m.counter("tweeql_service_cache_hits_total", &geo)
+            .add(stats.geo_cache.hits);
+        m.counter("tweeql_service_cache_misses_total", &geo)
+            .add(stats.geo_cache.misses);
+        m.counter("tweeql_service_cache_evictions_total", &geo)
+            .add(stats.geo_cache.evictions);
+        m.counter("tweeql_geo_requests_total", &[])
+            .add(stats.geo_requests);
     }
 
     fn run_single(
@@ -686,6 +854,71 @@ impl Engine {
             sink(&r);
         }
         Ok((left.stats(), SourceFaultStats::default()))
+    }
+}
+
+/// Assemble the post-run [`QueryProfile`] from the typed statistics.
+fn build_profile(
+    sql: &str,
+    stats: &QueryStats,
+    stage_counters: &[Vec<(&'static str, u64)>],
+    decision: &PushdownDecision,
+    workers: usize,
+) -> QueryProfile {
+    // The chosen pushdown candidate's probe estimate anchors the
+    // "estimated vs observed" comparison on the scan stage. NaN marks
+    // an unprobed single candidate.
+    let est = decision
+        .chosen
+        .and_then(|i| decision.estimates.get(i))
+        .map(|e| e.selectivity)
+        .filter(|s| s.is_finite());
+    let stages = stats
+        .stages
+        .iter()
+        .enumerate()
+        .map(|(i, (name, s))| {
+            let mut extras: Vec<(String, u64)> = stage_counters
+                .get(i)
+                .into_iter()
+                .flatten()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect();
+            if let Some(h) = &s.health {
+                extras.push(("service_requests".into(), h.requests));
+                extras.push(("service_timeouts".into(), h.timeouts));
+                extras.push(("service_short_circuits".into(), h.short_circuits));
+                extras.push(("service_degraded_rows".into(), h.degraded_rows));
+                extras.push(("breaker_opens".into(), h.breaker_opens));
+            }
+            extras.sort();
+            StageProfile {
+                name: name.clone(),
+                records_in: s.records_in,
+                records_out: s.records_out,
+                batches: s.batches,
+                busy_nanos: s.busy_nanos,
+                selectivity: StageProfile::observed(s.records_in, s.records_out),
+                est_selectivity: if i == 0 { est } else { None },
+                extras,
+            }
+        })
+        .collect();
+    QueryProfile {
+        sql: sql.to_string(),
+        pushdown: stats.pushdown.clone(),
+        stages,
+        records_decoded: stats.source.delivered,
+        source_disconnects: stats.source_faults.disconnects,
+        source_reconnects: stats.source_faults.reconnects,
+        source_duplicates_dropped: stats.source_faults.duplicates_dropped,
+        source_gaps: stats.source_faults.gaps.len() as u64,
+        gap_windows: stats.gap_windows.len() as u64,
+        geo_requests: stats.geo_requests,
+        geo_cache_hits: stats.geo_cache.hits,
+        geo_cache_misses: stats.geo_cache.misses,
+        stream_time_ms: stats.stream_time.millis(),
+        workers,
     }
 }
 

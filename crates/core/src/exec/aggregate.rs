@@ -372,6 +372,11 @@ pub struct AggregateOp {
     confidence_target: usize,
     /// Source coverage gaps reported by the supervisor, `[from, to)`.
     gaps: Vec<(Timestamp, Timestamp)>,
+    /// Window flushes that emitted at least one group. For count and
+    /// confidence windows each group emission is its own window close.
+    windows_emitted: u64,
+    /// Confidence-window emissions (CI target met or deadline hit).
+    confidence_emits: u64,
 }
 
 impl AggregateOp {
@@ -398,6 +403,8 @@ impl AggregateOp {
             sliding: std::collections::BTreeMap::new(),
             confidence_target,
             gaps: Vec::new(),
+            windows_emitted: 0,
+            confidence_emits: 0,
         }
     }
 
@@ -472,6 +479,9 @@ impl AggregateOp {
                 .collect::<Vec<_>>()
                 .join("\u{1}")
         });
+        if !entries.is_empty() {
+            self.windows_emitted += 1;
+        }
         for (key, group) in entries {
             self.emit_group(&key, &group, out);
         }
@@ -503,6 +513,9 @@ impl AggregateOp {
                                 .collect::<Vec<_>>()
                                 .join("\u{1}")
                         });
+                        if !entries.is_empty() {
+                            self.windows_emitted += 1;
+                        }
                         for (key, group) in entries {
                             self.emit_group(&key, &group, out);
                         }
@@ -624,6 +637,14 @@ impl Operator for AggregateOp {
         Some(self)
     }
 
+    fn metric_counters(&self) -> Vec<(&'static str, u64)> {
+        let mut counters = vec![("windows_emitted", self.windows_emitted)];
+        if matches!(self.policy, WindowPolicy::Confidence { .. }) {
+            counters.push(("confidence_emits", self.confidence_emits));
+        }
+        counters
+    }
+
     fn schema(&self) -> SchemaRef {
         self.schema.clone()
     }
@@ -674,6 +695,7 @@ impl Operator for AggregateOp {
         match &self.policy {
             WindowPolicy::Count(n) if group.n >= *n => {
                 if let Some(g) = self.groups.remove(&key) {
+                    self.windows_emitted += 1;
                     self.emit_group(&key, &g, out);
                 }
             }
@@ -686,6 +708,8 @@ impl Operator for AggregateOp {
                 }
                 if group.confidence.should_emit(*epsilon, *max_age, ts) {
                     if let Some(g) = self.groups.remove(&key) {
+                        self.windows_emitted += 1;
+                        self.confidence_emits += 1;
                         self.emit_group(&key, &g, out);
                     }
                 }
@@ -734,6 +758,8 @@ impl Operator for AggregateOp {
                     .join("\u{1}")
             });
             for (k, g) in emitted {
+                self.windows_emitted += 1;
+                self.confidence_emits += 1;
                 self.emit_group(&k, &g, out);
             }
         }
@@ -752,6 +778,9 @@ impl Operator for AggregateOp {
                         .collect::<Vec<_>>()
                         .join("\u{1}")
                 });
+                if !entries.is_empty() {
+                    self.windows_emitted += 1;
+                }
                 for (key, group) in entries {
                     self.emit_group(&key, &group, out);
                 }

@@ -65,6 +65,8 @@ pub struct FusedScanOp {
     one: Vec<Record>,
     batches: u64,
     rerank_every: u64,
+    /// Adaptive re-orderings performed (surfaced as a metric counter).
+    reranks: u64,
     alpha: f64,
 }
 
@@ -116,6 +118,7 @@ impl FusedScanOp {
             one: Vec::new(),
             batches: 0,
             rerank_every: 64,
+            reranks: 0,
             alpha: 0.2,
         })
     }
@@ -185,6 +188,7 @@ impl FusedScanOp {
             self.batches += 1;
             if self.batches.is_multiple_of(self.rerank_every) {
                 self.rerank();
+                self.reranks += 1;
             }
         }
         Ok(())
@@ -289,8 +293,17 @@ impl Operator for FusedScanOp {
             one: Vec::new(),
             batches: 0,
             rerank_every: self.rerank_every,
+            reranks: 0,
             alpha: self.alpha,
         }))
+    }
+
+    fn metric_counters(&self) -> Vec<(&'static str, u64)> {
+        if self.conjuncts.len() > 1 {
+            vec![("conjunct_reranks", self.reranks)]
+        } else {
+            Vec::new()
+        }
     }
 }
 

@@ -21,6 +21,7 @@ use crate::error::QueryError;
 use std::time::Instant;
 use tweeql_geo::breaker::ServiceHealth;
 use tweeql_model::{Record, SchemaRef, Timestamp};
+use tweeql_obs::{Histogram, SpanKind, Tracer};
 
 /// A streaming operator.
 pub trait Operator: Send {
@@ -108,6 +109,16 @@ pub trait Operator: Send {
     fn service_health(&self) -> Option<ServiceHealth> {
         None
     }
+
+    /// Operator-specific counters for the metrics registry and the
+    /// profiler (e.g. windows emitted, conjunct re-ranks). Keys become
+    /// `tweeql_<key>_total{op=...}` metric families; values must be
+    /// deterministic for a seeded run at a fixed worker count (worker
+    /// clones' counters are not folded back, so parallel prefixes
+    /// report the merge-thread copy only).
+    fn metric_counters(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
 }
 
 /// Per-operator tuple counters and timing.
@@ -151,6 +162,40 @@ impl OpStats {
     }
 }
 
+/// Open trace spans for one pipeline run.
+struct TraceCtx {
+    tracer: Tracer,
+    /// One open Operator span per stage (parallel to `Pipeline::ops`).
+    op_spans: Vec<u64>,
+    /// Stage names as opened, so the close events match.
+    op_names: Vec<String>,
+    /// Parent query span id.
+    query_span: u64,
+}
+
+/// Observability hooks attached to a pipeline for one query run.
+///
+/// All timestamps are *stream time*: batch spans are stamped with the
+/// batch's last record timestamp and punctuation advances `last_ts`, so
+/// a seeded replay emits byte-identical traces (a wall clock never
+/// leaks in). Spans are only emitted from the engine's single-threaded
+/// sections — the serial loop and the parallel merge thread.
+pub struct PipelineObs {
+    trace: Option<TraceCtx>,
+    /// Batch-size distribution (`tweeql_batch_rows`).
+    batch_rows: Histogram,
+    /// High-water stream time seen by this run, milliseconds.
+    last_ts: i64,
+}
+
+impl PipelineObs {
+    /// Latest stream time the run has reached (for closing the query
+    /// span at a deterministic timestamp).
+    pub fn last_ts(&self) -> i64 {
+        self.last_ts
+    }
+}
+
 /// A linear chain of operators with per-stage stats.
 ///
 /// The pipeline owns two scratch buffers that ping-pong between stages,
@@ -161,6 +206,7 @@ pub struct Pipeline {
     stats: Vec<OpStats>,
     cur: Vec<Record>,
     next: Vec<Record>,
+    obs: Option<PipelineObs>,
 }
 
 impl Pipeline {
@@ -172,7 +218,57 @@ impl Pipeline {
             stats,
             cur: Vec::new(),
             next: Vec::new(),
+            obs: None,
         }
+    }
+
+    /// Attach metrics/tracing for one run. When `trace` carries a
+    /// tracer and an open query span, one Operator span per stage is
+    /// opened at `start_ts_ms` (virtual stream time).
+    pub fn attach_obs(
+        &mut self,
+        trace: Option<(Tracer, u64)>,
+        registry: &tweeql_obs::MetricsRegistry,
+        start_ts_ms: i64,
+    ) {
+        let trace = trace.map(|(tracer, query_span)| {
+            let op_names: Vec<String> = self.ops.iter().map(|o| o.name().to_string()).collect();
+            let op_spans = op_names
+                .iter()
+                .map(|name| tracer.start(SpanKind::Operator, name, Some(query_span), start_ts_ms))
+                .collect();
+            TraceCtx {
+                tracer,
+                op_spans,
+                op_names,
+                query_span,
+            }
+        });
+        self.obs = Some(PipelineObs {
+            trace,
+            batch_rows: registry.histogram("tweeql_batch_rows", &[]),
+            last_ts: start_ts_ms,
+        });
+    }
+
+    /// Close the run's operator spans (at the last stream time seen)
+    /// and detach the observability hooks, returning them so the engine
+    /// can close the query span at the same timestamp.
+    pub fn close_obs(&mut self) -> Option<PipelineObs> {
+        let obs = self.obs.take()?;
+        if let Some(ctx) = &obs.trace {
+            for (i, &span) in ctx.op_spans.iter().enumerate() {
+                ctx.tracer.end(
+                    span,
+                    Some(ctx.query_span),
+                    SpanKind::Operator,
+                    &ctx.op_names[i],
+                    obs.last_ts,
+                    self.stats[i].records_out,
+                );
+            }
+        }
+        Some(obs)
     }
 
     /// Number of stages.
@@ -204,6 +300,12 @@ impl Pipeline {
                 (o.name().to_string(), s)
             })
             .collect()
+    }
+
+    /// Operator-specific metric counters per stage, aligned with
+    /// [`Pipeline::stage_stats`] (empty for stages with none).
+    pub fn stage_metric_counters(&self) -> Vec<Vec<(&'static str, u64)>> {
+        self.ops.iter().map(|o| o.metric_counters()).collect()
     }
 
     /// Merge externally-tracked stats (worker clones) into stage `i`.
@@ -278,6 +380,14 @@ impl Pipeline {
             out.append(recs);
             return Ok(());
         }
+        let mut obs = self.obs.take();
+        if let Some(o) = obs.as_mut() {
+            o.batch_rows.observe(recs.len() as u64);
+            if let Some(last) = recs.last() {
+                o.last_ts = o.last_ts.max(last.timestamp().millis());
+            }
+        }
+        let batch_ts = obs.as_ref().map(|o| o.last_ts).unwrap_or_default();
         let mut cur = std::mem::take(&mut self.cur);
         let mut next = std::mem::take(&mut self.next);
         for i in start..n {
@@ -285,13 +395,33 @@ impl Pipeline {
             self.stats[i].records_in += input.len() as u64;
             self.stats[i].batches += 1;
             next.clear();
+            let span = obs.as_ref().and_then(|o| o.trace.as_ref()).map(|ctx| {
+                let parent = Some(ctx.op_spans[i]);
+                (
+                    ctx.tracer.start(SpanKind::Batch, "batch", parent, batch_ts),
+                    parent,
+                )
+            });
             let t0 = Instant::now();
             let res = self.ops[i].on_batch(input, &mut next);
             self.stats[i].busy_nanos += t0.elapsed().as_nanos() as u64;
             self.stats[i].records_out += next.len() as u64;
+            if let (Some((span, parent)), Some(ctx)) =
+                (span, obs.as_ref().and_then(|o| o.trace.as_ref()))
+            {
+                ctx.tracer.end(
+                    span,
+                    parent,
+                    SpanKind::Batch,
+                    "batch",
+                    batch_ts,
+                    next.len() as u64,
+                );
+            }
             if let Err(e) = res {
                 self.cur = cur;
                 self.next = next;
+                self.obs = obs;
                 return Err(e);
             }
             std::mem::swap(&mut cur, &mut next);
@@ -299,6 +429,7 @@ impl Pipeline {
         out.append(&mut cur);
         self.cur = cur;
         self.next = next;
+        self.obs = obs;
         Ok(())
     }
 
@@ -328,6 +459,7 @@ impl Pipeline {
     /// Propagate a watermark through every stage.
     pub fn watermark(&mut self, wm: Timestamp, out: &mut Vec<Record>) -> Result<(), QueryError> {
         self.cur.clear();
+        self.advance_obs_ts(wm);
         self.run_from(0, None, Some(wm), false, out)
     }
 
@@ -339,7 +471,21 @@ impl Pipeline {
         out: &mut Vec<Record>,
     ) -> Result<(), QueryError> {
         self.cur.clear();
+        self.advance_obs_ts(wm);
         self.run_from(start, None, Some(wm), false, out)
+    }
+
+    /// Advance the observed stream time high-water mark (punctuation
+    /// carries time forward even when no records do).
+    fn advance_obs_ts(&mut self, ts: Timestamp) {
+        if let Some(o) = self.obs.as_mut() {
+            // `Timestamp::MAX` is the end-of-stream sentinel; letting it
+            // into the trace would destroy the "stamped in stream time"
+            // reading, so it is ignored.
+            if ts != Timestamp::MAX {
+                o.last_ts = o.last_ts.max(ts.millis());
+            }
+        }
     }
 
     /// Propagate a source coverage gap `[from, to)` through every stage.
@@ -350,6 +496,7 @@ impl Pipeline {
         out: &mut Vec<Record>,
     ) -> Result<(), QueryError> {
         self.cur.clear();
+        self.advance_obs_ts(to);
         self.run_from(0, Some((from, to)), None, false, out)
     }
 
@@ -362,6 +509,7 @@ impl Pipeline {
         out: &mut Vec<Record>,
     ) -> Result<(), QueryError> {
         self.cur.clear();
+        self.advance_obs_ts(to);
         self.run_from(start, Some((from, to)), None, false, out)
     }
 

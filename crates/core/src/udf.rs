@@ -435,19 +435,38 @@ impl SharedGeoService {
 
 /// `latitude(loc)` / `longitude(loc)` as async UDFs over a shared
 /// service.
+///
+/// The service (cache, breaker, counters) is shared across queries on
+/// the same engine, but a UDF instance is built fresh per query by its
+/// registry factory — so it snapshots the service counters at
+/// construction and reports *per-query deltas*, keeping `OpStats`
+/// health from leaking a previous query's traffic.
 pub struct GeocodeUdf {
     name: &'static str,
     service: SharedGeoService,
     want_lat: bool,
+    base_health: ServiceHealth,
+    base_cache: CacheStats,
+    base_requests: u64,
+    base_service_ms: i64,
 }
 
 impl GeocodeUdf {
-    /// Construct.
+    /// Construct, snapshotting the shared service's counters as this
+    /// query's zero point.
     pub fn new(name: &'static str, service: SharedGeoService, want_lat: bool) -> GeocodeUdf {
+        let base_health = service.health();
+        let base_cache = service.cache_stats();
+        let base_requests = service.requests_issued();
+        let base_service_ms = service.modeled_service_time().millis();
         GeocodeUdf {
             name,
             service,
             want_lat,
+            base_health,
+            base_cache,
+            base_requests,
+            base_service_ms,
         }
     }
 }
@@ -476,19 +495,23 @@ impl AsyncUdf for GeocodeUdf {
     }
 
     fn requests_issued(&self) -> u64 {
-        self.service.requests_issued()
+        self.service
+            .requests_issued()
+            .saturating_sub(self.base_requests)
     }
 
     fn modeled_service_time(&self) -> Duration {
-        self.service.modeled_service_time()
+        Duration::from_millis(
+            (self.service.modeled_service_time().millis() - self.base_service_ms).max(0),
+        )
     }
 
     fn cache_stats(&self) -> Option<CacheStats> {
-        Some(self.service.cache_stats())
+        Some(self.service.cache_stats().delta_since(&self.base_cache))
     }
 
     fn health(&self) -> Option<ServiceHealth> {
-        Some(self.service.health())
+        Some(self.service.health().delta_since(&self.base_health))
     }
 }
 

@@ -187,6 +187,22 @@ impl ServiceHealth {
         self.breaker_opens += other.breaker_opens;
         self.state = other.state;
     }
+
+    /// Counters accumulated since `base` was snapshotted, keeping this
+    /// snapshot's (more recent) breaker state. Lets a per-query view be
+    /// carved out of a service that is shared across queries.
+    pub fn delta_since(&self, base: &ServiceHealth) -> ServiceHealth {
+        ServiceHealth {
+            requests: self.requests.saturating_sub(base.requests),
+            failures: self.failures.saturating_sub(base.failures),
+            timeouts: self.timeouts.saturating_sub(base.timeouts),
+            retries: self.retries.saturating_sub(base.retries),
+            short_circuits: self.short_circuits.saturating_sub(base.short_circuits),
+            degraded_rows: self.degraded_rows.saturating_sub(base.degraded_rows),
+            breaker_opens: self.breaker_opens.saturating_sub(base.breaker_opens),
+            state: self.state,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -293,5 +309,37 @@ mod tests {
         assert_eq!(a.degraded_rows, 7);
         assert_eq!(a.short_circuits, 4);
         assert_eq!(a.state, BreakerState::Open);
+    }
+
+    #[test]
+    fn health_delta_subtracts_baseline_and_keeps_current_state() {
+        let base = ServiceHealth {
+            requests: 10,
+            failures: 2,
+            timeouts: 1,
+            retries: 1,
+            short_circuits: 0,
+            degraded_rows: 3,
+            breaker_opens: 1,
+            state: BreakerState::Open,
+        };
+        let now = ServiceHealth {
+            requests: 14,
+            failures: 2,
+            timeouts: 2,
+            retries: 1,
+            short_circuits: 6,
+            degraded_rows: 9,
+            breaker_opens: 2,
+            state: BreakerState::HalfOpen,
+        };
+        let d = now.delta_since(&base);
+        assert_eq!(d.requests, 4);
+        assert_eq!(d.failures, 0);
+        assert_eq!(d.timeouts, 1);
+        assert_eq!(d.short_circuits, 6);
+        assert_eq!(d.degraded_rows, 6);
+        assert_eq!(d.breaker_opens, 1);
+        assert_eq!(d.state, BreakerState::HalfOpen);
     }
 }

@@ -31,6 +31,16 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Counters accumulated since `base` was snapshotted — a per-query
+    /// view of a cache shared across queries.
+    pub fn delta_since(&self, base: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(base.hits),
+            misses: self.misses.saturating_sub(base.misses),
+            evictions: self.evictions.saturating_sub(base.evictions),
+        }
+    }
 }
 
 #[derive(Debug)]

@@ -1,0 +1,27 @@
+//! # tweeql-obs
+//!
+//! The observability layer for the TweeQL/TwitInfo reproduction: a
+//! lock-cheap [`metrics::MetricsRegistry`] (counters, gauges, log-linear
+//! histograms), ring-buffered structured [`trace`] spans stamped in
+//! *virtual stream time* so traces are deterministic under test, and the
+//! [`profile::QueryProfile`] backing `Engine::profile_report()`.
+//!
+//! ## Determinism contract
+//!
+//! Everything this crate records is derived either from data the engine
+//! already computes deterministically (per-stage tuple counters, source
+//! fault statistics, window flags) or from the `VirtualClock` time
+//! domain carried *by the records themselves* (a batch span is stamped
+//! with the batch's last record timestamp, never with a wall clock).
+//! Two identically-seeded runs therefore produce byte-identical JSONL
+//! traces and equal counter values — the invariant
+//! `tests/observability.rs` and the CI `metrics-determinism` job
+//! enforce.
+
+pub mod metrics;
+pub mod profile;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use profile::{QueryProfile, StageProfile};
+pub use trace::{JsonlSink, NullSink, Phase, SpanEvent, SpanKind, TraceSink, Tracer, VecSink};

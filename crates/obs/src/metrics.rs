@@ -1,0 +1,437 @@
+//! A lock-cheap metrics registry.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`-backed
+//! atomics: acquiring one takes the registry lock once, after which
+//! every update is a single atomic instruction — safe to call from the
+//! engine's hot loops and worker threads. Label strings are interned so
+//! repeated registrations share one allocation, and the registry
+//! iterates metrics in sorted `(name, labels)` order, which is what
+//! makes [`MetricsRegistry::render_prometheus`] and
+//! [`MetricsRegistry::render_json`] deterministic.
+
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Histogram bucket upper bounds: log-linear, 1-2-5 per decade.
+///
+/// Fixed across the workspace so bucket counts are comparable between
+/// runs, benches, and the Prometheus exposition.
+pub const DEFAULT_BUCKETS: &[u64] = &[
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000,
+    200_000, 500_000, 1_000_000,
+];
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable instantaneous value.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Replace the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add (may be negative).
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    bounds: &'static [u64],
+    /// Per-bucket (non-cumulative) counts; one extra slot for +Inf.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A histogram over fixed log-linear buckets (see [`DEFAULT_BUCKETS`]).
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    fn new(bounds: &'static [u64]) -> Histogram {
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistogramCore {
+            bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        let c = &self.0;
+        let idx = c.bounds.partition_point(|&b| b < v);
+        c.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// `(upper_bound, cumulative_count)` pairs; the final pair is
+    /// `(u64::MAX, count)` standing in for `+Inf`.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let c = &self.0;
+        let mut cum = 0;
+        let mut out = Vec::with_capacity(c.bounds.len() + 1);
+        for (i, &b) in c.bounds.iter().enumerate() {
+            cum += c.buckets[i].load(Ordering::Relaxed);
+            out.push((b, cum));
+        }
+        cum += c.buckets[c.bounds.len()].load(Ordering::Relaxed);
+        out.push((u64::MAX, cum));
+        out
+    }
+}
+
+/// The instrument kinds a name can be registered as.
+#[derive(Clone)]
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Instrument {
+    fn kind(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+type Key = (Arc<str>, Vec<(Arc<str>, Arc<str>)>);
+
+#[derive(Default)]
+struct Inner {
+    metrics: BTreeMap<Key, Instrument>,
+    interner: HashMap<String, Arc<str>>,
+}
+
+impl Inner {
+    fn intern(&mut self, s: &str) -> Arc<str> {
+        if let Some(a) = self.interner.get(s) {
+            return Arc::clone(a);
+        }
+        let a: Arc<str> = Arc::from(s);
+        self.interner.insert(s.to_string(), Arc::clone(&a));
+        a
+    }
+
+    fn key(&mut self, name: &str, labels: &[(&str, &str)]) -> Key {
+        let name = self.intern(name);
+        let mut labels: Vec<(Arc<str>, Arc<str>)> = labels
+            .iter()
+            .map(|(k, v)| (self.intern(k), self.intern(v)))
+            .collect();
+        labels.sort();
+        (name, labels)
+    }
+}
+
+/// A shared, cloneable registry of named instruments.
+///
+/// Cloning is cheap (one `Arc`); all clones see the same metrics. The
+/// engine owns one per [`EngineBuilder`](https://docs.rs) unless the
+/// caller injects a shared instance to aggregate across engines.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.inner.lock().metrics.len();
+        write!(f, "MetricsRegistry({n} metrics)")
+    }
+}
+
+impl MetricsRegistry {
+    /// A fresh empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Get or create the counter `name{labels}`.
+    ///
+    /// Panics if the key is already registered as a different kind.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let mut g = self.inner.lock();
+        let key = g.key(name, labels);
+        match g
+            .metrics
+            .entry(key)
+            .or_insert_with(|| Instrument::Counter(Counter::default()))
+        {
+            Instrument::Counter(c) => c.clone(),
+            other => panic!("{name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Get or create the gauge `name{labels}`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let mut g = self.inner.lock();
+        let key = g.key(name, labels);
+        match g
+            .metrics
+            .entry(key)
+            .or_insert_with(|| Instrument::Gauge(Gauge::default()))
+        {
+            Instrument::Gauge(v) => v.clone(),
+            other => panic!("{name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Get or create the histogram `name{labels}` over
+    /// [`DEFAULT_BUCKETS`].
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let mut g = self.inner.lock();
+        let key = g.key(name, labels);
+        match g
+            .metrics
+            .entry(key)
+            .or_insert_with(|| Instrument::Histogram(Histogram::new(DEFAULT_BUCKETS)))
+        {
+            Instrument::Histogram(h) => h.clone(),
+            other => panic!("{name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Current value of a counter, 0 if absent. Test/assertion helper.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        let mut g = self.inner.lock();
+        let key = g.key(name, labels);
+        match g.metrics.get(&key) {
+            Some(Instrument::Counter(c)) => c.get(),
+            _ => 0,
+        }
+    }
+
+    /// Flat snapshot of every counter and gauge as
+    /// `(name, labels, value)`, sorted; histograms contribute their
+    /// `_count` and `_sum` series. The deterministic comparison surface
+    /// for the observability tests.
+    pub fn snapshot(&self) -> Vec<(String, String, i64)> {
+        let g = self.inner.lock();
+        let mut out = Vec::with_capacity(g.metrics.len());
+        for ((name, labels), inst) in &g.metrics {
+            let rendered = render_labels(labels);
+            match inst {
+                Instrument::Counter(c) => out.push((name.to_string(), rendered, c.get() as i64)),
+                Instrument::Gauge(v) => out.push((name.to_string(), rendered, v.get())),
+                Instrument::Histogram(h) => {
+                    out.push((format!("{name}_count"), rendered.clone(), h.count() as i64));
+                    out.push((format!("{name}_sum"), rendered, h.sum() as i64));
+                }
+            }
+        }
+        out
+    }
+
+    /// Prometheus text-format exposition (sorted, deterministic).
+    pub fn render_prometheus(&self) -> String {
+        let g = self.inner.lock();
+        let mut out = String::new();
+        let mut last_family: Option<String> = None;
+        for ((name, labels), inst) in &g.metrics {
+            if last_family.as_deref() != Some(&**name) {
+                out.push_str(&format!("# TYPE {name} {}\n", inst.kind()));
+                last_family = Some(name.to_string());
+            }
+            let lbl = render_labels(labels);
+            match inst {
+                Instrument::Counter(c) => {
+                    out.push_str(&format!("{name}{lbl} {}\n", c.get()));
+                }
+                Instrument::Gauge(v) => {
+                    out.push_str(&format!("{name}{lbl} {}\n", v.get()));
+                }
+                Instrument::Histogram(h) => {
+                    for (bound, cum) in h.cumulative_buckets() {
+                        let le = if bound == u64::MAX {
+                            "+Inf".to_string()
+                        } else {
+                            bound.to_string()
+                        };
+                        let lbl = render_labels_with(labels, ("le", &le));
+                        out.push_str(&format!("{name}_bucket{lbl} {cum}\n"));
+                    }
+                    out.push_str(&format!("{name}_sum{lbl} {}\n", h.sum()));
+                    out.push_str(&format!("{name}_count{lbl} {}\n", h.count()));
+                }
+            }
+        }
+        out
+    }
+
+    /// The same snapshot as a JSON object (sorted keys): what the bench
+    /// harness embeds instead of hand-rolling counter fields.
+    pub fn render_json(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let inner_pad = " ".repeat(indent + 2);
+        let snap = self.snapshot();
+        if snap.is_empty() {
+            return "{}".to_string();
+        }
+        let mut out = String::from("{\n");
+        for (i, (name, labels, value)) in snap.iter().enumerate() {
+            let comma = if i + 1 < snap.len() { "," } else { "" };
+            out.push_str(&format!(
+                "{inner_pad}{:?}: {value}{comma}\n",
+                format!("{name}{labels}")
+            ));
+        }
+        out.push_str(&format!("{pad}}}"));
+        out
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn render_labels(labels: &[(Arc<str>, Arc<str>)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+fn render_labels_with(labels: &[(Arc<str>, Arc<str>)], extra: (&str, &str)) -> String {
+    let mut body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    body.push(format!("{}=\"{}\"", extra.0, escape_label(extra.1)));
+    format!("{{{}}}", body.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_state() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x_total", &[]);
+        let b = reg.counter("x_total", &[]);
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter_value("x_total", &[]), 3);
+    }
+
+    #[test]
+    fn labels_distinguish_series_and_sort() {
+        let reg = MetricsRegistry::new();
+        reg.counter("ops_total", &[("op", "b")]).add(2);
+        reg.counter("ops_total", &[("op", "a")]).add(1);
+        let snap = reg.snapshot();
+        assert_eq!(snap[0], ("ops_total".into(), "{op=\"a\"}".into(), 1));
+        assert_eq!(snap[1], ("ops_total".into(), "{op=\"b\"}".into(), 2));
+    }
+
+    #[test]
+    fn histogram_buckets_are_log_linear_and_cumulative() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("batch_rows", &[]);
+        for v in [1, 2, 3, 150, 2_000_000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 2_000_156);
+        let cum = h.cumulative_buckets();
+        // v=1 → le=1; v=2 → le=2; v=3 → le=5; 150 → le=200; 2e6 → +Inf.
+        assert_eq!(cum[0], (1, 1));
+        assert_eq!(cum[1], (2, 2));
+        assert_eq!(cum[2], (5, 3));
+        let le200 = cum.iter().find(|(b, _)| *b == 200).unwrap();
+        assert_eq!(le200.1, 4);
+        assert_eq!(cum.last().unwrap(), &(u64::MAX, 5));
+    }
+
+    #[test]
+    fn prometheus_rendering_is_sorted_and_typed() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z_total", &[]).inc();
+        reg.gauge("a_state", &[("svc", "geo")]).set(2);
+        reg.histogram("m_rows", &[]).observe(7);
+        let text = reg.render_prometheus();
+        let a = text.find("a_state").unwrap();
+        let m = text.find("m_rows").unwrap();
+        let z = text.find("z_total").unwrap();
+        assert!(a < m && m < z, "{text}");
+        assert!(text.contains("# TYPE a_state gauge"));
+        assert!(text.contains("# TYPE m_rows histogram"));
+        assert!(text.contains("# TYPE z_total counter"));
+        assert!(text.contains("m_rows_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("a_state{svc=\"geo\"} 2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("dual", &[]);
+        reg.gauge("dual", &[]);
+    }
+
+    #[test]
+    fn json_rendering_is_flat_and_sorted() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b_total", &[]).add(4);
+        reg.counter("a_total", &[("op", "scan")]).add(9);
+        let json = reg.render_json(0);
+        let a = json.find("a_total").unwrap();
+        let b = json.find("b_total").unwrap();
+        assert!(a < b, "{json}");
+        assert!(json.contains("\"a_total{op=\\\"scan\\\"}\": 9"), "{json}");
+    }
+}

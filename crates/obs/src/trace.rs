@@ -1,0 +1,389 @@
+//! Structured tracing: query → operator → batch spans.
+//!
+//! Span events are stamped in *virtual stream time* (the `VirtualClock`
+//! domain, carried by the records themselves) and emitted only from the
+//! engine's single-threaded sections — the serial loop and the parallel
+//! engine's merge thread — so a seeded run produces the identical event
+//! sequence regardless of scheduling. Sinks are pluggable:
+//! [`NullSink`] (discard), [`VecSink`] (ring-buffered capture for
+//! tests), [`JsonlSink`] (one JSON object per line, byte-stable).
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What a span covers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanKind {
+    /// One `execute()` call.
+    Query,
+    /// One pipeline stage, open for the query's whole lifetime.
+    Operator,
+    /// One micro-batch passing through one operator.
+    Batch,
+}
+
+impl SpanKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            SpanKind::Query => "query",
+            SpanKind::Operator => "operator",
+            SpanKind::Batch => "batch",
+        }
+    }
+}
+
+/// Span open or close.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    Start,
+    End,
+}
+
+/// One trace event. A span is a `Start`/`End` pair sharing an `id`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanEvent {
+    /// Span id, unique within one tracer (monotonic from 1).
+    pub id: u64,
+    /// Enclosing span (None only for the query root).
+    pub parent: Option<u64>,
+    pub kind: SpanKind,
+    pub phase: Phase,
+    /// Span name: the SQL kind for queries, the stage label for
+    /// operators, `"batch"` for batches.
+    pub name: Arc<str>,
+    /// Virtual stream time, milliseconds.
+    pub ts_ms: i64,
+    /// Rows carried out of the span (batch `End` events; 0 elsewhere).
+    pub rows: u64,
+}
+
+impl SpanEvent {
+    /// One-line JSON rendering (the JSONL sink's format).
+    pub fn to_jsonl(&self) -> String {
+        let parent = match self.parent {
+            Some(p) => p.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"id\":{},\"parent\":{},\"kind\":{:?},\"phase\":{:?},\"name\":{:?},\"ts_ms\":{},\"rows\":{}}}",
+            self.id,
+            parent,
+            self.kind.as_str(),
+            match self.phase {
+                Phase::Start => "start",
+                Phase::End => "end",
+            },
+            &*self.name,
+            self.ts_ms,
+            self.rows,
+        )
+    }
+}
+
+/// Receives every span event a [`Tracer`] emits.
+pub trait TraceSink: Send + Sync {
+    fn record(&self, ev: &SpanEvent);
+}
+
+/// Discards everything.
+#[derive(Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&self, _ev: &SpanEvent) {}
+}
+
+/// Ring-buffered in-memory capture: keeps the most recent `capacity`
+/// events. The golden-trace tests read these back with
+/// [`VecSink::events`].
+pub struct VecSink {
+    ring: Mutex<VecDeque<SpanEvent>>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+impl VecSink {
+    /// A sink holding at most `capacity` events (oldest evicted first).
+    pub fn new(capacity: usize) -> VecSink {
+        VecSink {
+            ring: Mutex::new(VecDeque::with_capacity(capacity.min(4096))),
+            capacity: capacity.max(1),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The buffered events, oldest first.
+    pub fn events(&self) -> Vec<SpanEvent> {
+        self.ring.lock().iter().cloned().collect()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl TraceSink for VecSink {
+    fn record(&self, ev: &SpanEvent) {
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(ev.clone());
+    }
+}
+
+/// Streams events as JSON lines to any writer (typically a file).
+pub struct JsonlSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonlSink {
+    /// Wrap an arbitrary writer.
+    pub fn new(w: Box<dyn Write + Send>) -> JsonlSink {
+        JsonlSink { out: Mutex::new(w) }
+    }
+
+    /// Create (truncate) `path` and stream events into it.
+    pub fn create(path: &str) -> std::io::Result<JsonlSink> {
+        let f = std::fs::File::create(path)?;
+        Ok(JsonlSink::new(Box::new(std::io::BufWriter::new(f))))
+    }
+
+    /// Open `path` for appending (multi-run trace files).
+    pub fn append(path: &str) -> std::io::Result<JsonlSink> {
+        let f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(JsonlSink::new(Box::new(std::io::BufWriter::new(f))))
+    }
+
+    /// Flush the underlying writer.
+    pub fn flush(&self) {
+        let _ = self.out.lock().flush();
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&self, ev: &SpanEvent) {
+        let mut out = self.out.lock();
+        let _ = writeln!(out, "{}", ev.to_jsonl());
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.out.lock().flush();
+    }
+}
+
+/// Emits spans into a sink, allocating ids monotonically.
+#[derive(Clone)]
+pub struct Tracer {
+    sink: Arc<dyn TraceSink>,
+    next_id: Arc<AtomicU64>,
+}
+
+impl Tracer {
+    /// A tracer over `sink`; ids start at 1.
+    pub fn new(sink: Arc<dyn TraceSink>) -> Tracer {
+        Tracer {
+            sink,
+            next_id: Arc::new(AtomicU64::new(1)),
+        }
+    }
+
+    /// Open a span; returns its id.
+    pub fn start(&self, kind: SpanKind, name: &str, parent: Option<u64>, ts_ms: i64) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.sink.record(&SpanEvent {
+            id,
+            parent,
+            kind,
+            phase: Phase::Start,
+            name: Arc::from(name),
+            ts_ms,
+            rows: 0,
+        });
+        id
+    }
+
+    /// Close span `id`.
+    pub fn end(
+        &self,
+        id: u64,
+        parent: Option<u64>,
+        kind: SpanKind,
+        name: &str,
+        ts_ms: i64,
+        rows: u64,
+    ) {
+        self.sink.record(&SpanEvent {
+            id,
+            parent,
+            kind,
+            phase: Phase::End,
+            name: Arc::from(name),
+            ts_ms,
+            rows,
+        });
+    }
+}
+
+/// Check that `events` form a well-formed span tree: every start has
+/// exactly one end (after it), parents are open at child start, kinds
+/// nest query → operator → batch, and timestamps never decrease.
+///
+/// Returns a description of the first violation, or `None` when the
+/// trace is well-formed. Shared by the golden tests and the proptest.
+pub fn validate_span_tree(events: &[SpanEvent]) -> Option<String> {
+    use std::collections::HashMap;
+    let mut open: HashMap<u64, &SpanEvent> = HashMap::new();
+    let mut closed: HashMap<u64, bool> = HashMap::new();
+    let mut last_ts = i64::MIN;
+    for ev in events {
+        if ev.ts_ms < last_ts {
+            return Some(format!(
+                "timestamp went backwards at span {} ({} < {last_ts})",
+                ev.id, ev.ts_ms
+            ));
+        }
+        last_ts = ev.ts_ms;
+        match ev.phase {
+            Phase::Start => {
+                if open.contains_key(&ev.id) || closed.contains_key(&ev.id) {
+                    return Some(format!("span {} started twice", ev.id));
+                }
+                match (ev.kind, ev.parent) {
+                    (SpanKind::Query, None) => {}
+                    (SpanKind::Query, Some(_)) => {
+                        return Some(format!("query span {} has a parent", ev.id));
+                    }
+                    (kind, None) => {
+                        return Some(format!("{kind:?} span {} has no parent", ev.id));
+                    }
+                    (kind, Some(p)) => {
+                        let Some(parent) = open.get(&p) else {
+                            return Some(format!("span {} parent {p} is not open", ev.id));
+                        };
+                        let ok = matches!(
+                            (parent.kind, kind),
+                            (SpanKind::Query, SpanKind::Operator)
+                                | (SpanKind::Operator, SpanKind::Batch)
+                        );
+                        if !ok {
+                            return Some(format!(
+                                "span {} nests {kind:?} under {:?}",
+                                ev.id, parent.kind
+                            ));
+                        }
+                    }
+                }
+                open.insert(ev.id, ev);
+            }
+            Phase::End => {
+                if open.remove(&ev.id).is_none() {
+                    return Some(format!("span {} ended without being open", ev.id));
+                }
+                closed.insert(ev.id, true);
+            }
+        }
+    }
+    if let Some(id) = open.keys().next() {
+        return Some(format!("span {id} never closed"));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn capture() -> (Tracer, Arc<VecSink>) {
+        let sink = Arc::new(VecSink::new(64));
+        (Tracer::new(sink.clone() as Arc<dyn TraceSink>), sink)
+    }
+
+    #[test]
+    fn spans_nest_and_validate() {
+        let (t, sink) = capture();
+        let q = t.start(SpanKind::Query, "select", None, 0);
+        let op = t.start(SpanKind::Operator, "where", Some(q), 0);
+        let b = t.start(SpanKind::Batch, "batch", Some(op), 5);
+        t.end(b, Some(op), SpanKind::Batch, "batch", 5, 3);
+        t.end(op, Some(q), SpanKind::Operator, "where", 9, 0);
+        t.end(q, None, SpanKind::Query, "select", 9, 0);
+        assert_eq!(validate_span_tree(&sink.events()), None);
+    }
+
+    #[test]
+    fn unbalanced_and_misnested_traces_are_rejected() {
+        let (t, sink) = capture();
+        let q = t.start(SpanKind::Query, "select", None, 0);
+        let _ = q;
+        assert!(validate_span_tree(&sink.events())
+            .unwrap()
+            .contains("never closed"));
+
+        let (t, sink) = capture();
+        let q = t.start(SpanKind::Query, "select", None, 0);
+        // Batch directly under query: bad nesting.
+        let b = t.start(SpanKind::Batch, "batch", Some(q), 0);
+        t.end(b, Some(q), SpanKind::Batch, "batch", 0, 0);
+        t.end(q, None, SpanKind::Query, "select", 0, 0);
+        assert!(validate_span_tree(&sink.events())
+            .unwrap()
+            .contains("nests"));
+
+        let (t, sink) = capture();
+        let q = t.start(SpanKind::Query, "select", None, 10);
+        t.end(q, None, SpanKind::Query, "select", 5, 0);
+        assert!(validate_span_tree(&sink.events())
+            .unwrap()
+            .contains("backwards"));
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let sink = VecSink::new(2);
+        let t = Tracer::new(Arc::new(NullSink));
+        let _ = t; // ids unused; record directly
+        for i in 0..3 {
+            sink.record(&SpanEvent {
+                id: i + 1,
+                parent: None,
+                kind: SpanKind::Query,
+                phase: Phase::Start,
+                name: Arc::from("q"),
+                ts_ms: i as i64,
+                rows: 0,
+            });
+        }
+        let evs = sink.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].id, 2);
+        assert_eq!(sink.dropped(), 1);
+    }
+
+    #[test]
+    fn jsonl_is_one_stable_line_per_event() {
+        let ev = SpanEvent {
+            id: 7,
+            parent: Some(1),
+            kind: SpanKind::Batch,
+            phase: Phase::End,
+            name: Arc::from("batch"),
+            ts_ms: 1234,
+            rows: 9,
+        };
+        assert_eq!(
+            ev.to_jsonl(),
+            "{\"id\":7,\"parent\":1,\"kind\":\"batch\",\"phase\":\"end\",\"name\":\"batch\",\"ts_ms\":1234,\"rows\":9}"
+        );
+    }
+}

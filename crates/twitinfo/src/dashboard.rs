@@ -87,6 +87,14 @@ pub fn render(analysis: &EventAnalysis, opts: &DashboardOptions) -> String {
         analysis.timeline.bins.len(),
         analysis.timeline.bin
     ));
+    out.push_str(&format!(
+        "counters: matched={} peaks={} pos={} neg={} neu={}\n",
+        analysis.matched.len(),
+        analysis.peaks.len(),
+        analysis.sentiment.positive,
+        analysis.sentiment.negative,
+        analysis.sentiment.neutral
+    ));
 
     // Peak annotations ("peak F: 3-0, tevez").
     if analysis.peaks.is_empty() {
@@ -193,6 +201,7 @@ mod tests {
         assert!(s.contains("Popular links"));
         assert!(s.contains("Overall sentiment"));
         assert!(s.contains("Soccer: Manchester City vs. Liverpool"));
+        assert!(s.contains("counters: matched="), "{s}");
     }
 
     #[test]

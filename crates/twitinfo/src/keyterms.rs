@@ -117,6 +117,40 @@ mod tests {
     }
 
     #[test]
+    fn equal_scores_break_ties_alphabetically_and_stably() {
+        // "zidane" and "bergkamp" appear with identical counts in the
+        // same documents: identical TF-IDF scores. Top-k must order them
+        // deterministically (lexicographic) on every run.
+        let tweets: Vec<Tweet> = (0..6)
+            .map(|i| {
+                TweetBuilder::new(i + 1, "zidane bergkamp volley")
+                    .at(Timestamp::from_mins(i as i64))
+                    .build()
+            })
+            .collect();
+        let timeline = Timeline::from_tweets(&tweets, Duration::from_mins(1));
+        let df = background_df(&tweets);
+        let spec = EventSpec::new("e", &["volley"]);
+        let whole = Peak {
+            start: 0,
+            apex: 0,
+            end: timeline.bins.len(),
+            max_count: 0,
+            label: 'A',
+        };
+        let first = peak_terms(&whole, &timeline, &tweets, &df, &spec, 2);
+        let names: Vec<&str> = first.iter().map(|t| t.term.as_str()).collect();
+        assert_eq!(names, vec!["bergkamp", "zidane"], "{first:?}");
+        for _ in 0..5 {
+            let again = peak_terms(&whole, &timeline, &tweets, &df, &spec, 2);
+            assert_eq!(
+                again.iter().map(|t| t.term.as_str()).collect::<Vec<_>>(),
+                names
+            );
+        }
+    }
+
+    #[test]
     fn empty_peak_window_yields_no_terms() {
         let (tweets, timeline) = scenario();
         let df = background_df(&tweets);

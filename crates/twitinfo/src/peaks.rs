@@ -495,6 +495,50 @@ mod tests {
     }
 
     #[test]
+    fn synthetic_burst_onset_and_offset_bracket_truth() {
+        // Scripted burst: calm at 12/bin, ramp 20-23, decay 24-26.
+        let mut bins = vec![12u64; 40];
+        let burst = [(20, 40), (21, 90), (22, 120), (23, 80), (24, 35), (25, 18)];
+        for (i, v) in burst {
+            bins[i] = v;
+        }
+        let peaks = detect(&bins);
+        assert_eq!(peaks.len(), 1, "{peaks:?}");
+        let p = &peaks[0];
+        // Onset is the last calm bin before the rise; offset is after
+        // the decay tail — the detected range brackets the truth window.
+        assert!(p.start <= 20, "start {}", p.start);
+        assert!(p.start >= 18, "start {}", p.start);
+        assert_eq!(p.apex, 22);
+        assert_eq!(p.max_count, 120);
+        assert!(p.end >= 24, "end {}", p.end);
+        assert!(p.end <= 28, "end {}", p.end);
+    }
+
+    #[test]
+    fn flat_stream_with_gaussian_noise_has_no_peaks() {
+        // Flat 100/bin plus deterministic ~N(0, 5²) noise via Box-Muller
+        // over a fixed LCG — no excursion approaches the significance
+        // gates, so nothing may fire.
+        let mut state = 0x2545f4914f6cdd1du64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let bins: Vec<u64> = (0..200)
+            .map(|_| {
+                let (u1, u2) = (next().max(1e-12), next());
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                (100.0 + 5.0 * z).round().max(0.0) as u64
+            })
+            .collect();
+        let peaks = detect(&bins);
+        assert!(peaks.is_empty(), "{peaks:?}");
+    }
+
+    #[test]
     fn scoring_precision_recall() {
         let peaks = vec![
             Peak {

@@ -91,6 +91,28 @@ mod tests {
     }
 
     #[test]
+    fn equal_similarity_ties_break_by_input_order() {
+        // Three textually identical tweets score identically; the
+        // ranking must fall back to input order, so top-k truncation is
+        // stable across runs.
+        let clf = LexiconClassifier::new();
+        let dup: Vec<Tweet> = (0..3)
+            .map(|i| TweetBuilder::new(i + 1, "manchester derby today").build())
+            .collect();
+        let kws = vec!["manchester".to_string()];
+        let ranked = rank_tweets(&dup, &kws, &clf, 2);
+        assert_eq!(ranked.len(), 2);
+        assert_eq!(ranked[0].index, 0);
+        assert_eq!(ranked[1].index, 1);
+        assert_eq!(ranked[0].similarity, ranked[1].similarity);
+        for _ in 0..5 {
+            let again = rank_tweets(&dup, &kws, &clf, 2);
+            assert_eq!(again[0].index, 0);
+            assert_eq!(again[1].index, 1);
+        }
+    }
+
+    #[test]
     fn k_truncates() {
         let clf = LexiconClassifier::new();
         let kws = vec!["manchester".to_string()];

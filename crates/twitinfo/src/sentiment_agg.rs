@@ -158,6 +158,48 @@ mod tests {
     }
 
     #[test]
+    fn recall_normalization_matches_hand_computation() {
+        let clf = LexiconClassifier::new();
+        // Window covers 2 positives and 1 negative (tweet 5 is outside).
+        // With recall pos=0.8, neg=0.5 the CHI normalization inflates:
+        //   pos' = 2 / 0.8 = 2.5,  neg' = 1 / 0.5 = 2.0
+        //   positive_share = 2.5 / 4.5,  negative_share = 2.0 / 4.5
+        let recall = RecallStats {
+            positive_recall: 0.8,
+            negative_recall: 0.5,
+        };
+        let s = summarize(
+            &sample(),
+            Timestamp::ZERO,
+            Timestamp::from_mins(10),
+            &clf,
+            recall,
+        );
+        assert_eq!((s.positive, s.negative), (2, 1));
+        assert!((s.positive_share - 2.5 / 4.5).abs() < 1e-12, "{s:?}");
+        assert!((s.negative_share - 2.0 / 4.5).abs() < 1e-12, "{s:?}");
+        assert!((s.positive_share + s.negative_share - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_window_normalizes_to_even_split() {
+        let clf = LexiconClassifier::new();
+        let recall = RecallStats {
+            positive_recall: 1.0,
+            negative_recall: 1.0,
+        };
+        let s = summarize(
+            &sample(),
+            Timestamp::from_mins(100),
+            Timestamp::from_mins(110),
+            &clf,
+            recall,
+        );
+        assert_eq!((s.positive, s.negative, s.neutral), (0, 0, 0));
+        assert_eq!((s.positive_share, s.negative_share), (0.5, 0.5));
+    }
+
+    #[test]
     fn render_pie_formats() {
         let s = SentimentSummary {
             positive: 6,

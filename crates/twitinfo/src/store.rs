@@ -101,6 +101,36 @@ pub struct EventAnalysis {
     pub recall: RecallStats,
 }
 
+impl EventAnalysis {
+    /// Publish the analysis' headline numbers into a shared metrics
+    /// registry, so the dashboard's counters sit next to the engine's
+    /// `tweeql_*` families in one Prometheus exposition. Counters are
+    /// cumulative across calls (a registry shared with the engine is
+    /// long-lived); gauges reflect this analysis.
+    pub fn publish_metrics(&self, m: &tweeql_obs::MetricsRegistry) {
+        m.counter("twitinfo_tweets_matched_total", &[])
+            .add(self.matched.len() as u64);
+        m.counter("twitinfo_peaks_detected_total", &[])
+            .add(self.peaks.len() as u64);
+        m.gauge("twitinfo_timeline_bins", &[])
+            .set(self.timeline.bins.len() as i64);
+        m.gauge("twitinfo_timeline_max_bin_count", &[])
+            .set(self.timeline.max_count() as i64);
+        for (polarity, n) in [
+            ("positive", self.sentiment.positive),
+            ("negative", self.sentiment.negative),
+            ("neutral", self.sentiment.neutral),
+        ] {
+            m.counter("twitinfo_sentiment_tweets_total", &[("polarity", polarity)])
+                .add(n);
+        }
+        m.counter("twitinfo_links_total", &[])
+            .add(self.links.iter().map(|l| l.count).sum());
+        m.gauge("twitinfo_map_markers", &[])
+            .set(self.markers.len() as i64);
+    }
+}
+
 /// Run the full TwitInfo analysis: filter → bin → detect peaks → label →
 /// rank → aggregate.
 pub fn analyze(spec: &EventSpec, firehose: &[Tweet], config: &AnalysisConfig) -> EventAnalysis {
@@ -357,6 +387,34 @@ mod tests {
         store.log(&miss);
         assert_eq!(store.logged_count(id), Some(1));
         assert_eq!(store.spec(id).unwrap().keywords, vec!["goal"]);
+    }
+
+    #[test]
+    fn publish_metrics_mirrors_analysis_counts() {
+        let tweets = soccer_tweets();
+        let analysis = analyze(&soccer_spec(), &tweets, &AnalysisConfig::default());
+        let m = tweeql_obs::MetricsRegistry::new();
+        analysis.publish_metrics(&m);
+        assert_eq!(
+            m.counter_value("twitinfo_tweets_matched_total", &[]),
+            analysis.matched.len() as u64
+        );
+        assert_eq!(
+            m.counter_value("twitinfo_peaks_detected_total", &[]),
+            analysis.peaks.len() as u64
+        );
+        let text = m.render_prometheus();
+        assert!(text.contains("twitinfo_timeline_bins"), "{text}");
+        assert!(
+            text.contains("twitinfo_sentiment_tweets_total{polarity=\"positive\"}"),
+            "{text}"
+        );
+        // A second publish accumulates counters but re-sets gauges.
+        analysis.publish_metrics(&m);
+        assert_eq!(
+            m.counter_value("twitinfo_tweets_matched_total", &[]),
+            2 * analysis.matched.len() as u64
+        );
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! Run with `cargo run --release --example tweeql_repl`, then type a
 //! query (`;` optional), `\examples` for the pre-built queries,
 //! `\explain <sql>`, `:check <sql>` for static analysis without
-//! running, `\scenario soccer|earthquakes|obama`, or `\q`.
+//! running, `:stats` for the last query's profile and metrics,
+//! `\scenario soccer|earthquakes|obama`, or `\q`.
 
 use std::io::{BufRead, Write};
 use tweeql::engine::Engine;
@@ -72,6 +73,10 @@ fn main() {
     println!("TweeQL demo shell — \\examples for canned queries, \\q to quit");
     let mut current = "obama".to_string();
     let mut engine = build_engine(&current);
+    // Profile + metrics text of the last executed query, captured before
+    // the engine is rebuilt (rebuilding rewinds the stream and discards
+    // the profiler state).
+    let mut last_stats: Option<String> = None;
     let stdin = std::io::stdin();
     let mut buffer = String::new();
     loop {
@@ -109,6 +114,13 @@ fn main() {
                     }
                     continue;
                 }
+                ":stats" | "\\stats" => {
+                    match &last_stats {
+                        Some(text) => print!("{text}"),
+                        None => println!("no query executed yet"),
+                    }
+                    continue;
+                }
                 t if t.starts_with(":check ") || t.starts_with("\\check ") => {
                     let sql = t
                         .trim_start_matches(":check ")
@@ -142,6 +154,9 @@ fn main() {
                     result.stats.source.delivered,
                     result.stats.pushdown
                 );
+                last_stats = engine
+                    .profile_report()
+                    .map(|profile| format!("{profile}\n{}", engine.render_prometheus()));
                 // A fresh engine rewinds the stream for the next query.
                 engine = build_engine(&current);
             }
