@@ -62,7 +62,19 @@ fn main() {
         }
     }
 
-    let json = e10_expr::to_json(&rows, seed, cores, tweets);
+    let prune = e10_expr::run_pruning(seed, minutes, reps);
+    eprintln!(
+        "  {:<20} decode {:>9.0} -> {:>9.0} t/s ({:.2}x)  engine {:>9.0} -> {:>9.0} t/s ({:.2}x)",
+        "projection pruning",
+        prune.decode_full_tps,
+        prune.decode_pruned_tps,
+        prune.decode_speedup(),
+        prune.engine_unoptimized_tps,
+        prune.engine_optimized_tps,
+        prune.engine_speedup(),
+    );
+
+    let json = e10_expr::to_json(&rows, &prune, seed, cores, tweets);
     std::fs::write(&out_path, &json).expect("write BENCH_expr.json");
     eprintln!("wrote {out_path}");
 }

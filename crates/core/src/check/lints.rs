@@ -1,4 +1,4 @@
-//! Lint rules (`W101`…`W107`) — streaming hazards and likely mistakes
+//! Lint rules (`W101`…`W109`) — streaming hazards and likely mistakes
 //! that don't stop the query from running.
 //!
 //! Each rule targets a failure mode the paper's demo users hit:
@@ -28,6 +28,8 @@ pub(crate) fn run(
     w105_self_join(stmt, diags);
     w106_output_names(stmt, env, diags);
     w107_limit_without_order(stmt, diags);
+    w108_constant_having(stmt, diags);
+    w109_unused_group_key(stmt, group_keys, diags);
 }
 
 /// W101: a WHERE conjunct folds to a constant — it either filters
@@ -257,6 +259,72 @@ fn w107_limit_without_order(stmt: &SelectStmt, diags: &mut Vec<Diagnostic>) {
     }
 }
 
+/// W108: a HAVING conjunct folds to a constant (the same
+/// constant-folding abstract interpretation the plan optimizer runs) —
+/// it statically keeps or drops every group.
+fn w108_constant_having(stmt: &SelectStmt, diags: &mut Vec<Diagnostic>) {
+    let Some(h) = &stmt.having else { return };
+    for c in h.conjuncts() {
+        let folded = fold_constants(c);
+        if let ExprKind::Literal(v) = &folded.kind {
+            let effect = if !v.is_null() && v.is_truthy() {
+                "always true — it filters no groups"
+            } else {
+                "always false — every group is dropped"
+            };
+            diags.push(Diagnostic::warning(
+                "W108",
+                c.span,
+                format!("this HAVING predicate is statically {effect}"),
+            ));
+        }
+    }
+}
+
+/// W109: a GROUP BY key no SELECT item exposes. The liveness view: the
+/// key is computed to tell groups apart, but nothing downstream can
+/// read it, so the per-group split is indistinguishable in the output.
+fn w109_unused_group_key(
+    stmt: &SelectStmt,
+    group_keys: &[(String, Expr, Span)],
+    diags: &mut Vec<Diagnostic>,
+) {
+    if stmt
+        .select
+        .iter()
+        .any(|i| matches!(i, SelectItem::Wildcard))
+    {
+        return;
+    }
+    for (name, _, span) in group_keys {
+        let exposed = stmt.select.iter().any(|i| {
+            let SelectItem::Expr { expr, alias } = i else {
+                return false;
+            };
+            alias
+                .as_deref()
+                .is_some_and(|a| a.eq_ignore_ascii_case(name))
+                || expr
+                    .referenced_columns()
+                    .iter()
+                    .any(|c| c.eq_ignore_ascii_case(name))
+        });
+        if !exposed {
+            diags.push(
+                Diagnostic::warning(
+                    "W109",
+                    *span,
+                    format!(
+                        "GROUP BY key {name} is never selected — downstream \
+                             consumers cannot tell the groups apart"
+                    ),
+                )
+                .with_help("select the key (or an expression over it), or drop it from GROUP BY"),
+            );
+        }
+    }
+}
+
 fn expr_calls(e: &Expr, target: &str) -> bool {
     let mut found = false;
     e.walk(&mut |n| {
@@ -366,6 +434,30 @@ mod tests {
         assert!(!codes(&d).contains(&"W107"), "{d:?}");
         let d = lint("SELECT text FROM twitter LIMIT 5");
         assert!(!codes(&d).contains(&"W107"), "{d:?}");
+    }
+
+    #[test]
+    fn w108_fires_on_constant_having() {
+        let d = lint("SELECT count(*) FROM twitter HAVING 1 < 2");
+        assert!(codes(&d).contains(&"W108"), "{d:?}");
+        let d = lint("SELECT count(*) FROM twitter HAVING 2 < 1");
+        assert!(codes(&d).contains(&"W108"), "{d:?}");
+        let d = lint("SELECT count(*) FROM twitter HAVING count(*) > 5");
+        assert!(!codes(&d).contains(&"W108"), "{d:?}");
+    }
+
+    #[test]
+    fn w109_fires_on_unselected_group_key() {
+        let d = lint("SELECT count(*) FROM twitter GROUP BY lang WINDOW 100 TUPLES");
+        assert!(codes(&d).contains(&"W109"), "{d:?}");
+        let d = lint("SELECT lang, count(*) FROM twitter GROUP BY lang WINDOW 100 TUPLES");
+        assert!(!codes(&d).contains(&"W109"), "{d:?}");
+        // An expression over the key exposes it too.
+        let d = lint("SELECT upper(lang), count(*) FROM twitter GROUP BY lang WINDOW 100 TUPLES");
+        assert!(!codes(&d).contains(&"W109"), "{d:?}");
+        // Wildcards select everything.
+        let d = lint("SELECT * FROM twitter GROUP BY lang WINDOW 100 TUPLES");
+        assert!(!codes(&d).contains(&"W109"), "{d:?}");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //!
 //! Errors (`E001`…`E011`) describe queries the planner or executor
 //! would reject or mis-run; [`Engine`](crate::engine::Engine) refuses
-//! to plan a query with any error. Warnings (`W101`…`W107`) attach to
+//! to plan a query with any error. Warnings (`W101`…`W109`) attach to
 //! the planned query and are surfaced by the REPL and `tweeql-lint`.
 //!
 //! | code | meaning |
@@ -32,6 +32,8 @@
 //! | W105 | self-join on the same key |
 //! | W106 | duplicate / shadowing output names |
 //! | W107 | LIMIT over aggregation without topk |
+//! | W108 | HAVING predicate statically always true/false |
+//! | W109 | GROUP BY key never selected |
 
 pub mod diag;
 pub mod lints;

@@ -1,9 +1,8 @@
-//! The TweeQL engine: parse → plan → choose pushdown → stream → collect.
+//! The TweeQL engine: parse → plan → optimize → choose pushdown →
+//! stream → collect.
 //!
 //! Engines are assembled with the fluent [`EngineBuilder`]
-//! (`Engine::builder(api).workers(4).fault_policy(plan).build()`); the
-//! old `Engine::new(config, api, clock)` constructor survives one
-//! release as a deprecated shim in [`crate::compat`].
+//! (`Engine::builder(api).workers(4).fault_policy(plan).build()`).
 
 use crate::catalog::Catalog;
 use crate::error::QueryError;
@@ -40,6 +39,11 @@ pub struct EngineConfig {
     /// Expressions the lowering rejects fall back to the interpreted
     /// operators per-stage; `false` forces the interpreter everywhere.
     pub compile_exprs: bool,
+    /// Run the verified logical-plan optimizer (constant folding,
+    /// contains fusion, filter pushdown, projection pruning, conjunct
+    /// ordering). `false` lowers every plan exactly as written — the
+    /// reference the optimizer is differentially tested against.
+    pub optimize_plans: bool,
     /// Async-UDF batch release bounds.
     pub async_max_batch: usize,
     /// Max stream-time a tuple waits in a partial async batch.
@@ -69,6 +73,7 @@ impl Default for EngineConfig {
             selectivity_sample: 2000,
             use_eddy: false,
             compile_exprs: true,
+            optimize_plans: true,
             async_max_batch: 25,
             async_max_delay: Duration::from_secs(2),
             workers: 1,
@@ -322,6 +327,14 @@ impl EngineBuilder {
         self
     }
 
+    /// Toggle the verified logical-plan optimizer (`true` by default).
+    /// `false` lowers every plan exactly as written — the reference
+    /// the optimized plans are differentially tested against.
+    pub fn plan_optimizer(mut self, on: bool) -> Self {
+        self.config.optimize_plans = on;
+        self
+    }
+
     /// One seed for everything the engine randomizes: service latency
     /// and failures, and reconnect-backoff jitter.
     pub fn seed(mut self, seed: u64) -> Self {
@@ -418,6 +431,7 @@ impl EngineBuilder {
             metrics: self.metrics.unwrap_or_default(),
             trace: self.trace,
             last_profile: None,
+            selectivity_hints: Vec::new(),
         }
     }
 }
@@ -433,6 +447,10 @@ pub struct Engine {
     pub(crate) metrics: MetricsRegistry,
     pub(crate) trace: Option<Arc<dyn TraceSink>>,
     pub(crate) last_profile: Option<QueryProfile>,
+    /// `(candidate description, measured selectivity)` pairs from the
+    /// most recent run's pushdown probe — fed back into the planner so
+    /// conjunct ordering on a reused engine is seeded from measurement.
+    pub(crate) selectivity_hints: Vec<(String, f64)>,
 }
 
 impl Engine {
@@ -489,7 +507,7 @@ impl Engine {
             plan: planned.explain,
             diagnostics: Diagnostics {
                 warnings: planned.warnings,
-                notices: Vec::new(),
+                notices: planned.notices,
             },
         })
     }
@@ -513,6 +531,8 @@ impl Engine {
         PlanConfig {
             use_eddy: self.config.use_eddy,
             compile_exprs: self.config.compile_exprs,
+            optimize: self.config.optimize_plans,
+            selectivity_hints: self.selectivity_hints.clone(),
             async_max_batch: self.config.async_max_batch,
             async_max_delay: self.config.async_max_delay,
             default_join_window: Duration::from_mins(5),
@@ -575,6 +595,17 @@ impl Engine {
         );
         let pushdown = decision.describe(&planned.api_candidates);
         let filter = decision.filter(&planned.api_candidates);
+        // Feed measured selectivities back to the planner: the next
+        // query on this engine seeds conjunct ordering from them.
+        let measured: Vec<(String, f64)> = decision
+            .estimates
+            .iter()
+            .filter(|e| e.selectivity.is_finite())
+            .map(|e| (e.description.clone(), e.selectivity))
+            .collect();
+        if !measured.is_empty() {
+            self.selectivity_hints = measured;
+        }
 
         // ---- observability: query span + per-stage instrumentation ----
         let tracer = self.trace.as_ref().map(|s| Tracer::new(Arc::clone(s)));
@@ -619,9 +650,11 @@ impl Engine {
         );
         let geo_cache = self.geo.cache_stats().delta_since(&geo_base_cache);
 
+        let mut notices = std::mem::take(&mut planned.notices);
+        notices.extend(degradation_notices(&source_faults, &gap_windows, &stages));
         let diagnostics = Diagnostics {
             warnings: std::mem::take(&mut planned.warnings),
-            notices: degradation_notices(&source_faults, &gap_windows, &stages),
+            notices,
         };
         let stats = QueryStats {
             pushdown,
@@ -732,6 +765,7 @@ impl Engine {
                 batch_size: self.config.batch_size,
                 channel_capacity: self.config.channel_capacity,
                 watermark_interval: self.config.watermark_interval,
+                live_columns: planned.live_columns.clone(),
             };
             return crate::exec::parallel::run_parallel(src, &mut planned.pipeline, &pcfg, sink);
         }
@@ -744,6 +778,7 @@ impl Engine {
         let mut src = src;
         let wm_interval = self.config.watermark_interval;
         let batch_size = self.config.batch_size.max(1);
+        let live = planned.live_columns.clone();
         let mut next_wm: Option<Timestamp> = None;
         let mut out = Vec::new();
         let mut batch: Vec<Record> = Vec::with_capacity(batch_size);
@@ -756,7 +791,10 @@ impl Engine {
                     planned.pipeline.gap(from, to, &mut out)?;
                 }
                 SourceEvent::Tweet(tweet) => {
-                    let rec = Record::from_tweet(&tweet);
+                    let rec = match &live {
+                        Some(l) => Record::from_tweet_pruned(&tweet, l),
+                        None => Record::from_tweet(&tweet),
+                    };
                     let ts = rec.timestamp();
                     // Inject punctuation when stream time crosses
                     // boundaries — every boundary the stream jumped

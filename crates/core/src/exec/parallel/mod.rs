@@ -59,6 +59,9 @@ pub struct ParallelConfig {
     pub channel_capacity: usize,
     /// Watermark injection interval (must match the serial engine's).
     pub watermark_interval: Duration,
+    /// Live source columns for the pruned decode path (`None` = decode
+    /// everything). Set by the planner's projection-pruning rule.
+    pub live_columns: Option<std::sync::Arc<[bool]>>,
 }
 
 /// One worker's owned state: cloned stateless-prefix operators plus an
@@ -135,6 +138,7 @@ pub fn run_parallel(
     let mut worker_stats: Vec<(Vec<OpStats>, OpStats)> = Vec::new();
 
     std::thread::scope(|s| {
+        let live = cfg.live_columns.clone();
         let decoder = s.spawn(|| {
             decode_loop(
                 src,
@@ -143,6 +147,7 @@ pub fn run_parallel(
                 &recycle,
                 batch_size,
                 wm_interval,
+                live,
             )
         });
         let handles: Vec<_> = kits
@@ -237,6 +242,7 @@ fn decode_loop(
     recycle: &Chan<Vec<Record>>,
     batch_size: usize,
     wm_interval: Duration,
+    live: Option<std::sync::Arc<[bool]>>,
 ) -> (ConnectionStats, SourceFaultStats) {
     // Prefer a recycled buffer (drained downstream) over allocating.
     let fresh = |recycle: &Chan<Vec<Record>>| {
@@ -276,7 +282,10 @@ fn decode_loop(
                 continue;
             }
         };
-        let rec = Record::from_tweet(&tweet);
+        let rec = match &live {
+            Some(l) => Record::from_tweet_pruned(&tweet, l),
+            None => Record::from_tweet(&tweet),
+        };
         let ts = rec.timestamp();
         if let Some(wm) = next_wm {
             if ts >= wm {
@@ -435,6 +444,7 @@ mod tests {
             &recycle,
             8,
             Duration::from_secs(1),
+            None,
         );
         to_merge.close();
 
@@ -477,6 +487,7 @@ mod tests {
             &recycle,
             4,
             Duration::from_secs(60),
+            None,
         );
         let mut sizes = Vec::new();
         while let Some(Seq { item, .. }) = to_workers.pop() {

@@ -44,7 +44,6 @@
 pub mod ast;
 pub mod catalog;
 pub mod check;
-pub mod compat;
 pub mod engine;
 pub mod error;
 pub mod exec;

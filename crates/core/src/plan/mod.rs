@@ -1,25 +1,36 @@
-//! The planner: AST → physical pipeline.
+//! The planner: AST → logical plan → rewrite rules → physical pipeline.
 //!
-//! Responsibilities:
-//! * resolve streams and columns against the [`crate::catalog::Catalog`];
-//! * fold constants and order local predicates by cost
-//!   ([`optimizer`]), or hand them to the adaptive
-//!   [`crate::exec::eddy::EddyFilter`];
-//! * extract *API filter candidates* from the WHERE clause (`text
-//!   contains 'kw'` → `track`, `location in [bbox]` → `locations`,
-//!   `user_id = n` → `follow`) — the engine samples these and pushes
-//!   down the lowest-selectivity one (§2 "Uncertain Selectivities");
-//! * **hoist async UDF calls** out of expressions into
-//!   [`crate::exec::asyncop::AsyncUdfOp`] stages — calls needed by
-//!   WHERE run before the filter, all others after it, so tuples the
-//!   filter drops never cost a web-service call (§2 "High-latency
-//!   Operators");
-//! * build windowed aggregation with a canonical `[keys…, aggs…]`
-//!   layout plus a post-projection restoring SELECT order.
+//! Planning is now a three-stage pipe:
+//! 1. [`logical::LogicalPlan::build`] turns the checked AST into a
+//!    clause-structured IR (streams/columns resolved against the
+//!    [`crate::catalog::Catalog`], wildcards expanded);
+//! 2. [`rules::rewrite`] runs the analysis-driven rule set — constant
+//!    folding, multi-`contains` fusion, connection-filter pushdown
+//!    extraction (`text contains 'kw'` → `track`, `location in [bbox]`
+//!    → `locations`, `user_id = n` → `follow`; §2 "Uncertain
+//!    Selectivities"), column-liveness projection pruning, and
+//!    cost-based conjunct ordering — with the
+//!    [`verify::PlanVerifier`] re-checking the plan after every rule;
+//! 3. lowering emits the operator pipeline: **async UDF calls are
+//!    hoisted** into [`crate::exec::asyncop::AsyncUdfOp`] stages
+//!    (calls WHERE needs run before the filter, all others after, so
+//!    tuples the filter drops never cost a web-service call; §2
+//!    "High-latency Operators"), filters compile into
+//!    [`crate::exec::fused::FusedScanOp`] scans or the adaptive
+//!    [`crate::exec::eddy::EddyFilter`], and windowed aggregation uses
+//!    a canonical `[keys…, aggs…]` layout plus a post-projection
+//!    restoring SELECT order.
+//!
+//! Both the serial and the parallel engine consume the same
+//! [`PlannedQuery`]; `explain` carries one `rule <name>: …` line per
+//! applied rewrite.
 
+pub(crate) mod logical;
 pub mod optimizer;
+pub(crate) mod rules;
+pub(crate) mod verify;
 
-use crate::ast::{AggFunc, BinOp, Expr, ExprKind, SelectItem, SelectStmt, WindowSpec};
+use crate::ast::{AggFunc, BinOp, Expr, ExprKind, SelectStmt, WindowSpec};
 use crate::catalog::Catalog;
 use crate::error::QueryError;
 use crate::exec::aggregate::{AggExpr, AggregateOp, WindowPolicy};
@@ -53,6 +64,14 @@ pub struct PlanConfig {
     pub async_max_delay: Duration,
     /// Join window when the query gives none.
     pub default_join_window: Duration,
+    /// Run the rule-based rewriter over the logical plan. Off ⇒ the
+    /// plan lowers exactly as written: no folding, pruning, pushdown
+    /// extraction, or conjunct ordering.
+    pub optimize: bool,
+    /// `(pushdown-candidate description, measured selectivity)` pairs
+    /// from a previous execution's probe — seeds the conjunct-ordering
+    /// rule for repeated/standing queries.
+    pub selectivity_hints: Vec<(String, f64)>,
 }
 
 impl Default for PlanConfig {
@@ -63,6 +82,8 @@ impl Default for PlanConfig {
             async_max_batch: 25,
             async_max_delay: Duration::from_secs(2),
             default_join_window: Duration::from_mins(5),
+            optimize: true,
+            selectivity_hints: Vec::new(),
         }
     }
 }
@@ -99,6 +120,12 @@ pub struct PlannedQuery {
     /// Analyzer warnings attached by the engine (empty when planning
     /// is invoked directly).
     pub warnings: Vec<crate::check::Diagnostic>,
+    /// Live source columns from the projection-pruning rule (`None` ⇒
+    /// decode every column). Indexed against the source scan schema.
+    pub live_columns: Option<Arc<[bool]>>,
+    /// Optimizer notices — verifier fallbacks in release builds. The
+    /// engine merges these into the run's diagnostics.
+    pub notices: Vec<String>,
 }
 
 impl std::fmt::Debug for PlannedQuery {
@@ -114,35 +141,67 @@ struct Hoist {
     col: String,
 }
 
-/// Plan `stmt`.
+/// Plan `stmt`: build the logical IR, run the verified rewrite pass,
+/// and lower to the physical pipeline.
 pub fn plan(
     stmt: &SelectStmt,
     catalog: &Catalog,
     registry: &Registry,
     config: &PlanConfig,
 ) -> Result<PlannedQuery, QueryError> {
-    let left_schema = catalog.resolve(&stmt.from)?;
+    let lp = logical::LogicalPlan::build(stmt, catalog)?;
+    let (lp, attributions, notices) = if config.optimize {
+        let ctx = rules::RuleCtx {
+            registry,
+            hints: &config.selectivity_hints,
+        };
+        // Debug builds panic on a verifier violation; release builds
+        // fall back to the unoptimized plan and carry a notice.
+        let out = rules::rewrite(lp, &rules::standard_rules(), &ctx, cfg!(debug_assertions));
+        (out.plan, out.attributions, out.notices)
+    } else {
+        (lp, Vec::new(), Vec::new())
+    };
+    lower(lp, registry, config, attributions, notices)
+}
+
+/// Lower a (possibly rewritten) logical plan to the physical pipeline.
+fn lower(
+    lp: logical::LogicalPlan,
+    registry: &Registry,
+    config: &PlanConfig,
+    attributions: Vec<String>,
+    notices: Vec<String>,
+) -> Result<PlannedQuery, QueryError> {
     let mut explain = Vec::new();
 
     // ---- join ----
-    let (mut working_schema, join) = match &stmt.join {
-        None => (left_schema, None),
+    let (mut working_schema, join) = match &lp.join {
+        None => (Arc::clone(&lp.schema), None),
         Some(jc) => {
-            let right_schema = catalog.resolve(&jc.stream)?;
-            let joined = Arc::new(left_schema.concat(&right_schema));
-            let window = match stmt.window {
-                Some(WindowSpec::Time(d)) => d,
+            let right_schema = lp
+                .right_schema
+                .as_ref()
+                .expect("join plan has right schema");
+            let joined = Arc::clone(&lp.schema);
+            let window = match &lp.window {
+                Some(WindowSpec::Time(d)) => *d,
                 _ => config.default_join_window,
             };
             let mut ctx = EvalCtx::default();
-            let lk = compile_into(&Expr::col(&jc.left_col), &left_schema, registry, &mut ctx)?;
-            let rk = compile_into(&Expr::col(&jc.right_col), &right_schema, registry, &mut ctx)?;
+            let lk = compile_into(
+                &Expr::col(&jc.left_col),
+                &lp.left_schema,
+                registry,
+                &mut ctx,
+            )?;
+            let rk = compile_into(&Expr::col(&jc.right_col), right_schema, registry, &mut ctx)?;
             explain.push(format!(
                 "join {} ⋈ {} on {} = {} within {}",
-                stmt.from, jc.stream, jc.left_col, jc.right_col, window
+                lp.stream, jc.stream, jc.left_col, jc.right_col, window
             ));
             (
-                joined.clone(),
+                Arc::clone(&joined),
                 Some(PlannedJoin {
                     right_stream: jc.stream.clone(),
                     join: SymmetricHashJoin::new(lk, rk, ctx, window, joined),
@@ -151,22 +210,8 @@ pub fn plan(
         }
     };
 
-    // ---- WHERE: fold, split, extract API candidates ----
-    let mut conjuncts: Vec<Expr> = match &stmt.where_clause {
-        Some(w) => optimizer::fold_constants(w)
-            .conjuncts()
-            .into_iter()
-            .filter(|&c| *c != Expr::lit(true))
-            .cloned()
-            .collect(),
-        None => Vec::new(),
-    };
-
-    let api_candidates = if join.is_none() && stmt.from.eq_ignore_ascii_case("twitter") {
-        extract_api_candidates(&conjuncts)
-    } else {
-        Vec::new()
-    };
+    let mut conjuncts: Vec<Expr> = lp.filter.clone();
+    let api_candidates: Vec<ApiCandidate> = lp.candidates.iter().map(|(_, c)| c.clone()).collect();
     for c in &api_candidates {
         explain.push(format!("api candidate: {}", c.description));
     }
@@ -181,22 +226,9 @@ pub fn plan(
     // Rewrite SELECT items; keep the pre-hoist expression for output
     // naming (the user wrote `latitude(loc)`, not `__a0`).
     let mut select_exprs: Vec<(Expr, Expr, Option<String>)> = Vec::new();
-    for item in &stmt.select {
-        match item {
-            SelectItem::Wildcard => {
-                for f in working_schema.fields() {
-                    if !f.name.starts_with("__") {
-                        let e = Expr::col(&f.name);
-                        select_exprs.push((e.clone(), e, None));
-                    }
-                }
-            }
-            SelectItem::Expr { expr, alias } => {
-                let folded = optimizer::fold_constants(expr);
-                let rewritten = rewrite_async(&folded, registry, &mut hoists)?;
-                select_exprs.push((rewritten, folded, alias.clone()));
-            }
-        }
+    for s in &lp.select {
+        let rewritten = rewrite_async(&s.expr, registry, &mut hoists)?;
+        select_exprs.push((rewritten, s.expr.clone(), s.alias.clone()));
     }
 
     // Pre-collect SELECT aggregates: the fusion decision below needs
@@ -208,7 +240,7 @@ pub fn plan(
     // A "plain select": final stage is a straight projection (no
     // aggregation, grouping, or HAVING) — the shape the compiled
     // `where+project` fusion applies to.
-    let plain_select = stmt.having.is_none() && aggs.is_empty() && stmt.group_by.is_empty();
+    let plain_select = lp.having.is_none() && aggs.is_empty() && lp.group_by.is_empty();
 
     // ---- build the pipeline ----
     let mut ops: Vec<Box<dyn Operator>> = Vec::new();
@@ -250,15 +282,21 @@ pub fn plan(
     // Async calls WHERE needs, then the filter, then the rest.
     add_async(0..where_hoists, &mut working_schema, &mut ops, &mut explain)?;
 
-    // WHERE conjuncts deferred for fusion with the final projection
-    // (only when nothing — async stage, aggregation — sits between).
-    let mut pending_fuse: Option<Vec<Expr>> = None;
-    if !conjuncts.is_empty() {
-        let ordered = optimizer::order_conjuncts(conjuncts);
-        if config.use_eddy && ordered.len() > 1 {
+    // WHERE fuses into the final projection scan only when nothing —
+    // async stage, aggregation, eddy — sits between filter and
+    // project. Decided upfront (conjunct order is already final: the
+    // ordering rule ran at the logical level).
+    let fuse_where = !conjuncts.is_empty()
+        && config.compile_exprs
+        && plain_select
+        && hoists.len() == where_hoists
+        && !(config.use_eddy && conjuncts.len() > 1);
+
+    if !conjuncts.is_empty() && !fuse_where {
+        if config.use_eddy && conjuncts.len() > 1 {
             let mut ctx = EvalCtx::default();
-            let mut compiled = Vec::with_capacity(ordered.len());
-            for c in &ordered {
+            let mut compiled = Vec::with_capacity(conjuncts.len());
+            for c in &conjuncts {
                 compiled.push(compile_into(c, &working_schema, registry, &mut ctx)?);
             }
             explain.push(format!("eddy filter over {} predicates", compiled.len()));
@@ -267,16 +305,12 @@ pub fn plan(
                 ctx,
                 working_schema.clone(),
             )));
-        } else if config.compile_exprs && plain_select && hoists.len() == where_hoists {
-            // `filter → project` with nothing in between: fuse into one
-            // compiled scan at the projection point below.
-            pending_fuse = Some(ordered);
         } else {
             let mut fused = None;
             if config.compile_exprs {
                 let mut ctx = EvalCtx::default();
-                let mut compiled = Vec::with_capacity(ordered.len());
-                for c in &ordered {
+                let mut compiled = Vec::with_capacity(conjuncts.len());
+                for c in &conjuncts {
                     compiled.push(compile_into(c, &working_schema, registry, &mut ctx)?);
                 }
                 // Stateful UDFs fail lowering → interpreted fallback.
@@ -291,7 +325,7 @@ pub fn plan(
             match fused {
                 Some(op) => ops.push(Box::new(op)),
                 None => {
-                    let expr = Expr::and_all(ordered);
+                    let expr = Expr::and_all(conjuncts.clone());
                     let mut ctx = EvalCtx::default();
                     let compiled = compile_into(&expr, &working_schema, registry, &mut ctx)?;
                     explain.push("filter (cost-ordered conjuncts)".to_string());
@@ -310,14 +344,11 @@ pub fn plan(
         &mut explain,
     )?;
 
-    // HAVING: folded and async-rewritten like SELECT items (its hoists
-    // land in the post-filter set, i.e. before aggregation).
-    let having_expr = match &stmt.having {
-        Some(h) => Some(rewrite_async(
-            &optimizer::fold_constants(h),
-            registry,
-            &mut hoists,
-        )?),
+    // HAVING: async-rewritten like SELECT items (its hoists land in
+    // the post-filter set, i.e. before aggregation; constant folding
+    // already happened at the rule level).
+    let having_expr = match &lp.having {
+        Some(h) => Some(rewrite_async(h, registry, &mut hoists)?),
         None => None,
     };
 
@@ -326,14 +357,14 @@ pub fn plan(
         collect_aggs(h, &mut aggs)?;
     }
 
-    if having_expr.is_some() && aggs.is_empty() && stmt.group_by.is_empty() {
+    if having_expr.is_some() && aggs.is_empty() && lp.group_by.is_empty() {
         return Err(QueryError::Plan(
             "HAVING requires GROUP BY or an aggregate".into(),
         ));
     }
 
     let output_schema;
-    if !aggs.is_empty() || !stmt.group_by.is_empty() {
+    if !aggs.is_empty() || !lp.group_by.is_empty() {
         // Group keys: aliases resolve to their select expressions.
         let alias_of = |name: &str| -> Option<Expr> {
             select_exprs
@@ -343,7 +374,7 @@ pub fn plan(
         };
         let mut key_names = Vec::new();
         let mut key_exprs = Vec::new();
-        for g in &stmt.group_by {
+        for g in &lp.group_by {
             let e = alias_of(g).unwrap_or_else(|| Expr::col(g));
             if collect_aggs(&e, &mut Vec::new()).is_err() || expr_has_agg(&e) {
                 return Err(QueryError::Plan(format!(
@@ -364,7 +395,7 @@ pub fn plan(
         }
         let agg_schema = Arc::new(Schema::new(fields));
 
-        let policy = window_policy(&stmt.window, join.is_some());
+        let policy = window_policy(&lp.window, join.is_some());
         let confidence_target = if let WindowPolicy::Confidence { .. } = policy {
             match aggs.iter().position(|(f, _)| *f == AggFunc::Avg) {
                 Some(i) => i,
@@ -476,9 +507,9 @@ pub fn plan(
         let mut fused = None;
         if config.compile_exprs {
             let mut cwhere = Vec::new();
-            if let Some(ordered) = &pending_fuse {
+            if fuse_where {
                 let mut fctx = EvalCtx::default();
-                for c in ordered {
+                for c in &conjuncts {
                     cwhere.push(compile_into(c, &working_schema, registry, &mut fctx)?);
                 }
             }
@@ -511,8 +542,8 @@ pub fn plan(
             None => {
                 // Interpreted fallback; a deferred WHERE re-emerges as
                 // its own filter stage.
-                if let Some(ordered) = pending_fuse.take() {
-                    let expr = Expr::and_all(ordered);
+                if fuse_where {
+                    let expr = Expr::and_all(conjuncts.clone());
                     let mut fctx = EvalCtx::default();
                     let compiled = compile_into(&expr, &working_schema, registry, &mut fctx)?;
                     explain.push("filter (cost-ordered conjuncts)".to_string());
@@ -527,10 +558,13 @@ pub fn plan(
         output_schema = schema;
     }
 
-    if let Some(n) = stmt.limit {
+    if let Some(n) = lp.limit {
         explain.push(format!("limit {n}"));
         ops.push(Box::new(LimitOp::new(n, output_schema.clone())));
     }
+
+    // Per-rule attribution lines close the plan description.
+    explain.extend(attributions);
 
     Ok(PlannedQuery {
         pipeline: Pipeline::new(ops),
@@ -539,6 +573,8 @@ pub fn plan(
         join,
         explain: explain.join("\n"),
         warnings: Vec::new(),
+        live_columns: lp.live.clone().map(Arc::from),
+        notices,
     })
 }
 
@@ -1079,6 +1115,39 @@ mod tests {
             plan(&stmt, &c, &r, &cfg),
             Err(QueryError::UnknownStream(_))
         ));
+    }
+
+    #[test]
+    fn explain_carries_rule_attribution() {
+        let p = plan_sql("SELECT text FROM twitter WHERE 1 = 1 AND text contains 'obama'");
+        assert!(p.explain.contains("rule fold-constants:"), "{}", p.explain);
+        assert!(p.explain.contains("rule pushdown-filter:"), "{}", p.explain);
+        assert!(
+            p.explain.contains("rule prune-projection:"),
+            "{}",
+            p.explain
+        );
+    }
+
+    #[test]
+    fn narrow_projection_records_live_columns() {
+        let p = plan_sql("SELECT lang, followers FROM twitter WHERE text contains 'obama'");
+        let live = p.live_columns.as_ref().expect("narrow query prunes decode");
+        // text (WHERE), lang, followers.
+        assert_eq!(live.iter().filter(|l| **l).count(), 3);
+        let p = plan_sql("SELECT * FROM twitter");
+        assert!(p.live_columns.is_none(), "wildcard reads everything");
+    }
+
+    #[test]
+    fn optimizer_off_lowers_plan_as_written() {
+        let (c, r, mut cfg) = setup();
+        cfg.optimize = false;
+        let stmt = parse("SELECT text FROM twitter WHERE 1 = 1 AND text contains 'obama'").unwrap();
+        let p = plan(&stmt, &c, &r, &cfg).unwrap();
+        assert!(p.live_columns.is_none());
+        assert!(p.api_candidates.is_empty(), "pushdown extraction is a rule");
+        assert!(!p.explain.contains("rule "), "{}", p.explain);
     }
 
     #[test]

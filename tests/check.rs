@@ -223,6 +223,41 @@ fn w107_limit_over_aggregation() {
 }
 
 #[test]
+fn w108_constant_having() {
+    fires(
+        "W108",
+        "SELECT count(*) FROM twitter HAVING 1 < 2",
+        "SELECT count(*) FROM twitter HAVING count(*) > 5",
+    );
+    fires(
+        "W108",
+        "SELECT lang, count(*) FROM twitter GROUP BY lang HAVING 2 < 1 WINDOW 100 TUPLES",
+        "SELECT lang, count(*) FROM twitter GROUP BY lang HAVING count(*) > 1 WINDOW 100 TUPLES",
+    );
+}
+
+#[test]
+fn w109_unselected_group_key() {
+    fires(
+        "W109",
+        "SELECT count(*) FROM twitter GROUP BY lang WINDOW 100 TUPLES",
+        "SELECT lang, count(*) FROM twitter GROUP BY lang WINDOW 100 TUPLES",
+    );
+}
+
+#[test]
+fn w108_and_w109_render_with_caret_spans() {
+    let sql = "SELECT count(*) FROM twitter GROUP BY lang HAVING 1 < 2 WINDOW 100 TUPLES";
+    let d = diags(sql);
+    for code in ["W108", "W109"] {
+        let w = d.iter().find(|d| d.code == code).unwrap();
+        let rendered = w.render(sql);
+        assert!(rendered.contains(&format!("warning[{code}]")), "{rendered}");
+        assert!(rendered.contains('^'), "{rendered}");
+    }
+}
+
+#[test]
 fn diagnostics_render_with_position_and_caret() {
     let sql = "SELECT text FROM twitter WHERE text > 5";
     let d = diags(sql);

@@ -126,6 +126,66 @@ fn paper_query_3_windowed_geo_buckets() {
     }
 }
 
+/// Golden EXPLAIN output: the optimizer annotates the plan with one
+/// attribution line per applied rule, naming what each static analysis
+/// did to the paper's queries.
+#[test]
+fn explain_shows_rule_attribution_for_paper_queries() {
+    let engine = obama_engine(5);
+
+    let q1 = engine
+        .explain(
+            "SELECT sentiment(text), latitude(loc), longitude(loc) \
+             FROM twitter WHERE text contains 'obama'",
+        )
+        .unwrap();
+    assert!(
+        q1.plan
+            .contains("rule pushdown-filter: 1 connection-filter candidate(s): track(obama)"),
+        "{}",
+        q1.plan
+    );
+    assert!(
+        q1.plan
+            .contains("rule prune-projection: decode 2/11 source columns (text, loc)"),
+        "{}",
+        q1.plan
+    );
+
+    let q2 = engine
+        .explain(
+            "SELECT text FROM twitter \
+             WHERE text contains 'obama' AND location in [bounding box for NYC]",
+        )
+        .unwrap();
+    assert!(q2.plan.contains("rule pushdown-filter:"), "{}", q2.plan);
+    assert!(q2.plan.contains("track(obama)"), "{}", q2.plan);
+    assert!(q2.plan.contains("locations(nyc)"), "{}", q2.plan);
+    assert!(
+        q2.plan
+            .contains("rule order-conjuncts: 2 conjuncts cost-ordered"),
+        "{}",
+        q2.plan
+    );
+    assert!(
+        q2.plan
+            .contains("rule prune-projection: decode 3/11 source columns (text, lat, lon)"),
+        "{}",
+        q2.plan
+    );
+
+    let q3 = engine
+        .explain(
+            "SELECT AVG(sentiment(text)), floor(latitude(loc)) AS lat, \
+             floor(longitude(loc)) AS long \
+             FROM twitter WHERE text contains 'obama' \
+             GROUP BY lat, long WINDOW 10 minutes",
+        )
+        .unwrap();
+    assert!(q3.plan.contains("rule pushdown-filter:"), "{}", q3.plan);
+    assert!(q3.plan.contains("rule prune-projection:"), "{}", q3.plan);
+}
+
 #[test]
 fn queries_advance_stream_time_deterministically() {
     let mut engine = obama_engine(10);
