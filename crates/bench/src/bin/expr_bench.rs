@@ -74,7 +74,30 @@ fn main() {
         prune.engine_speedup(),
     );
 
-    let json = e10_expr::to_json(&rows, &prune, seed, cores, tweets);
+    let workers = cores.min(4);
+    let columnar = e10_expr::run_columnar(seed, minutes, reps, workers);
+    eprintln!(
+        "  {:<20} full {:>9.0} -> {:>9.0} t/s ({:.2}x)  query {:>9.0} -> {:>9.0} t/s ({:.2}x, {:.2}x vs seed)",
+        "columnar decode",
+        columnar.decode_row_tps,
+        columnar.decode_columnar_tps,
+        columnar.decode_speedup(),
+        columnar.decode_row_pruned_tps,
+        columnar.decode_columnar_query_tps,
+        columnar.decode_query_speedup(),
+        columnar.decode_speedup_vs_seed(),
+    );
+    eprintln!(
+        "  {:<20} engine x{} {:>9.0} -> {:>9.0} t/s ({:.2}x)  dict reuse {} permille",
+        "",
+        columnar.engine_workers,
+        columnar.engine_row_tps,
+        columnar.engine_columnar_tps,
+        columnar.engine_speedup(),
+        columnar.dict.dict_reuse_permille().unwrap_or(0),
+    );
+
+    let json = e10_expr::to_json(&rows, &prune, &columnar, seed, cores, tweets);
     std::fs::write(&out_path, &json).expect("write BENCH_expr.json");
     eprintln!("wrote {out_path}");
 }

@@ -20,7 +20,9 @@ use tweeql_firehose::api::ConnectionStats;
 use tweeql_firehose::fault::FaultPlan;
 use tweeql_firehose::{FilterSpec, StreamingApi};
 use tweeql_geo::cache::CacheStats;
-use tweeql_model::{Duration, Record, SchemaRef, Timestamp, Value, VirtualClock};
+use tweeql_model::{
+    DecodeStats, Duration, Record, SchemaRef, Timestamp, TweetBatch, Value, VirtualClock,
+};
 use tweeql_obs::{MetricsRegistry, QueryProfile, SpanKind, StageProfile, TraceSink, Tracer};
 
 /// Engine configuration.
@@ -57,6 +59,13 @@ pub struct EngineConfig {
     pub batch_size: usize,
     /// Bounded-channel capacity (in-flight batches) per queue.
     pub channel_capacity: usize,
+    /// Decode the firehose column-at-a-time ([`TweetBatch`]) instead of
+    /// row-at-a-time (`Record::from_tweet`). Columnar batches defer all
+    /// materialization to the operators: a fused scan builds only the
+    /// columns its programs read, and only survivors become `Record`s.
+    /// `false` forces the row decoder everywhere — the reference the
+    /// columnar path is differentially tested against.
+    pub columnar_decode: bool,
     /// Fault-injection plan for the source connection (None = clean).
     pub fault: Option<FaultPlan>,
     /// Reconnect policy for the supervised source.
@@ -79,6 +88,7 @@ impl Default for EngineConfig {
             workers: 1,
             batch_size: 256,
             channel_capacity: 8,
+            columnar_decode: true,
             fault: None,
             retry: RetryPolicy::default(),
             seed: 0x5EED,
@@ -161,6 +171,10 @@ pub struct QueryStats {
     pub geo_cache: CacheStats,
     /// Stream time consumed by the run.
     pub stream_time: Duration,
+    /// Columnar decode counters (zero when the run decoded row-at-a-
+    /// time). Folded across parallel worker clones, so totals are exact
+    /// at any worker count.
+    pub decode: DecodeStats,
 }
 
 /// The result of a collected query run.
@@ -297,6 +311,15 @@ impl EngineBuilder {
     /// Bounded-channel capacity per queue in the parallel engine.
     pub fn channel_capacity(mut self, capacity: usize) -> Self {
         self.config.channel_capacity = capacity;
+        self
+    }
+
+    /// Toggle columnar [`TweetBatch`] decode (`true` by default).
+    /// `false` decodes the firehose row-at-a-time through
+    /// `Record::from_tweet` — the reference implementation the columnar
+    /// path is differentially tested against.
+    pub fn columnar_decode(mut self, on: bool) -> Self {
+        self.config.columnar_decode = on;
         self
     }
 
@@ -632,6 +655,7 @@ impl Engine {
         let gap_windows = planned.pipeline.gap_windows();
         let stages = planned.pipeline.stage_stats();
         let stage_counters = planned.pipeline.stage_metric_counters();
+        let decode = planned.pipeline.decode_stats();
         if let (Some(t), Some(span)) = (&tracer, query_span) {
             // Close the query span at the last *stream* timestamp the
             // pipeline saw — deterministic, unlike the shared clock,
@@ -667,6 +691,7 @@ impl Engine {
             geo_service_time,
             geo_cache,
             stream_time: ended_at.since(started_at),
+            decode,
         };
         self.publish_metrics(&stats, &stage_counters);
         self.last_profile = Some(build_profile(
@@ -735,6 +760,15 @@ impl Engine {
             }
         }
 
+        m.counter("tweeql_decode_columns_materialized_total", &[])
+            .add(stats.decode.columns_materialized);
+        m.counter("tweeql_decode_columns_skipped_total", &[])
+            .add(stats.decode.columns_skipped);
+        if let Some(p) = stats.decode.dict_reuse_permille() {
+            m.gauge("tweeql_decode_dict_reuse_permille", &[])
+                .set(p as i64);
+        }
+
         let geo = [("service", "geocode")];
         m.counter("tweeql_service_cache_hits_total", &geo)
             .add(stats.geo_cache.hits);
@@ -766,45 +800,62 @@ impl Engine {
                 channel_capacity: self.config.channel_capacity,
                 watermark_interval: self.config.watermark_interval,
                 live_columns: planned.live_columns.clone(),
+                columnar_decode: self.config.columnar_decode,
             };
             return crate::exec::parallel::run_parallel(src, &mut planned.pipeline, &pcfg, sink);
         }
-        // Serial engine, micro-batched: records accumulate into one
+        // Serial engine, micro-batched: tweets accumulate into one
         // reused buffer and flush through the pipeline's batch path
         // (which drives the compiled operators at full width) whenever
         // the buffer fills or stream order demands it — before every
         // watermark and gap, so punctuation interleaves with data
-        // exactly as in the per-record loop.
+        // exactly as in the per-record loop. In columnar mode the
+        // buffer is a `TweetBatch` and decode is deferred to the
+        // pipeline head; in row mode each tweet becomes a `Record`
+        // immediately. Batch boundaries are identical either way.
+        let columnar = self.config.columnar_decode;
         let mut src = src;
         let wm_interval = self.config.watermark_interval;
         let batch_size = self.config.batch_size.max(1);
         let live = planned.live_columns.clone();
         let mut next_wm: Option<Timestamp> = None;
         let mut out = Vec::new();
-        let mut batch: Vec<Record> = Vec::with_capacity(batch_size);
+        let mut batch: Vec<Record> = Vec::new();
+        let mut tbatch = TweetBatch::new();
+        if columnar {
+            tbatch.set_live(live.clone());
+        } else {
+            batch.reserve(batch_size);
+        }
+        macro_rules! flush {
+            () => {
+                if columnar {
+                    if !tbatch.is_empty() {
+                        planned.pipeline.push_tweet_batch(&mut tbatch, &mut out)?;
+                    }
+                } else if !batch.is_empty() {
+                    planned.pipeline.push_batch(&mut batch, &mut out)?;
+                }
+            };
+        }
         'stream: for event in src.by_ref() {
             match event {
                 SourceEvent::Gap { from, to } => {
-                    if !batch.is_empty() {
-                        planned.pipeline.push_batch(&mut batch, &mut out)?;
-                    }
+                    flush!();
                     planned.pipeline.gap(from, to, &mut out)?;
                 }
                 SourceEvent::Tweet(tweet) => {
-                    let rec = match &live {
-                        Some(l) => Record::from_tweet_pruned(&tweet, l),
-                        None => Record::from_tweet(&tweet),
-                    };
-                    let ts = rec.timestamp();
+                    // `Record::from_tweet` stamps the record with
+                    // `created_at`, so both decode modes see the same
+                    // stream time here.
+                    let ts = tweet.created_at;
                     // Inject punctuation when stream time crosses
                     // boundaries — every boundary the stream jumped
                     // over, not just one, so idle gaps still tick
                     // time-driven flushes.
                     if let Some(wm) = next_wm {
                         if ts >= wm {
-                            if !batch.is_empty() {
-                                planned.pipeline.push_batch(&mut batch, &mut out)?;
-                            }
+                            flush!();
                             let last = ts.truncate(wm_interval);
                             let mut boundary = wm;
                             while boundary <= last {
@@ -814,9 +865,18 @@ impl Engine {
                         }
                     }
                     next_wm = Some(ts.truncate(wm_interval) + wm_interval);
-                    batch.push(rec);
-                    if batch.len() >= batch_size {
-                        planned.pipeline.push_batch(&mut batch, &mut out)?;
+                    let full = if columnar {
+                        tbatch.push(tweet);
+                        tbatch.len() >= batch_size
+                    } else {
+                        batch.push(match &live {
+                            Some(l) => Record::from_tweet_pruned(&tweet, l),
+                            None => Record::from_tweet(&tweet),
+                        });
+                        batch.len() >= batch_size
+                    };
+                    if full {
+                        flush!();
                     }
                 }
             }
@@ -829,8 +889,8 @@ impl Engine {
                 }
             }
         }
-        if !batch.is_empty() && !planned.pipeline.done() {
-            planned.pipeline.push_batch(&mut batch, &mut out)?;
+        if !planned.pipeline.done() {
+            flush!();
         }
         planned.pipeline.finish(&mut out)?;
         for r in out.drain(..) {
@@ -853,15 +913,26 @@ impl Engine {
         let mut t = Timestamp::ZERO + step;
         let mut out = Vec::new();
         let horizon = Timestamp::from_millis(i64::MAX / 2);
+        // Per-side pruned decode: columns nothing reads (join key,
+        // WHERE, SELECT) decode to `Value::Null`, exactly like the
+        // single-stream scan's pruned path.
+        let decode = |tw: &tweeql_model::Tweet, live: &Option<Arc<[bool]>>| match live {
+            Some(l) => Record::from_tweet_pruned(tw, l),
+            None => Record::from_tweet(tw),
+        };
         loop {
             let mut joined: Vec<Record> = Vec::new();
             let mut l_records = Vec::new();
-            let nl = left.poll_until(t.min(horizon), |tw| l_records.push(Record::from_tweet(&tw)));
+            let nl = left.poll_until(t.min(horizon), |tw| {
+                l_records.push(decode(&tw, &pj.left_live))
+            });
             for rec in l_records {
                 joined.extend(pj.join.push(Side::Left, rec)?);
             }
             let mut r_records = Vec::new();
-            let nr = right.poll_until(t.min(horizon), |tw| r_records.push(Record::from_tweet(&tw)));
+            let nr = right.poll_until(t.min(horizon), |tw| {
+                r_records.push(decode(&tw, &pj.right_live))
+            });
             for rec in r_records {
                 joined.extend(pj.join.push(Side::Right, rec)?);
             }

@@ -30,8 +30,11 @@ use super::Operator;
 use crate::error::QueryError;
 use crate::expr::compile::Unsupported;
 use crate::expr::{BatchVm, CExpr, ExprProgram};
+use std::sync::Arc;
 use std::time::Instant;
-use tweeql_model::{Record, SchemaRef, Value};
+use tweeql_model::batch::col as tcol;
+use tweeql_model::record::twitter_schema;
+use tweeql_model::{DecodeStats, Record, SchemaRef, TweetBatch, Value};
 
 /// One compiled `WHERE` conjunct with its runtime counters.
 struct Conjunct {
@@ -68,6 +71,13 @@ pub struct FusedScanOp {
     /// Adaptive re-orderings performed (surfaced as a metric counter).
     reranks: u64,
     alpha: f64,
+    /// `Some(needed)` when the input is the twitter stream: the union
+    /// of input columns any conjunct or projection reads, i.e. exactly
+    /// what a columnar batch must materialize. `None` (non-twitter
+    /// input schema) keeps the operator on the row path.
+    columnar: Option<Vec<bool>>,
+    /// Columnar decode counters accumulated by this instance.
+    decode: DecodeStats,
 }
 
 impl FusedScanOp {
@@ -100,6 +110,20 @@ impl FusedScanOp {
             }
             None => None,
         };
+        let columnar = if Arc::ptr_eq(&input_schema, &twitter_schema()) {
+            let mut needed = vec![false; tcol::COUNT];
+            for c in &lowered {
+                c.prog.columns_touched(&mut needed);
+            }
+            if let Some(p) = &project {
+                for prog in &p.cols {
+                    prog.columns_touched(&mut needed);
+                }
+            }
+            Some(needed)
+        } else {
+            None
+        };
         let schema = project
             .as_ref()
             .map(|p| p.schema.clone())
@@ -120,6 +144,8 @@ impl FusedScanOp {
             rerank_every: 64,
             reranks: 0,
             alpha: 0.2,
+            columnar,
+            decode: DecodeStats::default(),
         })
     }
 
@@ -159,8 +185,32 @@ impl FusedScanOp {
     /// Run the conjunct chain over `recs`, leaving the surviving rows
     /// in `self.sel_a` (sorted ascending).
     fn run_filters(&mut self, recs: &[Record]) -> Result<(), QueryError> {
+        self.run_filter_chain(recs.len(), |vm, prog, sel_in, sel_out| {
+            vm.filter(prog, recs, sel_in, sel_out)
+        })
+    }
+
+    /// [`Self::run_filters`] over a columnar batch.
+    fn run_filters_cols(&mut self, batch: &TweetBatch) -> Result<(), QueryError> {
+        self.run_filter_chain(batch.len(), |vm, prog, sel_in, sel_out| {
+            vm.filter_cols(prog, batch, sel_in, sel_out)
+        })
+    }
+
+    /// The adaptive conjunct chain, generic over how one program is
+    /// evaluated (row records vs columnar batch).
+    fn run_filter_chain(
+        &mut self,
+        rows: usize,
+        mut eval: impl FnMut(
+            &mut BatchVm,
+            &ExprProgram,
+            &[u32],
+            &mut Vec<u32>,
+        ) -> Result<(), QueryError>,
+    ) -> Result<(), QueryError> {
         self.sel_a.clear();
-        self.sel_a.extend(0..recs.len() as u32);
+        self.sel_a.extend(0..rows as u32);
         let adaptive = self.conjuncts.len() > 1;
         for k in 0..self.order.len() {
             let ci = self.order[k];
@@ -170,8 +220,7 @@ impl FusedScanOp {
             let in_len = self.sel_a.len();
             let t0 = adaptive.then(Instant::now);
             let c = &mut self.conjuncts[ci];
-            self.vm
-                .filter(&c.prog, recs, &self.sel_a, &mut self.sel_b)?;
+            eval(&mut self.vm, &c.prog, &self.sel_a, &mut self.sel_b)?;
             if let Some(t0) = t0 {
                 let per_row = t0.elapsed().as_nanos() as f64 / in_len as f64;
                 c.cost_ewma = if c.cost_ewma == 0.0 {
@@ -266,6 +315,74 @@ impl Operator for FusedScanOp {
         Ok(())
     }
 
+    fn wants_tweet_batch(&self) -> bool {
+        self.columnar.is_some()
+    }
+
+    fn on_tweet_batch(
+        &mut self,
+        batch: &mut TweetBatch,
+        out: &mut Vec<Record>,
+    ) -> Result<(), QueryError> {
+        let Some(needed) = &self.columnar else {
+            // Non-twitter input: fall back to the row shim.
+            let mut recs = batch.to_records();
+            return self.on_batch(&mut recs, out);
+        };
+        // Build only the columns this operator's programs read, only
+        // for rows the liveness mask keeps alive.
+        let stats = batch.materialize(needed);
+        self.decode.merge(&stats);
+        self.run_filters_cols(batch)?;
+        match &self.project {
+            None => {
+                // Pure filter: materialize survivors straight from the
+                // batch — non-survivors never become `Record`s at all.
+                out.reserve(self.sel_a.len());
+                for &i in &self.sel_a {
+                    out.push(batch.record_at(i as usize));
+                }
+            }
+            Some(p) => {
+                // Evaluate each output column over the survivors, then
+                // materialize projected rows once. Input rows are never
+                // materialized.
+                if self.col_scratch.len() < p.cols.len() {
+                    self.col_scratch.resize_with(p.cols.len(), Vec::new);
+                }
+                for (c, prog) in p.cols.iter().enumerate() {
+                    self.vm.eval_cols(prog, batch, &self.sel_a)?;
+                    let buf = &mut self.col_scratch[c];
+                    if buf.len() < batch.len() {
+                        buf.resize(batch.len(), Value::Null);
+                    }
+                    for &i in &self.sel_a {
+                        buf[i as usize] = self.vm.take_result(prog, i);
+                    }
+                }
+                out.reserve(self.sel_a.len());
+                for &i in &self.sel_a {
+                    let values = self
+                        .col_scratch
+                        .iter_mut()
+                        .take(p.cols.len())
+                        .map(|col| std::mem::replace(&mut col[i as usize], Value::Null))
+                        .collect();
+                    out.push(Record::new_unchecked(
+                        p.schema.clone(),
+                        values,
+                        batch.ts(i as usize),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn decode_stats(&self) -> Option<DecodeStats> {
+        self.columnar.as_ref().map(|_| self.decode)
+    }
+
     fn parallel_clone(&self) -> Option<Box<dyn Operator>> {
         // Programs are stateless by construction (stateful UDFs fail
         // lowering), so a clone with fresh scratch is always safe.
@@ -295,6 +412,8 @@ impl Operator for FusedScanOp {
             rerank_every: self.rerank_every,
             reranks: 0,
             alpha: self.alpha,
+            columnar: self.columnar.clone(),
+            decode: DecodeStats::default(),
         }))
     }
 
@@ -428,5 +547,134 @@ mod tests {
         let mut out = Vec::new();
         clone.on_batch(&mut batch, &mut out).unwrap();
         assert_eq!(out.len(), 1);
+    }
+
+    mod columnar {
+        use super::*;
+        use tweeql_model::{Tweet, TweetBatch, User};
+
+        fn tweets() -> Vec<Tweet> {
+            (0..40u64)
+                .map(|i| {
+                    let mut user = User::new(i * 7, format!("user{i}"));
+                    user.followers = (i * 5) as u32;
+                    user.location = if i % 3 == 0 { "NYC".into() } else { "".into() };
+                    let text = if i % 4 == 0 {
+                        format!("obama rally {i}")
+                    } else {
+                        format!("weather report {i}")
+                    };
+                    let mut b = Tweet::builder(i, text)
+                        .user(user)
+                        .at(Timestamp::from_secs(100 + i as i64))
+                        .lang(if i % 2 == 0 { "en" } else { "ja" });
+                    if i % 5 == 0 {
+                        b = b.coordinates(40.0 + i as f64 * 0.01, -74.0);
+                    }
+                    if i % 6 == 0 && i > 0 {
+                        b = b.retweet_of(i - 1);
+                    }
+                    b.build()
+                })
+                .collect()
+        }
+
+        fn tcexprs(srcs: &[&str]) -> Vec<CExpr> {
+            let mut reg = Registry::empty();
+            crate::expr::functions::register_builtins(&mut reg);
+            let mut ctx = EvalCtx::default();
+            let schema = twitter_schema();
+            srcs.iter()
+                .map(|s| compile_into(&parse_expr(s).unwrap(), &schema, &reg, &mut ctx).unwrap())
+                .collect()
+        }
+
+        fn run_both(mut op: FusedScanOp, live: Option<Arc<[bool]>>) -> (Vec<Record>, Vec<Record>) {
+            assert!(op.wants_tweet_batch(), "twitter input must opt in");
+            let src = tweets();
+            let mut rows: Vec<Record> = src
+                .iter()
+                .map(|t| match &live {
+                    Some(l) => Record::from_tweet_pruned(t, l),
+                    None => Record::from_tweet(t),
+                })
+                .collect();
+            let mut row_out = Vec::new();
+            op.on_batch(&mut rows, &mut row_out).unwrap();
+
+            let mut clone = op.parallel_clone().expect("fused ops always clone");
+            let mut batch = TweetBatch::new();
+            if let Some(l) = live {
+                batch.set_live(Some(l));
+            }
+            for t in src {
+                batch.push(t);
+            }
+            let mut col_out = Vec::new();
+            clone.on_tweet_batch(&mut batch, &mut col_out).unwrap();
+            (row_out, col_out)
+        }
+
+        #[test]
+        fn filter_project_matches_row_path() {
+            let conj = tcexprs(&["text contains 'obama'", "followers > 10"]);
+            let proj = tcexprs(&["upper(lang)", "followers * 2"]);
+            let out_schema = Schema::shared(&[("l", DataType::Str), ("f2", DataType::Int)]);
+            let op = FusedScanOp::try_new(
+                &conj,
+                Some((&proj, out_schema)),
+                twitter_schema(),
+                "where+project",
+            )
+            .unwrap();
+            let (row_out, col_out) = run_both(op, None);
+            assert!(!row_out.is_empty(), "query must select something");
+            assert_eq!(row_out, col_out);
+        }
+
+        #[test]
+        fn pure_filter_matches_row_path_under_liveness_mask() {
+            let conj = tcexprs(&["lang = 'en'"]);
+            let op = FusedScanOp::try_new(&conj, None, twitter_schema(), "where").unwrap();
+            // Keep only the columns the filter reads plus a couple of
+            // extras; everything else decodes to Null on both paths.
+            let mut live = vec![false; tcol::COUNT];
+            live[tcol::LANG] = true;
+            live[tcol::TEXT] = true;
+            live[tcol::FOLLOWERS] = true;
+            let (row_out, col_out) = run_both(op, Some(Arc::from(live)));
+            assert_eq!(row_out.len(), 20);
+            assert_eq!(row_out, col_out);
+        }
+
+        #[test]
+        fn decode_stats_count_only_needed_live_columns() {
+            let conj = tcexprs(&["lang = 'en'", "followers >= 0"]);
+            let mut op = FusedScanOp::try_new(&conj, None, twitter_schema(), "where").unwrap();
+            assert_eq!(
+                op.decode_stats(),
+                Some(DecodeStats::default()),
+                "columnar op reports stats before any batch"
+            );
+            let mut batch = TweetBatch::new();
+            for t in tweets() {
+                batch.push(t);
+            }
+            let mut out = Vec::new();
+            op.on_tweet_batch(&mut batch, &mut out).unwrap();
+            let stats = op.decode_stats().unwrap();
+            assert_eq!(stats.columns_materialized, 2, "lang + followers only");
+            assert_eq!(stats.columns_skipped, (tcol::COUNT - 2) as u64);
+            assert!(stats.dict_rows >= 40, "lang decodes via dictionary");
+            assert!(stats.dict_reuse_permille().unwrap() > 900);
+        }
+
+        #[test]
+        fn non_twitter_schema_stays_on_row_path() {
+            let conj = cexprs(&["followers > 10"]);
+            let op = FusedScanOp::try_new(&conj, None, schema(), "where").unwrap();
+            assert!(!op.wants_tweet_batch());
+            assert_eq!(op.decode_stats(), None);
+        }
     }
 }

@@ -20,7 +20,7 @@ pub mod topk;
 use crate::error::QueryError;
 use std::time::Instant;
 use tweeql_geo::breaker::ServiceHealth;
-use tweeql_model::{Record, SchemaRef, Timestamp};
+use tweeql_model::{DecodeStats, Record, SchemaRef, Timestamp, TweetBatch};
 use tweeql_obs::{Histogram, SpanKind, Tracer};
 
 /// A streaming operator.
@@ -54,6 +54,33 @@ pub trait Operator: Send {
             self.on_record(rec, out)?;
         }
         Ok(())
+    }
+
+    /// True when this operator consumes columnar [`TweetBatch`]es
+    /// natively via [`Operator::on_tweet_batch`]. Only source-side
+    /// scans over the `twitter` stream opt in; the engine's decoders
+    /// ship `TweetBatch`es to a pipeline head that wants them and fall
+    /// back to row decode otherwise.
+    fn wants_tweet_batch(&self) -> bool {
+        false
+    }
+
+    /// Consume a columnar tweet batch, pushing row outputs.
+    ///
+    /// Mirrors the [`Operator::on_batch`] drain contract: the operator
+    /// consumes the batch's rows (the caller [`TweetBatch::reset`]s it
+    /// afterward and keeps the allocation). The default is the row
+    /// shim — materialize every row as a [`Record`] (honoring the
+    /// batch's liveness mask) and take the ordinary batch path; native
+    /// implementations filter *before* materializing, which is where
+    /// the columnar win comes from.
+    fn on_tweet_batch(
+        &mut self,
+        batch: &mut TweetBatch,
+        out: &mut Vec<Record>,
+    ) -> Result<(), QueryError> {
+        let mut recs = batch.to_records();
+        self.on_batch(&mut recs, out)
     }
 
     /// Stream time has advanced to `wm`; flush anything due.
@@ -118,6 +145,15 @@ pub trait Operator: Send {
     /// report the merge-thread copy only).
     fn metric_counters(&self) -> Vec<(&'static str, u64)> {
         Vec::new()
+    }
+
+    /// Columnar decode counters accumulated by this operator, if it
+    /// decodes tweet batches natively. Unlike [`Operator::metric_counters`],
+    /// these ARE folded back from parallel worker clones (the workers
+    /// return them to the engine), so totals are exact at any worker
+    /// count.
+    fn decode_stats(&self) -> Option<DecodeStats> {
+        None
     }
 }
 
@@ -207,6 +243,8 @@ pub struct Pipeline {
     cur: Vec<Record>,
     next: Vec<Record>,
     obs: Option<PipelineObs>,
+    /// Decode counters harvested from parallel worker clones.
+    extra_decode: DecodeStats,
 }
 
 impl Pipeline {
@@ -219,6 +257,7 @@ impl Pipeline {
             cur: Vec::new(),
             next: Vec::new(),
             obs: None,
+            extra_decode: DecodeStats::default(),
         }
     }
 
@@ -308,6 +347,25 @@ impl Pipeline {
         self.ops.iter().map(|o| o.metric_counters()).collect()
     }
 
+    /// Columnar decode counters summed across stages (in practice only
+    /// the head scan decodes). Worker-clone counters folded in via
+    /// [`Pipeline::add_decode_stats`] are included.
+    pub fn decode_stats(&self) -> DecodeStats {
+        let mut total = self.extra_decode;
+        for op in &self.ops {
+            if let Some(s) = op.decode_stats() {
+                total.merge(&s);
+            }
+        }
+        total
+    }
+
+    /// Fold decode counters harvested from parallel worker clones into
+    /// this pipeline's totals.
+    pub fn add_decode_stats(&mut self, s: &DecodeStats) {
+        self.extra_decode.merge(s);
+    }
+
     /// Merge externally-tracked stats (worker clones) into stage `i`.
     pub fn add_stage_stats(&mut self, i: usize, s: &OpStats) {
         if let Some(slot) = self.stats.get_mut(i) {
@@ -395,29 +453,12 @@ impl Pipeline {
             self.stats[i].records_in += input.len() as u64;
             self.stats[i].batches += 1;
             next.clear();
-            let span = obs.as_ref().and_then(|o| o.trace.as_ref()).map(|ctx| {
-                let parent = Some(ctx.op_spans[i]);
-                (
-                    ctx.tracer.start(SpanKind::Batch, "batch", parent, batch_ts),
-                    parent,
-                )
-            });
+            let span = Self::batch_span_open(&obs, i, batch_ts);
             let t0 = Instant::now();
             let res = self.ops[i].on_batch(input, &mut next);
             self.stats[i].busy_nanos += t0.elapsed().as_nanos() as u64;
             self.stats[i].records_out += next.len() as u64;
-            if let (Some((span, parent)), Some(ctx)) =
-                (span, obs.as_ref().and_then(|o| o.trace.as_ref()))
-            {
-                ctx.tracer.end(
-                    span,
-                    parent,
-                    SpanKind::Batch,
-                    "batch",
-                    batch_ts,
-                    next.len() as u64,
-                );
-            }
+            Self::batch_span_close(&obs, span, batch_ts, next.len() as u64);
             if let Err(e) = res {
                 self.cur = cur;
                 self.next = next;
@@ -431,6 +472,113 @@ impl Pipeline {
         self.next = next;
         self.obs = obs;
         Ok(())
+    }
+
+    /// Push a columnar [`TweetBatch`] through every stage.
+    ///
+    /// When the first stage consumes tweet batches natively
+    /// ([`Operator::wants_tweet_batch`]), it filters the columns
+    /// directly and only survivors are materialized as records for
+    /// the downstream stages. Otherwise the whole batch crosses the
+    /// row shim first — behaviorally identical to decoding rows at
+    /// the source, including stats, batch spans, and the batch-rows
+    /// histogram (observed once per pipeline entry, like
+    /// [`Pipeline::push_batch`]).
+    ///
+    /// Drains the batch (the caller keeps the allocation).
+    pub fn push_tweet_batch(
+        &mut self,
+        batch: &mut TweetBatch,
+        out: &mut Vec<Record>,
+    ) -> Result<(), QueryError> {
+        let n = self.ops.len();
+        let mut obs = self.obs.take();
+        if let Some(o) = obs.as_mut() {
+            o.batch_rows.observe(batch.len() as u64);
+            if let Some(last) = batch.last_ts() {
+                o.last_ts = o.last_ts.max(last.millis());
+            }
+        }
+        let batch_ts = obs.as_ref().map(|o| o.last_ts).unwrap_or_default();
+        let mut cur = std::mem::take(&mut self.cur);
+        let mut next = std::mem::take(&mut self.next);
+        cur.clear();
+        let columnar = n > 0 && self.ops[0].wants_tweet_batch();
+        if columnar {
+            self.stats[0].records_in += batch.len() as u64;
+            self.stats[0].batches += 1;
+            next.clear();
+            let span = Self::batch_span_open(&obs, 0, batch_ts);
+            let t0 = Instant::now();
+            let res = self.ops[0].on_tweet_batch(batch, &mut next);
+            self.stats[0].busy_nanos += t0.elapsed().as_nanos() as u64;
+            self.stats[0].records_out += next.len() as u64;
+            Self::batch_span_close(&obs, span, batch_ts, next.len() as u64);
+            if let Err(e) = res {
+                batch.reset();
+                self.cur = cur;
+                self.next = next;
+                self.obs = obs;
+                return Err(e);
+            }
+            std::mem::swap(&mut cur, &mut next);
+        } else {
+            batch.append_records(&mut cur);
+        }
+        batch.reset();
+        for i in usize::from(columnar)..n {
+            self.stats[i].records_in += cur.len() as u64;
+            self.stats[i].batches += 1;
+            next.clear();
+            let span = Self::batch_span_open(&obs, i, batch_ts);
+            let t0 = Instant::now();
+            let res = self.ops[i].on_batch(&mut cur, &mut next);
+            self.stats[i].busy_nanos += t0.elapsed().as_nanos() as u64;
+            self.stats[i].records_out += next.len() as u64;
+            Self::batch_span_close(&obs, span, batch_ts, next.len() as u64);
+            if let Err(e) = res {
+                self.cur = cur;
+                self.next = next;
+                self.obs = obs;
+                return Err(e);
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        out.append(&mut cur);
+        self.cur = cur;
+        self.next = next;
+        self.obs = obs;
+        Ok(())
+    }
+
+    /// Open a batch span under stage `i`'s operator span, if tracing.
+    fn batch_span_open(
+        obs: &Option<PipelineObs>,
+        i: usize,
+        batch_ts: i64,
+    ) -> Option<(u64, Option<u64>)> {
+        obs.as_ref().and_then(|o| o.trace.as_ref()).map(|ctx| {
+            let parent = Some(ctx.op_spans[i]);
+            (
+                ctx.tracer.start(SpanKind::Batch, "batch", parent, batch_ts),
+                parent,
+            )
+        })
+    }
+
+    /// Close a span opened by [`Pipeline::batch_span_open`].
+    fn batch_span_close(
+        obs: &Option<PipelineObs>,
+        span: Option<(u64, Option<u64>)>,
+        batch_ts: i64,
+        rows_out: u64,
+    ) {
+        if let (Some((span, parent)), Some(ctx)) =
+            (span, obs.as_ref().and_then(|o| o.trace.as_ref()))
+        {
+            ctx.tracer
+                .end(span, parent, SpanKind::Batch, "batch", batch_ts, rows_out);
+        }
     }
 
     /// Merge a worker-built partial aggregation table into stage

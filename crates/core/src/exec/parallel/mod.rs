@@ -45,7 +45,7 @@ use crate::error::QueryError;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 use tweeql_firehose::api::ConnectionStats;
-use tweeql_model::{Duration, Record, Timestamp};
+use tweeql_model::{DecodeStats, Duration, Record, Timestamp, TweetBatch};
 
 /// Knobs for one parallel run (a slice of
 /// [`EngineConfig`](crate::engine::EngineConfig)).
@@ -62,6 +62,11 @@ pub struct ParallelConfig {
     /// Live source columns for the pruned decode path (`None` = decode
     /// everything). Set by the planner's projection-pruning rule.
     pub live_columns: Option<std::sync::Arc<[bool]>>,
+    /// Ship raw tweets to the workers as columnar [`TweetBatch`]es and
+    /// let each worker materialize only what its operators read.
+    /// `false` decodes row-at-a-time on the decoder thread — the
+    /// reference the columnar path is differentially tested against.
+    pub columnar_decode: bool,
 }
 
 /// One worker's owned state: cloned stateless-prefix operators plus an
@@ -72,6 +77,33 @@ type WorkerKit = (Vec<Box<dyn Operator>>, Option<PartialAggBuilder>);
 struct Seq<T> {
     seq: u64,
     item: T,
+}
+
+/// One micro-batch in flight between decoder and workers.
+///
+/// Row mode decodes on the decoder thread (every tweet becomes a
+/// `Record` before fan-out); columnar mode ships the raw tweets and the
+/// *workers* materialize — only the columns their operators read, only
+/// for rows that survive. That moves the decode bottleneck off the
+/// single decoder thread and onto the pool.
+enum Work {
+    /// Row-decoded records (columnar decode off).
+    Rows(Vec<Record>),
+    /// Raw tweets, column-decoded lazily by the receiving worker.
+    Tweets(TweetBatch),
+}
+
+impl Work {
+    fn len(&self) -> usize {
+        match self {
+            Work::Rows(r) => r.len(),
+            Work::Tweets(t) => t.len(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 /// What a worker (or the decoder, for watermarks) hands to the merge.
@@ -119,7 +151,7 @@ pub fn run_parallel(
         .map(|_| (pipeline.clone_prefix(prefix_len), spec.clone()))
         .collect();
 
-    let to_workers: Chan<Seq<Vec<Record>>> = Chan::bounded(cfg.channel_capacity);
+    let to_workers: Chan<Seq<Work>> = Chan::bounded(cfg.channel_capacity);
     // The merge queue is sized per producer so one slow worker cannot
     // starve the others of result slots.
     let to_merge: Chan<Seq<Done>> = Chan::bounded(cfg.channel_capacity.max(1) * (workers + 1));
@@ -129,33 +161,40 @@ pub fn run_parallel(
     // Strictly opportunistic — `try_push` drops the buffer when the
     // pool is full, `try_pop` falls back to a fresh allocation.
     let recycle: Chan<Vec<Record>> = Chan::bounded(cfg.channel_capacity.max(1) * (workers + 2));
+    // Columnar mode recycles drained `TweetBatch`es the same way.
+    let recycle_tb: Chan<TweetBatch> = Chan::bounded(cfg.channel_capacity.max(1) * (workers + 2));
     let live_workers = AtomicUsize::new(workers);
     let wm_interval = cfg.watermark_interval;
 
     let mut result: Result<(), QueryError> = Ok(());
     let mut conn_stats = ConnectionStats::default();
     let mut fault_stats = SourceFaultStats::default();
-    let mut worker_stats: Vec<(Vec<OpStats>, OpStats)> = Vec::new();
+    let mut worker_stats: Vec<(Vec<OpStats>, OpStats, DecodeStats)> = Vec::new();
 
     std::thread::scope(|s| {
         let live = cfg.live_columns.clone();
-        let decoder = s.spawn(|| {
+        let columnar = cfg.columnar_decode;
+        let (tw, tm, rc, rtb) = (&to_workers, &to_merge, &recycle, &recycle_tb);
+        let decoder = s.spawn(move || {
             decode_loop(
                 src,
-                &to_workers,
-                &to_merge,
-                &recycle,
+                tw,
+                tm,
+                rc,
+                rtb,
                 batch_size,
                 wm_interval,
                 live,
+                columnar,
             )
         });
         let handles: Vec<_> = kits
             .drain(..)
             .map(|(ops, builder)| {
-                let (tw, tm, rc, live) = (&to_workers, &to_merge, &recycle, &live_workers);
+                let (tw, tm, rc, rtb, live) =
+                    (&to_workers, &to_merge, &recycle, &recycle_tb, &live_workers);
                 s.spawn(move || {
-                    let stats = worker_loop(ops, builder, tw, tm, rc);
+                    let stats = worker_loop(ops, builder, tw, tm, rc, rtb);
                     // Last worker out closes the merge queue; the
                     // decoder has already stopped feeding by then.
                     if live.fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -204,6 +243,7 @@ pub fn run_parallel(
         to_workers.close();
         to_merge.close();
         recycle.close();
+        recycle_tb.close();
 
         let (cs, fs) = decoder.join().expect("decoder thread panicked");
         conn_stats = cs;
@@ -214,11 +254,12 @@ pub fn run_parallel(
     });
 
     // Fold worker-side stats into the pipeline's per-stage counters.
-    for (prefix, builder_stat) in &worker_stats {
+    for (prefix, builder_stat, decode) in &worker_stats {
         for (i, st) in prefix.iter().enumerate() {
             pipeline.add_stage_stats(i, st);
         }
         pipeline.add_stage_stats(prefix_len, builder_stat);
+        pipeline.add_decode_stats(decode);
     }
     result?;
 
@@ -233,29 +274,42 @@ pub fn run_parallel(
     Ok((conn_stats, fault_stats))
 }
 
-/// Decoder thread: supervised source → records → sequenced batches +
-/// watermarks + gap markers.
+/// Decoder thread: supervised source → sequenced batches, watermarks,
+/// and gap markers. Row mode decodes each tweet to a `Record` here;
+/// columnar mode ships raw tweets and defers decode to the workers.
+#[allow(clippy::too_many_arguments)]
 fn decode_loop(
     mut src: SupervisedSource,
-    to_workers: &Chan<Seq<Vec<Record>>>,
+    to_workers: &Chan<Seq<Work>>,
     to_merge: &Chan<Seq<Done>>,
     recycle: &Chan<Vec<Record>>,
+    recycle_tb: &Chan<TweetBatch>,
     batch_size: usize,
     wm_interval: Duration,
     live: Option<std::sync::Arc<[bool]>>,
+    columnar: bool,
 ) -> (ConnectionStats, SourceFaultStats) {
     // Prefer a recycled buffer (drained downstream) over allocating.
-    let fresh = |recycle: &Chan<Vec<Record>>| {
-        recycle
-            .try_pop()
-            .map(|mut v| {
-                v.clear();
-                v
-            })
-            .unwrap_or_else(|| Vec::with_capacity(batch_size))
+    let fresh = |live: &Option<std::sync::Arc<[bool]>>| {
+        if columnar {
+            let mut tb = recycle_tb.try_pop().unwrap_or_default();
+            tb.reset();
+            tb.set_live(live.clone());
+            Work::Tweets(tb)
+        } else {
+            Work::Rows(
+                recycle
+                    .try_pop()
+                    .map(|mut v| {
+                        v.clear();
+                        v
+                    })
+                    .unwrap_or_else(|| Vec::with_capacity(batch_size)),
+            )
+        }
     };
     let mut seq = 0u64;
-    let mut batch: Vec<Record> = Vec::with_capacity(batch_size);
+    let mut batch: Work = fresh(&live);
     let mut next_wm: Option<Timestamp> = None;
     'stream: for event in src.by_ref() {
         let tweet = match event {
@@ -265,7 +319,7 @@ fn decode_loop(
                 // earlier sequence number, then route the marker
                 // around the worker pool like punctuation.
                 if !batch.is_empty() {
-                    let full = std::mem::replace(&mut batch, fresh(recycle));
+                    let full = std::mem::replace(&mut batch, fresh(&live));
                     if to_workers.push(Seq { seq, item: full }).is_err() {
                         break 'stream;
                     }
@@ -282,17 +336,15 @@ fn decode_loop(
                 continue;
             }
         };
-        let rec = match &live {
-            Some(l) => Record::from_tweet_pruned(&tweet, l),
-            None => Record::from_tweet(&tweet),
-        };
-        let ts = rec.timestamp();
+        // `Record::from_tweet` stamps records with `created_at`, so
+        // both decode modes cut batches at identical stream times.
+        let ts = tweet.created_at;
         if let Some(wm) = next_wm {
             if ts >= wm {
                 // Cut the batch so records before the boundary keep an
                 // earlier sequence number than the watermark.
                 if !batch.is_empty() {
-                    let full = std::mem::replace(&mut batch, fresh(recycle));
+                    let full = std::mem::replace(&mut batch, fresh(&live));
                     if to_workers.push(Seq { seq, item: full }).is_err() {
                         break 'stream;
                     }
@@ -316,9 +368,15 @@ fn decode_loop(
             }
         }
         next_wm = Some(ts.truncate(wm_interval) + wm_interval);
-        batch.push(rec);
+        match &mut batch {
+            Work::Tweets(tb) => tb.push(tweet),
+            Work::Rows(rows) => rows.push(match &live {
+                Some(l) => Record::from_tweet_pruned(&tweet, l),
+                None => Record::from_tweet(&tweet),
+            }),
+        }
         if batch.len() >= batch_size {
-            let full = std::mem::replace(&mut batch, fresh(recycle));
+            let full = std::mem::replace(&mut batch, fresh(&live));
             if to_workers.push(Seq { seq, item: full }).is_err() {
                 break 'stream;
             }
@@ -337,10 +395,11 @@ fn decode_loop(
 fn worker_loop(
     mut ops: Vec<Box<dyn Operator>>,
     mut builder: Option<PartialAggBuilder>,
-    to_workers: &Chan<Seq<Vec<Record>>>,
+    to_workers: &Chan<Seq<Work>>,
     to_merge: &Chan<Seq<Done>>,
     recycle: &Chan<Vec<Record>>,
-) -> (Vec<OpStats>, OpStats) {
+    recycle_tb: &Chan<TweetBatch>,
+) -> (Vec<OpStats>, OpStats, DecodeStats) {
     let mut stats = vec![OpStats::default(); ops.len()];
     let mut builder_stat = OpStats::default();
     // Thread-local spare buffers for intermediate stages; drained
@@ -348,9 +407,60 @@ fn worker_loop(
     // nothing per batch.
     let mut spares: Vec<Vec<Record>> = Vec::new();
     while let Some(Seq { seq, item }) = to_workers.pop() {
-        let mut cur = item;
         let mut failed: Option<QueryError> = None;
-        for (i, op) in ops.iter_mut().enumerate() {
+        // Stages already consumed before the generic row loop below.
+        let mut start = 0;
+        let mut cur = match item {
+            Work::Rows(rows) => rows,
+            Work::Tweets(mut tb) => {
+                // Columnar head: the first stage consumes the batch
+                // directly (a fused scan materializes only the columns
+                // it reads); anything else gets the row shim.
+                let mut rows = spares
+                    .pop()
+                    .or_else(|| recycle.try_pop())
+                    .unwrap_or_default();
+                rows.clear();
+                if let Some(op) = ops.first_mut() {
+                    start = 1;
+                    stats[0].records_in += tb.len() as u64;
+                    stats[0].batches += 1;
+                    let t0 = Instant::now();
+                    let res = if op.wants_tweet_batch() {
+                        op.on_tweet_batch(&mut tb, &mut rows)
+                    } else {
+                        // Row shim with a pooled buffer (the trait's
+                        // default allocates a fresh Vec per batch).
+                        let mut recs = spares.pop().unwrap_or_default();
+                        recs.clear();
+                        tb.append_records(&mut recs);
+                        let res = op.on_batch(&mut recs, &mut rows);
+                        recs.clear();
+                        spares.push(recs);
+                        res
+                    };
+                    stats[0].busy_nanos += t0.elapsed().as_nanos() as u64;
+                    match res {
+                        Ok(()) => stats[0].records_out += rows.len() as u64,
+                        Err(e) => {
+                            failed = Some(e);
+                            rows.clear();
+                        }
+                    }
+                } else {
+                    // Empty prefix (pre-aggregation only): materialize
+                    // every live row, exactly like the row decoder.
+                    tb.append_records(&mut rows);
+                }
+                tb.reset();
+                let _ = recycle_tb.try_push(tb);
+                rows
+            }
+        };
+        for (i, op) in ops.iter_mut().enumerate().skip(start) {
+            if failed.is_some() {
+                break;
+            }
             stats[i].records_in += cur.len() as u64;
             stats[i].batches += 1;
             let mut next = spares.pop().unwrap_or_default();
@@ -401,7 +511,13 @@ fn worker_loop(
             break; // merge stopped early (LIMIT or error)
         }
     }
-    (stats, builder_stat)
+    let mut decode = DecodeStats::default();
+    for op in &ops {
+        if let Some(s) = op.decode_stats() {
+            decode.merge(&s);
+        }
+    }
+    (stats, builder_stat, decode)
 }
 
 #[cfg(test)]
@@ -434,37 +550,47 @@ mod tests {
                 .build(),
         ];
         let api = StreamingApi::new(tweets, VirtualClock::new());
-        let to_workers: Chan<Seq<Vec<Record>>> = Chan::bounded(64);
-        let to_merge: Chan<Seq<Done>> = Chan::bounded(64);
-        let recycle: Chan<Vec<Record>> = Chan::bounded(64);
-        decode_loop(
-            supervised(&api),
-            &to_workers,
-            &to_merge,
-            &recycle,
-            8,
-            Duration::from_secs(1),
-            None,
-        );
-        to_merge.close();
+        for columnar in [false, true] {
+            let to_workers: Chan<Seq<Work>> = Chan::bounded(64);
+            let to_merge: Chan<Seq<Done>> = Chan::bounded(64);
+            let recycle: Chan<Vec<Record>> = Chan::bounded(64);
+            let recycle_tb: Chan<TweetBatch> = Chan::bounded(64);
+            decode_loop(
+                supervised(&api),
+                &to_workers,
+                &to_merge,
+                &recycle,
+                &recycle_tb,
+                8,
+                Duration::from_secs(1),
+                None,
+                columnar,
+            );
+            to_merge.close();
 
-        let mut batches = Vec::new();
-        while let Some(Seq { seq, item }) = to_workers.pop() {
-            batches.push((seq, item.len()));
-        }
-        let mut wms = Vec::new();
-        while let Some(Seq { seq, item }) = to_merge.pop() {
-            if let Done::Watermark(w) = item {
-                wms.push((seq, w.millis()));
+            let mut batches = Vec::new();
+            while let Some(Seq { seq, item }) = to_workers.pop() {
+                assert_eq!(
+                    matches!(item, Work::Tweets(_)),
+                    columnar,
+                    "payload kind must follow the decode mode"
+                );
+                batches.push((seq, item.len()));
             }
+            let mut wms = Vec::new();
+            while let Some(Seq { seq, item }) = to_merge.pop() {
+                if let Done::Watermark(w) = item {
+                    wms.push((seq, w.millis()));
+                }
+            }
+            // Batch before the boundary (seq 0), five watermarks
+            // (1..=5), final batch (seq 6) — same cuts in both modes.
+            assert_eq!(batches, vec![(0, 1), (6, 1)]);
+            assert_eq!(
+                wms,
+                vec![(1, 1000), (2, 2000), (3, 3000), (4, 4000), (5, 5000)]
+            );
         }
-        // Batch before the boundary (seq 0), five watermarks (1..=5),
-        // final batch (seq 6).
-        assert_eq!(batches, vec![(0, 1), (6, 1)]);
-        assert_eq!(
-            wms,
-            vec![(1, 1000), (2, 2000), (3, 3000), (4, 4000), (5, 5000)]
-        );
     }
 
     #[test]
@@ -477,22 +603,27 @@ mod tests {
             })
             .collect();
         let api = StreamingApi::new(tweets, VirtualClock::new());
-        let to_workers: Chan<Seq<Vec<Record>>> = Chan::bounded(64);
-        let to_merge: Chan<Seq<Done>> = Chan::bounded(64);
-        let recycle: Chan<Vec<Record>> = Chan::bounded(64);
-        decode_loop(
-            supervised(&api),
-            &to_workers,
-            &to_merge,
-            &recycle,
-            4,
-            Duration::from_secs(60),
-            None,
-        );
-        let mut sizes = Vec::new();
-        while let Some(Seq { item, .. }) = to_workers.pop() {
-            sizes.push(item.len());
+        for columnar in [false, true] {
+            let to_workers: Chan<Seq<Work>> = Chan::bounded(64);
+            let to_merge: Chan<Seq<Done>> = Chan::bounded(64);
+            let recycle: Chan<Vec<Record>> = Chan::bounded(64);
+            let recycle_tb: Chan<TweetBatch> = Chan::bounded(64);
+            decode_loop(
+                supervised(&api),
+                &to_workers,
+                &to_merge,
+                &recycle,
+                &recycle_tb,
+                4,
+                Duration::from_secs(60),
+                None,
+                columnar,
+            );
+            let mut sizes = Vec::new();
+            while let Some(Seq { item, .. }) = to_workers.pop() {
+                sizes.push(item.len());
+            }
+            assert_eq!(sizes, vec![4, 4, 2]);
         }
-        assert_eq!(sizes, vec![4, 4, 2]);
     }
 }

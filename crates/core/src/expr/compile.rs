@@ -490,4 +490,29 @@ impl ExprProgram {
     pub fn is_empty(&self) -> bool {
         self.instrs.is_empty()
     }
+
+    /// Mark every input column this program reads in `mask` (indexed
+    /// by schema position). Only four instructions touch the input;
+    /// everything else is register-to-register. Drives lazy columnar
+    /// decode: a batch materializes exactly the union of these masks
+    /// across a scan's programs.
+    pub fn columns_touched(&self, mask: &mut [bool]) {
+        let mut mark = |c: usize| {
+            if let Some(m) = mask.get_mut(c) {
+                *m = true;
+            }
+        };
+        for instr in &self.instrs {
+            match instr {
+                Instr::Col { col, .. }
+                | Instr::ContainsCol { col, .. }
+                | Instr::MultiContains { col, .. } => mark(*col),
+                Instr::InBBox { lat, lon, .. } => {
+                    mark(*lat);
+                    mark(*lon);
+                }
+                _ => {}
+            }
+        }
+    }
 }

@@ -22,8 +22,18 @@ use super::compile::{ExprProgram, Instr};
 use super::value_as_str;
 use crate::ast::BinOp;
 use crate::error::QueryError;
-use tweeql_model::{Record, Value};
+use tweeql_model::{Record, TweetBatch, Value};
 use tweeql_text::fold::{contains_fold_both, SmallBuf};
+
+/// The batch the VM reads input columns from: either decoded rows or a
+/// columnar [`TweetBatch`]. Only the four instructions that touch the
+/// input (`Col`, `ContainsCol`, `MultiContains`, `InBBox`) branch on
+/// this; every register-to-register instruction is shared.
+#[derive(Clone, Copy)]
+enum Input<'a> {
+    Rows(&'a [Record]),
+    Batch(&'a TweetBatch),
+}
 
 /// Reusable evaluation scratch for compiled programs. One per operator
 /// (or per worker clone); not shared across threads.
@@ -75,7 +85,29 @@ impl BatchVm {
         recs: &[Record],
         sel: &[u32],
     ) -> Result<(), QueryError> {
-        self.ensure(prog.num_regs, recs.len());
+        self.eval_input(prog, Input::Rows(recs), recs.len(), sel)
+    }
+
+    /// [`Self::eval_into`] over a columnar [`TweetBatch`] — input
+    /// columns are read zero-copy (arena slices, dictionary entries)
+    /// instead of from materialized [`Record`]s.
+    pub fn eval_cols(
+        &mut self,
+        prog: &ExprProgram,
+        batch: &TweetBatch,
+        sel: &[u32],
+    ) -> Result<(), QueryError> {
+        self.eval_input(prog, Input::Batch(batch), batch.len(), sel)
+    }
+
+    fn eval_input(
+        &mut self,
+        prog: &ExprProgram,
+        input: Input<'_>,
+        rows: usize,
+        sel: &[u32],
+    ) -> Result<(), QueryError> {
+        self.ensure(prog.num_regs, rows);
         let mut depth = 0usize;
         for instr in &prog.instrs {
             match instr {
@@ -155,7 +187,7 @@ impl BatchVm {
             }
 
             let mut dstv = std::mem::take(&mut self.regs[dst_of(instr) as usize]);
-            let res = self.step(instr, prog, recs, sel, depth, &mut dstv);
+            let res = self.step(instr, prog, input, sel, depth, &mut dstv);
             self.regs[dst_of(instr) as usize] = dstv;
             res?;
         }
@@ -167,7 +199,7 @@ impl BatchVm {
         &mut self,
         instr: &Instr,
         prog: &ExprProgram,
-        recs: &[Record],
+        input: Input<'_>,
         sel: &[u32],
         depth: usize,
         dstv: &mut [Value],
@@ -178,11 +210,18 @@ impl BatchVm {
             &self.masks[depth - 1]
         };
         match instr {
-            Instr::Col { col, .. } => {
-                for &i in cur {
-                    dstv[i as usize] = recs[i as usize].value(*col).clone();
+            Instr::Col { col, .. } => match input {
+                Input::Rows(recs) => {
+                    for &i in cur {
+                        dstv[i as usize] = recs[i as usize].value(*col).clone();
+                    }
                 }
-            }
+                Input::Batch(b) => {
+                    for &i in cur {
+                        dstv[i as usize] = b.value_at(i as usize, *col);
+                    }
+                }
+            },
             Instr::Const { idx, .. } => {
                 let c = &prog.consts[*idx as usize];
                 for &i in cur {
@@ -336,24 +375,70 @@ impl BatchVm {
             }
             Instr::ContainsCol { col, matcher, .. } => {
                 let m = &prog.matchers[*matcher as usize];
-                for &i in cur {
-                    let row = i as usize;
-                    dstv[row] = match recs[row].value(*col) {
-                        Value::Null => Value::Null,
-                        Value::Str(s) => Value::Bool(m.is_match(s)),
-                        other => Value::Bool(m.is_match(value_as_str(other, &mut self.hbuf))),
-                    };
+                match input {
+                    Input::Rows(recs) => {
+                        for &i in cur {
+                            let row = i as usize;
+                            dstv[row] = match recs[row].value(*col) {
+                                Value::Null => Value::Null,
+                                Value::Str(s) => Value::Bool(m.is_match(s)),
+                                other => {
+                                    Value::Bool(m.is_match(value_as_str(other, &mut self.hbuf)))
+                                }
+                            };
+                        }
+                    }
+                    Input::Batch(b) => {
+                        for &i in cur {
+                            let row = i as usize;
+                            // Zero-copy scan of the arena slice /
+                            // dictionary entry / tweet buffer; the
+                            // fallback mirrors the row arm exactly
+                            // (pruned-dead → NULL via `value_at`).
+                            dstv[row] = match b.str_at(row, *col) {
+                                Some(s) => Value::Bool(m.is_match(s)),
+                                None => match b.value_at(row, *col) {
+                                    Value::Null => Value::Null,
+                                    Value::Str(s) => Value::Bool(m.is_match(&s)),
+                                    other => Value::Bool(
+                                        m.is_match(value_as_str(&other, &mut self.hbuf)),
+                                    ),
+                                },
+                            };
+                        }
+                    }
                 }
             }
             Instr::MultiContains { col, matcher, .. } => {
                 let m = &prog.multis[*matcher as usize];
-                for &i in cur {
-                    let row = i as usize;
-                    dstv[row] = match recs[row].value(*col) {
-                        Value::Null => Value::Null,
-                        Value::Str(s) => Value::Bool(m.is_match(s)),
-                        other => Value::Bool(m.is_match(value_as_str(other, &mut self.hbuf))),
-                    };
+                match input {
+                    Input::Rows(recs) => {
+                        for &i in cur {
+                            let row = i as usize;
+                            dstv[row] = match recs[row].value(*col) {
+                                Value::Null => Value::Null,
+                                Value::Str(s) => Value::Bool(m.is_match(s)),
+                                other => {
+                                    Value::Bool(m.is_match(value_as_str(other, &mut self.hbuf)))
+                                }
+                            };
+                        }
+                    }
+                    Input::Batch(b) => {
+                        for &i in cur {
+                            let row = i as usize;
+                            dstv[row] = match b.str_at(row, *col) {
+                                Some(s) => Value::Bool(m.is_match(s)),
+                                None => match b.value_at(row, *col) {
+                                    Value::Null => Value::Null,
+                                    Value::Str(s) => Value::Bool(m.is_match(&s)),
+                                    other => Value::Bool(
+                                        m.is_match(value_as_str(&other, &mut self.hbuf)),
+                                    ),
+                                },
+                            };
+                        }
+                    }
                 }
             }
             Instr::ContainsDyn { a, b, .. } => {
@@ -384,13 +469,22 @@ impl BatchVm {
                 }
             }
             Instr::InBBox { lat, lon, bbox, .. } => {
-                let b = &prog.bboxes[*bbox as usize];
+                let bb = &prog.bboxes[*bbox as usize];
                 for &i in cur {
                     let row = i as usize;
-                    let (la, lo) = (recs[row].value(*lat), recs[row].value(*lon));
-                    dstv[row] = match (la.as_float().ok(), lo.as_float().ok()) {
+                    let (la, lo) = match input {
+                        Input::Rows(recs) => (
+                            recs[row].value(*lat).as_float().ok(),
+                            recs[row].value(*lon).as_float().ok(),
+                        ),
+                        Input::Batch(b) => (
+                            b.value_at(row, *lat).as_float().ok(),
+                            b.value_at(row, *lon).as_float().ok(),
+                        ),
+                    };
+                    dstv[row] = match (la, lo) {
                         (Some(la), Some(lo)) => {
-                            Value::Bool(b.contains(&tweeql_geo::GeoPoint::new(la, lo)))
+                            Value::Bool(bb.contains(&tweeql_geo::GeoPoint::new(la, lo)))
                         }
                         _ => Value::Bool(false),
                     };
@@ -454,6 +548,24 @@ impl BatchVm {
         sel_out: &mut Vec<u32>,
     ) -> Result<(), QueryError> {
         self.eval_into(prog, recs, sel_in)?;
+        self.keep_truthy(prog, sel_in, sel_out);
+        Ok(())
+    }
+
+    /// [`Self::filter`] over a columnar [`TweetBatch`].
+    pub fn filter_cols(
+        &mut self,
+        prog: &ExprProgram,
+        batch: &TweetBatch,
+        sel_in: &[u32],
+        sel_out: &mut Vec<u32>,
+    ) -> Result<(), QueryError> {
+        self.eval_cols(prog, batch, sel_in)?;
+        self.keep_truthy(prog, sel_in, sel_out);
+        Ok(())
+    }
+
+    fn keep_truthy(&self, prog: &ExprProgram, sel_in: &[u32], sel_out: &mut Vec<u32>) {
         let res = &self.regs[prog.result as usize];
         sel_out.clear();
         for &i in sel_in {
@@ -461,7 +573,6 @@ impl BatchVm {
                 sel_out.push(i);
             }
         }
-        Ok(())
     }
 
     /// Evaluate against a single record (differential tests, the
@@ -637,5 +748,77 @@ mod tests {
         let mut out = Vec::new();
         vm.filter(&prog, &recs, &[0, 1, 2], &mut out).unwrap();
         assert_eq!(out, vec![0, 2]);
+    }
+
+    /// The columnar input path agrees with the row path instruction by
+    /// instruction, materialized or not, on the twitter schema.
+    #[test]
+    fn columnar_input_matches_row_input() {
+        use tweeql_model::batch::all_columns;
+        use tweeql_model::record::twitter_schema;
+        use tweeql_model::{TweetBatch, User};
+
+        let mut batch = TweetBatch::new();
+        for i in 0..6u64 {
+            let mut user = User::new(i, format!("u{i}"));
+            user.location = "nyc".into();
+            user.followers = (i * 100) as u32;
+            let mut b = tweeql_model::Tweet::builder(i, format!("obama speech number {i}"))
+                .user(user)
+                .at(Timestamp::from_secs(i as i64))
+                .lang(if i % 2 == 0 { "en" } else { "es" });
+            if i % 3 == 0 {
+                b = b.coordinates(40.7, -74.0);
+            }
+            batch.push(b.build());
+        }
+        let recs = batch.to_records();
+        let sel: Vec<u32> = (0..recs.len() as u32).collect();
+        let schema = twitter_schema();
+        let reg = Registry::standard(&ServiceConfig::default(), VirtualClock::new());
+        let exprs = [
+            "text contains 'obama'",
+            "text contains 'obama' or text contains 'news'",
+            "followers > 100 and lang = 'en'",
+            "upper(lang)",
+            "in_bbox(lat, lon, 40.0, -75.0, 41.0, -73.0)",
+            "followers * 2",
+            "lat is null",
+        ];
+        let mut vm = BatchVm::new();
+        for round in 0..2 {
+            if round == 1 {
+                batch.materialize(&all_columns());
+            }
+            for src in exprs {
+                let Ok(ast) = parse_expr(src) else {
+                    continue; // geo predicate syntax may differ
+                };
+                let Ok((c, _)) = compile(&ast, &schema, &reg) else {
+                    continue;
+                };
+                let prog = ExprProgram::lower(&c).unwrap();
+                vm.eval_into(&prog, &recs, &sel).unwrap();
+                let row_results: Vec<Value> =
+                    sel.iter().map(|&i| vm.result(&prog, i).clone()).collect();
+                vm.eval_cols(&prog, &batch, &sel).unwrap();
+                for (k, &i) in sel.iter().enumerate() {
+                    assert_eq!(
+                        *vm.result(&prog, i),
+                        row_results[k],
+                        "expr {src:?} row {i} round {round}"
+                    );
+                }
+            }
+        }
+        // Filter parity too.
+        let ast = parse_expr("text contains 'obama' and followers >= 0").unwrap();
+        let (c, _) = compile(&ast, &schema, &reg).unwrap();
+        let prog = ExprProgram::lower(&c).unwrap();
+        let (mut rows_out, mut cols_out) = (Vec::new(), Vec::new());
+        vm.filter(&prog, &recs, &sel, &mut rows_out).unwrap();
+        vm.filter_cols(&prog, &batch, &sel, &mut cols_out).unwrap();
+        assert_eq!(rows_out, cols_out);
+        assert!(!rows_out.is_empty());
     }
 }

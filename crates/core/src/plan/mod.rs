@@ -103,6 +103,11 @@ pub struct PlannedJoin {
     pub right_stream: String,
     /// The join operator.
     pub join: SymmetricHashJoin,
+    /// Live columns of the left source stream (`None` = decode all).
+    /// Join keys are always forced live.
+    pub left_live: Option<Arc<[bool]>>,
+    /// Live columns of the right source stream (`None` = decode all).
+    pub right_live: Option<Arc<[bool]>>,
 }
 
 /// The output of planning.
@@ -200,11 +205,54 @@ fn lower(
                 "join {} ⋈ {} on {} = {} within {}",
                 lp.stream, jc.stream, jc.left_col, jc.right_col, window
             ));
+            // Per-side decode pruning. The projection-pruning *rule*
+            // skips join plans (its verifier only models single-stream
+            // scans), so the masks are computed here: combined-schema
+            // liveness split at the left schema's width, with each
+            // side's join key forced live for the join operator itself.
+            let (left_live, right_live) = if config.optimize {
+                let mut live = lp
+                    .live_columns()
+                    .unwrap_or_else(|| vec![true; lp.schema.len()]);
+                if let Some(i) = lp.left_schema.index_of(&jc.left_col) {
+                    live[i] = true;
+                }
+                if let Some(i) = right_schema.index_of(&jc.right_col) {
+                    live[lp.left_schema.len() + i] = true;
+                }
+                let (l, r) = live.split_at(lp.left_schema.len());
+                let side = |s: &[bool]| -> Option<Arc<[bool]>> {
+                    if s.iter().all(|&b| b) {
+                        None
+                    } else {
+                        Some(Arc::from(s))
+                    }
+                };
+                (side(l), side(r))
+            } else {
+                (None, None)
+            };
+            if let Some(l) = &left_live {
+                explain.push(format!(
+                    "prune left decode to {}/{} columns",
+                    l.iter().filter(|b| **b).count(),
+                    l.len()
+                ));
+            }
+            if let Some(r) = &right_live {
+                explain.push(format!(
+                    "prune right decode to {}/{} columns",
+                    r.iter().filter(|b| **b).count(),
+                    r.len()
+                ));
+            }
             (
                 Arc::clone(&joined),
                 Some(PlannedJoin {
                     right_stream: jc.stream.clone(),
                     join: SymmetricHashJoin::new(lk, rk, ctx, window, joined),
+                    left_live,
+                    right_live,
                 }),
             )
         }
@@ -1082,6 +1130,42 @@ mod tests {
         );
         assert!(p.join.is_some());
         assert!(p.api_candidates.is_empty(), "no pushdown for joins");
+    }
+
+    #[test]
+    fn join_sides_get_pruned_decode_with_keys_forced_live() {
+        let p = plan_sql(
+            "SELECT text FROM twitter JOIN twitter ON screen_name = screen_name \
+             WHERE followers > 10 WINDOW 5 minutes",
+        );
+        let pj = p.join.as_ref().expect("join planned");
+        let schema = tweeql_model::record::twitter_schema();
+        let sn = schema.index_of("screen_name").unwrap();
+        let left = pj.left_live.as_ref().expect("narrow join prunes left");
+        assert!(left[sn], "join key must stay live");
+        assert!(left[schema.index_of("text").unwrap()]);
+        assert!(left[schema.index_of("followers").unwrap()]);
+        assert!(!left[schema.index_of("loc").unwrap()]);
+        // Right side only feeds the join key here (text/followers
+        // resolve to the left copy of the self-join).
+        let right = pj.right_live.as_ref().expect("narrow join prunes right");
+        assert!(right[sn], "join key must stay live");
+        assert!(!right[schema.index_of("loc").unwrap()]);
+    }
+
+    #[test]
+    fn join_liveness_skipped_when_optimizer_off() {
+        let (c, r, mut cfg) = setup();
+        cfg.optimize = false;
+        let stmt = parse(
+            "SELECT text FROM twitter JOIN twitter ON screen_name = screen_name \
+             WINDOW 5 minutes",
+        )
+        .unwrap();
+        let p = plan(&stmt, &c, &r, &cfg).unwrap();
+        let pj = p.join.as_ref().expect("join planned");
+        assert!(pj.left_live.is_none());
+        assert!(pj.right_live.is_none());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! that substrates (text, geo, firehose) and applications (TwitInfo) can
 //! share them without cycles.
 
+pub mod batch;
 pub mod clock;
 pub mod entities;
 pub mod error;
@@ -24,6 +25,7 @@ pub mod tweet;
 pub mod user;
 pub mod value;
 
+pub use batch::{Bitmap, Column, DecodeStats, TweetBatch};
 pub use clock::{Clock, SharedClock, SystemClock, VirtualClock};
 pub use entities::{Entities, Hashtag, Mention, UrlEntity};
 pub use error::ModelError;

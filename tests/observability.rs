@@ -85,6 +85,7 @@ fn portable_counters(registry: &MetricsRegistry) -> BTreeMap<String, i64> {
                 || name == "tweeql_op_records_out_total"
                 || name == "tweeql_windows_emitted_total"
                 || name.starts_with("tweeql_source_")
+                || name.starts_with("tweeql_decode_")
         })
         .map(|(name, labels, v)| (format!("{name}{labels}"), v))
         .collect()
@@ -124,6 +125,84 @@ fn e1_two_same_seeded_runs_publish_identical_registries() {
         portable_counters(&c),
         portable_counters(&d),
         "parallel same-seed runs diverged on portable counters"
+    );
+}
+
+#[test]
+fn e1_publishes_columnar_decode_metrics() {
+    // The E1 dashboard runs on the default columnar path, so the decode
+    // counters must land in the registry: the fused scan materializes
+    // the columns the query touches and skips the rest, and the
+    // dictionary gauge reflects the same fold at every worker count
+    // (the per-worker stats are summed back into one total).
+    let (_, serial) = run_e1(1, 7);
+    assert!(
+        serial.counter_value("tweeql_decode_columns_materialized_total", &[]) > 0,
+        "columnar run materialized no columns"
+    );
+    assert!(
+        serial.counter_value("tweeql_decode_columns_skipped_total", &[]) > 0,
+        "E1 touches a strict subset of columns, so some must be skipped"
+    );
+    let decode_series = |m: &MetricsRegistry| -> BTreeMap<String, i64> {
+        m.snapshot()
+            .into_iter()
+            .filter(|(name, _, _)| name.starts_with("tweeql_decode_"))
+            .map(|(name, labels, v)| (format!("{name}{labels}"), v))
+            .collect()
+    };
+    let (_, parallel) = run_e1(4, 7);
+    assert_eq!(
+        decode_series(&serial),
+        decode_series(&parallel),
+        "decode metrics diverged between workers=1 and workers=4"
+    );
+
+    // E1 never touches `lang` or `loc`, so no dictionary is built and
+    // the reuse gauge stays unpublished. A projection over `lang`
+    // drives the dictionary path; its gauge must be identical at every
+    // worker count because the per-worker stats fold back into one
+    // total.
+    let lang_sql = "SELECT upper(lang) AS l FROM twitter WHERE text contains 'soccer'";
+    let run_lang = |workers: usize| {
+        let api = StreamingApi::new(short_corpus().clone(), VirtualClock::new());
+        let registry = MetricsRegistry::new();
+        let mut engine = Engine::builder(api)
+            .workers(workers)
+            .metrics(registry.clone())
+            .build();
+        engine.execute(lang_sql).expect("lang query runs");
+        registry
+    };
+    let lang_serial = run_lang(1);
+    let lang_decode = decode_series(&lang_serial);
+    let gauge = lang_decode
+        .iter()
+        .find(|(k, _)| k.starts_with("tweeql_decode_dict_reuse_permille"));
+    let (_, reuse) = gauge.unwrap_or_else(|| {
+        panic!("dictionary reuse gauge missing after GROUP BY lang: {lang_decode:?}")
+    });
+    assert!((0..=1000).contains(reuse), "permille out of range: {reuse}");
+    assert_eq!(
+        lang_decode,
+        decode_series(&run_lang(4)),
+        "dictionary gauge diverged between workers=1 and workers=4"
+    );
+
+    // With columnar decode disabled the fused scan never runs, so no
+    // decode counters may be published at all.
+    let api = StreamingApi::new(soccer_corpus().clone(), VirtualClock::new());
+    let registry = MetricsRegistry::new();
+    let mut engine = Engine::builder(api)
+        .columnar_decode(false)
+        .service(flaky_service(7))
+        .metrics(registry.clone())
+        .build();
+    engine.execute(E1_SQL).expect("row-mode E1 runs");
+    assert_eq!(
+        registry.counter_value("tweeql_decode_columns_materialized_total", &[]),
+        0,
+        "row-mode run must not report materialized columns"
     );
 }
 
