@@ -1,0 +1,54 @@
+//! Writes `BENCH_server.json`: shared-scan dispatch throughput vs the
+//! naive per-query loop across the query-count curve (the E13 sweep).
+//!
+//! ```text
+//! cargo run --release -p tweeql-bench --bin server_bench [-- --smoke] [--out PATH] [--seed N]
+//! ```
+//!
+//! `--smoke` shrinks the stream to ~2 minutes so CI can validate the
+//! full curve (including N=1000) in seconds; the default 8-minute
+//! stream is what EXPERIMENTS.md records.
+
+use tweeql_bench::e13_server;
+
+fn main() {
+    let mut smoke = false;
+    let mut seed = 42u64;
+    let mut out_path = String::from("BENCH_server.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--seed" => {
+                seed = args.next().and_then(|s| s.parse().ok()).expect("--seed N");
+            }
+            "--out" => out_path = args.next().expect("--out PATH"),
+            other => {
+                eprintln!("unknown flag: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let minutes = if smoke { 2 } else { 8 };
+    let counts = [1usize, 10, 100, 1000];
+    let (tweets, cells) = e13_server::run(seed, minutes, &counts);
+    eprintln!("server bench: {tweets} tweets ({minutes} min stream)");
+    for c in &cells {
+        eprintln!(
+            "  N={:<5} shared {:>8.4}s ({:>10.0} tw/s)  naive {:>8.4}s  speedup {:>7.1}x  \
+             dispatched {} decoded {} shared-rows {}",
+            c.queries,
+            c.shared_wall_secs,
+            c.shared_tweets_per_sec,
+            c.naive_wall_secs,
+            c.speedup,
+            c.rows_dispatched,
+            c.rows_decoded,
+            c.rows_shared
+        );
+    }
+    let json = e13_server::to_json(&cells, seed, minutes, tweets);
+    std::fs::write(&out_path, &json).expect("write BENCH_server.json");
+    eprintln!("wrote {out_path}");
+}

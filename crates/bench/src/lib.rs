@@ -1,11 +1,12 @@
 //! Experiment harness for the reproduction: one module per experiment
-//! in DESIGN.md's index (E1–E10). Each returns structured results; the
+//! in DESIGN.md's index (E1–E13). Each returns structured results; the
 //! `report` binary renders them as the tables recorded in
 //! EXPERIMENTS.md, and the Criterion benches reuse the same runners for
 //! wall-time measurement.
 
 pub mod alloc_counter;
 pub mod e10_expr;
+pub mod e13_server;
 pub mod e1_dashboard;
 pub mod e2_peaks;
 pub mod e3_selectivity;

@@ -23,7 +23,9 @@ use tweeql_geo::cache::CacheStats;
 use tweeql_model::{
     DecodeStats, Duration, Record, SchemaRef, Timestamp, TweetBatch, Value, VirtualClock,
 };
-use tweeql_obs::{MetricsRegistry, QueryProfile, SpanKind, StageProfile, TraceSink, Tracer};
+use tweeql_obs::{
+    MetricsRegistry, QueryId, QueryProfile, SpanKind, StageProfile, TraceSink, Tracer,
+};
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -72,6 +74,12 @@ pub struct EngineConfig {
     pub retry: RetryPolicy,
     /// Engine seed: backoff jitter and other engine-level randomness.
     pub seed: u64,
+    /// Probe WHERE-derived connection-filter candidates and push the
+    /// best one into the source subscription. `false` always reads the
+    /// full stream (`sample(1.0)`) and filters client-side — the mode
+    /// the standing-query host runs in, since one shared connection
+    /// cannot serve per-query pushdowns.
+    pub allow_pushdown: bool,
 }
 
 impl Default for EngineConfig {
@@ -92,6 +100,7 @@ impl Default for EngineConfig {
             fault: None,
             retry: RetryPolicy::default(),
             seed: 0x5EED,
+            allow_pushdown: true,
         }
     }
 }
@@ -149,6 +158,8 @@ impl std::fmt::Display for Explanation {
 /// Post-run statistics.
 #[derive(Debug, Clone)]
 pub struct QueryStats {
+    /// The run's identity within this engine (ordinal, starting at 1).
+    pub query: QueryId,
     /// Pushdown decision rendered for humans.
     pub pushdown: String,
     /// Source connection delivery stats (summed across reconnects).
@@ -271,16 +282,18 @@ impl QueryResult {
 ///     .build();
 /// ```
 pub struct EngineBuilder {
-    config: EngineConfig,
-    api: StreamingApi,
-    registry_fns: Vec<RegistryFn>,
-    streams: Vec<(String, SchemaRef)>,
-    metrics: Option<MetricsRegistry>,
-    trace: Option<Arc<dyn TraceSink>>,
+    pub(crate) config: EngineConfig,
+    pub(crate) api: StreamingApi,
+    pub(crate) registry_fns: Vec<RegistryFn>,
+    pub(crate) streams: Vec<(String, SchemaRef)>,
+    pub(crate) metrics: Option<MetricsRegistry>,
+    pub(crate) trace: Option<Arc<dyn TraceSink>>,
 }
 
 /// A deferred registry mutation, applied at [`EngineBuilder::build`].
-type RegistryFn = Box<dyn FnOnce(&mut Registry)>;
+/// `Fn` (not `FnOnce`) so the standing-query host can re-apply the same
+/// setup to each registered query's private registry.
+pub(crate) type RegistryFn = Box<dyn Fn(&mut Registry)>;
 
 impl EngineBuilder {
     /// Replace the whole configuration (knob methods still apply on
@@ -378,26 +391,38 @@ impl EngineBuilder {
         self
     }
 
+    /// Toggle connection-filter pushdown (`true` by default). `false`
+    /// reads the full stream and filters client-side, which makes an
+    /// engine's source event sequence identical to a standing-query
+    /// host's shared connection — the mode the differential host tests
+    /// run in.
+    pub fn push_down(mut self, on: bool) -> Self {
+        self.config.allow_pushdown = on;
+        self
+    }
+
     /// Register a scalar UDF on top of the standard registry.
     pub fn register_udf(mut self, udf: Arc<dyn ScalarUdf>) -> Self {
         self.registry_fns
-            .push(Box::new(move |r| r.register_scalar(udf)));
+            .push(Box::new(move |r| r.register_scalar(Arc::clone(&udf))));
         self
     }
 
     /// Register a stateful UDF factory.
     pub fn register_stateful(mut self, name: &str, factory: StatefulFactory) -> Self {
         let name = name.to_string();
-        self.registry_fns
-            .push(Box::new(move |r| r.register_stateful(&name, factory)));
+        self.registry_fns.push(Box::new(move |r| {
+            r.register_stateful(&name, Arc::clone(&factory))
+        }));
         self
     }
 
     /// Register an async (web-service) UDF factory.
     pub fn register_async(mut self, name: &str, factory: AsyncFactory) -> Self {
         let name = name.to_string();
-        self.registry_fns
-            .push(Box::new(move |r| r.register_async(&name, factory)));
+        self.registry_fns.push(Box::new(move |r| {
+            r.register_async(&name, Arc::clone(&factory))
+        }));
         self
     }
 
@@ -408,8 +433,10 @@ impl EngineBuilder {
     }
 
     /// Escape hatch: arbitrary registry setup (e.g. a whole UDF pack
-    /// like TwitInfo's `udfs::register`).
-    pub fn configure_registry(mut self, f: impl FnOnce(&mut Registry) + 'static) -> Self {
+    /// like TwitInfo's `udfs::register`). The closure may run more than
+    /// once: the standing-query host applies it to every registered
+    /// query's private registry.
+    pub fn configure_registry(mut self, f: impl Fn(&mut Registry) + 'static) -> Self {
         self.registry_fns.push(Box::new(f));
         self
     }
@@ -437,7 +464,7 @@ impl EngineBuilder {
         let geo = SharedGeoService::new(&self.config.service, Arc::clone(&clock));
         let mut registry =
             Registry::standard_with_geo(&self.config.service, Arc::clone(&clock), geo.clone());
-        for f in self.registry_fns {
+        for f in &self.registry_fns {
             f(&mut registry);
         }
         let mut catalog = Catalog::with_twitter();
@@ -455,7 +482,17 @@ impl EngineBuilder {
             trace: self.trace,
             last_profile: None,
             selectivity_hints: Vec::new(),
+            queries_run: 0,
         }
+    }
+
+    /// Assemble a standing-query [`crate::host::QueryHost`] instead of
+    /// a one-query-at-a-time engine: one supervised full-stream
+    /// connection, shared-scan dispatch to every registered query, the
+    /// same fault policy, UDF registrations, metrics, and optimizer
+    /// settings this builder carries.
+    pub fn build_host(self) -> crate::host::QueryHost {
+        crate::host::QueryHost::from_builder(self)
     }
 }
 
@@ -474,6 +511,8 @@ pub struct Engine {
     /// most recent run's pushdown probe — fed back into the planner so
     /// conjunct ordering on a reused engine is seeded from measurement.
     pub(crate) selectivity_hints: Vec<(String, f64)>,
+    /// Queries executed so far — the source of per-run [`QueryId`]s.
+    pub(crate) queries_run: u64,
 }
 
 impl Engine {
@@ -599,6 +638,8 @@ impl Engine {
         sink: &mut dyn FnMut(&Record),
     ) -> Result<(SchemaRef, QueryStats), QueryError> {
         let mut planned = self.checked_plan(sql)?;
+        self.queries_run += 1;
+        let query_id = QueryId::new(self.queries_run);
         let started_at = {
             use tweeql_model::Clock;
             self.clock.now()
@@ -611,11 +652,22 @@ impl Engine {
         let geo_base_cache = self.geo.cache_stats();
 
         // ---- uncertain selectivities: choose the pushdown filter ----
-        let decision: PushdownDecision = choose_filter(
-            &self.api,
-            &planned.api_candidates,
-            self.config.selectivity_sample,
-        );
+        // With pushdown disabled no candidate is probed or chosen, so
+        // the source subscription degenerates to `sample(1.0)` and the
+        // run reads the exact event sequence a standing-query host's
+        // shared connection would deliver.
+        let decision: PushdownDecision = if self.config.allow_pushdown {
+            choose_filter(
+                &self.api,
+                &planned.api_candidates,
+                self.config.selectivity_sample,
+            )
+        } else {
+            PushdownDecision {
+                chosen: None,
+                estimates: Vec::new(),
+            }
+        };
         let pushdown = decision.describe(&planned.api_candidates);
         let filter = decision.filter(&planned.api_candidates);
         // Feed measured selectivities back to the planner: the next
@@ -681,6 +733,7 @@ impl Engine {
             notices,
         };
         let stats = QueryStats {
+            query: query_id,
             pushdown,
             source: source_stats,
             source_faults,
@@ -710,6 +763,13 @@ impl Engine {
     fn publish_metrics(&self, stats: &QueryStats, stage_counters: &[Vec<(&'static str, u64)>]) {
         let m = &self.metrics;
         m.counter("tweeql_queries_total", &[]).inc();
+        // Per-query labeled family (new in the host redesign): existing
+        // families keep their label sets unchanged so cross-run counter
+        // equality still holds.
+        let qlabel = stats.query.label();
+        let rows_out = stats.stages.last().map(|(_, s)| s.records_out).unwrap_or(0);
+        m.counter("tweeql_query_rows_out_total", &[("query", qlabel.as_str())])
+            .add(rows_out);
         m.counter("tweeql_records_decoded_total", &[])
             .add(stats.source.delivered);
         m.counter("tweeql_gap_windows_total", &[])
@@ -1014,6 +1074,7 @@ fn build_profile(
         })
         .collect();
     QueryProfile {
+        query: stats.query,
         sql: sql.to_string(),
         pushdown: stats.pushdown.clone(),
         stages,

@@ -33,6 +33,9 @@ pub enum QueryError {
     Check(String),
     /// Runtime evaluation error.
     Exec(String),
+    /// A standing-query host was asked about an id it is not running
+    /// (never registered, or already dropped).
+    UnknownQuery(String),
 }
 
 impl QueryError {
@@ -77,6 +80,7 @@ impl fmt::Display for QueryError {
             }
             QueryError::Check(m) => write!(f, "{m}"),
             QueryError::Exec(m) => write!(f, "execution error: {m}"),
+            QueryError::UnknownQuery(id) => write!(f, "unknown query: {id}"),
         }
     }
 }

@@ -633,6 +633,10 @@ impl Operator for AggregateOp {
         "aggregate"
     }
 
+    fn time_sensitive(&self) -> bool {
+        true
+    }
+
     fn as_aggregate(&mut self) -> Option<&mut AggregateOp> {
         Some(self)
     }

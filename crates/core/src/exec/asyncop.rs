@@ -50,11 +50,13 @@ impl AsyncUdfOp {
     }
 
     /// Remote requests issued by the wrapped UDF.
+    #[allow(dead_code)]
     pub fn requests_issued(&self) -> u64 {
         self.udf.requests_issued()
     }
 
     /// Modeled service time accumulated by the wrapped UDF.
+    #[allow(dead_code)]
     pub fn modeled_service_time(&self) -> Duration {
         self.udf.modeled_service_time()
     }
@@ -76,6 +78,10 @@ impl AsyncUdfOp {
 impl Operator for AsyncUdfOp {
     fn name(&self) -> &str {
         &self.label
+    }
+
+    fn time_sensitive(&self) -> bool {
+        true
     }
 
     fn schema(&self) -> SchemaRef {

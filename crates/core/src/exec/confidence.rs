@@ -51,11 +51,13 @@ impl ConfidenceTracker {
     }
 
     /// Number of observations.
+    #[allow(dead_code)]
     pub fn count(&self) -> u64 {
         self.n
     }
 
     /// Running mean (0 when empty).
+    #[allow(dead_code)]
     pub fn mean(&self) -> f64 {
         self.mean
     }
@@ -106,6 +108,7 @@ impl ConfidenceTracker {
     }
 
     /// Reset after emission.
+    #[allow(dead_code)]
     pub fn reset(&mut self) {
         *self = ConfidenceTracker::new();
     }

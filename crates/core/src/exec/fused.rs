@@ -150,6 +150,7 @@ impl FusedScanOp {
     }
 
     /// Tune the adaptive reordering (tests and experiments).
+    #[allow(dead_code)]
     pub fn with_rerank_every(mut self, every: u64) -> FusedScanOp {
         self.rerank_every = every.max(1);
         self
@@ -157,11 +158,13 @@ impl FusedScanOp {
 
     /// `(evaluations, passes, est_pass_rate)` per conjunct, in plan
     /// order (not current evaluation order).
+    #[allow(dead_code)]
     pub fn conjunct_stats(&self) -> Vec<PredicateStats> {
         self.conjuncts.iter().map(|c| c.stats).collect()
     }
 
     /// Current evaluation order over plan-order conjunct indexes.
+    #[allow(dead_code)]
     pub fn current_order(&self) -> &[usize] {
         &self.order
     }

@@ -4,18 +4,24 @@
 //! pushes results downstream. Watermarks are what make replay
 //! deterministic: time windows flush on watermark, not on wall clock.
 
+// Only the submodules external code actually needs stay public:
+// `aggregate` (partial-merge types appear in `Operator::as_aggregate` /
+// `Pipeline::absorb_partial` signatures), `eddy` (benchmarked
+// directly), and `supervise` (fault-tolerance tests build
+// `RetryPolicy` / consume `SourceEvent`s). The rest are lowering
+// details reachable only through `plan::plan` and the engine/host.
 pub mod aggregate;
-pub mod asyncop;
-pub mod confidence;
+pub(crate) mod asyncop;
+pub(crate) mod confidence;
 pub mod eddy;
-pub mod filter;
-pub mod fused;
-pub mod join;
-pub mod limit;
-pub mod parallel;
-pub mod project;
+pub(crate) mod filter;
+pub(crate) mod fused;
+pub(crate) mod join;
+pub(crate) mod limit;
+pub(crate) mod parallel;
+pub(crate) mod project;
 pub mod supervise;
-pub mod topk;
+pub(crate) mod topk;
 
 use crate::error::QueryError;
 use std::time::Instant;
@@ -86,6 +92,17 @@ pub trait Operator: Send {
     /// Stream time has advanced to `wm`; flush anything due.
     fn on_watermark(&mut self, _wm: Timestamp, _out: &mut Vec<Record>) -> Result<(), QueryError> {
         Ok(())
+    }
+
+    /// True when the operator reacts to stream-time punctuation —
+    /// it overrides [`Operator::on_watermark`] or [`Operator::on_gap`]
+    /// with real behavior. For everything else punctuation is a no-op
+    /// traversal, so a pipeline of only time-insensitive operators can
+    /// skip the broadcast entirely with byte-identical output (the
+    /// standing-query host relies on this to keep per-watermark cost
+    /// proportional to windowed queries, not registered queries).
+    fn time_sensitive(&self) -> bool {
+        false
     }
 
     /// The source lost coverage over `[from, to)` (a disconnect the
@@ -405,6 +422,12 @@ impl Pipeline {
     /// True once the pipeline will never produce more output.
     pub fn done(&self) -> bool {
         self.ops.iter().any(|o| o.done())
+    }
+
+    /// True when any stage reacts to watermarks or coverage gaps;
+    /// false means punctuation broadcast can be skipped outright.
+    pub fn time_sensitive(&self) -> bool {
+        self.ops.iter().any(|o| o.time_sensitive())
     }
 
     /// Push one source record through every stage, collecting final

@@ -37,6 +37,7 @@ impl<T> Reorder<T> {
     }
 
     /// Items buffered out of order (diagnostics).
+    #[allow(dead_code)]
     pub fn pending(&self) -> usize {
         self.pending.len()
     }

@@ -93,11 +93,13 @@ impl SpaceSaving {
     }
 
     /// Monitored item count (≤ capacity).
+    #[allow(dead_code)]
     pub fn len(&self) -> usize {
         self.slots.len()
     }
 
     /// True when nothing observed.
+    #[allow(dead_code)]
     pub fn is_empty(&self) -> bool {
         self.slots.is_empty()
     }

@@ -1,0 +1,213 @@
+//! The common-filter index: one Aho-Corasick automaton over every
+//! registered query's `contains` needles.
+//!
+//! Each query's optimized logical plan already names the WHERE
+//! conjuncts the streaming API could evaluate server-side
+//! ([`ApiCandidate`]). On a shared connection nothing can be pushed
+//! down, but a `track(...)` candidate is still a *necessary condition*:
+//! a row that matches none of the candidate's keywords cannot satisfy
+//! that conjunct, so the query's pipeline would drop it anyway. The
+//! index exploits this: all keywords from all registered queries are
+//! interned into one automaton, each row's text is scanned **once**,
+//! and a query is dispatched only when every one of its indexed
+//! conjunct groups has at least one keyword hit. 10k `contains` queries
+//! therefore cost one text scan per row, not 10k.
+//!
+//! Soundness: the prefilter may over-dispatch (the pipeline re-filters
+//! every row), but it must never under-dispatch. [`AhoCorasick`] folds
+//! *patterns* with full `str::to_lowercase` but haystack characters
+//! with the first char of their lowercase expansion, so automaton
+//! matching coincides with the pipeline's case-folded `contains` only
+//! for pure-ASCII needles. Groups containing any non-ASCII keyword are
+//! simply not indexed — the query keeps its other groups (or dispatches
+//! unconditionally), trading prefilter selectivity for correctness.
+
+use crate::plan::ApiCandidate;
+use std::collections::HashMap;
+use tweeql_firehose::FilterSpec;
+use tweeql_text::ac::AhoCorasick;
+
+/// Conjunctive groups of OR'd needle ids: a row is a candidate for the
+/// query iff *every* group has at least one matching needle.
+pub(crate) type NeedleGroups = Vec<Vec<u32>>;
+
+/// Accumulates needles across queries during an index rebuild.
+#[derive(Default)]
+pub(crate) struct IndexBuilder {
+    needles: Vec<String>,
+    ids: HashMap<String, u32>,
+}
+
+impl IndexBuilder {
+    pub(crate) fn new() -> IndexBuilder {
+        IndexBuilder::default()
+    }
+
+    fn intern(&mut self, needle: &str) -> u32 {
+        let key = needle.to_lowercase();
+        if let Some(&id) = self.ids.get(&key) {
+            return id;
+        }
+        let id = self.needles.len() as u32;
+        self.needles.push(key.clone());
+        self.ids.insert(key, id);
+        id
+    }
+
+    /// Extract the indexable conjunct groups for one query from its
+    /// pushdown candidates. `None` ⇒ nothing indexable; the query must
+    /// be dispatched unconditionally.
+    pub(crate) fn groups_for(&mut self, candidates: &[ApiCandidate]) -> Option<NeedleGroups> {
+        let mut groups = NeedleGroups::new();
+        for c in candidates {
+            if let FilterSpec::Track(kws) = &c.spec {
+                // ASCII-only: see the module docs on fold soundness.
+                if kws.is_empty() || !kws.iter().all(|k| !k.is_empty() && k.is_ascii()) {
+                    continue;
+                }
+                groups.push(kws.iter().map(|k| self.intern(k)).collect());
+            }
+        }
+        (!groups.is_empty()).then_some(groups)
+    }
+
+    pub(crate) fn finish(self) -> FilterIndex {
+        let ac = (!self.needles.is_empty())
+            .then(|| AhoCorasick::new(self.needles.iter().map(|s| s.as_str())));
+        let hits = vec![false; self.needles.len()];
+        FilterIndex {
+            needles: self.needles,
+            ac,
+            hits,
+            touched: Vec::new(),
+        }
+    }
+}
+
+/// The built automaton plus per-row match scratch.
+pub(crate) struct FilterIndex {
+    needles: Vec<String>,
+    ac: Option<AhoCorasick>,
+    /// `hits[id]` — did needle `id` match the current row's text?
+    hits: Vec<bool>,
+    /// Ids set in `hits`, for O(matches) clearing between rows.
+    touched: Vec<u32>,
+}
+
+impl Default for FilterIndex {
+    fn default() -> FilterIndex {
+        IndexBuilder::new().finish()
+    }
+}
+
+impl FilterIndex {
+    /// Total distinct needles across all registered queries.
+    pub(crate) fn needle_count(&self) -> usize {
+        self.needles.len()
+    }
+
+    /// True when no query contributed an indexable needle.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.needles.is_empty()
+    }
+
+    /// Scan one row's text, recording which needles matched. Clears the
+    /// previous row's matches first.
+    pub(crate) fn match_row(&mut self, text: &str) {
+        for id in self.touched.drain(..) {
+            self.hits[id as usize] = false;
+        }
+        if let Some(ac) = &self.ac {
+            for id in ac.matching_patterns(text) {
+                self.hits[id] = true;
+                self.touched.push(id as u32);
+            }
+        }
+    }
+
+    /// Did needle `id` match the most recently scanned row? The
+    /// dispatcher consumes [`FilterIndex::touched`] instead; this is
+    /// the direct oracle the tests check it against.
+    #[cfg(test)]
+    pub(crate) fn hit(&self, id: u32) -> bool {
+        self.hits[id as usize]
+    }
+
+    /// Needle ids that matched the most recently scanned row. The
+    /// dispatcher walks only these — per-row cost is O(matches), not
+    /// O(registered queries).
+    pub(crate) fn touched(&self) -> &[u32] {
+        &self.touched
+    }
+
+    /// Does the most recently scanned row satisfy every group?
+    #[cfg(test)]
+    pub(crate) fn satisfies(&self, groups: &NeedleGroups) -> bool {
+        groups.iter().all(|g| g.iter().any(|&id| self.hit(id)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn track(kws: &[&str]) -> ApiCandidate {
+        ApiCandidate {
+            spec: FilterSpec::Track(kws.iter().map(|s| s.to_string()).collect()),
+            description: format!("track({})", kws.join(", ")),
+        }
+    }
+
+    #[test]
+    fn interns_and_dedupes_across_queries() {
+        let mut b = IndexBuilder::new();
+        let g1 = b.groups_for(&[track(&["obama"]), track(&["speech", "rally"])]);
+        let g2 = b.groups_for(&[track(&["OBAMA"])]);
+        let idx = b.finish();
+        assert_eq!(idx.needle_count(), 3, "obama shared case-insensitively");
+        let g1 = g1.unwrap();
+        let g2 = g2.unwrap();
+        assert_eq!(g1.len(), 2, "two conjunct groups");
+        assert_eq!(g2[0], g1[0], "same needle id both queries");
+        assert_ne!(g1[0], g1[1]);
+    }
+
+    #[test]
+    fn conjunctive_or_group_semantics() {
+        let mut b = IndexBuilder::new();
+        let groups = b
+            .groups_for(&[track(&["obama"]), track(&["speech", "rally"])])
+            .unwrap();
+        let mut idx = b.finish();
+        idx.match_row("obama gave a speech");
+        assert!(idx.satisfies(&groups));
+        idx.match_row("obama waved"); // first conjunct only
+        assert!(!idx.satisfies(&groups));
+        idx.match_row("a great RALLY"); // second conjunct only
+        assert!(!idx.satisfies(&groups));
+        idx.match_row("nothing relevant");
+        assert!(!idx.satisfies(&groups));
+    }
+
+    #[test]
+    fn non_ascii_and_non_track_groups_are_skipped() {
+        let mut b = IndexBuilder::new();
+        assert!(b.groups_for(&[track(&["café"])]).is_none());
+        assert!(b.groups_for(&[]).is_none());
+        // Mixed: the ASCII group still indexes.
+        let g = b
+            .groups_for(&[track(&["café"]), track(&["match"])])
+            .unwrap();
+        assert_eq!(g.len(), 1);
+        let idx = b.finish();
+        assert_eq!(idx.needle_count(), 1);
+    }
+
+    #[test]
+    fn empty_index_matches_nothing() {
+        let mut idx = FilterIndex::default();
+        assert!(idx.is_empty());
+        idx.match_row("any text at all");
+        assert!(idx.satisfies(&NeedleGroups::new()), "vacuous truth");
+    }
+}

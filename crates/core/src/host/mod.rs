@@ -1,0 +1,1003 @@
+//! The standing-query host: one supervised firehose connection, many
+//! live queries.
+//!
+//! [`QueryHost`] is the multi-query counterpart of [`crate::engine::Engine`].
+//! Where an engine runs one query to completion over its own
+//! connection, a host owns a **single** full-stream
+//! [`SupervisedSource`] and dispatches every micro-batch to all
+//! registered queries through a shared-scan dispatcher:
+//!
+//! * **Common-filter index** ([`index`]) — every query's `contains`
+//!   needles (taken from its optimized logical plan's pushdown
+//!   candidates) are interned into one Aho-Corasick automaton. Each
+//!   row's text is scanned once; a query whose conjunct groups all hit
+//!   becomes a dispatch target. Queries without indexable needles
+//!   dispatch unconditionally. The pipeline re-filters every row, so
+//!   the prefilter only needs to over-approximate.
+//! * **Union liveness mask + shared row decode** — the host's
+//!   [`TweetBatch`] carries the union of all queries' live-column
+//!   masks, and each candidate row is materialized into a [`Record`]
+//!   at most once per batch ([`RowCache`]); additional consumers get
+//!   `Arc`-backed clones. One decode serves every query.
+//! * **Engine-identical cadence** — flush-before-watermark/gap,
+//!   absolute watermark boundaries, `batch_size` flush points counted
+//!   in delivered tweets, and a final `finish`: the exact serial-loop
+//!   protocol, so a standing query's output is byte-identical to an
+//!   independent engine run over the same seeded (even chaos-faulted)
+//!   stream with pushdown disabled. `tests/standing_host.rs` enforces
+//!   this differentially.
+//!
+//! Hosts are assembled through the same [`EngineBuilder`]
+//! (`Engine::builder(api).fault_policy(plan).build_host()`), so fault
+//! policy, UDF packs, metrics, tracing, and optimizer settings carry
+//! over unchanged.
+//!
+//! Each registered query gets a **private** registry and geo service,
+//! so aggregate windows, dedup state, and service caches start fresh on
+//! every registration — dropping and re-registering the same SQL never
+//! resurrects stale state.
+
+pub(crate) mod index;
+
+use crate::catalog::Catalog;
+use crate::engine::{Diagnostics, EngineBuilder, EngineConfig, RegistryFn};
+use crate::error::QueryError;
+use crate::exec::supervise::{SourceEvent, SourceFaultStats, SupervisedSource};
+use crate::parser::parse;
+use crate::plan::{plan, PlanConfig};
+use crate::udf::{Registry, SharedGeoService};
+use index::{FilterIndex, IndexBuilder, NeedleGroups};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use tweeql_firehose::api::ConnectionStats;
+use tweeql_firehose::{FilterSpec, StreamingApi};
+use tweeql_model::{
+    Clock, Duration, Record, RowCache, SchemaRef, Timestamp, TweetBatch, VirtualClock,
+};
+use tweeql_obs::{MetricsRegistry, QueryId, SpanKind, Tracer};
+
+/// Lifecycle of a registered query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryState {
+    /// Receiving stream data.
+    Running,
+    /// Completed (LIMIT satisfied, stream ended, or finished at drop);
+    /// results remain pollable until the query is dropped.
+    Finished,
+}
+
+impl std::fmt::Display for QueryState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryState::Running => write!(f, "running"),
+            QueryState::Finished => write!(f, "finished"),
+        }
+    }
+}
+
+/// One row of [`QueryHost::list`].
+#[derive(Debug, Clone)]
+pub struct QueryInfo {
+    /// The query's id.
+    pub id: QueryId,
+    /// The SQL as registered.
+    pub sql: String,
+    /// Running or finished.
+    pub state: QueryState,
+    /// Rows dispatched into the query's pipeline so far.
+    pub rows_in: u64,
+    /// Rows the query has emitted so far.
+    pub rows_out: u64,
+    /// Stream time at registration.
+    pub registered_at: Timestamp,
+    /// Whether the common-filter index prefilters this query's rows.
+    pub indexed: bool,
+}
+
+/// Aggregate dispatcher statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HostStats {
+    /// Tweets the shared source delivered.
+    pub tweets_delivered: u64,
+    /// Micro-batches flushed through the dispatcher.
+    pub batches: u64,
+    /// Rows entering query pipelines, summed over queries.
+    pub rows_dispatched: u64,
+    /// Rows materialized from the shared batch (first consumer).
+    pub rows_decoded: u64,
+    /// Dispatched rows served as clones of an already-decoded record.
+    pub rows_shared: u64,
+    /// Watermark boundaries broadcast to the queries.
+    pub watermarks: u64,
+    /// Coverage gaps broadcast to the queries.
+    pub gaps: u64,
+}
+
+/// A result stream handle from [`QueryHost::subscribe`]: every row the
+/// query emits after subscription is pushed into this queue.
+pub struct Subscription {
+    id: QueryId,
+    schema: SchemaRef,
+    queue: Arc<Mutex<VecDeque<Record>>>,
+}
+
+impl Subscription {
+    /// The subscribed query.
+    pub fn id(&self) -> QueryId {
+        self.id
+    }
+
+    /// The query's output schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Drain everything emitted since the last poll.
+    pub fn poll(&self) -> Vec<Record> {
+        self.queue.lock().drain(..).collect()
+    }
+}
+
+/// One registered standing query.
+struct HostQuery {
+    id: QueryId,
+    sql: String,
+    planned: crate::plan::PlannedQuery,
+    /// Whether any pipeline stage reacts to watermarks/gaps; cached at
+    /// registration so punctuation broadcast can skip the (typically
+    /// vast) stateless majority.
+    time_sensitive: bool,
+    groups: Option<NeedleGroups>,
+    state: QueryState,
+    /// Row indices selected from the current batch (dispatch scratch).
+    sel: Vec<u32>,
+    scratch_in: Vec<Record>,
+    scratch_out: Vec<Record>,
+    pending: Vec<Record>,
+    subs: Vec<Arc<Mutex<VecDeque<Record>>>>,
+    rows_in: u64,
+    rows_out: u64,
+    registered_at: Timestamp,
+    /// Private geo service: fresh caches/breaker per registration.
+    #[allow(dead_code)]
+    geo: SharedGeoService,
+    metrics: MetricsRegistry,
+    tracer: Option<Tracer>,
+    span: Option<u64>,
+    retired: bool,
+}
+
+impl HostQuery {
+    /// Move freshly produced rows to the pending buffer and every
+    /// subscriber queue.
+    fn deliver(&mut self) {
+        if self.scratch_out.is_empty() {
+            return;
+        }
+        self.rows_out += self.scratch_out.len() as u64;
+        for r in self.scratch_out.drain(..) {
+            for sub in &self.subs {
+                sub.lock().push_back(r.clone());
+            }
+            self.pending.push(r);
+        }
+    }
+
+    /// After any push: when the pipeline reports done (LIMIT reached),
+    /// finish it immediately — exactly where the serial engine breaks
+    /// its loop and finishes.
+    fn check_done(&mut self) -> Result<(), QueryError> {
+        if self.state == QueryState::Running && self.planned.pipeline.done() {
+            self.finish()?;
+        }
+        Ok(())
+    }
+
+    /// Finish the pipeline (final aggregate windows etc.) and retire.
+    fn finish(&mut self) -> Result<(), QueryError> {
+        if self.state == QueryState::Finished {
+            return Ok(());
+        }
+        self.state = QueryState::Finished;
+        self.planned.pipeline.finish(&mut self.scratch_out)?;
+        self.deliver();
+        self.retire();
+        Ok(())
+    }
+
+    /// Publish the query's per-id labeled counters and close its trace
+    /// span; runs exactly once per registration. Queries that never saw
+    /// a row publish nothing — an absent per-query series reads as
+    /// zero, and skipping it keeps retiring a quiet long tail cheap.
+    fn retire(&mut self) {
+        if self.retired {
+            return;
+        }
+        self.retired = true;
+        self.planned.pipeline.close_obs();
+        if self.rows_in > 0 || self.rows_out > 0 {
+            let label = self.id.label();
+            let l = [("query", label.as_str())];
+            self.metrics
+                .counter("tweeql_host_rows_in_total", &l)
+                .add(self.rows_in);
+            self.metrics
+                .counter("tweeql_host_rows_out_total", &l)
+                .add(self.rows_out);
+        }
+        if let (Some(t), Some(span)) = (&self.tracer, self.span.take()) {
+            t.end(
+                span,
+                None,
+                SpanKind::Query,
+                "standing",
+                self.registered_at.millis(),
+                self.rows_out,
+            );
+        }
+    }
+}
+
+/// Inverted dispatch structure: per-needle subscription lists plus
+/// version-stamped saturation counters, so the per-row selection cost
+/// is O(automaton matches), never O(registered queries). Slot indices
+/// are positions in `QueryHost::queries` and are rebuilt (with the
+/// index) after every register/drop.
+#[derive(Default)]
+struct DispatchTable {
+    /// Query slots dispatched unconditionally (running, no indexable
+    /// groups). These are inherently O(queries) per row — such a query
+    /// wants every row anyway.
+    always: Vec<u32>,
+    /// Per query slot: how many conjunct groups must hit (0 for
+    /// always/finished queries).
+    group_count: Vec<u32>,
+    /// Per needle id: the (query slot, flat group slot) pairs that
+    /// needle satisfies.
+    needle_subs: Vec<Vec<(u32, u32)>>,
+    /// Row stamp marking `sat` valid for the current row.
+    q_mark: Vec<u64>,
+    /// Satisfied-group count for the current row.
+    sat: Vec<u32>,
+    /// Row stamp marking a flat group slot as already counted.
+    g_mark: Vec<u64>,
+    /// Monotone per-row version; never reset, so stale marks can't
+    /// collide across batches or rebuilds.
+    stamp: u64,
+}
+
+impl DispatchTable {
+    /// Rebuild slot assignments from the current query set.
+    fn rebuild(&mut self, queries: &[HostQuery], needle_count: usize) {
+        self.always.clear();
+        self.group_count.clear();
+        self.group_count.resize(queries.len(), 0);
+        self.needle_subs.clear();
+        self.needle_subs.resize(needle_count, Vec::new());
+        let mut flat_groups = 0u32;
+        for (slot, q) in queries.iter().enumerate() {
+            if q.state != QueryState::Running {
+                continue;
+            }
+            match &q.groups {
+                None => self.always.push(slot as u32),
+                Some(groups) => {
+                    self.group_count[slot] = groups.len() as u32;
+                    for group in groups {
+                        let g = flat_groups;
+                        flat_groups += 1;
+                        for &needle in group {
+                            self.needle_subs[needle as usize].push((slot as u32, g));
+                        }
+                    }
+                }
+            }
+        }
+        self.q_mark.clear();
+        self.q_mark.resize(queries.len(), 0);
+        self.sat.clear();
+        self.sat.resize(queries.len(), 0);
+        self.g_mark.clear();
+        self.g_mark.resize(flat_groups as usize, 0);
+    }
+}
+
+/// A long-running multi-query host over one shared firehose connection.
+///
+/// ```ignore
+/// let mut host = Engine::builder(api).build_host();
+/// let id = host.register("SELECT text FROM twitter WHERE text contains 'obama'")?;
+/// let sub = host.subscribe(id)?;
+/// host.pump_until(Timestamp::from_mins(5))?;
+/// for row in sub.poll() { /* ... */ }
+/// host.drop_query(id)?;
+/// ```
+pub struct QueryHost {
+    config: EngineConfig,
+    api: StreamingApi,
+    clock: Arc<VirtualClock>,
+    catalog: Catalog,
+    registry_fns: Vec<RegistryFn>,
+    metrics: MetricsRegistry,
+    tracer: Option<Tracer>,
+    source: Option<SupervisedSource>,
+    peeked: Option<SourceEvent>,
+    exhausted: bool,
+    next_id: u64,
+    queries: Vec<HostQuery>,
+    filter_index: FilterIndex,
+    dispatch: DispatchTable,
+    prefilter: bool,
+    batch: TweetBatch,
+    cache: RowCache,
+    selected: Vec<bool>,
+    /// Slots whose `sel` is non-empty for the batch being flushed;
+    /// empty between flushes (so register/drop slot shifts stay sound).
+    active: Vec<u32>,
+    /// Cached: any running query reacts to punctuation (see
+    /// [`QueryHost::rebuild_index`]).
+    any_ts: bool,
+    next_wm: Option<Timestamp>,
+    position: Timestamp,
+    stats: HostStats,
+    host_metrics_published: bool,
+}
+
+impl QueryHost {
+    /// Assemble from a configured [`EngineBuilder`] (the public entry
+    /// point is [`EngineBuilder::build_host`]).
+    pub(crate) fn from_builder(b: EngineBuilder) -> QueryHost {
+        let clock = b.api.clock();
+        let mut catalog = Catalog::with_twitter();
+        for (name, schema) in b.streams {
+            catalog.register(&name, schema);
+        }
+        QueryHost {
+            config: b.config,
+            api: b.api,
+            clock,
+            catalog,
+            registry_fns: b.registry_fns,
+            metrics: b.metrics.unwrap_or_default(),
+            tracer: b.trace.map(Tracer::new),
+            source: None,
+            peeked: None,
+            exhausted: false,
+            next_id: 0,
+            queries: Vec::new(),
+            filter_index: FilterIndex::default(),
+            dispatch: DispatchTable::default(),
+            prefilter: true,
+            batch: TweetBatch::new(),
+            cache: RowCache::new(),
+            selected: Vec::new(),
+            active: Vec::new(),
+            any_ts: false,
+            next_wm: None,
+            position: Timestamp::ZERO,
+            stats: HostStats::default(),
+            host_metrics_published: false,
+        }
+    }
+
+    // ---- session/catalog layer -------------------------------------
+
+    /// Register a standing query; it sees every stream event from the
+    /// current position on. Errors on parse/check/plan failure and on
+    /// join queries (a shared-scan host has one connection; run joins
+    /// through [`crate::engine::Engine::execute`]).
+    pub fn register(&mut self, sql: &str) -> Result<QueryId, QueryError> {
+        // Flush buffered rows first: the new query starts at a clean
+        // batch boundary and never sees pre-registration tweets.
+        self.flush_batch()?;
+        let stmt = parse(sql)?;
+        // A private registry + geo service per query: stateful UDFs,
+        // service caches, and breaker state are never shared across
+        // queries or registrations (fresh-state-on-re-register).
+        let geo = SharedGeoService::new(&self.config.service, Arc::clone(&self.clock));
+        let mut registry =
+            Registry::standard_with_geo(&self.config.service, Arc::clone(&self.clock), geo.clone());
+        for f in &self.registry_fns {
+            f(&mut registry);
+        }
+        let diags = crate::check::check(&stmt, &self.catalog, &registry);
+        if diags.iter().any(|d| d.is_error()) {
+            let errors: Vec<_> = diags.into_iter().filter(|d| d.is_error()).collect();
+            return Err(QueryError::Check(crate::check::render_all(&errors, sql)));
+        }
+        let mut planned = plan(&stmt, &self.catalog, &registry, &self.plan_config())?;
+        if planned.join.is_some() {
+            return Err(QueryError::Plan(
+                "standing joins are not supported on a shared-scan host; \
+                 run join queries through Engine::execute"
+                    .into(),
+            ));
+        }
+        planned.warnings = diags;
+        self.next_id += 1;
+        let id = QueryId::new(self.next_id);
+        let now = self.clock.now();
+        planned
+            .pipeline
+            .attach_obs(None, &self.metrics, now.millis());
+        let span = self
+            .tracer
+            .as_ref()
+            .map(|t| t.start(SpanKind::Query, "standing", None, now.millis()));
+        let time_sensitive = planned.pipeline.time_sensitive();
+        self.queries.push(HostQuery {
+            id,
+            sql: sql.to_string(),
+            planned,
+            time_sensitive,
+            groups: None,
+            state: QueryState::Running,
+            sel: Vec::new(),
+            scratch_in: Vec::new(),
+            scratch_out: Vec::new(),
+            pending: Vec::new(),
+            subs: Vec::new(),
+            rows_in: 0,
+            rows_out: 0,
+            registered_at: now,
+            geo,
+            metrics: self.metrics.clone(),
+            tracer: self.tracer.clone(),
+            span,
+            retired: false,
+        });
+        self.rebuild_index();
+        Ok(id)
+    }
+
+    /// Drop a query: finish its pipeline (final aggregate windows) and
+    /// return everything it had pending plus the finish output.
+    pub fn drop_query(&mut self, id: QueryId) -> Result<Vec<Record>, QueryError> {
+        self.flush_batch()?;
+        let idx = self
+            .queries
+            .iter()
+            .position(|q| q.id == id)
+            .ok_or_else(|| QueryError::UnknownQuery(id.to_string()))?;
+        let mut q = self.queries.remove(idx);
+        self.rebuild_index();
+        q.finish()?;
+        Ok(std::mem::take(&mut q.pending))
+    }
+
+    /// Every registered query, in registration order.
+    pub fn list(&self) -> Vec<QueryInfo> {
+        self.queries
+            .iter()
+            .map(|q| QueryInfo {
+                id: q.id,
+                sql: q.sql.clone(),
+                state: q.state,
+                rows_in: q.rows_in,
+                rows_out: q.rows_out,
+                registered_at: q.registered_at,
+                indexed: q.groups.is_some(),
+            })
+            .collect()
+    }
+
+    /// Subscribe to a query's result stream: rows emitted after this
+    /// call are pushed into the returned handle's queue (in addition to
+    /// the host-side pending buffer read by [`QueryHost::take_output`]).
+    pub fn subscribe(&mut self, id: QueryId) -> Result<Subscription, QueryError> {
+        let q = self.query_mut(id)?;
+        let queue = Arc::new(Mutex::new(VecDeque::new()));
+        q.subs.push(Arc::clone(&queue));
+        Ok(Subscription {
+            id,
+            schema: q.planned.output_schema.clone(),
+            queue,
+        })
+    }
+
+    /// Drain the query's pending output buffer.
+    pub fn take_output(&mut self, id: QueryId) -> Result<Vec<Record>, QueryError> {
+        let q = self.query_mut(id)?;
+        Ok(std::mem::take(&mut q.pending))
+    }
+
+    /// The query's output schema.
+    pub fn schema(&self, id: QueryId) -> Result<SchemaRef, QueryError> {
+        self.query(id).map(|q| q.planned.output_schema.clone())
+    }
+
+    /// The query's static warnings and optimizer notices.
+    pub fn diagnostics(&self, id: QueryId) -> Result<Diagnostics, QueryError> {
+        self.query(id).map(|q| Diagnostics {
+            warnings: q.planned.warnings.clone(),
+            notices: q.planned.notices.clone(),
+        })
+    }
+
+    // ---- stream driving --------------------------------------------
+
+    /// Pump stream events with event time `<= until` through the
+    /// dispatcher. Returns the number of tweets delivered by this call.
+    /// Stops early when the stream is exhausted.
+    pub fn pump_until(&mut self, until: Timestamp) -> Result<u64, QueryError> {
+        let before = self.stats.tweets_delivered;
+        while let Some(ev) = self.next_event() {
+            let at = match &ev {
+                SourceEvent::Tweet(t) => t.created_at,
+                SourceEvent::Gap { from, .. } => *from,
+            };
+            if at > until {
+                self.peeked = Some(ev);
+                break;
+            }
+            self.pump_event(ev)?;
+        }
+        if self.exhausted {
+            self.finish_stream()?;
+        } else {
+            // Drain the batch tail to pollers: with no time-sensitive
+            // queries there may have been no watermark flush since the
+            // last batch_size boundary.
+            self.flush_batch()?;
+        }
+        Ok(self.stats.tweets_delivered - before)
+    }
+
+    /// Pump the whole remaining stream, then finish every running
+    /// query. Returns the number of tweets delivered by this call.
+    pub fn run_to_end(&mut self) -> Result<u64, QueryError> {
+        let before = self.stats.tweets_delivered;
+        while let Some(ev) = self.next_event() {
+            self.pump_event(ev)?;
+        }
+        self.finish_stream()?;
+        Ok(self.stats.tweets_delivered - before)
+    }
+
+    /// High-water stream time of the events processed so far.
+    pub fn position(&self) -> Timestamp {
+        self.position
+    }
+
+    /// Dispatcher statistics so far.
+    pub fn stats(&self) -> HostStats {
+        self.stats
+    }
+
+    /// Distinct needles in the common-filter index.
+    pub fn needle_count(&self) -> usize {
+        self.filter_index.needle_count()
+    }
+
+    /// Toggle the common-filter prefilter (on by default). With it off
+    /// every row is dispatched to every query — the reference mode the
+    /// prefilter is differentially tested against.
+    pub fn prefilter(&mut self, on: bool) {
+        self.prefilter = on;
+    }
+
+    /// Shared-source connection and supervisor statistics (None until
+    /// the first pump).
+    pub fn source_stats(&self) -> Option<(ConnectionStats, SourceFaultStats)> {
+        self.source.as_ref().map(|s| (s.stats(), s.fault_stats()))
+    }
+
+    /// The metrics registry the host and its queries publish into.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The host's clock (shared with the streaming API).
+    pub fn clock(&self) -> Arc<VirtualClock> {
+        Arc::clone(&self.clock)
+    }
+
+    // ---- internals --------------------------------------------------
+
+    fn plan_config(&self) -> PlanConfig {
+        PlanConfig {
+            use_eddy: self.config.use_eddy,
+            compile_exprs: self.config.compile_exprs,
+            optimize: self.config.optimize_plans,
+            selectivity_hints: Vec::new(),
+            async_max_batch: self.config.async_max_batch,
+            async_max_delay: self.config.async_max_delay,
+            default_join_window: Duration::from_mins(5),
+        }
+    }
+
+    fn query(&self, id: QueryId) -> Result<&HostQuery, QueryError> {
+        self.queries
+            .iter()
+            .find(|q| q.id == id)
+            .ok_or_else(|| QueryError::UnknownQuery(id.to_string()))
+    }
+
+    fn query_mut(&mut self, id: QueryId) -> Result<&mut HostQuery, QueryError> {
+        self.queries
+            .iter_mut()
+            .find(|q| q.id == id)
+            .ok_or_else(|| QueryError::UnknownQuery(id.to_string()))
+    }
+
+    /// Rebuild the common-filter index and the union liveness mask
+    /// after any register/drop. Runs on an empty batch (callers flush
+    /// first), so the mask change never splits a batch's decode.
+    fn rebuild_index(&mut self) {
+        let mut b = IndexBuilder::new();
+        for q in &mut self.queries {
+            q.groups = (q.state == QueryState::Running)
+                .then(|| b.groups_for(&q.planned.api_candidates))
+                .flatten();
+        }
+        self.filter_index = b.finish();
+        self.dispatch
+            .rebuild(&self.queries, self.filter_index.needle_count());
+        // Union of per-query live-column masks: any query without a
+        // mask (or no queries at all) decodes everything.
+        let mut acc: Option<Vec<bool>> = None;
+        let mut any_full = self.queries.is_empty();
+        for q in &self.queries {
+            if q.state != QueryState::Running {
+                continue;
+            }
+            match &q.planned.live_columns {
+                None => {
+                    any_full = true;
+                    break;
+                }
+                Some(m) => match &mut acc {
+                    None => acc = Some(m.to_vec()),
+                    Some(a) => {
+                        for (ai, mi) in a.iter_mut().zip(m.iter()) {
+                            *ai |= *mi;
+                        }
+                    }
+                },
+            }
+        }
+        let union: Option<Arc<[bool]>> = if any_full { None } else { acc.map(Into::into) };
+        self.batch.set_live(union);
+        // Cached punctuation interest: re-scanning the query list at
+        // every watermark crossing would put an O(registered) term back
+        // into the per-second hot path. A time-sensitive query that
+        // finishes mid-stream leaves the flag conservatively true until
+        // the next register/drop — the broadcast re-checks per query.
+        self.any_ts = self
+            .queries
+            .iter()
+            .any(|q| q.state == QueryState::Running && q.time_sensitive);
+    }
+
+    fn ensure_source(&mut self) {
+        if self.source.is_none() && !self.exhausted {
+            self.source = Some(SupervisedSource::new(
+                self.api.clone(),
+                FilterSpec::Sample(1.0),
+                self.config.fault.clone(),
+                self.config.retry.clone(),
+                self.config.seed,
+            ));
+        }
+    }
+
+    fn next_event(&mut self) -> Option<SourceEvent> {
+        if let Some(e) = self.peeked.take() {
+            return Some(e);
+        }
+        self.ensure_source();
+        match self.source.as_mut()?.next() {
+            Some(e) => Some(e),
+            None => {
+                self.exhausted = true;
+                None
+            }
+        }
+    }
+
+    /// Process one stream event with the serial engine's exact cadence:
+    /// flush before gaps and watermark boundaries, emit every crossed
+    /// boundary, flush when the batch fills.
+    fn pump_event(&mut self, event: SourceEvent) -> Result<(), QueryError> {
+        let wm_interval = self.config.watermark_interval;
+        let batch_size = self.config.batch_size.max(1);
+        match event {
+            SourceEvent::Gap { from, to } => {
+                self.position = self.position.max(to);
+                self.stats.gaps += 1;
+                // Punctuation only matters to time-sensitive pipelines;
+                // with none registered, rows keep their order through
+                // the regular batch_size flushes, so skipping the flush
+                // here is output-invariant.
+                if self.any_ts {
+                    self.flush_batch()?;
+                    let workers = self.config.workers.max(1);
+                    Self::for_each(&mut self.queries, workers, &|q| {
+                        if q.state != QueryState::Running || !q.time_sensitive {
+                            return Ok(());
+                        }
+                        q.planned.pipeline.gap(from, to, &mut q.scratch_out)?;
+                        q.deliver();
+                        q.check_done()
+                    })?;
+                }
+            }
+            SourceEvent::Tweet(tweet) => {
+                let ts = tweet.created_at;
+                self.position = self.position.max(ts);
+                if let Some(wm) = self.next_wm {
+                    if ts >= wm {
+                        let last = ts.truncate(wm_interval);
+                        if self.any_ts {
+                            self.flush_batch()?;
+                            let mut boundaries = Vec::new();
+                            let mut boundary = wm;
+                            while boundary <= last {
+                                boundaries.push(boundary);
+                                boundary += wm_interval;
+                            }
+                            self.stats.watermarks += boundaries.len() as u64;
+                            let workers = self.config.workers.max(1);
+                            Self::for_each(&mut self.queries, workers, &|q| {
+                                if q.state != QueryState::Running || !q.time_sensitive {
+                                    return Ok(());
+                                }
+                                for &b in &boundaries {
+                                    q.planned.pipeline.watermark(b, &mut q.scratch_out)?;
+                                }
+                                q.deliver();
+                                q.check_done()
+                            })?;
+                        } else {
+                            // Same boundary count as the broadcast
+                            // path, without materializing or flushing
+                            // (see the gap arm for why that's sound).
+                            let crossed =
+                                (last.millis() - wm.millis()) / wm_interval.millis().max(1) + 1;
+                            self.stats.watermarks += crossed as u64;
+                        }
+                    }
+                }
+                self.next_wm = Some(ts.truncate(wm_interval) + wm_interval);
+                self.batch.push(tweet);
+                self.stats.tweets_delivered += 1;
+                if self.batch.len() >= batch_size {
+                    self.flush_batch()?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Dispatch the buffered batch: one prefilter scan per row, one
+    /// decode per candidate row, per-query `Arc`-clone fan-out.
+    fn flush_batch(&mut self) -> Result<(), QueryError> {
+        let n = self.batch.len();
+        if n == 0 {
+            return Ok(());
+        }
+        self.stats.batches += 1;
+        // ---- select: which rows does each query want? ----
+        // Invariant: every `sel` and the `active` slot list are empty
+        // between flushes. Selection records a slot in `active` the
+        // moment its `sel` first becomes non-empty, so the union,
+        // dispatch, and cleanup phases below cost O(queries that
+        // matched) rather than O(queries registered).
+        let use_index = self.prefilter && !self.filter_index.is_empty();
+        if use_index {
+            let QueryHost {
+                ref mut filter_index,
+                ref mut dispatch,
+                ref mut queries,
+                ref mut active,
+                ref batch,
+                ..
+            } = *self;
+            let DispatchTable {
+                ref always,
+                ref group_count,
+                ref needle_subs,
+                ref mut q_mark,
+                ref mut sat,
+                ref mut g_mark,
+                ref mut stamp,
+            } = *dispatch;
+            // A non-empty batch hands every needle-free query at least
+            // one row, so their slots go straight onto the active list.
+            active.extend_from_slice(always);
+            for (i, t) in batch.tweets().iter().enumerate() {
+                filter_index.match_row(&t.text);
+                *stamp += 1;
+                for &nid in filter_index.touched() {
+                    for &(q, g) in &needle_subs[nid as usize] {
+                        let (q, g) = (q as usize, g as usize);
+                        if g_mark[g] == *stamp {
+                            continue;
+                        }
+                        g_mark[g] = *stamp;
+                        if q_mark[q] != *stamp {
+                            q_mark[q] = *stamp;
+                            sat[q] = 0;
+                        }
+                        sat[q] += 1;
+                        if sat[q] == group_count[q] {
+                            if queries[q].sel.is_empty() {
+                                active.push(q as u32);
+                            }
+                            queries[q].sel.push(i as u32);
+                        }
+                    }
+                }
+                for &q in always {
+                    queries[q as usize].sel.push(i as u32);
+                }
+            }
+        } else {
+            let QueryHost {
+                ref mut queries,
+                ref mut active,
+                ..
+            } = *self;
+            for (slot, q) in queries.iter_mut().enumerate() {
+                if q.state != QueryState::Running {
+                    continue;
+                }
+                q.sel.extend(0..n as u32);
+                active.push(slot as u32);
+            }
+        }
+        // ---- materialize the union of selected rows, once ----
+        self.cache.begin(n);
+        let decoded_before = self.cache.decoded();
+        self.selected.clear();
+        self.selected.resize(n, false);
+        for &slot in &self.active {
+            for &i in &self.queries[slot as usize].sel {
+                self.selected[i as usize] = true;
+            }
+        }
+        for i in 0..n {
+            if self.selected[i] {
+                let _ = self.cache.get(&self.batch, i);
+            }
+        }
+        // ---- dispatch: shard queries across host workers ----
+        let dispatched: u64 = self
+            .active
+            .iter()
+            .map(|&slot| self.queries[slot as usize].sel.len() as u64)
+            .sum();
+        let workers = self.config.workers.max(1);
+        let result = if self.active.is_empty() {
+            Ok(())
+        } else {
+            let cache = &self.cache;
+            let op = |q: &mut HostQuery| -> Result<(), QueryError> {
+                if q.state != QueryState::Running || q.sel.is_empty() {
+                    return Ok(());
+                }
+                q.scratch_in.clear();
+                q.scratch_in.extend(q.sel.iter().map(|&i| {
+                    cache
+                        .peek(i as usize)
+                        .cloned()
+                        .expect("selected row materialized")
+                }));
+                q.rows_in += q.scratch_in.len() as u64;
+                q.planned
+                    .pipeline
+                    .push_batch(&mut q.scratch_in, &mut q.scratch_out)?;
+                q.deliver();
+                q.check_done()
+            };
+            if workers <= 1 {
+                // Serial: visit only the slots that matched.
+                let mut r = Ok(());
+                for &slot in &self.active {
+                    r = op(&mut self.queries[slot as usize]);
+                    if r.is_err() {
+                        break;
+                    }
+                }
+                r
+            } else {
+                // Sharded threads need disjoint `&mut` chunks, so the
+                // full scan stays; idle slots return at the `sel`
+                // emptiness check above.
+                Self::for_each(&mut self.queries, workers, &op)
+            }
+        };
+        let decoded = self.cache.decoded() - decoded_before;
+        self.stats.rows_dispatched += dispatched;
+        self.stats.rows_decoded += decoded;
+        self.stats.rows_shared += dispatched.saturating_sub(decoded);
+        self.batch.reset();
+        // Restore the between-flush invariant even on error: register
+        // and drop flush first, and `Vec::remove` shifts slot indices,
+        // so a stale `active` entry or `sel` row would be unsound.
+        for &slot in &self.active {
+            self.queries[slot as usize].sel.clear();
+        }
+        self.active.clear();
+        result
+    }
+
+    /// End of stream: flush, finish every running query, publish host
+    /// metrics. Idempotent.
+    fn finish_stream(&mut self) -> Result<(), QueryError> {
+        self.flush_batch()?;
+        let workers = self.config.workers.max(1);
+        Self::for_each(&mut self.queries, workers, &|q| {
+            if q.state == QueryState::Running {
+                q.finish()?;
+            }
+            Ok(())
+        })?;
+        self.publish_host_metrics();
+        Ok(())
+    }
+
+    fn publish_host_metrics(&mut self) {
+        if self.host_metrics_published {
+            return;
+        }
+        self.host_metrics_published = true;
+        let m = &self.metrics;
+        m.counter("tweeql_host_tweets_total", &[])
+            .add(self.stats.tweets_delivered);
+        m.counter("tweeql_host_rows_dispatched_total", &[])
+            .add(self.stats.rows_dispatched);
+        m.counter("tweeql_host_rows_decoded_total", &[])
+            .add(self.stats.rows_decoded);
+        m.counter("tweeql_host_rows_shared_total", &[])
+            .add(self.stats.rows_shared);
+        m.gauge("tweeql_host_prefilter_needles", &[])
+            .set(self.filter_index.needle_count() as i64);
+    }
+
+    /// Apply `op` to every query, sharded across up to `workers`
+    /// scoped threads (serial when `workers == 1`). Pipelines are
+    /// independent, so per-query outputs are identical at any worker
+    /// count; the first error (in shard order) wins.
+    fn for_each(
+        queries: &mut [HostQuery],
+        workers: usize,
+        op: &(dyn Fn(&mut HostQuery) -> Result<(), QueryError> + Sync),
+    ) -> Result<(), QueryError> {
+        if workers <= 1 || queries.len() <= 1 {
+            for q in queries.iter_mut() {
+                op(q)?;
+            }
+            return Ok(());
+        }
+        let shards = workers.min(queries.len());
+        let chunk = queries.len().div_ceil(shards);
+        let mut first_err: Option<QueryError> = None;
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(shards);
+            for shard in queries.chunks_mut(chunk) {
+                handles.push(s.spawn(move || -> Result<(), QueryError> {
+                    for q in shard.iter_mut() {
+                        op(q)?;
+                    }
+                    Ok(())
+                }));
+            }
+            for h in handles {
+                let res = h.join().unwrap_or_else(|_| {
+                    Err(QueryError::Exec("host dispatch worker panicked".into()))
+                });
+                if let Err(e) = res {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        });
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+}

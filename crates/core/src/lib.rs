@@ -48,12 +48,16 @@ pub mod engine;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod host;
 pub mod lexer;
 pub mod parser;
 pub mod plan;
+pub mod prelude;
 pub mod selectivity;
 pub mod sink;
 pub mod udf;
 
 pub use engine::{Diagnostics, Engine, EngineBuilder, EngineConfig, Explanation, QueryResult};
 pub use error::QueryError;
+pub use host::{HostStats, QueryHost, QueryInfo, QueryState, Subscription};
+pub use tweeql_obs::QueryId;

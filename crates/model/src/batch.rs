@@ -646,6 +646,71 @@ pub fn all_columns() -> [bool; col::COUNT] {
     [true; col::COUNT]
 }
 
+/// A per-batch row materialization cache for multi-consumer dispatch.
+///
+/// When many standing queries read the same [`TweetBatch`], each row a
+/// query wants is decoded into a [`Record`] at most **once** — under the
+/// batch's (union) liveness mask — and subsequent consumers get a cheap
+/// clone: `Record` values are `Arc`-backed, so a clone is reference
+/// bumps, not string copies. This is the "shared batch refcounting" the
+/// standing-query host's decode economics rest on.
+///
+/// The cache is positional and valid for exactly one batch: call
+/// [`RowCache::begin`] before each dispatch round.
+#[derive(Debug, Default)]
+pub struct RowCache {
+    rows: Vec<Option<Record>>,
+    decoded: u64,
+    reused: u64,
+}
+
+impl RowCache {
+    /// An empty cache.
+    pub fn new() -> RowCache {
+        RowCache::default()
+    }
+
+    /// Reset for a batch of `n` rows, keeping the slot allocation.
+    pub fn begin(&mut self, n: usize) {
+        self.rows.clear();
+        self.rows.resize(n, None);
+    }
+
+    /// Row `i` of `batch` as a [`Record`], decoding on first access and
+    /// cloning thereafter.
+    pub fn get(&mut self, batch: &TweetBatch, i: usize) -> Record {
+        match &self.rows[i] {
+            Some(r) => {
+                self.reused += 1;
+                r.clone()
+            }
+            None => {
+                self.decoded += 1;
+                let r = batch.record_at(i);
+                self.rows[i] = Some(r.clone());
+                r
+            }
+        }
+    }
+
+    /// Already-materialized row `i`, if any. A shared (`&self`) read for
+    /// fan-out phases that run after every selected row has been
+    /// materialized with [`RowCache::get`]; does not count as a reuse.
+    pub fn peek(&self, i: usize) -> Option<&Record> {
+        self.rows.get(i).and_then(Option::as_ref)
+    }
+
+    /// Rows materialized from scratch since construction.
+    pub fn decoded(&self) -> u64 {
+        self.decoded
+    }
+
+    /// Rows served as clones of an already-materialized record.
+    pub fn reused(&self) -> u64 {
+        self.reused
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -699,6 +764,25 @@ mod tests {
         for (i, t) in b.tweets().iter().enumerate() {
             assert_eq!(b.record_at(i), Record::from_tweet_pruned(t, &live));
         }
+    }
+
+    #[test]
+    fn row_cache_decodes_once_and_clones_after() {
+        let b = batch(10, None);
+        let mut cache = RowCache::new();
+        cache.begin(b.len());
+        // Three consumers read overlapping row sets.
+        for sel in [vec![0usize, 2, 4], vec![2, 4, 6], vec![0, 6]] {
+            for i in sel {
+                assert_eq!(cache.get(&b, i), b.record_at(i));
+            }
+        }
+        assert_eq!(cache.decoded(), 4); // rows 0, 2, 4, 6
+        assert_eq!(cache.reused(), 4);
+        // A new batch invalidates the slots but keeps the counters.
+        cache.begin(b.len());
+        assert_eq!(cache.get(&b, 0), b.record_at(0));
+        assert_eq!(cache.decoded(), 5);
     }
 
     #[test]

@@ -20,8 +20,10 @@
 
 pub mod metrics;
 pub mod profile;
+pub mod query;
 pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use profile::{QueryProfile, StageProfile};
+pub use query::QueryId;
 pub use trace::{JsonlSink, NullSink, Phase, SpanEvent, SpanKind, TraceSink, Tracer, VecSink};

@@ -40,6 +40,8 @@ impl StageProfile {
 /// The full profile of one `execute()` call.
 #[derive(Debug, Clone, Default)]
 pub struct QueryProfile {
+    /// The query's identity within its issuing engine or host.
+    pub query: crate::query::QueryId,
     /// The SQL that ran.
     pub sql: String,
     /// Pushdown decision rendered for humans.
@@ -70,7 +72,7 @@ impl QueryProfile {
     /// `EXPLAIN ANALYZE`-style text table (the REPL's `:stats` body).
     pub fn render_text(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("Query: {}\n", self.sql.trim()));
+        out.push_str(&format!("Query [{}]: {}\n", self.query, self.sql.trim()));
         out.push_str(&format!("Pushdown: {}\n", self.pushdown));
         out.push_str(&format!(
             "Source: {} records decoded, {} disconnect(s), {} gap(s); \
@@ -125,6 +127,7 @@ impl QueryProfile {
         let p2 = " ".repeat(indent + 4);
         let p3 = " ".repeat(indent + 6);
         let mut out = String::from("{\n");
+        out.push_str(&format!("{p1}\"query_id\": {},\n", self.query.raw()));
         out.push_str(&format!("{p1}\"sql\": {:?},\n", self.sql.trim()));
         out.push_str(&format!("{p1}\"pushdown\": {:?},\n", self.pushdown));
         out.push_str(&format!("{p1}\"workers\": {},\n", self.workers));

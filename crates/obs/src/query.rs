@@ -1,0 +1,80 @@
+//! The shared query identity newtype.
+//!
+//! One `QueryId` names a query everywhere it surfaces: engine
+//! statistics, the profiler, metric labels, the standing-query host,
+//! and the wire protocol. Ids render as `q<N>` (`q1`, `q42`) and parse
+//! back from the same form, so a client can echo an id verbatim.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A query's identity, assigned at registration/execution time.
+///
+/// Ids are ordinal within their issuer (an engine or a host), start at
+/// 1, and are never reused — dropping `q3` and re-registering the same
+/// SQL yields a fresh id, which is what makes "fresh state on
+/// re-registration" observable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(u64);
+
+impl QueryId {
+    /// Wrap a raw ordinal.
+    pub const fn new(n: u64) -> QueryId {
+        QueryId(n)
+    }
+
+    /// The raw ordinal.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The metric-label form (`q3`) — same as `Display`.
+    pub fn label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl FromStr for QueryId {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<QueryId, String> {
+        let digits = s.strip_prefix('q').unwrap_or(s);
+        digits
+            .parse::<u64>()
+            .map(QueryId)
+            .map_err(|_| format!("invalid query id: {s:?} (expected q<N>)"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_parses_round_trip() {
+        let id = QueryId::new(42);
+        assert_eq!(id.to_string(), "q42");
+        assert_eq!("q42".parse::<QueryId>().unwrap(), id);
+        assert_eq!("42".parse::<QueryId>().unwrap(), id);
+        assert_eq!(id.raw(), 42);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!("qx".parse::<QueryId>().is_err());
+        assert!("".parse::<QueryId>().is_err());
+        assert!("q-1".parse::<QueryId>().is_err());
+    }
+
+    #[test]
+    fn orders_by_ordinal() {
+        assert!(QueryId::new(2) < QueryId::new(10));
+        assert_eq!(QueryId::default(), QueryId::new(0));
+    }
+}

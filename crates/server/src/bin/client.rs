@@ -1,0 +1,78 @@
+//! `tweeql-client` — one-shot CLI for the standing-query server.
+//!
+//! ```text
+//! tweeql-client [--port N] <verb> [args...]
+//!
+//! tweeql-client register "SELECT text FROM twitter WHERE text contains 'goal'"
+//! tweeql-client list
+//! tweeql-client step 120
+//! tweeql-client poll q1
+//! tweeql-client drop q1
+//! tweeql-client shutdown
+//! ```
+//!
+//! Prints the response detail and body to stdout; exits non-zero when
+//! the server answers `ERR` (the message goes to stderr).
+
+use std::process::ExitCode;
+use tweeql_server::client::Client;
+use tweeql_server::protocol::Request;
+
+fn main() -> ExitCode {
+    let mut port = 7878u16;
+    let mut words: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--port" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(p) => port = p,
+                None => {
+                    eprintln!("--port needs a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: tweeql-client [--port N] <verb> [args...]");
+                return ExitCode::FAILURE;
+            }
+            _ => words.push(a),
+        }
+    }
+    if words.is_empty() {
+        eprintln!("usage: tweeql-client [--port N] <verb> [args...]");
+        return ExitCode::FAILURE;
+    }
+    let req = match Request::parse(&words.join(" ")) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut client = match Client::connect(port) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("connect to 127.0.0.1:{port} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match client.request(&req) {
+        Ok(resp) if resp.ok => {
+            if !resp.detail.is_empty() {
+                println!("{}", resp.detail);
+            }
+            for line in &resp.body {
+                println!("{line}");
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(resp) => {
+            eprintln!("{}", resp.detail);
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("request failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! # tweeql-server
+//!
+//! A standing-query server over one [`QueryHost`]: clients register
+//! TweeQL queries, the host keeps them all fed from a single shared
+//! firehose connection, and clients poll results — the deployment shape
+//! of the paper's "standing queries producing structured data for
+//! downstream applications".
+//!
+//! The crate ships two binaries:
+//!
+//! * `tweeql-server` — binds a local TCP port, owns the host, and
+//!   answers the line protocol in [`protocol`]. Connections are served
+//!   sequentially: the host is the single point of stream progress, so
+//!   there is nothing to parallelize at the session layer (per-query
+//!   dispatch already shards across host workers).
+//! * `tweeql-client` — a one-shot CLI: renders its arguments as a
+//!   request line, prints the response, exits non-zero on `ERR`.
+//!
+//! ```text
+//! $ tweeql-server --scenario soccer --port 7878 &
+//! LISTENING 7878
+//! $ tweeql-client --port 7878 register "SELECT text FROM twitter WHERE text contains 'goal'"
+//! q1
+//! $ tweeql-client --port 7878 step 120
+//! tweets=163 position=120000
+//! $ tweeql-client --port 7878 poll q1
+//! {"text":"GOAL what a strike"}
+//! ...
+//! ```
+
+pub mod client;
+pub mod protocol;
+
+use protocol::{Request, Response};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use tweeql::prelude::*;
+use tweeql::sink;
+use tweeql_firehose::{generate, scenarios, StreamingApi};
+use tweeql_model::{Duration, VirtualClock};
+
+/// Executes protocol requests against a [`QueryHost`]. Transport-free:
+/// the TCP loop ([`serve`]) and tests drive the same entry point.
+pub struct Service {
+    host: QueryHost,
+}
+
+impl Service {
+    /// Wrap a host.
+    pub fn new(host: QueryHost) -> Service {
+        Service { host }
+    }
+
+    /// The wrapped host (tests inspect dispatcher stats through this).
+    pub fn host(&self) -> &QueryHost {
+        &self.host
+    }
+
+    /// Execute one request. Never panics on user input: every failure
+    /// becomes an `ERR` frame.
+    pub fn handle(&mut self, req: Request) -> Response {
+        match self.execute(req) {
+            Ok(r) => r,
+            Err(e) => Response::err(e.to_string()),
+        }
+    }
+
+    fn execute(&mut self, req: Request) -> Result<Response, QueryError> {
+        Ok(match req {
+            Request::Register(sql) => Response::ok(self.host.register(&sql)?.to_string()),
+            Request::Drop(id) => {
+                let schema = self.host.schema(id)?;
+                let rows = self.host.drop_query(id)?;
+                Response::with_body(id.to_string(), json_rows(&schema, &rows))
+            }
+            Request::List => {
+                let body: Vec<String> = self
+                    .host
+                    .list()
+                    .iter()
+                    .map(|q| {
+                        format!(
+                            "{} {} rows_in={} rows_out={} indexed={} {}",
+                            q.id, q.state, q.rows_in, q.rows_out, q.indexed, q.sql
+                        )
+                    })
+                    .collect();
+                Response::with_body("queries", body)
+            }
+            Request::Schema(id) => Response::ok(self.host.schema(id)?.names().join(",")),
+            Request::Poll(id) => {
+                let schema = self.host.schema(id)?;
+                let rows = self.host.take_output(id)?;
+                Response::with_body(id.to_string(), json_rows(&schema, &rows))
+            }
+            Request::Step(secs) => {
+                let until = self.host.position() + Duration::from_secs(secs);
+                let n = self.host.pump_until(until)?;
+                Response::ok(format!(
+                    "tweets={n} position={}",
+                    self.host.position().millis()
+                ))
+            }
+            Request::Run => {
+                let n = self.host.run_to_end()?;
+                Response::ok(format!(
+                    "tweets={n} position={}",
+                    self.host.position().millis()
+                ))
+            }
+            Request::Stats => {
+                let s = self.host.stats();
+                Response::ok(format!(
+                    "tweets={} batches={} dispatched={} decoded={} shared={} needles={} position={}",
+                    s.tweets_delivered,
+                    s.batches,
+                    s.rows_dispatched,
+                    s.rows_decoded,
+                    s.rows_shared,
+                    self.host.needle_count(),
+                    self.host.position().millis()
+                ))
+            }
+            Request::Ping => Response::ok("pong"),
+            Request::Shutdown => Response::ok("bye"),
+        })
+    }
+}
+
+/// One JSON object per row, split into protocol body lines.
+fn json_rows(schema: &tweeql_model::SchemaRef, rows: &[tweeql_model::Record]) -> Vec<String> {
+    if rows.is_empty() {
+        return Vec::new();
+    }
+    sink::to_json_lines(schema, rows)
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+/// Build a host over a named canned scenario (see
+/// [`tweeql_firehose::scenarios::all`]).
+pub fn scenario_host(name: &str, seed: u64, workers: usize) -> Result<QueryHost, String> {
+    let scenario = scenarios::all()
+        .into_iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(name) || n.starts_with(name))
+        .map(|(_, s)| s)
+        .ok_or_else(|| {
+            let names: Vec<_> = scenarios::all()
+                .iter()
+                .map(|(n, _)| n.to_string())
+                .collect();
+            format!("unknown scenario {name:?}; have: {}", names.join(", "))
+        })?;
+    let api = StreamingApi::new(generate(&scenario, seed), VirtualClock::new());
+    Ok(Engine::builder(api)
+        .workers(workers)
+        .seed(seed)
+        .build_host())
+}
+
+/// Accept connections sequentially until a client sends `SHUTDOWN`.
+pub fn serve(listener: TcpListener, service: &mut Service) -> io::Result<()> {
+    for stream in listener.incoming() {
+        if handle_connection(stream?, service)? {
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+/// Serve one connection to disconnect; true means shutdown was asked.
+fn handle_connection(stream: TcpStream, service: &mut Service) -> io::Result<bool> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(false);
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = match Request::parse(&line) {
+            Ok(req) => {
+                let shutdown = req == Request::Shutdown;
+                (service.handle(req), shutdown)
+            }
+            Err(e) => (Response::err(e), false),
+        };
+        writer.write_all(response.render().as_bytes())?;
+        writer.flush()?;
+        if shutdown {
+            return Ok(true);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tweeql_firehose::scenario::{Scenario, Topic};
+    use tweeql_model::Timestamp;
+
+    fn tiny_service() -> Service {
+        let s = Scenario {
+            name: "tiny".into(),
+            duration: Duration::from_mins(4),
+            background_rate_per_min: 30.0,
+            topics: vec![Topic::new("kw", vec!["kw"], 20.0)],
+            bursts: vec![],
+            geotag_rate: 0.1,
+            population_size: 60,
+        };
+        let api = StreamingApi::new(generate(&s, 5), VirtualClock::new());
+        Service::new(Engine::builder(api).build_host())
+    }
+
+    fn ok(r: Response) -> Response {
+        assert!(r.ok, "{}", r.detail);
+        r
+    }
+
+    #[test]
+    fn service_session_round_trip() {
+        let mut svc = tiny_service();
+        let r = ok(svc.handle(
+            Request::parse("REGISTER SELECT text FROM twitter WHERE text contains 'kw'").unwrap(),
+        ));
+        let id: QueryId = r.detail.parse().unwrap();
+
+        let r = ok(svc.handle(Request::Schema(id)));
+        assert_eq!(r.detail, "text");
+
+        let r = ok(svc.handle(Request::Step(60)));
+        assert!(r.detail.starts_with("tweets="), "{}", r.detail);
+        assert!(svc.host().position() <= Timestamp::from_secs(60));
+
+        let polled = ok(svc.handle(Request::Poll(id)));
+        assert!(!polled.body.is_empty(), "a minute of 'kw' traffic");
+        assert!(polled.body[0].starts_with('{'), "JSON rows");
+
+        let listed = ok(svc.handle(Request::List));
+        assert_eq!(listed.body.len(), 1);
+        assert!(listed.body[0].contains("running"), "{}", listed.body[0]);
+
+        ok(svc.handle(Request::Run));
+        let dropped = ok(svc.handle(Request::Drop(id)));
+        assert!(!dropped.body.is_empty(), "drop returns the tail rows");
+        assert!(ok(svc.handle(Request::List)).body.is_empty());
+
+        let r = svc.handle(Request::Poll(id));
+        assert!(!r.ok, "polling a dropped id is an ERR frame");
+        assert!(r.detail.contains("unknown query"), "{}", r.detail);
+    }
+
+    #[test]
+    fn bad_sql_is_an_err_frame_not_a_crash() {
+        let mut svc = tiny_service();
+        let r = svc.handle(Request::Register("SELECT nope FROM twitter".into()));
+        assert!(!r.ok);
+        assert_eq!(r.render().lines().count(), 1, "diagnostics collapse");
+    }
+
+    #[test]
+    fn tcp_round_trip_and_shutdown() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let port = listener.local_addr().unwrap().port();
+        let server = std::thread::spawn(move || {
+            let mut svc = tiny_service();
+            serve(listener, &mut svc).unwrap();
+        });
+
+        let mut c = client::Client::connect(port).unwrap();
+        let r = c.request(&Request::Ping).unwrap();
+        assert!(r.ok && r.detail == "pong");
+        let r = c
+            .request(&Request::Register(
+                "SELECT text FROM twitter WHERE text contains 'kw'".into(),
+            ))
+            .unwrap();
+        assert!(r.ok);
+        let id: QueryId = r.detail.parse().unwrap();
+        assert!(c.request(&Request::Run).unwrap().ok);
+        let rows = c.request(&Request::Poll(id)).unwrap();
+        assert!(rows.ok && !rows.body.is_empty());
+        // A second connection sees the same session state.
+        drop(c);
+        let mut c2 = client::Client::connect(port).unwrap();
+        let listed = c2.request(&Request::List).unwrap();
+        assert_eq!(listed.body.len(), 1);
+        let r = c2.request(&Request::Shutdown).unwrap();
+        assert!(r.ok && r.detail == "bye");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn scenario_host_lookup() {
+        assert!(scenario_host("soccer", 1, 1).is_ok());
+        let err = match scenario_host("nope", 1, 1) {
+            Err(e) => e,
+            Ok(_) => panic!("bogus scenario accepted"),
+        };
+        assert!(err.contains("unknown scenario"), "{err}");
+    }
+}

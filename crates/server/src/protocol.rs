@@ -1,0 +1,246 @@
+//! The wire protocol: newline-delimited text frames.
+//!
+//! Requests are single lines, verb first:
+//!
+//! ```text
+//! REGISTER <sql>      DROP <id>        LIST           SCHEMA <id>
+//! POLL <id>           STEP <secs>      RUN            STATS
+//! PING                SHUTDOWN
+//! ```
+//!
+//! Every response is a header line plus a counted body:
+//!
+//! ```text
+//! OK <nbody> <detail...>      — success; read <nbody> more lines
+//! ERR 0 <message>             — failure; never carries a body
+//! ```
+//!
+//! The body-line count sits at a fixed position so a client can frame
+//! any response — including ones added by future verbs — without
+//! understanding the detail text. Detail and error text are newline-free
+//! by construction ([`sanitize`]); body lines (query rows) are JSON
+//! objects, one per line.
+
+use std::fmt;
+use tweeql_obs::QueryId;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Register a standing query; responds `OK 0 <id>`.
+    Register(String),
+    /// Drop a query; responds `OK <n> <id>` with its final pending rows.
+    Drop(QueryId),
+    /// List queries; responds `OK <n> queries` with one line per query.
+    List,
+    /// A query's output columns; responds `OK 0 <col,col,...>`.
+    Schema(QueryId),
+    /// Drain a query's pending rows; responds `OK <n> <id>` + JSON rows.
+    Poll(QueryId),
+    /// Advance the stream by whole seconds; responds `OK 0 tweets=<n>`.
+    Step(i64),
+    /// Run the stream to exhaustion; responds `OK 0 tweets=<n>`.
+    Run,
+    /// Host dispatcher statistics; responds `OK 0 key=value ...`.
+    Stats,
+    /// Liveness check; responds `OK 0 pong`.
+    Ping,
+    /// Stop the server after responding `OK 0 bye`.
+    Shutdown,
+}
+
+impl Request {
+    /// Parse one request line. Verbs are case-insensitive.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let line = line.trim();
+        let (verb, rest) = match line.split_once(char::is_whitespace) {
+            Some((v, r)) => (v, r.trim()),
+            None => (line, ""),
+        };
+        let id = |rest: &str, verb: &str| -> Result<QueryId, String> {
+            rest.parse::<QueryId>().map_err(|e| format!("{verb}: {e}"))
+        };
+        match verb.to_ascii_uppercase().as_str() {
+            "REGISTER" if !rest.is_empty() => Ok(Request::Register(rest.to_string())),
+            "REGISTER" => Err("REGISTER needs a query".into()),
+            "DROP" => Ok(Request::Drop(id(rest, "DROP")?)),
+            "LIST" => Ok(Request::List),
+            "SCHEMA" => Ok(Request::Schema(id(rest, "SCHEMA")?)),
+            "POLL" => Ok(Request::Poll(id(rest, "POLL")?)),
+            "STEP" => match rest.parse::<i64>() {
+                Ok(s) if s > 0 => Ok(Request::Step(s)),
+                _ => Err("STEP needs a positive whole-second count".into()),
+            },
+            "RUN" => Ok(Request::Run),
+            "STATS" => Ok(Request::Stats),
+            "PING" => Ok(Request::Ping),
+            "SHUTDOWN" => Ok(Request::Shutdown),
+            other => Err(format!("unknown verb: {other}")),
+        }
+    }
+}
+
+impl fmt::Display for Request {
+    /// The exact line a client sends (no trailing newline).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Request::Register(sql) => write!(f, "REGISTER {}", sanitize(sql)),
+            Request::Drop(id) => write!(f, "DROP {id}"),
+            Request::List => write!(f, "LIST"),
+            Request::Schema(id) => write!(f, "SCHEMA {id}"),
+            Request::Poll(id) => write!(f, "POLL {id}"),
+            Request::Step(s) => write!(f, "STEP {s}"),
+            Request::Run => write!(f, "RUN"),
+            Request::Stats => write!(f, "STATS"),
+            Request::Ping => write!(f, "PING"),
+            Request::Shutdown => write!(f, "SHUTDOWN"),
+        }
+    }
+}
+
+/// A framed server response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Success or failure.
+    pub ok: bool,
+    /// Newline-free detail text (id, counts, error message, ...).
+    pub detail: String,
+    /// Counted body lines following the header.
+    pub body: Vec<String>,
+}
+
+impl Response {
+    /// A bodyless success.
+    pub fn ok(detail: impl Into<String>) -> Response {
+        Response {
+            ok: true,
+            detail: sanitize(&detail.into()),
+            body: Vec::new(),
+        }
+    }
+
+    /// A success carrying body lines.
+    pub fn with_body(detail: impl Into<String>, body: Vec<String>) -> Response {
+        Response {
+            ok: true,
+            detail: sanitize(&detail.into()),
+            body,
+        }
+    }
+
+    /// A failure (errors never carry a body).
+    pub fn err(message: impl Into<String>) -> Response {
+        Response {
+            ok: false,
+            detail: sanitize(&message.into()),
+            body: Vec::new(),
+        }
+    }
+
+    /// Render the full frame, every line newline-terminated.
+    pub fn render(&self) -> String {
+        let status = if self.ok { "OK" } else { "ERR" };
+        let mut s = format!("{status} {} {}\n", self.body.len(), self.detail);
+        for line in &self.body {
+            s.push_str(&sanitize(line));
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Parse a header line; the caller reads the returned body-line
+    /// count off the stream afterwards.
+    pub fn parse_header(line: &str) -> Result<(bool, usize, String), String> {
+        let mut parts = line.trim_end().splitn(3, ' ');
+        let status = parts.next().unwrap_or_default();
+        let ok = match status {
+            "OK" => true,
+            "ERR" => false,
+            other => return Err(format!("bad response status: {other:?}")),
+        };
+        let n = parts
+            .next()
+            .and_then(|s| s.parse::<usize>().ok())
+            .ok_or_else(|| format!("bad response frame: {line:?}"))?;
+        Ok((ok, n, parts.next().unwrap_or_default().to_string()))
+    }
+}
+
+/// Collapse newlines so any text fits a single protocol line.
+pub fn sanitize(s: &str) -> String {
+    if s.contains(['\n', '\r']) {
+        s.replace(['\n', '\r'], " ")
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_render_and_parse() {
+        let cases = vec![
+            Request::Register("SELECT text FROM twitter WHERE text contains 'kw'".into()),
+            Request::Drop(QueryId::new(3)),
+            Request::List,
+            Request::Schema(QueryId::new(1)),
+            Request::Poll(QueryId::new(7)),
+            Request::Step(30),
+            Request::Run,
+            Request::Stats,
+            Request::Ping,
+            Request::Shutdown,
+        ];
+        for req in cases {
+            let line = req.to_string();
+            assert_eq!(Request::parse(&line).unwrap(), req, "{line}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(Request::parse("").is_err());
+        assert!(Request::parse("REGISTER").is_err());
+        assert!(Request::parse("DROP xyz").is_err());
+        assert!(Request::parse("STEP -5").is_err());
+        assert!(Request::parse("STEP now").is_err());
+        assert!(Request::parse("FLY q1").is_err());
+    }
+
+    #[test]
+    fn verbs_are_case_insensitive_and_ids_flexible() {
+        assert_eq!(
+            Request::parse("drop 4").unwrap(),
+            Request::Drop(QueryId::new(4))
+        );
+        assert_eq!(
+            Request::parse("Poll q9").unwrap(),
+            Request::Poll(QueryId::new(9))
+        );
+    }
+
+    #[test]
+    fn responses_frame_and_reparse() {
+        let r = Response::with_body("q1", vec!["{\"a\":1}".into(), "{\"a\":2}".into()]);
+        let rendered = r.render();
+        let mut lines = rendered.lines();
+        let (ok, n, detail) = Response::parse_header(lines.next().unwrap()).unwrap();
+        assert!(ok);
+        assert_eq!(n, 2);
+        assert_eq!(detail, "q1");
+        assert_eq!(lines.count(), 2);
+
+        let (ok, n, msg) = Response::parse_header("ERR 0 unknown query: q5").unwrap();
+        assert!(!ok);
+        assert_eq!(n, 0);
+        assert_eq!(msg, "unknown query: q5");
+    }
+
+    #[test]
+    fn multiline_errors_stay_single_frame() {
+        let r = Response::err("line one\nline two\r\nthree");
+        assert_eq!(r.render().lines().count(), 1);
+    }
+}

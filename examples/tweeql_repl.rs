@@ -8,11 +8,16 @@
 //! `\explain <sql>`, `:check <sql>` for static analysis without
 //! running, `:stats` for the last query's profile and metrics,
 //! `\scenario soccer|earthquakes|obama`, or `\q`.
+//!
+//! Standing queries run against an in-process [`QueryHost`] sharing one
+//! stream: `:register <sql>`, `:queries`, `:pump <secs|end>`,
+//! `:poll q1`, `:drop q1`. Switching scenarios resets the host.
 
 use std::io::{BufRead, Write};
 use tweeql::engine::Engine;
+use tweeql::{QueryHost, QueryId};
 use tweeql_firehose::{generate, scenarios, StreamingApi};
-use tweeql_model::VirtualClock;
+use tweeql_model::{Duration, VirtualClock};
 use twitinfo::peaks::PeakDetectorConfig;
 use twitinfo::udfs;
 
@@ -69,10 +74,32 @@ fn build_engine(which: &str) -> Engine {
         .build()
 }
 
+fn build_host(which: &str) -> QueryHost {
+    let scenario = match which {
+        "soccer" => scenarios::soccer_match(),
+        "earthquakes" => scenarios::earthquakes(),
+        _ => scenarios::obama_month(),
+    };
+    eprintln!("(starting standing-query host over {:?} …)", scenario.name);
+    let api = StreamingApi::new(generate(&scenario, 7), VirtualClock::new());
+    Engine::builder(api)
+        .configure_registry(|r| udfs::register(r, PeakDetectorConfig::default()))
+        .build_host()
+}
+
+fn parse_qid(arg: Option<&str>) -> Result<QueryId, String> {
+    arg.ok_or_else(|| "expected a query id (see :queries)".to_string())?
+        .parse()
+        .map_err(|e: String| e)
+}
+
 fn main() {
     println!("TweeQL demo shell — \\examples for canned queries, \\q to quit");
     let mut current = "obama".to_string();
     let mut engine = build_engine(&current);
+    // Standing queries live on a shared-scan host over the same
+    // scenario; created lazily on the first :register.
+    let mut host: Option<QueryHost> = None;
     // Profile + metrics text of the last executed query, captured before
     // the engine is rebuilt (rebuilding rewinds the stream and discards
     // the profiler state).
@@ -104,7 +131,111 @@ fn main() {
                 t if t.starts_with("\\scenario") => {
                     current = t.split_whitespace().nth(1).unwrap_or("obama").to_string();
                     engine = build_engine(&current);
+                    if host.take().is_some() {
+                        println!("(standing-query host reset)");
+                    }
                     println!("switched to scenario {current}; stream rewound");
+                    continue;
+                }
+                t if t.starts_with(":register ") => {
+                    let sql = t.trim_start_matches(":register ").trim_end_matches(';');
+                    let h = host.get_or_insert_with(|| build_host(&current));
+                    match h.register(sql) {
+                        Ok(id) => {
+                            let cols = h
+                                .schema(id)
+                                .map(|s| s.names().join(", "))
+                                .unwrap_or_default();
+                            println!("{id} registered ({cols}) — :pump to feed it");
+                        }
+                        Err(e) => print!("{}", e.render(sql)),
+                    }
+                    continue;
+                }
+                ":queries" | "\\queries" => {
+                    match &host {
+                        None => println!("no standing queries (:register <sql> to add one)"),
+                        Some(h) => {
+                            for q in h.list() {
+                                println!(
+                                    "{} {} rows_in={} rows_out={} indexed={} {}",
+                                    q.id, q.state, q.rows_in, q.rows_out, q.indexed, q.sql
+                                );
+                            }
+                            let s = h.stats();
+                            println!(
+                                "-- position {}s, {} tweets, {} rows dispatched ({} shared)",
+                                h.position().millis() / 1000,
+                                s.tweets_delivered,
+                                s.rows_dispatched,
+                                s.rows_shared
+                            );
+                        }
+                    }
+                    continue;
+                }
+                t if t.starts_with(":pump") => {
+                    match &mut host {
+                        None => println!("no standing queries (:register <sql> to add one)"),
+                        Some(h) => {
+                            let arg = t.split_whitespace().nth(1).unwrap_or("60");
+                            let pumped = if arg == "end" {
+                                h.run_to_end()
+                            } else {
+                                match arg.parse::<i64>() {
+                                    Ok(secs) => {
+                                        h.pump_until(h.position() + Duration::from_secs(secs))
+                                    }
+                                    Err(_) => {
+                                        println!("usage: :pump <seconds>|end");
+                                        continue;
+                                    }
+                                }
+                            };
+                            match pumped {
+                                Ok(n) => println!(
+                                    "{n} tweets delivered; position {}s",
+                                    h.position().millis() / 1000
+                                ),
+                                Err(e) => println!("pump failed: {e}"),
+                            }
+                        }
+                    }
+                    continue;
+                }
+                t if t.starts_with(":poll") => {
+                    match &mut host {
+                        None => println!("no standing queries (:register <sql> to add one)"),
+                        Some(h) => match parse_qid(t.split_whitespace().nth(1)) {
+                            Err(e) => println!("{e}"),
+                            Ok(id) => match (h.schema(id), h.take_output(id)) {
+                                (Ok(schema), Ok(rows)) => {
+                                    for line in
+                                        tweeql::sink::to_json_lines(&schema, &rows).lines().take(25)
+                                    {
+                                        println!("{line}");
+                                    }
+                                    println!("-- {} rows", rows.len());
+                                }
+                                (Err(e), _) | (_, Err(e)) => println!("{e}"),
+                            },
+                        },
+                    }
+                    continue;
+                }
+                t if t.starts_with(":drop") => {
+                    match &mut host {
+                        None => println!("no standing queries (:register <sql> to add one)"),
+                        Some(h) => match parse_qid(t.split_whitespace().nth(1)) {
+                            Err(e) => println!("{e}"),
+                            Ok(id) => match h.drop_query(id) {
+                                Ok(rows) => {
+                                    println!("{id} dropped ({} unread rows discarded)", rows.len())
+                                }
+                                Err(e) => println!("{e}"),
+                            },
+                        },
+                    }
                     continue;
                 }
                 t if t.starts_with("\\explain ") => {

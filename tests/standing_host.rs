@@ -1,0 +1,340 @@
+//! Standing-query host differential battery.
+//!
+//! The contract under test: K standing queries on one [`QueryHost`]
+//! (one shared connection, shared-scan dispatch, shared row decode)
+//! produce output **byte-identical** to K independent engine runs over
+//! the same seeded stream with pushdown disabled — at any host worker
+//! count, with the prefilter on or off, under clean and chaos-faulted
+//! sources, and across register/drop churn mid-stream.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use tweeql::prelude::*;
+use tweeql_firehose::fault::FaultPlan;
+use tweeql_firehose::scenario::{Burst, Scenario, Topic};
+use tweeql_firehose::StreamingApi;
+use tweeql_model::{Duration, Record, Timestamp, Tweet, VirtualClock};
+
+/// Deterministic firehose: a keyword topic, a burst, quiet tail.
+fn tweets() -> &'static Vec<Tweet> {
+    static TWEETS: OnceLock<Vec<Tweet>> = OnceLock::new();
+    TWEETS.get_or_init(|| {
+        let s = Scenario {
+            name: "host-equiv".into(),
+            duration: Duration::from_mins(10),
+            background_rate_per_min: 40.0,
+            topics: vec![{
+                let mut t = Topic::new("kw", vec!["kw"], 22.0);
+                t.sentiment_bias = 0.3;
+                t
+            }],
+            bursts: vec![Burst {
+                topic: 0,
+                label: "spike".into(),
+                start: Timestamp::from_mins(3),
+                ramp_up: Duration::from_mins(1),
+                ramp_down: Duration::from_mins(1),
+                peak_multiplier: 5.0,
+                phrases: vec!["kw spike".into()],
+                sentiment_bias: 0.4,
+                url: None,
+            }],
+            geotag_rate: 0.2,
+            population_size: 100,
+        };
+        tweeql_firehose::generate(&s, 1177)
+    })
+}
+
+/// Standing-query corpus: filters, scalar UDFs, windowed aggregates,
+/// LIMIT early-exit. No joins (host rejects them) and no async UDFs
+/// (their stream-time batch release is tested engine-side).
+const CORPUS: &[&str] = &[
+    "SELECT text FROM twitter WHERE text contains 'kw'",
+    "SELECT count(*) AS c, lang FROM twitter WHERE text contains 'kw' \
+     GROUP BY lang WINDOW 2 minutes",
+    "SELECT avg(followers) AS a FROM twitter WINDOW 3 minutes",
+    "SELECT sentiment(text) AS s, text FROM twitter WHERE text contains 'spike' LIMIT 10",
+    "SELECT upper(lang) AS l, followers * 2 AS f2 FROM twitter \
+     WHERE followers > 3 AND text contains 'kw'",
+    "SELECT min(followers) AS mn, max(followers) AS mx FROM twitter WINDOW 2 minutes",
+];
+
+fn host_with(workers: usize, fault: Option<FaultPlan>) -> QueryHost {
+    let api = StreamingApi::new(tweets().clone(), VirtualClock::new());
+    let mut b = Engine::builder(api)
+        .workers(workers)
+        .batch_size(16)
+        .seed(99);
+    if let Some(f) = fault {
+        b = b.fault_policy(f);
+    }
+    b.build_host()
+}
+
+/// The per-query reference: an independent serial engine over the same
+/// stream. `push_down(false)` pins the source to the full-stream
+/// subscription the shared host connection uses, so with equal seeds
+/// both sides see the identical (possibly fault-injected) event
+/// sequence.
+fn engine_run(sql: &str, fault: Option<FaultPlan>) -> QueryResult {
+    let api = StreamingApi::new(tweets().clone(), VirtualClock::new());
+    let mut b = Engine::builder(api)
+        .workers(1)
+        .batch_size(16)
+        .seed(99)
+        .push_down(false);
+    if let Some(f) = fault {
+        b = b.fault_policy(f);
+    }
+    b.build().execute(sql).expect(sql)
+}
+
+fn assert_host_matches_engines(workers: usize, fault: Option<FaultPlan>) {
+    let mut host = host_with(workers, fault.clone());
+    let ids: Vec<QueryId> = CORPUS
+        .iter()
+        .map(|sql| host.register(sql).expect(sql))
+        .collect();
+    host.run_to_end().unwrap();
+    for (sql, id) in CORPUS.iter().zip(ids) {
+        let reference = engine_run(sql, fault.clone());
+        let got = host.take_output(id).unwrap();
+        assert_eq!(
+            host.schema(id).unwrap().names(),
+            reference.schema.names(),
+            "{sql}"
+        );
+        assert_eq!(
+            got,
+            reference.rows,
+            "rows diverged: {sql} (workers={workers}, fault={})",
+            fault.is_some()
+        );
+    }
+}
+
+#[test]
+fn host_matches_independent_engines_serial() {
+    assert_host_matches_engines(1, None);
+}
+
+#[test]
+fn host_matches_independent_engines_workers4() {
+    assert_host_matches_engines(4, None);
+}
+
+#[test]
+fn host_matches_independent_engines_under_chaos() {
+    for seed in [3, 11] {
+        assert_host_matches_engines(1, Some(FaultPlan::chaos(seed)));
+        assert_host_matches_engines(4, Some(FaultPlan::chaos(seed)));
+    }
+}
+
+/// Register/drop churn of *other* queries must never perturb a standing
+/// query: the off-cadence batch flushes churn forces are output-
+/// invariant.
+#[test]
+fn churn_does_not_perturb_standing_queries() {
+    let mut host = host_with(2, None);
+    let target = host.register(CORPUS[1]).unwrap();
+    host.pump_until(Timestamp::from_mins(2)).unwrap();
+    let noise1 = host.register(CORPUS[0]).unwrap();
+    host.pump_until(Timestamp::from_mins(4)).unwrap();
+    let noise2 = host.register(CORPUS[3]).unwrap();
+    host.pump_until(Timestamp::from_mins(5)).unwrap();
+    host.drop_query(noise1).unwrap();
+    host.pump_until(Timestamp::from_mins(7)).unwrap();
+    host.drop_query(noise2).unwrap();
+    host.run_to_end().unwrap();
+    let got = host.take_output(target).unwrap();
+    let reference = engine_run(CORPUS[1], None);
+    assert_eq!(got, reference.rows);
+}
+
+/// Dropping and re-registering the same SQL starts from completely
+/// fresh state: the re-registered query behaves exactly like a query
+/// first registered at that stream position on an identical host.
+#[test]
+fn re_registration_gets_fresh_state() {
+    let sql = CORPUS[1];
+    let churn_at = Timestamp::from_mins(4);
+
+    let mut host_a = host_with(1, None);
+    let first = host_a.register(sql).unwrap();
+    host_a.pump_until(churn_at).unwrap();
+    let first_rows = host_a.drop_query(first).unwrap();
+    assert!(!first_rows.is_empty(), "warm-up phase produced windows");
+    let second = host_a.register(sql).unwrap();
+    host_a.run_to_end().unwrap();
+    let re_registered = host_a.take_output(second).unwrap();
+
+    // Reference: same host timeline, but the query only ever existed
+    // from the churn point on.
+    let mut host_b = host_with(1, None);
+    host_b.pump_until(churn_at).unwrap();
+    let fresh = host_b.register(sql).unwrap();
+    host_b.run_to_end().unwrap();
+    let fresh_rows = host_b.take_output(fresh).unwrap();
+
+    assert_eq!(
+        re_registered, fresh_rows,
+        "stale window/dedup state leaked across re-registration"
+    );
+}
+
+/// The common-filter prefilter is a pure optimization: identical output
+/// with it disabled, and strictly fewer rows dispatched with it on.
+#[test]
+fn prefilter_is_output_invariant_and_saves_dispatch() {
+    let run = |prefilter: bool| {
+        let mut host = host_with(1, None);
+        host.prefilter(prefilter);
+        let ids: Vec<QueryId> = CORPUS
+            .iter()
+            .map(|sql| host.register(sql).unwrap())
+            .collect();
+        host.run_to_end().unwrap();
+        let outs: Vec<Vec<Record>> = ids
+            .into_iter()
+            .map(|id| host.take_output(id).unwrap())
+            .collect();
+        (outs, host.stats())
+    };
+    let (with, stats_with) = run(true);
+    let (without, stats_without) = run(false);
+    assert_eq!(with, without);
+    assert!(
+        stats_with.rows_dispatched < stats_without.rows_dispatched,
+        "prefilter dispatched {} vs naive {}",
+        stats_with.rows_dispatched,
+        stats_without.rows_dispatched
+    );
+}
+
+/// Shared decode economics: with several queries wanting overlapping
+/// rows, most dispatched rows must be clone-served, not re-decoded.
+#[test]
+fn shared_decode_serves_overlapping_queries_from_one_materialization() {
+    let mut host = host_with(1, None);
+    host.prefilter(false); // every query sees every row
+    for sql in CORPUS.iter().take(3) {
+        host.register(sql).unwrap();
+    }
+    host.run_to_end().unwrap();
+    let s = host.stats();
+    assert_eq!(s.rows_dispatched, 3 * s.tweets_delivered);
+    assert_eq!(s.rows_decoded, s.tweets_delivered, "one decode per row");
+    assert_eq!(s.rows_shared, 2 * s.tweets_delivered);
+}
+
+/// Session-layer semantics: list/subscribe/drop/unknown-id/joins.
+#[test]
+fn session_layer_api() {
+    let mut host = host_with(1, None);
+    let id = host.register(CORPUS[0]).unwrap();
+    let sub = host.subscribe(id).unwrap();
+    assert_eq!(sub.id(), id);
+    assert_eq!(sub.schema().names(), vec!["text"]);
+
+    let listed = host.list();
+    assert_eq!(listed.len(), 1);
+    assert_eq!(listed[0].id, id);
+    assert_eq!(listed[0].state, QueryState::Running);
+    assert!(listed[0].indexed, "contains-query joins the filter index");
+
+    host.run_to_end().unwrap();
+    let polled = sub.poll();
+    let reference = engine_run(CORPUS[0], None);
+    assert_eq!(polled, reference.rows, "subscription sees every row");
+    assert_eq!(
+        host.take_output(id).unwrap(),
+        reference.rows,
+        "pending buffer holds the same rows"
+    );
+    assert_eq!(host.list()[0].state, QueryState::Finished);
+
+    host.drop_query(id).unwrap();
+    assert!(host.list().is_empty());
+    assert!(matches!(
+        host.take_output(id),
+        Err(QueryError::UnknownQuery(_))
+    ));
+    assert!(matches!(
+        host.drop_query(QueryId::new(999)),
+        Err(QueryError::UnknownQuery(_))
+    ));
+
+    // Standing joins need two connections; the host refuses them.
+    let err = host
+        .register("SELECT text FROM twitter JOIN twitter ON user_id = user_id WINDOW 1 minutes")
+        .unwrap_err();
+    assert!(matches!(err, QueryError::Plan(_)), "{err}");
+
+    // Bad SQL surfaces check diagnostics, not a panic.
+    assert!(host.register("SELECT nope FROM twitter").is_err());
+}
+
+/// A LIMIT query finishes mid-stream while its neighbors keep running.
+#[test]
+fn limit_query_finishes_early_without_stopping_the_host() {
+    let mut host = host_with(1, None);
+    let limited = host.register(CORPUS[3]).unwrap();
+    let standing = host.register(CORPUS[0]).unwrap();
+    host.run_to_end().unwrap();
+    let states: Vec<QueryState> = host.list().iter().map(|q| q.state).collect();
+    assert_eq!(states, vec![QueryState::Finished, QueryState::Finished]);
+    assert_eq!(
+        host.take_output(limited).unwrap(),
+        engine_run(CORPUS[3], None).rows
+    );
+    assert_eq!(
+        host.take_output(standing).unwrap(),
+        engine_run(CORPUS[0], None).rows
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Randomized churn schedules: any subset of the corpus registered
+    /// up front, noise queries registered and dropped at random stream
+    /// times, serial and sharded dispatch, clean or chaos-faulted
+    /// source — every surviving query still matches its independent
+    /// engine run.
+    #[test]
+    fn churned_host_matches_engines(
+        first in 0usize..6,
+        second in 0usize..6,
+        noise_idx in 0usize..6,
+        churn_start_mins in 1i64..5,
+        churn_len_mins in 1i64..4,
+        wide in 0u8..2,
+        chaos in 0u64..100,
+    ) {
+        // Odd draws run chaos-faulted; even draws run clean.
+        let fault = (chaos % 2 == 1).then(|| FaultPlan::chaos(chaos));
+        let workers = if wide == 0 { 1 } else { 4 };
+        let mut subset = vec![first];
+        if second != first {
+            subset.push(second);
+        }
+        let mut host = host_with(workers, fault.clone());
+        let ids: Vec<(usize, QueryId)> = subset
+            .iter()
+            .map(|&i| (i, host.register(CORPUS[i]).unwrap()))
+            .collect();
+        host.pump_until(Timestamp::from_mins(churn_start_mins)).unwrap();
+        let noise = host.register(CORPUS[noise_idx]).unwrap();
+        host.pump_until(Timestamp::from_mins(churn_start_mins + churn_len_mins)).unwrap();
+        host.drop_query(noise).unwrap();
+        host.run_to_end().unwrap();
+        for (i, id) in ids {
+            let reference = engine_run(CORPUS[i], fault.clone());
+            let got = host.take_output(id).unwrap();
+            prop_assert_eq!(got, reference.rows);
+            let _ = i;
+        }
+    }
+}
