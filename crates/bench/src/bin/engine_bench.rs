@@ -1,5 +1,6 @@
 //! Writes `BENCH_engine.json`: parallel-engine throughput and speedup
-//! per worker count (the E9 sweep).
+//! per worker count (the E9 sweep), plus the `source` arm (E14:
+//! batched vs per-tweet facade delivery).
 //!
 //! ```text
 //! cargo run --release -p tweeql-bench --bin engine_bench [-- --smoke] [--out PATH] [--seed N]
@@ -9,7 +10,7 @@
 //! validate the pipeline end-to-end in seconds; the default 20-minute
 //! stream is what EXPERIMENTS.md records.
 
-use tweeql_bench::e9_parallel;
+use tweeql_bench::{e14_source, e9_parallel};
 
 // With --features bench-alloc every measurement also reports heap
 // allocations per scanned record (the JSON field is null otherwise).
@@ -58,7 +59,18 @@ fn main() {
         }
     }
 
-    let json = e9_parallel::to_json(&rows, seed, cores, tweets);
+    let source = e14_source::run(seed, minutes);
+    eprintln!(
+        "  source delivery: {:.0} ns/tweet per-tweet, {:.0} ns/tweet batched ({:.1}x); \
+         engine on E12 query: {:.2}x",
+        source.delivery.per_tweet_ns,
+        source.delivery.batched_ns,
+        source.delivery.speedup,
+        source.engine.speedup
+    );
+
+    let src_json = e14_source::to_json(&source);
+    let json = e9_parallel::to_json_with_source(&rows, seed, cores, tweets, Some(&src_json));
     std::fs::write(&out_path, &json).expect("write BENCH_engine.json");
     eprintln!("wrote {out_path}");
 }

@@ -1,0 +1,270 @@
+//! E14 — zero-copy batched source delivery vs the per-tweet facade.
+//!
+//! E12 left the engine *source-bound*: with masked columnar decode at
+//! ~6 ns/row, the ~310 ns/tweet streaming facade (a `Tweet` clone, a
+//! virtual-clock store, and cap bookkeeping per delivered tweet) was
+//! the end-to-end ceiling. This experiment measures the two layers the
+//! batched source rebuilt:
+//!
+//! * **delivery** — the raw facade: pulling every delivered tweet
+//!   through a [`Connection`], per-tweet iterator (clone + per-tweet
+//!   clock advance) vs [`Connection::next_batch`] (log indices into the
+//!   `Arc`-shared firehose, one clock advance per batch). Also the
+//!   steady-state heap-allocation count of the batched pull loop,
+//!   which must be exactly zero per delivered tweet.
+//! * **engine** — end-to-end on the E12 influential-user query
+//!   (unpushable, so the source loop is the hot path), serial engine
+//!   with `batched_source(false)` vs `(true)`.
+
+use std::sync::Arc;
+use std::time::Instant;
+use tweeql::engine::Engine;
+use tweeql_firehose::{FilterSpec, SourceBatch, StreamingApi};
+use tweeql_model::{Tweet, VirtualClock};
+
+/// The E12 benchmark query: client-side filter + two live columns, so
+/// neither arm gets a source pushdown and the delivery loop dominates.
+pub const ENGINE_SQL: &str = "SELECT screen_name, followers FROM twitter WHERE followers > 10000";
+
+/// Timed repeats; best-of is reported (walls are milliseconds).
+const PASSES: usize = 5;
+
+/// Pull granularity for the batched arm — the engine's default
+/// micro-batch is 256; the raw-delivery bench uses the same so the
+/// number transfers.
+const BATCH: usize = 256;
+
+/// One facade measurement pair (same filter, same stream).
+#[derive(Debug, Clone)]
+pub struct DeliveryArm {
+    /// Filter driven through both arms.
+    pub filter: &'static str,
+    /// Tweets scanned per pass.
+    pub scanned: u64,
+    /// Tweets delivered per pass (both arms deliver the same set).
+    pub delivered: u64,
+    /// Per-tweet facade: ns per *scanned* tweet (clone + clock).
+    pub per_tweet_ns: f64,
+    /// Batched facade: ns per scanned tweet, amortized.
+    pub batched_ns: f64,
+    /// `per_tweet_ns / batched_ns`.
+    pub speedup: f64,
+    /// Steady-state heap allocations per delivered tweet in the
+    /// batched pull loop, when built with `--features bench-alloc`
+    /// (`None` → JSON `null` otherwise). Gated at exactly zero.
+    pub allocs_per_delivered: Option<f64>,
+}
+
+/// End-to-end serial engine pair on [`ENGINE_SQL`].
+#[derive(Debug, Clone)]
+pub struct EngineArm {
+    /// Tweets scanned end-to-end.
+    pub scanned: u64,
+    /// Output rows (identical across arms by the differential suite).
+    pub rows: usize,
+    /// Per-tweet source path throughput.
+    pub per_tweet_tweets_per_sec: f64,
+    /// Batched source path throughput.
+    pub batched_tweets_per_sec: f64,
+    /// `batched / per_tweet`.
+    pub speedup: f64,
+}
+
+/// The E14 result: one delivery pair + one engine pair.
+#[derive(Debug, Clone)]
+pub struct E14Result {
+    pub delivery: DeliveryArm,
+    pub engine: EngineArm,
+}
+
+fn api_over(tweets: &[Tweet]) -> StreamingApi {
+    StreamingApi::new(tweets.to_vec(), VirtualClock::new())
+}
+
+/// The delivery arms run the full-firehose `Sample(1.0)` endpoint:
+/// every tweet is delivered, so the measurement isolates the facade
+/// tax itself (per-tweet: one `Tweet` clone + one clock store each;
+/// batched: index append + one clock store per batch) rather than
+/// filter evaluation, which both paths share unchanged.
+fn sample_filter() -> FilterSpec {
+    FilterSpec::Sample(1.0)
+}
+
+/// Per-tweet arm: the facade as every pre-batch consumer drove it —
+/// one cloned `Tweet` and one clock store per scanned tweet.
+fn measure_per_tweet(tweets: &[Tweet]) -> (u64, u64, f64) {
+    let mut best = f64::INFINITY;
+    let mut scanned = 0u64;
+    let mut delivered = 0u64;
+    for _ in 0..PASSES {
+        let api = api_over(tweets);
+        let mut conn = api.connect(sample_filter());
+        let t0 = Instant::now();
+        let mut text_bytes = 0usize;
+        for t in conn.by_ref() {
+            text_bytes += t.text.len();
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+        std::hint::black_box(text_bytes);
+        scanned = conn.stats().scanned;
+        delivered = conn.stats().delivered;
+    }
+    (scanned, delivered, best)
+}
+
+/// Batched arm: log indices into the shared firehose, rows read in
+/// place, one clock advance per batch. Returns `(wall, allocs)` where
+/// `allocs` is the heap-allocation count across every timed pass
+/// (buffers are warmed first, so steady state must be zero).
+fn measure_batched(tweets: &[Tweet]) -> (u64, u64, f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut scanned = 0u64;
+    let mut delivered = 0u64;
+    let mut batch = SourceBatch::new();
+    // Warm-up pass grows `batch.sel` to capacity; not timed, not
+    // alloc-counted.
+    {
+        let api = api_over(tweets);
+        let mut conn = api.connect(sample_filter());
+        while conn.next_batch(BATCH, &mut batch) > 0 {}
+    }
+    let mut allocs = 0u64;
+    for _ in 0..PASSES {
+        let api = api_over(tweets);
+        let clock = api.clock();
+        let mut conn = api.connect(sample_filter());
+        let log = Arc::clone(conn.log());
+        let a0 = crate::alloc_counter::count();
+        let t0 = Instant::now();
+        let mut text_bytes = 0usize;
+        while conn.next_batch(BATCH, &mut batch) > 0 {
+            for &i in &batch.sel {
+                text_bytes += log[i as usize].text.len();
+            }
+            clock.advance_to(batch.scan_end);
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+        allocs += crate::alloc_counter::count() - a0;
+        std::hint::black_box(text_bytes);
+        scanned = conn.stats().scanned;
+        delivered = conn.stats().delivered;
+    }
+    (scanned, delivered, best, allocs)
+}
+
+fn measure_engine(tweets: &[Tweet], batched: bool) -> (u64, usize, f64) {
+    let mut best = f64::INFINITY;
+    let mut scanned = 0u64;
+    let mut rows = 0usize;
+    for _ in 0..PASSES {
+        let mut engine = Engine::builder(api_over(tweets))
+            .workers(1)
+            .batched_source(batched)
+            .build();
+        let t0 = Instant::now();
+        let result = engine.execute(ENGINE_SQL).expect("bench query runs");
+        best = best.min(t0.elapsed().as_secs_f64());
+        scanned = result.stats.source.scanned;
+        rows = result.rows.len();
+    }
+    (scanned, rows, best)
+}
+
+/// Run E14 on the shared E9 firehose (`seed`, `minutes` of stream).
+pub fn run(seed: u64, minutes: i64) -> E14Result {
+    let tweets = crate::e9_parallel::firehose(seed, minutes);
+
+    let (pt_scanned, pt_delivered, pt_wall) = measure_per_tweet(&tweets);
+    let (b_scanned, b_delivered, b_wall, b_allocs) = measure_batched(&tweets);
+    assert_eq!(pt_scanned, b_scanned, "arms scanned different streams");
+    assert_eq!(
+        pt_delivered, b_delivered,
+        "batched facade delivered a different tweet set"
+    );
+    let allocs_per_delivered = if cfg!(feature = "bench-alloc") && b_delivered > 0 {
+        let per = b_allocs as f64 / (b_delivered * PASSES as u64) as f64;
+        assert_eq!(
+            b_allocs, 0,
+            "batched source pull allocated in steady state ({per:.4}/delivered)"
+        );
+        Some(per)
+    } else {
+        None
+    };
+    let per_tweet_ns = pt_wall * 1e9 / pt_scanned.max(1) as f64;
+    let batched_ns = b_wall * 1e9 / b_scanned.max(1) as f64;
+
+    let (e_scanned, e_rows, pt_engine_wall) = measure_engine(&tweets, false);
+    let (e_scanned2, e_rows2, b_engine_wall) = measure_engine(&tweets, true);
+    assert_eq!(e_scanned, e_scanned2, "engine arms scanned differently");
+    assert_eq!(e_rows, e_rows2, "engine arms disagree on rows");
+    let per_tweet_tps = e_scanned as f64 / pt_engine_wall.max(1e-12);
+    let batched_tps = e_scanned as f64 / b_engine_wall.max(1e-12);
+
+    E14Result {
+        delivery: DeliveryArm {
+            filter: "sample:1.0",
+            scanned: pt_scanned,
+            delivered: pt_delivered,
+            per_tweet_ns,
+            batched_ns,
+            speedup: per_tweet_ns / batched_ns.max(1e-12),
+            allocs_per_delivered,
+        },
+        engine: EngineArm {
+            scanned: e_scanned,
+            rows: e_rows,
+            per_tweet_tweets_per_sec: per_tweet_tps,
+            batched_tweets_per_sec: batched_tps,
+            speedup: batched_tps / per_tweet_tps.max(1e-12),
+        },
+    }
+}
+
+/// Render the `source` object spliced into `BENCH_engine.json`.
+pub fn to_json(r: &E14Result) -> String {
+    let d = &r.delivery;
+    let e = &r.engine;
+    let allocs = match d.allocs_per_delivered {
+        Some(a) => format!("{a:.4}"),
+        None => "null".into(),
+    };
+    format!(
+        "{{\n    \"delivery\": {{\"filter\": {:?}, \"scanned\": {}, \"delivered\": {}, \
+         \"per_tweet_ns\": {:.1}, \"batched_ns\": {:.1}, \"speedup\": {:.2}, \
+         \"allocs_per_delivered\": {}}},\n    \
+         \"engine\": {{\"sql\": {:?}, \"scanned\": {}, \"rows\": {}, \
+         \"per_tweet_tweets_per_sec\": {:.1}, \"batched_tweets_per_sec\": {:.1}, \
+         \"speedup\": {:.2}}}\n  }}",
+        d.filter,
+        d.scanned,
+        d.delivered,
+        d.per_tweet_ns,
+        d.batched_ns,
+        d.speedup,
+        allocs,
+        ENGINE_SQL,
+        e.scanned,
+        e.rows,
+        e.per_tweet_tweets_per_sec,
+        e.batched_tweets_per_sec,
+        e.speedup,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arms_agree_and_json_renders() {
+        let r = run(7, 1);
+        assert!(r.delivery.delivered > 0, "filter saw traffic");
+        assert!(r.delivery.per_tweet_ns > 0.0 && r.delivery.batched_ns > 0.0);
+        assert!(r.engine.rows > 0, "influential users exist in the stream");
+        let json = to_json(&r);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"per_tweet_ns\""));
+        assert!(json.contains("\"allocs_per_delivered\""));
+    }
+}

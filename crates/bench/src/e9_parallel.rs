@@ -169,6 +169,18 @@ pub fn run_with_counts(seed: u64, minutes: i64, counts: &[usize]) -> Vec<E9Row> 
 /// Render the sweep as the JSON payload written to `BENCH_engine.json`.
 /// Hand-rolled: the vendored `serde` is a stub, and the shape is flat.
 pub fn to_json(rows: &[E9Row], seed: u64, cores: usize, tweets: usize) -> String {
+    to_json_with_source(rows, seed, cores, tweets, None)
+}
+
+/// [`to_json`] plus an optional `source` arm (the E14 object rendered
+/// by [`crate::e14_source::to_json`]).
+pub fn to_json_with_source(
+    rows: &[E9Row],
+    seed: u64,
+    cores: usize,
+    tweets: usize,
+    source_json: Option<&str>,
+) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"engine_parallel\",\n");
     out.push_str(&format!("  \"seed\": {seed},\n"));
@@ -207,7 +219,14 @@ pub fn to_json(rows: &[E9Row], seed: u64, cores: usize, tweets: usize) -> String
             if qi + 1 < rows.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
+    match source_json {
+        Some(src) => {
+            out.push_str("  ],\n");
+            out.push_str(&format!("  \"source\": {src}\n"));
+        }
+        None => out.push_str("  ]\n"),
+    }
+    out.push_str("}\n");
     out
 }
 

@@ -7,7 +7,9 @@
 use crate::catalog::Catalog;
 use crate::error::QueryError;
 use crate::exec::join::Side;
-use crate::exec::supervise::{RetryPolicy, SourceEvent, SourceFaultStats, SupervisedSource};
+use crate::exec::supervise::{
+    RetryPolicy, SourceBlock, SourceEvent, SourceFaultStats, SupervisedSource,
+};
 use crate::exec::OpStats;
 use crate::parser::parse;
 use crate::plan::{plan, PlanConfig, PlannedQuery};
@@ -80,6 +82,12 @@ pub struct EngineConfig {
     /// the standing-query host runs in, since one shared connection
     /// cannot serve per-query pushdowns.
     pub allow_pushdown: bool,
+    /// Pull the source in zero-copy index batches (`SourceBatch`)
+    /// instead of tweet-at-a-time. Delivered tweet set, stats, and gap
+    /// windows are byte-identical either way; `false` keeps the
+    /// per-tweet facade as the reference implementation the batched
+    /// path is differentially tested against.
+    pub batched_source: bool,
 }
 
 impl Default for EngineConfig {
@@ -101,6 +109,7 @@ impl Default for EngineConfig {
             retry: RetryPolicy::default(),
             seed: 0x5EED,
             allow_pushdown: true,
+            batched_source: true,
         }
     }
 }
@@ -293,7 +302,7 @@ pub struct EngineBuilder {
 /// A deferred registry mutation, applied at [`EngineBuilder::build`].
 /// `Fn` (not `FnOnce`) so the standing-query host can re-apply the same
 /// setup to each registered query's private registry.
-pub(crate) type RegistryFn = Box<dyn Fn(&mut Registry)>;
+pub(crate) type RegistryFn = Box<dyn Fn(&mut Registry) + Send>;
 
 impl EngineBuilder {
     /// Replace the whole configuration (knob methods still apply on
@@ -401,6 +410,15 @@ impl EngineBuilder {
         self
     }
 
+    /// Toggle batched zero-copy source delivery (`true` by default).
+    /// `false` pulls the source tweet-at-a-time through the cloning
+    /// facade — the reference implementation the batched path is
+    /// differentially tested against.
+    pub fn batched_source(mut self, on: bool) -> Self {
+        self.config.batched_source = on;
+        self
+    }
+
     /// Register a scalar UDF on top of the standard registry.
     pub fn register_udf(mut self, udf: Arc<dyn ScalarUdf>) -> Self {
         self.registry_fns
@@ -436,7 +454,7 @@ impl EngineBuilder {
     /// like TwitInfo's `udfs::register`). The closure may run more than
     /// once: the standing-query host applies it to every registered
     /// query's private registry.
-    pub fn configure_registry(mut self, f: impl Fn(&mut Registry) + 'static) -> Self {
+    pub fn configure_registry(mut self, f: impl Fn(&mut Registry) + Send + 'static) -> Self {
         self.registry_fns.push(Box::new(f));
         self
     }
@@ -861,8 +879,12 @@ impl Engine {
                 watermark_interval: self.config.watermark_interval,
                 live_columns: planned.live_columns.clone(),
                 columnar_decode: self.config.columnar_decode,
+                batched_source: self.config.batched_source,
             };
             return crate::exec::parallel::run_parallel(src, &mut planned.pipeline, &pcfg, sink);
+        }
+        if self.config.batched_source {
+            return self.run_single_batched(planned, src, sink);
         }
         // Serial engine, micro-batched: tweets accumulate into one
         // reused buffer and flush through the pipeline's batch path
@@ -949,6 +971,115 @@ impl Engine {
                 }
             }
         }
+        if !planned.pipeline.done() {
+            flush!();
+        }
+        planned.pipeline.finish(&mut out)?;
+        for r in out.drain(..) {
+            sink(&r);
+        }
+        Ok((src.stats(), src.fault_stats()))
+    }
+
+    /// The serial loop over zero-copy source blocks: same flush /
+    /// watermark / gap boundaries as the per-tweet loop, but tweets
+    /// arrive as log indices and (in columnar mode) the batch is a
+    /// shared view into the firehose log — no `Tweet` is cloned
+    /// anywhere between the log and the operators. The virtual clock is
+    /// advanced lazily, exactly at the pipeline-observable points where
+    /// the per-tweet path's value is the current tweet's timestamp, so
+    /// modeled service latency accrues from identical bases.
+    fn run_single_batched(
+        &mut self,
+        planned: &mut PlannedQuery,
+        mut src: SupervisedSource,
+        sink: &mut dyn FnMut(&Record),
+    ) -> Result<(ConnectionStats, SourceFaultStats), QueryError> {
+        let columnar = self.config.columnar_decode;
+        let wm_interval = self.config.watermark_interval;
+        let batch_size = self.config.batch_size.max(1);
+        let live = planned.live_columns.clone();
+        let clock = Arc::clone(&self.clock);
+        let log = Arc::clone(src.log());
+        let mut next_wm: Option<Timestamp> = None;
+        let mut out = Vec::new();
+        let mut batch: Vec<Record> = Vec::new();
+        let mut tbatch = TweetBatch::new();
+        if columnar {
+            tbatch.set_live(live.clone());
+            tbatch.bind_log(&log);
+        } else {
+            batch.reserve(batch_size);
+        }
+        macro_rules! flush {
+            () => {
+                if columnar {
+                    if !tbatch.is_empty() {
+                        planned.pipeline.push_tweet_batch(&mut tbatch, &mut out)?;
+                    }
+                } else if !batch.is_empty() {
+                    planned.pipeline.push_batch(&mut batch, &mut out)?;
+                }
+            };
+        }
+        'stream: while let Some(block) = src.next_block(batch_size) {
+            match block {
+                SourceBlock::Gap { from, to } => {
+                    flush!();
+                    planned.pipeline.gap(from, to, &mut out)?;
+                }
+                SourceBlock::Tweets(b) => {
+                    for &i in &b.sel {
+                        let tweet = &log[i as usize];
+                        let ts = tweet.created_at;
+                        if let Some(wm) = next_wm {
+                            if ts >= wm {
+                                clock.advance_to(ts);
+                                flush!();
+                                let last = ts.truncate(wm_interval);
+                                let mut boundary = wm;
+                                while boundary <= last {
+                                    planned.pipeline.watermark(boundary, &mut out)?;
+                                    boundary += wm_interval;
+                                }
+                            }
+                        }
+                        next_wm = Some(ts.truncate(wm_interval) + wm_interval);
+                        let full = if columnar {
+                            tbatch.push_index(i);
+                            tbatch.len() >= batch_size
+                        } else {
+                            batch.push(match &live {
+                                Some(l) => Record::from_tweet_pruned(tweet, l),
+                                None => Record::from_tweet(tweet),
+                            });
+                            batch.len() >= batch_size
+                        };
+                        if full {
+                            clock.advance_to(ts);
+                            flush!();
+                        }
+                        if !out.is_empty() {
+                            for r in out.drain(..) {
+                                sink(&r);
+                            }
+                            if planned.pipeline.done() {
+                                break 'stream;
+                            }
+                        }
+                    }
+                }
+            }
+            if !out.is_empty() {
+                for r in out.drain(..) {
+                    sink(&r);
+                }
+                if planned.pipeline.done() {
+                    break 'stream;
+                }
+            }
+        }
+        clock.advance_to(src.frontier());
         if !planned.pipeline.done() {
             flush!();
         }

@@ -39,7 +39,7 @@ pub use chan::Chan;
 pub use reorder::Reorder;
 
 use super::aggregate::{PartialAggBuilder, PartialTable};
-use super::supervise::{SourceEvent, SourceFaultStats, SupervisedSource};
+use super::supervise::{SourceBlock, SourceEvent, SourceFaultStats, SupervisedSource};
 use super::{OpStats, Operator, Pipeline};
 use crate::error::QueryError;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -67,6 +67,11 @@ pub struct ParallelConfig {
     /// `false` decodes row-at-a-time on the decoder thread — the
     /// reference the columnar path is differentially tested against.
     pub columnar_decode: bool,
+    /// Pull the source in zero-copy index batches. Columnar work items
+    /// become shared views into the firehose log (no `Tweet` clone
+    /// between the log and the workers); `false` keeps the per-tweet
+    /// facade as the differential reference.
+    pub batched_source: bool,
 }
 
 /// One worker's owned state: cloned stateless-prefix operators plus an
@@ -174,19 +179,34 @@ pub fn run_parallel(
     std::thread::scope(|s| {
         let live = cfg.live_columns.clone();
         let columnar = cfg.columnar_decode;
+        let batched = cfg.batched_source;
         let (tw, tm, rc, rtb) = (&to_workers, &to_merge, &recycle, &recycle_tb);
         let decoder = s.spawn(move || {
-            decode_loop(
-                src,
-                tw,
-                tm,
-                rc,
-                rtb,
-                batch_size,
-                wm_interval,
-                live,
-                columnar,
-            )
+            if batched {
+                decode_loop_batched(
+                    src,
+                    tw,
+                    tm,
+                    rc,
+                    rtb,
+                    batch_size,
+                    wm_interval,
+                    live,
+                    columnar,
+                )
+            } else {
+                decode_loop(
+                    src,
+                    tw,
+                    tm,
+                    rc,
+                    rtb,
+                    batch_size,
+                    wm_interval,
+                    live,
+                    columnar,
+                )
+            }
         });
         let handles: Vec<_> = kits
             .drain(..)
@@ -383,6 +403,125 @@ fn decode_loop(
             seq += 1;
         }
     }
+    if !batch.is_empty() {
+        let _ = to_workers.push(Seq { seq, item: batch });
+    }
+    to_workers.close();
+    (src.stats(), src.fault_stats())
+}
+
+/// The decoder over zero-copy source blocks: identical batch cuts,
+/// watermarks, and gap routing to [`decode_loop`], but columnar work
+/// items are shared views into the firehose log (selection indices, no
+/// `Tweet` clone between the log and the worker pool), and the virtual
+/// clock is advanced lazily at cut points instead of per scanned tweet.
+#[allow(clippy::too_many_arguments)]
+fn decode_loop_batched(
+    mut src: SupervisedSource,
+    to_workers: &Chan<Seq<Work>>,
+    to_merge: &Chan<Seq<Done>>,
+    recycle: &Chan<Vec<Record>>,
+    recycle_tb: &Chan<TweetBatch>,
+    batch_size: usize,
+    wm_interval: Duration,
+    live: Option<std::sync::Arc<[bool]>>,
+    columnar: bool,
+) -> (ConnectionStats, SourceFaultStats) {
+    let log = std::sync::Arc::clone(src.log());
+    let clock = std::sync::Arc::clone(src.clock());
+    let fresh = |live: &Option<std::sync::Arc<[bool]>>| {
+        if columnar {
+            let mut tb = recycle_tb.try_pop().unwrap_or_default();
+            tb.reset();
+            tb.set_live(live.clone());
+            // Rebinding a recycled batch to the same log keeps its
+            // selection allocation; only a fresh batch allocates.
+            tb.bind_log(&log);
+            Work::Tweets(tb)
+        } else {
+            Work::Rows(
+                recycle
+                    .try_pop()
+                    .map(|mut v| {
+                        v.clear();
+                        v
+                    })
+                    .unwrap_or_else(|| Vec::with_capacity(batch_size)),
+            )
+        }
+    };
+    let mut seq = 0u64;
+    let mut batch: Work = fresh(&live);
+    let mut next_wm: Option<Timestamp> = None;
+    'stream: while let Some(block) = src.next_block(batch_size) {
+        match block {
+            SourceBlock::Gap { from, to } => {
+                if !batch.is_empty() {
+                    let full = std::mem::replace(&mut batch, fresh(&live));
+                    if to_workers.push(Seq { seq, item: full }).is_err() {
+                        break 'stream;
+                    }
+                    seq += 1;
+                }
+                let g = Seq {
+                    seq,
+                    item: Done::Gap(from, to),
+                };
+                if to_merge.push(g).is_err() {
+                    break 'stream;
+                }
+                seq += 1;
+            }
+            SourceBlock::Tweets(b) => {
+                for &i in &b.sel {
+                    let tweet = &log[i as usize];
+                    let ts = tweet.created_at;
+                    if let Some(wm) = next_wm {
+                        if ts >= wm {
+                            clock.advance_to(ts);
+                            if !batch.is_empty() {
+                                let full = std::mem::replace(&mut batch, fresh(&live));
+                                if to_workers.push(Seq { seq, item: full }).is_err() {
+                                    break 'stream;
+                                }
+                                seq += 1;
+                            }
+                            let last = ts.truncate(wm_interval);
+                            let mut bdy = wm;
+                            while bdy <= last {
+                                let w = Seq {
+                                    seq,
+                                    item: Done::Watermark(bdy),
+                                };
+                                if to_merge.push(w).is_err() {
+                                    break 'stream;
+                                }
+                                seq += 1;
+                                bdy += wm_interval;
+                            }
+                        }
+                    }
+                    next_wm = Some(ts.truncate(wm_interval) + wm_interval);
+                    match &mut batch {
+                        Work::Tweets(tb) => tb.push_index(i),
+                        Work::Rows(rows) => rows.push(match &live {
+                            Some(l) => Record::from_tweet_pruned(tweet, l),
+                            None => Record::from_tweet(tweet),
+                        }),
+                    }
+                    if batch.len() >= batch_size {
+                        clock.advance_to(ts);
+                        let full = std::mem::replace(&mut batch, fresh(&live));
+                        if to_workers.push(Seq { seq, item: full }).is_err() {
+                            break 'stream;
+                        }
+                        seq += 1;
+                    }
+                }
+            }
+        }
+    }
+    clock.advance_to(src.frontier());
     if !batch.is_empty() {
         let _ = to_workers.push(Seq { seq, item: batch });
     }

@@ -20,7 +20,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet, VecDeque};
 use std::sync::Arc;
-use tweeql_firehose::api::{Connection, ConnectionStats, FilterSpec, StreamingApi};
+use tweeql_firehose::api::{Connection, ConnectionStats, FilterSpec, SourceBatch, StreamingApi};
 use tweeql_firehose::fault::{
     FaultPlan, FaultStats, FaultyConnection, StreamConnection, StreamFault,
 };
@@ -72,7 +72,7 @@ impl Default for RetryPolicy {
 }
 
 /// Counters describing what the supervisor saw and did.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SourceFaultStats {
     /// Disconnects observed.
     pub disconnects: u64,
@@ -176,6 +176,40 @@ impl Ord for Held {
 /// slots of lookahead re-sorts them.
 const REORDER_HOLD: usize = 4;
 
+/// A log index held in the batched reorder-healing buffer — the
+/// index-level mirror of [`Held`], ordered by the same `(created_at,
+/// id)` key.
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct HeldIdx {
+    ts: Timestamp,
+    id: u64,
+    idx: u32,
+}
+
+/// A block yielded by the batched supervisor pull
+/// ([`SupervisedSource::next_block`]): zero-copy delivered tweets, or a
+/// coverage gap.
+#[derive(Debug)]
+pub enum SourceBlock<'a> {
+    /// Delivered (deduplicated, reorder-healed) tweets as selection
+    /// indices into the shared firehose log.
+    Tweets(&'a SourceBatch),
+    /// Stream time `[from, to)` may be under-covered.
+    Gap {
+        /// Inclusive start of the suspect interval.
+        from: Timestamp,
+        /// Exclusive end of the suspect interval.
+        to: Timestamp,
+    },
+}
+
+/// A block queued for delivery by the batched path (held tweets drained
+/// at a disconnect, and gap markers).
+enum PendingBlock {
+    Sel(Vec<u32>),
+    Gap(Timestamp, Timestamp),
+}
+
 /// The supervised source. Iterate it like a connection; it reconnects,
 /// dedups, heals reorders, and emits gap markers internally.
 ///
@@ -201,6 +235,23 @@ pub struct SupervisedSource {
     consecutive: u32,
     max_seen_ts: Timestamp,
     done: bool,
+    // --- batched-pull state (`next_block`); unused by the per-tweet
+    // --- iterator, which remains the reference implementation.
+    /// Scratch for raw segment pulls.
+    sbatch: SourceBatch,
+    /// Output staging: the block handed to the consumer.
+    obatch: SourceBatch,
+    /// Index-level reorder-healing buffer (mirror of `heap`).
+    iheap: BinaryHeap<Reverse<HeldIdx>>,
+    /// Blocks queued behind the current one (mirror of `pending`).
+    pending_blocks: VecDeque<PendingBlock>,
+    /// A disconnect observed at the end of a partial batch, deferred
+    /// until the consumer has drained that batch; carries the faulted
+    /// segment's scan frontier (the per-tweet path's clock position at
+    /// the disconnect).
+    pending_disconnect: Option<Timestamp>,
+    /// `created_at` of the furthest firehose tweet scanned.
+    frontier: Timestamp,
 }
 
 impl SupervisedSource {
@@ -233,6 +284,12 @@ impl SupervisedSource {
             consecutive: 0,
             max_seen_ts: Timestamp::ZERO,
             done: false,
+            sbatch: SourceBatch::new(),
+            obatch: SourceBatch::new(),
+            iheap: BinaryHeap::new(),
+            pending_blocks: VecDeque::new(),
+            pending_disconnect: None,
+            frontier: Timestamp::ZERO,
         };
         s.open_segment(Timestamp::ZERO);
         s
@@ -355,6 +412,191 @@ impl SupervisedSource {
             self.push_gap(t_d, resume);
         }
         self.open_segment(resume);
+    }
+
+    // ------------------------------------------------------------------
+    // Batched (zero-copy) pull. Same reconnect / dedup / heal / gap
+    // machinery as the per-tweet iterator, run over selection indices:
+    // the delivered tweet set, ConnectionStats, and gap windows are
+    // byte-identical to the iterator per seed, which stays as the
+    // reference path.
+    // ------------------------------------------------------------------
+
+    /// The `Arc`-shared firehose log every block's indices point into.
+    pub fn log(&self) -> &Arc<Vec<Tweet>> {
+        self.api.log()
+    }
+
+    /// The shared virtual clock (the streaming API's).
+    pub fn clock(&self) -> &Arc<VirtualClock> {
+        &self.clock
+    }
+
+    /// `created_at` of the furthest firehose tweet scanned so far. At
+    /// end of stream the consumer advances the virtual clock here,
+    /// mirroring the per-tweet path's trailing scan.
+    pub fn frontier(&self) -> Timestamp {
+        self.frontier
+    }
+
+    /// Pull the next block: up to `max` delivered tweets as zero-copy
+    /// log indices, or a gap marker. `None` means end of stream.
+    ///
+    /// Clock protocol: the pull itself advances the clock only where
+    /// the per-tweet path does off-consumer work (stalls, reconnect
+    /// backoff — and a disconnect observed mid-batch is deferred until
+    /// the consumer has drained the partial batch, so backoff never
+    /// runs ahead of undelivered tweets). The consumer advances the
+    /// clock to each tweet's timestamp as it consumes the block, and to
+    /// [`frontier`](SupervisedSource::frontier) at end of stream.
+    pub fn next_block(&mut self, max: usize) -> Option<SourceBlock<'_>> {
+        loop {
+            if let Some(block) = self.pending_blocks.pop_front() {
+                match block {
+                    PendingBlock::Sel(sel) => {
+                        self.obatch.sel = sel;
+                        self.obatch.scan_end = self.frontier;
+                        return Some(SourceBlock::Tweets(&self.obatch));
+                    }
+                    PendingBlock::Gap(from, to) => return Some(SourceBlock::Gap { from, to }),
+                }
+            }
+            if let Some(scan_end) = self.pending_disconnect.take() {
+                // The consumer has drained everything delivered before
+                // the drop; put the clock where the per-tweet scan left
+                // it, then run the reconnect machinery.
+                self.clock.advance_to(scan_end);
+                self.handle_disconnect_batched();
+                continue;
+            }
+            if self.done {
+                return None;
+            }
+            let Some(seg) = self.seg.as_mut() else {
+                self.done = true;
+                continue;
+            };
+            match seg {
+                Seg::Plain(conn) => {
+                    conn.next_batch(max, &mut self.obatch);
+                    self.frontier = self.frontier.max(self.obatch.scan_end);
+                    if self.obatch.is_empty() {
+                        self.close_segment();
+                        self.done = true;
+                        return None;
+                    }
+                    return Some(SourceBlock::Tweets(&self.obatch));
+                }
+                Seg::Faulty(fc) => {
+                    let meta = fc.next_batch(max, &mut self.sbatch);
+                    self.frontier = self.frontier.max(self.sbatch.scan_end);
+                    self.fstats.malformed_skipped += meta.malformed as u64;
+                    if !self.sbatch.sel.is_empty() {
+                        self.consecutive = 0;
+                    }
+                    // Dedup + reorder-heal the raw deliveries into the
+                    // output selection.
+                    self.obatch.clear();
+                    let log: &[Tweet] = self.api.ground_truth();
+                    for k in 0..self.sbatch.sel.len() {
+                        let idx = self.sbatch.sel[k];
+                        let t = &log[idx as usize];
+                        if !self.seen.insert(t.id) {
+                            self.fstats.duplicates_dropped += 1;
+                            continue;
+                        }
+                        if t.created_at > self.max_seen_ts {
+                            self.max_seen_ts = t.created_at;
+                        }
+                        self.iheap.push(Reverse(HeldIdx {
+                            ts: t.created_at,
+                            id: t.id,
+                            idx,
+                        }));
+                        if self.iheap.len() > self.hold {
+                            let Reverse(h) = self.iheap.pop().expect("non-empty heap");
+                            self.obatch.sel.push(h.idx);
+                        }
+                    }
+                    match meta.fault {
+                        Some(StreamFault::Disconnect) => {
+                            self.pending_disconnect = Some(self.sbatch.scan_end);
+                        }
+                        Some(StreamFault::Malformed) => {
+                            unreachable!("malformed is counted, never surfaced")
+                        }
+                        None if self.sbatch.sel.is_empty() => {
+                            // End of stream: release the hold buffer.
+                            self.close_segment();
+                            let drained = self.drain_iheap();
+                            if !drained.is_empty() {
+                                self.pending_blocks.push_back(PendingBlock::Sel(drained));
+                            }
+                            self.done = true;
+                        }
+                        None => {}
+                    }
+                    self.obatch.scan_end = self.sbatch.scan_end;
+                    if !self.obatch.sel.is_empty() {
+                        return Some(SourceBlock::Tweets(&self.obatch));
+                    }
+                }
+            }
+        }
+    }
+
+    fn drain_iheap(&mut self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.iheap.len());
+        while let Some(Reverse(h)) = self.iheap.pop() {
+            out.push(h.idx);
+        }
+        out
+    }
+
+    /// [`handle_disconnect`](Self::handle_disconnect) over pending
+    /// *blocks*: identical counter updates, backoff arithmetic, and
+    /// event order (held tweets first, then the gap marker).
+    fn handle_disconnect_batched(&mut self) {
+        self.fstats.disconnects += 1;
+        self.close_segment();
+        let drained = self.drain_iheap();
+        if !drained.is_empty() {
+            self.pending_blocks.push_back(PendingBlock::Sel(drained));
+        }
+        self.consecutive += 1;
+        let t_d = self.max_seen_ts;
+        if self.consecutive > self.retry.max_attempts {
+            self.fstats.gave_up = true;
+            let end = self.log_end();
+            self.push_gap_block(t_d, end);
+            self.done = true;
+            return;
+        }
+        let exp = (self.consecutive - 1).min(20);
+        let base_ms = self.retry.base.millis().max(1);
+        let delay_ms = base_ms
+            .saturating_mul(1i64 << exp)
+            .min(self.retry.cap.millis().max(1));
+        let jitter_ms = (splitmix(self.seed ^ (self.fstats.reconnects.wrapping_mul(0x9E37) + 1))
+            % (delay_ms as u64 / 4 + 1)) as i64;
+        let delay = Duration::from_millis(delay_ms + jitter_ms);
+        self.clock.advance(delay);
+        self.fstats.backoff_total = self.fstats.backoff_total + delay;
+        self.fstats.reconnects += 1;
+        let resume_ms = t_d.millis() + delay.millis() - self.retry.replay_overlap.millis();
+        let resume = Timestamp::from_millis(resume_ms.max(0));
+        if resume > t_d {
+            self.push_gap_block(t_d, resume);
+        }
+        self.open_segment(resume);
+    }
+
+    fn push_gap_block(&mut self, from: Timestamp, to: Timestamp) {
+        let to = to.min(self.log_end());
+        if to > from {
+            self.fstats.gaps.push((from, to));
+            self.pending_blocks.push_back(PendingBlock::Gap(from, to));
+        }
     }
 }
 
@@ -599,5 +841,90 @@ mod tests {
         assert!(b1 > Duration::ZERO);
         let (b3, _) = run(43);
         assert_ne!(b1, b3, "jitter differs by seed");
+    }
+
+    /// The batched block pull must be byte-identical to the per-tweet
+    /// iterator: same delivered ids in order, same gap windows, same
+    /// connection + fault stats, same final virtual clock — across
+    /// fault plans and batch sizes.
+    #[test]
+    fn batched_blocks_match_per_tweet_supervision() {
+        let mut plan_gappy = FaultPlan::chaos(5);
+        plan_gappy.disconnect_rate = 0.004;
+        let zero_overlap = RetryPolicy {
+            replay_overlap: Duration::ZERO,
+            ..RetryPolicy::default()
+        };
+        let mut plan_giveup = FaultPlan::chaos(2);
+        plan_giveup.disconnect_rate = 1.0;
+        plan_giveup.max_disconnects = 100;
+        let giveup_policy = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        let cases: Vec<(Option<FaultPlan>, RetryPolicy, u64)> = vec![
+            (None, RetryPolicy::default(), 0),
+            (Some(FaultPlan::chaos(1234)), heal_all_policy(), 77),
+            (Some(FaultPlan::chaos(42)), RetryPolicy::default(), 13),
+            (Some(plan_gappy), zero_overlap, 9),
+            (Some(plan_giveup), giveup_policy, 4),
+        ];
+        for (plan, policy, seed) in cases {
+            let filter = FilterSpec::Sample(1.0);
+            // Reference: the per-tweet iterator path.
+            let ref_clock = VirtualClock::new();
+            let mut reference = SupervisedSource::new(
+                api(Arc::clone(&ref_clock)),
+                filter.clone(),
+                plan.clone(),
+                policy.clone(),
+                seed,
+            );
+            let mut ref_ids = Vec::new();
+            let mut ref_gaps = Vec::new();
+            for e in reference.by_ref() {
+                match e {
+                    SourceEvent::Tweet(t) => ref_ids.push(t.id),
+                    SourceEvent::Gap { from, to } => ref_gaps.push((from, to)),
+                }
+            }
+            for max in [1usize, 7, 256] {
+                let clock = VirtualClock::new();
+                let mut src = SupervisedSource::new(
+                    api(Arc::clone(&clock)),
+                    filter.clone(),
+                    plan.clone(),
+                    policy.clone(),
+                    seed,
+                );
+                let log = Arc::clone(src.log());
+                let mut ids = Vec::new();
+                let mut gaps = Vec::new();
+                loop {
+                    match src.next_block(max) {
+                        Some(SourceBlock::Tweets(b)) => {
+                            for &i in &b.sel {
+                                let t = &log[i as usize];
+                                clock.advance_to(t.created_at);
+                                ids.push(t.id);
+                            }
+                        }
+                        Some(SourceBlock::Gap { from, to }) => gaps.push((from, to)),
+                        None => break,
+                    }
+                }
+                clock.advance_to(src.frontier());
+                let tag = format!("plan={plan:?} max={max}");
+                assert_eq!(ids, ref_ids, "delivered ids diverge: {tag}");
+                assert_eq!(gaps, ref_gaps, "gap windows diverge: {tag}");
+                assert_eq!(src.stats(), reference.stats(), "stats diverge: {tag}");
+                assert_eq!(
+                    src.fault_stats(),
+                    reference.fault_stats(),
+                    "fault stats diverge: {tag}"
+                );
+                assert_eq!(clock.now(), ref_clock.now(), "clock diverges: {tag}");
+            }
+        }
     }
 }

@@ -42,7 +42,7 @@ pub(crate) mod index;
 use crate::catalog::Catalog;
 use crate::engine::{Diagnostics, EngineBuilder, EngineConfig, RegistryFn};
 use crate::error::QueryError;
-use crate::exec::supervise::{SourceEvent, SourceFaultStats, SupervisedSource};
+use crate::exec::supervise::{SourceBlock, SourceEvent, SourceFaultStats, SupervisedSource};
 use crate::parser::parse;
 use crate::plan::{plan, PlanConfig};
 use crate::udf::{Registry, SharedGeoService};
@@ -50,10 +50,10 @@ use index::{FilterIndex, IndexBuilder, NeedleGroups};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
-use tweeql_firehose::api::ConnectionStats;
+use tweeql_firehose::api::{ConnectionStats, SourceBatch};
 use tweeql_firehose::{FilterSpec, StreamingApi};
 use tweeql_model::{
-    Clock, Duration, Record, RowCache, SchemaRef, Timestamp, TweetBatch, VirtualClock,
+    Clock, Duration, Record, RowCache, SchemaRef, Timestamp, Tweet, TweetBatch, VirtualClock,
 };
 use tweeql_obs::{MetricsRegistry, QueryId, SpanKind, Tracer};
 
@@ -96,7 +96,7 @@ pub struct QueryInfo {
 }
 
 /// Aggregate dispatcher statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HostStats {
     /// Tweets the shared source delivered.
     pub tweets_delivered: u64,
@@ -323,6 +323,13 @@ pub struct QueryHost {
     tracer: Option<Tracer>,
     source: Option<SupervisedSource>,
     peeked: Option<SourceEvent>,
+    /// Batched pull state: the block being consumed, the cursor into
+    /// its selection, a gap stashed in arrival order, and the shared
+    /// firehose log the indices point into.
+    hblock: SourceBatch,
+    hcursor: usize,
+    peeked_gap: Option<(Timestamp, Timestamp)>,
+    hlog: Option<Arc<Vec<Tweet>>>,
     exhausted: bool,
     next_id: u64,
     queries: Vec<HostQuery>,
@@ -363,6 +370,10 @@ impl QueryHost {
             tracer: b.trace.map(Tracer::new),
             source: None,
             peeked: None,
+            hblock: SourceBatch::default(),
+            hcursor: 0,
+            peeked_gap: None,
+            hlog: None,
             exhausted: false,
             next_id: 0,
             queries: Vec::new(),
@@ -522,16 +533,20 @@ impl QueryHost {
     /// Stops early when the stream is exhausted.
     pub fn pump_until(&mut self, until: Timestamp) -> Result<u64, QueryError> {
         let before = self.stats.tweets_delivered;
-        while let Some(ev) = self.next_event() {
-            let at = match &ev {
-                SourceEvent::Tweet(t) => t.created_at,
-                SourceEvent::Gap { from, .. } => *from,
-            };
-            if at > until {
-                self.peeked = Some(ev);
-                break;
+        if self.config.batched_source {
+            self.pump_blocks(until)?;
+        } else {
+            while let Some(ev) = self.next_event() {
+                let at = match &ev {
+                    SourceEvent::Tweet(t) => t.created_at,
+                    SourceEvent::Gap { from, .. } => *from,
+                };
+                if at > until {
+                    self.peeked = Some(ev);
+                    break;
+                }
+                self.pump_event(ev)?;
             }
-            self.pump_event(ev)?;
         }
         if self.exhausted {
             self.finish_stream()?;
@@ -548,8 +563,12 @@ impl QueryHost {
     /// query. Returns the number of tweets delivered by this call.
     pub fn run_to_end(&mut self) -> Result<u64, QueryError> {
         let before = self.stats.tweets_delivered;
-        while let Some(ev) = self.next_event() {
-            self.pump_event(ev)?;
+        if self.config.batched_source {
+            self.pump_blocks(Timestamp::from_millis(i64::MAX))?;
+        } else {
+            while let Some(ev) = self.next_event() {
+                self.pump_event(ev)?;
+            }
         }
         self.finish_stream()?;
         Ok(self.stats.tweets_delivered - before)
@@ -672,13 +691,21 @@ impl QueryHost {
 
     fn ensure_source(&mut self) {
         if self.source.is_none() && !self.exhausted {
-            self.source = Some(SupervisedSource::new(
+            let src = SupervisedSource::new(
                 self.api.clone(),
                 FilterSpec::Sample(1.0),
                 self.config.fault.clone(),
                 self.config.retry.clone(),
                 self.config.seed,
-            ));
+            );
+            if self.config.batched_source {
+                // Shared-view mode: buffered rows are indices into the
+                // firehose log, never cloned tweets. `flush_batch`
+                // resets preserve the binding.
+                self.hlog = Some(Arc::clone(src.log()));
+                self.batch.bind_log(src.log());
+            }
+            self.source = Some(src);
         }
     }
 
@@ -704,24 +731,7 @@ impl QueryHost {
         let batch_size = self.config.batch_size.max(1);
         match event {
             SourceEvent::Gap { from, to } => {
-                self.position = self.position.max(to);
-                self.stats.gaps += 1;
-                // Punctuation only matters to time-sensitive pipelines;
-                // with none registered, rows keep their order through
-                // the regular batch_size flushes, so skipping the flush
-                // here is output-invariant.
-                if self.any_ts {
-                    self.flush_batch()?;
-                    let workers = self.config.workers.max(1);
-                    Self::for_each(&mut self.queries, workers, &|q| {
-                        if q.state != QueryState::Running || !q.time_sensitive {
-                            return Ok(());
-                        }
-                        q.planned.pipeline.gap(from, to, &mut q.scratch_out)?;
-                        q.deliver();
-                        q.check_done()
-                    })?;
-                }
+                self.pump_gap(from, to)?;
             }
             SourceEvent::Tweet(tweet) => {
                 let ts = tweet.created_at;
@@ -770,6 +780,151 @@ impl QueryHost {
         Ok(())
     }
 
+    /// Broadcast a source coverage gap to time-sensitive queries, with
+    /// the same flush-first cadence as the per-record path.
+    fn pump_gap(&mut self, from: Timestamp, to: Timestamp) -> Result<(), QueryError> {
+        self.position = self.position.max(to);
+        self.stats.gaps += 1;
+        // Punctuation only matters to time-sensitive pipelines; with
+        // none registered, rows keep their order through the regular
+        // batch_size flushes, so skipping the flush here is
+        // output-invariant.
+        if self.any_ts {
+            self.flush_batch()?;
+            let workers = self.config.workers.max(1);
+            Self::for_each(&mut self.queries, workers, &|q| {
+                if q.state != QueryState::Running || !q.time_sensitive {
+                    return Ok(());
+                }
+                q.planned.pipeline.gap(from, to, &mut q.scratch_out)?;
+                q.deliver();
+                q.check_done()
+            })?;
+        }
+        Ok(())
+    }
+
+    /// The batched pump: consume zero-copy source blocks up to `until`,
+    /// with the exact per-event cadence of [`QueryHost::pump_event`].
+    /// Stops mid-block on the first tweet past `until` (the cursor
+    /// keeps the position for the next call) and stashes an overshot
+    /// gap marker the same way.
+    fn pump_blocks(&mut self, until: Timestamp) -> Result<(), QueryError> {
+        loop {
+            if let Some((from, to)) = self.peeked_gap {
+                if from > until {
+                    break;
+                }
+                self.peeked_gap = None;
+                self.pump_gap(from, to)?;
+                continue;
+            }
+            if self.hcursor < self.hblock.sel.len() {
+                let i = self.hblock.sel[self.hcursor];
+                let ts =
+                    self.hlog.as_ref().expect("log bound with the block")[i as usize].created_at;
+                if ts > until {
+                    break;
+                }
+                self.hcursor += 1;
+                self.pump_index(i, ts)?;
+                continue;
+            }
+            if !self.refill_block() {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Pull the next block (or gap) from the supervised source into the
+    /// host-side stash. Returns false at end of stream.
+    fn refill_block(&mut self) -> bool {
+        self.ensure_source();
+        let batch_size = self.config.batch_size.max(1);
+        let QueryHost {
+            ref mut source,
+            ref mut hblock,
+            ref mut hcursor,
+            ref mut peeked_gap,
+            ref mut exhausted,
+            ref clock,
+            ..
+        } = *self;
+        let Some(src) = source.as_mut() else {
+            *exhausted = true;
+            return false;
+        };
+        match src.next_block(batch_size) {
+            Some(SourceBlock::Tweets(b)) => {
+                hblock.sel.clear();
+                hblock.sel.extend_from_slice(&b.sel);
+                hblock.scan_end = b.scan_end;
+                *hcursor = 0;
+                true
+            }
+            Some(SourceBlock::Gap { from, to }) => {
+                *peeked_gap = Some((from, to));
+                true
+            }
+            None => {
+                // Mirror the per-tweet supervisor's trailing scan: the
+                // clock ends at the stream frontier.
+                clock.advance_to(src.frontier());
+                *exhausted = true;
+                false
+            }
+        }
+    }
+
+    /// One delivered tweet, as a log index: identical watermark and
+    /// flush cadence to the `SourceEvent::Tweet` arm, but the row joins
+    /// the shared-view batch without being cloned. The clock advances
+    /// lazily, only where a flush makes it observable.
+    fn pump_index(&mut self, i: u32, ts: Timestamp) -> Result<(), QueryError> {
+        let wm_interval = self.config.watermark_interval;
+        let batch_size = self.config.batch_size.max(1);
+        self.position = self.position.max(ts);
+        if let Some(wm) = self.next_wm {
+            if ts >= wm {
+                let last = ts.truncate(wm_interval);
+                if self.any_ts {
+                    self.clock.advance_to(ts);
+                    self.flush_batch()?;
+                    let mut boundaries = Vec::new();
+                    let mut boundary = wm;
+                    while boundary <= last {
+                        boundaries.push(boundary);
+                        boundary += wm_interval;
+                    }
+                    self.stats.watermarks += boundaries.len() as u64;
+                    let workers = self.config.workers.max(1);
+                    Self::for_each(&mut self.queries, workers, &|q| {
+                        if q.state != QueryState::Running || !q.time_sensitive {
+                            return Ok(());
+                        }
+                        for &b in &boundaries {
+                            q.planned.pipeline.watermark(b, &mut q.scratch_out)?;
+                        }
+                        q.deliver();
+                        q.check_done()
+                    })?;
+                } else {
+                    let crossed = (last.millis() - wm.millis()) / wm_interval.millis().max(1) + 1;
+                    self.stats.watermarks += crossed as u64;
+                }
+            }
+        }
+        self.next_wm = Some(ts.truncate(wm_interval) + wm_interval);
+        self.batch.push_index(i);
+        self.stats.tweets_delivered += 1;
+        if self.batch.len() >= batch_size {
+            self.clock.advance_to(ts);
+            self.flush_batch()?;
+        }
+        Ok(())
+    }
+
     /// Dispatch the buffered batch: one prefilter scan per row, one
     /// decode per candidate row, per-query `Arc`-clone fan-out.
     fn flush_batch(&mut self) -> Result<(), QueryError> {
@@ -778,6 +933,32 @@ impl QueryHost {
             return Ok(());
         }
         self.stats.batches += 1;
+        // Single-query fast path: with exactly one running query there
+        // is nothing to share, so the prefilter scan, the row cache,
+        // and the per-query clone fan-out are pure overhead. Hand the
+        // batch straight to the pipeline — in columnar mode a fused
+        // scan materializes only the columns it reads, exactly like a
+        // dedicated engine. Register/drop flush first, so the
+        // condition cannot flip mid-batch.
+        if self.queries.len() == 1 && self.queries[0].state == QueryState::Running {
+            let QueryHost {
+                ref mut batch,
+                ref mut queries,
+                ref mut stats,
+                ..
+            } = *self;
+            let q = &mut queries[0];
+            q.rows_in += n as u64;
+            stats.rows_dispatched += n as u64;
+            stats.rows_decoded += n as u64;
+            // `push_tweet_batch` drains and resets the batch itself
+            // (binding preserved), even on error.
+            q.planned
+                .pipeline
+                .push_tweet_batch(batch, &mut q.scratch_out)?;
+            q.deliver();
+            return q.check_done();
+        }
         // ---- select: which rows does each query want? ----
         // Invariant: every `sel` and the `active` slot list are empty
         // between flushes. Selection records a slot in `active` the
@@ -806,7 +987,8 @@ impl QueryHost {
             // A non-empty batch hands every needle-free query at least
             // one row, so their slots go straight onto the active list.
             active.extend_from_slice(always);
-            for (i, t) in batch.tweets().iter().enumerate() {
+            for i in 0..n {
+                let t = batch.tweet_at(i);
                 filter_index.match_row(&t.text);
                 *stamp += 1;
                 for &nid in filter_index.touched() {

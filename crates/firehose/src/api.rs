@@ -69,6 +69,12 @@ impl CompiledFilter {
         }
     }
 
+    /// True when every tweet matches (the full-firehose `Sample(1.0)`
+    /// endpoint) — lets the batched scan skip the per-tweet hash.
+    fn matches_all(&self) -> bool {
+        matches!(self, CompiledFilter::Sample(t) if *t >= 10_000)
+    }
+
     fn matches(&self, tweet: &Tweet) -> bool {
         match self {
             CompiledFilter::Track(ac) => ac.is_match(&tweet.text),
@@ -113,6 +119,43 @@ impl ConnectionStats {
     }
 }
 
+/// A zero-copy batch of delivered tweets: selection indices into the
+/// `Arc`-shared firehose log plus the scan frontier, instead of cloned
+/// `Tweet`s. Produced by [`Connection::next_batch`]; the buffer is
+/// caller-owned so a steady-state pull loop allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct SourceBatch {
+    /// Log indices of the delivered tweets, in delivery order.
+    pub sel: Vec<u32>,
+    /// The batch watermark: `created_at` of the last firehose tweet
+    /// *scanned* while producing this batch (delivered or not).
+    /// Consumers advance the virtual clock here once the batch is
+    /// consumed, mirroring the per-tweet path's scan-time clock.
+    pub scan_end: Timestamp,
+}
+
+impl SourceBatch {
+    /// An empty batch buffer.
+    pub fn new() -> SourceBatch {
+        SourceBatch::default()
+    }
+
+    /// Delivered tweets in the batch.
+    pub fn len(&self) -> usize {
+        self.sel.len()
+    }
+
+    /// True when nothing was delivered.
+    pub fn is_empty(&self) -> bool {
+        self.sel.is_empty()
+    }
+
+    /// Drop the selection, keeping its allocation.
+    pub fn clear(&mut self) {
+        self.sel.clear();
+    }
+}
+
 /// The simulated streaming API over a pre-generated firehose log.
 #[derive(Clone)]
 pub struct StreamingApi {
@@ -153,6 +196,12 @@ impl StreamingApi {
     /// Full log access for ground-truth evaluation (not part of the
     /// public "API surface" a TweeQL client would see).
     pub fn ground_truth(&self) -> &[Tweet] {
+        &self.tweets
+    }
+
+    /// The `Arc`-shared log itself — what zero-copy batch consumers
+    /// bind their row stores to.
+    pub fn log(&self) -> &Arc<Vec<Tweet>> {
         &self.tweets
     }
 
@@ -213,6 +262,76 @@ impl Connection {
         self.stats
     }
 
+    /// The shared firehose log this connection scans. Batch consumers
+    /// bind their `TweetBatch` row store to this and read delivered
+    /// rows through [`SourceBatch::sel`] without cloning a tweet.
+    pub fn log(&self) -> &Arc<Vec<Tweet>> {
+        &self.tweets
+    }
+
+    /// True when the scan has consumed the whole log.
+    pub fn at_end(&self) -> bool {
+        self.pos >= self.tweets.len()
+    }
+
+    /// Deliver up to `max` tweets as log indices into `out`, returning
+    /// the number delivered. Zero-copy batched delivery: no `Tweet` is
+    /// cloned and the clock is not touched — the consumer advances it
+    /// from the selection (and [`SourceBatch::scan_end`]) as it drains
+    /// the batch, which is the only granularity at which the per-tweet
+    /// path's scan-time clock is observable.
+    ///
+    /// Cap, sample-hash, and drop-RNG accounting are byte-identical to
+    /// [`Connection::next`]: the scan stops exactly at the `max`-th
+    /// delivered tweet, the minute-window truncate is hoisted to window
+    /// boundaries (the log is time-ordered), and the drop RNG is drawn
+    /// in the same order — only for matched tweets past the cap — so
+    /// the delivered tweet *set*, the RNG stream, and
+    /// [`ConnectionStats`] all agree with the per-tweet facade.
+    pub fn next_batch(&mut self, max: usize, out: &mut SourceBatch) -> usize {
+        out.sel.clear();
+        let tweets: &[Tweet] = &self.tweets;
+        let n = tweets.len();
+        let match_all = self.filter.matches_all();
+        let minute = tweeql_model::Duration::from_mins(1);
+        let mut win_start = self.window_start;
+        let mut win_end = win_start + minute;
+        let mut win_delivered = self.window_delivered;
+        let mut scanned = 0u64;
+        let mut matched = 0u64;
+        let mut dropped = 0u64;
+        while self.pos < n && out.sel.len() < max {
+            let i = self.pos;
+            let tweet = &tweets[i];
+            self.pos += 1;
+            scanned += 1;
+            if !match_all && !self.filter.matches(tweet) {
+                continue;
+            }
+            matched += 1;
+            let ts = tweet.created_at;
+            if ts >= win_end || ts < win_start {
+                win_start = ts.truncate(minute);
+                win_end = win_start + minute;
+                win_delivered = 0;
+            }
+            if win_delivered >= self.cap_per_min && self.rng.random_range(0..10) < 9 {
+                dropped += 1;
+                continue;
+            }
+            win_delivered += 1;
+            out.sel.push(i as u32);
+        }
+        self.window_start = win_start;
+        self.window_delivered = win_delivered;
+        self.stats.scanned += scanned;
+        self.stats.matched += matched;
+        self.stats.dropped += dropped;
+        self.stats.delivered += out.sel.len() as u64;
+        out.scan_end = self.scan_end();
+        out.sel.len()
+    }
+
     /// Deliver tweets until stream time `until`, via callback; returns
     /// the number delivered. Use when interleaving multiple connections.
     pub fn poll_until(&mut self, until: Timestamp, mut f: impl FnMut(Tweet)) -> usize {
@@ -239,10 +358,19 @@ impl Connection {
 
     /// Advance one firehose tweet; Some when it was delivered.
     fn step(&mut self) -> Option<Tweet> {
-        let tweet = &self.tweets[self.pos];
+        self.step_at(self.advance_clock)
+            .map(|i| self.tweets[i as usize].clone())
+    }
+
+    /// The step core: one scanned tweet, returning the log index on
+    /// delivery. Cap / sample / drop-RNG accounting lives here so the
+    /// per-tweet path and the index paths cannot drift.
+    fn step_at(&mut self, advance_clock: bool) -> Option<u32> {
+        let i = self.pos;
+        let tweet = &self.tweets[i];
         self.pos += 1;
         self.stats.scanned += 1;
-        if self.advance_clock {
+        if advance_clock {
             self.clock.advance_to(tweet.created_at);
         }
         if !self.filter.matches(tweet) {
@@ -266,7 +394,30 @@ impl Connection {
         }
         self.window_delivered += 1;
         self.stats.delivered += 1;
-        Some(tweet.clone())
+        Some(i as u32)
+    }
+
+    /// Deliver the next tweet as a log index, without touching the
+    /// clock — the per-tweet primitive the batched fault layer drives
+    /// (its consumer owns clock advancement, exactly like
+    /// [`Connection::next_batch`]).
+    pub fn next_index(&mut self) -> Option<u32> {
+        while self.pos < self.tweets.len() {
+            if let Some(i) = self.step_at(false) {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// `created_at` of the last firehose tweet scanned, `ZERO` before
+    /// the first scan — the clock frontier a batch consumer advances to.
+    pub fn scan_end(&self) -> Timestamp {
+        if self.pos > 0 {
+            self.tweets[self.pos - 1].created_at
+        } else {
+            Timestamp::ZERO
+        }
     }
 }
 
@@ -393,6 +544,59 @@ mod tests {
         assert_eq!(seen.len(), before, "no double delivery");
         conn.poll_until(Timestamp::from_mins(20), |t| seen.push(t));
         assert_eq!(seen.len(), api.firehose_len());
+    }
+
+    /// Drain a connection through the batched path, collecting ids.
+    fn drain_batched(mut conn: Connection, max: usize) -> (Vec<u64>, ConnectionStats) {
+        let mut b = SourceBatch::new();
+        let mut ids = Vec::new();
+        while !conn.at_end() {
+            conn.next_batch(max, &mut b);
+            ids.extend(b.sel.iter().map(|&i| conn.log()[i as usize].id));
+        }
+        (ids, conn.stats())
+    }
+
+    #[test]
+    fn batched_delivery_matches_per_tweet_sets_and_stats() {
+        for (name, filter, cap) in [
+            ("track", FilterSpec::Track(vec!["obama".into()]), u64::MAX),
+            ("capped", FilterSpec::Track(vec!["obama".into()]), 10),
+            ("sample", FilterSpec::Sample(0.1), u64::MAX),
+            ("firehose", FilterSpec::Sample(1.0), u64::MAX),
+            ("capped-firehose", FilterSpec::Sample(1.0), 25),
+        ] {
+            let mut api = api();
+            if cap != u64::MAX {
+                api = api.with_delivery_cap(cap);
+            }
+            let mut per_tweet = api.connect(filter.clone());
+            let ref_ids: Vec<u64> = per_tweet.by_ref().map(|t| t.id).collect();
+            let ref_stats = per_tweet.stats();
+            for max in [1usize, 7, 256, usize::MAX] {
+                let (ids, stats) = drain_batched(api.connect(filter.clone()), max);
+                assert_eq!(ids, ref_ids, "{name} delivered set diverged at max={max}");
+                assert_eq!(stats, ref_stats, "{name} stats diverged at max={max}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_scan_end_tracks_the_scan_frontier() {
+        let api = api();
+        let mut conn = api.connect(FilterSpec::Track(vec!["obama".into()]));
+        let mut b = SourceBatch::new();
+        let delivered = conn.next_batch(5, &mut b);
+        assert_eq!(delivered, 5);
+        // The scan stops exactly at the 5th delivered tweet.
+        assert_eq!(b.scan_end, api.ground_truth()[b.sel[4] as usize].created_at);
+        // Draining the rest pushes the frontier to the last log tweet.
+        while !conn.at_end() {
+            conn.next_batch(usize::MAX, &mut b);
+        }
+        assert_eq!(b.scan_end, api.ground_truth().last().unwrap().created_at);
+        // A batched pull never touches the clock.
+        assert_eq!(api.clock().now(), Timestamp::ZERO);
     }
 
     #[test]

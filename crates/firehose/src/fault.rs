@@ -7,7 +7,7 @@
 //! from a seeded RNG, so chaos tests are exactly reproducible: the same
 //! `FaultPlan` seed yields the same fault sequence every run.
 
-use crate::api::{Connection, ConnectionStats};
+use crate::api::{Connection, ConnectionStats, SourceBatch};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
@@ -163,6 +163,13 @@ pub struct FaultyConnection<C: StreamConnection> {
     rng: StdRng,
     /// Deliveries queued by duplicate/reorder/malformed injection.
     queue: VecDeque<Result<Tweet, StreamFault>>,
+    /// Log indices queued by the batched path's duplicate / reorder /
+    /// malformed injection (the index-level mirror of `queue`).
+    iqueue: VecDeque<u32>,
+    /// A tweet whose stall roll hit mid-batch: the batch was cut before
+    /// it so the consumer drains up to the stall point first; the next
+    /// batched pull applies the stall and resumes its remaining rolls.
+    stall_resume: Option<u32>,
     /// Disconnects this epoch may still inject.
     disconnect_budget: u32,
     dead: bool,
@@ -186,6 +193,8 @@ impl<C: StreamConnection> FaultyConnection<C> {
             clock,
             rng,
             queue: VecDeque::new(),
+            iqueue: VecDeque::new(),
+            stall_resume: None,
             disconnect_budget,
             dead: false,
             stats: FaultStats::default(),
@@ -258,6 +267,131 @@ impl<C: StreamConnection> StreamConnection for FaultyConnection<C> {
 
     fn stats(&self) -> ConnectionStats {
         self.inner.stats()
+    }
+}
+
+/// Outcome of one batched faulty pull ([`FaultyConnection::next_batch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultyBatch {
+    /// `Some(Disconnect)` means the epoch died *after* the deliveries
+    /// already in the batch — the partial batch and the fault arrive
+    /// together. `Malformed` is never surfaced here (see `malformed`).
+    pub fault: Option<StreamFault>,
+    /// Malformed payloads injected (and skipped) during this pull; the
+    /// per-tweet path surfaces each as an `Err(Malformed)` frame.
+    pub malformed: u32,
+}
+
+/// Batched faulty delivery over the concrete firehose [`Connection`]
+/// (the only inner type the supervisor runs): the same per-delivery
+/// roll state machine as [`StreamConnection::try_next`], executed over
+/// log indices so faults segment zero-copy batches instead of cloned
+/// tweets. RNG draws happen in the identical order — disconnect, stall,
+/// malformed, reorder, duplicate, with queued re-deliveries skipping
+/// rolls — so the delivered sequence is byte-identical per seed/epoch.
+///
+/// Clock protocol: the inner scan never advances the clock; a stall
+/// *cuts the batch* before the stalled tweet so the consumer drains (and
+/// clock-advances through) everything earlier, then the next pull
+/// applies `advance_to(stalled.ts)` + `advance(stall)` before resuming —
+/// reproducing the per-tweet path's clock at every consumer-observable
+/// point.
+impl FaultyConnection<Connection> {
+    /// The shared firehose log behind this connection.
+    pub fn log(&self) -> &Arc<Vec<Tweet>> {
+        self.inner.log()
+    }
+
+    /// Deliver up to `max` tweets as log indices into `out`. An empty
+    /// batch with no fault means end of stream.
+    pub fn next_batch(&mut self, max: usize, out: &mut SourceBatch) -> FaultyBatch {
+        out.clear();
+        let mut malformed = 0u32;
+        let fault = loop {
+            if out.sel.len() >= max {
+                break None;
+            }
+            // Queued re-deliveries (duplicate / reorder / post-malformed
+            // tweets) skip the fault rolls, exactly like the per-tweet
+            // queue.
+            if let Some(i) = self.iqueue.pop_front() {
+                out.sel.push(i);
+                continue;
+            }
+            // A stall cut the previous batch just before this tweet:
+            // the consumer has drained up to the stall point, so apply
+            // the stall now and resume the tweet's remaining rolls.
+            if let Some(i) = self.stall_resume.take() {
+                self.apply_stall(i);
+                self.finish_rolls(i, out, &mut malformed);
+                continue;
+            }
+            if self.dead {
+                break Some(StreamFault::Disconnect);
+            }
+            let i = match self.inner.next_index() {
+                Some(i) => i,
+                None => break None, // end of stream
+            };
+            if self.disconnect_budget > 0 && self.roll(self.plan.disconnect_rate) {
+                // The in-flight tweet is lost with the connection.
+                self.dead = true;
+                self.disconnect_budget -= 1;
+                self.stats.disconnects += 1;
+                break Some(StreamFault::Disconnect);
+            }
+            if self.roll(self.plan.stall_rate) {
+                self.stats.stalls += 1;
+                if out.sel.is_empty() {
+                    // Nothing undrained ahead of the stall: apply it
+                    // in place.
+                    self.apply_stall(i);
+                } else {
+                    // Cut the batch before the stalled tweet; its
+                    // remaining rolls run on the next pull, keeping the
+                    // RNG draw order intact.
+                    self.stall_resume = Some(i);
+                    break None;
+                }
+            }
+            self.finish_rolls(i, out, &mut malformed);
+        };
+        out.scan_end = self.inner.scan_end();
+        FaultyBatch { fault, malformed }
+    }
+
+    fn apply_stall(&mut self, i: u32) {
+        self.clock
+            .advance_to(self.inner.log()[i as usize].created_at);
+        self.clock.advance(self.plan.stall);
+    }
+
+    /// The rolls after disconnect and stall: malformed, reorder,
+    /// duplicate, then delivery.
+    fn finish_rolls(&mut self, i: u32, out: &mut SourceBatch, malformed: &mut u32) {
+        if self.roll(self.plan.malformed_rate) {
+            // Garbage arrives first; the real tweet follows intact
+            // (from the queue, with no further rolls).
+            self.iqueue.push_back(i);
+            self.stats.malformed += 1;
+            *malformed += 1;
+            return;
+        }
+        if self.roll(self.plan.reorder_rate) {
+            // Swap with the successor when there is one (a plain
+            // `Connection` never faults, so no error arm here).
+            if let Some(u) = self.inner.next_index() {
+                self.iqueue.push_back(i);
+                self.stats.reorders += 1;
+                out.sel.push(u);
+                return;
+            }
+        }
+        if self.roll(self.plan.duplicate_rate) {
+            self.iqueue.push_back(i);
+            self.stats.duplicates += 1;
+        }
+        out.sel.push(i);
     }
 }
 
@@ -406,6 +540,88 @@ mod tests {
         assert_eq!(ids, baseline, "garbage precedes, never replaces");
         assert!(faults.iter().all(|f| *f == StreamFault::Malformed));
         assert!(!faults.is_empty());
+    }
+
+    #[test]
+    fn batched_faulty_delivery_matches_per_tweet() {
+        let mut stall_only = FaultPlan::none();
+        stall_only.seed = 11;
+        stall_only.stall_rate = 0.05;
+        stall_only.stall = Duration::from_secs(2);
+        let mut malformed_only = FaultPlan::none();
+        malformed_only.seed = 5;
+        malformed_only.malformed_rate = 0.2;
+        for plan in [
+            FaultPlan::chaos(1),
+            FaultPlan::chaos(42),
+            FaultPlan::chaos(99),
+            stall_only,
+            malformed_only,
+        ] {
+            // Per-tweet reference drain.
+            let api_ref = api();
+            let mut rc = FaultyConnection::new(
+                api_ref.connect(FilterSpec::Sample(1.0)),
+                plan.clone(),
+                api_ref.clock(),
+                0,
+                8,
+            );
+            let mut ref_ids = Vec::new();
+            let mut ref_malformed = 0u32;
+            let mut ref_disconnected = false;
+            loop {
+                match rc.try_next() {
+                    Ok(Some(t)) => ref_ids.push(t.id),
+                    Ok(None) => break,
+                    Err(StreamFault::Malformed) => ref_malformed += 1,
+                    Err(StreamFault::Disconnect) => {
+                        ref_disconnected = true;
+                        break;
+                    }
+                }
+            }
+            // Batched drain, at two batch sizes.
+            for max in [1usize, 64] {
+                let api_b = api();
+                let mut fc = FaultyConnection::new(
+                    api_b.connect(FilterSpec::Sample(1.0)),
+                    plan.clone(),
+                    api_b.clock(),
+                    0,
+                    8,
+                );
+                let mut out = SourceBatch::new();
+                let mut ids = Vec::new();
+                let mut malformed = 0u32;
+                let mut disconnected = false;
+                loop {
+                    let meta = fc.next_batch(max, &mut out);
+                    ids.extend(out.sel.iter().map(|&i| fc.log()[i as usize].id));
+                    malformed += meta.malformed;
+                    if meta.fault == Some(StreamFault::Disconnect) {
+                        disconnected = true;
+                        break;
+                    }
+                    if out.is_empty() {
+                        break;
+                    }
+                }
+                assert_eq!(ids, ref_ids, "delivered ids diverged at max={max}");
+                assert_eq!(malformed, ref_malformed, "malformed count at max={max}");
+                assert_eq!(disconnected, ref_disconnected, "disconnect at max={max}");
+                assert_eq!(
+                    fc.fault_stats(),
+                    rc.fault_stats(),
+                    "fault stats at max={max}"
+                );
+                assert_eq!(
+                    StreamConnection::stats(&fc),
+                    StreamConnection::stats(&rc),
+                    "connection stats at max={max}"
+                );
+            }
+        }
     }
 
     #[test]

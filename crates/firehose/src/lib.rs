@@ -35,7 +35,7 @@ pub mod scenario;
 pub mod scenarios;
 pub mod textgen;
 
-pub use api::{FilterSpec, StreamingApi};
+pub use api::{FilterSpec, SourceBatch, StreamingApi};
 pub use fault::{FaultPlan, FaultStats, FaultyConnection, StreamConnection, StreamFault};
 pub use generator::generate;
 pub use population::Population;

@@ -206,6 +206,35 @@ impl DecodeStats {
     }
 }
 
+/// A borrowed view of a batch's rows: either a plain slice (owned row
+/// store, and the public [`decode_columns`] entry point) or a
+/// selection-vector view into a shared firehose log (the zero-copy
+/// batched source path). Builders are written against this so both row
+/// stores decode through the identical kernels.
+#[derive(Clone, Copy)]
+enum RowsRef<'a> {
+    Slice(&'a [Tweet]),
+    View { log: &'a [Tweet], sel: &'a [u32] },
+}
+
+impl<'a> RowsRef<'a> {
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            RowsRef::Slice(s) => s.len(),
+            RowsRef::View { sel, .. } => sel.len(),
+        }
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> &'a Tweet {
+        match self {
+            RowsRef::Slice(s) => &s[i],
+            RowsRef::View { log, sel } => &log[sel[i] as usize],
+        }
+    }
+}
+
 /// Build the requested columns over a slice of tweets.
 ///
 /// This is the core decode kernel: column-at-a-time loops over the row
@@ -215,6 +244,14 @@ impl DecodeStats {
 /// the wrong width decodes as if there were no mask (fail-open).
 pub fn decode_columns(
     tweets: &[Tweet],
+    needed: &[bool],
+    live: Option<&[bool]>,
+) -> (Vec<Column>, DecodeStats) {
+    decode_rows(RowsRef::Slice(tweets), needed, live)
+}
+
+fn decode_rows(
+    rows: RowsRef<'_>,
     needed: &[bool],
     live: Option<&[bool]>,
 ) -> (Vec<Column>, DecodeStats) {
@@ -229,31 +266,29 @@ pub fn decode_columns(
                 return Column::Missing;
             }
             stats.columns_materialized += 1;
-            build_column(c, tweets, &mut stats)
+            build_column(c, rows, &mut stats)
         })
         .collect();
     (cols, stats)
 }
 
-fn build_column(c: usize, tweets: &[Tweet], stats: &mut DecodeStats) -> Column {
-    let n = tweets.len();
+fn build_column(c: usize, rows: RowsRef<'_>, stats: &mut DecodeStats) -> Column {
     match c {
-        col::ID => dense_int_column(tweets, |t| t.id as i64),
-        col::TEXT => str_column(tweets, |t| &t.text),
-        col::USER_ID => dense_int_column(tweets, |t| t.user.id as i64),
-        col::SCREEN_NAME => str_column(tweets, |t| &t.user.screen_name),
-        col::LOC => dict_column(tweets, |t| &t.user.location, stats),
-        col::LAT => float_column(tweets, |t| t.coordinates.map(|(la, _)| la)),
-        col::LON => float_column(tweets, |t| t.coordinates.map(|(_, lo)| lo)),
+        col::ID => dense_int_column(rows, |t| t.id as i64),
+        col::TEXT => str_column(rows, |t| &t.text),
+        col::USER_ID => dense_int_column(rows, |t| t.user.id as i64),
+        col::SCREEN_NAME => str_column(rows, |t| &t.user.screen_name),
+        col::LOC => dict_column(rows, |t| &t.user.location, stats),
+        col::LAT => float_column(rows, |t| t.coordinates.map(|(la, _)| la)),
+        col::LON => float_column(rows, |t| t.coordinates.map(|(_, lo)| lo)),
         col::CREATED_AT => Column::Time {
-            vals: tweets.iter().map(|t| t.created_at).collect(),
+            vals: (0..rows.len()).map(|i| rows.get(i).created_at).collect(),
         },
-        col::LANG => dict_column(tweets, |t| &t.lang, stats),
-        col::FOLLOWERS => dense_int_column(tweets, |t| t.user.followers as i64),
-        col::RETWEET_OF => int_column(tweets, |t| t.retweet_of.map(|id| id as i64)),
+        col::LANG => dict_column(rows, |t| &t.lang, stats),
+        col::FOLLOWERS => dense_int_column(rows, |t| t.user.followers as i64),
+        col::RETWEET_OF => int_column(rows, |t| t.retweet_of.map(|id| id as i64)),
         _ => {
             debug_assert!(false, "column index {c} out of twitter schema");
-            let _ = n;
             Column::Missing
         }
     }
@@ -261,18 +296,19 @@ fn build_column(c: usize, tweets: &[Tweet], stats: &mut DecodeStats) -> Column {
 
 /// Always-valid integer column: straight collect, validity filled in
 /// whole words instead of a per-row branch.
-fn dense_int_column(tweets: &[Tweet], f: impl Fn(&Tweet) -> i64) -> Column {
+fn dense_int_column(rows: RowsRef<'_>, f: impl Fn(&Tweet) -> i64) -> Column {
     Column::Int {
-        vals: tweets.iter().map(f).collect(),
-        valid: Bitmap::all_true(tweets.len()),
+        vals: (0..rows.len()).map(|i| f(rows.get(i))).collect(),
+        valid: Bitmap::all_true(rows.len()),
     }
 }
 
-fn int_column(tweets: &[Tweet], f: impl Fn(&Tweet) -> Option<i64>) -> Column {
-    let mut vals = Vec::with_capacity(tweets.len());
-    let mut valid = Bitmap::with_capacity(tweets.len());
-    for t in tweets {
-        match f(t) {
+fn int_column(rows: RowsRef<'_>, f: impl Fn(&Tweet) -> Option<i64>) -> Column {
+    let n = rows.len();
+    let mut vals = Vec::with_capacity(n);
+    let mut valid = Bitmap::with_capacity(n);
+    for i in 0..n {
+        match f(rows.get(i)) {
             Some(v) => {
                 vals.push(v);
                 valid.push(true);
@@ -286,11 +322,12 @@ fn int_column(tweets: &[Tweet], f: impl Fn(&Tweet) -> Option<i64>) -> Column {
     Column::Int { vals, valid }
 }
 
-fn float_column(tweets: &[Tweet], f: impl Fn(&Tweet) -> Option<f64>) -> Column {
-    let mut vals = Vec::with_capacity(tweets.len());
-    let mut valid = Bitmap::with_capacity(tweets.len());
-    for t in tweets {
-        match f(t) {
+fn float_column(rows: RowsRef<'_>, f: impl Fn(&Tweet) -> Option<f64>) -> Column {
+    let n = rows.len();
+    let mut vals = Vec::with_capacity(n);
+    let mut valid = Bitmap::with_capacity(n);
+    for i in 0..n {
+        match f(rows.get(i)) {
             Some(v) => {
                 vals.push(v);
                 valid.push(true);
@@ -304,13 +341,14 @@ fn float_column(tweets: &[Tweet], f: impl Fn(&Tweet) -> Option<f64>) -> Column {
     Column::Float { vals, valid }
 }
 
-fn str_column<'t>(tweets: &'t [Tweet], f: impl Fn(&'t Tweet) -> &'t Arc<str>) -> Column {
-    let total: usize = tweets.iter().map(|t| f(t).len()).sum();
+fn str_column<'t>(rows: RowsRef<'t>, f: impl Fn(&'t Tweet) -> &'t Arc<str>) -> Column {
+    let n = rows.len();
+    let total: usize = (0..n).map(|i| f(rows.get(i)).len()).sum();
     let mut arena = String::with_capacity(total);
-    let mut offsets = Vec::with_capacity(tweets.len() + 1);
+    let mut offsets = Vec::with_capacity(n + 1);
     offsets.push(0u32);
-    for t in tweets {
-        arena.push_str(f(t));
+    for i in 0..n {
+        arena.push_str(f(rows.get(i)));
         offsets.push(arena.len() as u32);
     }
     Column::Str { arena, offsets }
@@ -358,19 +396,20 @@ fn val_hash(s: &str) -> u64 {
 /// only first-seen pointers hash their bytes, and distinct allocations
 /// with equal content still collapse to one entry.
 fn dict_column<'t>(
-    tweets: &'t [Tweet],
+    rows: RowsRef<'t>,
     f: impl Fn(&'t Tweet) -> &'t Arc<str>,
     stats: &mut DecodeStats,
 ) -> Column {
-    let mut codes = Vec::with_capacity(tweets.len());
+    let n = rows.len();
+    let mut codes = Vec::with_capacity(n);
     let mut dict: Vec<Arc<str>> = Vec::new();
     // `(data pointer, code + 1)`; code 0 marks an empty slot.
     let mut ptr_cache = [(0usize, 0u32); DICT_PTR_SLOTS];
     // `code + 1`, linear probing; 0 marks an empty slot.
     let mut val_slots = [0u32; DICT_VAL_SLOTS];
     let mut ptr_hits = 0u64;
-    for t in tweets {
-        let s = f(t);
+    for row in 0..n {
+        let s = f(rows.get(row));
         let p = s.as_ptr() as usize;
         let ci = fib(p as u64) & (DICT_PTR_SLOTS - 1);
         let (cp, cc) = ptr_cache[ci];
@@ -385,7 +424,7 @@ fn dict_column<'t>(
                     if dict.len() >= DICT_MAX_ENTRIES {
                         // High cardinality: stop paying per-row lookup
                         // cost, re-encode the whole column as an arena.
-                        return str_column(tweets, f);
+                        return str_column(rows, f);
                     }
                     let code = dict.len() as u32;
                     dict.push(Arc::clone(s));
@@ -408,9 +447,28 @@ fn dict_column<'t>(
     Column::Dict { codes, dict }
 }
 
+/// The batch's row storage: owned tweets (the classic per-tweet source
+/// path, and anything that constructs batches by value) or a selection
+/// vector into an `Arc`-shared firehose log (the zero-copy batched
+/// source path — no `Tweet` is ever cloned between the generated log
+/// and columnar decode).
+#[derive(Debug, Clone)]
+enum RowStore {
+    Owned(Vec<Tweet>),
+    Shared { log: Arc<Vec<Tweet>>, sel: Vec<u32> },
+}
+
+impl Default for RowStore {
+    fn default() -> RowStore {
+        RowStore::Owned(Vec::new())
+    }
+}
+
 /// A micro-batch of tweets with lazily materialized columns.
 ///
-/// The batch owns its tweets as a row store, so any row can always be
+/// The batch carries a row store — owned tweets, or a zero-copy
+/// selection view into the shared firehose log (see
+/// [`bind_log`](TweetBatch::bind_log)) — so any row can always be
 /// projected to a [`Record`] (the shim for unported operators) and any
 /// column can be read row-wise even before materialization. The
 /// columnar accessors ([`str_at`](TweetBatch::str_at),
@@ -425,7 +483,7 @@ fn dict_column<'t>(
 /// pruning as well.
 #[derive(Debug, Clone, Default)]
 pub struct TweetBatch {
-    tweets: Vec<Tweet>,
+    rows: RowStore,
     /// Either empty (nothing materialized) or exactly [`col::COUNT`]
     /// entries.
     cols: Vec<Column>,
@@ -441,7 +499,7 @@ impl TweetBatch {
     /// Empty batch carrying the plan's live-column mask.
     pub fn with_live(live: Option<Arc<[bool]>>) -> TweetBatch {
         TweetBatch {
-            tweets: Vec::new(),
+            rows: RowStore::default(),
             cols: Vec::new(),
             live,
         }
@@ -459,38 +517,113 @@ impl TweetBatch {
         self.live.as_deref().filter(|l| l.len() == col::COUNT)
     }
 
+    /// Switch the batch to zero-copy mode over `log`: rows are log
+    /// indices appended with [`push_index`](TweetBatch::push_index) and
+    /// no `Tweet` is cloned. Rebinding to the same log (recycled batch
+    /// buffers) keeps the selection allocation.
+    pub fn bind_log(&mut self, log: &Arc<Vec<Tweet>>) {
+        self.cols.clear();
+        match &mut self.rows {
+            RowStore::Shared { log: bound, sel } if Arc::ptr_eq(bound, log) => sel.clear(),
+            rows => {
+                *rows = RowStore::Shared {
+                    log: Arc::clone(log),
+                    sel: Vec::new(),
+                }
+            }
+        }
+    }
+
+    /// True when the batch is in zero-copy shared-log mode.
+    pub fn is_shared(&self) -> bool {
+        matches!(self.rows, RowStore::Shared { .. })
+    }
+
     /// Append one tweet. Pushing into a batch that already has
     /// materialized columns drops them (they would go stale).
     pub fn push(&mut self, t: Tweet) {
         if !self.cols.is_empty() {
             self.cols.clear();
         }
-        self.tweets.push(t);
+        match &mut self.rows {
+            RowStore::Owned(tweets) => tweets.push(t),
+            RowStore::Shared { .. } => panic!("push of an owned Tweet into a log-bound batch"),
+        }
+    }
+
+    /// Append one log row by index (shared-log mode only; see
+    /// [`bind_log`](TweetBatch::bind_log)).
+    pub fn push_index(&mut self, idx: u32) {
+        if !self.cols.is_empty() {
+            self.cols.clear();
+        }
+        match &mut self.rows {
+            RowStore::Shared { sel, .. } => sel.push(idx),
+            RowStore::Owned(_) => panic!("push_index into a batch with no bound log"),
+        }
+    }
+
+    /// Append many log rows by index (shared-log mode only).
+    pub fn extend_indices(&mut self, idxs: &[u32]) {
+        if !self.cols.is_empty() {
+            self.cols.clear();
+        }
+        match &mut self.rows {
+            RowStore::Shared { sel, .. } => sel.extend_from_slice(idxs),
+            RowStore::Owned(_) => panic!("extend_indices into a batch with no bound log"),
+        }
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.tweets.len()
+        match &self.rows {
+            RowStore::Owned(tweets) => tweets.len(),
+            RowStore::Shared { sel, .. } => sel.len(),
+        }
     }
 
     /// True when the batch holds no rows.
     pub fn is_empty(&self) -> bool {
-        self.tweets.is_empty()
+        self.len() == 0
     }
 
-    /// The row store.
+    /// The row store as a slice — owned mode only. Shared-log batches
+    /// have no contiguous row slice; use
+    /// [`tweet_at`](TweetBatch::tweet_at).
     pub fn tweets(&self) -> &[Tweet] {
-        &self.tweets
+        match &self.rows {
+            RowStore::Owned(tweets) => tweets,
+            RowStore::Shared { .. } => panic!("tweets() on a log-bound batch; use tweet_at"),
+        }
+    }
+
+    /// Row `i` of the batch, whichever row store backs it.
+    #[inline]
+    pub fn tweet_at(&self, i: usize) -> &Tweet {
+        match &self.rows {
+            RowStore::Owned(tweets) => &tweets[i],
+            RowStore::Shared { log, sel } => &log[sel[i] as usize],
+        }
+    }
+
+    fn rows_ref(&self) -> RowsRef<'_> {
+        match &self.rows {
+            RowStore::Owned(tweets) => RowsRef::Slice(tweets),
+            RowStore::Shared { log, sel } => RowsRef::View { log, sel },
+        }
     }
 
     /// Stream timestamp of row `i`.
     pub fn ts(&self, i: usize) -> Timestamp {
-        self.tweets[i].created_at
+        self.tweet_at(i).created_at
     }
 
     /// Stream timestamp of the last row, if any.
     pub fn last_ts(&self) -> Option<Timestamp> {
-        self.tweets.last().map(|t| t.created_at)
+        match self.len() {
+            0 => None,
+            n => Some(self.ts(n - 1)),
+        }
     }
 
     /// True when column `c` survives the liveness mask.
@@ -504,7 +637,7 @@ impl TweetBatch {
     /// not recounted. Returns what this call actually did.
     pub fn materialize(&mut self, needed: &[bool]) -> DecodeStats {
         if self.cols.is_empty() {
-            let (cols, stats) = decode_columns(&self.tweets, needed, self.live());
+            let (cols, stats) = decode_rows(self.rows_ref(), needed, self.live());
             self.cols = cols;
             return stats;
         }
@@ -516,7 +649,8 @@ impl TweetBatch {
             }
             if needed.get(c).copied().unwrap_or(false) && self.alive(c) {
                 stats.columns_materialized += 1;
-                self.cols[c] = build_column(c, &self.tweets, &mut stats);
+                let built = build_column(c, self.rows_ref(), &mut stats);
+                self.cols[c] = built;
             }
         }
         stats
@@ -543,7 +677,7 @@ impl TweetBatch {
             }
             Some(Column::Dict { codes, dict }) => Some(&dict[codes[i] as usize]),
             _ => {
-                let t = &self.tweets[i];
+                let t = self.tweet_at(i);
                 match c {
                     col::TEXT => Some(&t.text),
                     col::SCREEN_NAME => Some(&t.user.screen_name),
@@ -564,7 +698,7 @@ impl TweetBatch {
         match self.column(c) {
             Some(Column::Float { vals, valid }) => valid.get(i).then(|| vals[i]),
             _ => {
-                let t = &self.tweets[i];
+                let t = self.tweet_at(i);
                 match c {
                     col::LAT => t.coordinates.map(|(la, _)| la),
                     col::LON => t.coordinates.map(|(_, lo)| lo),
@@ -581,7 +715,7 @@ impl TweetBatch {
         if !self.alive(c) {
             return Value::Null;
         }
-        let t = &self.tweets[i];
+        let t = self.tweet_at(i);
         match c {
             col::ID => Value::Int(t.id as i64),
             col::TEXT => Value::Str(Arc::clone(&t.text)),
@@ -611,7 +745,7 @@ impl TweetBatch {
     /// `Record::from_tweet{,_pruned}` so shim output is identical to
     /// the row pipeline by construction.
     pub fn record_at(&self, i: usize) -> Record {
-        let t = &self.tweets[i];
+        let t = self.tweet_at(i);
         match self.live.as_deref() {
             Some(l) => Record::from_tweet_pruned(t, l),
             None => Record::from_tweet(t),
@@ -620,8 +754,8 @@ impl TweetBatch {
 
     /// Append every row as a [`Record`].
     pub fn append_records(&self, out: &mut Vec<Record>) {
-        out.reserve(self.tweets.len());
-        for i in 0..self.tweets.len() {
+        out.reserve(self.len());
+        for i in 0..self.len() {
             out.push(self.record_at(i));
         }
     }
@@ -633,10 +767,13 @@ impl TweetBatch {
         out
     }
 
-    /// Drop rows and columns, keeping the row-store allocation (and
-    /// the liveness mask) for reuse.
+    /// Drop rows and columns, keeping the row-store allocation, the
+    /// log binding (in shared mode), and the liveness mask for reuse.
     pub fn reset(&mut self) {
-        self.tweets.clear();
+        match &mut self.rows {
+            RowStore::Owned(tweets) => tweets.clear(),
+            RowStore::Shared { sel, .. } => sel.clear(),
+        }
         self.cols.clear();
     }
 }
@@ -985,6 +1122,42 @@ mod tests {
         assert_eq!(a.dict_rows, 150);
         assert_eq!(a.dict_reuse_permille(), Some((150 - 5) * 1000 / 150));
         assert_eq!(DecodeStats::default().dict_reuse_permille(), None);
+    }
+
+    #[test]
+    fn shared_log_view_matches_owned_batch() {
+        let log: Arc<Vec<Tweet>> = Arc::new((0..30).map(tweet).collect());
+        let sel: Vec<u32> = (0..30u32).filter(|i| i % 3 != 0).collect();
+        let mut shared = TweetBatch::new();
+        shared.bind_log(&log);
+        shared.extend_indices(&sel);
+        assert!(shared.is_shared());
+        let mut owned = TweetBatch::new();
+        for &i in &sel {
+            owned.push(log[i as usize].clone());
+        }
+        assert_eq!(shared.len(), owned.len());
+        assert_eq!(shared.last_ts(), owned.last_ts());
+        for round in 0..2 {
+            if round == 1 {
+                shared.materialize(&all_columns());
+                owned.materialize(&all_columns());
+            }
+            for i in 0..shared.len() {
+                assert_eq!(shared.record_at(i), owned.record_at(i), "row {i}");
+                for c in 0..col::COUNT {
+                    assert_eq!(shared.value_at(i, c), owned.value_at(i, c));
+                }
+                assert_eq!(shared.str_at(i, col::TEXT), owned.str_at(i, col::TEXT));
+                assert_eq!(shared.float_at(i, col::LAT), owned.float_at(i, col::LAT));
+            }
+        }
+        // Reset keeps the log binding; rebinding is a no-op clear.
+        shared.reset();
+        assert!(shared.is_shared() && shared.is_empty());
+        shared.bind_log(&log);
+        shared.push_index(5);
+        assert_eq!(shared.tweet_at(0).id, log[5].id);
     }
 
     #[test]

@@ -82,8 +82,7 @@ fn main() -> ExitCode {
     };
     let port = listener.local_addr().map(|a| a.port()).unwrap_or(args.port);
     println!("LISTENING {port}");
-    let mut service = Service::new(host);
-    if let Err(e) = serve(listener, &mut service) {
+    if let Err(e) = serve(listener, Service::new(host)) {
         eprintln!("serve failed: {e}");
         return ExitCode::FAILURE;
     }

@@ -9,10 +9,11 @@
 //! The crate ships two binaries:
 //!
 //! * `tweeql-server` — binds a local TCP port, owns the host, and
-//!   answers the line protocol in [`protocol`]. Connections are served
-//!   sequentially: the host is the single point of stream progress, so
-//!   there is nothing to parallelize at the session layer (per-query
-//!   dispatch already shards across host workers).
+//!   answers the line protocol in [`protocol`]. Each connection gets
+//!   its own session thread; the shared host is locked per request, so
+//!   concurrent clients interleave freely while stream progress stays
+//!   serialized through the one host (per-query dispatch already
+//!   shards across host workers).
 //! * `tweeql-client` — a one-shot CLI: renders its arguments as a
 //!   request line, prints the response, exits non-zero on `ERR`.
 //!
@@ -34,6 +35,9 @@ pub mod protocol;
 use protocol::{Request, Response};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
 use tweeql::prelude::*;
 use tweeql::sink;
 use tweeql_firehose::{generate, scenarios, StreamingApi};
@@ -159,18 +163,44 @@ pub fn scenario_host(name: &str, seed: u64, workers: usize) -> Result<QueryHost,
         .build_host())
 }
 
-/// Accept connections sequentially until a client sends `SHUTDOWN`.
-pub fn serve(listener: TcpListener, service: &mut Service) -> io::Result<()> {
+/// Accept connections until a client sends `SHUTDOWN`, serving each on
+/// its own thread. Sessions share one [`Service`] behind a mutex that
+/// is held per *request*, not per connection, so concurrent clients
+/// interleave against the same host state (registrations made by one
+/// client are visible to the next `LIST` from another).
+pub fn serve(listener: TcpListener, service: Service) -> io::Result<()> {
+    let addr = listener.local_addr()?;
+    let service = Arc::new(Mutex::new(service));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let mut sessions: Vec<thread::JoinHandle<io::Result<()>>> = Vec::new();
     for stream in listener.incoming() {
-        if handle_connection(stream?, service)? {
-            return Ok(());
+        let stream = stream?;
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let svc = Arc::clone(&service);
+        let flag = Arc::clone(&shutdown);
+        sessions.push(thread::spawn(move || {
+            if handle_connection(stream, &svc)? {
+                flag.store(true, Ordering::SeqCst);
+                // The accept loop is parked in `incoming()`; a throwaway
+                // local connection wakes it so it can observe the flag.
+                drop(TcpStream::connect(addr));
+            }
+            Ok(())
+        }));
+    }
+    for session in sessions {
+        match session.join() {
+            Ok(r) => r?,
+            Err(p) => std::panic::resume_unwind(p),
         }
     }
     Ok(())
 }
 
 /// Serve one connection to disconnect; true means shutdown was asked.
-fn handle_connection(stream: TcpStream, service: &mut Service) -> io::Result<bool> {
+fn handle_connection(stream: TcpStream, service: &Mutex<Service>) -> io::Result<bool> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     let mut line = String::new();
@@ -185,7 +215,8 @@ fn handle_connection(stream: TcpStream, service: &mut Service) -> io::Result<boo
         let (response, shutdown) = match Request::parse(&line) {
             Ok(req) => {
                 let shutdown = req == Request::Shutdown;
-                (service.handle(req), shutdown)
+                let reply = service.lock().expect("service lock").handle(req);
+                (reply, shutdown)
             }
             Err(e) => (Response::err(e), false),
         };
@@ -268,8 +299,7 @@ mod tests {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let port = listener.local_addr().unwrap().port();
         let server = std::thread::spawn(move || {
-            let mut svc = tiny_service();
-            serve(listener, &mut svc).unwrap();
+            serve(listener, tiny_service()).unwrap();
         });
 
         let mut c = client::Client::connect(port).unwrap();
@@ -291,6 +321,51 @@ mod tests {
         let listed = c2.request(&Request::List).unwrap();
         assert_eq!(listed.body.len(), 1);
         let r = c2.request(&Request::Shutdown).unwrap();
+        assert!(r.ok && r.detail == "bye");
+        server.join().unwrap();
+    }
+
+    /// Two clients hold connections open at the same time and
+    /// interleave requests against the shared host: a registration by
+    /// one is immediately visible to the other, both drive the stream,
+    /// and both poll the same query's output.
+    #[test]
+    fn tcp_concurrent_sessions_share_host_state() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let port = listener.local_addr().unwrap().port();
+        let server = std::thread::spawn(move || {
+            serve(listener, tiny_service()).unwrap();
+        });
+
+        let mut a = client::Client::connect(port).unwrap();
+        let mut b = client::Client::connect(port).unwrap();
+        assert!(a.request(&Request::Ping).unwrap().ok);
+        assert!(b.request(&Request::Ping).unwrap().ok);
+
+        let r = a
+            .request(&Request::Register(
+                "SELECT text FROM twitter WHERE text contains 'kw'".into(),
+            ))
+            .unwrap();
+        assert!(r.ok);
+        let id: QueryId = r.detail.parse().unwrap();
+
+        // B sees A's registration while A is still connected.
+        let listed = b.request(&Request::List).unwrap();
+        assert_eq!(listed.body.len(), 1, "{:?}", listed.body);
+
+        // Both clients advance the one shared stream.
+        assert!(a.request(&Request::Step(60)).unwrap().ok);
+        assert!(b.request(&Request::Run).unwrap().ok);
+
+        // Output is a shared queue: whichever polls first drains it.
+        let rows = b.request(&Request::Poll(id)).unwrap();
+        assert!(rows.ok && !rows.body.is_empty());
+        let rows = a.request(&Request::Poll(id)).unwrap();
+        assert!(rows.ok && rows.body.is_empty(), "B already drained it");
+
+        drop(a);
+        let r = b.request(&Request::Shutdown).unwrap();
         assert!(r.ok && r.detail == "bye");
         server.join().unwrap();
     }
