@@ -1,6 +1,8 @@
 //! Writes `BENCH_engine.json`: parallel-engine throughput and speedup
 //! per worker count (the E9 sweep), plus the `source` arm (E14:
-//! batched vs per-tweet facade delivery).
+//! batched vs per-tweet facade delivery) and the `durability` arm
+//! (E15: WAL append cost, checkpoint cost, replay throughput, and the
+//! WAL-on/WAL-off delivery ratio that CI gates at >= 0.85).
 //!
 //! ```text
 //! cargo run --release -p tweeql-bench --bin engine_bench [-- --smoke] [--out PATH] [--seed N]
@@ -10,7 +12,7 @@
 //! validate the pipeline end-to-end in seconds; the default 20-minute
 //! stream is what EXPERIMENTS.md records.
 
-use tweeql_bench::{e14_source, e9_parallel};
+use tweeql_bench::{e14_source, e15_durability, e9_parallel};
 
 // With --features bench-alloc every measurement also reports heap
 // allocations per scanned record (the JSON field is null otherwise).
@@ -69,8 +71,27 @@ fn main() {
         source.engine.speedup
     );
 
+    let durability = e15_durability::run(seed, minutes);
+    eprintln!(
+        "  durability: append {:.0} ns/record, checkpoint {} B in {:.0} us, \
+         replay {:.0} tweets/sec, delivery ratio {:.3}",
+        durability.append.ns_per_record,
+        durability.checkpoint.bytes,
+        durability.checkpoint.micros,
+        durability.replay.tweets_per_sec,
+        durability.delivery.ratio
+    );
+
     let src_json = e14_source::to_json(&source);
-    let json = e9_parallel::to_json_with_source(&rows, seed, cores, tweets, Some(&src_json));
+    let dur_json = e15_durability::to_json(&durability);
+    let json = e9_parallel::to_json_with_source(
+        &rows,
+        seed,
+        cores,
+        tweets,
+        Some(&src_json),
+        Some(&dur_json),
+    );
     std::fs::write(&out_path, &json).expect("write BENCH_engine.json");
     eprintln!("wrote {out_path}");
 }

@@ -1,0 +1,275 @@
+//! E15 — the cost of durability: WAL appends, checkpoints, recovery
+//! replay, and the end-to-end tax on standing-query delivery.
+//!
+//! Four measurements:
+//!
+//! * **append** — raw [`tweeql_wal::Wal`] append+sync of a
+//!   representative 64-byte record, ns/record. Fsync is off so the
+//!   number is the logging code path (encode, checksum, buffered
+//!   write), not the disk.
+//! * **checkpoint** — wall time and payload size of
+//!   [`QueryHost::checkpoint`] on a host with live windowed state.
+//! * **replay** — recovery throughput: after a mid-stream "crash",
+//!   tweets re-pumped per second while rebuilding the host from
+//!   checkpoint + WAL tail.
+//! * **delivery ratio** — host `run_to_end` throughput with the WAL
+//!   attached vs without, same stream and queries. CI gates
+//!   `walon_tweets_per_sec / waloff_tweets_per_sec >= 0.85`: command
+//!   logging only touches control events, so the steady-state tax on
+//!   tweet delivery must stay small.
+
+use std::time::Instant;
+use tweeql::prelude::*;
+use tweeql_firehose::StreamingApi;
+use tweeql_model::{Duration, Tweet, VirtualClock};
+use tweeql_wal::{TempDir, Wal};
+
+/// Standing queries kept live during the host measurements — a filter,
+/// a windowed aggregate, and a grouped aggregate, so checkpoints carry
+/// real operator state.
+pub const HOST_SQLS: &[&str] = &[
+    "SELECT text FROM twitter WHERE text contains 'obama'",
+    "SELECT count(*) FROM twitter WINDOW 30 seconds",
+    "SELECT lang, count(*) FROM twitter GROUP BY lang WINDOW 60 seconds",
+];
+
+/// Timed repeats; best-of is reported.
+const PASSES: usize = 3;
+
+/// Raw append+sync measurement.
+#[derive(Debug, Clone)]
+pub struct AppendArm {
+    /// Records appended per pass.
+    pub records: u64,
+    /// Payload bytes per record.
+    pub record_bytes: usize,
+    /// Best-of ns per append+sync (fsync off).
+    pub ns_per_record: f64,
+}
+
+/// Checkpoint cost on a live host.
+#[derive(Debug, Clone)]
+pub struct CheckpointArm {
+    /// Serialized checkpoint payload bytes.
+    pub bytes: u64,
+    /// Best-of wall microseconds per checkpoint.
+    pub micros: f64,
+}
+
+/// Recovery replay throughput.
+#[derive(Debug, Clone)]
+pub struct ReplayArm {
+    /// Tweets the stream had delivered at the crash point.
+    pub tweets: u64,
+    /// Best-of recovery wall seconds.
+    pub wall_secs: f64,
+    /// `tweets / wall_secs`.
+    pub tweets_per_sec: f64,
+}
+
+/// End-to-end delivery with and without the WAL.
+#[derive(Debug, Clone)]
+pub struct DeliveryRatioArm {
+    /// Tweets delivered end-to-end (identical across arms).
+    pub tweets: u64,
+    /// WAL detached.
+    pub waloff_tweets_per_sec: f64,
+    /// WAL attached (fsync off, default checkpoint cadence).
+    pub walon_tweets_per_sec: f64,
+    /// `walon / waloff` — the CI-gated number.
+    pub ratio: f64,
+}
+
+/// The E15 result bundle.
+#[derive(Debug, Clone)]
+pub struct E15Result {
+    pub append: AppendArm,
+    pub checkpoint: CheckpointArm,
+    pub replay: ReplayArm,
+    pub delivery: DeliveryRatioArm,
+}
+
+fn api_over(tweets: &[Tweet]) -> StreamingApi {
+    StreamingApi::new(tweets.to_vec(), VirtualClock::new())
+}
+
+fn durable_cfg(dir: &std::path::Path) -> DurabilityConfig {
+    DurabilityConfig::new(dir).fsync(false)
+}
+
+fn host_with_queries(tweets: &[Tweet], seed: u64, dir: Option<&std::path::Path>) -> QueryHost {
+    let builder = Engine::builder(api_over(tweets)).workers(1).seed(seed);
+    let mut host = match dir {
+        Some(d) => builder.recover_with(durable_cfg(d)).expect("recover"),
+        None => builder.build_host(),
+    };
+    for sql in HOST_SQLS {
+        host.register(sql).expect("bench query registers");
+    }
+    host
+}
+
+fn measure_append() -> AppendArm {
+    const RECORDS: u64 = 50_000;
+    let payload = [0xA5u8; 64];
+    let mut best = f64::INFINITY;
+    for _ in 0..PASSES {
+        let td = TempDir::new("e15-append");
+        let (mut wal, _) = Wal::open(td.path(), 8 << 20, false).expect("wal open");
+        let t0 = Instant::now();
+        for _ in 0..RECORDS {
+            wal.append(&payload).expect("append");
+            wal.sync().expect("sync");
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    AppendArm {
+        records: RECORDS,
+        record_bytes: 64,
+        ns_per_record: best * 1e9 / RECORDS as f64,
+    }
+}
+
+fn measure_checkpoint(tweets: &[Tweet], seed: u64) -> CheckpointArm {
+    let mut best = f64::INFINITY;
+    let mut bytes = 0u64;
+    for _ in 0..PASSES {
+        let td = TempDir::new("e15-ckpt");
+        let mut host = host_with_queries(tweets, seed, Some(td.path()));
+        host.pump_until(host.position() + Duration::from_mins(2))
+            .expect("pump");
+        let t0 = Instant::now();
+        host.checkpoint().expect("checkpoint");
+        best = best.min(t0.elapsed().as_secs_f64());
+        bytes = host.wal_stats().expect("durable").checkpoint_bytes;
+    }
+    CheckpointArm {
+        bytes,
+        micros: best * 1e6,
+    }
+}
+
+fn measure_replay(tweets: &[Tweet], seed: u64) -> ReplayArm {
+    let td = TempDir::new("e15-replay");
+    // One run to mid-stream, checkpoint, then "crash" (drop the host).
+    let mut host = host_with_queries(tweets, seed, Some(td.path()));
+    host.pump_until(host.position() + Duration::from_mins(2))
+        .expect("pump");
+    for sql in HOST_SQLS {
+        // Touch take_output so replay also covers Taken suppression.
+        let id = host.list().iter().find(|q| q.sql == *sql).unwrap().id;
+        let _ = host.take_output(id).expect("poll");
+    }
+    host.checkpoint().expect("checkpoint");
+    // Recovery restores the frontier of the last WAL record: progress
+    // past it with no control events is legitimately not durable. The
+    // post-checkpoint poll leaves `Taken` tail records so recovery
+    // also exercises checkpoint + tail, without moving the frontier.
+    let delivered = host.stats().tweets_delivered;
+    host.pump_until(host.position() + Duration::from_mins(1))
+        .expect("pump tail");
+    let tail_id = host.list()[0].id;
+    let _ = host.take_output(tail_id).expect("tail poll");
+    drop(host);
+
+    let mut best = f64::INFINITY;
+    for _ in 0..PASSES {
+        let t0 = Instant::now();
+        let recovered = Engine::builder(api_over(tweets))
+            .workers(1)
+            .seed(seed)
+            .recover_with(durable_cfg(td.path()))
+            .expect("recover");
+        best = best.min(t0.elapsed().as_secs_f64());
+        assert_eq!(recovered.list().len(), HOST_SQLS.len());
+        assert_eq!(recovered.stats().tweets_delivered, delivered);
+    }
+    ReplayArm {
+        tweets: delivered,
+        wall_secs: best,
+        tweets_per_sec: delivered as f64 / best.max(1e-12),
+    }
+}
+
+fn measure_delivery(tweets: &[Tweet], seed: u64) -> DeliveryRatioArm {
+    let run_arm = |durable: bool| -> (u64, f64) {
+        let mut best = f64::INFINITY;
+        let mut delivered = 0u64;
+        for _ in 0..PASSES {
+            // A fresh dir per pass: each WAL-on pass logs from scratch
+            // rather than recovering the previous pass's history.
+            let td = durable.then(|| TempDir::new("e15-deliver"));
+            let mut host = host_with_queries(tweets, seed, td.as_ref().map(|t| t.path()));
+            let t0 = Instant::now();
+            host.run_to_end().expect("run");
+            best = best.min(t0.elapsed().as_secs_f64());
+            delivered = host.stats().tweets_delivered;
+        }
+        (delivered, best)
+    };
+    let (off_tweets, off_wall) = run_arm(false);
+    let (on_tweets, on_wall) = run_arm(true);
+    assert_eq!(off_tweets, on_tweets, "arms delivered different streams");
+    let off_tps = off_tweets as f64 / off_wall.max(1e-12);
+    let on_tps = on_tweets as f64 / on_wall.max(1e-12);
+    DeliveryRatioArm {
+        tweets: off_tweets,
+        waloff_tweets_per_sec: off_tps,
+        walon_tweets_per_sec: on_tps,
+        ratio: on_tps / off_tps.max(1e-12),
+    }
+}
+
+/// Run E15 on the shared E9 firehose (`seed`, `minutes` of stream).
+pub fn run(seed: u64, minutes: i64) -> E15Result {
+    let tweets = crate::e9_parallel::firehose(seed, minutes);
+    E15Result {
+        append: measure_append(),
+        checkpoint: measure_checkpoint(&tweets, seed),
+        replay: measure_replay(&tweets, seed),
+        delivery: measure_delivery(&tweets, seed),
+    }
+}
+
+/// Render the `durability` object spliced into `BENCH_engine.json`.
+pub fn to_json(r: &E15Result) -> String {
+    format!(
+        "{{\n    \"append\": {{\"records\": {}, \"record_bytes\": {}, \
+         \"ns_per_record\": {:.1}}},\n    \
+         \"checkpoint\": {{\"bytes\": {}, \"micros\": {:.1}}},\n    \
+         \"replay\": {{\"tweets\": {}, \"wall_secs\": {:.6}, \
+         \"tweets_per_sec\": {:.1}}},\n    \
+         \"delivery\": {{\"tweets\": {}, \"waloff_tweets_per_sec\": {:.1}, \
+         \"walon_tweets_per_sec\": {:.1}, \"ratio\": {:.3}}}\n  }}",
+        r.append.records,
+        r.append.record_bytes,
+        r.append.ns_per_record,
+        r.checkpoint.bytes,
+        r.checkpoint.micros,
+        r.replay.tweets,
+        r.replay.wall_secs,
+        r.replay.tweets_per_sec,
+        r.delivery.tweets,
+        r.delivery.waloff_tweets_per_sec,
+        r.delivery.walon_tweets_per_sec,
+        r.delivery.ratio,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arms_measure_and_json_renders() {
+        let r = run(7, 1);
+        assert!(r.append.ns_per_record > 0.0);
+        assert!(r.checkpoint.bytes > 0, "live queries checkpoint state");
+        assert!(r.replay.tweets > 0 && r.replay.tweets_per_sec > 0.0);
+        assert!(r.delivery.ratio > 0.0);
+        let json = to_json(&r);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"ns_per_record\""));
+        assert!(json.contains("\"ratio\""));
+    }
+}

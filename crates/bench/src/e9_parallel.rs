@@ -169,7 +169,7 @@ pub fn run_with_counts(seed: u64, minutes: i64, counts: &[usize]) -> Vec<E9Row> 
 /// Render the sweep as the JSON payload written to `BENCH_engine.json`.
 /// Hand-rolled: the vendored `serde` is a stub, and the shape is flat.
 pub fn to_json(rows: &[E9Row], seed: u64, cores: usize, tweets: usize) -> String {
-    to_json_with_source(rows, seed, cores, tweets, None)
+    to_json_with_source(rows, seed, cores, tweets, None, None)
 }
 
 /// [`to_json`] plus an optional `source` arm (the E14 object rendered
@@ -180,6 +180,7 @@ pub fn to_json_with_source(
     cores: usize,
     tweets: usize,
     source_json: Option<&str>,
+    durability_json: Option<&str>,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"engine_parallel\",\n");
@@ -219,12 +220,19 @@ pub fn to_json_with_source(
             if qi + 1 < rows.len() { "," } else { "" }
         ));
     }
-    match source_json {
-        Some(src) => {
-            out.push_str("  ],\n");
-            out.push_str(&format!("  \"source\": {src}\n"));
-        }
-        None => out.push_str("  ]\n"),
+    let mut extras: Vec<String> = Vec::new();
+    if let Some(src) = source_json {
+        extras.push(format!("  \"source\": {src}"));
+    }
+    if let Some(dur) = durability_json {
+        extras.push(format!("  \"durability\": {dur}"));
+    }
+    if extras.is_empty() {
+        out.push_str("  ]\n");
+    } else {
+        out.push_str("  ],\n");
+        out.push_str(&extras.join(",\n"));
+        out.push('\n');
     }
     out.push_str("}\n");
     out

@@ -8,6 +8,7 @@ pub mod alloc_counter;
 pub mod e10_expr;
 pub mod e13_server;
 pub mod e14_source;
+pub mod e15_durability;
 pub mod e1_dashboard;
 pub mod e2_peaks;
 pub mod e3_selectivity;

@@ -512,6 +512,31 @@ impl EngineBuilder {
     pub fn build_host(self) -> crate::host::QueryHost {
         crate::host::QueryHost::from_builder(self)
     }
+
+    /// Build a **durable** standing-query host backed by `dir`: WAL
+    /// records and checkpoints land there, and if the directory already
+    /// holds a previous host's state (after a crash or shutdown), the
+    /// host is recovered from it — registrations, aggregate windows,
+    /// source dedup state, and output positions all resume exactly
+    /// where the log says, with already-taken rows suppressed. An
+    /// empty or missing directory yields a fresh host with logging
+    /// armed. Uses default durability knobs; see
+    /// [`EngineBuilder::recover_with`].
+    pub fn recover_from(
+        self,
+        dir: impl Into<std::path::PathBuf>,
+    ) -> Result<crate::host::QueryHost, QueryError> {
+        self.recover_with(crate::host::durable::DurabilityConfig::new(dir))
+    }
+
+    /// [`EngineBuilder::recover_from`] with explicit durability knobs
+    /// (segment size, checkpoint cadence, fsync).
+    pub fn recover_with(
+        self,
+        cfg: crate::host::durable::DurabilityConfig,
+    ) -> Result<crate::host::QueryHost, QueryError> {
+        crate::host::durable::recover(self, cfg)
+    }
 }
 
 /// The TweeQL query engine.

@@ -36,6 +36,10 @@ pub enum QueryError {
     /// A standing-query host was asked about an id it is not running
     /// (never registered, or already dropped).
     UnknownQuery(String),
+    /// The durability layer failed: WAL I/O, a corrupt checkpoint, a
+    /// config mismatch on recovery, or a replay-verification digest
+    /// divergence.
+    Durability(String),
 }
 
 impl QueryError {
@@ -81,6 +85,7 @@ impl fmt::Display for QueryError {
             QueryError::Check(m) => write!(f, "{m}"),
             QueryError::Exec(m) => write!(f, "execution error: {m}"),
             QueryError::UnknownQuery(id) => write!(f, "unknown query: {id}"),
+            QueryError::Durability(m) => write!(f, "durability error: {m}"),
         }
     }
 }

@@ -589,6 +589,33 @@ impl AggregateOp {
         Ok(())
     }
 
+    /// Digest one groups table in emission order (display-key sort).
+    /// Group state is folded in as `(key, n, last_ts, finalized
+    /// values)`: two groups that would render identical output rows for
+    /// any future flush digest identically, which is exactly the
+    /// durability contract of [`Operator::state_digest`].
+    fn digest_groups(groups: &HashMap<Vec<Value>, Group>, d: &mut tweeql_wal::Digest) {
+        let mut entries: Vec<(&Vec<Value>, &Group)> = groups.iter().collect();
+        entries.sort_by_key(|(k, _)| {
+            k.iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\u{1}")
+        });
+        d.write_u64(entries.len() as u64);
+        for (key, g) in entries {
+            d.write_u64(key.len() as u64);
+            for v in key.iter() {
+                d.write_str(&v.to_string());
+            }
+            d.write_u64(g.n);
+            d.write_i64(g.last_ts.millis());
+            for s in &g.states {
+                d.write_str(&s.finalize().to_string());
+            }
+        }
+    }
+
     /// Feed one record into every sliding window covering its timestamp.
     fn sliding_update(
         &mut self,
@@ -651,6 +678,44 @@ impl Operator for AggregateOp {
 
     fn schema(&self) -> SchemaRef {
         self.schema.clone()
+    }
+
+    fn state_digest(&self, d: &mut tweeql_wal::Digest) {
+        match &self.policy {
+            WindowPolicy::Unbounded => d.write_u32(0),
+            WindowPolicy::Time(w) => {
+                d.write_u32(1);
+                d.write_i64(w.millis());
+            }
+            WindowPolicy::Count(n) => {
+                d.write_u32(2);
+                d.write_u64(*n);
+            }
+            WindowPolicy::Confidence { epsilon, max_age } => {
+                d.write_u32(3);
+                d.write_u64(epsilon.to_bits());
+                d.write_i64(max_age.map(|a| a.millis()).unwrap_or(-1));
+            }
+            WindowPolicy::Sliding { size, slide } => {
+                d.write_u32(4);
+                d.write_i64(size.millis());
+                d.write_i64(slide.millis());
+            }
+        }
+        d.write_i64(self.window_end.map(|t| t.millis()).unwrap_or(i64::MIN));
+        Self::digest_groups(&self.groups, d);
+        d.write_u64(self.sliding.len() as u64);
+        for (start, groups) in &self.sliding {
+            d.write_i64(*start);
+            Self::digest_groups(groups, d);
+        }
+        d.write_u64(self.gaps.len() as u64);
+        for (from, to) in &self.gaps {
+            d.write_i64(from.millis());
+            d.write_i64(to.millis());
+        }
+        d.write_u64(self.windows_emitted);
+        d.write_u64(self.confidence_emits);
     }
 
     fn on_record(&mut self, rec: Record, out: &mut Vec<Record>) -> Result<(), QueryError> {

@@ -40,6 +40,10 @@ impl Operator for LimitOp {
     fn done(&self) -> bool {
         self.remaining == 0
     }
+
+    fn state_digest(&self, d: &mut tweeql_wal::Digest) {
+        d.write_u64(self.remaining);
+    }
 }
 
 #[cfg(test)]

@@ -172,6 +172,17 @@ pub trait Operator: Send {
     fn decode_stats(&self) -> Option<DecodeStats> {
         None
     }
+
+    /// Fold this operator's *semantic* state into a durability digest.
+    ///
+    /// The contract: two operators that would emit identical output for
+    /// every possible future input sequence must digest identically —
+    /// and the digest must not depend on micro-batch cut points, which
+    /// differ between a live run and its recovery replay. Stateless
+    /// operators (the default) contribute nothing; windowed aggregates
+    /// and LIMIT override this so checkpoint verification can catch
+    /// replay divergence.
+    fn state_digest(&self, _d: &mut tweeql_wal::Digest) {}
 }
 
 /// Per-operator tuple counters and timing.
@@ -422,6 +433,17 @@ impl Pipeline {
     /// True once the pipeline will never produce more output.
     pub fn done(&self) -> bool {
         self.ops.iter().any(|o| o.done())
+    }
+
+    /// Fold every stage's semantic state into `d`, prefixed by the
+    /// stage name so a plan-shape change (different operators, not just
+    /// different state) also diverges the digest.
+    pub fn state_digest(&self, d: &mut tweeql_wal::Digest) {
+        d.write_u64(self.ops.len() as u64);
+        for op in &self.ops {
+            d.write_str(op.name());
+            op.state_digest(d);
+        }
     }
 
     /// True when any stage reacts to watermarks or coverage gaps;

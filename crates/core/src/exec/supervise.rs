@@ -598,6 +598,96 @@ impl SupervisedSource {
             self.pending_blocks.push_back(PendingBlock::Gap(from, to));
         }
     }
+
+    /// Fold the supervisor's semantic state into a durability digest:
+    /// delivery counters, fault counters, the dedup set, the
+    /// reorder-healing buffers, and queued-but-undelivered events. Two
+    /// supervisors that digest identically will deliver identical event
+    /// sequences for the rest of the stream — which is what recovery
+    /// replay verification needs to assert.
+    pub fn state_digest(&self, d: &mut tweeql_wal::Digest) {
+        let s = self.stats();
+        d.write_u64(s.scanned);
+        d.write_u64(s.matched);
+        d.write_u64(s.delivered);
+        d.write_u64(s.dropped);
+        let f = self.fault_stats();
+        d.write_u64(f.disconnects);
+        d.write_u64(f.reconnects);
+        d.write_u64(f.duplicates_dropped);
+        d.write_u64(f.malformed_skipped);
+        d.write_i64(f.backoff_total.millis());
+        d.write_u64(f.gaps.len() as u64);
+        for (from, to) in &f.gaps {
+            d.write_i64(from.millis());
+            d.write_i64(to.millis());
+        }
+        d.write_bool(f.gave_up);
+        d.write_u64(f.injected.disconnects);
+        d.write_u64(f.injected.stalls);
+        d.write_u64(f.injected.duplicates);
+        d.write_u64(f.injected.reorders);
+        d.write_u64(f.injected.malformed);
+        // The dedup set is unordered; an order-independent mix (xor of
+        // a per-id hash) digests it without sorting.
+        d.write_u64(self.seen.len() as u64);
+        let mut mix = 0u64;
+        for &id in &self.seen {
+            mix ^= splitmix(id);
+        }
+        d.write_u64(mix);
+        d.write_i64(self.max_seen_ts.millis());
+        d.write_u64(self.consecutive as u64);
+        d.write_bool(self.done);
+        d.write_i64(self.frontier.millis());
+        // Heal-heap contents, in (ts, id) order — BinaryHeap iteration
+        // order is unspecified, so sort a copy of the keys.
+        let mut held: Vec<(i64, u64)> = self
+            .heap
+            .iter()
+            .map(|Reverse(h)| (h.0.created_at.millis(), h.0.id))
+            .collect();
+        held.extend(self.iheap.iter().map(|Reverse(h)| (h.ts.millis(), h.id)));
+        held.sort_unstable();
+        d.write_u64(held.len() as u64);
+        for (ts, id) in held {
+            d.write_i64(ts);
+            d.write_u64(id);
+        }
+        // Queued-but-undelivered events (drained holds, gap markers).
+        d.write_u64(self.pending.len() as u64);
+        for ev in &self.pending {
+            match ev {
+                SourceEvent::Tweet(t) => {
+                    d.write_u32(1);
+                    d.write_u64(t.id);
+                }
+                SourceEvent::Gap { from, to } => {
+                    d.write_u32(2);
+                    d.write_i64(from.millis());
+                    d.write_i64(to.millis());
+                }
+            }
+        }
+        d.write_u64(self.pending_blocks.len() as u64);
+        for b in &self.pending_blocks {
+            match b {
+                PendingBlock::Sel(sel) => {
+                    d.write_u32(1);
+                    d.write_u64(sel.len() as u64);
+                    for &i in sel {
+                        d.write_u32(i);
+                    }
+                }
+                PendingBlock::Gap(from, to) => {
+                    d.write_u32(2);
+                    d.write_i64(from.millis());
+                    d.write_i64(to.millis());
+                }
+            }
+        }
+        d.write_bool(self.pending_disconnect.is_some());
+    }
 }
 
 impl Iterator for SupervisedSource {
@@ -841,6 +931,134 @@ mod tests {
         assert!(b1 > Duration::ZERO);
         let (b3, _) = run(43);
         assert_ne!(b1, b3, "jitter differs by seed");
+    }
+
+    // ------------------------------------------------------------------
+    // Direct unit tests of the dedup set and reorder-healing heaps.
+    // The engine-level differentials above exercise these only through
+    // whole-stream runs; durability snapshots/restores this state, so
+    // it gets a tight harness of its own.
+    // ------------------------------------------------------------------
+
+    fn tweet(id: u64, ts_ms: i64) -> Tweet {
+        Tweet::builder(id, "direct-test")
+            .at(Timestamp::from_millis(ts_ms))
+            .build()
+    }
+
+    /// A fresh source with fault machinery active (hold buffer and
+    /// dedup set live). None of the direct tests pull from the stream,
+    /// so the plan's rates never actually fire.
+    fn idle_faulty_source() -> SupervisedSource {
+        SupervisedSource::new(
+            api(VirtualClock::new()),
+            FilterSpec::Sample(1.0),
+            Some(FaultPlan::chaos(1)),
+            RetryPolicy::default(),
+            3,
+        )
+    }
+
+    #[test]
+    fn heal_heap_orders_by_timestamp_then_id() {
+        let mut src = idle_faulty_source();
+        assert_eq!(src.hold, REORDER_HOLD, "fault plan activates the hold");
+        // Push out of order, including a timestamp tie broken by id.
+        for (id, ts) in [(5u64, 300i64), (2, 100), (9, 200), (3, 200)] {
+            src.heap.push(Reverse(Held(tweet(id, ts))));
+        }
+        src.drain_heap_to_pending();
+        let ids: Vec<u64> = src
+            .pending
+            .iter()
+            .map(|e| match e {
+                SourceEvent::Tweet(t) => t.id,
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(ids, vec![2, 3, 9, 5], "(ts, id) order restored");
+        assert!(src.heap.is_empty());
+    }
+
+    #[test]
+    fn index_heal_heap_drains_in_stream_order() {
+        let mut src = idle_faulty_source();
+        for (ts, id, idx) in [
+            (300i64, 5u64, 50u32),
+            (100, 2, 20),
+            (200, 9, 90),
+            (200, 3, 30),
+        ] {
+            src.iheap.push(Reverse(HeldIdx {
+                ts: Timestamp::from_millis(ts),
+                id,
+                idx,
+            }));
+        }
+        assert_eq!(src.drain_iheap(), vec![20, 30, 90, 50]);
+        assert!(src.iheap.is_empty());
+    }
+
+    #[test]
+    fn dedup_set_admits_each_id_once() {
+        let mut src = idle_faulty_source();
+        assert!(src.seen.insert(7));
+        assert!(src.seen.insert(8));
+        assert!(!src.seen.insert(7), "replayed id is a duplicate");
+        assert_eq!(src.seen.len(), 2);
+    }
+
+    #[test]
+    fn state_digest_is_insertion_order_independent_for_dedup() {
+        let mut a = idle_faulty_source();
+        let mut b = idle_faulty_source();
+        for id in [10u64, 20, 30] {
+            a.seen.insert(id);
+        }
+        for id in [30u64, 10, 20] {
+            b.seen.insert(id);
+        }
+        let fin = |s: &SupervisedSource| {
+            let mut d = tweeql_wal::Digest::new();
+            s.state_digest(&mut d);
+            d.finish()
+        };
+        assert_eq!(fin(&a), fin(&b), "set digest must ignore insertion order");
+        b.seen.insert(40);
+        assert_ne!(fin(&a), fin(&b), "different sets must digest apart");
+    }
+
+    #[test]
+    fn state_digest_covers_heal_heap_and_pending_queue() {
+        let mut a = idle_faulty_source();
+        let b = idle_faulty_source();
+        let fin = |s: &SupervisedSource| {
+            let mut d = tweeql_wal::Digest::new();
+            s.state_digest(&mut d);
+            d.finish()
+        };
+        let base = fin(&b);
+        assert_eq!(fin(&a), base, "identical fresh sources digest equal");
+        a.heap.push(Reverse(Held(tweet(1, 50))));
+        let with_held = fin(&a);
+        assert_ne!(with_held, base, "held tweet must show in the digest");
+        a.drain_heap_to_pending();
+        assert_ne!(fin(&a), with_held, "held vs pending are distinct states");
+        assert_ne!(fin(&a), base);
+    }
+
+    #[test]
+    fn gap_markers_clamp_to_log_end_and_drop_empty_intervals() {
+        let mut src = idle_faulty_source();
+        let end = src.log_end();
+        // Past-the-end gap clamps to the log end.
+        src.push_gap(end - Duration::from_secs(1), end + Duration::from_mins(5));
+        assert_eq!(src.fstats.gaps, vec![(end - Duration::from_secs(1), end)]);
+        // Empty and inverted intervals are ignored entirely.
+        src.push_gap(end, end);
+        src.push_gap(end, end - Duration::from_secs(1));
+        assert_eq!(src.fstats.gaps.len(), 1);
+        assert_eq!(src.pending.len(), 1);
     }
 
     /// The batched block pull must be byte-identical to the per-tweet

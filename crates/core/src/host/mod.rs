@@ -37,6 +37,7 @@
 //! every registration — dropping and re-registering the same SQL never
 //! resurrects stale state.
 
+pub mod durable;
 pub(crate) mod index;
 
 use crate::catalog::Catalog;
@@ -158,6 +159,11 @@ struct HostQuery {
     subs: Vec<Arc<Mutex<VecDeque<Record>>>>,
     rows_in: u64,
     rows_out: u64,
+    /// Rows to swallow before anything reaches `pending`/subscribers:
+    /// set during recovery to the query's logged cumulative
+    /// `take_output` count, so a restart never re-delivers output the
+    /// caller already took. Counted rows still increment `rows_out`.
+    suppress: u64,
     registered_at: Timestamp,
     /// Private geo service: fresh caches/breaker per registration.
     #[allow(dead_code)]
@@ -177,6 +183,10 @@ impl HostQuery {
         }
         self.rows_out += self.scratch_out.len() as u64;
         for r in self.scratch_out.drain(..) {
+            if self.suppress > 0 {
+                self.suppress -= 1;
+                continue;
+            }
             for sub in &self.subs {
                 sub.lock().push_back(r.clone());
             }
@@ -349,6 +359,9 @@ pub struct QueryHost {
     position: Timestamp,
     stats: HostStats,
     host_metrics_published: bool,
+    /// Attached durability layer (WAL + checkpoints); None runs fully
+    /// in memory. See [`durable`].
+    durable: Option<durable::DurableState>,
 }
 
 impl QueryHost {
@@ -389,6 +402,7 @@ impl QueryHost {
             position: Timestamp::ZERO,
             stats: HostStats::default(),
             host_metrics_published: false,
+            durable: None,
         }
     }
 
@@ -399,6 +413,21 @@ impl QueryHost {
     /// join queries (a shared-scan host has one connection; run joins
     /// through [`crate::engine::Engine::execute`]).
     pub fn register(&mut self, sql: &str) -> Result<QueryId, QueryError> {
+        let id = self.register_inner(sql, None)?;
+        // Logged only after the in-memory registration succeeded: an
+        // unlogged registration is indistinguishable from one that
+        // never happened.
+        self.log_register(id, sql)?;
+        Ok(id)
+    }
+
+    /// Registration body, shared with recovery. `forced` replays a
+    /// logged registration under its original id and timestamp.
+    fn register_inner(
+        &mut self,
+        sql: &str,
+        forced: Option<(QueryId, i64)>,
+    ) -> Result<QueryId, QueryError> {
         // Flush buffered rows first: the new query starts at a clean
         // batch boundary and never sees pre-registration tweets.
         self.flush_batch()?;
@@ -426,9 +455,16 @@ impl QueryHost {
             ));
         }
         planned.warnings = diags;
-        self.next_id += 1;
-        let id = QueryId::new(self.next_id);
-        let now = self.clock.now();
+        let (id, now) = match forced {
+            Some((fid, at_millis)) => {
+                self.next_id = self.next_id.max(fid.raw());
+                (fid, Timestamp::from_millis(at_millis))
+            }
+            None => {
+                self.next_id += 1;
+                (QueryId::new(self.next_id), self.clock.now())
+            }
+        };
         planned
             .pipeline
             .attach_obs(None, &self.metrics, now.millis());
@@ -451,6 +487,7 @@ impl QueryHost {
             subs: Vec::new(),
             rows_in: 0,
             rows_out: 0,
+            suppress: 0,
             registered_at: now,
             geo,
             metrics: self.metrics.clone(),
@@ -465,6 +502,15 @@ impl QueryHost {
     /// Drop a query: finish its pipeline (final aggregate windows) and
     /// return everything it had pending plus the finish output.
     pub fn drop_query(&mut self, id: QueryId) -> Result<Vec<Record>, QueryError> {
+        let rows = self.drop_inner(id)?;
+        // Logged and synced before the rows cross the API boundary, so
+        // recovery discards them instead of re-delivering.
+        self.log_drop(id)?;
+        Ok(rows)
+    }
+
+    /// Drop body, shared with recovery (which must not re-log).
+    fn drop_inner(&mut self, id: QueryId) -> Result<Vec<Record>, QueryError> {
         self.flush_batch()?;
         let idx = self
             .queries
@@ -510,7 +556,12 @@ impl QueryHost {
     /// Drain the query's pending output buffer.
     pub fn take_output(&mut self, id: QueryId) -> Result<Vec<Record>, QueryError> {
         let q = self.query_mut(id)?;
-        Ok(std::mem::take(&mut q.pending))
+        let rows = std::mem::take(&mut q.pending);
+        // The cumulative taken-count is synced before the rows are
+        // returned: a crash after this call replays with these rows
+        // suppressed.
+        self.log_taken(id, rows.len() as u64)?;
+        Ok(rows)
     }
 
     /// The query's output schema.
@@ -775,6 +826,7 @@ impl QueryHost {
                 if self.batch.len() >= batch_size {
                     self.flush_batch()?;
                 }
+                self.maybe_checkpoint()?;
             }
         }
         Ok(())
@@ -828,6 +880,7 @@ impl QueryHost {
                 }
                 self.hcursor += 1;
                 self.pump_index(i, ts)?;
+                self.maybe_checkpoint()?;
                 continue;
             }
             if !self.refill_block() {
@@ -1136,6 +1189,15 @@ impl QueryHost {
             .add(self.stats.rows_shared);
         m.gauge("tweeql_host_prefilter_needles", &[])
             .set(self.filter_index.needle_count() as i64);
+        if let Some(s) = self.wal_stats() {
+            m.counter("tweeql_wal_records_total", &[]).add(s.records);
+            m.counter("tweeql_wal_bytes_total", &[]).add(s.bytes);
+            m.counter("tweeql_wal_fsyncs_total", &[]).add(s.fsyncs);
+            m.counter("tweeql_wal_checkpoints_total", &[])
+                .add(s.checkpoints);
+            m.counter("tweeql_wal_checkpoint_bytes_total", &[])
+                .add(s.checkpoint_bytes);
+        }
     }
 
     /// Apply `op` to every query, sharded across up to `workers`

@@ -27,5 +27,6 @@ pub use crate::engine::{
     Diagnostics, Engine, EngineBuilder, EngineConfig, Explanation, QueryResult, QueryStats,
 };
 pub use crate::error::QueryError;
+pub use crate::host::durable::{DurabilityConfig, KillPlan};
 pub use crate::host::{HostStats, QueryHost, QueryInfo, QueryState, Subscription};
 pub use tweeql_obs::QueryId;

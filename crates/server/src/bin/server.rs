@@ -2,21 +2,28 @@
 //!
 //! ```text
 //! tweeql-server [--port N] [--scenario NAME] [--seed N] [--workers N]
+//!               [--data-dir PATH]
 //! ```
 //!
 //! Prints `LISTENING <port>` once the socket is bound (`--port 0` picks
 //! a free port), then serves connections until a client sends
 //! `SHUTDOWN`.
+//!
+//! With `--data-dir`, the host logs registrations, drops, and polls to
+//! a write-ahead log under PATH and recovers them on the next start
+//! with the same scenario and seed; `SHUTDOWN` flushes a checkpoint.
 
 use std::net::TcpListener;
+use std::path::PathBuf;
 use std::process::ExitCode;
-use tweeql_server::{scenario_host, serve, Service};
+use tweeql_server::{scenario_host_in, serve, Service};
 
 struct Args {
     port: u16,
     scenario: String,
     seed: u64,
     workers: usize,
+    data_dir: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -25,6 +32,7 @@ fn parse_args() -> Result<Args, String> {
         scenario: "soccer".into(),
         seed: 42,
         workers: 1,
+        data_dir: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -46,9 +54,11 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--workers: {e}"))?
             }
+            "--data-dir" => args.data_dir = Some(PathBuf::from(value("--data-dir")?)),
             "--help" | "-h" => {
                 return Err(
-                    "usage: tweeql-server [--port N] [--scenario NAME] [--seed N] [--workers N]"
+                    "usage: tweeql-server [--port N] [--scenario NAME] [--seed N] \
+                     [--workers N] [--data-dir PATH]"
                         .into(),
                 )
             }
@@ -66,7 +76,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let host = match scenario_host(&args.scenario, args.seed, args.workers) {
+    let host = match scenario_host_in(
+        &args.scenario,
+        args.seed,
+        args.workers,
+        args.data_dir.as_deref(),
+    ) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("{e}");

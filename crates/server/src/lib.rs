@@ -126,7 +126,13 @@ impl Service {
                 ))
             }
             Request::Ping => Response::ok("pong"),
-            Request::Shutdown => Response::ok("bye"),
+            Request::Shutdown => {
+                // Flush a checkpoint so a restart with the same
+                // --data-dir resumes without replaying the whole WAL.
+                // A no-op on a non-durable host.
+                self.host.checkpoint()?;
+                Response::ok("bye")
+            }
         })
     }
 }
@@ -145,6 +151,20 @@ fn json_rows(schema: &tweeql_model::SchemaRef, rows: &[tweeql_model::Record]) ->
 /// Build a host over a named canned scenario (see
 /// [`tweeql_firehose::scenarios::all`]).
 pub fn scenario_host(name: &str, seed: u64, workers: usize) -> Result<QueryHost, String> {
+    scenario_host_in(name, seed, workers, None)
+}
+
+/// Like [`scenario_host`], but with optional durability: when
+/// `data_dir` is set the host writes its WAL and checkpoints there and
+/// recovers any state a previous server run left behind — standing
+/// queries, their already-polled row counts, and the stream position
+/// all survive a restart.
+pub fn scenario_host_in(
+    name: &str,
+    seed: u64,
+    workers: usize,
+    data_dir: Option<&std::path::Path>,
+) -> Result<QueryHost, String> {
     let scenario = scenarios::all()
         .into_iter()
         .find(|(n, _)| n.eq_ignore_ascii_case(name) || n.starts_with(name))
@@ -157,10 +177,13 @@ pub fn scenario_host(name: &str, seed: u64, workers: usize) -> Result<QueryHost,
             format!("unknown scenario {name:?}; have: {}", names.join(", "))
         })?;
     let api = StreamingApi::new(generate(&scenario, seed), VirtualClock::new());
-    Ok(Engine::builder(api)
-        .workers(workers)
-        .seed(seed)
-        .build_host())
+    let builder = Engine::builder(api).workers(workers).seed(seed);
+    match data_dir {
+        Some(dir) => builder
+            .recover_from(dir)
+            .map_err(|e| format!("recovery from {} failed: {e}", dir.display())),
+        None => Ok(builder.build_host()),
+    }
 }
 
 /// Accept connections until a client sends `SHUTDOWN`, serving each on
@@ -368,6 +391,66 @@ mod tests {
         let r = b.request(&Request::Shutdown).unwrap();
         assert!(r.ok && r.detail == "bye");
         server.join().unwrap();
+    }
+
+    /// SHUTDOWN flushes a checkpoint; a new server process pointed at
+    /// the same data dir recovers the standing queries and does not
+    /// re-deliver rows that were already polled.
+    #[test]
+    fn shutdown_checkpoints_and_restart_preserves_queries() {
+        let dir = tweeql_wal::TempDir::new("tweeql-server-dur");
+        let sql = "SELECT text FROM twitter WHERE text contains 'goal'";
+
+        let host = scenario_host_in("soccer", 7, 1, Some(dir.path())).unwrap();
+        let mut svc = Service::new(host);
+        let r = ok(svc.handle(Request::Register(sql.into())));
+        let id: QueryId = r.detail.parse().unwrap();
+        ok(svc.handle(Request::Step(120)));
+        let polled = ok(svc.handle(Request::Poll(id)));
+        assert!(!polled.body.is_empty(), "two minutes of 'goal' traffic");
+        let bye = ok(svc.handle(Request::Shutdown));
+        assert_eq!(bye.detail, "bye");
+        assert!(
+            dir.path().join("checkpoint.bin").exists(),
+            "SHUTDOWN must flush a checkpoint"
+        );
+        drop(svc);
+
+        // "Restart": same scenario + seed + data dir, fresh process.
+        let host = scenario_host_in("soccer", 7, 1, Some(dir.path())).unwrap();
+        let mut svc = Service::new(host);
+        let listed = ok(svc.handle(Request::List));
+        assert_eq!(listed.body.len(), 1, "registration survived restart");
+        assert!(listed.body[0].contains(sql), "{}", listed.body[0]);
+        let replayed = ok(svc.handle(Request::Poll(id)));
+        assert!(
+            replayed.body.is_empty(),
+            "polled rows must not be re-delivered: {:?}",
+            replayed.body
+        );
+        // The recovered host keeps producing from where it left off.
+        ok(svc.handle(Request::Run));
+        let fresh = ok(svc.handle(Request::Poll(id)));
+        assert!(!fresh.body.is_empty(), "post-restart rows still flow");
+    }
+
+    /// A mismatched engine configuration (different seed) is rejected
+    /// loudly instead of silently diverging from the logged history.
+    #[test]
+    fn restart_with_wrong_seed_is_an_error() {
+        let dir = tweeql_wal::TempDir::new("tweeql-server-seed");
+        let mut svc = Service::new(scenario_host_in("soccer", 7, 1, Some(dir.path())).unwrap());
+        ok(svc.handle(Request::Register(
+            "SELECT text FROM twitter WHERE text contains 'goal'".into(),
+        )));
+        ok(svc.handle(Request::Shutdown));
+        drop(svc);
+
+        let err = match scenario_host_in("soccer", 8, 1, Some(dir.path())) {
+            Err(e) => e,
+            Ok(_) => panic!("wrong-seed recovery accepted"),
+        };
+        assert!(err.contains("recovery"), "{err}");
     }
 
     #[test]

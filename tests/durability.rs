@@ -1,0 +1,559 @@
+//! Crash-equivalence battery for the durability subsystem.
+//!
+//! The contract under test: a durable [`QueryHost`] that is killed at
+//! arbitrary virtual times (dropped without a flush — everything not
+//! yet fsynced is lost, like `kill -9`) and recovered from its data
+//! directory produces output **byte-identical** to the same schedule
+//! run uninterrupted — per-query rows (across every poll boundary),
+//! rows-out counts, query states, connection and fault-injection
+//! statistics including the gap list, stream position, and the final
+//! virtual-clock value. Only cadence bookkeeping (micro-batch counts,
+//! rows-dispatched) may differ, because recovery replays at its own
+//! batch cadence.
+//!
+//! Fixed regressions cover each recovery shape (WAL-only, checkpoint +
+//! tail, post-checkpoint churn, drops, multi-kill, workers=4); a
+//! proptest sweeps seeds × workers × chaos plans × kill schedules ×
+//! batch sizes × checkpoint cadences.
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use std::path::Path;
+use std::sync::OnceLock;
+use tweeql::prelude::*;
+use tweeql_firehose::api::ConnectionStats;
+use tweeql_firehose::fault::FaultPlan;
+use tweeql_firehose::scenario::{Burst, Scenario, Topic};
+use tweeql_firehose::StreamingApi;
+use tweeql_model::{Clock, Duration, Record, Timestamp, Tweet, VirtualClock};
+use tweeql_wal::TempDir;
+
+/// Deterministic firehose shared by every run: keyword topic, a burst,
+/// a quiet tail (same shape as the standing-host battery).
+fn tweets() -> &'static Vec<Tweet> {
+    static TWEETS: OnceLock<Vec<Tweet>> = OnceLock::new();
+    TWEETS.get_or_init(|| {
+        let s = Scenario {
+            name: "durability".into(),
+            duration: Duration::from_mins(10),
+            background_rate_per_min: 40.0,
+            topics: vec![{
+                let mut t = Topic::new("kw", vec!["kw"], 22.0);
+                t.sentiment_bias = 0.3;
+                t
+            }],
+            bursts: vec![Burst {
+                topic: 0,
+                label: "spike".into(),
+                start: Timestamp::from_mins(3),
+                ramp_up: Duration::from_mins(1),
+                ramp_down: Duration::from_mins(1),
+                peak_multiplier: 5.0,
+                phrases: vec!["kw spike".into()],
+                sentiment_bias: 0.4,
+                url: None,
+            }],
+            geotag_rate: 0.2,
+            population_size: 100,
+        };
+        tweeql_firehose::generate(&s, 4251)
+    })
+}
+
+const CORPUS: &[&str] = &[
+    "SELECT text FROM twitter WHERE text contains 'kw'",
+    "SELECT count(*) AS c, lang FROM twitter WHERE text contains 'kw' \
+     GROUP BY lang WINDOW 2 minutes",
+    "SELECT avg(followers) AS a FROM twitter WINDOW 3 minutes",
+    "SELECT sentiment(text) AS s, text FROM twitter WHERE text contains 'spike' LIMIT 10",
+    "SELECT upper(lang) AS l, followers * 2 AS f2 FROM twitter \
+     WHERE followers > 3 AND text contains 'kw'",
+    "SELECT min(followers) AS mn, max(followers) AS mx FROM twitter WINDOW 2 minutes",
+];
+
+/// Host-construction knobs a whole differential comparison shares.
+#[derive(Clone)]
+struct Params {
+    workers: usize,
+    fault: Option<FaultPlan>,
+    batch: usize,
+    ckpt_every: u64,
+}
+
+impl Params {
+    fn serial() -> Params {
+        Params {
+            workers: 1,
+            fault: None,
+            batch: 16,
+            ckpt_every: 64,
+        }
+    }
+}
+
+/// Open (or recover) a durable host over the shared stream. fsync is
+/// off for test speed; sync-point accounting and file contents are
+/// identical, and the in-process "crash" (dropping the host) loses
+/// nothing the OS already has.
+fn durable_host(dir: &Path, p: &Params) -> QueryHost {
+    let api = StreamingApi::new(tweets().clone(), VirtualClock::new());
+    let mut b = tweeql::Engine::builder(api)
+        .workers(p.workers)
+        .batch_size(p.batch)
+        .seed(99);
+    if let Some(f) = &p.fault {
+        b = b.fault_policy(f.clone());
+    }
+    b.recover_with(
+        DurabilityConfig::new(dir)
+            .checkpoint_every(p.ckpt_every)
+            .fsync(false),
+    )
+    .expect("open durable host")
+}
+
+/// What the schedule did to one registration, accumulated across
+/// crashes: every row externalized through `take_output`/`drop_query`,
+/// in order.
+#[derive(Debug, PartialEq)]
+struct QueryOutcome {
+    sql: String,
+    rows: Vec<Record>,
+    /// Present for queries still registered at end-of-run.
+    end_state: Option<(u64, QueryState, Vec<String>)>, // rows_out, state, schema
+}
+
+/// Everything the contract promises is crash-invariant.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    queries: Vec<QueryOutcome>,
+    delivered: u64,
+    gaps: u64,
+    watermarks: u64,
+    position: Timestamp,
+    conn: ConnectionStats,
+    fault_gaps: Vec<(Timestamp, Timestamp)>,
+    disconnects: u64,
+    duplicates_dropped: u64,
+    clock_ms: i64,
+}
+
+/// One timeline action.
+#[derive(Clone, Copy)]
+enum Act {
+    /// Register `CORPUS[i]`.
+    Reg(usize),
+    /// Drop the query made by the n-th registration.
+    Drop(usize),
+    /// `take_output` every still-registered query.
+    PollAll,
+}
+
+/// A schedule: `(virtual time, action)` pairs, non-decreasing in time.
+type Schedule = Vec<(Timestamp, Act)>;
+
+/// Drive `sched` against a durable host rooted at `dir`, killing and
+/// recovering the host at each time in `kills` (which may interleave
+/// anywhere, including after the last action). Returns the observable
+/// outcome.
+fn run(dir: &Path, p: &Params, sched: &Schedule, kills: &[Timestamp]) -> Observed {
+    let mut host = durable_host(dir, p);
+    let mut kills: VecDeque<Timestamp> = kills.iter().copied().collect();
+    let mut ids: Vec<QueryId> = Vec::new();
+    let mut outcomes: Vec<QueryOutcome> = Vec::new();
+    let mut live: Vec<bool> = Vec::new();
+
+    // Pump to `t`, crashing at every kill point on the way. A crash is
+    // dropping the host on the floor: no checkpoint, no flush; the next
+    // `durable_host` call replays the directory.
+    fn advance(
+        host: &mut QueryHost,
+        dir: &Path,
+        p: &Params,
+        kills: &mut VecDeque<Timestamp>,
+        t: Timestamp,
+    ) {
+        while let Some(&k) = kills.front() {
+            if k >= t {
+                break;
+            }
+            kills.pop_front();
+            host.pump_until(k).expect("pump to kill point");
+            *host = durable_host(dir, p); // old host dropped: crash
+        }
+        host.pump_until(t).expect("pump");
+    }
+
+    for &(t, act) in sched {
+        advance(&mut host, dir, p, &mut kills, t);
+        match act {
+            Act::Reg(i) => {
+                let id = host.register(CORPUS[i]).expect(CORPUS[i]);
+                ids.push(id);
+                live.push(true);
+                outcomes.push(QueryOutcome {
+                    sql: CORPUS[i].to_string(),
+                    rows: Vec::new(),
+                    end_state: None,
+                });
+            }
+            Act::Drop(n) => {
+                let rows = host.drop_query(ids[n]).expect("drop");
+                outcomes[n].rows.extend(rows);
+                live[n] = false;
+            }
+            Act::PollAll => {
+                for (n, &id) in ids.iter().enumerate() {
+                    if live[n] {
+                        outcomes[n].rows.extend(host.take_output(id).expect("poll"));
+                    }
+                }
+            }
+        }
+    }
+    // Remaining kills land during the run-out to end-of-stream.
+    while let Some(k) = kills.pop_front() {
+        host.pump_until(k).expect("pump to kill point");
+        host = durable_host(dir, p);
+    }
+    host.run_to_end().expect("run to end");
+
+    let infos = host.list();
+    for (n, &id) in ids.iter().enumerate() {
+        if !live[n] {
+            continue;
+        }
+        outcomes[n]
+            .rows
+            .extend(host.take_output(id).expect("final poll"));
+        let info = infos
+            .iter()
+            .find(|q| q.id == id)
+            .expect("live query listed");
+        let schema: Vec<String> = host
+            .schema(id)
+            .expect("schema")
+            .names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        outcomes[n].end_state = Some((info.rows_out, info.state, schema));
+    }
+    let stats = host.stats();
+    let (conn, faults) = host.source_stats().expect("stream was pumped");
+    Observed {
+        queries: outcomes,
+        delivered: stats.tweets_delivered,
+        gaps: stats.gaps,
+        watermarks: stats.watermarks,
+        position: host.position(),
+        conn,
+        fault_gaps: faults.gaps.clone(),
+        disconnects: faults.disconnects,
+        duplicates_dropped: faults.duplicates_dropped,
+        clock_ms: host.clock().now().millis(),
+    }
+}
+
+/// The core assertion: identical `Observed` with and without kills.
+fn assert_crash_equivalent(p: &Params, sched: &Schedule, kills: &[Timestamp]) {
+    let clean_dir = TempDir::new("tweeql-dur-clean");
+    let killed_dir = TempDir::new("tweeql-dur-killed");
+    let clean = run(clean_dir.path(), p, sched, &[]);
+    let killed = run(killed_dir.path(), p, sched, kills);
+    assert_eq!(
+        clean, killed,
+        "kill/recover diverged from uninterrupted run"
+    );
+}
+
+fn mins(m: i64) -> Timestamp {
+    Timestamp::from_mins(m)
+}
+
+#[test]
+fn kill_and_recover_matches_uninterrupted() {
+    let sched = vec![
+        (mins(0), Act::Reg(0)),
+        (mins(0), Act::Reg(1)),
+        (mins(2), Act::PollAll),
+        (mins(6), Act::PollAll),
+    ];
+    let p = Params::serial();
+    assert_crash_equivalent(&p, &sched, &[Timestamp::from_millis(3 * 60_000 + 17_000)]);
+
+    // And the recovered output is the engine gold standard, not merely
+    // self-consistent: a from-registration query equals an independent
+    // serial engine run with pushdown pinned off.
+    let dir = TempDir::new("tweeql-dur-gold");
+    let got = run(dir.path(), &p, &sched, &[mins(4)]);
+    let api = StreamingApi::new(tweets().clone(), VirtualClock::new());
+    let reference = tweeql::Engine::builder(api)
+        .workers(1)
+        .batch_size(16)
+        .seed(99)
+        .push_down(false)
+        .build()
+        .execute(CORPUS[0])
+        .expect("reference engine run");
+    assert_eq!(got.queries[0].rows, reference.rows);
+}
+
+#[test]
+fn chaos_faulted_windowed_aggregates_survive_kills() {
+    let sched = vec![
+        (mins(0), Act::Reg(1)),
+        (mins(1), Act::Reg(2)),
+        (mins(4), Act::PollAll),
+    ];
+    for fault_seed in [3u64, 11] {
+        let p = Params {
+            fault: Some(FaultPlan::chaos(fault_seed)),
+            ..Params::serial()
+        };
+        assert_crash_equivalent(
+            &p,
+            &sched,
+            &[Timestamp::from_millis(2 * 60_000 + 31_000), mins(7)],
+        );
+    }
+}
+
+#[test]
+fn wal_only_recovery_before_any_checkpoint() {
+    // checkpoint_every = 0: no automatic checkpoints, so the kill
+    // exercises pure WAL replay.
+    let p = Params {
+        ckpt_every: 0,
+        ..Params::serial()
+    };
+    let sched = vec![
+        (mins(0), Act::Reg(0)),
+        (mins(1), Act::Reg(5)),
+        (mins(2), Act::PollAll),
+    ];
+    assert_crash_equivalent(&p, &sched, &[mins(3)]);
+
+    let dir = TempDir::new("tweeql-dur-walonly");
+    let host = durable_host(dir.path(), &p);
+    assert!(host.wal_stats().is_some(), "host must be durable");
+    assert!(
+        !dir.path().join("checkpoint.bin").exists(),
+        "this shape must not have checkpointed"
+    );
+}
+
+#[test]
+fn checkpoint_plus_tail_with_post_checkpoint_register() {
+    // Small cadence forces several checkpoints before the kill; the
+    // second registration lands after them, so recovery replays a
+    // checkpoint AND a WAL tail.
+    let p = Params {
+        ckpt_every: 50,
+        ..Params::serial()
+    };
+    let sched = vec![
+        (mins(0), Act::Reg(1)),
+        (mins(2), Act::PollAll),
+        (mins(4), Act::Reg(0)),
+    ];
+    assert_crash_equivalent(&p, &sched, &[mins(5)]);
+
+    let dir = TempDir::new("tweeql-dur-tail");
+    let _ = run(dir.path(), &p, &sched, &[mins(5)]);
+    assert!(
+        dir.path().join("checkpoint.bin").exists(),
+        "this shape must have checkpointed"
+    );
+    let host = durable_host(dir.path(), &p);
+    assert_eq!(host.list().len(), 2, "both registrations recovered");
+}
+
+#[test]
+fn dropped_queries_stay_dropped_across_recovery() {
+    let sched = vec![
+        (mins(0), Act::Reg(0)),
+        (mins(0), Act::Reg(2)),
+        (mins(3), Act::Drop(0)),
+    ];
+    let p = Params::serial();
+    assert_crash_equivalent(&p, &sched, &[mins(4)]);
+
+    let dir = TempDir::new("tweeql-dur-drop");
+    let _ = run(dir.path(), &p, &sched, &[mins(4)]);
+    let host = durable_host(dir.path(), &p);
+    let listed = host.list();
+    assert_eq!(listed.len(), 1, "dropped query must not resurrect");
+    assert_eq!(listed[0].sql, CORPUS[2]);
+}
+
+#[test]
+fn sharded_dispatch_is_crash_equivalent() {
+    let sched = vec![
+        (mins(0), Act::Reg(0)),
+        (mins(0), Act::Reg(1)),
+        (mins(0), Act::Reg(4)),
+        (mins(3), Act::PollAll),
+    ];
+    let p = Params {
+        workers: 4,
+        ..Params::serial()
+    };
+    assert_crash_equivalent(&p, &sched, &[Timestamp::from_millis(5 * 60_000 + 7_000)]);
+}
+
+#[test]
+fn repeated_kills_between_every_poll() {
+    let sched = vec![
+        (mins(0), Act::Reg(1)),
+        (mins(1), Act::PollAll),
+        (mins(3), Act::PollAll),
+        (mins(5), Act::PollAll),
+        (mins(8), Act::PollAll),
+    ];
+    let p = Params {
+        ckpt_every: 100,
+        ..Params::serial()
+    };
+    assert_crash_equivalent(
+        &p,
+        &sched,
+        &[
+            Timestamp::from_millis(2 * 60_000 + 11_000),
+            Timestamp::from_millis(4 * 60_000 + 43_000),
+            Timestamp::from_millis(6 * 60_000 + 29_000),
+        ],
+    );
+}
+
+#[test]
+fn recovered_host_accepts_new_queries() {
+    let p = Params::serial();
+    let dir = TempDir::new("tweeql-dur-newq");
+    let mut host = durable_host(dir.path(), &p);
+    let first = host.register(CORPUS[0]).unwrap();
+    host.pump_until(mins(2)).unwrap();
+    drop(host); // crash
+
+    let mut host = durable_host(dir.path(), &p);
+    let second = host.register(CORPUS[2]).unwrap();
+    assert_ne!(
+        first, second,
+        "recovered id allocator must not reuse live ids"
+    );
+    host.run_to_end().unwrap();
+    assert_eq!(host.list().len(), 2);
+    assert!(!host.take_output(first).unwrap().is_empty());
+
+    // The post-recovery registration survives the *next* crash too.
+    drop(host);
+    let host = durable_host(dir.path(), &p);
+    assert_eq!(host.list().len(), 2, "second-generation registration lost");
+}
+
+#[test]
+fn explicit_checkpoint_then_clean_restart_preserves_queries() {
+    let p = Params {
+        ckpt_every: 0,
+        ..Params::serial()
+    };
+    let dir = TempDir::new("tweeql-dur-ckpt");
+    let mut host = durable_host(dir.path(), &p);
+    host.register(CORPUS[0]).unwrap();
+    host.register(CORPUS[1]).unwrap();
+    host.pump_until(mins(3)).unwrap();
+    assert!(host.checkpoint().unwrap(), "durable host checkpoints");
+    let stats = host.wal_stats().unwrap();
+    assert_eq!(stats.checkpoints, 1);
+    assert!(stats.checkpoint_bytes > 0);
+    drop(host);
+
+    let host = durable_host(dir.path(), &p);
+    let listed = host.list();
+    assert_eq!(listed.len(), 2);
+    assert_eq!(listed[0].sql, CORPUS[0]);
+    assert_eq!(listed[1].sql, CORPUS[1]);
+}
+
+#[test]
+fn recovery_rejects_a_different_engine_configuration() {
+    let p = Params::serial();
+    let dir = TempDir::new("tweeql-dur-fp");
+    let mut host = durable_host(dir.path(), &p);
+    host.register(CORPUS[0]).unwrap();
+    host.pump_until(mins(2)).unwrap();
+    host.checkpoint().unwrap();
+    drop(host);
+
+    // Same directory, different stream seed: replaying someone else's
+    // stream would silently produce different output, so recovery must
+    // refuse.
+    let api = StreamingApi::new(tweets().clone(), VirtualClock::new());
+    let err = match tweeql::Engine::builder(api)
+        .workers(1)
+        .batch_size(16)
+        .seed(100)
+        .recover_with(DurabilityConfig::new(dir.path()).fsync(false))
+    {
+        Err(e) => e,
+        Ok(_) => panic!("fingerprint mismatch must be rejected"),
+    };
+    assert!(
+        matches!(err, QueryError::Durability(ref m) if m.contains("configuration")),
+        "{err}"
+    );
+}
+
+#[test]
+fn non_durable_host_reports_no_wal() {
+    let api = StreamingApi::new(tweets().clone(), VirtualClock::new());
+    let mut host = tweeql::Engine::builder(api).build_host();
+    assert!(host.wal_stats().is_none());
+    assert!(!host.checkpoint().unwrap(), "nothing to checkpoint into");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Randomized crash-equivalence: seeds × workers 1/4 × clean/chaos
+    /// × 1–3 seeded kill points × batch sizes × checkpoint cadences ×
+    /// registration/poll schedules.
+    #[test]
+    fn crash_equivalence_randomized(
+        kill_seed in 0u64..1_000,
+        wide in 0u8..2,
+        chaos in 0u64..100,
+        nkills in 1usize..4,
+        batch_sel in 0usize..3,
+        ckpt_sel in 0usize..3,
+        qa in 0usize..6,
+        qb in 0usize..6,
+        reg2_min in 1i64..5,
+        poll_min in 1i64..8,
+    ) {
+        let p = Params {
+            workers: if wide == 0 { 1 } else { 4 },
+            // Odd draws run chaos-faulted; even draws run clean.
+            fault: (chaos % 2 == 1).then(|| FaultPlan::chaos(chaos)),
+            batch: [7, 16, 64][batch_sel],
+            ckpt_every: [0, 32, 256][ckpt_sel],
+        };
+        let sched = vec![
+            (mins(0), Act::Reg(qa)),
+            (mins(reg2_min), Act::Reg(qb)),
+            (mins(poll_min), Act::PollAll),
+        ];
+        let mut plan = KillPlan::new(kill_seed);
+        let mut kills: Vec<Timestamp> = (0..nkills)
+            .map(|_| plan.next_kill(mins(1), mins(9)))
+            .collect();
+        kills.sort();
+        kills.dedup();
+
+        let clean_dir = TempDir::new("tweeql-dur-prop-clean");
+        let killed_dir = TempDir::new("tweeql-dur-prop-killed");
+        let clean = run(clean_dir.path(), &p, &sched, &[]);
+        let killed = run(killed_dir.path(), &p, &sched, &kills);
+        prop_assert_eq!(clean, killed);
+    }
+}
